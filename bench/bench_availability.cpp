@@ -1,0 +1,86 @@
+// Supporting study: availability F_p(S) for all systems (Peleg-Wool
+// Facts 2.3(1,2)), the quantity the probabilistic-model analyses lean on.
+// Prints closed forms against exhaustive enumeration and the bounds used
+// by Prop. 3.6 and Thm 3.8.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "quorum/availability.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+
+int main(int argc, char** argv) {
+  using namespace qps;
+  const auto ctx = bench::parse_context(argc, argv);
+  bench::print_header(
+      "Availability F_p(S) (Facts 2.3(1,2); bounds for Prop 3.6 / Thm 3.8)",
+      "F_p <= p for p <= 1/2; F_p + F_{1-p} = 1; F_{1/2} = 1/2 for every "
+      "ND coterie",
+      ctx);
+
+  std::cout << "\n[A] Closed forms vs exhaustive enumeration (max abs error "
+               "over p in {0.05..0.95}):\n";
+  Table a({"system", "n", "max_error"});
+  const double probes[] = {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95};
+  {
+    double err = 0;
+    const MajoritySystem maj(9);
+    for (double p : probes)
+      err = std::max(err, std::abs(majority_failure_probability(9, p) -
+                                   failure_probability_exact(maj, p)));
+    a.add_row({"Maj(9)", "9", Table::num(err, 15)});
+  }
+  {
+    double err = 0;
+    const CrumblingWall wall({1, 3, 4});
+    for (double p : probes)
+      err = std::max(err, std::abs(cw_failure_probability({1, 3, 4}, p) -
+                                   failure_probability_exact(wall, p)));
+    a.add_row({"(1,3,4)-CW", "8", Table::num(err, 15)});
+  }
+  {
+    double err = 0;
+    const TreeSystem tree(2);
+    for (double p : probes)
+      err = std::max(err, std::abs(tree_failure_probability(2, p) -
+                                   failure_probability_exact(tree, p)));
+    a.add_row({"Tree(h=2)", "7", Table::num(err, 15)});
+  }
+  {
+    double err = 0;
+    const HQSystem hqs(2);
+    for (double p : probes)
+      err = std::max(err, std::abs(hqs_failure_probability(2, p) -
+                                   failure_probability_exact(hqs, p)));
+    a.add_row({"HQS(h=2)", "9", Table::num(err, 15)});
+  }
+  a.print(std::cout);
+
+  std::cout << "\n[B] Availability curves F_p (closed forms):\n";
+  Table b({"p", "Maj(101)", "(1,2,..,8)-CW", "Tree(h=8)", "HQS(h=8)"});
+  std::vector<std::size_t> triang;
+  for (std::size_t i = 1; i <= 8; ++i) triang.push_back(i);
+  for (double p : {0.1, 0.3, 0.5, 0.7, 0.9})
+    b.add_row({Table::num(p, 1),
+               Table::num(majority_failure_probability(101, p), 6),
+               Table::num(cw_failure_probability(triang, p), 6),
+               Table::num(tree_failure_probability(8, p), 6),
+               Table::num(hqs_failure_probability(8, p), 6)});
+  b.print(std::cout);
+  std::cout << "(note the ND-coterie signature: every column passes through "
+               "exactly 0.5 at p = 0.5,\n and F_p + F_{1-p} = 1)\n";
+
+  std::cout << "\n[C] The decay bounds the probe analyses use:\n";
+  Table c({"h", "F_0.3(Tree)", "(p+1/2)^h", "F_0.3(HQS)", "p(3p-2p^2)^h"});
+  for (std::size_t h : {2u, 4u, 8u, 16u})
+    c.add_row({Table::num(static_cast<long long>(h)),
+               Table::num(tree_failure_probability(h, 0.3), 8),
+               Table::num(tree_failure_bound(h, 0.3), 8),
+               Table::num(hqs_failure_probability(h, 0.3), 8),
+               Table::num(hqs_failure_bound(h, 0.3), 8)});
+  c.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Ablation: the paper's structured algorithms vs generic baselines
+// (random-order universal probing, greedy candidate counting) across all
+// constructions, plus the quorum-cache optimization for repeated
+// selections.  Quantifies how much the structure-aware strategies of
+// Sections 3-4 actually buy.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/algorithms/greedy.h"
+#include "core/algorithms/probe_cw.h"
+#include "core/algorithms/probe_hqs.h"
+#include "core/algorithms/probe_maj.h"
+#include "core/algorithms/probe_tree.h"
+#include "core/algorithms/random_order.h"
+#include "core/estimator.h"
+#include "protocols/quorum_cache.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/fpp.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+
+int main(int argc, char** argv) {
+  using namespace qps;
+  const auto ctx = bench::parse_context(argc, argv);
+  bench::print_header(
+      "Ablation: structured algorithms vs generic baselines",
+      "structure-aware probing is what turns PC = n into O(k) / O(n^c)",
+      ctx);
+  Rng rng = ctx.make_rng();
+  EstimatorOptions options;
+  options.trials = std::max<std::size_t>(ctx.trials / 10, 500);
+
+  std::cout << "\n[A] Average probes under iid failures (p = 1/2):\n";
+  Table a({"system", "n", "structured", "random_order", "greedy(enum)"});
+  {
+    const MajoritySystem maj(51);
+    const ProbeMaj structured(maj);
+    const RandomOrderProbe random_order(maj);
+    a.add_row({"Maj", "51",
+               Table::num(estimate_ppc(maj, structured, 0.5, options, rng).mean(), 2),
+               Table::num(estimate_ppc(maj, random_order, 0.5, options, rng).mean(), 2),
+               "-"});
+  }
+  {
+    const CrumblingWall wall({1, 16, 16, 16});
+    const ProbeCW structured(wall);
+    const RandomOrderProbe random_order(wall);
+    a.add_row({"(1,16,16,16)-CW", "49",
+               Table::num(estimate_ppc(wall, structured, 0.5, options, rng).mean(), 2),
+               Table::num(estimate_ppc(wall, random_order, 0.5, options, rng).mean(), 2),
+               "-"});
+  }
+  {
+    const CrumblingWall small({1, 2, 3});
+    const ProbeCW structured(small);
+    const RandomOrderProbe random_order(small);
+    const GreedyCandidateProbe greedy(small);
+    a.add_row({"(1,2,3)-CW", "6",
+               Table::num(estimate_ppc(small, structured, 0.5, options, rng).mean(), 2),
+               Table::num(estimate_ppc(small, random_order, 0.5, options, rng).mean(), 2),
+               Table::num(estimate_ppc(small, greedy, 0.5, options, rng).mean(), 2)});
+  }
+  {
+    const TreeSystem tree(7);
+    const ProbeTree structured(tree);
+    const RandomOrderProbe random_order(tree);
+    a.add_row({"Tree(h=7)", "255",
+               Table::num(estimate_ppc(tree, structured, 0.5, options, rng).mean(), 2),
+               Table::num(estimate_ppc(tree, random_order, 0.5, options, rng).mean(), 2),
+               "-"});
+  }
+  {
+    const HQSystem hqs(5);
+    const ProbeHQS structured(hqs);
+    const RandomOrderProbe random_order(hqs);
+    a.add_row({"HQS(h=5)", "243",
+               Table::num(estimate_ppc(hqs, structured, 0.5, options, rng).mean(), 2),
+               Table::num(estimate_ppc(hqs, random_order, 0.5, options, rng).mean(), 2),
+               "-"});
+  }
+  {
+    const FppSystem fpp(5);  // n = 31, no specialized algorithm in the paper
+    const RandomOrderProbe random_order(fpp);
+    const GreedyCandidateProbe greedy(fpp);
+    a.add_row({"FPP(q=5)", "31", "-",
+               Table::num(estimate_ppc(fpp, random_order, 0.5, options, rng).mean(), 2),
+               Table::num(estimate_ppc(fpp, greedy, 0.5, options, rng).mean(), 2)});
+  }
+  a.print(std::cout);
+  std::cout << "(structured beats the universal baseline everywhere except "
+               "Maj, where all\n orders are equivalent -- Prop. 3.2's "
+               "symmetry argument, visible in the data)\n";
+
+  std::cout << "\n[B] Quorum caching for repeated selections ((1,16,16,16)-"
+               "wall, 1% membership churn per step):\n";
+  Table b({"selector", "ops", "total view lookups", "cache hits"});
+  {
+    const CrumblingWall wall({1, 16, 16, 16});
+    const std::size_t n = wall.universe_size();
+    const ProbeCW strategy(wall);
+    const std::size_t ops = 2000;
+
+    // Churn: every step each element flips alive/dead with prob 1%.
+    auto churn = [&](Coloring view, Rng& r) {
+      for (Element e = 0; e < n; ++e)
+        if (r.bernoulli(0.01)) view = view.with(e, opposite(view.color(e)));
+      return view;
+    };
+
+    for (const bool use_cache : {false, true}) {
+      Rng run_rng(ctx.seed + 17);
+      protocols::CachedQuorumSelector cache(wall, strategy);
+      Coloring view(n, ElementSet::full(n));
+      std::size_t lookups = 0;
+      for (std::size_t op = 0; op < ops; ++op) {
+        view = churn(view, run_rng);
+        if (use_cache) {
+          const auto before_hits = cache.cache_hits();
+          const auto quorum = cache.select(view, run_rng);
+          if (quorum.has_value() && cache.cache_hits() > before_hits)
+            lookups += quorum->count();  // verification-only cost
+          else {
+            ProbeSession session(view);
+            // Count a fresh strategy run's probes (already done inside
+            // select; rerun to measure, RNG-independent for ProbeCW).
+            Rng probe_rng(1);
+            strategy.run(session, probe_rng);
+            lookups += session.probe_count();
+          }
+        } else {
+          ProbeSession session(view);
+          Rng probe_rng(1);
+          strategy.run(session, probe_rng);
+          lookups += session.probe_count();
+        }
+      }
+      b.add_row({use_cache ? "cached" : "always re-probe",
+                 Table::num(static_cast<long long>(ops)),
+                 Table::num(static_cast<long long>(lookups)),
+                 use_cache ? Table::num(static_cast<long long>(cache.cache_hits()))
+                           : "-"});
+    }
+  }
+  b.print(std::cout);
+  return 0;
+}

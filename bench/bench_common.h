@@ -1,0 +1,56 @@
+// Shared scaffolding for the experiment harnesses: every bench prints a
+// header with its experiment id, the seed used, and a paper-vs-measured
+// table, so the output of `for b in build/bench/*; do $b; done` is a
+// self-contained reproduction report.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace qps::bench {
+
+struct BenchContext {
+  std::uint64_t seed = 20010826;  // PODC 2001, in spirit
+  std::size_t trials = 20000;
+  bool quick = false;
+
+  Rng make_rng() const { return Rng(seed); }
+};
+
+inline BenchContext parse_context(int argc, char** argv) {
+  Flags flags(argc, argv);
+  BenchContext ctx;
+  ctx.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<std::int64_t>(ctx.seed)));
+  ctx.trials = static_cast<std::size_t>(
+      flags.get_int("trials", static_cast<std::int64_t>(ctx.trials)));
+  ctx.quick = flags.get_bool("quick", false);
+  const auto unused = flags.unused();
+  if (!unused.empty()) {
+    std::cerr << "unknown flag --" << unused.front()
+              << " (supported: --seed --trials --quick)\n";
+    std::exit(2);
+  }
+  if (ctx.quick) ctx.trials = std::max<std::size_t>(ctx.trials / 10, 100);
+  return ctx;
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim, const BenchContext& ctx) {
+  std::cout << "\n================================================================\n"
+            << "EXPERIMENT  " << experiment << "\n"
+            << "PAPER CLAIM " << claim << "\n"
+            << "seed=" << ctx.seed << " trials=" << ctx.trials << "\n"
+            << "================================================================\n";
+}
+
+/// "yes"/"NO" markers keep the pass/fail column grep-able.
+inline std::string holds(bool ok) { return ok ? "yes" : "NO"; }
+
+}  // namespace qps::bench

@@ -1,0 +1,90 @@
+// Table 1, Triang/CW row, randomized worst-case model (Thms 4.4, 4.6,
+// Cor. 4.5): R_Probe_CW pays at most max_j { n_j + sum_{i>j}((n_i+1)/2 +
+// 1/n_i) } -- for Triang (n+k)/2 + log k -- against a lower bound of
+// (n+k)/2 for ANY randomized algorithm (Yao on the one-green-per-row
+// distribution).
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/algorithms/probe_cw.h"
+#include "core/estimator.h"
+#include "core/exact/yao_bound.h"
+#include "core/expectation.h"
+#include "core/formulas.h"
+#include "quorum/crumbling_wall.h"
+
+int main(int argc, char** argv) {
+  using namespace qps;
+  const auto ctx = bench::parse_context(argc, argv);
+  bench::print_header(
+      "Table 1 / CW (Triang, Wheel), randomized model",
+      "LB (n+k)/2 (Thm 4.6) <= PCR <= (n+k)/2 + log k for Triang "
+      "(Cor 4.5); Wheel = n-1",
+      ctx);
+  Rng rng = ctx.make_rng();
+
+  std::cout << "\n[A] Exact worst-case expectation of R_Probe_CW (exhaustive "
+               "over colorings) vs the Thm 4.4 bound:\n";
+  Table a({"wall", "n", "k", "worst_exact", "thm44_bound", "yao_LB", "ordered"});
+  const std::vector<std::vector<std::size_t>> walls = {
+      {1, 2, 3}, {1, 3, 2}, {1, 2, 2, 2}, {1, 4, 4}, {1, 9}};
+  for (const auto& widths : walls) {
+    const CrumblingWall wall(widths);
+    const std::size_t n = wall.universe_size();
+    double worst = 0;
+    for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+      const Coloring c(n, ElementSet::from_mask(n, mask));
+      worst = std::max(worst, r_probe_cw_expectation(wall, c));
+    }
+    const double bound = r_probe_cw_bound(widths);
+    const double yao = yao_bound(wall, cw_hard_distribution(wall));
+    a.add_row({wall.name(), Table::num(static_cast<long long>(n)),
+               Table::num(static_cast<long long>(widths.size())),
+               Table::num(worst, 4), Table::num(bound, 4),
+               Table::num(yao, 4),
+               bench::holds(yao <= worst + 1e-9 && worst <= bound + 1e-9)});
+  }
+  a.print(std::cout);
+
+  std::cout << "\n[B] Monte-Carlo check of R_Probe_CW on its worst coloring "
+               "(bottom row monochromatic):\n";
+  Table b({"wall", "measured", "exact", "agree"});
+  EstimatorOptions options;
+  options.trials = ctx.trials;
+  for (const auto& widths : walls) {
+    const CrumblingWall wall(widths);
+    const std::size_t n = wall.universe_size();
+    // Bottom row all red is the Cor. 4.5(2)-style extreme.
+    ElementSet greens = ElementSet::full(n);
+    for (Element e = wall.row_begin(wall.row_count() - 1);
+         e < wall.row_end(wall.row_count() - 1); ++e)
+      greens.erase(e);
+    const Coloring coloring(n, greens);
+    const RProbeCW strategy(wall);
+    const auto stats =
+        expected_probes_on(wall, strategy, coloring, options, rng);
+    const double exact = r_probe_cw_expectation(wall, coloring);
+    b.add_row({wall.name(), Table::num(stats.mean(), 3),
+               Table::num(exact, 3),
+               bench::holds(std::abs(stats.mean() - exact) <
+                            std::max(4 * stats.ci95_halfwidth(), 1e-9))});
+  }
+  b.print(std::cout);
+
+  std::cout << "\n[C] Triang scaling: bound vs lower bound as k grows\n"
+               "    ((n+k)/2 <= PCR <= (n+k)/2 + log k):\n";
+  Table c({"k", "n", "(n+k)/2", "thm44_bound", "(n+k)/2+log2(k)"});
+  for (std::size_t k : {4u, 8u, 16u, 32u}) {
+    std::vector<std::size_t> widths(k);
+    for (std::size_t i = 0; i < k; ++i) widths[i] = i + 1;
+    const double n = static_cast<double>(k * (k + 1) / 2);
+    c.add_row({Table::num(static_cast<long long>(k)), Table::num(n, 0),
+               Table::num((n + k) / 2.0, 2),
+               Table::num(r_probe_cw_bound(widths), 2),
+               Table::num((n + k) / 2.0 + std::log2(static_cast<double>(k)),
+                          2)});
+  }
+  c.print(std::cout);
+  return 0;
+}

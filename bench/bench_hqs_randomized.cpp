@@ -1,0 +1,113 @@
+// Table 1, HQS row, randomized worst-case model (Prop. 4.9, Thm 4.10,
+// Cor. 4.13, Fig. 9):
+//   Omega(n^0.834) <= PCR(HQS); R_Probe_HQS = O(n^{log3(8/3)}) = O(n^0.893);
+//   IR_Probe_HQS improves the two-level constant (Fig. 9).
+// Costs on the worst-case family P are exact ((8/3)^h for R; the IR
+// two-level constant for IR), so the exponent fits are noise-free.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/algorithms/probe_hqs.h"
+#include "core/estimator.h"
+#include "core/expectation.h"
+#include "core/formulas.h"
+#include "quorum/hqs.h"
+
+int main(int argc, char** argv) {
+  using namespace qps;
+  const auto ctx = bench::parse_context(argc, argv);
+  bench::print_header(
+      "Table 1 / HQS, randomized model + Fig. 9",
+      "Omega(n^0.834) <= PCR(HQS); R_Probe = O(n^0.893); IR_Probe "
+      "improves the constant (Thm 4.10)",
+      ctx);
+  Rng rng = ctx.make_rng();
+
+  std::cout << "\n[A] Exact cost on the worst-case family P (Lemma 4.11):\n";
+  Table a({"h", "n", "R_Probe_HQS", "IR_Probe_HQS", "IR_wins", "PPC LB (5/2)^h"});
+  for (std::size_t h : {2u, 4u, 6u, 8u}) {
+    const HQSystem hqs(h);
+    const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
+    const double r = r_probe_hqs_expectation(hqs, worst);
+    const double ir = ir_probe_hqs_expectation(hqs, worst);
+    a.add_row({Table::num(static_cast<long long>(h)),
+               Table::num(static_cast<long long>(hqs.universe_size())),
+               Table::num(r, 3), Table::num(ir, 3), bench::holds(ir < r),
+               Table::num(std::pow(2.5, static_cast<double>(h)), 3)});
+  }
+  a.print(std::cout);
+
+  std::cout << "\n[B] Fitted worst-case exponents vs the paper:\n";
+  Table b({"algorithm", "fitted", "paper", "note"});
+  {
+    std::vector<double> ns, rc, irc;
+    for (std::size_t h = 2; h <= 10; h += 2) {
+      const HQSystem hqs(h);
+      const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
+      ns.push_back(static_cast<double>(hqs.universe_size()));
+      rc.push_back(r_probe_hqs_expectation(hqs, worst));
+      irc.push_back(ir_probe_hqs_expectation(hqs, worst));
+    }
+    const LinearFit rfit = fit_power_law(ns, rc);
+    const LinearFit irfit = fit_power_law(ns, irc);
+    b.add_row({"R_Probe_HQS", Table::num(rfit.slope, 4),
+               Table::num(hqs_r_probe_exponent(), 4), "log3(8/3) = 0.893"});
+    b.add_row({"IR_Probe_HQS", Table::num(irfit.slope, 4),
+               Table::num(hqs_ir_probe_exponent(), 4),
+               "log9(191/27) = 0.890 (paper prints 189.5/27; see "
+               "EXPERIMENTS.md)"});
+    b.add_row({"lower bound", "-", Table::num(hqs_ppc_exponent(), 4),
+               "Cor 4.13: log3(5/2) = 0.834"});
+  }
+  b.print(std::cout);
+
+  std::cout << "\n[C] Fig. 9: the IR two-level constant at h = 2 "
+               "(grandchildren are leaves, so E[probes] = E[recursive "
+               "calls]):\n";
+  Table c({"quantity", "value"});
+  {
+    const HQSystem hqs(2);
+    const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
+    c.add_row({"measured (exact evaluator)",
+               Table::num(ir_probe_hqs_expectation(hqs, worst), 6)});
+    EstimatorOptions options;
+    options.trials = ctx.trials;
+    const IRProbeHQS strategy(hqs);
+    const auto stats =
+        expected_probes_on(hqs, strategy, worst, options, rng);
+    c.add_row({"measured (Monte Carlo)", Table::num(stats.mean(), 4)});
+    c.add_row({"Fig. 8 semantics 191/27", Table::num(191.0 / 27.0, 6)});
+    c.add_row({"paper's Fig. 9 189.5/27", Table::num(189.5 / 27.0, 6)});
+    c.add_row({"R_Probe_HQS (8/3)^2", Table::num(64.0 / 9.0, 6)});
+  }
+  c.print(std::cout);
+  std::cout << "(IR beats R on the hard family either way; the 1.5/27 gap "
+               "is one branch's\n deterministic completion cost of 2 "
+               "printed as 1.5 in Fig. 9 -- see EXPERIMENTS.md.)\n";
+
+  std::cout << "\n[D] Monte-Carlo agreement for both algorithms on family P "
+               "(h = 4):\n";
+  Table d({"algorithm", "measured", "exact", "agree"});
+  {
+    const HQSystem hqs(4);
+    const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
+    EstimatorOptions options;
+    options.trials = ctx.trials;
+    const RProbeHQS r(hqs);
+    const IRProbeHQS ir(hqs);
+    const auto rs = expected_probes_on(hqs, r, worst, options, rng);
+    const auto irs = expected_probes_on(hqs, ir, worst, options, rng);
+    const double rex = r_probe_hqs_expectation(hqs, worst);
+    const double irex = ir_probe_hqs_expectation(hqs, worst);
+    d.add_row({"R_Probe_HQS", Table::num(rs.mean(), 3), Table::num(rex, 3),
+               bench::holds(std::abs(rs.mean() - rex) <
+                            4 * rs.ci95_halfwidth())});
+    d.add_row({"IR_Probe_HQS", Table::num(irs.mean(), 3), Table::num(irex, 3),
+               bench::holds(std::abs(irs.mean() - irex) <
+                            4 * irs.ci95_halfwidth())});
+  }
+  d.print(std::cout);
+  return 0;
+}

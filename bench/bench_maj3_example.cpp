@@ -1,0 +1,90 @@
+// Fig. 4 / Section 2.3 worked example: the Maj3 system under all three
+// models, each computed by an exact engine:
+//   PC(Maj3)  = 3      (minimax DP over probe-strategy trees)
+//   PCR(Maj3) = 8/3    (strategy enumeration + zero-sum game solver)
+//   PPC(Maj3) = 5/2    (Bellman DP at p = 1/2)
+// Also prints Lemma 2.2 (evasiveness of Maj/Wheel/CW/Tree) certified by
+// the PC engine, and the greedy-baseline ablation.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/algorithms/greedy.h"
+#include "core/algorithms/probe_maj.h"
+#include "core/estimator.h"
+#include "core/exact/pc_exact.h"
+#include "core/exact/pcr_exact.h"
+#include "core/exact/ppc_exact.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+#include "quorum/wheel.h"
+
+int main(int argc, char** argv) {
+  using namespace qps;
+  const auto ctx = bench::parse_context(argc, argv);
+  bench::print_header(
+      "Fig. 4 / Section 2.3 worked example + Lemma 2.2",
+      "PC(Maj3)=3, PCR(Maj3)=8/3, PPC(Maj3)=5/2; Maj, Wheel, CW, Tree are "
+      "evasive",
+      ctx);
+
+  std::cout << "\n[A] The three models on Maj3 (exact engines):\n";
+  Table a({"measure", "engine", "value", "paper", "match"});
+  const MajoritySystem maj3(3);
+  const std::size_t pc = pc_exact(maj3);
+  a.add_row({"PC", "minimax DP", Table::num(static_cast<long long>(pc)), "3",
+             bench::holds(pc == 3)});
+  const PcrResult pcr = pcr_exact(maj3);
+  a.add_row({"PCR", "game solver", Table::num(pcr.value, 6), "8/3 = 2.6667",
+             bench::holds(std::abs(pcr.value - 8.0 / 3.0) < 1e-9)});
+  const double ppc = ppc_exact(maj3, 0.5);
+  a.add_row({"PPC", "Bellman DP", Table::num(ppc, 6), "5/2 = 2.5",
+             bench::holds(ppc == 2.5)});
+  a.print(std::cout);
+  std::cout << "(distinct deterministic strategies in the PCR game: "
+            << pcr.strategy_count << ")\n";
+
+  std::cout << "\n[B] Lemma 2.2: evasiveness (PC = n) certified exactly:\n";
+  Table b({"system", "n", "PC", "evasive"});
+  {
+    const MajoritySystem maj7(7);
+    b.add_row({"Maj(7)", "7", Table::num(static_cast<long long>(pc_exact(maj7))),
+               bench::holds(pc_exact(maj7) == 7)});
+    const WheelSystem wheel6(6);
+    b.add_row({"Wheel(6)", "6",
+               Table::num(static_cast<long long>(pc_exact(wheel6))),
+               bench::holds(pc_exact(wheel6) == 6)});
+    const CrumblingWall cw({1, 2, 3});
+    b.add_row({"(1,2,3)-CW", "6",
+               Table::num(static_cast<long long>(pc_exact(cw))),
+               bench::holds(pc_exact(cw) == 6)});
+    const TreeSystem tree2(2);
+    b.add_row({"Tree(h=2)", "7",
+               Table::num(static_cast<long long>(pc_exact(tree2))),
+               bench::holds(pc_exact(tree2) == 7)});
+  }
+  b.print(std::cout);
+
+  std::cout << "\n[C] Ablation: specialized Probe_Maj vs the generic greedy "
+               "candidate-counting baseline ([4,11]-style), p = 1/2:\n";
+  Table c({"strategy", "avg probes (Maj(9))"});
+  {
+    Rng rng = ctx.make_rng();
+    EstimatorOptions options;
+    options.trials = ctx.trials;
+    const MajoritySystem maj9(9);
+    const ProbeMaj specialized(maj9);
+    const GreedyCandidateProbe greedy(maj9);
+    c.add_row({"Probe_Maj",
+               Table::num(estimate_ppc(maj9, specialized, 0.5, options, rng)
+                              .mean(),
+                          4)});
+    c.add_row({"Greedy_Candidate",
+               Table::num(estimate_ppc(maj9, greedy, 0.5, options, rng).mean(),
+                          4)});
+  }
+  c.print(std::cout);
+  std::cout << "(for Maj all orders are equivalent, so the two coincide up "
+               "to noise --\n exactly the symmetry argument of Prop. 3.2)\n";
+  return 0;
+}

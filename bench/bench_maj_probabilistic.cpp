@@ -1,0 +1,61 @@
+// Table 1, Maj row, probabilistic model (Prop. 3.2, Lemma 3.1):
+//   PPC_p(Maj) = n - theta(sqrt n) at p = 1/2,  n/(2q) + o(1) for p < q.
+// Sweeps n and p, printing the Monte-Carlo mean of Probe_Maj against the
+// exact grid-walk DP and the asymptotic expression.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/algorithms/probe_maj.h"
+#include "core/estimator.h"
+#include "core/formulas.h"
+#include "math/random_walk.h"
+#include "quorum/majority.h"
+
+int main(int argc, char** argv) {
+  using namespace qps;
+  const auto ctx = bench::parse_context(argc, argv);
+  bench::print_header(
+      "Table 1 / Maj, probabilistic model",
+      "PPC_p(Maj) = n - theta(sqrt n) at p=1/2; n/2q + o(1) for p < q",
+      ctx);
+  Rng rng = ctx.make_rng();
+
+  Table table({"n", "p", "measured", "exact_dp", "asymptotic", "deficit",
+               "sqrt(n)", "within_bounds"});
+  EstimatorOptions options;
+  options.trials = ctx.trials;
+
+  for (std::size_t n : {51u, 101u, 201u, 401u, 801u}) {
+    for (double p : {0.5, 0.3, 0.1}) {
+      const MajoritySystem maj(n);
+      const ProbeMaj strategy(maj);
+      const auto stats = estimate_ppc(maj, strategy, p, options, rng);
+      const double exact = probe_maj_expected(n, p);
+      const double asym = grid_walk_asymptotic((n + 1) / 2, p) ;
+      const double deficit = static_cast<double>(n) - exact;
+      const bool ok = std::abs(stats.mean() - exact) <
+                      std::max(4 * stats.ci95_halfwidth(), 1e-6);
+      table.add_row({Table::num(static_cast<long long>(n)), Table::num(p, 2),
+                     Table::num(stats.mean(), 2), Table::num(exact, 2),
+                     Table::num(asym, 2), Table::num(deficit, 2),
+                     Table::num(std::sqrt(static_cast<double>(n)), 2),
+                     bench::holds(ok)});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check: at p=1/2 the deficit n - E grows like sqrt(n)\n"
+               "(compare the deficit and sqrt(n) columns); for p < 1/2 the\n"
+               "cost approaches n/(2q):\n";
+  Table shape({"p", "n", "E/(n/2q)"});
+  for (double p : {0.3, 0.1})
+    for (std::size_t n : {101u, 401u}) {
+      const double ratio =
+          probe_maj_expected(n, p) / (static_cast<double>(n) / (2 * (1 - p)));
+      shape.add_row({Table::num(p, 2), Table::num(static_cast<long long>(n)),
+                     Table::num(ratio, 4)});
+    }
+  shape.print(std::cout);
+  return 0;
+}

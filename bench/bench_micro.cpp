@@ -1,0 +1,132 @@
+// Google-benchmark microbenchmarks: throughput of the primitives the
+// experiment harnesses lean on (characteristic functions, probe
+// algorithms, exact engines, the simulator).  These guard against
+// performance regressions; they make no paper claims.
+#include <benchmark/benchmark.h>
+
+#include "core/algorithms/probe_cw.h"
+#include "core/algorithms/probe_hqs.h"
+#include "core/algorithms/probe_maj.h"
+#include "core/algorithms/probe_tree.h"
+#include "core/estimator.h"
+#include "core/exact/ppc_exact.h"
+#include "core/expectation.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace qps;
+
+void BM_CharacteristicMaj(benchmark::State& state) {
+  const MajoritySystem maj(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  const Coloring c = sample_iid_coloring(maj.universe_size(), 0.5, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(maj.contains_quorum(c.greens()));
+}
+BENCHMARK(BM_CharacteristicMaj)->Arg(101)->Arg(1001)->Arg(10001);
+
+void BM_CharacteristicTree(benchmark::State& state) {
+  const TreeSystem tree(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  const Coloring c = sample_iid_coloring(tree.universe_size(), 0.5, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(tree.contains_quorum(c.greens()));
+}
+BENCHMARK(BM_CharacteristicTree)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_CharacteristicHqs(benchmark::State& state) {
+  const HQSystem hqs(static_cast<std::size_t>(state.range(0)));
+  Rng rng(1);
+  const Coloring c = sample_iid_coloring(hqs.universe_size(), 0.5, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hqs.contains_quorum(c.greens()));
+}
+BENCHMARK(BM_CharacteristicHqs)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_ProbeMajRun(benchmark::State& state) {
+  const MajoritySystem maj(static_cast<std::size_t>(state.range(0)));
+  const ProbeMaj strategy(maj);
+  Rng rng(2);
+  const Coloring c = sample_iid_coloring(maj.universe_size(), 0.5, rng);
+  for (auto _ : state) {
+    ProbeSession session(c);
+    benchmark::DoNotOptimize(strategy.run(session, rng));
+  }
+}
+BENCHMARK(BM_ProbeMajRun)->Arg(101)->Arg(1001);
+
+void BM_ProbeCwRun(benchmark::State& state) {
+  const CrumblingWall wall = CrumblingWall::triang(
+      static_cast<std::size_t>(state.range(0)));
+  const ProbeCW strategy(wall);
+  Rng rng(3);
+  const Coloring c = sample_iid_coloring(wall.universe_size(), 0.5, rng);
+  for (auto _ : state) {
+    ProbeSession session(c);
+    benchmark::DoNotOptimize(strategy.run(session, rng));
+  }
+}
+BENCHMARK(BM_ProbeCwRun)->Arg(8)->Arg(32);
+
+void BM_ProbeTreeRun(benchmark::State& state) {
+  const TreeSystem tree(static_cast<std::size_t>(state.range(0)));
+  const ProbeTree strategy(tree);
+  Rng rng(4);
+  const Coloring c = sample_iid_coloring(tree.universe_size(), 0.5, rng);
+  for (auto _ : state) {
+    ProbeSession session(c);
+    benchmark::DoNotOptimize(strategy.run(session, rng));
+  }
+}
+BENCHMARK(BM_ProbeTreeRun)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_IrProbeHqsRun(benchmark::State& state) {
+  const HQSystem hqs(static_cast<std::size_t>(state.range(0)));
+  const IRProbeHQS strategy(hqs);
+  Rng rng(5);
+  const Coloring c = hqs_worst_case_coloring(hqs, Color::kGreen);
+  for (auto _ : state) {
+    ProbeSession session(c);
+    benchmark::DoNotOptimize(strategy.run(session, rng));
+  }
+}
+BENCHMARK(BM_IrProbeHqsRun)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_PpcExactMaj(benchmark::State& state) {
+  const MajoritySystem maj(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(ppc_exact(maj, 0.5));
+}
+BENCHMARK(BM_PpcExactMaj)->Arg(5)->Arg(7)->Arg(9)->Unit(benchmark::kMicrosecond);
+
+void BM_ExactTreeExpectation(benchmark::State& state) {
+  const TreeSystem tree(static_cast<std::size_t>(state.range(0)));
+  Rng rng(6);
+  const Coloring c = sample_iid_coloring(tree.universe_size(), 0.5, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(r_probe_tree_expectation(tree, c));
+}
+BENCHMARK(BM_ExactTreeExpectation)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    int counter = 0;
+    const int events = static_cast<int>(state.range(0));
+    for (int i = 0; i < events; ++i)
+      simulator.schedule(static_cast<double>(i % 10), [&counter] { ++counter; });
+    simulator.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventChurn)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Table 1, Tree row, probabilistic model (Prop. 3.6, Cor. 3.7):
+//   PPC_p(Probe_Tree) = O(n^{log2(1+p)}), O(n^0.585) at p = 1/2.
+// Sweeps heights, fits the measured exponent per p, and prints it against
+// the paper's log2(1+p).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/algorithms/probe_tree.h"
+#include "core/estimator.h"
+#include "core/formulas.h"
+#include "quorum/tree_system.h"
+
+int main(int argc, char** argv) {
+  using namespace qps;
+  const auto ctx = bench::parse_context(argc, argv);
+  bench::print_header(
+      "Table 1 / Tree, probabilistic model",
+      "PPC_p(Probe_Tree) = O(n^{log2(1+p)}); n^0.585 at p = 1/2 (Cor 3.7)",
+      ctx);
+  Rng rng = ctx.make_rng();
+  EstimatorOptions options;
+  options.trials = std::max<std::size_t>(ctx.trials / 10, 500);
+
+  std::cout << "\n[A] Measured cost vs exact recursion (Monte Carlo):\n";
+  Table a({"h", "n", "p", "measured", "exact_recursion", "agree"});
+  for (std::size_t h : {6u, 9u, 12u}) {
+    const TreeSystem tree(h);
+    const ProbeTree strategy(tree);
+    for (double p : {0.5, 0.3}) {
+      const auto stats = estimate_ppc(tree, strategy, p, options, rng);
+      const double exact = probe_tree_expected(h, p);
+      a.add_row({Table::num(static_cast<long long>(h)),
+                 Table::num(static_cast<long long>(tree.universe_size())),
+                 Table::num(p, 2), Table::num(stats.mean(), 2),
+                 Table::num(exact, 2),
+                 bench::holds(std::abs(stats.mean() - exact) <
+                              std::max(5 * stats.ci95_halfwidth(), 1e-6))});
+    }
+  }
+  a.print(std::cout);
+
+  std::cout << "\n[B] Fitted exponent (exact recursion, heights 16..26) vs "
+               "paper's log2(1+p):\n";
+  Table b({"p", "fitted_exponent", "paper log2(1+p)", "abs_diff"});
+  for (double p : {0.5, 0.4, 0.3, 0.2, 0.1}) {
+    std::vector<double> ns, costs;
+    for (std::size_t h = 16; h <= 26; ++h) {
+      ns.push_back(std::pow(2.0, static_cast<double>(h) + 1.0) - 1.0);
+      costs.push_back(probe_tree_expected(h, p));
+    }
+    const LinearFit fit = fit_power_law(ns, costs);
+    const double paper = tree_ppc_exponent(p);
+    b.add_row({Table::num(p, 2), Table::num(fit.slope, 4),
+               Table::num(paper, 4), Table::num(std::abs(fit.slope - paper), 4)});
+  }
+  b.print(std::cout);
+
+  std::cout << "\n[C] The polynomial gap across p (Section 1.3): exact cost "
+               "at h = 18:\n";
+  Table c({"p", "cost", "n^{log2(1+p)}"});
+  const double n18 = std::pow(2.0, 19.0) - 1.0;
+  for (double p : {0.5, 0.3, 0.1})
+    c.add_row({Table::num(p, 2), Table::num(probe_tree_expected(18, p), 1),
+               Table::num(std::pow(n18, tree_ppc_exponent(p)), 1)});
+  c.print(std::cout);
+  return 0;
+}

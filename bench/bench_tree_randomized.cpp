@@ -1,0 +1,103 @@
+// Table 1, Tree row, randomized worst-case model (Thms 4.7, 4.8):
+//   2(n+1)/3 <= PCR(Tree) <= 5n/6 + 1/6.
+// The lower bound is reproduced exactly with the Yao engine on the
+// two-reds-per-subtree distribution; the upper bound by exhaustive /
+// searched worst-case evaluation of R_Probe_Tree's exact per-coloring
+// expectation.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/algorithms/probe_tree.h"
+#include "core/estimator.h"
+#include "core/exact/yao_bound.h"
+#include "core/expectation.h"
+#include "core/formulas.h"
+#include "quorum/tree_system.h"
+
+int main(int argc, char** argv) {
+  using namespace qps;
+  const auto ctx = bench::parse_context(argc, argv);
+  bench::print_header(
+      "Table 1 / Tree, randomized model",
+      "2(n+1)/3 <= PCR(Tree) <= 5n/6 + 1/6 (Thms 4.8, 4.7)", ctx);
+  Rng rng = ctx.make_rng();
+
+  std::cout << "\n[A] Yao lower bound on the hard distribution (exact):\n";
+  Table a({"h", "n", "yao_exact", "paper 2(n+1)/3", "match"});
+  for (std::size_t h : {1u, 2u, 3u}) {
+    const TreeSystem tree(h);
+    const double yao = yao_bound(tree, tree_hard_distribution(tree));
+    const double paper = tree_randomized_lower_bound(tree.universe_size());
+    a.add_row({Table::num(static_cast<long long>(h)),
+               Table::num(static_cast<long long>(tree.universe_size())),
+               Table::num(yao, 6), Table::num(paper, 6),
+               bench::holds(std::abs(yao - paper) < 1e-9)});
+  }
+  a.print(std::cout);
+
+  std::cout << "\n[B] Worst-case expectation of R_Probe_Tree vs 5n/6 + 1/6\n"
+               "    (exhaustive over colorings for h <= 3; hill-climb "
+               "search above):\n";
+  Table b({"h", "n", "worst_found", "bound 5n/6+1/6", "LB 2(n+1)/3",
+           "within"});
+  for (std::size_t h : {1u, 2u, 3u}) {
+    const TreeSystem tree(h);
+    const std::size_t n = tree.universe_size();
+    double worst = 0;
+    for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask)
+      worst = std::max(worst, r_probe_tree_expectation(
+                                  tree, Coloring(n, ElementSet::from_mask(n, mask))));
+    b.add_row({Table::num(static_cast<long long>(h)),
+               Table::num(static_cast<long long>(n)), Table::num(worst, 4),
+               Table::num(r_probe_tree_bound(n), 4),
+               Table::num(tree_randomized_lower_bound(n), 4),
+               bench::holds(worst <= r_probe_tree_bound(n) + 1e-9)});
+  }
+  // Larger trees: adversarial hill-climb on the exact evaluator.
+  for (std::size_t h : {5u, 7u}) {
+    const TreeSystem tree(h);
+    const std::size_t n = tree.universe_size();
+    // Seed with a hard-distribution sample (upper levels green, leaf
+    // subtrees split), then climb.
+    Rng search_rng = rng.fork();
+    Coloring current = sample_tree_hard_coloring(tree, search_rng);
+    double best = r_probe_tree_expectation(tree, current);
+    const std::size_t rounds = ctx.quick ? 400 : 4000;
+    for (std::size_t round = 0; round < rounds; ++round) {
+      const auto e = static_cast<Element>(search_rng.below(n));
+      const Coloring flipped = current.with(e, opposite(current.color(e)));
+      const double score = r_probe_tree_expectation(tree, flipped);
+      if (score >= best) {
+        best = score;
+        current = flipped;
+      }
+    }
+    b.add_row({Table::num(static_cast<long long>(h)),
+               Table::num(static_cast<long long>(n)), Table::num(best, 4),
+               Table::num(r_probe_tree_bound(n), 4),
+               Table::num(tree_randomized_lower_bound(n), 4),
+               bench::holds(best <= r_probe_tree_bound(n) + 1e-9)});
+  }
+  b.print(std::cout);
+
+  std::cout << "\n[C] Monte-Carlo sanity: R_Probe_Tree measured on a hard "
+               "sample equals the exact evaluator:\n";
+  Table c({"h", "measured", "exact", "agree"});
+  EstimatorOptions options;
+  options.trials = ctx.trials;
+  for (std::size_t h : {2u, 4u}) {
+    const TreeSystem tree(h);
+    Rng sample_rng = rng.fork();
+    const Coloring hard = sample_tree_hard_coloring(tree, sample_rng);
+    const RProbeTree strategy(tree);
+    const auto stats = expected_probes_on(tree, strategy, hard, options, rng);
+    const double exact = r_probe_tree_expectation(tree, hard);
+    c.add_row({Table::num(static_cast<long long>(h)),
+               Table::num(stats.mean(), 3), Table::num(exact, 3),
+               bench::holds(std::abs(stats.mean() - exact) <
+                            std::max(4 * stats.ci95_halfwidth(), 1e-9))});
+  }
+  c.print(std::cout);
+  return 0;
+}

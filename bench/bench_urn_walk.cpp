@@ -1,0 +1,74 @@
+// Math-substrate validation bench (Section 2.4): the urn lemmas (Fact 2.7,
+// Lemmas 2.8, 2.9) and the grid-walk absorption time (Lemma 2.4) -- the
+// closed forms against enumeration and Monte Carlo.
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "math/random_walk.h"
+#include "math/urn.h"
+
+int main(int argc, char** argv) {
+  using namespace qps;
+  const auto ctx = bench::parse_context(argc, argv);
+  bench::print_header(
+      "Technical lemmas (Section 2.4)",
+      "Fact 2.7, Lemma 2.8 (urn draws), Lemma 2.9 (both colors), Lemma 2.4 "
+      "(grid walk)",
+      ctx);
+  Rng rng = ctx.make_rng();
+
+  std::cout << "\n[A] Lemma 2.8: E[draws to j-th red] = j(n+1)/(r+1):\n";
+  Table a({"r", "g", "j", "closed_form", "enumerated", "simulated"});
+  const std::size_t trials = ctx.trials;
+  for (auto [r, g, j] : {std::tuple<std::size_t, std::size_t, std::size_t>{3, 2, 1},
+                         {3, 2, 3},
+                         {5, 4, 5},
+                         {8, 8, 4}}) {
+    const double closed = urn_jth_red_expectation(r, g, j).to_double();
+    const double enumerated =
+        urn_jth_red_expectation_enumerated(r, g, j).to_double();
+    const double simulated = urn_jth_red_simulated(r, g, j, trials, rng);
+    a.add_row({Table::num(static_cast<long long>(r)),
+               Table::num(static_cast<long long>(g)),
+               Table::num(static_cast<long long>(j)), Table::num(closed, 4),
+               Table::num(enumerated, 4), Table::num(simulated, 4)});
+  }
+  a.print(std::cout);
+
+  std::cout << "\n[B] Lemma 2.9: E[draws until both colors] = 1 + r/(g+1) + "
+               "g/(r+1):\n";
+  Table b({"r", "g", "closed_form", "enumerated", "row_bound (n+1)/2+1/n"});
+  for (auto [r, g] : {std::pair<std::size_t, std::size_t>{1, 4},
+                      {2, 2},
+                      {4, 1},
+                      {5, 5}}) {
+    const double n = static_cast<double>(r + g);
+    b.add_row({Table::num(static_cast<long long>(r)),
+               Table::num(static_cast<long long>(g)),
+               Table::num(urn_both_colors_expectation(r, g).to_double(), 4),
+               Table::num(
+                   urn_both_colors_expectation_enumerated(r, g).to_double(), 4),
+               Table::num((n + 1) / 2 + 1 / n, 4)});
+  }
+  b.print(std::cout);
+
+  std::cout << "\n[C] Lemma 2.4: grid-walk absorption time E(T):\n";
+  Table c({"N", "p", "exact_dp", "asymptotic", "simulated", "2N - E (p=1/2)"});
+  for (std::size_t n : {16u, 64u, 256u}) {
+    for (double p : {0.5, 0.3}) {
+      const double exact = grid_walk_expected_time(n, p);
+      const double asym = grid_walk_asymptotic(n, p);
+      const double sim = grid_walk_simulated(n, p, trials / 4 + 1, rng);
+      c.add_row({Table::num(static_cast<long long>(n)), Table::num(p, 1),
+                 Table::num(exact, 3), Table::num(asym, 3),
+                 Table::num(sim, 3),
+                 p == 0.5 ? Table::num(2.0 * static_cast<double>(n) - exact, 3)
+                          : std::string("-")});
+    }
+  }
+  c.print(std::cout);
+  std::cout << "(the last column grows like sqrt(N): the theta(sqrt N) "
+               "deficit of Lemma 2.4)\n";
+  return 0;
+}

@@ -1,0 +1,131 @@
+// probe_explorer: interactive-grade CLI over the exact engines.
+//
+//   $ probe_explorer --system maj --n 5 --p 0.5
+//   $ probe_explorer --system wheel --n 4
+//   $ probe_explorer --system cw --widths 1,2,3
+//   $ probe_explorer --system tree --height 2
+//   $ probe_explorer --system hqs --height 1
+//
+// Prints PC (minimax DP), PPC_p (Bellman DP), and for n <= 5 the exact PCR
+// (game solver) with the adversary's optimal hard distribution -- the
+// Fig. 4 numbers for any small system you like.
+#include <iostream>
+#include <memory>
+#include <sstream>
+
+#include "core/exact/decision_tree.h"
+#include "core/exact/pc_exact.h"
+#include "core/exact/pcr_exact.h"
+#include "core/exact/ppc_exact.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+#include "quorum/wheel.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace {
+
+std::vector<std::size_t> parse_widths(const std::string& spec) {
+  std::vector<std::size_t> widths;
+  std::stringstream ss(spec);
+  std::string part;
+  while (std::getline(ss, part, ',')) widths.push_back(std::stoul(part));
+  return widths;
+}
+
+std::unique_ptr<qps::QuorumSystem> build_system(const qps::Flags& flags) {
+  using namespace qps;
+  const std::string kind = flags.get_string("system", "maj");
+  if (kind == "maj")
+    return std::make_unique<MajoritySystem>(
+        static_cast<std::size_t>(flags.get_int("n", 5)));
+  if (kind == "wheel")
+    return std::make_unique<WheelSystem>(
+        static_cast<std::size_t>(flags.get_int("n", 5)));
+  if (kind == "cw")
+    return std::make_unique<CrumblingWall>(
+        parse_widths(flags.get_string("widths", "1,2,3")));
+  if (kind == "triang")
+    return std::make_unique<CrumblingWall>(CrumblingWall::triang(
+        static_cast<std::size_t>(flags.get_int("k", 3))));
+  if (kind == "tree")
+    return std::make_unique<TreeSystem>(
+        static_cast<std::size_t>(flags.get_int("height", 2)));
+  if (kind == "hqs")
+    return std::make_unique<HQSystem>(
+        static_cast<std::size_t>(flags.get_int("height", 1)));
+  throw std::invalid_argument(
+      "--system must be maj|wheel|cw|triang|tree|hqs, got '" + kind + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qps;
+  try {
+    const Flags flags(argc, argv);
+    const double p = flags.get_double("p", 0.5);
+    const auto system = build_system(flags);
+    const std::size_t n = system->universe_size();
+
+    std::cout << "system: " << system->name() << "  (n=" << n
+              << ", quorum sizes " << system->min_quorum_size() << ".."
+              << system->max_quorum_size() << ")\n";
+    if (n <= 16) {
+      std::cout << "quorums:";
+      for (const auto& q : system->enumerate_quorums())
+        std::cout << ' ' << q.to_string();
+      std::cout << '\n';
+    }
+
+    Table table({"measure", "model", "value"});
+    if (n <= 14) {
+      const std::size_t pc = pc_exact(*system);
+      table.add_row({"PC", "deterministic worst case",
+                     Table::num(static_cast<long long>(pc)) +
+                         (pc == n ? "  (evasive)" : "")});
+      table.add_row({"PPC_" + Table::num(p, 2), "probabilistic (iid)",
+                     Table::num(ppc_exact(*system, p), 6)});
+      table.add_row(
+          {"first probe", "optimal PPC strategy opens with element",
+           Table::num(static_cast<long long>(
+               ppc_optimal_first_probe(*system, p) + 1))});
+    } else {
+      table.add_row({"PC/PPC", "-", "universe too large for exact engines"});
+    }
+    if (n <= 5) {
+      const PcrResult pcr = pcr_exact(*system);
+      table.add_row({"PCR", "randomized worst case",
+                     Table::num(pcr.value, 6) + "  (" +
+                         Table::num(static_cast<long long>(pcr.strategy_count)) +
+                         " distinct strategies)"});
+      table.print(std::cout);
+      std::cout << "\nadversary's optimal input distribution (PCR game):\n";
+      Table hard({"coloring (greens)", "weight"});
+      for (std::size_t mask = 0; mask < pcr.hard_distribution.size(); ++mask)
+        if (pcr.hard_distribution[mask] > 1e-9)
+          hard.add_row({ElementSet::from_mask(n, mask).to_string(),
+                        Table::num(pcr.hard_distribution[mask], 4)});
+      hard.print(std::cout);
+    } else {
+      table.add_row({"PCR", "randomized worst case",
+                     "universe too large for the game solver (n <= 5)"});
+      table.print(std::cout);
+    }
+    if (n <= 7) {
+      // The Fig. 4 artifact: an optimal probe-strategy tree.
+      std::cout << "\noptimal probabilistic probe strategy (Fig. 4 style; "
+                   "1 = green, 0 = red):\n";
+      const auto tree = optimal_ppc_tree(*system, p);
+      std::cout << tree->to_ascii();
+      std::cout << "worst-case depth " << tree->depth()
+                << ", expected probes " << tree->expected_depth(p) << '\n';
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

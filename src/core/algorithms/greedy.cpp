@@ -1,0 +1,61 @@
+#include "core/algorithms/greedy.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace qps {
+
+GreedyCandidateProbe::GreedyCandidateProbe(const QuorumSystem& system)
+    : system_(&system), quorums_(system.enumerate_quorums()) {
+  QPS_REQUIRE(!quorums_.empty(), "system has no quorums");
+}
+
+Witness GreedyCandidateProbe::run(ProbeSession& session, Rng& /*rng*/) const {
+  const std::size_t n = system_->universe_size();
+  // A quorum is a live candidate while none of its elements probed red; it
+  // is a dead candidate (candidate red quorum) while none probed green.
+  std::vector<bool> live(quorums_.size(), true);
+  std::vector<bool> dead(quorums_.size(), true);
+
+  while (true) {
+    // Green certificate: some quorum fully probed green.  Red certificate:
+    // the probed reds form a transversal.
+    for (std::size_t qi = 0; qi < quorums_.size(); ++qi) {
+      if (live[qi] && quorums_[qi].is_subset_of(session.probed_greens()))
+        return {Color::kGreen, quorums_[qi]};
+    }
+    if (std::all_of(quorums_.begin(), quorums_.end(),
+                    [&](const ElementSet& q) {
+                      return q.intersects(session.probed_reds());
+                    }))
+      return {Color::kRed, session.probed_reds()};
+
+    // Probe the unprobed element covering the most still-possible
+    // candidates (live + dead counts), a density heuristic.
+    Element best = static_cast<Element>(n);
+    std::size_t best_score = 0;
+    for (Element e = 0; e < n; ++e) {
+      if (session.was_probed(e)) continue;
+      std::size_t score = 1;  // ensure any unprobed element is eligible
+      for (std::size_t qi = 0; qi < quorums_.size(); ++qi)
+        if ((live[qi] || dead[qi]) && quorums_[qi].contains(e)) ++score;
+      if (score > best_score) {
+        best_score = score;
+        best = e;
+      }
+    }
+    QPS_CHECK(best < n, "no certificate yet but all elements probed");
+
+    const Color c = session.probe(best);
+    for (std::size_t qi = 0; qi < quorums_.size(); ++qi) {
+      if (!quorums_[qi].contains(best)) continue;
+      if (c == Color::kGreen)
+        dead[qi] = false;
+      else
+        live[qi] = false;
+    }
+  }
+}
+
+}  // namespace qps

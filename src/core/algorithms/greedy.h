@@ -1,0 +1,28 @@
+// A generic candidate-counting probe heuristic, in the spirit of the
+// strategies studied empirically by Guerni-Mahoui et al. [4] and
+// Neilson [11]: probe the element that appears in the largest number of
+// still-alive candidate quorums (ties broken by smallest id).  It operates
+// on the enumerated quorum list, so it is restricted to systems whose
+// quorums can be enumerated; it serves as the baseline the paper's
+// structured algorithms are compared against in the benches.
+#pragma once
+
+#include "core/strategy.h"
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class GreedyCandidateProbe final : public ProbeStrategy {
+ public:
+  /// Enumerates the quorums of `system` up front.
+  explicit GreedyCandidateProbe(const QuorumSystem& system);
+
+  std::string name() const override { return "Greedy_Candidate"; }
+  Witness run(ProbeSession& session, Rng& rng) const override;
+
+ private:
+  const QuorumSystem* system_;
+  std::vector<ElementSet> quorums_;
+};
+
+}  // namespace qps

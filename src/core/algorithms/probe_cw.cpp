@@ -1,0 +1,87 @@
+#include "core/algorithms/probe_cw.h"
+
+#include "util/require.h"
+
+namespace qps {
+
+Witness ProbeCW::run(ProbeSession& session, Rng& /*rng*/) const {
+  const CrumblingWall& wall = *wall_;
+  QPS_REQUIRE(wall.row_width(0) == 1, "Probe_CW expects a width-1 top row");
+  const std::size_t n = wall.universe_size();
+
+  // Probe the unique element of the first row; it seeds the witness W and
+  // the mode (W's color).
+  ElementSet witness(n);
+  const Element top = wall.row_begin(0);
+  Color mode = session.probe(top);
+  witness.insert(top);
+
+  for (std::size_t row = 1; row < wall.row_count(); ++row) {
+    bool found = false;
+    for (Element e = wall.row_begin(row); e < wall.row_end(row); ++e) {
+      if (session.probe(e) == mode) {
+        witness.insert(e);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // The whole row is monochromatic in the opposite color: it becomes
+      // the new witness (a full row plus -- so far -- nothing below it).
+      witness.clear();
+      for (Element e = wall.row_begin(row); e < wall.row_end(row); ++e)
+        witness.insert(e);
+      mode = opposite(mode);
+    }
+  }
+  return {mode, witness};
+}
+
+Witness RProbeCW::run(ProbeSession& session, Rng& rng) const {
+  const CrumblingWall& wall = *wall_;
+  const std::size_t n = wall.universe_size();
+  const std::size_t k = wall.row_count();
+
+  // One same-colored representative per scanned row, per color; when a
+  // monochromatic row is found these provide the witness tail below it.
+  std::vector<Element> green_rep(k), red_rep(k);
+  std::vector<bool> has_green(k, false), has_red(k, false);
+
+  for (std::size_t row = k; row-- > 0;) {
+    std::vector<Element> elements;
+    elements.reserve(wall.row_width(row));
+    for (Element e = wall.row_begin(row); e < wall.row_end(row); ++e)
+      elements.push_back(e);
+    rng.shuffle(elements);
+
+    for (Element e : elements) {
+      if (session.probe(e) == Color::kGreen) {
+        has_green[row] = true;
+        green_rep[row] = e;
+      } else {
+        has_red[row] = true;
+        red_rep[row] = e;
+      }
+      if (has_green[row] && has_red[row]) break;
+    }
+
+    if (!(has_green[row] && has_red[row])) {
+      // Monochromatic row: full row + one matching element per row below.
+      const Color mode = has_green[row] ? Color::kGreen : Color::kRed;
+      ElementSet witness(n);
+      for (Element e = wall.row_begin(row); e < wall.row_end(row); ++e)
+        witness.insert(e);
+      for (std::size_t below = row + 1; below < k; ++below) {
+        QPS_CHECK(mode == Color::kGreen ? has_green[below] : has_red[below],
+                  "rows below a monochromatic row must have both colors");
+        witness.insert(mode == Color::kGreen ? green_rep[below]
+                                             : red_rep[below]);
+      }
+      return {mode, witness};
+    }
+  }
+  QPS_CHECK(false, "the width-1 top row is always monochromatic");
+  return {};
+}
+
+}  // namespace qps

@@ -1,0 +1,43 @@
+// Probing algorithms for Crumbling Walls.
+//
+// Probe_CW (Fig. 5, Thm 3.3) scans rows top-down keeping a monochromatic
+// witness W for the wall scanned so far; in each row it looks for one
+// element matching the current mode, and on failure the whole
+// (monochromatic, opposite-colored) row replaces W.  Its expected cost in
+// the probabilistic model is at most 2k - 1 for any p -- independent of n.
+//
+// R_Probe_CW (Section 4.2, Thm 4.4) scans rows bottom-up, probing random
+// elements of each row until both colors are seen or the row is exhausted;
+// a monochromatic row ends the scan.  Worst-case expected cost
+// max_j { n_j + sum_{i>j} ((n_i+1)/2 + 1/n_i) }.
+#pragma once
+
+#include "core/strategy.h"
+#include "quorum/crumbling_wall.h"
+
+namespace qps {
+
+/// Fig. 5's deterministic top-down algorithm.  Within a row, elements are
+/// probed left to right (the order is irrelevant in the i.i.d. model).
+class ProbeCW final : public ProbeStrategy {
+ public:
+  explicit ProbeCW(const CrumblingWall& wall) : wall_(&wall) {}
+  std::string name() const override { return "Probe_CW"; }
+  Witness run(ProbeSession& session, Rng& rng) const override;
+
+ private:
+  const CrumblingWall* wall_;
+};
+
+/// Section 4.2's randomized bottom-up algorithm.
+class RProbeCW final : public ProbeStrategy {
+ public:
+  explicit RProbeCW(const CrumblingWall& wall) : wall_(&wall) {}
+  std::string name() const override { return "R_Probe_CW"; }
+  Witness run(ProbeSession& session, Rng& rng) const override;
+
+ private:
+  const CrumblingWall* wall_;
+};
+
+}  // namespace qps

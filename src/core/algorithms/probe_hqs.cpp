@@ -1,0 +1,166 @@
+#include "core/algorithms/probe_hqs.h"
+
+#include <array>
+#include <vector>
+
+#include "util/require.h"
+
+namespace qps {
+
+namespace {
+
+// Result of evaluating one gate: its boolean value and the supporting
+// leaves (two agreeing child supports per gate).  Supports of sibling
+// subtrees are disjoint, so unions are concatenations.
+struct Eval {
+  bool value = false;
+  std::vector<Element> support;
+};
+
+Eval leaf_eval(Element leaf, ProbeSession& session) {
+  return {session.probe(leaf) == Color::kGreen, {leaf}};
+}
+
+void append(Eval& into, const Eval& from) {
+  into.support.insert(into.support.end(), from.support.begin(),
+                      from.support.end());
+}
+
+/// Merges two agreeing child evaluations into the parent's evaluation.
+Eval merge_pair(Eval a, const Eval& b) {
+  QPS_CHECK(a.value == b.value, "merge_pair needs agreeing children");
+  append(a, b);
+  return a;
+}
+
+/// Given three child evaluations where the first two disagree, the gate
+/// value is the third child's; support = third + the matching sibling.
+Eval merge_tiebreak(const Eval& first, const Eval& second, Eval third) {
+  QPS_CHECK(first.value != second.value, "tiebreak needs a disagreement");
+  append(third, first.value == third.value ? first : second);
+  return third;
+}
+
+Witness materialize(const Eval& eval, std::size_t n) {
+  Witness w;
+  w.color = eval.value ? Color::kGreen : Color::kRed;
+  w.elements = ElementSet(n);
+  for (Element e : eval.support) w.elements.insert(e);
+  return w;
+}
+
+// ---------------------------------------------------------------- Probe_HQS
+
+Eval probe_hqs_rec(std::size_t level, std::size_t index,
+                   ProbeSession& session) {
+  if (level == 0) return leaf_eval(static_cast<Element>(index), session);
+  Eval first = probe_hqs_rec(level - 1, index * 3, session);
+  Eval second = probe_hqs_rec(level - 1, index * 3 + 1, session);
+  if (first.value == second.value)
+    return merge_pair(std::move(first), second);
+  Eval third = probe_hqs_rec(level - 1, index * 3 + 2, session);
+  return merge_tiebreak(first, second, std::move(third));
+}
+
+// -------------------------------------------------------------- R_Probe_HQS
+
+Eval r_probe_hqs_rec(std::size_t level, std::size_t index,
+                     ProbeSession& session, Rng& rng) {
+  if (level == 0) return leaf_eval(static_cast<Element>(index), session);
+  std::array<std::size_t, 3> order = {index * 3, index * 3 + 1, index * 3 + 2};
+  rng.shuffle_array(order);
+  Eval first = r_probe_hqs_rec(level - 1, order[0], session, rng);
+  Eval second = r_probe_hqs_rec(level - 1, order[1], session, rng);
+  if (first.value == second.value)
+    return merge_pair(std::move(first), second);
+  Eval third = r_probe_hqs_rec(level - 1, order[2], session, rng);
+  return merge_tiebreak(first, second, std::move(third));
+}
+
+// ------------------------------------------------------------- IR_Probe_HQS
+
+Eval ir_eval(std::size_t level, std::size_t index, ProbeSession& session,
+             Rng& rng);
+
+/// "Evaluate" a node per the paper: visit its children in a uniformly
+/// random order until the 2-of-3 value is determined, recursing with
+/// IR_Probe_HQS (so a height-(h-1) node issues calls at height h-2).
+Eval eval_node(std::size_t level, std::size_t index, ProbeSession& session,
+               Rng& rng) {
+  if (level == 0) return leaf_eval(static_cast<Element>(index), session);
+  std::array<std::size_t, 3> order = {index * 3, index * 3 + 1, index * 3 + 2};
+  rng.shuffle_array(order);
+  Eval first = ir_eval(level - 1, order[0], session, rng);
+  Eval second = ir_eval(level - 1, order[1], session, rng);
+  if (first.value == second.value)
+    return merge_pair(std::move(first), second);
+  Eval third = ir_eval(level - 1, order[2], session, rng);
+  return merge_tiebreak(first, second, std::move(third));
+}
+
+/// Finishes evaluating a node whose first-visited child `first` is already
+/// known; `rest` holds the other two children in their random visit order.
+Eval complete_node(std::size_t child_level, std::array<std::size_t, 2> rest,
+                   const Eval& first, ProbeSession& session, Rng& rng) {
+  Eval second = ir_eval(child_level, rest[0], session, rng);
+  if (first.value == second.value)
+    return merge_pair(std::move(second), first);
+  Eval third = ir_eval(child_level, rest[1], session, rng);
+  return merge_tiebreak(first, second, std::move(third));
+}
+
+/// Fig. 8.  Heights 0/1 have no grandchildren and fall back to the plain
+/// random evaluation.
+Eval ir_eval(std::size_t level, std::size_t index, ProbeSession& session,
+             Rng& rng) {
+  if (level <= 1) return eval_node(level, index, session, rng);
+
+  std::array<std::size_t, 3> children = {index * 3, index * 3 + 1,
+                                         index * 3 + 2};
+  rng.shuffle_array(children);
+  const std::size_t r1 = children[0];
+  const std::size_t r2 = children[1];
+  const std::size_t r3 = children[2];
+
+  // Step 2: fully evaluate the first child.
+  const Eval v1 = eval_node(level - 1, r1, session, rng);
+
+  // Step 4: peek at one random grandchild of the second child.
+  std::array<std::size_t, 3> grandchildren = {r2 * 3, r2 * 3 + 1, r2 * 3 + 2};
+  rng.shuffle_array(grandchildren);
+  const Eval g1 = ir_eval(level - 2, grandchildren[0], session, rng);
+  const std::array<std::size_t, 2> g_rest = {grandchildren[1],
+                                             grandchildren[2]};
+
+  if (g1.value == v1.value) {
+    // Step 5: the peek supports r1's value; finish r2.
+    const Eval v2 = complete_node(level - 2, g_rest, g1, session, rng);
+    if (v2.value == v1.value) return merge_pair(v2, v1);
+    const Eval v3 = eval_node(level - 1, r3, session, rng);
+    return merge_tiebreak(v1, v2, v3);
+  }
+  // Step 6: the peek contradicts r1; try the third child before finishing r2.
+  const Eval v3 = eval_node(level - 1, r3, session, rng);
+  if (v3.value == v1.value) return merge_pair(v3, v1);
+  const Eval v2 = complete_node(level - 2, g_rest, g1, session, rng);
+  return merge_tiebreak(v1, v3, v2);
+}
+
+}  // namespace
+
+Witness ProbeHQS::run(ProbeSession& session, Rng& /*rng*/) const {
+  return materialize(probe_hqs_rec(hqs_->height(), 0, session),
+                     hqs_->universe_size());
+}
+
+Witness RProbeHQS::run(ProbeSession& session, Rng& rng) const {
+  return materialize(r_probe_hqs_rec(hqs_->height(), 0, session, rng),
+                     hqs_->universe_size());
+}
+
+Witness IRProbeHQS::run(ProbeSession& session, Rng& rng) const {
+  return materialize(ir_eval(hqs_->height(), 0, session, rng),
+                     hqs_->universe_size());
+}
+
+}  // namespace qps

@@ -1,0 +1,45 @@
+#include "core/algorithms/probe_maj.h"
+
+#include "util/require.h"
+
+namespace qps {
+
+namespace {
+
+/// Probes elements in the given order until one color reaches the majority
+/// threshold; the monochromatic majority is the witness (a quorum if green,
+/// a transversal -- in fact a quorum, since Maj is ND -- if red).
+Witness probe_in_order(const MajoritySystem& system,
+                       const std::vector<Element>& order,
+                       ProbeSession& session) {
+  const std::size_t threshold = system.threshold();
+  ElementSet greens(system.universe_size());
+  ElementSet reds(system.universe_size());
+  for (Element e : order) {
+    if (session.probe(e) == Color::kGreen) {
+      greens.insert(e);
+      if (greens.count() >= threshold) return {Color::kGreen, greens};
+    } else {
+      reds.insert(e);
+      if (reds.count() >= threshold) return {Color::kRed, reds};
+    }
+  }
+  QPS_CHECK(false, "one color must reach the majority threshold");
+  return {};
+}
+
+}  // namespace
+
+Witness ProbeMaj::run(ProbeSession& session, Rng& /*rng*/) const {
+  std::vector<Element> order(system_->universe_size());
+  for (Element e = 0; e < order.size(); ++e) order[e] = e;
+  return probe_in_order(*system_, order, session);
+}
+
+Witness RProbeMaj::run(ProbeSession& session, Rng& rng) const {
+  const auto perm = rng.permutation(
+      static_cast<std::uint32_t>(system_->universe_size()));
+  return probe_in_order(*system_, perm, session);
+}
+
+}  // namespace qps

@@ -1,0 +1,40 @@
+// Probing algorithms for the Majority system.
+//
+// Probabilistic model (Prop. 3.2): probe elements in any fixed order until
+// (n+1)/2 elements of one color are seen; all elements are symmetric, so
+// the fixed order is optimal and E[probes] = n - theta(sqrt(n)) at p = 1/2
+// and n/(2q) + o(1) for p < q.
+//
+// Randomized worst-case model (Thm 4.2): R_Probe_Maj probes uniformly at
+// random without replacement; its worst-case expected cost is exactly
+// n - (n-1)/(n+3).
+#pragma once
+
+#include "core/strategy.h"
+#include "quorum/majority.h"
+
+namespace qps {
+
+/// Deterministic sequential prober (optimal in the probabilistic model).
+class ProbeMaj final : public ProbeStrategy {
+ public:
+  explicit ProbeMaj(const MajoritySystem& system) : system_(&system) {}
+  std::string name() const override { return "Probe_Maj"; }
+  Witness run(ProbeSession& session, Rng& rng) const override;
+
+ private:
+  const MajoritySystem* system_;
+};
+
+/// Uniformly random prober (Thm 4.2's optimal randomized algorithm).
+class RProbeMaj final : public ProbeStrategy {
+ public:
+  explicit RProbeMaj(const MajoritySystem& system) : system_(&system) {}
+  std::string name() const override { return "R_Probe_Maj"; }
+  Witness run(ProbeSession& session, Rng& rng) const override;
+
+ private:
+  const MajoritySystem* system_;
+};
+
+}  // namespace qps

@@ -1,0 +1,111 @@
+#include "core/algorithms/probe_tree.h"
+
+#include <vector>
+
+#include "util/require.h"
+
+namespace qps {
+
+namespace {
+
+// Internal witnesses use plain element vectors: supports of disjoint
+// subtrees never overlap, so concatenation is a disjoint union and the
+// final ElementSet is materialized once per run.
+struct TreeWitness {
+  Color color = Color::kRed;
+  std::vector<Element> elems;
+};
+
+Witness materialize(const TreeWitness& tw, std::size_t n) {
+  Witness w;
+  w.color = tw.color;
+  w.elements = ElementSet(n);
+  for (Element e : tw.elems) w.elements.insert(e);
+  return w;
+}
+
+TreeWitness leaf_witness(Element v, Color c) {
+  return {c, std::vector<Element>{v}};
+}
+
+void append(TreeWitness& into, const TreeWitness& from) {
+  into.elems.insert(into.elems.end(), from.elems.begin(), from.elems.end());
+}
+
+/// Combines subtree witnesses with the probed root into a witness for the
+/// whole subtree: {root} + matching subtree quorum, or both subtree quorums.
+TreeWitness combine_with_root(Element root, Color root_color,
+                              TreeWitness first, TreeWitness second) {
+  if (first.color == root_color) {
+    first.elems.push_back(root);
+    return first;
+  }
+  if (second.color == root_color) {
+    second.elems.push_back(root);
+    return second;
+  }
+  QPS_CHECK(first.color == second.color,
+            "subtree witnesses opposing the root must agree");
+  append(first, second);
+  return first;
+}
+
+TreeWitness probe_tree_rec(const TreeSystem& tree, Element v,
+                           ProbeSession& session) {
+  if (tree.is_leaf(v)) return leaf_witness(v, session.probe(v));
+  const Color root_color = session.probe(v);
+  TreeWitness right = probe_tree_rec(tree, TreeSystem::right_child(v), session);
+  if (right.color == root_color) {
+    right.elems.push_back(v);
+    return right;
+  }
+  TreeWitness left = probe_tree_rec(tree, TreeSystem::left_child(v), session);
+  return combine_with_root(v, root_color, std::move(right), std::move(left));
+}
+
+TreeWitness r_probe_tree_rec(const TreeSystem& tree, Element v,
+                             ProbeSession& session, Rng& rng) {
+  if (tree.is_leaf(v)) return leaf_witness(v, session.probe(v));
+  const Element left = TreeSystem::left_child(v);
+  const Element right = TreeSystem::right_child(v);
+  const std::uint64_t plan = rng.below(3);
+  if (plan == 0 || plan == 1) {
+    // Root together with one subtree; the sibling only on a color mismatch.
+    const Element primary = plan == 0 ? right : left;
+    const Element sibling = plan == 0 ? left : right;
+    const Color root_color = session.probe(v);
+    TreeWitness first = r_probe_tree_rec(tree, primary, session, rng);
+    if (first.color == root_color) {
+      first.elems.push_back(v);
+      return first;
+    }
+    TreeWitness second = r_probe_tree_rec(tree, sibling, session, rng);
+    return combine_with_root(v, root_color, std::move(first),
+                             std::move(second));
+  }
+  // Both subtrees first; the root only if their witnesses disagree.
+  TreeWitness wl = r_probe_tree_rec(tree, left, session, rng);
+  TreeWitness wr = r_probe_tree_rec(tree, right, session, rng);
+  if (wl.color == wr.color) {
+    append(wl, wr);
+    return wl;
+  }
+  const Color root_color = session.probe(v);
+  TreeWitness& match = wl.color == root_color ? wl : wr;
+  match.elems.push_back(v);
+  return std::move(match);
+}
+
+}  // namespace
+
+Witness ProbeTree::run(ProbeSession& session, Rng& /*rng*/) const {
+  return materialize(probe_tree_rec(*tree_, TreeSystem::kRoot, session),
+                     tree_->universe_size());
+}
+
+Witness RProbeTree::run(ProbeSession& session, Rng& rng) const {
+  return materialize(r_probe_tree_rec(*tree_, TreeSystem::kRoot, session, rng),
+                     tree_->universe_size());
+}
+
+}  // namespace qps

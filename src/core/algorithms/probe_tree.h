@@ -1,0 +1,39 @@
+// Probing algorithms for the Tree system.
+//
+// Probe_Tree (Section 3.3, Prop. 3.6): probe the root, recursively find a
+// witness for the right subtree, and descend into the left subtree only if
+// the right witness's color differs from the root's.  Expected cost
+// O(n^{log2(1+p)}) in the probabilistic model, O(n^0.585) at p = 1/2.
+//
+// R_Probe_Tree (Section 4.3, Thm 4.7): at every node pick uniformly one of
+// three plans -- {root+right, then left}, {root+left, then right}, or
+// {both subtrees, then root} -- giving worst-case expected cost
+// <= 5n/6 + 1/6 against the deterministic lower bound PC(Tree) = n.
+#pragma once
+
+#include "core/strategy.h"
+#include "quorum/tree_system.h"
+
+namespace qps {
+
+class ProbeTree final : public ProbeStrategy {
+ public:
+  explicit ProbeTree(const TreeSystem& tree) : tree_(&tree) {}
+  std::string name() const override { return "Probe_Tree"; }
+  Witness run(ProbeSession& session, Rng& rng) const override;
+
+ private:
+  const TreeSystem* tree_;
+};
+
+class RProbeTree final : public ProbeStrategy {
+ public:
+  explicit RProbeTree(const TreeSystem& tree) : tree_(&tree) {}
+  std::string name() const override { return "R_Probe_Tree"; }
+  Witness run(ProbeSession& session, Rng& rng) const override;
+
+ private:
+  const TreeSystem* tree_;
+};
+
+}  // namespace qps

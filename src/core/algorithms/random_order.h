@@ -1,0 +1,26 @@
+// RandomOrderProbe: the universal randomized baseline.
+//
+// Probes uniformly random unprobed elements until the observations certify
+// the system state (probed greens contain a quorum, or probed reds form a
+// transversal).  Works on ANY quorum system through the characteristic
+// function alone -- it is the generalization of R_Probe_Maj (for Maj all
+// orders are equivalent, so there it is optimal; on structured systems the
+// specialized algorithms beat it, which bench_baselines quantifies).
+#pragma once
+
+#include "core/strategy.h"
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class RandomOrderProbe final : public ProbeStrategy {
+ public:
+  explicit RandomOrderProbe(const QuorumSystem& system) : system_(&system) {}
+  std::string name() const override { return "Random_Order"; }
+  Witness run(ProbeSession& session, Rng& rng) const override;
+
+ private:
+  const QuorumSystem* system_;
+};
+
+}  // namespace qps

@@ -1,0 +1,201 @@
+#include "core/coloring.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace qps {
+
+std::string to_string(Color c) {
+  return c == Color::kGreen ? "green" : "red";
+}
+
+Coloring::Coloring(std::size_t universe_size) : greens_(universe_size) {}
+
+Coloring::Coloring(std::size_t universe_size, ElementSet greens)
+    : greens_(std::move(greens)) {
+  QPS_REQUIRE(greens_.universe_size() == universe_size,
+              "green set over the wrong universe");
+}
+
+Coloring Coloring::with(Element e, Color c) const {
+  ElementSet greens = greens_;
+  if (c == Color::kGreen)
+    greens.insert(e);
+  else
+    greens.erase(e);
+  return Coloring(universe_size(), std::move(greens));
+}
+
+Coloring sample_iid_coloring(std::size_t universe_size, double p, Rng& rng) {
+  QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
+  ElementSet greens(universe_size);
+  for (Element e = 0; e < universe_size; ++e)
+    if (!rng.bernoulli(p)) greens.insert(e);
+  return Coloring(universe_size, std::move(greens));
+}
+
+ColoringDistribution::ColoringDistribution(std::vector<Coloring> support,
+                                           std::vector<double> weights)
+    : support_(std::move(support)), weights_(std::move(weights)) {
+  QPS_REQUIRE(!support_.empty(), "distribution needs a nonempty support");
+  QPS_REQUIRE(support_.size() == weights_.size(),
+              "support/weight size mismatch");
+  double total = 0.0;
+  for (double w : weights_) {
+    QPS_REQUIRE(w >= 0.0, "weights must be nonnegative");
+    total += w;
+  }
+  QPS_REQUIRE(total > 0.0, "weights must not all be zero");
+  cumulative_.reserve(weights_.size());
+  double acc = 0.0;
+  for (auto& w : weights_) {
+    w /= total;
+    acc += w;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+ColoringDistribution ColoringDistribution::uniform(
+    std::vector<Coloring> support) {
+  const std::vector<double> weights(support.size(), 1.0);
+  return ColoringDistribution(std::move(support), weights);
+}
+
+const Coloring& ColoringDistribution::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it =
+      std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(it - cumulative_.begin()),
+               support_.size() - 1);
+  return support_[idx];
+}
+
+ColoringDistribution maj_hard_distribution(std::size_t universe_size) {
+  QPS_REQUIRE(universe_size % 2 == 1, "Maj needs odd n");
+  QPS_REQUIRE(universe_size <= 25, "hard distribution enumeration too large");
+  const std::size_t reds_wanted = (universe_size + 1) / 2;
+  std::vector<Coloring> support;
+  const std::uint64_t limit = 1ULL << universe_size;
+  // Iterate masks of greens with exactly n - (n+1)/2 greens (Gosper's hack).
+  const std::size_t greens_wanted = universe_size - reds_wanted;
+  if (greens_wanted == 0) {
+    support.emplace_back(universe_size);
+    return ColoringDistribution::uniform(std::move(support));
+  }
+  std::uint64_t mask = (1ULL << greens_wanted) - 1;
+  while (mask < limit) {
+    support.emplace_back(universe_size,
+                         ElementSet::from_mask(universe_size, mask));
+    const std::uint64_t c = mask & -mask;
+    const std::uint64_t r = mask + c;
+    mask = (((r ^ mask) >> 2) / c) | r;
+  }
+  return ColoringDistribution::uniform(std::move(support));
+}
+
+namespace {
+
+void cw_hard_recurse(const CrumblingWall& wall, std::size_t row,
+                     ElementSet& greens, std::vector<Coloring>& out) {
+  if (row == wall.row_count()) {
+    out.emplace_back(wall.universe_size(), greens);
+    return;
+  }
+  for (Element e = wall.row_begin(row); e < wall.row_end(row); ++e) {
+    greens.insert(e);
+    cw_hard_recurse(wall, row + 1, greens, out);
+    greens.erase(e);
+  }
+}
+
+}  // namespace
+
+ColoringDistribution cw_hard_distribution(const CrumblingWall& wall) {
+  double support_size = 1;
+  for (std::size_t r = 0; r < wall.row_count(); ++r)
+    support_size *= static_cast<double>(wall.row_width(r));
+  QPS_REQUIRE(support_size <= 200000.0, "hard distribution support too large");
+  std::vector<Coloring> support;
+  ElementSet greens(wall.universe_size());
+  cw_hard_recurse(wall, 0, greens, support);
+  return ColoringDistribution::uniform(std::move(support));
+}
+
+ColoringDistribution tree_hard_distribution(const TreeSystem& tree) {
+  const std::size_t h = tree.height();
+  QPS_REQUIRE(h >= 1, "the Tree hard distribution needs height >= 1");
+  const std::size_t n = tree.universe_size();
+  // Height-1 subtree roots are the nodes at depth h-1 (heap indices
+  // [2^(h-1) - 1, 2^h - 2]); everything above them is green.
+  const std::size_t first_parent = (std::size_t{1} << (h - 1)) - 1;
+  const std::size_t parent_count = std::size_t{1} << (h - 1);
+  QPS_REQUIRE(parent_count <= 10,
+              "hard distribution support 3^(2^(h-1)) too large");
+  ElementSet upper_greens(n);
+  for (Element v = 0; v < first_parent; ++v) upper_greens.insert(v);
+
+  std::vector<Coloring> support;
+  std::vector<std::size_t> choice(parent_count, 0);
+  while (true) {
+    ElementSet greens = upper_greens;
+    for (std::size_t i = 0; i < parent_count; ++i) {
+      const auto parent = static_cast<Element>(first_parent + i);
+      // choice[i] selects which of {parent, left, right} stays green.
+      const Element members[3] = {parent, TreeSystem::left_child(parent),
+                                  TreeSystem::right_child(parent)};
+      greens.insert(members[choice[i]]);
+    }
+    support.emplace_back(n, std::move(greens));
+    // Advance the mixed-radix counter over per-subtree choices.
+    std::size_t i = 0;
+    while (i < parent_count && ++choice[i] == 3) choice[i++] = 0;
+    if (i == parent_count) break;
+  }
+  return ColoringDistribution::uniform(std::move(support));
+}
+
+Coloring sample_tree_hard_coloring(const TreeSystem& tree, Rng& rng) {
+  const std::size_t h = tree.height();
+  QPS_REQUIRE(h >= 1, "the Tree hard distribution needs height >= 1");
+  const std::size_t n = tree.universe_size();
+  const std::size_t first_parent = (std::size_t{1} << (h - 1)) - 1;
+  const std::size_t parent_count = std::size_t{1} << (h - 1);
+  ElementSet greens(n);
+  for (Element v = 0; v < first_parent; ++v) greens.insert(v);
+  for (std::size_t i = 0; i < parent_count; ++i) {
+    const auto parent = static_cast<Element>(first_parent + i);
+    const Element members[3] = {parent, TreeSystem::left_child(parent),
+                                TreeSystem::right_child(parent)};
+    greens.insert(members[rng.below(3)]);
+  }
+  return Coloring(n, std::move(greens));
+}
+
+namespace {
+
+void hqs_worst_recurse(std::size_t level, std::size_t index, bool value,
+                       ElementSet& greens) {
+  if (level == 0) {
+    if (value) greens.insert(static_cast<Element>(index));
+    return;
+  }
+  // Exactly two children carry the gate's value (the family P of
+  // Lemma 4.11); the minority child recursively gets the complementary
+  // worst-case pattern.
+  hqs_worst_recurse(level - 1, index * 3 + 0, value, greens);
+  hqs_worst_recurse(level - 1, index * 3 + 1, value, greens);
+  hqs_worst_recurse(level - 1, index * 3 + 2, !value, greens);
+}
+
+}  // namespace
+
+Coloring hqs_worst_case_coloring(const HQSystem& hqs, Color root_value) {
+  ElementSet greens(hqs.universe_size());
+  hqs_worst_recurse(hqs.height(), 0, root_value == Color::kGreen, greens);
+  return Coloring(hqs.universe_size(), std::move(greens));
+}
+
+}  // namespace qps

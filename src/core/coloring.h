@@ -1,0 +1,103 @@
+// Colorings of the universe (Section 2.3): every element is either green
+// (live) or red (failed).  Includes the i.i.d. failure model of Section 3
+// and the explicit "hard" input distributions used by the Yao lower bounds
+// of Section 4 (Thms 4.2, 4.6, 4.8) and the IR_Probe_HQS worst-case family
+// P of Lemma 4.11.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "quorum/crumbling_wall.h"
+#include "quorum/hqs.h"
+#include "quorum/tree_system.h"
+#include "util/element_set.h"
+#include "util/rng.h"
+
+namespace qps {
+
+enum class Color : std::uint8_t { kRed = 0, kGreen = 1 };
+
+inline Color opposite(Color c) {
+  return c == Color::kGreen ? Color::kRed : Color::kGreen;
+}
+
+std::string to_string(Color c);
+
+/// An assignment of colors to all n elements.  Immutable value type.
+class Coloring {
+ public:
+  /// All elements red.
+  explicit Coloring(std::size_t universe_size);
+  /// Greens as given, everything else red.
+  Coloring(std::size_t universe_size, ElementSet greens);
+
+  std::size_t universe_size() const { return greens_.universe_size(); }
+  Color color(Element e) const {
+    return greens_.contains(e) ? Color::kGreen : Color::kRed;
+  }
+  const ElementSet& greens() const { return greens_; }
+  ElementSet reds() const { return greens_.complement(); }
+  std::size_t green_count() const { return greens_.count(); }
+  std::size_t red_count() const { return universe_size() - green_count(); }
+
+  Coloring with(Element e, Color c) const;
+
+  bool operator==(const Coloring& other) const = default;
+
+ private:
+  ElementSet greens_;
+};
+
+/// Samples a coloring where each element is red independently with
+/// probability `p` (the probabilistic model of Section 3).
+Coloring sample_iid_coloring(std::size_t universe_size, double p, Rng& rng);
+
+/// A finite distribution over colorings with explicit weights; weights are
+/// normalized on construction.
+class ColoringDistribution {
+ public:
+  ColoringDistribution(std::vector<Coloring> support,
+                       std::vector<double> weights);
+
+  /// Uniform over the given support.
+  static ColoringDistribution uniform(std::vector<Coloring> support);
+
+  std::size_t size() const { return support_.size(); }
+  const Coloring& coloring(std::size_t i) const { return support_[i]; }
+  double weight(std::size_t i) const { return weights_[i]; }
+
+  const Coloring& sample(Rng& rng) const;
+
+ private:
+  std::vector<Coloring> support_;
+  std::vector<double> weights_;
+  std::vector<double> cumulative_;
+};
+
+/// Thm 4.2's hard distribution for Maj on odd n: uniform over all colorings
+/// with exactly (n+1)/2 red elements.
+ColoringDistribution maj_hard_distribution(std::size_t universe_size);
+
+/// Thm 4.6's hard distribution for a crumbling wall: exactly one green
+/// element in each row, uniformly and independently per row.
+ColoringDistribution cw_hard_distribution(const CrumblingWall& wall);
+
+/// Thm 4.8's hard distribution for the Tree system: all internal levels
+/// >= 2 green; in each height-1 subtree exactly two of the three nodes are
+/// red, uniformly and independently per subtree.  The support has size
+/// 3^{(n+1)/4}, so materialization is limited to small trees.
+ColoringDistribution tree_hard_distribution(const TreeSystem& tree);
+
+/// Samples one coloring from tree_hard_distribution without materializing
+/// the (exponentially large) support; works for any height >= 1.
+Coloring sample_tree_hard_coloring(const TreeSystem& tree, Rng& rng);
+
+/// Lemma 4.11's worst-case input family P for the HQS algorithms: at every
+/// gate exactly two of the three children carry the gate's value.  The
+/// returned coloring gives the root value `root_value`, assigning the
+/// minority child the pattern that maximizes the evaluation cost.
+Coloring hqs_worst_case_coloring(const HQSystem& hqs, Color root_value);
+
+}  // namespace qps

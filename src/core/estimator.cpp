@@ -1,0 +1,79 @@
+#include "core/estimator.h"
+
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace qps {
+
+namespace {
+
+double one_run(const QuorumSystem& system, const ProbeStrategy& strategy,
+               const Coloring& coloring, bool validate, Rng& rng) {
+  ProbeSession session(coloring);
+  const Witness witness = strategy.run(session, rng);
+  if (validate) {
+    const std::string error =
+        validate_witness(system, coloring, witness, session.probed());
+    if (!error.empty())
+      throw std::logic_error(strategy.name() + " returned a bad witness: " +
+                             error);
+  }
+  return static_cast<double>(session.probe_count());
+}
+
+}  // namespace
+
+RunningStats estimate_ppc(const QuorumSystem& system,
+                          const ProbeStrategy& strategy, double p,
+                          const EstimatorOptions& options, Rng& rng) {
+  QPS_REQUIRE(options.trials > 0, "need at least one trial");
+  RunningStats stats;
+  for (std::size_t t = 0; t < options.trials; ++t) {
+    const Coloring coloring =
+        sample_iid_coloring(system.universe_size(), p, rng);
+    stats.add(one_run(system, strategy, coloring,
+                      options.validate_witnesses, rng));
+  }
+  return stats;
+}
+
+RunningStats expected_probes_on(const QuorumSystem& system,
+                                const ProbeStrategy& strategy,
+                                const Coloring& coloring,
+                                const EstimatorOptions& options, Rng& rng) {
+  QPS_REQUIRE(options.trials > 0, "need at least one trial");
+  RunningStats stats;
+  for (std::size_t t = 0; t < options.trials; ++t)
+    stats.add(one_run(system, strategy, coloring,
+                      options.validate_witnesses, rng));
+  return stats;
+}
+
+WorstCaseResult worst_case_search(const QuorumSystem& system,
+                                  const ProbeStrategy& strategy,
+                                  std::optional<Coloring> seed_coloring,
+                                  std::size_t rounds,
+                                  std::size_t trials_per_eval, Rng& rng) {
+  const std::size_t n = system.universe_size();
+  Coloring current = seed_coloring.value_or(Coloring(n));
+  EstimatorOptions options;
+  options.trials = trials_per_eval;
+
+  double current_score =
+      expected_probes_on(system, strategy, current, options, rng).mean();
+  for (std::size_t round = 0; round < rounds; ++round) {
+    const auto e = static_cast<Element>(rng.below(n));
+    const Coloring flipped =
+        current.with(e, opposite(current.color(e)));
+    const double flipped_score =
+        expected_probes_on(system, strategy, flipped, options, rng).mean();
+    if (flipped_score >= current_score) {
+      current = flipped;
+      current_score = flipped_score;
+    }
+  }
+  return {current, current_score};
+}
+
+}  // namespace qps

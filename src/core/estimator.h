@@ -1,0 +1,58 @@
+// Monte-Carlo measurement harness.
+//
+// Three measurement modes, matching the paper's three models:
+//  * estimate_ppc: expected probes under i.i.d. element failures
+//    (the probabilistic model of Section 3);
+//  * expected_probes_on: expected probes of a (randomized) strategy on one
+//    fixed coloring (the inner expectation of the randomized model);
+//  * worst_case_search: hill-climbing adversary over colorings, maximizing
+//    the estimated expected probes -- an empirical lower bound on the
+//    worst-case expectation sup_c E[probes] of Section 4.
+// Every run can optionally validate the returned witness against the
+// ground truth coloring; validation failures throw.
+#pragma once
+
+#include <optional>
+
+#include "core/coloring.h"
+#include "core/strategy.h"
+#include "quorum/quorum_system.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace qps {
+
+struct EstimatorOptions {
+  std::size_t trials = 1000;
+  bool validate_witnesses = false;
+};
+
+/// Expected probes of `strategy` when every element fails i.i.d. with
+/// probability `p`.
+RunningStats estimate_ppc(const QuorumSystem& system,
+                          const ProbeStrategy& strategy, double p,
+                          const EstimatorOptions& options, Rng& rng);
+
+/// Expected probes of `strategy` on the fixed `coloring` (expectation over
+/// the strategy's internal randomness).
+RunningStats expected_probes_on(const QuorumSystem& system,
+                                const ProbeStrategy& strategy,
+                                const Coloring& coloring,
+                                const EstimatorOptions& options, Rng& rng);
+
+struct WorstCaseResult {
+  Coloring coloring;
+  double expected_probes = 0.0;
+};
+
+/// Hill-climbing search for a coloring maximizing the estimated expected
+/// probes of `strategy`.  Starts from `seed_coloring` (or all-red when
+/// absent), repeatedly accepting single-element flips that do not decrease
+/// the estimate.  `trials_per_eval` controls the inner Monte-Carlo size.
+WorstCaseResult worst_case_search(const QuorumSystem& system,
+                                  const ProbeStrategy& strategy,
+                                  std::optional<Coloring> seed_coloring,
+                                  std::size_t rounds,
+                                  std::size_t trials_per_eval, Rng& rng);
+
+}  // namespace qps

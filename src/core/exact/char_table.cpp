@@ -1,0 +1,18 @@
+#include "core/exact/char_table.h"
+
+#include "util/require.h"
+
+namespace qps {
+
+CharTable::CharTable(const QuorumSystem& system)
+    : n_(system.universe_size()),
+      full_(n_ == 64 ? ~0ULL : (1ULL << n_) - 1) {
+  QPS_REQUIRE(n_ <= 22, "characteristic table limited to n <= 22");
+  const std::uint64_t limit = 1ULL << n_;
+  table_.resize(limit);
+  for (std::uint64_t mask = 0; mask < limit; ++mask)
+    table_[mask] =
+        system.contains_quorum(ElementSet::from_mask(n_, mask)) ? 1 : 0;
+}
+
+}  // namespace qps

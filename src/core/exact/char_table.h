@@ -1,0 +1,37 @@
+// Precomputed truth table of the characteristic function f_S over all 2^n
+// green-sets, shared by the exact engines.  Certificate checks become O(1):
+//   green certificate:  f[greens]                      (a quorum is green)
+//   red certificate:    !f[greens | unprobed]          (reds are a transversal)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class CharTable {
+ public:
+  /// Evaluates f_S on every subset; requires n <= 22.
+  explicit CharTable(const QuorumSystem& system);
+
+  std::size_t universe_size() const { return n_; }
+  std::uint64_t full_mask() const { return full_; }
+
+  bool contains_quorum(std::uint64_t greens) const { return table_[greens]; }
+
+  /// True iff the partial knowledge (probed, greens) already certifies the
+  /// system state: the probed greens contain a quorum, or the probed reds
+  /// form a transversal (no quorum avoids them).
+  bool is_terminal(std::uint64_t probed, std::uint64_t greens) const {
+    return table_[greens] || !table_[greens | (full_ & ~probed)];
+  }
+
+ private:
+  std::size_t n_;
+  std::uint64_t full_;
+  std::vector<std::uint8_t> table_;
+};
+
+}  // namespace qps

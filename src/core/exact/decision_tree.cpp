@@ -1,0 +1,135 @@
+#include "core/exact/decision_tree.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/exact/char_table.h"
+#include "util/require.h"
+
+namespace qps {
+
+std::size_t DecisionTree::depth() const {
+  if (is_leaf()) return 0;
+  return 1 + std::max(on_green->depth(), on_red->depth());
+}
+
+double DecisionTree::expected_depth(double p) const {
+  if (is_leaf()) return 0.0;
+  return 1.0 + (1.0 - p) * on_green->expected_depth(p) +
+         p * on_red->expected_depth(p);
+}
+
+std::pair<Color, std::size_t> DecisionTree::evaluate(
+    const Coloring& coloring) const {
+  const DecisionTree* node = this;
+  std::size_t probes = 0;
+  while (!node->is_leaf()) {
+    ++probes;
+    node = coloring.color(node->probe) == Color::kGreen
+               ? node->on_green.get()
+               : node->on_red.get();
+  }
+  return {*node->verdict, probes};
+}
+
+namespace {
+
+void render(const DecisionTree& node, const std::string& prefix,
+            const std::string& edge, std::ostream& os) {
+  os << prefix << edge;
+  if (node.is_leaf()) {
+    os << (*node.verdict == Color::kGreen ? "[+] green witness"
+                                          : "[-] red witness")
+       << '\n';
+    return;
+  }
+  os << "probe x" << (node.probe + 1) << '\n';
+  const std::string child_prefix = prefix + (edge.empty() ? "" : "    ");
+  render(*node.on_green, child_prefix, "1-> ", os);
+  render(*node.on_red, child_prefix, "0-> ", os);
+}
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const QuorumSystem& system, double p)
+      : table_(system), n_(system.universe_size()), p_(p), q_(1.0 - p) {}
+
+  std::unique_ptr<DecisionTree> build(std::uint64_t probed,
+                                      std::uint64_t greens) {
+    auto node = std::make_unique<DecisionTree>();
+    if (table_.contains_quorum(greens)) {
+      node->verdict = Color::kGreen;
+      return node;
+    }
+    if (!table_.contains_quorum(greens | (table_.full_mask() & ~probed))) {
+      node->verdict = Color::kRed;
+      return node;
+    }
+    node->probe = static_cast<Element>(best_probe(probed, greens));
+    const std::uint64_t bit = 1ULL << node->probe;
+    node->on_green = build(probed | bit, greens | bit);
+    node->on_red = build(probed | bit, greens);
+    return node;
+  }
+
+ private:
+  double value(std::uint64_t probed, std::uint64_t greens) {
+    if (table_.is_terminal(probed, greens)) return 0.0;
+    const std::uint64_t key = (probed << n_) | greens;
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    double best = static_cast<double>(n_) + 1.0;
+    for (std::size_t e = 0; e < n_; ++e) {
+      const std::uint64_t bit = 1ULL << e;
+      if (probed & bit) continue;
+      const double candidate = 1.0 + q_ * value(probed | bit, greens | bit) +
+                               p_ * value(probed | bit, greens);
+      if (candidate < best) best = candidate;
+    }
+    memo_.emplace(key, best);
+    return best;
+  }
+
+  std::size_t best_probe(std::uint64_t probed, std::uint64_t greens) {
+    double best = static_cast<double>(n_) + 2.0;
+    std::size_t arg = n_;
+    for (std::size_t e = 0; e < n_; ++e) {
+      const std::uint64_t bit = 1ULL << e;
+      if (probed & bit) continue;
+      const double candidate = 1.0 + q_ * value(probed | bit, greens | bit) +
+                               p_ * value(probed | bit, greens);
+      if (candidate < best) {
+        best = candidate;
+        arg = e;
+      }
+    }
+    QPS_CHECK(arg < n_, "no probe available in a non-terminal state");
+    return arg;
+  }
+
+  CharTable table_;
+  std::size_t n_;
+  double p_;
+  double q_;
+  std::unordered_map<std::uint64_t, double> memo_;
+};
+
+}  // namespace
+
+std::string DecisionTree::to_ascii() const {
+  std::ostringstream os;
+  render(*this, "", "", os);
+  return os.str();
+}
+
+std::unique_ptr<DecisionTree> optimal_ppc_tree(const QuorumSystem& system,
+                                               double p) {
+  QPS_REQUIRE(system.universe_size() <= 14,
+              "decision-tree extraction limited to n <= 14");
+  QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
+  TreeBuilder builder(system, p);
+  return builder.build(0, 0);
+}
+
+}  // namespace qps

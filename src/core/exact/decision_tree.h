@@ -1,0 +1,48 @@
+// Explicit probe-strategy trees (Section 2.3, Fig. 4).
+//
+// The exact PPC engine's optimal policy, materialized as the binary
+// decision tree of Fig. 4: every internal node is labeled with the element
+// to probe, edges with the outcome, leaves with the witness color.  Used
+// to reproduce the Fig. 4 artifact and to sanity-check the DP (the tree's
+// worst-case depth and expected depth must match pc/ppc values).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/coloring.h"
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+struct DecisionTree {
+  /// Element probed at this node (meaningless for verdict leaves).
+  Element probe = 0;
+  /// Set on leaves: the witness color announced.
+  std::optional<Color> verdict;
+  std::unique_ptr<DecisionTree> on_green;
+  std::unique_ptr<DecisionTree> on_red;
+
+  bool is_leaf() const { return verdict.has_value(); }
+
+  /// Number of probes on the longest root-to-leaf path.
+  std::size_t depth() const;
+
+  /// Expected probes when each element is red with probability p.
+  double expected_depth(double p) const;
+
+  /// Runs the tree on a coloring; returns (witness color, probes used).
+  std::pair<Color, std::size_t> evaluate(const Coloring& coloring) const;
+
+  /// Multi-line ASCII rendering (elements printed 1-based as in Fig. 4).
+  std::string to_ascii() const;
+};
+
+/// Materializes an optimal probabilistic-model strategy for `system` at
+/// failure probability `p` (the argmin policy of the Bellman DP).
+/// Requires universe_size() <= 14.
+std::unique_ptr<DecisionTree> optimal_ppc_tree(const QuorumSystem& system,
+                                               double p);
+
+}  // namespace qps

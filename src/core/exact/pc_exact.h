@@ -1,0 +1,20 @@
+// Exact deterministic worst-case probe complexity PC(S) (Section 2.3).
+//
+// PC(S) is the value of the two-player game of [PW02]: the player picks the
+// next element to probe, the adversary picks its color, and the game ends
+// when the probed colors certify the system state.  The minimax value is
+// computed by memoized search over knowledge states (probed set + observed
+// greens).  Lemma 2.2 (Maj, Wheel, CW and Tree are evasive, PC = n) is
+// verified with this engine in the tests.
+#pragma once
+
+#include <cstddef>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+/// Exact PC(S); requires universe_size() <= 14 (3^n knowledge states).
+std::size_t pc_exact(const QuorumSystem& system);
+
+}  // namespace qps

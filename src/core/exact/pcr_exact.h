@@ -1,0 +1,30 @@
+// Exact randomized probe complexity PCR(S) for tiny systems.
+//
+// PCR(S) is the value of the zero-sum game between a prober mixing over
+// deterministic probe strategies and an adversary mixing over colorings
+// (Section 2.3).  For tiny universes the full strategy space is enumerated
+// as decision trees over knowledge states (deduplicated by their cost
+// vectors) and the matrix game is solved with the simplex solver.  This
+// reproduces the worked example PCR(Maj3) = 8/3 of Fig. 4.
+#pragma once
+
+#include <vector>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+struct PcrResult {
+  /// The game value PCR(S).
+  double value = 0.0;
+  /// Number of distinct (cost-vector) deterministic strategies.
+  std::size_t strategy_count = 0;
+  /// The adversary's optimal distribution over colorings (indexed by the
+  /// green-set bitmask).
+  std::vector<double> hard_distribution;
+};
+
+/// Exact PCR(S); requires universe_size() <= 5 and a modest strategy count.
+PcrResult pcr_exact(const QuorumSystem& system);
+
+}  // namespace qps

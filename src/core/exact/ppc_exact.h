@@ -1,0 +1,26 @@
+// Exact probabilistic probe complexity PPC_p(S) (Section 2.3).
+//
+// PPC_p(S) is the minimum over adaptive strategies of the expected number
+// of probes when every element is red independently with probability p.
+// The optimal strategy satisfies the Bellman recursion
+//   V(state) = 0                       if the state holds a certificate,
+//   V(state) = min_e 1 + q V(state + e:green) + p V(state + e:red)
+// over knowledge states, solved here by memoized search.  At p = 1/2 all
+// values are dyadic rationals representable exactly in double, so the
+// worked example PPC(Maj3) = 5/2 and the Thm 3.9 value (5/2)^h for HQS are
+// reproduced bit-exactly.
+#pragma once
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+/// Exact PPC_p(S); requires universe_size() <= 14.
+double ppc_exact(const QuorumSystem& system, double p);
+
+/// The greedy first probe of an optimal strategy (smallest element
+/// achieving the Bellman minimum at the root) -- exposed for inspection in
+/// the probe_explorer example.
+std::size_t ppc_optimal_first_probe(const QuorumSystem& system, double p);
+
+}  // namespace qps

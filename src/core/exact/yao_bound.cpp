@@ -1,0 +1,89 @@
+#include "core/exact/yao_bound.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/exact/char_table.h"
+#include "util/require.h"
+
+namespace qps {
+
+namespace {
+
+class YaoSolver {
+ public:
+  YaoSolver(const QuorumSystem& system,
+            const ColoringDistribution& distribution)
+      : table_(system), n_(system.universe_size()) {
+    for (std::size_t i = 0; i < distribution.size(); ++i) {
+      support_.push_back(distribution.coloring(i).greens().to_mask());
+      weight_.push_back(distribution.weight(i));
+    }
+  }
+
+  double solve() {
+    std::vector<std::uint32_t> all(support_.size());
+    for (std::uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+    return value(0, 0, all);
+  }
+
+ private:
+  double value(std::uint64_t probed, std::uint64_t greens,
+               const std::vector<std::uint32_t>& consistent) {
+    if (table_.is_terminal(probed, greens)) return 0.0;
+    QPS_CHECK(!consistent.empty(),
+              "reached a knowledge state outside the support");
+    const std::uint64_t key = (probed << n_) | greens;
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    double total_weight = 0.0;
+    for (auto i : consistent) total_weight += weight_[i];
+
+    double best = static_cast<double>(n_) + 1.0;
+    std::vector<std::uint32_t> green_side, red_side;
+    for (std::size_t e = 0; e < n_; ++e) {
+      const std::uint64_t bit = 1ULL << e;
+      if (probed & bit) continue;
+      green_side.clear();
+      red_side.clear();
+      double green_weight = 0.0;
+      for (auto i : consistent) {
+        if (support_[i] & bit) {
+          green_side.push_back(i);
+          green_weight += weight_[i];
+        } else {
+          red_side.push_back(i);
+        }
+      }
+      double candidate = 1.0;
+      if (!green_side.empty())
+        candidate += green_weight / total_weight *
+                     value(probed | bit, greens | bit, green_side);
+      if (!red_side.empty())
+        candidate += (total_weight - green_weight) / total_weight *
+                     value(probed | bit, greens, red_side);
+      if (candidate < best) best = candidate;
+    }
+    memo_.emplace(key, best);
+    return best;
+  }
+
+  CharTable table_;
+  std::size_t n_;
+  std::vector<std::uint64_t> support_;
+  std::vector<double> weight_;
+  std::unordered_map<std::uint64_t, double> memo_;
+};
+
+}  // namespace
+
+double yao_bound(const QuorumSystem& system,
+                 const ColoringDistribution& distribution) {
+  QPS_REQUIRE(system.universe_size() <= 20,
+              "Yao bound engine limited to n <= 20");
+  YaoSolver solver(system, distribution);
+  return solver.solve();
+}
+
+}  // namespace qps

@@ -1,0 +1,24 @@
+// Yao lower bounds (Section 4): the expected cost of the best deterministic
+// algorithm against an explicit input distribution lower-bounds the
+// randomized probe complexity PCR(S).
+//
+// Given a finite distribution over colorings, the optimal deterministic
+// adaptive strategy satisfies
+//   V(state) = min_e 1 + P[e green | state] V(+green) + P[e red | state] V(+red)
+// with conditioning on the colorings consistent with the knowledge state.
+// Computed by memoized search; with the paper's hard distributions this
+// reproduces the exact values of Thm 4.2 (n - (n-1)/(n+3) for Maj),
+// Thm 4.6 ((n+k)/2 for walls) and Thm 4.8 (2(n+1)/3 for Tree).
+#pragma once
+
+#include "core/coloring.h"
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+/// Expected probes of the best deterministic strategy against
+/// `distribution`; requires universe_size() <= 20.
+double yao_bound(const QuorumSystem& system,
+                 const ColoringDistribution& distribution);
+
+}  // namespace qps

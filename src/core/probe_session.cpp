@@ -1,0 +1,35 @@
+#include "core/probe_session.h"
+
+#include "util/require.h"
+
+namespace qps {
+
+ProbeSession::ProbeSession(const Coloring& coloring)
+    : oracle_([&coloring](Element e) { return coloring.color(e); }),
+      probed_(coloring.universe_size()),
+      probed_greens_(coloring.universe_size()),
+      probed_reds_(coloring.universe_size()) {}
+
+ProbeSession::ProbeSession(std::size_t universe_size,
+                           std::function<Color(Element)> oracle)
+    : oracle_(std::move(oracle)),
+      probed_(universe_size),
+      probed_greens_(universe_size),
+      probed_reds_(universe_size) {
+  QPS_REQUIRE(oracle_ != nullptr, "probe oracle must be callable");
+}
+
+Color ProbeSession::probe(Element e) {
+  if (probed_.contains(e))
+    return probed_greens_.contains(e) ? Color::kGreen : Color::kRed;
+  const Color c = oracle_(e);
+  probed_.insert(e);
+  ++probe_count_;
+  if (c == Color::kGreen)
+    probed_greens_.insert(e);
+  else
+    probed_reds_.insert(e);
+  return c;
+}
+
+}  // namespace qps

@@ -1,0 +1,51 @@
+// ProbeSession: the oracle a probe strategy interacts with.
+//
+// Probing an element reveals its color (Section 2.3).  The session counts
+// distinct probed elements -- re-probing a known element is free, since an
+// adaptive algorithm retains everything it has seen -- and records the
+// probed set so witnesses can be validated against it.
+//
+// A session is backed either by a ground-truth Coloring (the combinatorial
+// model used for all complexity measurements) or by an arbitrary oracle
+// callback (used by the sim/ substrate, where a probe is an RPC to a
+// possibly-crashed simulated processor).
+#pragma once
+
+#include <functional>
+
+#include "core/coloring.h"
+#include "util/element_set.h"
+
+namespace qps {
+
+class ProbeSession {
+ public:
+  /// Probes answered from a fixed coloring.
+  explicit ProbeSession(const Coloring& coloring);
+
+  /// Probes answered by `oracle` (e.g. a simulated network probe).  The
+  /// oracle is consulted once per distinct element; results are cached.
+  ProbeSession(std::size_t universe_size,
+               std::function<Color(Element)> oracle);
+
+  /// Reveals the color of `e`, counting it on first probe only.
+  Color probe(Element e);
+
+  bool was_probed(Element e) const { return probed_.contains(e); }
+  std::size_t probe_count() const { return probe_count_; }
+  const ElementSet& probed() const { return probed_; }
+  std::size_t universe_size() const { return probed_.universe_size(); }
+
+  /// The set of probed elements that turned out green (resp. red).
+  const ElementSet& probed_greens() const { return probed_greens_; }
+  const ElementSet& probed_reds() const { return probed_reds_; }
+
+ private:
+  std::function<Color(Element)> oracle_;
+  ElementSet probed_;
+  ElementSet probed_greens_;
+  ElementSet probed_reds_;
+  std::size_t probe_count_ = 0;
+};
+
+}  // namespace qps

@@ -1,0 +1,31 @@
+// ProbeStrategy: the interface every probing algorithm implements.
+//
+// A strategy adaptively probes elements through a ProbeSession until it can
+// return a witness.  Deterministic strategies (Section 3) ignore the Rng;
+// randomized strategies (Section 4) draw all their randomness from it, so a
+// run is reproducible from the coloring and the generator seed.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/probe_session.h"
+#include "core/witness.h"
+#include "util/rng.h"
+
+namespace qps {
+
+class ProbeStrategy {
+ public:
+  virtual ~ProbeStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Probes until a witness is found; `session.probe_count()` afterwards is
+  /// the cost of the run.
+  virtual Witness run(ProbeSession& session, Rng& rng) const = 0;
+};
+
+using ProbeStrategyPtr = std::unique_ptr<const ProbeStrategy>;
+
+}  // namespace qps

@@ -1,0 +1,31 @@
+#include "core/witness.h"
+
+namespace qps {
+
+std::string Witness::to_string() const {
+  return qps::to_string(color) + " " + elements.to_string();
+}
+
+std::string validate_witness(const QuorumSystem& system,
+                             const Coloring& coloring, const Witness& witness,
+                             const ElementSet& probed) {
+  if (witness.elements.universe_size() != system.universe_size())
+    return "witness over the wrong universe";
+  if (witness.elements.empty()) return "witness is empty";
+  if (!witness.elements.is_subset_of(probed))
+    return "witness contains unprobed elements";
+  for (Element e : witness.elements.to_vector())
+    if (coloring.color(e) != witness.color)
+      return "witness element " + std::to_string(e + 1) +
+             " is not " + qps::to_string(witness.color);
+  if (witness.color == Color::kGreen) {
+    if (!system.contains_quorum(witness.elements))
+      return "green witness does not contain a quorum";
+  } else {
+    if (!system.is_transversal(witness.elements))
+      return "red witness is not a transversal";
+  }
+  return {};
+}
+
+}  // namespace qps

@@ -1,0 +1,33 @@
+// Witnesses (Section 2.3): the output of a probe algorithm.  A green
+// witness is a live quorum; a red witness is a transversal of failed
+// elements, certifying that no live quorum exists.  For ND coteries
+// (Lemma 2.1) the red witness is itself a (dead) quorum, so both cases are
+// monochromatic quorums.
+#pragma once
+
+#include <string>
+
+#include "core/coloring.h"
+#include "quorum/quorum_system.h"
+#include "util/element_set.h"
+
+namespace qps {
+
+struct Witness {
+  Color color = Color::kRed;
+  /// The monochromatic certificate set.
+  ElementSet elements;
+
+  std::string to_string() const;
+};
+
+/// Validates a witness against the ground-truth coloring:
+///  * every witness element was probed (subset of `probed`),
+///  * every witness element really has the witness color,
+///  * green witnesses contain a quorum; red witnesses are transversals.
+/// Returns an empty string when valid, else a description of the violation.
+std::string validate_witness(const QuorumSystem& system,
+                             const Coloring& coloring, const Witness& witness,
+                             const ElementSet& probed);
+
+}  // namespace qps

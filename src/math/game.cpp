@@ -1,0 +1,153 @@
+#include "math/game.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace qps {
+
+namespace {
+constexpr double kEps = 1e-11;
+}
+
+double simplex_maximize(const std::vector<std::vector<double>>& a,
+                        const std::vector<double>& b,
+                        const std::vector<double>& c,
+                        std::vector<double>& solution,
+                        std::vector<double>* duals,
+                        std::size_t* pivot_count) {
+  const std::size_t m = a.size();      // constraints
+  const std::size_t n = c.size();      // structural variables
+  QPS_REQUIRE(b.size() == m, "b size mismatch");
+  for (const auto& row : a)
+    QPS_REQUIRE(row.size() == n, "A row width mismatch");
+  for (double bi : b)
+    QPS_REQUIRE(bi >= 0.0, "simplex_maximize needs b >= 0 (slack basis)");
+
+  // Tableau: m rows of [A | I | b], objective row [-c | 0 | 0].
+  const std::size_t cols = n + m + 1;
+  std::vector<std::vector<double>> t(m + 1, std::vector<double>(cols, 0.0));
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) t[i][j] = a[i][j];
+    t[i][n + i] = 1.0;
+    t[i][cols - 1] = b[i];
+  }
+  for (std::size_t j = 0; j < n; ++j) t[m][j] = -c[j];
+
+  std::vector<std::size_t> basis(m);
+  for (std::size_t i = 0; i < m; ++i) basis[i] = n + i;
+
+  std::size_t pivots = 0;
+  const std::size_t max_pivots = 2000 * (m + n) + 10000;
+  while (true) {
+    // Entering variable: most negative reduced cost (Dantzig), with Bland's
+    // rule after many pivots to guarantee termination.
+    std::size_t enter = cols;  // sentinel
+    if (pivots < max_pivots / 2) {
+      double best = -kEps;
+      for (std::size_t j = 0; j + 1 < cols; ++j)
+        if (t[m][j] < best) {
+          best = t[m][j];
+          enter = j;
+        }
+    } else {
+      for (std::size_t j = 0; j + 1 < cols; ++j)
+        if (t[m][j] < -kEps) {
+          enter = j;
+          break;
+        }
+    }
+    if (enter == cols) break;  // optimal
+
+    // Leaving variable: minimum ratio test.
+    std::size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < m; ++i) {
+      if (t[i][enter] > kEps) {
+        const double ratio = t[i][cols - 1] / t[i][enter];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && (leave == m || basis[i] < basis[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+    }
+    if (leave == m) throw std::runtime_error("LP is unbounded");
+
+    // Pivot on (leave, enter).
+    const double pivot = t[leave][enter];
+    for (auto& cell : t[leave]) cell /= pivot;
+    for (std::size_t i = 0; i <= m; ++i) {
+      if (i == leave) continue;
+      const double factor = t[i][enter];
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t j = 0; j < cols; ++j) t[i][j] -= factor * t[leave][j];
+    }
+    basis[leave] = enter;
+    if (++pivots > max_pivots)
+      throw std::runtime_error("simplex exceeded the pivot budget");
+  }
+
+  solution.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i)
+    if (basis[i] < n) solution[basis[i]] = t[i][cols - 1];
+  if (duals != nullptr) {
+    duals->assign(m, 0.0);
+    // Reduced costs of the slack columns give the dual values.
+    for (std::size_t i = 0; i < m; ++i) (*duals)[i] = t[m][n + i];
+  }
+  if (pivot_count != nullptr) *pivot_count = pivots;
+  return t[m][cols - 1];
+}
+
+GameSolution solve_zero_sum_game(
+    const std::vector<std::vector<double>>& cost) {
+  const std::size_t rows = cost.size();
+  QPS_REQUIRE(rows > 0, "game needs at least one row");
+  const std::size_t colsn = cost[0].size();
+  QPS_REQUIRE(colsn > 0, "game needs at least one column");
+  for (const auto& r : cost)
+    QPS_REQUIRE(r.size() == colsn, "game matrix must be rectangular");
+
+  // Shift all payoffs positive so the game value is positive and the
+  // classical LP reduction applies; undo the shift at the end.
+  double lo = cost[0][0];
+  for (const auto& r : cost)
+    for (double v : r) lo = std::min(lo, v);
+  const double shift = lo <= 0.0 ? 1.0 - lo : 0.0;
+
+  // Column player (minimizer) LP:  maximize sum(w)  s.t.  M w <= 1, w >= 0
+  // where M[i][j] = cost[i][j] + shift.  Then value = 1/sum(w), and the
+  // column strategy is w * value.  Duals give the row strategy.
+  std::vector<std::vector<double>> m(rows, std::vector<double>(colsn));
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < colsn; ++j) m[i][j] = cost[i][j] + shift;
+  const std::vector<double> b(rows, 1.0);
+  const std::vector<double> c(colsn, 1.0);
+
+  GameSolution sol;
+  std::vector<double> w;
+  std::vector<double> duals;
+  const double objective = simplex_maximize(m, b, c, w, &duals, &sol.pivots);
+  QPS_CHECK(objective > 0.0, "shifted game must have positive value");
+  const double value = 1.0 / objective;
+
+  sol.value = value - shift;
+  sol.column_strategy.resize(colsn);
+  for (std::size_t j = 0; j < colsn; ++j) sol.column_strategy[j] = w[j] * value;
+  sol.row_strategy.resize(rows);
+  double row_total = 0.0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    sol.row_strategy[i] = duals[i] * value;
+    row_total += sol.row_strategy[i];
+  }
+  // Normalize away numerical residue.
+  if (row_total > 0)
+    for (auto& p : sol.row_strategy) p /= row_total;
+  return sol;
+}
+
+}  // namespace qps

@@ -1,0 +1,44 @@
+// Zero-sum matrix games, solved exactly (to numerical tolerance) with a
+// dense primal simplex.
+//
+// The randomized probe complexity PCR(S) is the value of a zero-sum game:
+// the prober mixes over deterministic probe strategies (columns, minimizing
+// expected probes) while the adversary mixes over colorings (rows,
+// maximizing).  For tiny systems the strategy space can be enumerated and
+// the game solved outright -- this is how the worked example
+// PCR(Maj3) = 8/3 of Section 2.3 / Fig. 4 is reproduced.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qps {
+
+struct GameSolution {
+  /// Game value: expected cost under optimal play by both sides.
+  double value = 0.0;
+  /// Maximizer's (row player's) optimal mixed strategy.
+  std::vector<double> row_strategy;
+  /// Minimizer's (column player's) optimal mixed strategy.
+  std::vector<double> column_strategy;
+  /// Number of simplex pivots performed (diagnostic).
+  std::size_t pivots = 0;
+};
+
+/// Solves the game with payoff matrix `cost` (row player receives
+/// cost[i][j]; row player maximizes, column player minimizes).
+/// The matrix must be rectangular and nonempty.
+GameSolution solve_zero_sum_game(const std::vector<std::vector<double>>& cost);
+
+/// General-purpose primal simplex for:  maximize c.w  s.t.  A w <= b, w >= 0
+/// with all b >= 0 (so the slack basis is feasible).  Returns the optimal
+/// objective; `solution` receives the optimal w.  Throws std::runtime_error
+/// if the LP is unbounded.
+double simplex_maximize(const std::vector<std::vector<double>>& a,
+                        const std::vector<double>& b,
+                        const std::vector<double>& c,
+                        std::vector<double>& solution,
+                        std::vector<double>* duals = nullptr,
+                        std::size_t* pivot_count = nullptr);
+
+}  // namespace qps

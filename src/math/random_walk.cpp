@@ -1,0 +1,54 @@
+#include "math/random_walk.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/require.h"
+
+namespace qps {
+
+double grid_walk_expected_time(std::size_t n, double p) {
+  QPS_REQUIRE(n >= 1, "grid size must be positive");
+  QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
+  const double q = 1.0 - p;
+  // E[x][y] = expected remaining steps from (x, y); absorbing at x==n, y==n.
+  // Sweep anti-diagonals from the boundary inward; a rolling 2-D table is
+  // fine at the N used here (<= a few thousand).
+  std::vector<std::vector<double>> e(n + 1, std::vector<double>(n + 1, 0.0));
+  for (std::size_t x = n; x-- > 0;)
+    for (std::size_t y = n; y-- > 0;)
+      e[x][y] = 1.0 + p * e[x + 1][y] + q * e[x][y + 1];
+  return e[0][0];
+}
+
+double grid_walk_asymptotic(std::size_t n, double p) {
+  QPS_REQUIRE(n >= 1, "grid size must be positive");
+  const double q = 1.0 - p;
+  const auto nd = static_cast<double>(n);
+  if (p == q) {
+    // E|S_t| for a +-1 walk is sqrt(2t/pi); at absorption t ~ 2N, giving
+    // E(T) = 2N - sqrt(4N/pi) up to lower-order terms.
+    return 2.0 * nd - std::sqrt(4.0 * nd / 3.141592653589793);
+  }
+  return nd / std::max(p, q);
+}
+
+double grid_walk_simulated(std::size_t n, double p, std::size_t trials,
+                           Rng& rng) {
+  QPS_REQUIRE(trials > 0, "need at least one trial");
+  double total = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::size_t x = 0, y = 0, steps = 0;
+    while (x < n && y < n) {
+      if (rng.bernoulli(p))
+        ++x;
+      else
+        ++y;
+      ++steps;
+    }
+    total += static_cast<double>(steps);
+  }
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace qps

@@ -1,0 +1,31 @@
+// Lemma 2.4: absorption time of a directed random walk on an N x N grid.
+//
+// A walk starts at (0,0); each step moves right with probability p and up
+// with probability q = 1-p, and stops on reaching x = N or y = N.  The
+// expected stopping time is
+//     E(T) = 2N - theta(sqrt(N))   for p = q = 1/2,
+//     E(T) = N/q + o(1)            for p < q.
+// This models a probe sequence that ends once either N greens (right steps)
+// or N reds (up steps) have been collected -- exactly the situation of the
+// Majority lower bound (Lemma 3.1 / Proposition 3.2).
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace qps {
+
+/// Exact E(T) by dynamic programming over the grid (O(N^2) time/memory).
+double grid_walk_expected_time(std::size_t n, double p);
+
+/// The paper's asymptotic expression for E(T): 2N - c*sqrt(N) at p = 1/2
+/// (with the random-walk constant c = sqrt(2/pi) * sqrt(2) from the
+/// one-dimensional |S_t| expectation), N/q for p < q, N/p for p > q.
+double grid_walk_asymptotic(std::size_t n, double p);
+
+/// Monte-Carlo estimate of E(T).
+double grid_walk_simulated(std::size_t n, double p, std::size_t trials,
+                           Rng& rng);
+
+}  // namespace qps

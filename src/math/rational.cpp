@@ -1,0 +1,113 @@
+#include "math/rational.h"
+
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace qps {
+
+namespace {
+
+std::int64_t checked_narrow(__int128 v) {
+  if (v > INT64_MAX || v < INT64_MIN)
+    throw std::overflow_error("Rational arithmetic overflowed 64 bits");
+  return static_cast<std::int64_t>(v);
+}
+
+__int128 gcd128(__int128 a, __int128 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const __int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  QPS_REQUIRE(den != 0, "Rational denominator must be nonzero");
+  reduce();
+}
+
+void Rational::reduce() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  const std::int64_t g = std::gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = -num_;
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& other) {
+  const __int128 n = static_cast<__int128>(num_) * other.den_ +
+                     static_cast<__int128>(other.num_) * den_;
+  const __int128 d = static_cast<__int128>(den_) * other.den_;
+  const __int128 g = gcd128(n, d);
+  num_ = checked_narrow(g == 0 ? n : n / g);
+  den_ = checked_narrow(g == 0 ? d : d / g);
+  reduce();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& other) { return *this += -other; }
+
+Rational& Rational::operator*=(const Rational& other) {
+  const __int128 n = static_cast<__int128>(num_) * other.num_;
+  const __int128 d = static_cast<__int128>(den_) * other.den_;
+  const __int128 g = gcd128(n, d);
+  num_ = checked_narrow(g == 0 ? n : n / g);
+  den_ = checked_narrow(g == 0 ? d : d / g);
+  reduce();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& other) {
+  QPS_REQUIRE(other.num_ != 0, "division by zero Rational");
+  Rational inv;
+  inv.num_ = other.den_;
+  inv.den_ = other.num_;
+  if (inv.den_ < 0) {
+    inv.num_ = -inv.num_;
+    inv.den_ = -inv.den_;
+  }
+  return *this *= inv;
+}
+
+std::strong_ordering Rational::operator<=>(const Rational& other) const {
+  const __int128 lhs = static_cast<__int128>(num_) * other.den_;
+  const __int128 rhs = static_cast<__int128>(other.num_) * den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace qps

@@ -1,0 +1,56 @@
+// Exact rational arithmetic on 64-bit numerator/denominator.
+//
+// The exact probe-complexity engines report values such as 5/2, 8/3 and
+// 189.5/27 exactly; doubles would force sloppy tolerances in the tests that
+// pin those numbers.  Intermediate products are computed in 128 bits and
+// reduced eagerly; overflow of the reduced result throws std::overflow_error
+// rather than wrapping.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace qps {
+
+class Rational {
+ public:
+  /// Zero.
+  Rational() = default;
+  /// Integer value.
+  Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT: implicit by design
+  /// num/den, reduced; den must be nonzero.
+  Rational(std::int64_t num, std::int64_t den);
+
+  std::int64_t numerator() const { return num_; }
+  std::int64_t denominator() const { return den_; }
+
+  double to_double() const;
+  /// "8/3" or "5" when integral.
+  std::string to_string() const;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& other);
+  Rational& operator-=(const Rational& other);
+  Rational& operator*=(const Rational& other);
+  Rational& operator/=(const Rational& other);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  bool operator==(const Rational& other) const = default;
+  /// Exact comparison via 128-bit cross multiplication.
+  std::strong_ordering operator<=>(const Rational& other) const;
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+
+  void reduce();
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace qps

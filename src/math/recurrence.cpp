@@ -1,0 +1,43 @@
+#include "math/recurrence.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace qps {
+
+std::vector<double> solve_linear_recurrence(
+    double f0, std::size_t h, const std::function<double(std::size_t)>& a,
+    const std::function<double(std::size_t)>& b) {
+  std::vector<double> f(h + 1);
+  f[0] = f0;
+  for (std::size_t i = 1; i <= h; ++i) f[i] = b(i) + a(i) * f[i - 1];
+  return f;
+}
+
+double linear_recurrence_closed_form(double f0, double a, double b,
+                                     std::size_t h) {
+  const auto hd = static_cast<double>(h);
+  if (a == 1.0) return f0 + b * hd;
+  const double ah = std::pow(a, hd);
+  return f0 * ah + b * (ah - 1.0) / (a - 1.0);
+}
+
+double damped_product(double a, double b, double c, std::size_t h) {
+  double result = 1.0;
+  double bi = 1.0;
+  for (std::size_t i = 1; i <= h; ++i) {
+    bi *= b;
+    result *= a + c * bi;
+  }
+  return result;
+}
+
+double damped_product_bound(double a, double b, double c, std::size_t h) {
+  QPS_REQUIRE(b > 0.0 && b < 1.0, "Lemma 2.5 needs 0 < b < 1");
+  QPS_REQUIRE(a > 0.0, "Lemma 2.5 needs a > 0");
+  const double big_b = 1.0 / (1.0 - b);
+  return std::exp(big_b * c / a) * std::pow(a, static_cast<double>(h));
+}
+
+}  // namespace qps

@@ -1,0 +1,31 @@
+// Fact 2.6 and Lemma 2.5: the linear-recurrence and product tools used by
+// the Tree and HQS analyses.
+//
+// Fact 2.6: f(h) = b_h + a_h * f(h-1) solves to
+//   f(h) = f(0) * prod a_i + sum_i b_i * prod_{j>i} a_j .
+// Lemma 2.5: prod_{i=1..h} (a + c b^i) <= e^{Bc/a} * a^h with B = 1/(1-b).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace qps {
+
+/// Iterates f(h) = b(h) + a(h) * f(h-1) from f(0) = f0; returns f(0..h).
+std::vector<double> solve_linear_recurrence(
+    double f0, std::size_t h, const std::function<double(std::size_t)>& a,
+    const std::function<double(std::size_t)>& b);
+
+/// Closed form of Fact 2.6 for constant coefficients:
+/// f(h) = f0 * a^h + b * (a^h - 1) / (a - 1)   (or f0 + b*h when a == 1).
+double linear_recurrence_closed_form(double f0, double a, double b,
+                                     std::size_t h);
+
+/// The exact product prod_{i=1..h} (a + c * b^i).
+double damped_product(double a, double b, double c, std::size_t h);
+
+/// Lemma 2.5's upper bound e^{Bc/a} * a^h, B = 1/(1-b).  Requires 0 < b < 1.
+double damped_product_bound(double a, double b, double c, std::size_t h);
+
+}  // namespace qps

@@ -1,0 +1,106 @@
+#include "math/urn.h"
+
+#include <map>
+#include <vector>
+
+#include "util/require.h"
+
+namespace qps {
+
+Rational urn_first_red_expectation(std::size_t reds, std::size_t greens) {
+  QPS_REQUIRE(reds >= 1, "need at least one red ball");
+  const auto r = static_cast<std::int64_t>(reds);
+  const auto g = static_cast<std::int64_t>(greens);
+  return Rational(r + g + 1, r + 1);
+}
+
+Rational urn_jth_red_expectation(std::size_t reds, std::size_t greens,
+                                 std::size_t j) {
+  QPS_REQUIRE(j >= 1 && j <= reds, "need 1 <= j <= r");
+  const auto r = static_cast<std::int64_t>(reds);
+  const auto n = static_cast<std::int64_t>(reds + greens);
+  return Rational(static_cast<std::int64_t>(j) * (n + 1), r + 1);
+}
+
+Rational urn_both_colors_expectation(std::size_t reds, std::size_t greens) {
+  QPS_REQUIRE(reds >= 1 && greens >= 1, "need both colors present");
+  const auto r = static_cast<std::int64_t>(reds);
+  const auto g = static_cast<std::int64_t>(greens);
+  return Rational(1) + Rational(r, g + 1) + Rational(g, r + 1);
+}
+
+namespace {
+
+// E[extra draws] from a state with `r` reds and `g` greens left, needing
+// `need` more reds.  Memoized on (r, g, need).
+Rational jth_red_dp(std::size_t r, std::size_t g, std::size_t need,
+                    std::map<std::tuple<std::size_t, std::size_t, std::size_t>,
+                             Rational>& memo) {
+  if (need == 0) return Rational(0);
+  QPS_CHECK(r >= need, "urn cannot supply the remaining reds");
+  const auto key = std::make_tuple(r, g, need);
+  const auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  const auto total = static_cast<std::int64_t>(r + g);
+  Rational value(1);  // this draw
+  const Rational p_red(static_cast<std::int64_t>(r), total);
+  const Rational p_green(static_cast<std::int64_t>(g), total);
+  if (r > 0 && need > 0)
+    value += p_red * jth_red_dp(r - 1, g, need - 1, memo);
+  if (g > 0)
+    value += p_green * jth_red_dp(r, g - 1, need, memo);
+  memo.emplace(key, value);
+  return value;
+}
+
+}  // namespace
+
+Rational urn_jth_red_expectation_enumerated(std::size_t reds,
+                                            std::size_t greens,
+                                            std::size_t j) {
+  QPS_REQUIRE(j >= 1 && j <= reds, "need 1 <= j <= r");
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>, Rational> memo;
+  return jth_red_dp(reds, greens, j, memo);
+}
+
+Rational urn_both_colors_expectation_enumerated(std::size_t reds,
+                                                std::size_t greens) {
+  QPS_REQUIRE(reds >= 1 && greens >= 1, "need both colors present");
+  // First draw is red with probability r/(r+g); afterwards we wait for the
+  // first ball of the opposite color, which is the Fact 2.7 situation with
+  // the roles of the colors fixed by the first draw.
+  const auto r = static_cast<std::int64_t>(reds);
+  const auto g = static_cast<std::int64_t>(greens);
+  std::map<std::tuple<std::size_t, std::size_t, std::size_t>, Rational> memo;
+  // After drawing one red: wait for first green among (r-1) reds, g greens.
+  const Rational wait_green =
+      jth_red_dp(greens, reds - 1, 1, memo);  // colors swapped: green as "red"
+  memo.clear();
+  const Rational wait_red = jth_red_dp(reds, greens - 1, 1, memo);
+  const Rational p_red_first(r, r + g);
+  const Rational p_green_first(g, r + g);
+  return Rational(1) + p_red_first * wait_green + p_green_first * wait_red;
+}
+
+double urn_jth_red_simulated(std::size_t reds, std::size_t greens,
+                             std::size_t j, std::size_t trials, Rng& rng) {
+  QPS_REQUIRE(j >= 1 && j <= reds, "need 1 <= j <= r");
+  QPS_REQUIRE(trials > 0, "need at least one trial");
+  const std::size_t n = reds + greens;
+  std::vector<std::uint8_t> balls(n, 0);
+  double total = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (std::size_t i = 0; i < n; ++i) balls[i] = i < reds ? 1 : 0;
+    rng.shuffle(balls);
+    std::size_t seen = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (balls[i] == 1 && ++seen == j) {
+        total += static_cast<double>(i + 1);
+        break;
+      }
+    }
+  }
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace qps

@@ -1,0 +1,44 @@
+// Urn-model expectations (Section 2.4 of the paper).
+//
+// An urn holds r red and g green balls; balls are drawn uniformly without
+// replacement.  The paper's randomized analyses reduce to three facts:
+//   Fact 2.7   E[draws until the first red]            = (r+g+1)/(r+1)
+//   Lemma 2.8  E[draws until the j-th red]             = j(n+1)/(r+1), n=r+g
+//   Lemma 2.9  E[draws until both colors are seen]     = 1 + r/(g+1) + g/(r+1)
+// Each is provided in closed form (exact Rational) and as an independent
+// brute-force enumeration over all draw orders (used by the tests to verify
+// the closed forms, and by benches to cross-check Monte Carlo).
+#pragma once
+
+#include <cstddef>
+
+#include "math/rational.h"
+#include "util/rng.h"
+
+namespace qps {
+
+/// Fact 2.7: expected draws until the first red ball.  Requires r >= 1.
+Rational urn_first_red_expectation(std::size_t reds, std::size_t greens);
+
+/// Lemma 2.8: expected draws until the j-th red ball.  Requires 1 <= j <= r.
+Rational urn_jth_red_expectation(std::size_t reds, std::size_t greens,
+                                 std::size_t j);
+
+/// Lemma 2.9: expected draws until both colors have been seen.
+/// Requires r >= 1 and g >= 1.
+Rational urn_both_colors_expectation(std::size_t reds, std::size_t greens);
+
+/// Exact expectation of draws until the j-th red, computed by dynamic
+/// programming over urn states (no use of the closed form).
+Rational urn_jth_red_expectation_enumerated(std::size_t reds,
+                                            std::size_t greens, std::size_t j);
+
+/// Exact expectation of draws until both colors seen, by state enumeration.
+Rational urn_both_colors_expectation_enumerated(std::size_t reds,
+                                                std::size_t greens);
+
+/// Monte-Carlo estimate of draws until the j-th red (for sanity benches).
+double urn_jth_red_simulated(std::size_t reds, std::size_t greens,
+                             std::size_t j, std::size_t trials, Rng& rng);
+
+}  // namespace qps

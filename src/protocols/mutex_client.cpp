@@ -1,0 +1,170 @@
+#include "protocols/mutex_client.h"
+
+#include "protocols/quorum_select.h"
+#include "sim/messages.h"
+#include "util/require.h"
+
+namespace qps::protocols {
+
+MutexClient::MutexClient(sim::Network& network, sim::NodeId id,
+                         const QuorumSystem& system,
+                         const ProbeStrategy& strategy, Rng rng,
+                         Options options)
+    : sim::Node(id),
+      network_(&network),
+      system_(&system),
+      strategy_(&strategy),
+      rng_(rng),
+      options_(options),
+      view_greens_(system.universe_size()),
+      grants_(system.universe_size()) {
+  QPS_REQUIRE(options.max_attempts >= 1, "need at least one attempt");
+}
+
+void MutexClient::acquire(std::function<void(bool)> on_done) {
+  QPS_REQUIRE(state_ == State::kIdle, "acquisition already in progress");
+  QPS_REQUIRE(on_done != nullptr, "completion callback must be callable");
+  on_done_ = std::move(on_done);
+  attempt_ = 0;
+  start_attempt();
+}
+
+void MutexClient::start_attempt() {
+  if (attempt_ >= options_.max_attempts) {
+    finish(false);
+    return;
+  }
+  ++attempt_;
+  state_ = State::kPinging;
+  const std::int64_t generation = ++generation_;
+  view_greens_.clear();
+
+  sim::Message ping;
+  ping.from = id();
+  ping.type = sim::kPing;
+  ping.a = generation;
+  for (sim::NodeId server = 0; server < system_->universe_size(); ++server) {
+    ping.to = server;
+    network_->send(ping);
+  }
+  network_->simulator().schedule(options_.ping_timeout, [this, generation]() {
+    if (generation_ != generation || state_ != State::kPinging) return;
+    begin_locking();
+  });
+}
+
+void MutexClient::begin_locking() {
+  const Coloring view(system_->universe_size(), view_greens_);
+  const auto quorum = select_live_quorum(*system_, *strategy_, view, rng_);
+  if (!quorum.has_value()) {
+    // No live quorum visible; the system may be unavailable or the view
+    // stale -- back off and retry.
+    fail_attempt();
+    return;
+  }
+  state_ = State::kLocking;
+  quorum_ = quorum;
+  grants_.clear();
+  const std::int64_t generation = ++generation_;
+
+  sim::Message lock;
+  lock.from = id();
+  lock.type = sim::kLockReq;
+  lock.a = generation;
+  for (Element member : quorum_->to_vector()) {
+    lock.to = static_cast<sim::NodeId>(member);
+    network_->send(lock);
+  }
+  network_->simulator().schedule(options_.lock_timeout, [this, generation]() {
+    if (generation_ != generation || state_ != State::kLocking) return;
+    fail_attempt();  // at least one member timed out
+  });
+}
+
+void MutexClient::fail_attempt() {
+  // Release whatever was granted so other clients can make progress, then
+  // retry after a randomized backoff.
+  if (quorum_.has_value()) {
+    sim::Message unlock;
+    unlock.from = id();
+    unlock.type = sim::kUnlock;
+    unlock.a = generation_;
+    for (Element member : grants_.to_vector()) {
+      unlock.to = static_cast<sim::NodeId>(member);
+      network_->send(unlock);
+    }
+  }
+  quorum_.reset();
+  grants_.clear();
+  state_ = State::kIdle;
+  const double backoff =
+      rng_.uniform_real(options_.backoff_base, 2.0 * options_.backoff_base);
+  const std::int64_t generation = ++generation_;
+  network_->simulator().schedule(backoff, [this, generation]() {
+    if (generation_ != generation || state_ != State::kIdle) return;
+    if (on_done_ != nullptr) start_attempt();
+  });
+}
+
+void MutexClient::finish(bool success) {
+  state_ = success ? State::kHeld : State::kIdle;
+  QPS_CHECK(on_done_ != nullptr, "finish without a pending acquisition");
+  auto done = std::move(on_done_);
+  on_done_ = nullptr;
+  done(success);
+}
+
+void MutexClient::release() {
+  if (state_ != State::kHeld) return;
+  QPS_CHECK(quorum_.has_value(), "held lock without a quorum");
+  sim::Message unlock;
+  unlock.from = id();
+  unlock.type = sim::kUnlock;
+  unlock.a = generation_;
+  for (Element member : quorum_->to_vector()) {
+    unlock.to = static_cast<sim::NodeId>(member);
+    network_->send(unlock);
+  }
+  quorum_.reset();
+  grants_.clear();
+  state_ = State::kIdle;
+  ++generation_;
+}
+
+void MutexClient::on_message(const sim::Message& message,
+                             sim::Network& /*network*/) {
+  switch (message.type) {
+    case sim::kPong:
+      if (state_ == State::kPinging && message.a == generation_)
+        view_greens_.insert(static_cast<Element>(message.from));
+      return;
+
+    case sim::kLockGrant: {
+      if (state_ == State::kLocking && message.a == generation_) {
+        grants_.insert(static_cast<Element>(message.from));
+        if (grants_ == *quorum_) finish(true);
+        return;
+      }
+      // A grant from an abandoned attempt: release it under its own
+      // request id.  The id match on the server makes this safe even if a
+      // newer grant to us is in flight (the stale unlock cannot release it).
+      sim::Message unlock;
+      unlock.from = id();
+      unlock.to = message.from;
+      unlock.type = sim::kUnlock;
+      unlock.a = message.a;
+      network_->send(unlock);
+      return;
+    }
+
+    case sim::kLockDeny:
+      if (state_ != State::kLocking || message.a != generation_) return;
+      fail_attempt();
+      return;
+
+    default:
+      return;
+  }
+}
+
+}  // namespace qps::protocols

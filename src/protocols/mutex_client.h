@@ -1,0 +1,80 @@
+// Quorum-based mutual exclusion (the motivating application of the paper's
+// introduction; Thomas/Maekawa-style permission gathering).
+//
+// The client is an event-driven state machine:
+//   1. PING all servers and wait one timeout to refresh the liveness view;
+//   2. select a quorum of live servers with a probe strategy
+//      (see quorum_select.h);
+//   3. send LOCK_REQ to every quorum member and wait for replies;
+//      all GRANTs -> the lock is held (safety follows from quorum
+//      intersection: any two quorums share a member, and a member grants
+//      exclusively); any DENY or timeout -> release the collected grants
+//      and retry after a randomized backoff;
+//   4. release() sends UNLOCK to the locked quorum.
+// Liveness under contention is probabilistic (randomized backoff), which
+// the tests exercise; safety is unconditional and is asserted by the
+// tests' interval-overlap checker.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/strategy.h"
+#include "quorum/quorum_system.h"
+#include "sim/network.h"
+
+namespace qps::protocols {
+
+class MutexClient final : public sim::Node {
+ public:
+  struct Options {
+    double ping_timeout = 5.0;
+    double lock_timeout = 5.0;
+    double backoff_base = 2.0;    // randomized in [base, 2*base)
+    std::size_t max_attempts = 32;
+  };
+
+  /// The client probes/locks servers [0, system.universe_size()).
+  MutexClient(sim::Network& network, sim::NodeId id,
+              const QuorumSystem& system, const ProbeStrategy& strategy,
+              Rng rng, Options options);
+
+  /// Starts an acquisition; `on_done(true)` fires when the lock is held,
+  /// `on_done(false)` when all attempts are exhausted or no live quorum is
+  /// visible.  One outstanding acquisition at a time.
+  void acquire(std::function<void(bool)> on_done);
+
+  /// Releases a held lock (no-op otherwise).
+  void release();
+
+  bool holds_lock() const { return state_ == State::kHeld; }
+  std::size_t attempts_used() const { return attempt_; }
+  const std::optional<ElementSet>& locked_quorum() const { return quorum_; }
+
+  void on_message(const sim::Message& message, sim::Network& network) override;
+
+ private:
+  enum class State { kIdle, kPinging, kLocking, kHeld };
+
+  void start_attempt();
+  void begin_locking();
+  void fail_attempt();
+  void finish(bool success);
+
+  sim::Network* network_;
+  const QuorumSystem* system_;
+  const ProbeStrategy* strategy_;
+  Rng rng_;
+  Options options_;
+
+  State state_ = State::kIdle;
+  std::function<void(bool)> on_done_;
+  std::size_t attempt_ = 0;
+  std::int64_t generation_ = 0;  // invalidates stale timeouts/replies
+
+  ElementSet view_greens_{0};
+  std::optional<ElementSet> quorum_;
+  ElementSet grants_{0};
+};
+
+}  // namespace qps::protocols

@@ -1,0 +1,16 @@
+#include "protocols/quorum_cache.h"
+
+namespace qps::protocols {
+
+std::optional<ElementSet> CachedQuorumSelector::select(const Coloring& view,
+                                                       Rng& rng) {
+  if (cached_.has_value() && cached_->is_subset_of(view.greens())) {
+    ++hits_;
+    return cached_;
+  }
+  ++misses_;
+  cached_ = select_live_quorum(*system_, *strategy_, view, rng);
+  return cached_;
+}
+
+}  // namespace qps::protocols

@@ -1,0 +1,44 @@
+// CachedQuorumSelector: quorum selection with last-known-good caching.
+//
+// Re-running a probe strategy on every operation costs Theta(PPC) view
+// lookups; in steady state the previous quorum is almost always still
+// live, and verifying it costs only |Q| lookups.  This selector checks the
+// cached quorum against the current view first and falls back to the full
+// strategy on a miss -- the practical optimization on top of the paper's
+// probe-efficient discovery, quantified in bench_baselines.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "protocols/quorum_select.h"
+
+namespace qps::protocols {
+
+class CachedQuorumSelector {
+ public:
+  CachedQuorumSelector(const QuorumSystem& system,
+                       const ProbeStrategy& strategy)
+      : system_(&system), strategy_(&strategy) {}
+
+  /// Returns a quorum that is green in `view`, reusing the cached one when
+  /// all its members are still green; nullopt when no live quorum exists
+  /// (the cache is invalidated in that case).
+  std::optional<ElementSet> select(const Coloring& view, Rng& rng);
+
+  /// Drops the cached quorum (e.g. after a member was observed failing).
+  void invalidate() { cached_.reset(); }
+
+  std::size_t cache_hits() const { return hits_; }
+  std::size_t cache_misses() const { return misses_; }
+  const std::optional<ElementSet>& cached() const { return cached_; }
+
+ private:
+  const QuorumSystem* system_;
+  const ProbeStrategy* strategy_;
+  std::optional<ElementSet> cached_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace qps::protocols

@@ -1,0 +1,21 @@
+#include "protocols/quorum_select.h"
+
+#include "core/probe_session.h"
+#include "util/require.h"
+
+namespace qps::protocols {
+
+std::optional<ElementSet> select_live_quorum(const QuorumSystem& system,
+                                             const ProbeStrategy& strategy,
+                                             const Coloring& view, Rng& rng) {
+  ProbeSession session(view);
+  const Witness witness = strategy.run(session, rng);
+  if (witness.color != Color::kGreen) return std::nullopt;
+  QPS_CHECK(system.contains_quorum(witness.elements),
+            "strategy returned a green witness that is not a quorum");
+  QPS_CHECK(witness.elements.is_subset_of(view.greens()),
+            "strategy returned dead members in a green witness");
+  return witness.elements;
+}
+
+}  // namespace qps::protocols

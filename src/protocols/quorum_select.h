@@ -1,0 +1,27 @@
+// Quorum selection from a local liveness view.
+//
+// The protocol clients maintain a view of which servers look alive (from
+// ping responses) and must pick a quorum of live servers to contact.  That
+// is exactly the paper's witness-finding problem with the view as the
+// coloring: running a probe strategy over the view returns either a green
+// quorum (use it) or a red transversal (no live quorum in view -- the
+// operation cannot proceed).  Probe-efficient strategies keep the number
+// of view lookups -- and, when views are fetched lazily, the number of
+// pings -- small.
+#pragma once
+
+#include <optional>
+
+#include "core/coloring.h"
+#include "core/strategy.h"
+#include "quorum/quorum_system.h"
+
+namespace qps::protocols {
+
+/// Runs `strategy` against `view` (green = believed alive).  Returns the
+/// green quorum, or nullopt when the view admits no live quorum.
+std::optional<ElementSet> select_live_quorum(const QuorumSystem& system,
+                                             const ProbeStrategy& strategy,
+                                             const Coloring& view, Rng& rng);
+
+}  // namespace qps::protocols

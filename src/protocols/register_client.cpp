@@ -1,0 +1,195 @@
+#include "protocols/register_client.h"
+
+#include "protocols/quorum_select.h"
+#include "sim/messages.h"
+#include "util/require.h"
+
+namespace qps::protocols {
+
+RegisterClient::RegisterClient(sim::Network& network, sim::NodeId id,
+                               const QuorumSystem& system,
+                               const ProbeStrategy& strategy, Rng rng,
+                               Options options)
+    : sim::Node(id),
+      network_(&network),
+      system_(&system),
+      strategy_(&strategy),
+      rng_(rng),
+      options_(options),
+      view_greens_(system.universe_size()),
+      replies_(system.universe_size()) {
+  QPS_REQUIRE(options.max_attempts >= 1, "need at least one attempt");
+}
+
+void RegisterClient::read(std::function<void(ReadResult)> on_done) {
+  QPS_REQUIRE(state_ == State::kIdle, "operation already in progress");
+  QPS_REQUIRE(on_done != nullptr, "completion callback must be callable");
+  op_ = Op::kRead;
+  on_read_ = std::move(on_done);
+  attempt_ = 0;
+  start_attempt();
+}
+
+void RegisterClient::write(std::int64_t value,
+                           std::function<void(bool)> on_done) {
+  QPS_REQUIRE(state_ == State::kIdle, "operation already in progress");
+  QPS_REQUIRE(on_done != nullptr, "completion callback must be callable");
+  op_ = Op::kWrite;
+  write_value_ = value;
+  on_write_ = std::move(on_done);
+  attempt_ = 0;
+  start_attempt();
+}
+
+void RegisterClient::start_attempt() {
+  if (attempt_ >= options_.max_attempts) {
+    complete_round();  // deliver failure
+    return;
+  }
+  ++attempt_;
+  state_ = State::kPinging;
+  const std::int64_t generation = ++generation_;
+  view_greens_.clear();
+
+  sim::Message ping;
+  ping.from = id();
+  ping.type = sim::kPing;
+  ping.a = generation;
+  for (sim::NodeId server = 0; server < system_->universe_size(); ++server) {
+    ping.to = server;
+    network_->send(ping);
+  }
+  network_->simulator().schedule(options_.ping_timeout, [this, generation]() {
+    if (generation_ != generation || state_ != State::kPinging) return;
+    begin_round();
+  });
+}
+
+void RegisterClient::begin_round() {
+  const Coloring view(system_->universe_size(), view_greens_);
+  quorum_ = select_live_quorum(*system_, *strategy_, view, rng_);
+  if (!quorum_.has_value()) {
+    fail_attempt();
+    return;
+  }
+  // Reads and the first phase of writes query versions; the write phase is
+  // entered from complete_round() once the version is known.
+  state_ = op_ == Op::kRead ? State::kReading : State::kVersionQuery;
+  replies_.clear();
+  best_version_ = -1;
+  best_value_ = 0;
+  const std::int64_t generation = ++generation_;
+
+  sim::Message request;
+  request.from = id();
+  request.type = sim::kReadReq;
+  request.a = generation;
+  for (Element member : quorum_->to_vector()) {
+    request.to = static_cast<sim::NodeId>(member);
+    network_->send(request);
+  }
+  network_->simulator().schedule(options_.round_timeout, [this, generation]() {
+    if (generation_ != generation) return;
+    if (state_ == State::kReading || state_ == State::kVersionQuery ||
+        state_ == State::kWriting)
+      fail_attempt();
+  });
+}
+
+void RegisterClient::fail_attempt() {
+  state_ = State::kIdle;
+  quorum_.reset();
+  if (attempt_ >= options_.max_attempts) {
+    complete_round();  // exhausted: deliver failure
+    return;
+  }
+  const double backoff =
+      rng_.uniform_real(options_.backoff_base, 2.0 * options_.backoff_base);
+  const std::int64_t generation = ++generation_;
+  network_->simulator().schedule(backoff, [this, generation]() {
+    if (generation_ != generation || state_ != State::kIdle) return;
+    if (op_ != Op::kNone) start_attempt();
+  });
+}
+
+void RegisterClient::complete_round() {
+  // Reached on success (quorum_ set, replies complete) or on giving up
+  // (quorum_ empty).  Clears operation state before invoking callbacks.
+  const bool success = quorum_.has_value();
+  const Op op = op_;
+  const std::int64_t version = best_version_;
+  const std::int64_t value = best_value_;
+  state_ = State::kIdle;
+  op_ = Op::kNone;
+  quorum_.reset();
+  ++generation_;
+  if (op == Op::kRead) {
+    QPS_CHECK(on_read_ != nullptr, "read completion without a callback");
+    auto done = std::move(on_read_);
+    on_read_ = nullptr;
+    done(ReadResult{success, success ? version : 0, success ? value : 0});
+  } else if (op == Op::kWrite) {
+    QPS_CHECK(on_write_ != nullptr, "write completion without a callback");
+    auto done = std::move(on_write_);
+    on_write_ = nullptr;
+    done(success);
+  }
+}
+
+void RegisterClient::on_message(const sim::Message& message,
+                                sim::Network& /*network*/) {
+  switch (message.type) {
+    case sim::kPong:
+      if (state_ == State::kPinging && message.a == generation_)
+        view_greens_.insert(static_cast<Element>(message.from));
+      return;
+
+    case sim::kReadReply: {
+      if (message.a != generation_ ||
+          (state_ != State::kReading && state_ != State::kVersionQuery))
+        return;
+      replies_.insert(static_cast<Element>(message.from));
+      if (message.b > best_version_ ||
+          (message.b == best_version_ && message.c > best_value_)) {
+        best_version_ = message.b;
+        best_value_ = message.c;
+      }
+      if (replies_ != *quorum_) return;
+      if (state_ == State::kReading) {
+        complete_round();
+        return;
+      }
+      // Version query finished: enter the write phase at version+1.
+      state_ = State::kWriting;
+      replies_.clear();
+      const std::int64_t generation = ++generation_;
+      sim::Message write;
+      write.from = id();
+      write.type = sim::kWriteReq;
+      write.a = generation;
+      write.b = best_version_ + 1;
+      write.c = write_value_;
+      for (Element member : quorum_->to_vector()) {
+        write.to = static_cast<sim::NodeId>(member);
+        network_->send(write);
+      }
+      network_->simulator().schedule(
+          options_.round_timeout, [this, generation]() {
+            if (generation_ != generation || state_ != State::kWriting) return;
+            fail_attempt();
+          });
+      return;
+    }
+
+    case sim::kWriteAck:
+      if (state_ != State::kWriting || message.a != generation_) return;
+      replies_.insert(static_cast<Element>(message.from));
+      if (replies_ == *quorum_) complete_round();
+      return;
+
+    default:
+      return;
+  }
+}
+
+}  // namespace qps::protocols

@@ -1,0 +1,84 @@
+// Quorum-replicated read/write register (Gifford/Thomas-style voting), the
+// second motivating application of the paper's introduction.
+//
+// Write: refresh the liveness view (PING round), select a live quorum with
+// a probe strategy, read the highest stored version from the quorum, then
+// write (version+1, value) to a (possibly different) live quorum and wait
+// for all acks.  Read: refresh view, select quorum, collect (version,
+// value) from every member and return the pair with the highest version.
+// Because any two quorums intersect and members store the highest version
+// they have seen, a read that does not race a write returns the last
+// completed write's value.  Concurrent writes resolve last-writer-wins by
+// version (ties by value; see ServerNode).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/strategy.h"
+#include "quorum/quorum_system.h"
+#include "sim/network.h"
+
+namespace qps::protocols {
+
+class RegisterClient final : public sim::Node {
+ public:
+  struct Options {
+    double ping_timeout = 5.0;
+    double round_timeout = 5.0;
+    double backoff_base = 2.0;
+    std::size_t max_attempts = 16;
+  };
+
+  struct ReadResult {
+    bool ok = false;
+    std::int64_t version = 0;
+    std::int64_t value = 0;
+  };
+
+  RegisterClient(sim::Network& network, sim::NodeId id,
+                 const QuorumSystem& system, const ProbeStrategy& strategy,
+                 Rng rng, Options options);
+
+  /// Asynchronous read; one outstanding operation at a time.
+  void read(std::function<void(ReadResult)> on_done);
+
+  /// Asynchronous write of `value`; `on_done(true)` once a quorum acked.
+  void write(std::int64_t value, std::function<void(bool)> on_done);
+
+  void on_message(const sim::Message& message, sim::Network& network) override;
+
+  std::size_t attempts_used() const { return attempt_; }
+
+ private:
+  enum class State { kIdle, kPinging, kVersionQuery, kWriting, kReading };
+  enum class Op { kNone, kRead, kWrite };
+
+  void start_attempt();
+  void begin_round();
+  void fail_attempt();
+  void complete_round();
+
+  sim::Network* network_;
+  const QuorumSystem* system_;
+  const ProbeStrategy* strategy_;
+  Rng rng_;
+  Options options_;
+
+  State state_ = State::kIdle;
+  Op op_ = Op::kNone;
+  std::function<void(ReadResult)> on_read_;
+  std::function<void(bool)> on_write_;
+  std::int64_t write_value_ = 0;
+
+  std::size_t attempt_ = 0;
+  std::int64_t generation_ = 0;
+
+  ElementSet view_greens_{0};
+  std::optional<ElementSet> quorum_;
+  ElementSet replies_{0};
+  std::int64_t best_version_ = 0;
+  std::int64_t best_value_ = 0;
+};
+
+}  // namespace qps::protocols

@@ -1,0 +1,78 @@
+#include "protocols/server_node.h"
+
+#include "sim/messages.h"
+
+namespace qps::protocols {
+
+void ServerNode::on_message(const sim::Message& message,
+                            sim::Network& network) {
+  sim::Message reply;
+  reply.from = id();
+  reply.to = message.from;
+  reply.a = message.a;
+
+  switch (message.type) {
+    case sim::kPing:
+      reply.type = sim::kPong;
+      network.send(reply);
+      return;
+
+    case sim::kLockReq:
+      if (!locked_) {
+        locked_ = true;
+        lock_holder_ = message.from;
+        lock_request_ = message.a;
+        reply.type = sim::kLockGrant;
+      } else if (lock_holder_ == message.from) {
+        // Re-grant to the holder.  Client request ids increase per client,
+        // so only adopt newer ids; a late duplicate of an old request is
+        // re-granted under its own id and its matching unlock is stale.
+        if (message.a > lock_request_) lock_request_ = message.a;
+        reply.type = sim::kLockGrant;
+      } else {
+        reply.type = sim::kLockDeny;
+      }
+      network.send(reply);
+      return;
+
+    case sim::kUnlock:
+      // Released only when the unlock names the held request (see header).
+      if (locked_ && lock_holder_ == message.from &&
+          lock_request_ == message.a)
+        locked_ = false;
+      return;  // unlock is fire-and-forget
+
+    case sim::kReadReq:
+      reply.type = sim::kReadReply;
+      reply.b = version_;
+      reply.c = value_;
+      network.send(reply);
+      return;
+
+    case sim::kWriteReq:
+      // Last-writer-wins by version; stale writes are acknowledged but
+      // ignored, which is what quorum-intersection correctness requires.
+      if (message.b > version_ ||
+          (message.b == version_ && message.c > value_)) {
+        version_ = message.b;
+        value_ = message.c;
+      }
+      reply.type = sim::kWriteAck;
+      network.send(reply);
+      return;
+
+    default:
+      return;  // unknown types are dropped
+  }
+}
+
+void ServerNode::recover_amnesiac() {
+  recover();
+  locked_ = false;
+  lock_holder_ = 0;
+  lock_request_ = 0;
+  version_ = 0;
+  value_ = 0;
+}
+
+}  // namespace qps::protocols

@@ -1,0 +1,45 @@
+// ServerNode: a cluster member process.  Offers the three services the
+// protocol layer needs:
+//   * liveness: answers PING with PONG (the probe target);
+//   * locking:  a single-slot lock with grant/deny semantics, the member
+//     side of quorum-based mutual exclusion;
+//   * storage:  a versioned register cell, the member side of the
+//     replicated read/write register.
+// Crash semantics come from sim::Node: a crashed server receives nothing.
+// On recovery the lock slot and store survive (crash-recovery with stable
+// storage); recover_amnesiac() models a node that lost its state.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.h"
+
+namespace qps::protocols {
+
+class ServerNode final : public sim::Node {
+ public:
+  explicit ServerNode(sim::NodeId id) : sim::Node(id) {}
+
+  void on_message(const sim::Message& message, sim::Network& network) override;
+
+  /// Recovery that wipes volatile state (lock + store) -- for tests of the
+  /// difference between stable and amnesiac recovery.
+  void recover_amnesiac();
+
+  bool locked() const { return locked_; }
+  sim::NodeId lock_holder() const { return lock_holder_; }
+  std::int64_t stored_version() const { return version_; }
+  std::int64_t stored_value() const { return value_; }
+
+ private:
+  bool locked_ = false;
+  sim::NodeId lock_holder_ = 0;
+  // Request id of the grant currently held.  Channels are not FIFO, so an
+  // UNLOCK must name the request it releases: a stale unlock racing with a
+  // newer grant from the same client must not release the newer grant.
+  std::int64_t lock_request_ = 0;
+  std::int64_t version_ = 0;
+  std::int64_t value_ = 0;
+};
+
+}  // namespace qps::protocols

@@ -1,0 +1,91 @@
+#include "quorum/availability.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/require.h"
+#include "util/stats.h"
+
+namespace qps {
+
+double failure_probability_exact(const QuorumSystem& system, double p) {
+  const std::size_t n = system.universe_size();
+  QPS_REQUIRE(n <= 24, "exact availability limited to small universes");
+  QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
+  const double q = 1.0 - p;
+  // Precompute p^i q^j to avoid pow() in the loop.
+  std::vector<double> pw(n + 1, 1.0), qw(n + 1, 1.0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    pw[i] = pw[i - 1] * p;
+    qw[i] = qw[i - 1] * q;
+  }
+  const std::uint64_t limit = 1ULL << n;
+  double failure = 0.0;
+  for (std::uint64_t greens = 0; greens < limit; ++greens) {
+    if (!system.contains_quorum(ElementSet::from_mask(n, greens))) {
+      const auto g = static_cast<std::size_t>(std::popcount(greens));
+      failure += qw[g] * pw[n - g];
+    }
+  }
+  return failure;
+}
+
+double majority_failure_probability(std::size_t n, double p) {
+  QPS_REQUIRE(n % 2 == 1, "Maj needs odd n");
+  // No green majority <=> at least (n+1)/2 elements are red.
+  return binomial_tail_geq(n, (n + 1) / 2, p);
+}
+
+double cw_failure_probability(const std::vector<std::size_t>& widths,
+                              double p) {
+  QPS_REQUIRE(!widths.empty(), "a wall needs rows");
+  QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
+  const double q = 1.0 - p;
+  // Scan rows bottom-up.  W = P[the wall scanned so far contains a green
+  // quorum]; H = P[it contains a green quorum OR every scanned row has at
+  // least one green element].  Row states are independent, with
+  //   g_i = q^{n_i}            (row all green)
+  //   q_i = 1 - p^{n_i}        (row has a green)
+  // giving W' = g_i * H + (1 - g_i) * W  and  H' = q_i * H + p^{n_i} * W.
+  double w = 0.0, h = 1.0;
+  for (std::size_t row = widths.size(); row-- > 0;) {
+    const auto width = static_cast<double>(widths[row]);
+    const double all_green = std::pow(q, width);
+    const double some_green = 1.0 - std::pow(p, width);
+    const double w_next = all_green * h + (1.0 - all_green) * w;
+    const double h_next = some_green * h + std::pow(p, width) * w;
+    w = w_next;
+    h = h_next;
+  }
+  return 1.0 - w;
+}
+
+double tree_failure_probability(std::size_t height, double p) {
+  QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
+  const double q = 1.0 - p;
+  double f = p;  // height 0: a single node is unavailable iff it is red
+  for (std::size_t h = 1; h <= height; ++h) {
+    // Root green: need at least one live subtree.  Root red: need both.
+    f = q * f * f + p * (2.0 * f - f * f);
+  }
+  return f;
+}
+
+double hqs_failure_probability(std::size_t height, double p) {
+  QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
+  double f = p;
+  for (std::size_t h = 1; h <= height; ++h) f = 3.0 * f * f - 2.0 * f * f * f;
+  return f;
+}
+
+double tree_failure_bound(std::size_t height, double p) {
+  QPS_REQUIRE(p <= 0.5, "the Tree bound is stated for p <= 1/2");
+  return std::pow(p + 0.5, static_cast<double>(height));
+}
+
+double hqs_failure_bound(std::size_t height, double p) {
+  QPS_REQUIRE(p <= 0.5, "the HQS bound is stated for p <= 1/2");
+  return p * std::pow(3.0 * p - 2.0 * p * p, static_cast<double>(height));
+}
+
+}  // namespace qps

@@ -1,0 +1,44 @@
+// Availability F_p(S) (Peleg & Wool 1995): the probability that no green
+// (live) quorum exists when every element fails independently with
+// probability p.
+//
+// Provided as (a) an exact enumeration over all colorings for small
+// universes, and (b) closed forms for each structured family:
+//   Maj:   binomial tail  P[#red >= (n+1)/2]
+//   CW:    a two-accumulator row recursion (derived in DESIGN.md)
+//   Tree:  F(h) = q F(h-1)^2 + p (2 F(h-1) - F(h-1)^2),  F(0) = p
+//   HQS:   F(h) = 3 F(h-1)^2 - 2 F(h-1)^3,               F(0) = p
+// The tests verify (a) == (b) and the Peleg-Wool facts 2.3(1,2):
+// F_p <= p for p <= 1/2, and F_p + F_{1-p} = 1 for every ND coterie.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+/// Exact F_p(S) by summing over all 2^n colorings; requires n <= 24.
+double failure_probability_exact(const QuorumSystem& system, double p);
+
+/// Closed form for Maj on an odd universe of size n.
+double majority_failure_probability(std::size_t n, double p);
+
+/// Closed form for a (widths[0], ..., widths[k-1])-CW wall.
+double cw_failure_probability(const std::vector<std::size_t>& widths, double p);
+
+/// Closed form for the Tree system of height h.
+double tree_failure_probability(std::size_t height, double p);
+
+/// Closed form for the HQS of height h.
+double hqs_failure_probability(std::size_t height, double p);
+
+/// The [15]/[19] upper bound used by Prop. 3.6: F_p(Tree_h) <= (p + 1/2)^h
+/// for p <= 1/2 (returns the bound, not the availability).
+double tree_failure_bound(std::size_t height, double p);
+
+/// The [19] upper bound used by Thm 3.8: F_p(HQS_h) <= p (3p - 2p^2)^h.
+double hqs_failure_bound(std::size_t height, double p);
+
+}  // namespace qps

@@ -1,0 +1,77 @@
+#include "quorum/composite.h"
+
+#include <algorithm>
+
+#include "quorum/majority.h"
+#include "util/require.h"
+
+namespace qps {
+
+CompositeSystem::CompositeSystem(QuorumSystemPtr outer,
+                                 std::vector<QuorumSystemPtr> inner)
+    : outer_(std::move(outer)), inner_(std::move(inner)) {
+  QPS_REQUIRE(outer_ != nullptr, "outer system must not be null");
+  QPS_REQUIRE(inner_.size() == outer_->universe_size(),
+              "one inner system per outer element");
+  offsets_.resize(inner_.size() + 1);
+  offsets_[0] = 0;
+  for (std::size_t i = 0; i < inner_.size(); ++i) {
+    QPS_REQUIRE(inner_[i] != nullptr, "inner systems must not be null");
+    offsets_[i + 1] =
+        offsets_[i] + static_cast<Element>(inner_[i]->universe_size());
+  }
+  n_ = offsets_.back();
+
+  // Quorum-size extremes: every outer quorum Q induces composite quorums
+  // of size sum over slots in Q of (inner min..max).  Requires outer
+  // enumeration, so composites of huge outers fall back to a safe bound.
+  min_size_ = n_;
+  max_size_ = 0;
+  for (const auto& outer_quorum : outer_->enumerate_quorums()) {
+    std::size_t lo = 0, hi = 0;
+    for (Element slot : outer_quorum.to_vector()) {
+      lo += inner_[slot]->min_quorum_size();
+      hi += inner_[slot]->max_quorum_size();
+    }
+    min_size_ = std::min(min_size_, lo);
+    max_size_ = std::max(max_size_, hi);
+  }
+}
+
+CompositeSystem CompositeSystem::uniform(QuorumSystemPtr outer,
+                                         QuorumSystemPtr inner) {
+  QPS_REQUIRE(outer != nullptr && inner != nullptr, "systems must not be null");
+  std::vector<QuorumSystemPtr> inners(outer->universe_size(), inner);
+  return CompositeSystem(std::move(outer), std::move(inners));
+}
+
+CompositeSystem CompositeSystem::recursive_majority3(std::size_t height) {
+  QPS_REQUIRE(height >= 1, "recursive majority needs height >= 1");
+  // Height 0 is a single element (Maj over a singleton); each level wraps
+  // the previous one in a 2-of-3 majority of three copies.
+  QuorumSystemPtr level = std::make_shared<MajoritySystem>(1);
+  for (std::size_t h = 1; h < height; ++h)
+    level = std::make_shared<CompositeSystem>(
+        uniform(std::make_shared<MajoritySystem>(3), level));
+  return uniform(std::make_shared<MajoritySystem>(3), level);
+}
+
+std::string CompositeSystem::name() const {
+  return outer_->name() + " o [" + inner_[0]->name() +
+         (inner_.size() > 1 ? ", ...]" : "]");
+}
+
+bool CompositeSystem::contains_quorum(const ElementSet& greens) const {
+  QPS_REQUIRE(greens.universe_size() == n_, "wrong universe");
+  ElementSet live_slots(outer_->universe_size());
+  for (std::size_t slot = 0; slot < inner_.size(); ++slot) {
+    ElementSet restricted(inner_[slot]->universe_size());
+    for (Element e = slot_begin(slot); e < slot_end(slot); ++e)
+      if (greens.contains(e)) restricted.insert(e - slot_begin(slot));
+    if (inner_[slot]->contains_quorum(restricted))
+      live_slots.insert(static_cast<Element>(slot));
+  }
+  return outer_->contains_quorum(live_slots);
+}
+
+}  // namespace qps

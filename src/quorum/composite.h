@@ -1,0 +1,51 @@
+// Quorum-system composition: an outer system whose "elements" are whole
+// inner systems over disjoint sub-universes.  A green set contains a
+// composite quorum iff the slots whose inner systems are live form an
+// outer quorum.  HQS is exactly Maj3 composed with itself h times; the
+// composition of ND coteries is again ND (the characteristic function is a
+// composition of self-dual monotone functions), which the tests verify.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class CompositeSystem final : public QuorumSystem {
+ public:
+  /// `outer` over k elements; `inner[i]` replaces outer element i.  Inner
+  /// sub-universes are laid out consecutively in slot order.
+  CompositeSystem(QuorumSystemPtr outer, std::vector<QuorumSystemPtr> inner);
+
+  /// Uniform composition: every slot holds the same `inner` system.
+  static CompositeSystem uniform(QuorumSystemPtr outer, QuorumSystemPtr inner);
+
+  /// Maj3 composed with itself `height` times (== HQS of that height).
+  static CompositeSystem recursive_majority3(std::size_t height);
+
+  std::size_t universe_size() const override { return n_; }
+  std::string name() const override;
+  bool contains_quorum(const ElementSet& greens) const override;
+  std::size_t min_quorum_size() const override { return min_size_; }
+  std::size_t max_quorum_size() const override { return max_size_; }
+
+  std::size_t slot_count() const { return inner_.size(); }
+  /// First element id of slot i.
+  Element slot_begin(std::size_t slot) const { return offsets_[slot]; }
+  Element slot_end(std::size_t slot) const { return offsets_[slot + 1]; }
+  const QuorumSystem& inner(std::size_t slot) const { return *inner_[slot]; }
+  const QuorumSystem& outer() const { return *outer_; }
+
+ private:
+  QuorumSystemPtr outer_;
+  std::vector<QuorumSystemPtr> inner_;
+  std::vector<Element> offsets_;
+  std::size_t n_ = 0;
+  std::size_t min_size_ = 0;
+  std::size_t max_size_ = 0;
+};
+
+}  // namespace qps

@@ -1,0 +1,130 @@
+#include "quorum/crumbling_wall.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace qps {
+
+CrumblingWall::CrumblingWall(std::vector<std::size_t> widths, bool require_nd)
+    : widths_(std::move(widths)) {
+  QPS_REQUIRE(!widths_.empty(), "a wall needs at least one row");
+  for (std::size_t w : widths_) QPS_REQUIRE(w >= 1, "row widths must be >= 1");
+  if (require_nd) {
+    QPS_REQUIRE(widths_[0] == 1, "ND crumbling wall needs a top row of width 1");
+    for (std::size_t i = 1; i < widths_.size(); ++i)
+      QPS_REQUIRE(widths_[i] >= 2,
+                  "ND crumbling wall needs widths >= 2 below the top row");
+  }
+  offsets_.resize(widths_.size() + 1);
+  offsets_[0] = 0;
+  for (std::size_t i = 0; i < widths_.size(); ++i)
+    offsets_[i + 1] = offsets_[i] + static_cast<Element>(widths_[i]);
+  n_ = offsets_.back();
+}
+
+CrumblingWall CrumblingWall::triang(std::size_t rows) {
+  QPS_REQUIRE(rows >= 1, "Triang needs at least one row");
+  std::vector<std::size_t> widths(rows);
+  std::iota(widths.begin(), widths.end(), std::size_t{1});
+  return CrumblingWall(std::move(widths), rows >= 2);
+}
+
+CrumblingWall CrumblingWall::wheel(std::size_t universe_size) {
+  QPS_REQUIRE(universe_size >= 3, "Wheel needs n >= 3");
+  return CrumblingWall({1, universe_size - 1});
+}
+
+std::string CrumblingWall::name() const {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < widths_.size(); ++i) {
+    if (i != 0) os << ',';
+    os << widths_[i];
+  }
+  os << ")-CW";
+  return os.str();
+}
+
+std::size_t CrumblingWall::row_of(Element e) const {
+  QPS_REQUIRE(e < n_, "element outside the universe");
+  const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), e);
+  return static_cast<std::size_t>(it - offsets_.begin()) - 1;
+}
+
+bool CrumblingWall::contains_quorum(const ElementSet& greens) const {
+  QPS_REQUIRE(greens.universe_size() == n_, "wrong universe");
+  const std::size_t k = widths_.size();
+  // Scan bottom-up, tracking whether every row strictly below the current
+  // one contains at least one green element.
+  bool all_below_hit = true;
+  bool quorum_found = false;
+  for (std::size_t row = k; row-- > 0 && !quorum_found;) {
+    bool row_full = true;
+    bool row_hit = false;
+    for (Element e = row_begin(row); e < row_end(row); ++e) {
+      if (greens.contains(e))
+        row_hit = true;
+      else
+        row_full = false;
+    }
+    if (row_full && all_below_hit) quorum_found = true;
+    all_below_hit = all_below_hit && row_hit;
+  }
+  return quorum_found;
+}
+
+std::size_t CrumblingWall::min_quorum_size() const {
+  const std::size_t k = widths_.size();
+  std::size_t best = widths_[0] + (k - 1);
+  for (std::size_t j = 1; j < k; ++j)
+    best = std::min(best, widths_[j] + (k - 1 - j));
+  return best;
+}
+
+std::size_t CrumblingWall::max_quorum_size() const {
+  const std::size_t k = widths_.size();
+  std::size_t best = 0;
+  for (std::size_t j = 0; j < k; ++j)
+    best = std::max(best, widths_[j] + (k - 1 - j));
+  return best;
+}
+
+void CrumblingWall::append_quorums_below(std::size_t next_row,
+                                         ElementSet& partial,
+                                         std::vector<ElementSet>& out) const {
+  if (next_row == widths_.size()) {
+    out.push_back(partial);
+    return;
+  }
+  for (Element e = row_begin(next_row); e < row_end(next_row); ++e) {
+    partial.insert(e);
+    append_quorums_below(next_row + 1, partial, out);
+    partial.erase(e);
+  }
+}
+
+std::vector<ElementSet> CrumblingWall::enumerate_quorums() const {
+  // One quorum per (full row j, choice of representative below j).  The
+  // count is sum_j prod_{i>j} n_i; guard against blow-up.
+  double count = 0;
+  for (std::size_t j = 0; j < widths_.size(); ++j) {
+    double product = 1;
+    for (std::size_t i = j + 1; i < widths_.size(); ++i)
+      product *= static_cast<double>(widths_[i]);
+    count += product;
+  }
+  QPS_REQUIRE(count <= 2'000'000.0, "wall has too many quorums to enumerate");
+
+  std::vector<ElementSet> out;
+  for (std::size_t j = 0; j < widths_.size(); ++j) {
+    ElementSet partial(n_);
+    for (Element e = row_begin(j); e < row_end(j); ++e) partial.insert(e);
+    append_quorums_below(j + 1, partial, out);
+  }
+  return out;
+}
+
+}  // namespace qps

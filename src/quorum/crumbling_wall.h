@@ -1,0 +1,54 @@
+// Crumbling Walls (Peleg & Wool 1997): elements are arranged in k rows of
+// widths (n1, ..., nk); a quorum is one full row j together with one
+// representative from every row below j.  With n1 = 1 and all other widths
+// > 1 the system is an ND coterie.  Triang (Erdos-Lovasz) is the
+// (1, 2, ..., d)-CW special case and Wheel is (1, n-1)-CW.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class CrumblingWall final : public QuorumSystem {
+ public:
+  /// Builds a (widths[0], ..., widths[k-1])-CW.  Elements are numbered
+  /// row-major: row 0 (the top row) first, then row 1, and so on.
+  /// Requires every width >= 1.  ND requires widths[0] == 1 and
+  /// widths[i] >= 2 for i >= 1; pass `require_nd = false` to build
+  /// non-ND walls (used in tests of the domination machinery).
+  explicit CrumblingWall(std::vector<std::size_t> widths, bool require_nd = true);
+
+  /// The Triang system: (1, 2, ..., rows)-CW.
+  static CrumblingWall triang(std::size_t rows);
+  /// The Wheel system as a wall: (1, n-1)-CW.
+  static CrumblingWall wheel(std::size_t universe_size);
+
+  std::size_t universe_size() const override { return n_; }
+  std::string name() const override;
+  bool contains_quorum(const ElementSet& greens) const override;
+  std::size_t min_quorum_size() const override;
+  std::size_t max_quorum_size() const override;
+  std::vector<ElementSet> enumerate_quorums() const override;
+
+  std::size_t row_count() const { return widths_.size(); }
+  std::size_t row_width(std::size_t row) const { return widths_[row]; }
+  /// First element id of `row`.
+  Element row_begin(std::size_t row) const { return offsets_[row]; }
+  /// One-past-last element id of `row`.
+  Element row_end(std::size_t row) const { return offsets_[row + 1]; }
+  /// Row containing element `e`.
+  std::size_t row_of(Element e) const;
+
+ private:
+  std::vector<std::size_t> widths_;
+  std::vector<Element> offsets_;  // prefix sums; offsets_[k] == n
+  std::size_t n_ = 0;
+
+  void append_quorums_below(std::size_t next_row, ElementSet& partial,
+                            std::vector<ElementSet>& out) const;
+};
+
+}  // namespace qps

@@ -1,0 +1,44 @@
+#include "quorum/explicit_system.h"
+
+#include <algorithm>
+
+#include "util/require.h"
+
+namespace qps {
+
+ExplicitSystem::ExplicitSystem(std::size_t universe_size,
+                               std::vector<ElementSet> quorums,
+                               std::string name, bool require_coterie)
+    : n_(universe_size), quorums_(std::move(quorums)), name_(std::move(name)) {
+  QPS_REQUIRE(!quorums_.empty(), "a quorum system needs at least one quorum");
+  for (const auto& q : quorums_) {
+    QPS_REQUIRE(q.universe_size() == n_, "quorum over the wrong universe");
+    QPS_REQUIRE(!q.empty(), "the empty set cannot be a quorum");
+  }
+  // Intersection property (the defining requirement).
+  for (std::size_t i = 0; i < quorums_.size(); ++i)
+    for (std::size_t j = i + 1; j < quorums_.size(); ++j)
+      QPS_REQUIRE(quorums_[i].intersects(quorums_[j]),
+                  "quorums must pairwise intersect");
+  if (require_coterie) {
+    for (std::size_t i = 0; i < quorums_.size(); ++i)
+      for (std::size_t j = 0; j < quorums_.size(); ++j)
+        if (i != j)
+          QPS_REQUIRE(!quorums_[i].is_subset_of(quorums_[j]),
+                      "coterie violates minimality");
+  }
+  min_size_ = quorums_[0].count();
+  max_size_ = min_size_;
+  for (const auto& q : quorums_) {
+    min_size_ = std::min(min_size_, q.count());
+    max_size_ = std::max(max_size_, q.count());
+  }
+}
+
+bool ExplicitSystem::contains_quorum(const ElementSet& greens) const {
+  QPS_REQUIRE(greens.universe_size() == n_, "wrong universe");
+  return std::any_of(quorums_.begin(), quorums_.end(),
+                     [&](const ElementSet& q) { return q.is_subset_of(greens); });
+}
+
+}  // namespace qps

@@ -1,0 +1,40 @@
+// ExplicitSystem: a quorum system given as a literal list of quorums.
+//
+// Used for hand-built examples (Maj3 = {{1,2},{2,3},{1,3}}), for testing the
+// structured constructions against their definitions, and for the
+// domination checks of Section 2.1 which need concrete set families.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class ExplicitSystem final : public QuorumSystem {
+ public:
+  /// Builds the system; verifies the family is a valid quorum system
+  /// (nonempty, pairwise intersecting).  If `require_coterie`, also checks
+  /// minimality (no quorum contains another).
+  ExplicitSystem(std::size_t universe_size, std::vector<ElementSet> quorums,
+                 std::string name = "Explicit", bool require_coterie = true);
+
+  std::size_t universe_size() const override { return n_; }
+  std::string name() const override { return name_; }
+  bool contains_quorum(const ElementSet& greens) const override;
+  std::size_t min_quorum_size() const override { return min_size_; }
+  std::size_t max_quorum_size() const override { return max_size_; }
+  std::vector<ElementSet> enumerate_quorums() const override { return quorums_; }
+
+  const std::vector<ElementSet>& quorums() const { return quorums_; }
+
+ private:
+  std::size_t n_;
+  std::vector<ElementSet> quorums_;
+  std::string name_;
+  std::size_t min_size_ = 0;
+  std::size_t max_size_ = 0;
+};
+
+}  // namespace qps

@@ -1,0 +1,63 @@
+#include "quorum/fpp.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/require.h"
+
+namespace qps {
+
+namespace {
+
+bool is_prime(std::size_t q) {
+  if (q < 2) return false;
+  for (std::size_t d = 2; d * d <= q; ++d)
+    if (q % d == 0) return false;
+  return true;
+}
+
+}  // namespace
+
+FppSystem::FppSystem(std::size_t order) : order_(order) {
+  QPS_REQUIRE(is_prime(order), "FPP is implemented for prime orders");
+  QPS_REQUIRE(order <= 31, "FPP order out of supported range");
+  const std::size_t q = order;
+
+  // Canonical representatives of the projective points: (1, a, b),
+  // (0, 1, a), (0, 0, 1) -- q^2 + q + 1 in total.
+  for (std::size_t a = 0; a < q; ++a)
+    for (std::size_t b = 0; b < q; ++b) points_.push_back({1, a, b});
+  for (std::size_t a = 0; a < q; ++a) points_.push_back({0, 1, a});
+  points_.push_back({0, 0, 1});
+  const std::size_t n = points_.size();
+  QPS_CHECK(n == q * q + q + 1, "projective point count mismatch");
+
+  // Lines are also indexed by projective triples L; point P lies on line L
+  // iff <L, P> = 0 over GF(q).  Using the same canonical triples for lines
+  // yields exactly n lines of q + 1 points each.
+  const auto dot_is_zero = [q](const Triple& l, const Triple& p) {
+    return (l[0] * p[0] + l[1] * p[1] + l[2] * p[2]) % q == 0;
+  };
+  for (const Triple& line : points_) {
+    ElementSet members(n);
+    for (std::size_t i = 0; i < n; ++i)
+      if (dot_is_zero(line, points_[i])) members.insert(static_cast<Element>(i));
+    QPS_CHECK(members.count() == q + 1, "every line must have q+1 points");
+    lines_.push_back(std::move(members));
+  }
+}
+
+std::string FppSystem::name() const {
+  return "FPP(q=" + std::to_string(order_) + ",n=" +
+         std::to_string(points_.size()) + ")";
+}
+
+bool FppSystem::contains_quorum(const ElementSet& greens) const {
+  QPS_REQUIRE(greens.universe_size() == universe_size(), "wrong universe");
+  return std::any_of(lines_.begin(), lines_.end(),
+                     [&](const ElementSet& line) {
+                       return line.is_subset_of(greens);
+                     });
+}
+
+}  // namespace qps

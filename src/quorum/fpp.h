@@ -1,0 +1,45 @@
+// Finite Projective Plane quorum system (Maekawa 1985): the points of
+// PG(2, q) are the universe (n = q^2 + q + 1) and the lines are the
+// quorums -- every two lines meet in exactly one point, every line has
+// q + 1 ~ sqrt(n) points.  The optimal-load construction of Maekawa's
+// sqrt(n) mutual-exclusion algorithm.  The Fano plane (q = 2) is an ND
+// coterie (PG(2,2) has no nontrivial blocking sets); orders q >= 3 admit
+// nontrivial blocking sets and are dominated, a useful contrast to the
+// paper's ND families.
+//
+// Built over GF(q) for prime q (no prime-power fields needed for the
+// supported sizes: q = 2, 3, 5, 7, 11, ... give n = 7, 13, 31, 57, 133).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class FppSystem final : public QuorumSystem {
+ public:
+  /// Projective plane of prime order `q`.
+  explicit FppSystem(std::size_t order);
+
+  std::size_t universe_size() const override { return points_.size(); }
+  std::string name() const override;
+  bool contains_quorum(const ElementSet& greens) const override;
+  std::size_t min_quorum_size() const override { return order_ + 1; }
+  std::size_t max_quorum_size() const override { return order_ + 1; }
+  std::vector<ElementSet> enumerate_quorums() const override { return lines_; }
+
+  std::size_t order() const { return order_; }
+  std::size_t line_count() const { return lines_.size(); }
+
+ private:
+  using Triple = std::array<std::size_t, 3>;
+
+  std::size_t order_;
+  std::vector<Triple> points_;     // normalized homogeneous coordinates
+  std::vector<ElementSet> lines_;  // one ElementSet of points per line
+};
+
+}  // namespace qps

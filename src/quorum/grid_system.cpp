@@ -1,0 +1,54 @@
+#include "quorum/grid_system.h"
+
+#include "util/require.h"
+
+namespace qps {
+
+GridSystem::GridSystem(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols) {
+  QPS_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+  QPS_REQUIRE(rows * cols >= 1, "grid must be nonempty");
+}
+
+std::string GridSystem::name() const {
+  return "Grid(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
+}
+
+Element GridSystem::at(std::size_t r, std::size_t c) const {
+  QPS_REQUIRE(r < rows_ && c < cols_, "grid position out of range");
+  return static_cast<Element>(r * cols_ + c);
+}
+
+bool GridSystem::contains_quorum(const ElementSet& greens) const {
+  QPS_REQUIRE(greens.universe_size() == universe_size(), "wrong universe");
+  bool have_row = false;
+  for (std::size_t r = 0; r < rows_ && !have_row; ++r) {
+    bool full = true;
+    for (std::size_t c = 0; c < cols_ && full; ++c)
+      full = greens.contains(at(r, c));
+    have_row = full;
+  }
+  if (!have_row) return false;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    bool full = true;
+    for (std::size_t r = 0; r < rows_ && full; ++r)
+      full = greens.contains(at(r, c));
+    if (full) return true;
+  }
+  return false;
+}
+
+std::vector<ElementSet> GridSystem::enumerate_quorums() const {
+  std::vector<ElementSet> out;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      ElementSet q(universe_size());
+      for (std::size_t cc = 0; cc < cols_; ++cc) q.insert(at(r, cc));
+      for (std::size_t rr = 0; rr < rows_; ++rr) q.insert(at(rr, c));
+      out.push_back(q);
+    }
+  }
+  return out;
+}
+
+}  // namespace qps

@@ -1,0 +1,35 @@
+// A classic r x c Grid system: a quorum is one full row together with one
+// full column (size r + c - 1).  Included as an additional well-known
+// construction so downstream users can compare against the paper's systems;
+// the grid is a coterie but is generally dominated (not ND), which makes it
+// a useful negative test case for the nondomination checker.
+#pragma once
+
+#include <string>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class GridSystem final : public QuorumSystem {
+ public:
+  /// `rows` x `cols` grid; elements are numbered row-major.
+  GridSystem(std::size_t rows, std::size_t cols);
+
+  std::size_t universe_size() const override { return rows_ * cols_; }
+  std::string name() const override;
+  bool contains_quorum(const ElementSet& greens) const override;
+  std::size_t min_quorum_size() const override { return rows_ + cols_ - 1; }
+  std::size_t max_quorum_size() const override { return rows_ + cols_ - 1; }
+  std::vector<ElementSet> enumerate_quorums() const override;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  Element at(std::size_t r, std::size_t c) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+}  // namespace qps

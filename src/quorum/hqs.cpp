@@ -1,0 +1,51 @@
+#include "quorum/hqs.h"
+
+#include "util/require.h"
+
+namespace qps {
+
+namespace {
+std::size_t pow3(std::size_t h) {
+  std::size_t v = 1;
+  for (std::size_t i = 0; i < h; ++i) v *= 3;
+  return v;
+}
+std::size_t pow2(std::size_t h) { return std::size_t{1} << h; }
+}  // namespace
+
+HQSystem::HQSystem(std::size_t height)
+    : height_(height), n_(pow3(height)), quorum_size_(pow2(height)) {
+  QPS_REQUIRE(height <= 19, "HQS height out of supported range");
+}
+
+HQSystem HQSystem::with_universe(std::size_t universe_size) {
+  std::size_t h = 0;
+  while (pow3(h) < universe_size) ++h;
+  QPS_REQUIRE(pow3(h) == universe_size, "HQS universe size must be 3^h");
+  return HQSystem(h);
+}
+
+std::string HQSystem::name() const {
+  return "HQS(h=" + std::to_string(height_) + ",n=" + std::to_string(n_) + ")";
+}
+
+std::size_t HQSystem::subtree_span(std::size_t level) const {
+  QPS_REQUIRE(level <= height_, "level out of range");
+  return pow3(level);
+}
+
+bool HQSystem::gate_value(std::size_t level, std::size_t index,
+                          const ElementSet& greens) const {
+  if (level == 0) return greens.contains(static_cast<Element>(index));
+  int ones = 0;
+  for (std::size_t child = 0; child < 3; ++child)
+    if (gate_value(level - 1, index * 3 + child, greens)) ++ones;
+  return ones >= 2;
+}
+
+bool HQSystem::contains_quorum(const ElementSet& greens) const {
+  QPS_REQUIRE(greens.universe_size() == n_, "wrong universe");
+  return gate_value(height_, 0, greens);
+}
+
+}  // namespace qps

@@ -1,0 +1,47 @@
+// The Hierarchical Quorum System HQS (Kumar 1991): the n = 3^h elements are
+// the leaves of a complete ternary tree whose internal nodes are 2-of-3
+// majority gates.  A set of green leaves contains a quorum iff the root
+// gate evaluates to 1; the quorums are the minterms and all have the
+// uniform size c = 2^h = n^(log_3 2).
+//
+// Leaves are numbered 0 .. 3^h - 1 left to right.  Internal nodes are
+// addressed by (level, index): level h is the root, level 0 the leaves;
+// node (l, i) covers leaves [i * 3^l, (i+1) * 3^l).
+#pragma once
+
+#include <string>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class HQSystem final : public QuorumSystem {
+ public:
+  /// Complete ternary tree of height `height`; universe size 3^height.
+  explicit HQSystem(std::size_t height);
+
+  /// The HQS with universe size n = 3^h.
+  static HQSystem with_universe(std::size_t universe_size);
+
+  std::size_t universe_size() const override { return n_; }
+  std::string name() const override;
+  bool contains_quorum(const ElementSet& greens) const override;
+  std::size_t min_quorum_size() const override { return quorum_size_; }
+  std::size_t max_quorum_size() const override { return quorum_size_; }
+
+  std::size_t height() const { return height_; }
+  /// The uniform quorum size c = 2^h.
+  std::size_t quorum_size() const { return quorum_size_; }
+  /// Number of leaves under a node at `level` (3^level).
+  std::size_t subtree_span(std::size_t level) const;
+
+ private:
+  std::size_t height_;
+  std::size_t n_;
+  std::size_t quorum_size_;
+
+  bool gate_value(std::size_t level, std::size_t index,
+                  const ElementSet& greens) const;
+};
+
+}  // namespace qps

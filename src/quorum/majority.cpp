@@ -1,0 +1,37 @@
+#include "quorum/majority.h"
+
+#include "util/require.h"
+
+namespace qps {
+
+MajoritySystem::MajoritySystem(std::size_t universe_size)
+    : n_(universe_size), threshold_((universe_size + 1) / 2) {
+  QPS_REQUIRE(n_ >= 1, "universe must be nonempty");
+  QPS_REQUIRE(n_ % 2 == 1, "Maj is defined for odd n");
+}
+
+std::string MajoritySystem::name() const {
+  return "Maj(" + std::to_string(n_) + ")";
+}
+
+bool MajoritySystem::contains_quorum(const ElementSet& greens) const {
+  QPS_REQUIRE(greens.universe_size() == n_, "wrong universe");
+  return greens.count() >= threshold_;
+}
+
+std::vector<ElementSet> MajoritySystem::enumerate_quorums() const {
+  QPS_REQUIRE(n_ <= kEnumerationLimit, "universe too large to enumerate");
+  std::vector<ElementSet> quorums;
+  // Gosper's hack: iterate all n-bit masks with exactly `threshold_` bits.
+  const std::uint64_t limit = 1ULL << n_;
+  std::uint64_t mask = (1ULL << threshold_) - 1;
+  while (mask < limit) {
+    quorums.push_back(ElementSet::from_mask(n_, mask));
+    const std::uint64_t c = mask & -mask;
+    const std::uint64_t r = mask + c;
+    mask = (((r ^ mask) >> 2) / c) | r;
+  }
+  return quorums;
+}
+
+}  // namespace qps

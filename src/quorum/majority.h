@@ -1,0 +1,32 @@
+// The Majority system Maj (Thomas 1979): every set of (n+1)/2 elements is a
+// quorum; n must be odd.  The canonical voting-based ND coterie.
+#pragma once
+
+#include <string>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class MajoritySystem final : public QuorumSystem {
+ public:
+  /// `universe_size` must be odd and >= 1.
+  explicit MajoritySystem(std::size_t universe_size);
+
+  std::size_t universe_size() const override { return n_; }
+  std::string name() const override;
+  bool contains_quorum(const ElementSet& greens) const override;
+  std::size_t min_quorum_size() const override { return threshold_; }
+  std::size_t max_quorum_size() const override { return threshold_; }
+  /// All (n choose (n+1)/2) subsets of the threshold size.
+  std::vector<ElementSet> enumerate_quorums() const override;
+
+  /// The majority threshold (n+1)/2.
+  std::size_t threshold() const { return threshold_; }
+
+ private:
+  std::size_t n_;
+  std::size_t threshold_;
+};
+
+}  // namespace qps

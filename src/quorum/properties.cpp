@@ -1,0 +1,81 @@
+#include "quorum/properties.h"
+
+#include "util/require.h"
+
+namespace qps {
+
+bool has_intersection_property(const QuorumSystem& system) {
+  const auto quorums = system.enumerate_quorums();
+  for (std::size_t i = 0; i < quorums.size(); ++i)
+    for (std::size_t j = i + 1; j < quorums.size(); ++j)
+      if (!quorums[i].intersects(quorums[j])) return false;
+  return true;
+}
+
+bool has_minimality_property(const QuorumSystem& system) {
+  const auto quorums = system.enumerate_quorums();
+  for (std::size_t i = 0; i < quorums.size(); ++i)
+    for (std::size_t j = 0; j < quorums.size(); ++j)
+      if (i != j && quorums[i].is_subset_of(quorums[j])) return false;
+  return true;
+}
+
+bool is_coterie(const QuorumSystem& system) {
+  return has_intersection_property(system) && has_minimality_property(system);
+}
+
+bool is_self_dual(const QuorumSystem& system) {
+  const std::size_t n = system.universe_size();
+  QPS_REQUIRE(n <= 24, "self-duality check limited to small universes");
+  const std::uint64_t limit = 1ULL << n;
+  const std::uint64_t all = limit - 1;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    const bool f = system.contains_quorum(ElementSet::from_mask(n, mask));
+    const bool f_dual =
+        !system.contains_quorum(ElementSet::from_mask(n, all & ~mask));
+    if (f != f_dual) return false;
+  }
+  return true;
+}
+
+bool is_nondominated(const QuorumSystem& system) {
+  return is_coterie(system) && is_self_dual(system);
+}
+
+bool dominates(const ExplicitSystem& r, const ExplicitSystem& s) {
+  QPS_REQUIRE(r.universe_size() == s.universe_size(),
+              "domination needs a common universe");
+  // R dominates S iff R != S and every quorum of S contains a quorum of R.
+  const auto& rq = r.quorums();
+  const auto& sq = s.quorums();
+  auto same_family = [&]() {
+    if (rq.size() != sq.size()) return false;
+    for (const auto& q : rq) {
+      bool found = false;
+      for (const auto& q2 : sq)
+        if (q == q2) {
+          found = true;
+          break;
+        }
+      if (!found) return false;
+    }
+    return true;
+  };
+  if (same_family()) return false;
+  for (const auto& q : sq)
+    if (!r.contains_quorum(q)) return false;
+  return true;
+}
+
+bool every_transversal_contains_quorum(const QuorumSystem& system) {
+  const std::size_t n = system.universe_size();
+  QPS_REQUIRE(n <= 24, "transversal sweep limited to small universes");
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    const ElementSet s = ElementSet::from_mask(n, mask);
+    if (system.is_transversal(s) && !system.contains_quorum(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace qps

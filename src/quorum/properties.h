@@ -1,0 +1,42 @@
+// Structural property checks from Section 2.1: intersection, minimality
+// (coterie), domination, nondomination, and self-duality of the
+// characteristic function.
+//
+// A monotone boolean function f is self-dual when f(x) = NOT f(NOT x) for
+// all assignments; a coterie is nondominated (ND) exactly when its
+// characteristic function is self-dual (Ibaraki & Kameda 1993), i.e. every
+// coloring has exactly one of {green quorum, red quorum}.  These checkers
+// enumerate assignments, so they are restricted to small universes; they
+// exist to validate the structured constructions and as reference
+// implementations of the definitions.
+#pragma once
+
+#include "quorum/explicit_system.h"
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+/// Pairwise intersection over the enumerated quorums.
+bool has_intersection_property(const QuorumSystem& system);
+
+/// No quorum contains another (the coterie/minimality property).
+bool has_minimality_property(const QuorumSystem& system);
+
+/// Both of the above.
+bool is_coterie(const QuorumSystem& system);
+
+/// f_S(x) == !f_S(!x) for every assignment; requires n <= 24.
+bool is_self_dual(const QuorumSystem& system);
+
+/// ND coterie test: coterie + self-dual characteristic function.
+bool is_nondominated(const QuorumSystem& system);
+
+/// Does coterie `r` dominate coterie `s` (r != s, and every quorum of `s`
+/// contains some quorum of `r`)?  Both must share a universe.
+bool dominates(const ExplicitSystem& r, const ExplicitSystem& s);
+
+/// Lemma 2.1 check utility: for an ND coterie, every transversal contains a
+/// quorum.  Verifies the implication for every subset; requires n <= 24.
+bool every_transversal_contains_quorum(const QuorumSystem& system);
+
+}  // namespace qps

@@ -1,0 +1,40 @@
+#include "quorum/quorum_system.h"
+
+#include "util/require.h"
+
+namespace qps {
+
+bool QuorumSystem::is_quorum(const ElementSet& candidate) const {
+  QPS_REQUIRE(candidate.universe_size() == universe_size(),
+              "candidate is over a different universe");
+  if (!contains_quorum(candidate)) return false;
+  // Minimality: removing any single element must destroy the property
+  // (f_S is monotone, so single-element removals suffice).
+  for (Element e : candidate.to_vector()) {
+    ElementSet smaller = candidate;
+    smaller.erase(e);
+    if (contains_quorum(smaller)) return false;
+  }
+  return true;
+}
+
+bool QuorumSystem::is_transversal(const ElementSet& blockers) const {
+  QPS_REQUIRE(blockers.universe_size() == universe_size(),
+              "blocker set is over a different universe");
+  return !contains_quorum(blockers.complement());
+}
+
+std::vector<ElementSet> QuorumSystem::enumerate_quorums() const {
+  const std::size_t n = universe_size();
+  QPS_REQUIRE(n <= kEnumerationLimit,
+              "brute-force quorum enumeration limited to small universes");
+  std::vector<ElementSet> quorums;
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    const ElementSet s = ElementSet::from_mask(n, mask);
+    if (is_quorum(s)) quorums.push_back(s);
+  }
+  return quorums;
+}
+
+}  // namespace qps

@@ -1,0 +1,60 @@
+// QuorumSystem: the library's central abstraction.
+//
+// A quorum system over U = {0..n-1} is a family of pairwise intersecting
+// subsets (quorums).  Following Definition 1 of the paper, a system is
+// exposed primarily through its monotone characteristic function
+//     f_S(greens) = 1  iff  `greens` contains some quorum,
+// which is all the probe algorithms and exact engines ever need; the
+// quorums themselves are the minterms of f_S.  Structured constructions
+// (Majority, Wheel, CW, Tree, HQS, Grid) override `contains_quorum` with
+// O(n)-time evaluations, so systems with exponentially many quorums (for
+// example Majority) stay cheap.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/element_set.h"
+
+namespace qps {
+
+class QuorumSystem {
+ public:
+  virtual ~QuorumSystem() = default;
+
+  /// Number of elements n in the universe U.
+  virtual std::size_t universe_size() const = 0;
+
+  /// Human-readable name ("Maj(7)", "(1,2,3)-CW", ...).
+  virtual std::string name() const = 0;
+
+  /// The characteristic function f_S: true iff `greens` contains a quorum.
+  /// This must be monotone in `greens`.
+  virtual bool contains_quorum(const ElementSet& greens) const = 0;
+
+  /// Size of a smallest quorum.
+  virtual std::size_t min_quorum_size() const = 0;
+
+  /// Size of a largest quorum.
+  virtual std::size_t max_quorum_size() const = 0;
+
+  /// True iff `candidate` is exactly a quorum (a minterm of f_S): it
+  /// contains a quorum and no proper subset does.
+  bool is_quorum(const ElementSet& candidate) const;
+
+  /// True iff `blockers` intersects every quorum.  Equivalent to: the
+  /// complement of `blockers` contains no quorum.
+  bool is_transversal(const ElementSet& blockers) const;
+
+  /// All quorums (minterms), enumerated by brute force over subsets.
+  /// Only valid for universes of at most `kEnumerationLimit` elements;
+  /// structured systems may override with cheaper enumerations.
+  virtual std::vector<ElementSet> enumerate_quorums() const;
+
+  static constexpr std::size_t kEnumerationLimit = 22;
+};
+
+using QuorumSystemPtr = std::shared_ptr<const QuorumSystem>;
+
+}  // namespace qps

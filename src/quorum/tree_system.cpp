@@ -1,0 +1,37 @@
+#include "quorum/tree_system.h"
+
+#include "util/require.h"
+
+namespace qps {
+
+TreeSystem::TreeSystem(std::size_t height)
+    : height_(height), n_((std::size_t{2} << height) - 1) {
+  QPS_REQUIRE(height <= 30, "tree height out of supported range");
+}
+
+TreeSystem TreeSystem::with_universe(std::size_t universe_size) {
+  std::size_t h = 0;
+  while (((std::size_t{2} << h) - 1) < universe_size) ++h;
+  QPS_REQUIRE(((std::size_t{2} << h) - 1) == universe_size,
+              "Tree universe size must be 2^(h+1) - 1");
+  return TreeSystem(h);
+}
+
+std::string TreeSystem::name() const {
+  return "Tree(h=" + std::to_string(height_) + ",n=" + std::to_string(n_) + ")";
+}
+
+bool TreeSystem::subtree_live(Element v, const ElementSet& greens) const {
+  if (is_leaf(v)) return greens.contains(v);
+  const bool left = subtree_live(left_child(v), greens);
+  const bool right = subtree_live(right_child(v), greens);
+  if (left && right) return true;  // quorums of both subtrees
+  return greens.contains(v) && (left || right);  // root + one subtree quorum
+}
+
+bool TreeSystem::contains_quorum(const ElementSet& greens) const {
+  QPS_REQUIRE(greens.universe_size() == n_, "wrong universe");
+  return subtree_live(kRoot, greens);
+}
+
+}  // namespace qps

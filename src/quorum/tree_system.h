@@ -1,0 +1,45 @@
+// The Tree system (Agrawal & El-Abbadi 1991): all n = 2^(h+1) - 1 nodes of a
+// complete binary tree are elements.  A quorum of a subtree is either
+//   (a) its root together with a quorum of one of its child subtrees, or
+//   (b) the union of a quorum of each child subtree,
+// with a single leaf being the (only) quorum of a height-0 subtree.
+// Minimal quorums range from a root-to-leaf path (h+1 elements) to the full
+// leaf level ((n+1)/2 elements).
+//
+// Elements are numbered in heap order: root 0, children of v at 2v+1, 2v+2.
+#pragma once
+
+#include <string>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class TreeSystem final : public QuorumSystem {
+ public:
+  /// Complete binary tree of height `height` (height 0 = single node).
+  explicit TreeSystem(std::size_t height);
+
+  /// The tree with a given universe size n = 2^(h+1) - 1.
+  static TreeSystem with_universe(std::size_t universe_size);
+
+  std::size_t universe_size() const override { return n_; }
+  std::string name() const override;
+  bool contains_quorum(const ElementSet& greens) const override;
+  std::size_t min_quorum_size() const override { return height_ + 1; }
+  std::size_t max_quorum_size() const override { return (n_ + 1) / 2; }
+
+  std::size_t height() const { return height_; }
+  static Element left_child(Element v) { return 2 * v + 1; }
+  static Element right_child(Element v) { return 2 * v + 2; }
+  bool is_leaf(Element v) const { return left_child(v) >= n_; }
+  static constexpr Element kRoot = 0;
+
+ private:
+  std::size_t height_;
+  std::size_t n_;
+
+  bool subtree_live(Element v, const ElementSet& greens) const;
+};
+
+}  // namespace qps

@@ -1,0 +1,84 @@
+#include "quorum/vote_system.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/require.h"
+
+namespace qps {
+
+VoteSystem::VoteSystem(std::vector<std::size_t> votes, std::size_t threshold)
+    : votes_(std::move(votes)), threshold_(threshold) {
+  QPS_REQUIRE(!votes_.empty(), "a vote system needs elements");
+  for (std::size_t w : votes_) QPS_REQUIRE(w >= 1, "votes must be positive");
+  total_ = std::accumulate(votes_.begin(), votes_.end(), std::size_t{0});
+  QPS_REQUIRE(2 * threshold_ > total_,
+              "threshold must exceed half the votes (intersection property)");
+  QPS_REQUIRE(threshold_ <= total_, "threshold unreachable");
+
+  // Minimum quorum cardinality: grab the heaviest voters first; the greedy
+  // prefix is a minimal winning set of minimum size.
+  std::vector<std::size_t> sorted = votes_;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::size_t sum = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    sum += sorted[i];
+    if (sum >= threshold_) {
+      min_size_ = i + 1;
+      break;
+    }
+  }
+
+  // Maximum cardinality of a MINIMAL winning set.  S is minimal iff
+  // sum(S) - min(S) < T.  Fix the minimum element sorted[i] = w; the rest
+  // of S comes from positions > i with partial sum s in [T - w, T), and we
+  // want the largest count.  Exact max-count subset-sum DP over the
+  // suffix, capped at sums < T (pseudo-polynomial in the threshold).
+  QPS_REQUIRE(threshold_ <= 1u << 20, "vote threshold out of supported range");
+  std::sort(sorted.begin(), sorted.end());
+  constexpr int kUnreachable = -1;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const std::size_t w = sorted[i];
+    // dp[s] = max count of suffix elements summing exactly to s (< T).
+    std::vector<int> dp(threshold_, kUnreachable);
+    dp[0] = 0;
+    for (std::size_t j = i + 1; j < sorted.size(); ++j) {
+      const std::size_t weight = sorted[j];
+      if (weight >= threshold_) continue;  // alone it already exceeds the cap
+      for (std::size_t s = threshold_ - 1;; --s) {
+        if (s >= weight && dp[s - weight] != kUnreachable)
+          dp[s] = std::max(dp[s], dp[s - weight] + 1);
+        if (s == 0) break;
+      }
+    }
+    const std::size_t lo = threshold_ > w ? threshold_ - w : 0;
+    for (std::size_t s = lo; s < threshold_; ++s)
+      if (dp[s] != kUnreachable)
+        max_size_ = std::max(max_size_, static_cast<std::size_t>(dp[s]) + 1);
+  }
+  QPS_CHECK(max_size_ >= min_size_, "quorum size analysis inconsistent");
+}
+
+VoteSystem VoteSystem::wheel(std::size_t universe_size) {
+  QPS_REQUIRE(universe_size >= 3, "Wheel needs n >= 3");
+  std::vector<std::size_t> votes(universe_size, 1);
+  votes[0] = universe_size - 2;
+  return VoteSystem(std::move(votes), universe_size - 1);
+}
+
+std::string VoteSystem::name() const {
+  return "Votes(n=" + std::to_string(votes_.size()) +
+         ",T=" + std::to_string(threshold_) + ")";
+}
+
+bool VoteSystem::contains_quorum(const ElementSet& greens) const {
+  QPS_REQUIRE(greens.universe_size() == votes_.size(), "wrong universe");
+  std::size_t sum = 0;
+  for (Element e : greens.to_vector()) {
+    sum += votes_[e];
+    if (sum >= threshold_) return true;
+  }
+  return false;
+}
+
+}  // namespace qps

@@ -1,0 +1,47 @@
+// Weighted voting (Gifford 1979; Garcia-Molina & Barbara 1985): element i
+// carries w_i votes and a set is winning when it collects at least T
+// votes.  The quorums are the minimal winning sets.  With T strictly above
+// half the total weight the system is a coterie; it is ND exactly when no
+// "wasted vote" exists, which the tests probe with the is_nondominated
+// checker.  Maj(n) is the all-ones special case; Wheel(n) is votes
+// (n-2, 1, ..., 1) with threshold n-1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class VoteSystem final : public QuorumSystem {
+ public:
+  /// `votes[i]` is element i's (positive) weight; a set wins with total
+  /// weight >= `threshold`.  Requires threshold > (sum of votes) / 2 so
+  /// that winning sets pairwise intersect.
+  VoteSystem(std::vector<std::size_t> votes, std::size_t threshold);
+
+  /// The vote assignment realizing Wheel(n): hub n-2 votes, rim 1 each,
+  /// threshold n-1.
+  static VoteSystem wheel(std::size_t universe_size);
+
+  std::size_t universe_size() const override { return votes_.size(); }
+  std::string name() const override;
+  bool contains_quorum(const ElementSet& greens) const override;
+  /// Computed eagerly at construction by greedy/enumerative analysis.
+  std::size_t min_quorum_size() const override { return min_size_; }
+  std::size_t max_quorum_size() const override { return max_size_; }
+
+  std::size_t threshold() const { return threshold_; }
+  std::size_t total_votes() const { return total_; }
+  std::size_t votes_of(Element e) const { return votes_[e]; }
+
+ private:
+  std::vector<std::size_t> votes_;
+  std::size_t threshold_;
+  std::size_t total_ = 0;
+  std::size_t min_size_ = 0;
+  std::size_t max_size_ = 0;
+};
+
+}  // namespace qps

@@ -1,0 +1,33 @@
+#include "quorum/wheel.h"
+
+#include "util/require.h"
+
+namespace qps {
+
+WheelSystem::WheelSystem(std::size_t universe_size) : n_(universe_size) {
+  QPS_REQUIRE(n_ >= 3, "Wheel needs a hub and a rim of at least two");
+}
+
+std::string WheelSystem::name() const {
+  return "Wheel(" + std::to_string(n_) + ")";
+}
+
+bool WheelSystem::contains_quorum(const ElementSet& greens) const {
+  QPS_REQUIRE(greens.universe_size() == n_, "wrong universe");
+  const std::size_t greens_total = greens.count();
+  if (greens.contains(kHub))
+    return greens_total >= 2;  // hub plus any rim element
+  return greens_total == n_ - 1;  // the entire rim
+}
+
+std::vector<ElementSet> WheelSystem::enumerate_quorums() const {
+  std::vector<ElementSet> quorums;
+  for (Element i = 1; i < n_; ++i)
+    quorums.push_back(ElementSet(n_, {kHub, i}));
+  ElementSet rim = ElementSet::full(n_);
+  rim.erase(kHub);
+  quorums.push_back(rim);
+  return quorums;
+}
+
+}  // namespace qps

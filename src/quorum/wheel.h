@@ -1,0 +1,31 @@
+// The Wheel system (Holzman, Marcus & Peleg 1997): quorums are the "spokes"
+// {hub, i} for every rim element i, plus the full rim {2..n}.  Element 0 is
+// the hub.  Equivalently a (1, n-1)-CW crumbling wall; kept as a standalone
+// class because the paper states separate bounds for it (Cor. 3.4, 4.5(2)).
+#pragma once
+
+#include <string>
+
+#include "quorum/quorum_system.h"
+
+namespace qps {
+
+class WheelSystem final : public QuorumSystem {
+ public:
+  /// `universe_size` must be at least 3 (hub plus a rim of >= 2).
+  explicit WheelSystem(std::size_t universe_size);
+
+  std::size_t universe_size() const override { return n_; }
+  std::string name() const override;
+  bool contains_quorum(const ElementSet& greens) const override;
+  std::size_t min_quorum_size() const override { return 2; }
+  std::size_t max_quorum_size() const override { return n_ - 1; }
+  std::vector<ElementSet> enumerate_quorums() const override;
+
+  static constexpr Element kHub = 0;
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace qps

@@ -1,0 +1,36 @@
+#include "sim/fault_injector.h"
+
+#include "util/require.h"
+
+namespace qps::sim {
+
+ElementSet FaultInjector::crash_iid(std::size_t cluster_size, double p,
+                                    Rng& rng) {
+  QPS_REQUIRE(cluster_size <= network_->node_count(),
+              "cluster larger than the network");
+  ElementSet crashed(cluster_size);
+  for (NodeId id = 0; id < cluster_size; ++id) {
+    if (rng.bernoulli(p)) {
+      network_->node(id).crash();
+      crashed.insert(id);
+    }
+  }
+  return crashed;
+}
+
+void FaultInjector::crash_now(const ElementSet& nodes) {
+  for (Element e : nodes.to_vector())
+    network_->node(static_cast<NodeId>(e)).crash();
+}
+
+void FaultInjector::schedule_crash(NodeId node, SimTime when) {
+  network_->simulator().schedule_at(
+      when, [this, node]() { network_->node(node).crash(); });
+}
+
+void FaultInjector::schedule_recovery(NodeId node, SimTime when) {
+  network_->simulator().schedule_at(
+      when, [this, node]() { network_->node(node).recover(); });
+}
+
+}  // namespace qps::sim

@@ -1,0 +1,35 @@
+// Fault injection for the simulated cluster: i.i.d. initial crashes (the
+// paper's probabilistic model, each processor failed with probability p)
+// and scheduled crash/recovery events for dynamic scenarios.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/network.h"
+#include "util/element_set.h"
+#include "util/rng.h"
+
+namespace qps::sim {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Network& network) : network_(&network) {}
+
+  /// Crashes each of the first `cluster_size` nodes independently with
+  /// probability `p` (immediately); returns the set of crashed node ids.
+  ElementSet crash_iid(std::size_t cluster_size, double p, Rng& rng);
+
+  /// Crashes exactly the given nodes immediately.
+  void crash_now(const ElementSet& nodes);
+
+  /// Schedules a crash of `node` at simulated time `when`.
+  void schedule_crash(NodeId node, SimTime when);
+
+  /// Schedules a recovery of `node` at simulated time `when`.
+  void schedule_recovery(NodeId node, SimTime when);
+
+ private:
+  Network* network_;
+};
+
+}  // namespace qps::sim

@@ -1,0 +1,21 @@
+// Message type tags shared by the sim substrate and the protocol layer.
+#pragma once
+
+#include <cstdint>
+
+namespace qps::sim {
+
+enum MessageType : std::uint32_t {
+  kPing = 1,       // a=sequence
+  kPong = 2,       // a=sequence
+  kLockReq = 3,    // a=request id
+  kLockGrant = 4,  // a=request id
+  kLockDeny = 5,   // a=request id
+  kUnlock = 6,     // a=request id
+  kReadReq = 7,    // a=request id
+  kReadReply = 8,  // a=request id, b=version, c=value
+  kWriteReq = 9,   // a=request id, b=version, c=value
+  kWriteAck = 10,  // a=request id
+};
+
+}  // namespace qps::sim

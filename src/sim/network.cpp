@@ -1,0 +1,63 @@
+#include "sim/network.h"
+
+#include "util/require.h"
+
+namespace qps::sim {
+
+LatencyModel fixed_latency(double value) {
+  QPS_REQUIRE(value >= 0.0, "latency must be nonnegative");
+  return [value](Rng&) { return value; };
+}
+
+LatencyModel uniform_latency(double lo, double hi) {
+  QPS_REQUIRE(lo >= 0.0 && lo <= hi, "bad latency range");
+  return [lo, hi](Rng& rng) { return rng.uniform_real(lo, hi); };
+}
+
+LatencyModel exponential_latency(double mean) {
+  QPS_REQUIRE(mean > 0.0, "latency mean must be positive");
+  return [mean](Rng& rng) { return rng.exponential(1.0 / mean); };
+}
+
+Network::Network(Simulator& simulator, Rng& rng, LatencyModel latency)
+    : simulator_(&simulator), rng_(&rng), latency_(std::move(latency)) {
+  QPS_REQUIRE(latency_ != nullptr, "latency model must be callable");
+}
+
+void Network::add_node(Node* node) {
+  QPS_REQUIRE(node != nullptr, "node must not be null");
+  QPS_REQUIRE(node->id() == nodes_.size(),
+              "nodes must be registered in dense id order");
+  nodes_.push_back(node);
+}
+
+Node& Network::node(NodeId id) {
+  QPS_REQUIRE(id < nodes_.size(), "unknown node id");
+  return *nodes_[id];
+}
+
+const Node& Network::node(NodeId id) const {
+  QPS_REQUIRE(id < nodes_.size(), "unknown node id");
+  return *nodes_[id];
+}
+
+void Network::set_drop_probability(double p) {
+  QPS_REQUIRE(p >= 0.0 && p <= 1.0, "drop probability outside [0,1]");
+  drop_probability_ = p;
+}
+
+void Network::send(const Message& message) {
+  QPS_REQUIRE(message.to < nodes_.size(), "message to unknown node");
+  ++messages_sent_;
+  if (drop_probability_ > 0.0 && rng_->bernoulli(drop_probability_))
+    return;  // lost in transit
+  const double delay = latency_(*rng_);
+  simulator_->schedule(delay, [this, message]() {
+    Node* destination = nodes_[message.to];
+    if (!destination->alive()) return;  // fail-stop drop
+    ++messages_delivered_;
+    destination->on_message(message, *this);
+  });
+}
+
+}  // namespace qps::sim

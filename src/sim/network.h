@@ -1,0 +1,105 @@
+// Message-passing network over the discrete-event simulator.
+//
+// Nodes are registered processes addressed by NodeId.  send() samples a
+// delivery latency from the network's latency model and schedules the
+// destination's handler; messages to a node that is crashed at delivery
+// time are dropped silently (fail-stop, no byzantine behaviour).  Crash and
+// recovery are instantaneous state flips driven by the FaultInjector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace qps::sim {
+
+using NodeId = std::uint32_t;
+
+/// A small fixed-shape message: a type tag plus integer operands.  The
+/// protocols in src/protocols/ need nothing richer, and a flat struct keeps
+/// the simulator allocation-free on the hot path.
+struct Message {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint32_t type = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+
+class Network;
+
+/// Base class for simulated processes.
+class Node {
+ public:
+  explicit Node(NodeId id) : id_(id) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  bool alive() const { return alive_; }
+  void crash() { alive_ = false; }
+  virtual void recover() { alive_ = true; }
+
+  /// Invoked by the network when a message is delivered (only while alive).
+  virtual void on_message(const Message& message, Network& network) = 0;
+
+ private:
+  NodeId id_;
+  bool alive_ = true;
+};
+
+/// Latency model: a sampling function over the RNG.
+using LatencyModel = std::function<double(Rng&)>;
+
+LatencyModel fixed_latency(double value);
+LatencyModel uniform_latency(double lo, double hi);
+LatencyModel exponential_latency(double mean);
+
+class Network {
+ public:
+  Network(Simulator& simulator, Rng& rng, LatencyModel latency);
+
+  /// Registers a node; the caller keeps ownership and must outlive the
+  /// network.  Node ids must be registered in increasing dense order.
+  void add_node(Node* node);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+
+  /// Sends `message`; delivery is scheduled after a sampled latency and
+  /// dropped if the destination is crashed at delivery time.
+  void send(const Message& message);
+
+  /// Makes the network lossy: every message is independently dropped with
+  /// probability `p` (in addition to crash drops).  Protocol safety must
+  /// not depend on delivery; the tests exercise this.
+  void set_drop_probability(double p);
+  double drop_probability() const { return drop_probability_; }
+
+  /// Messages handed to send() so far (including ones later dropped).
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  /// Messages actually delivered to live nodes.
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+
+  Simulator& simulator() { return *simulator_; }
+  Rng& rng() { return *rng_; }
+
+ private:
+  Simulator* simulator_;
+  Rng* rng_;
+  LatencyModel latency_;
+  std::vector<Node*> nodes_;
+  double drop_probability_ = 0.0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+};
+
+}  // namespace qps::sim

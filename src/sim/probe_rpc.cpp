@@ -1,0 +1,53 @@
+#include "sim/probe_rpc.h"
+
+#include "sim/messages.h"
+#include "util/require.h"
+
+namespace qps::sim {
+
+ClusterProber::ClusterProber(Network& network, NodeId id,
+                             std::size_t cluster_size, double timeout)
+    : Node(id),
+      network_(&network),
+      cluster_size_(cluster_size),
+      timeout_(timeout) {
+  QPS_REQUIRE(timeout > 0.0, "probe timeout must be positive");
+}
+
+Color ClusterProber::probe(Element e) {
+  QPS_REQUIRE(e < cluster_size_, "probe target outside the cluster");
+  const std::int64_t sequence = next_sequence_++;
+  ++probes_issued_;
+  const double started = network_->simulator().now();
+
+  Message ping;
+  ping.from = id();
+  ping.to = static_cast<NodeId>(e);
+  ping.type = kPing;
+  ping.a = sequence;
+  network_->send(ping);
+
+  const double deadline = started + timeout_;
+  // A no-op timer pins the clock to the deadline: if the PONG never comes
+  // the prober really waits the full timeout (matters for time accounting
+  // and for any events scheduled in between).
+  network_->simulator().schedule(timeout_, []() {});
+  network_->simulator().run_until(
+      [this, sequence]() { return pongs_.count(sequence) != 0; }, deadline);
+  time_in_probing_ += network_->simulator().now() - started;
+  if (pongs_.count(sequence) != 0) {
+    pongs_.erase(sequence);
+    return Color::kGreen;
+  }
+  return Color::kRed;
+}
+
+ProbeSession ClusterProber::make_session() {
+  return ProbeSession(cluster_size_, [this](Element e) { return probe(e); });
+}
+
+void ClusterProber::on_message(const Message& message, Network& /*network*/) {
+  if (message.type == kPong) pongs_.insert(message.a);
+}
+
+}  // namespace qps::sim

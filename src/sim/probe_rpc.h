@@ -1,0 +1,49 @@
+// ClusterProber: a synchronous probing facade over the simulated network.
+//
+// probe(i) sends a PING to cluster node i, advances the simulation until
+// the PONG arrives or the timeout expires, and reports green (live) or red
+// (crashed).  With a latency model bounded below the timeout this is a
+// perfect failure detector, matching the paper's model where a probe
+// reveals the element's color exactly.  A ProbeStrategy can then run
+// unmodified over the live cluster through make_session(), which is how
+// the examples demonstrate probe-efficient quorum discovery end to end.
+#pragma once
+
+#include <unordered_set>
+
+#include "core/probe_session.h"
+#include "sim/network.h"
+
+namespace qps::sim {
+
+class ClusterProber : public Node {
+ public:
+  /// `id` must be a registered node id for this prober itself (clients live
+  /// in the same id space as servers, above the cluster).  Probes target
+  /// cluster nodes [0, cluster_size).
+  ClusterProber(Network& network, NodeId id, std::size_t cluster_size,
+                double timeout);
+
+  /// Synchronously probes cluster node `e`; drives the simulator.
+  Color probe(Element e);
+
+  /// A ProbeSession whose oracle is this prober (the prober must outlive
+  /// the session).
+  ProbeSession make_session();
+
+  std::size_t probes_issued() const { return probes_issued_; }
+  double time_in_probing() const { return time_in_probing_; }
+
+  void on_message(const Message& message, Network& network) override;
+
+ private:
+  Network* network_;
+  std::size_t cluster_size_;
+  double timeout_;
+  std::int64_t next_sequence_ = 1;
+  std::unordered_set<std::int64_t> pongs_;
+  std::size_t probes_issued_ = 0;
+  double time_in_probing_ = 0.0;
+};
+
+}  // namespace qps::sim

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include "util/require.h"
+
+namespace qps::sim {
+
+void Simulator::schedule(SimTime delay, Callback fn) {
+  QPS_REQUIRE(delay >= 0.0, "cannot schedule into the past");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(SimTime when, Callback fn) {
+  QPS_REQUIRE(when >= now_, "cannot schedule into the past");
+  QPS_REQUIRE(fn != nullptr, "event callback must be callable");
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop, so copy the handle first.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.when;
+  ++executed_;
+  event.fn();
+  return true;
+}
+
+void Simulator::run(std::uint64_t max_events) {
+  for (std::uint64_t i = 0; i < max_events; ++i)
+    if (!step()) return;
+}
+
+bool Simulator::run_until(const std::function<bool()>& predicate,
+                          SimTime deadline) {
+  while (!predicate()) {
+    if (queue_.empty()) return predicate();
+    if (queue_.top().when > deadline) return predicate();
+    step();
+  }
+  return true;
+}
+
+}  // namespace qps::sim

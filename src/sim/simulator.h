@@ -1,0 +1,60 @@
+// A minimal discrete-event simulator: a virtual clock and a stable event
+// queue.  Events scheduled for the same instant execute in scheduling
+// order, so runs are fully deterministic given the RNG seeds of the layers
+// above.  This is the substrate on which the message-passing network,
+// fault injection and the quorum protocols are built.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace qps::sim {
+
+using SimTime = double;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+  std::uint64_t executed_events() const { return executed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Schedules `fn` to run `delay` time units from now (delay >= 0).
+  void schedule(SimTime delay, Callback fn);
+
+  /// Schedules `fn` at absolute time `when` (>= now()).
+  void schedule_at(SimTime when, Callback fn);
+
+  /// Executes the next event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains or `max_events` events have executed.
+  void run(std::uint64_t max_events = UINT64_MAX);
+
+  /// Runs until `predicate()` holds, the clock passes `deadline`, or the
+  /// queue drains; returns whether the predicate held on return.
+  bool run_until(const std::function<bool()>& predicate, SimTime deadline);
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // stable tie-break for simultaneous events
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace qps::sim

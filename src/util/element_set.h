@@ -1,0 +1,91 @@
+// ElementSet: a dynamic bitset over the universe U = {0 .. n-1}.
+//
+// Quorum systems are set systems; every hot operation in the library
+// (characteristic-function evaluation, witness validation, transversal
+// tests) reduces to subset/intersection/popcount queries on element sets,
+// so they are all O(n/64) here.  The class is a regular value type.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace qps {
+
+using Element = std::uint32_t;
+
+class ElementSet {
+ public:
+  ElementSet() = default;
+
+  /// Empty set over a universe of `universe_size` elements.
+  explicit ElementSet(std::size_t universe_size);
+
+  /// Set over `universe_size` elements containing exactly `members`.
+  ElementSet(std::size_t universe_size, std::initializer_list<Element> members);
+
+  /// Full universe {0 .. universe_size-1}.
+  static ElementSet full(std::size_t universe_size);
+
+  std::size_t universe_size() const { return n_; }
+
+  bool contains(Element e) const;
+  void insert(Element e);
+  void erase(Element e);
+  /// Removes every element; universe size is unchanged.
+  void clear();
+
+  /// Number of elements in the set.
+  std::size_t count() const;
+  bool empty() const { return count() == 0; }
+
+  /// True iff *this is a subset of `other` (same universe required).
+  bool is_subset_of(const ElementSet& other) const;
+  /// True iff the two sets share at least one element.
+  bool intersects(const ElementSet& other) const;
+
+  /// Complement within the universe.
+  ElementSet complement() const;
+
+  ElementSet& operator|=(const ElementSet& other);
+  ElementSet& operator&=(const ElementSet& other);
+  ElementSet& operator-=(const ElementSet& other);
+  friend ElementSet operator|(ElementSet a, const ElementSet& b) { return a |= b; }
+  friend ElementSet operator&(ElementSet a, const ElementSet& b) { return a &= b; }
+  friend ElementSet operator-(ElementSet a, const ElementSet& b) { return a -= b; }
+
+  bool operator==(const ElementSet& other) const = default;
+
+  /// Members in increasing order.
+  std::vector<Element> to_vector() const;
+
+  /// Smallest element, or universe_size() if empty.
+  Element first() const;
+  /// Smallest element strictly greater than `e`, or universe_size() if none.
+  Element next_after(Element e) const;
+
+  /// For universes of at most 64 elements: the set as a bitmask.
+  std::uint64_t to_mask() const;
+  /// Builds a set from a bitmask (universe must be at most 64 elements).
+  static ElementSet from_mask(std::size_t universe_size, std::uint64_t mask);
+
+  /// Stable hash of the contents (for use in unordered containers).
+  std::size_t hash() const;
+
+  /// "{1, 4, 7}" using 1-based element names, matching the paper's numbering.
+  std::string to_string() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+
+  void check_element(Element e) const;
+  void check_same_universe(const ElementSet& other) const;
+};
+
+struct ElementSetHash {
+  std::size_t operator()(const ElementSet& s) const { return s.hash(); }
+};
+
+}  // namespace qps

@@ -1,0 +1,89 @@
+#include "util/flags.h"
+
+#include <stdexcept>
+
+#include "util/require.h"
+
+namespace qps {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag == boolean true
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  touched_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    QPS_REQUIRE(pos == it->second.size(), "trailing junk in integer flag");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    QPS_REQUIRE(pos == it->second.size(), "trailing junk in double flag");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& def) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  touched_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  if (it->second == "true" || it->second == "1" || it->second == "yes")
+    return true;
+  if (it->second == "false" || it->second == "0" || it->second == "no")
+    return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
+                              it->second + "'");
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_)
+    if (!touched_.count(name)) out.push_back(name);
+  return out;
+}
+
+}  // namespace qps

@@ -1,0 +1,41 @@
+// Tiny command-line flag parser for the examples and bench harnesses.
+//
+// Syntax: --name=value or --name value; unrecognized flags raise an error so
+// typos do not silently fall back to defaults.  Not a general-purpose
+// library; just enough for reproducible experiment drivers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qps {
+
+class Flags {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  Flags(int argc, const char* const* argv);
+
+  /// Value lookups with defaults.  A flag used with the wrong type throws.
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  std::string get_string(const std::string& name, const std::string& def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  bool has(const std::string& name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags present on the command line that were never queried; used by
+  /// drivers to reject typos after all get_* calls are made.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> touched_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace qps

@@ -1,0 +1,43 @@
+// Contract-checking macros for library boundaries.
+//
+// The C++ Core Guidelines (I.5, I.6, E.12) recommend that a library surface
+// detect precondition violations and report them in a way the caller can
+// observe.  We throw: preconditions raise std::invalid_argument, internal
+// invariant failures raise std::logic_error.  The checks stay enabled in
+// Release builds; every call site is cheap (a branch) relative to the work
+// the functions do.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qps::detail {
+
+[[noreturn]] inline void throw_requirement(const char* kind, const char* expr,
+                                           const char* file, int line,
+                                           const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " - " << message;
+  if (std::string(kind) == "precondition") throw std::invalid_argument(os.str());
+  throw std::logic_error(os.str());
+}
+
+}  // namespace qps::detail
+
+// Precondition on arguments supplied by the caller.
+#define QPS_REQUIRE(cond, message)                                          \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::qps::detail::throw_requirement("precondition", #cond, __FILE__,     \
+                                       __LINE__, (message));                \
+  } while (0)
+
+// Internal invariant; violation indicates a bug in this library.
+#define QPS_CHECK(cond, message)                                            \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::qps::detail::throw_requirement("invariant", #cond, __FILE__,        \
+                                       __LINE__, (message));                \
+  } while (0)

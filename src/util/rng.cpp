@@ -1,0 +1,97 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/require.h"
+
+namespace qps {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // All-zero state is the one forbidden state of xoshiro; splitmix64 cannot
+  // produce four zero outputs in a row, but keep the guard for clarity.
+  if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  QPS_REQUIRE(bound > 0, "below() needs a positive bound");
+  // Lemire's method: multiply-shift with rejection in the biased band.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  QPS_REQUIRE(lo <= hi, "uniform_int() needs lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  QPS_REQUIRE(lo <= hi, "uniform_real() needs lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::exponential(double lambda) {
+  QPS_REQUIRE(lambda > 0.0, "exponential() needs lambda > 0");
+  // Inverse-CDF; 1 - uniform01() is in (0, 1], so log() is finite.
+  return -std::log1p(-uniform01()) / lambda;
+}
+
+std::vector<std::uint32_t> Rng::permutation(std::uint32_t n) {
+  std::vector<std::uint32_t> p(n);
+  for (std::uint32_t i = 0; i < n; ++i) p[i] = i;
+  shuffle(p);
+  return p;
+}
+
+Rng Rng::fork() { return Rng(next_u64() ^ 0xa0761d6478bd642fULL); }
+
+}  // namespace qps

@@ -1,0 +1,83 @@
+// Deterministic, explicitly-seeded random number generation.
+//
+// All randomness in the library flows through qps::Rng so that every
+// experiment and every randomized probe strategy is reproducible from a
+// printed 64-bit seed.  The generator is xoshiro256++ seeded via splitmix64,
+// which is fast, has a 2^256-1 period, and passes BigCrush; we avoid
+// std::mt19937 because its seeding from a single integer is notoriously weak
+// and its state is large.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace qps {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256++ generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 uniform random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound).  `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01();
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Exponentially distributed value with rate `lambda` (> 0).
+  double exponential(double lambda);
+
+  /// Fisher-Yates shuffle of an index vector [0, n).
+  std::vector<std::uint32_t> permutation(std::uint32_t n);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// In-place Fisher-Yates shuffle of a fixed-size array.
+  template <typename T, std::size_t N>
+  void shuffle_array(std::array<T, N>& v) {
+    for (std::size_t i = N; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Forks an independent generator (streams are decorrelated by remixing).
+  Rng fork();
+
+  /// Satisfies UniformRandomBitGenerator so std:: algorithms can use Rng.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace qps

@@ -1,0 +1,60 @@
+// Summary statistics and small fitting helpers used by the benchmark
+// harnesses: online mean/variance (Welford), normal-approximation confidence
+// intervals, and least-squares log-log regression for exponent fits
+// (e.g. verifying PPC(HQS) ~ n^0.834).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace qps {
+
+/// Online accumulator for mean and variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean.
+  double sem() const;
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  double ci95_halfwidth() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Result of an ordinary least-squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination.
+  double r_squared = 0.0;
+};
+
+/// Least-squares line through (x[i], y[i]).  Needs at least two points.
+LinearFit fit_line(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits y = C * x^alpha by regressing log y on log x; returns {alpha, log C}.
+/// All inputs must be positive.
+LinearFit fit_power_law(const std::vector<double>& x,
+                        const std::vector<double>& y);
+
+/// Exact binomial tail P[X >= k] for X ~ Bin(n, p); numerically stable for
+/// the small n used in availability closed forms.
+double binomial_tail_geq(std::size_t n, std::size_t k, double p);
+
+/// Binomial coefficient as double (exact for the ranges used here).
+double binomial_coefficient(std::size_t n, std::size_t k);
+
+}  // namespace qps

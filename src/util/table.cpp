@@ -1,0 +1,68 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.h"
+
+namespace qps {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  QPS_REQUIRE(!headers_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  QPS_REQUIRE(cells.size() == headers_.size(),
+              "row width does not match the header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::num(long long value) { return std::to_string(value); }
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != 'e' && c != 'E' && c != '%')
+      return false;
+  return true;
+}
+}  // namespace
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      if (looks_numeric(row[c]))
+        os << std::setw(static_cast<int>(width[c])) << std::right << row[c];
+      else
+        os << std::setw(static_cast<int>(width[c])) << std::left << row[c];
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace qps

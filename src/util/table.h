@@ -1,0 +1,37 @@
+// Minimal aligned-column ASCII table writer.
+//
+// Every benchmark harness prints paper-vs-measured rows; this class keeps
+// that output uniform and diffable (fixed column order, right-aligned
+// numerics, one header row, a rule line, then data rows).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qps {
+
+class Table {
+ public:
+  /// Column headers fix the column count for all subsequent rows.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a data row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` digits after the point.
+  static std::string num(double value, int precision = 3);
+  /// Convenience: formats an integer cell.
+  static std::string num(long long value);
+
+  /// Renders with two-space gutters; numeric-looking cells right-aligned.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qps

@@ -1,0 +1,170 @@
+// The central safety property (Section 2.3): every probing algorithm, on
+// EVERY coloring, terminates with a valid witness -- a fully probed,
+// monochromatic set that is a quorum (green) or a transversal (red).
+// Exhaustive over all 2^n colorings for small systems, with several RNG
+// seeds for the randomized algorithms; randomized spot checks for larger
+// systems.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms/greedy.h"
+#include "core/algorithms/probe_cw.h"
+#include "core/algorithms/probe_hqs.h"
+#include "core/algorithms/probe_maj.h"
+#include "core/algorithms/probe_tree.h"
+#include "core/estimator.h"
+#include "core/witness.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+
+namespace qps {
+namespace {
+
+void expect_valid_on_all_colorings(const QuorumSystem& system,
+                                   const ProbeStrategy& strategy,
+                                   int seeds = 3) {
+  const std::size_t n = system.universe_size();
+  ASSERT_LE(n, 16u);
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    const Coloring coloring(n, ElementSet::from_mask(n, mask));
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng rng(1000 * seed + 7);
+      ProbeSession session(coloring);
+      const Witness witness = strategy.run(session, rng);
+      const std::string error =
+          validate_witness(system, coloring, witness, session.probed());
+      ASSERT_EQ(error, "") << strategy.name() << " on " << system.name()
+                           << " coloring greens="
+                           << coloring.greens().to_string()
+                           << " seed=" << seed;
+      ASSERT_LE(session.probe_count(), n);
+    }
+  }
+}
+
+void expect_valid_on_random_colorings(const QuorumSystem& system,
+                                      const ProbeStrategy& strategy,
+                                      int trials = 50) {
+  Rng rng(2025);
+  for (int t = 0; t < trials; ++t) {
+    const double p = rng.uniform_real(0.05, 0.95);
+    const Coloring coloring =
+        sample_iid_coloring(system.universe_size(), p, rng);
+    ProbeSession session(coloring);
+    const Witness witness = strategy.run(session, rng);
+    const std::string error =
+        validate_witness(system, coloring, witness, session.probed());
+    ASSERT_EQ(error, "") << strategy.name() << " on " << system.name();
+  }
+}
+
+TEST(AlgorithmValidity, ProbeMajExhaustive) {
+  for (std::size_t n : {1u, 3u, 5u, 7u, 9u}) {
+    const MajoritySystem maj(n);
+    expect_valid_on_all_colorings(maj, ProbeMaj(maj), 1);
+  }
+}
+
+TEST(AlgorithmValidity, RProbeMajExhaustive) {
+  for (std::size_t n : {1u, 3u, 5u, 7u}) {
+    const MajoritySystem maj(n);
+    expect_valid_on_all_colorings(maj, RProbeMaj(maj));
+  }
+}
+
+TEST(AlgorithmValidity, ProbeCwExhaustive) {
+  const std::vector<std::vector<std::size_t>> walls = {
+      {1}, {1, 2}, {1, 4}, {1, 2, 3}, {1, 3, 2}, {1, 2, 2, 2}};
+  for (const auto& widths : walls) {
+    const CrumblingWall wall(widths);
+    expect_valid_on_all_colorings(wall, ProbeCW(wall), 1);
+  }
+}
+
+TEST(AlgorithmValidity, RProbeCwExhaustive) {
+  const std::vector<std::vector<std::size_t>> walls = {
+      {1}, {1, 2}, {1, 4}, {1, 2, 3}, {1, 3, 2}};
+  for (const auto& widths : walls) {
+    const CrumblingWall wall(widths);
+    expect_valid_on_all_colorings(wall, RProbeCW(wall));
+  }
+}
+
+TEST(AlgorithmValidity, ProbeTreeExhaustive) {
+  for (std::size_t h : {0u, 1u, 2u, 3u}) {
+    const TreeSystem tree(h);
+    expect_valid_on_all_colorings(tree, ProbeTree(tree), 1);
+  }
+}
+
+TEST(AlgorithmValidity, RProbeTreeExhaustive) {
+  for (std::size_t h : {0u, 1u, 2u, 3u}) {
+    const TreeSystem tree(h);
+    expect_valid_on_all_colorings(tree, RProbeTree(tree));
+  }
+}
+
+TEST(AlgorithmValidity, ProbeHqsExhaustive) {
+  for (std::size_t h : {0u, 1u, 2u}) {
+    const HQSystem hqs(h);
+    expect_valid_on_all_colorings(hqs, ProbeHQS(hqs), 1);
+  }
+}
+
+TEST(AlgorithmValidity, RProbeHqsExhaustive) {
+  for (std::size_t h : {0u, 1u, 2u}) {
+    const HQSystem hqs(h);
+    expect_valid_on_all_colorings(hqs, RProbeHQS(hqs));
+  }
+}
+
+TEST(AlgorithmValidity, IrProbeHqsExhaustive) {
+  for (std::size_t h : {0u, 1u, 2u}) {
+    const HQSystem hqs(h);
+    expect_valid_on_all_colorings(hqs, IRProbeHQS(hqs), 5);
+  }
+}
+
+TEST(AlgorithmValidity, GreedyExhaustive) {
+  const MajoritySystem maj(5);
+  expect_valid_on_all_colorings(maj, GreedyCandidateProbe(maj), 1);
+  const CrumblingWall wall({1, 2, 3});
+  expect_valid_on_all_colorings(wall, GreedyCandidateProbe(wall), 1);
+  const TreeSystem tree(2);
+  expect_valid_on_all_colorings(tree, GreedyCandidateProbe(tree), 1);
+}
+
+TEST(AlgorithmValidity, LargeSystemsRandomized) {
+  const MajoritySystem maj(101);
+  expect_valid_on_random_colorings(maj, ProbeMaj(maj));
+  expect_valid_on_random_colorings(maj, RProbeMaj(maj));
+
+  const CrumblingWall triang = CrumblingWall::triang(12);
+  expect_valid_on_random_colorings(triang, ProbeCW(triang));
+  expect_valid_on_random_colorings(triang, RProbeCW(triang));
+
+  const TreeSystem tree(9);
+  expect_valid_on_random_colorings(tree, ProbeTree(tree));
+  expect_valid_on_random_colorings(tree, RProbeTree(tree));
+
+  const HQSystem hqs(6);
+  expect_valid_on_random_colorings(hqs, ProbeHQS(hqs));
+  expect_valid_on_random_colorings(hqs, RProbeHQS(hqs));
+  expect_valid_on_random_colorings(hqs, IRProbeHQS(hqs));
+}
+
+TEST(AlgorithmValidity, IrProbeHqsDeepOddHeights) {
+  // IR recurses two levels at a time; odd heights exercise the h=1 fallback.
+  for (std::size_t h : {3u, 5u}) {
+    const HQSystem hqs(h);
+    const IRProbeHQS ir(hqs);
+    expect_valid_on_random_colorings(hqs, ir, 30);
+  }
+}
+
+}  // namespace
+}  // namespace qps

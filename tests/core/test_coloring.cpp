@@ -1,0 +1,162 @@
+#include "core/coloring.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace qps {
+namespace {
+
+TEST(Coloring, DefaultAllRed) {
+  const Coloring c(5);
+  for (Element e = 0; e < 5; ++e) EXPECT_EQ(c.color(e), Color::kRed);
+  EXPECT_EQ(c.green_count(), 0u);
+  EXPECT_EQ(c.red_count(), 5u);
+}
+
+TEST(Coloring, FromGreenSet) {
+  const Coloring c(5, ElementSet(5, {1, 3}));
+  EXPECT_EQ(c.color(1), Color::kGreen);
+  EXPECT_EQ(c.color(3), Color::kGreen);
+  EXPECT_EQ(c.color(0), Color::kRed);
+  EXPECT_EQ(c.green_count(), 2u);
+  EXPECT_EQ(c.reds(), ElementSet(5, {0, 2, 4}));
+}
+
+TEST(Coloring, WithFlipsOneElement) {
+  const Coloring c(3);
+  const Coloring d = c.with(1, Color::kGreen);
+  EXPECT_EQ(c.color(1), Color::kRed);
+  EXPECT_EQ(d.color(1), Color::kGreen);
+  EXPECT_EQ(d.with(1, Color::kRed), c);
+}
+
+TEST(Coloring, OppositeColor) {
+  EXPECT_EQ(opposite(Color::kRed), Color::kGreen);
+  EXPECT_EQ(opposite(Color::kGreen), Color::kRed);
+  EXPECT_EQ(to_string(Color::kGreen), "green");
+  EXPECT_EQ(to_string(Color::kRed), "red");
+}
+
+TEST(Coloring, IidSamplerMatchesP) {
+  Rng rng(42);
+  const std::size_t n = 1000;
+  double reds = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t)
+    reds += static_cast<double>(sample_iid_coloring(n, 0.3, rng).red_count());
+  EXPECT_NEAR(reds / (n * trials), 0.3, 0.01);
+}
+
+TEST(Coloring, IidExtremes) {
+  Rng rng(1);
+  EXPECT_EQ(sample_iid_coloring(20, 0.0, rng).red_count(), 0u);
+  EXPECT_EQ(sample_iid_coloring(20, 1.0, rng).red_count(), 20u);
+}
+
+TEST(ColoringDistribution, NormalizesWeights) {
+  ColoringDistribution d({Coloring(2), Coloring(2, ElementSet(2, {0}))},
+                         {3.0, 1.0});
+  EXPECT_DOUBLE_EQ(d.weight(0), 0.75);
+  EXPECT_DOUBLE_EQ(d.weight(1), 0.25);
+}
+
+TEST(ColoringDistribution, SamplingFollowsWeights) {
+  ColoringDistribution d({Coloring(2), Coloring(2, ElementSet(2, {0}))},
+                         {3.0, 1.0});
+  Rng rng(5);
+  int first = 0;
+  const int trials = 40000;
+  for (int t = 0; t < trials; ++t)
+    if (d.sample(rng).green_count() == 0) ++first;
+  EXPECT_NEAR(static_cast<double>(first) / trials, 0.75, 0.01);
+}
+
+TEST(ColoringDistribution, Validation) {
+  EXPECT_THROW(ColoringDistribution({}, {}), std::invalid_argument);
+  EXPECT_THROW(ColoringDistribution({Coloring(2)}, {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ColoringDistribution({Coloring(2)}, {-1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ColoringDistribution({Coloring(2)}, {0.0}),
+               std::invalid_argument);
+}
+
+TEST(HardDistributions, MajSupportIsAllMajorityRedColorings) {
+  const auto d = maj_hard_distribution(5);
+  EXPECT_EQ(d.size(), 10u);  // C(5,3) red choices == C(5,2) green choices
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.coloring(i).red_count(), 3u);
+    seen.insert(d.coloring(i).greens().to_mask());
+    EXPECT_DOUBLE_EQ(d.weight(i), 0.1);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(HardDistributions, CwOneGreenPerRow) {
+  const CrumblingWall wall({1, 2, 3});
+  const auto d = cw_hard_distribution(wall);
+  EXPECT_EQ(d.size(), 6u);  // 1 * 2 * 3
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const Coloring& c = d.coloring(i);
+    for (std::size_t row = 0; row < wall.row_count(); ++row) {
+      std::size_t greens = 0;
+      for (Element e = wall.row_begin(row); e < wall.row_end(row); ++e)
+        if (c.color(e) == Color::kGreen) ++greens;
+      EXPECT_EQ(greens, 1u) << "row " << row;
+    }
+  }
+}
+
+TEST(HardDistributions, TreeUpperLevelsGreenTwoRedsPerSubtree) {
+  const TreeSystem tree(3);  // n = 15; 4 height-1 subtrees
+  const auto d = tree_hard_distribution(tree);
+  EXPECT_EQ(d.size(), 81u);  // 3^4
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const Coloring& c = d.coloring(i);
+    // Nodes above the height-1 subtree roots (heap ids 0..2) are green.
+    for (Element v = 0; v < 3; ++v) EXPECT_EQ(c.color(v), Color::kGreen);
+    // Each height-1 subtree {parent, 2 leaves} has exactly 2 reds.
+    for (Element parent = 3; parent <= 6; ++parent) {
+      int reds = (c.color(parent) == Color::kRed) +
+                 (c.color(TreeSystem::left_child(parent)) == Color::kRed) +
+                 (c.color(TreeSystem::right_child(parent)) == Color::kRed);
+      EXPECT_EQ(reds, 2) << "subtree at " << parent;
+    }
+  }
+}
+
+TEST(HardDistributions, TreeHeightOneIsWholeTree) {
+  const auto d = tree_hard_distribution(TreeSystem(1));
+  EXPECT_EQ(d.size(), 3u);
+  for (std::size_t i = 0; i < d.size(); ++i)
+    EXPECT_EQ(d.coloring(i).red_count(), 2u);
+}
+
+TEST(HqsWorstCase, FamilyPStructure) {
+  const HQSystem hqs(2);
+  const Coloring c = hqs_worst_case_coloring(hqs, Color::kGreen);
+  // Root value green: greens contain a quorum, reds do not... (they do not
+  // contain a *green* quorum; by self-duality reds contain no quorum).
+  EXPECT_TRUE(hqs.contains_quorum(c.greens()));
+  // Per family P with values (1,1,0) at the top: subtree leaf counts are
+  // {1,1,0}-patterned recursively: greens = 2/3 of (2/3 n) + 1/3 of (1/3 n).
+  // For h=2 (n=9): majority children contribute 2 greens each, the
+  // minority child 1 green: total 5.
+  EXPECT_EQ(c.green_count(), 5u);
+}
+
+TEST(HqsWorstCase, RedRootIsComplementary) {
+  const HQSystem hqs(2);
+  const Coloring g = hqs_worst_case_coloring(hqs, Color::kGreen);
+  const Coloring r = hqs_worst_case_coloring(hqs, Color::kRed);
+  // Swapping the root value complements every leaf.
+  for (Element e = 0; e < 9; ++e)
+    EXPECT_EQ(g.color(e), opposite(r.color(e)));
+  EXPECT_FALSE(hqs.contains_quorum(r.greens()));
+}
+
+}  // namespace
+}  // namespace qps

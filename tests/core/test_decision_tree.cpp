@@ -1,0 +1,90 @@
+// Fig. 4: explicit optimal probe-strategy trees.
+#include "core/exact/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact/pc_exact.h"
+#include "core/exact/ppc_exact.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/majority.h"
+#include "quorum/wheel.h"
+
+namespace qps {
+namespace {
+
+TEST(DecisionTree, Maj3ReproducesFigure4) {
+  const MajoritySystem maj3(3);
+  const auto tree = optimal_ppc_tree(maj3, 0.5);
+  // Fig. 4's tree: depth 3 (PC), expected depth 2.5 (PPC).
+  EXPECT_EQ(tree->depth(), 3u);
+  EXPECT_DOUBLE_EQ(tree->expected_depth(0.5), 2.5);
+}
+
+TEST(DecisionTree, DepthNeverBeatsPcAndExpectationMatchesPpc) {
+  const MajoritySystem maj5(5);
+  const CrumblingWall wall({1, 2, 2});
+  const WheelSystem wheel(5);
+  const std::vector<const QuorumSystem*> systems = {&maj5, &wall, &wheel};
+  for (const QuorumSystem* system : systems) {
+    for (double p : {0.3, 0.5}) {
+      const auto tree = optimal_ppc_tree(*system, p);
+      EXPECT_GE(tree->depth(), pc_exact(*system) == system->universe_size()
+                                   ? system->min_quorum_size()
+                                   : 1u);
+      EXPECT_LE(tree->depth(), system->universe_size());
+      EXPECT_NEAR(tree->expected_depth(p), ppc_exact(*system, p), 1e-12)
+          << system->name() << " p=" << p;
+    }
+  }
+}
+
+TEST(DecisionTree, EvaluateAgreesWithSystemStateOnEveryColoring) {
+  const MajoritySystem maj5(5);
+  const auto tree = optimal_ppc_tree(maj5, 0.5);
+  for (std::uint64_t mask = 0; mask < 32; ++mask) {
+    const Coloring coloring(5, ElementSet::from_mask(5, mask));
+    const auto [color, probes] = tree->evaluate(coloring);
+    const bool live = maj5.contains_quorum(coloring.greens());
+    EXPECT_EQ(color == Color::kGreen, live) << "mask=" << mask;
+    EXPECT_LE(probes, 5u);
+    EXPECT_GE(probes, 3u);  // Maj(5) needs at least 3 probes always
+  }
+}
+
+TEST(DecisionTree, ExpectedDepthFromEvaluationMatchesFormula) {
+  // Summing depth * P over all colorings must equal expected_depth().
+  const CrumblingWall wall({1, 2, 2});
+  const double p = 0.4;
+  const auto tree = optimal_ppc_tree(wall, p);
+  double expected = 0.0;
+  for (std::uint64_t mask = 0; mask < 32; ++mask) {
+    const Coloring coloring(5, ElementSet::from_mask(5, mask));
+    const auto [color, probes] = tree->evaluate(coloring);
+    const auto greens = static_cast<double>(coloring.green_count());
+    const double weight = std::pow(1.0 - p, greens) *
+                          std::pow(p, 5.0 - greens);
+    expected += weight * static_cast<double>(probes);
+  }
+  EXPECT_NEAR(expected, tree->expected_depth(p), 1e-12);
+}
+
+TEST(DecisionTree, AsciiRenderingShowsProbesAndVerdicts) {
+  const MajoritySystem maj3(3);
+  const auto tree = optimal_ppc_tree(maj3, 0.5);
+  const std::string ascii = tree->to_ascii();
+  EXPECT_NE(ascii.find("probe x"), std::string::npos);
+  EXPECT_NE(ascii.find("[+] green witness"), std::string::npos);
+  EXPECT_NE(ascii.find("[-] red witness"), std::string::npos);
+  EXPECT_NE(ascii.find("1-> "), std::string::npos);
+  EXPECT_NE(ascii.find("0-> "), std::string::npos);
+}
+
+TEST(DecisionTree, RejectsLargeUniverse) {
+  EXPECT_THROW(optimal_ppc_tree(MajoritySystem(15), 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps

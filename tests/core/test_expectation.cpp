@@ -1,0 +1,118 @@
+// Cross-checks among the three ways of computing expected probes: exact
+// per-coloring evaluators, closed forms, and Monte Carlo.
+#include "core/expectation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/algorithms/probe_cw.h"
+#include "core/algorithms/probe_maj.h"
+#include "core/estimator.h"
+#include "core/formulas.h"
+
+namespace qps {
+namespace {
+
+TEST(Expectation, RProbeMajMatchesUrn) {
+  const MajoritySystem maj(7);
+  for (std::size_t reds = 0; reds <= 7; ++reds) {
+    ElementSet greens = ElementSet::full(7);
+    for (Element e = 0; e < reds; ++e) greens.erase(e);
+    const Coloring c(7, greens);
+    EXPECT_NEAR(r_probe_maj_expectation(maj, c),
+                r_probe_maj_expected(7, reds).to_double(), 1e-12)
+        << "reds=" << reds;
+  }
+}
+
+TEST(Expectation, RProbeCwSumsLemma29PerRow) {
+  const CrumblingWall wall({1, 2, 3});
+  // Greens {0, 1, 3}: bottom row {3,4,5} has 1 green/2 red ->
+  // 1 + 2/2 + 1/3 = 7/3; row {1,2} has 1 green/1 red -> 1 + 1/2 + 1/2 = 2;
+  // row {0} monochromatic green -> 1.  Total 7/3 + 2 + 1 = 16/3.
+  const Coloring c(6, ElementSet(6, {0, 1, 3}));
+  EXPECT_NEAR(r_probe_cw_expectation(wall, c), 16.0 / 3.0, 1e-12);
+}
+
+TEST(Expectation, RProbeCwStopsAtMonochromaticRow) {
+  const CrumblingWall wall({1, 2, 3});
+  // Bottom row all red: cost is exactly 3.
+  const Coloring c(6, ElementSet(6, {0, 1, 2}));
+  EXPECT_DOUBLE_EQ(r_probe_cw_expectation(wall, c), 3.0);
+}
+
+TEST(Expectation, RProbeTreeLeafIsOne) {
+  const TreeSystem tree(0);
+  EXPECT_DOUBLE_EQ(r_probe_tree_expectation(tree, Coloring(1)), 1.0);
+}
+
+TEST(Expectation, RProbeTreeHeight1ByHand) {
+  // Tree {root 0, leaves 1, 2}, all green.  Subtree witnesses are green;
+  // root green.  plan_right = 1 + 1 = 2; plan_left = 2; plan_both =
+  // 1 + 1 + 0 = 2.  Expectation 2.
+  const TreeSystem tree(1);
+  const Coloring all_green(3, ElementSet::full(3));
+  EXPECT_DOUBLE_EQ(r_probe_tree_expectation(tree, all_green), 2.0);
+  // Root red, leaves green: witnesses green, root red.
+  // plan_right: 1 + 1 + (green != red -> pay left) + 1 = 3; same left;
+  // plan_both: 1 + 1 + (agree -> skip root) = 2.  Mean = 8/3.
+  const Coloring root_red(3, ElementSet(3, {1, 2}));
+  EXPECT_NEAR(r_probe_tree_expectation(tree, root_red), 8.0 / 3.0, 1e-12);
+}
+
+TEST(Expectation, RProbeHqsLeafIsOne) {
+  const HQSystem hqs(0);
+  EXPECT_DOUBLE_EQ(r_probe_hqs_expectation(hqs, Coloring(1)), 1.0);
+}
+
+TEST(Expectation, RProbeHqsHeight1ByHand) {
+  const HQSystem hqs(1);
+  // All green: any pair agrees -> always 2 probes.
+  EXPECT_DOUBLE_EQ(
+      r_probe_hqs_expectation(hqs, Coloring(3, ElementSet::full(3))), 2.0);
+  // Two green one red: pairs (g,g) -> 2, (g,r) -> 3, (g,r) -> 3: mean 8/3.
+  EXPECT_NEAR(
+      r_probe_hqs_expectation(hqs, Coloring(3, ElementSet(3, {0, 1}))),
+      8.0 / 3.0, 1e-12);
+}
+
+TEST(Expectation, IrEqualsPlainRandomAtHeight1) {
+  // IR's special logic only exists for height >= 2.
+  const HQSystem hqs(1);
+  for (std::uint64_t mask = 0; mask < 8; ++mask) {
+    const Coloring c(3, ElementSet::from_mask(3, mask));
+    EXPECT_NEAR(ir_probe_hqs_expectation(hqs, c),
+                r_probe_hqs_expectation(hqs, c), 1e-12);
+  }
+}
+
+TEST(Expectation, IrNeverWorseThanPlainByMuchOnAnyHeight2Input) {
+  // Exhaustively compare IR vs plain random evaluation on all 512 inputs
+  // of the height-2 HQS; the peek can cost at most the peeked grandchild.
+  const HQSystem hqs(2);
+  double max_ratio = 0;
+  for (std::uint64_t mask = 0; mask < 512; ++mask) {
+    const Coloring c(9, ElementSet::from_mask(9, mask));
+    const double ir = ir_probe_hqs_expectation(hqs, c);
+    const double plain = r_probe_hqs_expectation(hqs, c);
+    max_ratio = std::max(max_ratio, ir / plain);
+  }
+  EXPECT_LT(max_ratio, 1.25);
+  // On the worst input the ordering flips in IR's favor (Thm 4.10).
+  const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
+  EXPECT_LT(ir_probe_hqs_expectation(hqs, worst),
+            r_probe_hqs_expectation(hqs, worst));
+}
+
+TEST(Expectation, EvaluatorsRejectWrongUniverse) {
+  const TreeSystem tree(1);
+  EXPECT_THROW(r_probe_tree_expectation(tree, Coloring(5)),
+               std::invalid_argument);
+  const HQSystem hqs(1);
+  EXPECT_THROW(ir_probe_hqs_expectation(hqs, Coloring(5)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps

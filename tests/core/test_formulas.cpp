@@ -1,0 +1,100 @@
+// The paper's closed forms and exponents (Table 1 constants).
+#include "core/formulas.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qps {
+namespace {
+
+TEST(Formulas, ProbeMajExpectedEqualsGridWalk) {
+  // Spot value: n = 3, p = 1/2 -> grid walk with N = 2: 2.5 probes.
+  EXPECT_DOUBLE_EQ(probe_maj_expected(3, 0.5), 2.5);
+  EXPECT_THROW(probe_maj_expected(4, 0.5), std::invalid_argument);
+}
+
+TEST(Formulas, ProbeCwBoundIs2kMinus1) {
+  EXPECT_DOUBLE_EQ(probe_cw_bound(1), 1.0);
+  EXPECT_DOUBLE_EQ(probe_cw_bound(4), 7.0);
+}
+
+TEST(Formulas, ProbeCwExpectedValidation) {
+  EXPECT_THROW(probe_cw_expected({2, 3}, 0.5), std::invalid_argument);
+  EXPECT_THROW(probe_cw_expected({1, 2}, 0.0), std::invalid_argument);
+}
+
+TEST(Formulas, ProbeCwRowTwoCostIsTwoAtHalf) {
+  // At p = 1/2 with a deep row the per-row cost approaches exactly 2
+  // (mode-weighted geometric means); a (1, big) wall costs ~3.
+  EXPECT_NEAR(probe_cw_expected({1, 30}, 0.5), 3.0, 1e-6);
+}
+
+TEST(Formulas, ProbeTreeBaseCases) {
+  EXPECT_DOUBLE_EQ(probe_tree_expected(0, 0.5), 1.0);
+  // h=1: 1 + (1 + q F(0) + p (1-F(0))) with F(0) = p:
+  // p=1/2: 1 + (1 + 1/4 + 1/4) * 1 = 2.5.
+  EXPECT_DOUBLE_EQ(probe_tree_expected(1, 0.5), 2.5);
+}
+
+TEST(Formulas, ProbeHqsBaseCases) {
+  EXPECT_DOUBLE_EQ(probe_hqs_expected(0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(probe_hqs_expected(1, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(probe_hqs_expected(2, 0.5), 6.25);
+  EXPECT_DOUBLE_EQ(probe_hqs_expected(3, 0.5), 15.625);
+}
+
+TEST(Formulas, RProbeMajWorstCaseClosedForm) {
+  EXPECT_EQ(r_probe_maj_worst_case(3), Rational(8, 3));
+  // n=5: 5 - 4/8 = 4.5.
+  EXPECT_EQ(r_probe_maj_worst_case(5), Rational(9, 2));
+  // n=7: 7 - 6/10 = 6.4 = 32/5.
+  EXPECT_EQ(r_probe_maj_worst_case(7), Rational(32, 5));
+}
+
+TEST(Formulas, RProbeMajExpectedSymmetry) {
+  // Swapping reds and greens swaps nothing: the majority color's count
+  // determines the cost.
+  for (std::size_t n : {5u, 9u})
+    for (std::size_t r = 0; r <= n; ++r)
+      EXPECT_EQ(r_probe_maj_expected(n, r), r_probe_maj_expected(n, n - r));
+}
+
+TEST(Formulas, RProbeCwBoundForWheelIsNMinus1) {
+  // Cor. 4.5(2): the j = bottom row term dominates: n_2 = n - 1.
+  EXPECT_DOUBLE_EQ(r_probe_cw_bound({1, 7}), 7.0);
+}
+
+TEST(Formulas, CwRandomizedLowerBound) {
+  EXPECT_DOUBLE_EQ(cw_randomized_lower_bound({1, 2, 3}), 4.5);
+  EXPECT_DOUBLE_EQ(cw_randomized_lower_bound({1, 3}), 3.0);
+}
+
+TEST(Formulas, TreeRandomizedBounds) {
+  EXPECT_DOUBLE_EQ(r_probe_tree_bound(7), 6.0);
+  EXPECT_DOUBLE_EQ(tree_randomized_lower_bound(7), 16.0 / 3.0);
+  // Upper bound above lower bound (they touch exactly at n = 3, where
+  // 5n/6 + 1/6 = 2(n+1)/3 = 8/3 -- the Maj3 game value).
+  EXPECT_DOUBLE_EQ(r_probe_tree_bound(3), tree_randomized_lower_bound(3));
+  for (std::size_t n : {7u, 15u, 1023u})
+    EXPECT_GT(r_probe_tree_bound(n), tree_randomized_lower_bound(n));
+}
+
+TEST(Formulas, Table1Exponents) {
+  EXPECT_NEAR(hqs_ppc_exponent(), 0.834, 0.001);
+  EXPECT_NEAR(hqs_ppc_low_p_exponent(), 0.631, 0.001);
+  EXPECT_NEAR(tree_ppc_exponent(0.5), 0.585, 0.001);
+  EXPECT_NEAR(hqs_r_probe_exponent(), 0.893, 0.001);
+  EXPECT_NEAR(hqs_ir_probe_exponent(), 0.890, 0.001);
+  // Symmetry of the tree exponent in p and q.
+  EXPECT_DOUBLE_EQ(tree_ppc_exponent(0.3), tree_ppc_exponent(0.7));
+}
+
+TEST(Formulas, IrLevelConstant) {
+  EXPECT_EQ(ir_probe_hqs_level_constant(), Rational(191, 27));
+  // Strictly better than R_Probe_HQS's (8/3)^2 = 7.1111 per two levels.
+  EXPECT_LT(ir_probe_hqs_level_constant().to_double(), 64.0 / 9.0);
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,77 @@
+// The generic candidate-counting baseline ([4,11]-style heuristic).
+#include "core/algorithms/greedy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "core/witness.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/majority.h"
+#include "quorum/wheel.h"
+
+namespace qps {
+namespace {
+
+TEST(Greedy, FindsGreenQuorumOnAllGreen) {
+  const MajoritySystem maj(5);
+  const GreedyCandidateProbe greedy(maj);
+  Rng rng(1);
+  const Coloring c(5, ElementSet::full(5));
+  ProbeSession s(c);
+  const Witness w = greedy.run(s, rng);
+  EXPECT_EQ(w.color, Color::kGreen);
+  EXPECT_EQ(s.probe_count(), 3u);  // threshold probes suffice
+}
+
+TEST(Greedy, FindsRedTransversalOnAllRed) {
+  const MajoritySystem maj(5);
+  const GreedyCandidateProbe greedy(maj);
+  Rng rng(1);
+  const Coloring c(5);
+  ProbeSession s(c);
+  const Witness w = greedy.run(s, rng);
+  EXPECT_EQ(w.color, Color::kRed);
+  EXPECT_EQ(s.probe_count(), 3u);  // 3 reds kill every 3-of-5 quorum
+}
+
+TEST(Greedy, PrefersTheWheelHub) {
+  // The hub appears in n-1 of the n quorums; greedy probes it first.
+  const WheelSystem wheel(6);
+  const GreedyCandidateProbe greedy(wheel);
+  Rng rng(1);
+  const Coloring c(6, ElementSet::full(6));
+  ProbeSession s(c);
+  const Witness w = greedy.run(s, rng);
+  EXPECT_EQ(w.color, Color::kGreen);
+  EXPECT_TRUE(s.was_probed(WheelSystem::kHub));
+  EXPECT_EQ(s.probe_count(), 2u);  // hub + one rim spoke
+}
+
+TEST(Greedy, ComparableToProbeCwOnSmallWalls) {
+  // On a small wall at p = 1/2, the generic heuristic should be within a
+  // factor ~2 of the structured algorithm (it is not expected to win).
+  const CrumblingWall wall({1, 2, 3});
+  const GreedyCandidateProbe greedy(wall);
+  Rng rng(11);
+  EstimatorOptions options;
+  options.trials = 20000;
+  options.validate_witnesses = true;
+  const auto stats = estimate_ppc(wall, greedy, 0.5, options, rng);
+  EXPECT_LT(stats.mean(), 6.0);
+  EXPECT_GE(stats.mean(), 2.0);
+}
+
+TEST(Greedy, NeverExceedsUniverseSize) {
+  const MajoritySystem maj(7);
+  const GreedyCandidateProbe greedy(maj);
+  Rng rng(3);
+  for (std::uint64_t mask = 0; mask < 128; mask += 7) {
+    const Coloring c(7, ElementSet::from_mask(7, mask));
+    ProbeSession s(c);
+    greedy.run(s, rng);
+    EXPECT_LE(s.probe_count(), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,91 @@
+// Exact deterministic worst-case probe complexity and Lemma 2.2
+// (evasiveness of Maj, Wheel, CW, Tree).
+#include "core/exact/pc_exact.h"
+
+#include <gtest/gtest.h>
+
+#include "quorum/crumbling_wall.h"
+#include "quorum/explicit_system.h"
+#include "quorum/grid_system.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+#include "quorum/wheel.h"
+
+namespace qps {
+namespace {
+
+TEST(PcExact, SingletonIsOneProbe) {
+  EXPECT_EQ(pc_exact(MajoritySystem(1)), 1u);
+}
+
+TEST(PcExact, Maj3IsThree) {
+  // The worked example of Section 2.3 / Fig. 4: PC(Maj3) = 3.
+  EXPECT_EQ(pc_exact(MajoritySystem(3)), 3u);
+}
+
+TEST(PcExact, Lemma22MajorityIsEvasive) {
+  for (std::size_t n : {3u, 5u, 7u, 9u, 11u})
+    EXPECT_EQ(pc_exact(MajoritySystem(n)), n) << "n=" << n;
+}
+
+TEST(PcExact, Lemma22WheelIsEvasive) {
+  for (std::size_t n : {3u, 4u, 5u, 6u, 7u, 8u})
+    EXPECT_EQ(pc_exact(WheelSystem(n)), n) << "n=" << n;
+}
+
+TEST(PcExact, Lemma22CrumblingWallsAreEvasive) {
+  const std::vector<std::vector<std::size_t>> walls = {
+      {1, 2}, {1, 3}, {1, 2, 3}, {1, 3, 2}, {1, 2, 2, 2}, {1, 4, 5}};
+  for (const auto& widths : walls) {
+    const CrumblingWall wall(widths);
+    EXPECT_EQ(pc_exact(wall), wall.universe_size()) << wall.name();
+  }
+}
+
+TEST(PcExact, Lemma22TreeIsEvasive) {
+  EXPECT_EQ(pc_exact(TreeSystem(1)), 3u);
+  EXPECT_EQ(pc_exact(TreeSystem(2)), 7u);
+}
+
+TEST(PcExact, HqsSmallHeights) {
+  // HQS of height 1 is Maj3 (evasive).  Height 2 is also evasive -- the
+  // paper does not claim this in Lemma 2.2, but the engine certifies it.
+  EXPECT_EQ(pc_exact(HQSystem(1)), 3u);
+  EXPECT_EQ(pc_exact(HQSystem(2)), 9u);
+}
+
+TEST(PcExact, GridCanBeDecidedWithoutProbingEverything) {
+  // The (dominated) 2x2 grid: a red diagonal certifies failure... but an
+  // adaptive adversary can still force probing; verify PC <= n and > min
+  // quorum size - 1.
+  const GridSystem grid(2, 2);
+  const std::size_t pc = pc_exact(grid);
+  EXPECT_LE(pc, 4u);
+  EXPECT_GE(pc, 3u);
+}
+
+TEST(PcExact, LowerBoundedByMinQuorumSize) {
+  // Any witness contains a quorum or transversal, so at least
+  // min_quorum_size probes are needed against an adversary.
+  const std::vector<const QuorumSystem*> systems = {};
+  const MajoritySystem maj(7);
+  const TreeSystem tree(2);
+  const HQSystem hqs(2);
+  EXPECT_GE(pc_exact(maj), maj.min_quorum_size());
+  EXPECT_GE(pc_exact(tree), tree.min_quorum_size());
+  EXPECT_GE(pc_exact(hqs), hqs.min_quorum_size());
+}
+
+TEST(PcExact, NonEvasiveSystemExists) {
+  // The "dictator + veto" style coterie S = {{1}} is decided in 1 probe.
+  const ExplicitSystem dictator(3, {ElementSet(3, {0})});
+  EXPECT_EQ(pc_exact(dictator), 1u);
+}
+
+TEST(PcExact, RejectsLargeUniverse) {
+  EXPECT_THROW(pc_exact(MajoritySystem(15)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,86 @@
+// Exact randomized probe complexity via strategy enumeration + the game
+// solver; reproduces PCR(Maj3) = 8/3 from the worked example.
+#include "core/exact/pcr_exact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact/pc_exact.h"
+#include "core/exact/ppc_exact.h"
+#include "quorum/explicit_system.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+#include "quorum/wheel.h"
+
+namespace qps {
+namespace {
+
+TEST(PcrExact, Maj3WorkedExample) {
+  const PcrResult result = pcr_exact(MajoritySystem(3));
+  EXPECT_NEAR(result.value, 8.0 / 3.0, 1e-9);
+  EXPECT_GT(result.strategy_count, 0u);
+}
+
+TEST(PcrExact, Maj3HardDistributionIsUniformOverBalancedColorings) {
+  // The adversary's optimal mix is supported on the colorings with
+  // exactly 2 reds (and possibly 2 greens -- by symmetry 1-green inputs).
+  const PcrResult result = pcr_exact(MajoritySystem(3));
+  double weight_on_balanced = 0.0;
+  for (std::size_t mask = 0; mask < 8; ++mask) {
+    const int greens = __builtin_popcount(static_cast<unsigned>(mask));
+    if (greens == 1) weight_on_balanced += result.hard_distribution[mask];
+  }
+  EXPECT_GT(weight_on_balanced, 0.99);
+}
+
+TEST(PcrExact, SingletonIsOne) {
+  const PcrResult result = pcr_exact(MajoritySystem(1));
+  EXPECT_NEAR(result.value, 1.0, 1e-12);
+}
+
+TEST(PcrExact, OrderedBetweenPpcAndPc) {
+  // PPC_{1/2}(S) <= PCR(S) <= PC(S): randomization beats determinism on
+  // the worst case, and a fixed input distribution is weaker than the
+  // adversary's best mix.
+  const MajoritySystem maj3(3);
+  const WheelSystem wheel4(4);
+  const TreeSystem tree1(1);
+  for (const QuorumSystem* s :
+       std::vector<const QuorumSystem*>{&maj3, &wheel4, &tree1}) {
+    const double pcr = pcr_exact(*s).value;
+    EXPECT_LE(ppc_exact(*s, 0.5), pcr + 1e-9) << s->name();
+    EXPECT_LE(pcr, static_cast<double>(pc_exact(*s)) + 1e-9) << s->name();
+  }
+}
+
+TEST(PcrExact, Theorem41LowerBoundMaxQuorumSize) {
+  // PCR(S) >= m, the maximal quorum size.
+  const WheelSystem wheel(4);   // max quorum = rim, size 3
+  EXPECT_GE(pcr_exact(wheel).value, 3.0 - 1e-9);
+  const MajoritySystem maj(3);  // max quorum size 2
+  EXPECT_GE(pcr_exact(maj).value, 2.0 - 1e-9);
+}
+
+TEST(PcrExact, TreeHeight1MatchesMaj3) {
+  // Tree of height 1 has the same quorums as Maj3.
+  EXPECT_NEAR(pcr_exact(TreeSystem(1)).value, 8.0 / 3.0, 1e-9);
+}
+
+TEST(PcrExact, DictatorIsOneProbe) {
+  const ExplicitSystem dictator(3, {ElementSet(3, {0})});
+  EXPECT_NEAR(pcr_exact(dictator).value, 1.0, 1e-9);
+}
+
+TEST(PcrExact, Wheel4Value) {
+  // Wheel on 4 elements: hub + 3 rim.  Sanity: value in [3, 4] by Thm 4.1
+  // and evasiveness.
+  const double value = pcr_exact(WheelSystem(4)).value;
+  EXPECT_GE(value, 3.0 - 1e-9);
+  EXPECT_LE(value, 4.0 + 1e-9);
+}
+
+TEST(PcrExact, RejectsLargeUniverse) {
+  EXPECT_THROW(pcr_exact(MajoritySystem(7)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps

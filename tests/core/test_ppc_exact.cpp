@@ -1,0 +1,142 @@
+// Exact probabilistic probe complexity PPC_p(S), including the worked
+// example PPC(Maj3) = 5/2 and Thm 3.9's optimality of Probe_HQS.
+#include "core/exact/ppc_exact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/formulas.h"
+#include "math/random_walk.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+#include "quorum/wheel.h"
+
+namespace qps {
+namespace {
+
+TEST(PpcExact, Maj3WorkedExample) {
+  // Section 2.3 / Fig. 4: PPC(Maj3) = 2.5 (dyadic, hence exact in double).
+  EXPECT_DOUBLE_EQ(ppc_exact(MajoritySystem(3), 0.5), 2.5);
+}
+
+TEST(PpcExact, SingletonIsOneProbe) {
+  EXPECT_DOUBLE_EQ(ppc_exact(MajoritySystem(1), 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(ppc_exact(MajoritySystem(1), 0.2), 1.0);
+}
+
+TEST(PpcExact, MajorityEqualsGridWalkDP) {
+  // Prop. 3.2: the arbitrary-order prober is optimal, so PPC_p(Maj) equals
+  // the grid-walk absorption time with N = (n+1)/2.
+  for (std::size_t n : {3u, 5u, 7u, 9u})
+    for (double p : {0.5, 0.3, 0.1})
+      EXPECT_NEAR(ppc_exact(MajoritySystem(n), p),
+                  grid_walk_expected_time((n + 1) / 2, p), 1e-9)
+          << "n=" << n << " p=" << p;
+}
+
+TEST(PpcExact, SymmetricInPAndQ) {
+  // Self-dual systems cost the same at p and 1-p (witness colors swap).
+  const CrumblingWall wall({1, 2, 3});
+  for (double p : {0.1, 0.25, 0.4})
+    EXPECT_NEAR(ppc_exact(wall, p), ppc_exact(wall, 1 - p), 1e-9);
+}
+
+TEST(PpcExact, Theorem39HqsOptimalityAndDeviation) {
+  // Thm 3.9 claims Probe_HQS is optimal at p = 1/2, i.e. PPC = (5/2)^h.
+  // At h = 1 this holds (2.5).  At h = 2, however, the exact Bellman DP
+  // finds a strictly better adaptive strategy costing 393/64 = 6.140625 <
+  // 6.25: interleaving gates lets the prober skip a tiebreaker leaf when a
+  // sibling gate later decides the root.  This matches the post-2001
+  // literature showing directional algorithms for recursive 3-majority
+  // are suboptimal at depth >= 2 (e.g. Jayram-Kumar-Sivakumar, STOC'03).
+  // Documented as a reproduction deviation in EXPERIMENTS.md.
+  EXPECT_DOUBLE_EQ(ppc_exact(HQSystem(1), 0.5), 2.5);
+  const double optimal = ppc_exact(HQSystem(2), 0.5);
+  EXPECT_DOUBLE_EQ(optimal, 393.0 / 64.0);  // dyadic, hence exact
+  EXPECT_LT(optimal, 6.25);                 // strictly beats Probe_HQS
+}
+
+TEST(PpcExact, ProbeHqsMatchesOptimumAtOtherP) {
+  // Probe_HQS's expected cost can be compared against the DP optimum at
+  // p != 1/2 too; Thm 3.9 is stated for p = 1/2, and indeed at skewed p a
+  // cleverer strategy can do slightly better, but never better than the
+  // Lemma 3.1 style information bound.  We assert optimum <= algorithm.
+  for (double p : {0.3, 0.5, 0.7}) {
+    const double optimal = ppc_exact(HQSystem(2), p);
+    const double algorithm = probe_hqs_expected(2, p);
+    EXPECT_LE(optimal, algorithm + 1e-9) << "p=" << p;
+  }
+}
+
+TEST(PpcExact, WheelIsAtMostThree) {
+  // Cor. 3.4: Probe_CW gives <= 3 for the Wheel; the optimum can only be
+  // smaller.
+  for (std::size_t n : {3u, 5u, 8u, 12u})
+    for (double p : {0.2, 0.5, 0.8})
+      EXPECT_LE(ppc_exact(WheelSystem(n), p), 3.0 + 1e-9)
+          << "n=" << n << " p=" << p;
+}
+
+TEST(PpcExact, OptimumBelowProbeCwAlgorithm) {
+  const std::vector<std::vector<std::size_t>> walls = {
+      {1, 2}, {1, 2, 3}, {1, 3, 2}};
+  for (const auto& widths : walls) {
+    const CrumblingWall wall(widths);
+    for (double p : {0.3, 0.5}) {
+      EXPECT_LE(ppc_exact(wall, p), probe_cw_expected(widths, p) + 1e-9)
+          << wall.name() << " p=" << p;
+    }
+  }
+}
+
+TEST(PpcExact, OptimumBelowProbeTreeAlgorithm) {
+  for (std::size_t h : {1u, 2u})
+    for (double p : {0.3, 0.5})
+      EXPECT_LE(ppc_exact(TreeSystem(h), p), probe_tree_expected(h, p) + 1e-9)
+          << "h=" << h << " p=" << p;
+}
+
+TEST(PpcExact, Lemma31LowerBound) {
+  // PPC_p(S) >= grid-walk time with N = min quorum size (Lemma 3.1)...
+  // the bound needs a monochromatic set of c elements.
+  const TreeSystem tree(2);
+  const double lower =
+      grid_walk_expected_time(tree.min_quorum_size(), 0.5);
+  EXPECT_GE(ppc_exact(tree, 0.5), lower - 1e-9);
+}
+
+TEST(PpcExact, DegenerateP) {
+  // p = 0: everything green; the strategy only needs a smallest quorum.
+  EXPECT_DOUBLE_EQ(ppc_exact(MajoritySystem(5), 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(ppc_exact(TreeSystem(1), 0.0), 2.0);
+  // p = 1: everything red; cost is the smallest transversal... for ND
+  // coteries the smallest quorum again.
+  EXPECT_DOUBLE_EQ(ppc_exact(MajoritySystem(5), 1.0), 3.0);
+}
+
+TEST(PpcExact, MonotoneInProblemSizeForMaj) {
+  EXPECT_LT(ppc_exact(MajoritySystem(3), 0.5),
+            ppc_exact(MajoritySystem(5), 0.5));
+  EXPECT_LT(ppc_exact(MajoritySystem(5), 0.5),
+            ppc_exact(MajoritySystem(7), 0.5));
+}
+
+TEST(PpcExact, OptimalFirstProbeForCwIsBottomRow) {
+  // Perhaps surprisingly, the optimal strategy for a (1,2,2)-wall at
+  // p = 1/2 opens in the BOTTOM row, not the width-1 top row that
+  // Probe_CW starts with: a monochromatic bottom row is itself a quorum,
+  // while the top element only fixes the mode.  (Probe_CW remains within
+  // the 2k-1 bound; the DP is just slightly better.)
+  const CrumblingWall wall({1, 2, 2});
+  const std::size_t first = ppc_optimal_first_probe(wall, 0.5);
+  EXPECT_GE(first, wall.row_begin(2));
+  EXPECT_LT(first, wall.row_end(2));
+}
+
+TEST(PpcExact, RejectsLargeUniverse) {
+  EXPECT_THROW(ppc_exact(MajoritySystem(15), 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,62 @@
+#include "core/probe_session.h"
+
+#include <gtest/gtest.h>
+
+namespace qps {
+namespace {
+
+TEST(ProbeSession, CountsDistinctProbes) {
+  const Coloring c(4, ElementSet(4, {1, 2}));
+  ProbeSession s(c);
+  EXPECT_EQ(s.probe(0), Color::kRed);
+  EXPECT_EQ(s.probe(1), Color::kGreen);
+  EXPECT_EQ(s.probe_count(), 2u);
+  // Re-probing is free.
+  EXPECT_EQ(s.probe(1), Color::kGreen);
+  EXPECT_EQ(s.probe_count(), 2u);
+}
+
+TEST(ProbeSession, TracksColorSets) {
+  const Coloring c(4, ElementSet(4, {1, 2}));
+  ProbeSession s(c);
+  s.probe(0);
+  s.probe(1);
+  s.probe(2);
+  EXPECT_EQ(s.probed_greens(), ElementSet(4, {1, 2}));
+  EXPECT_EQ(s.probed_reds(), ElementSet(4, {0}));
+  EXPECT_EQ(s.probed(), ElementSet(4, {0, 1, 2}));
+  EXPECT_TRUE(s.was_probed(0));
+  EXPECT_FALSE(s.was_probed(3));
+}
+
+TEST(ProbeSession, OracleBackedSessionCachesResults) {
+  int calls = 0;
+  ProbeSession s(3, [&calls](Element e) {
+    ++calls;
+    return e == 1 ? Color::kGreen : Color::kRed;
+  });
+  EXPECT_EQ(s.probe(1), Color::kGreen);
+  EXPECT_EQ(s.probe(1), Color::kGreen);
+  EXPECT_EQ(s.probe(0), Color::kRed);
+  EXPECT_EQ(calls, 2);  // one oracle call per distinct element
+  EXPECT_EQ(s.probe_count(), 2u);
+}
+
+TEST(ProbeSession, UniverseSize) {
+  const Coloring c(7);
+  ProbeSession s(c);
+  EXPECT_EQ(s.universe_size(), 7u);
+}
+
+TEST(ProbeSession, RejectsNullOracle) {
+  EXPECT_THROW(ProbeSession(3, nullptr), std::invalid_argument);
+}
+
+TEST(ProbeSession, OutOfRangeProbeThrows) {
+  const Coloring c(3);
+  ProbeSession s(c);
+  EXPECT_THROW(s.probe(3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,80 @@
+#include "core/witness.h"
+
+#include <gtest/gtest.h>
+
+#include "quorum/majority.h"
+
+namespace qps {
+namespace {
+
+class WitnessTest : public ::testing::Test {
+ protected:
+  MajoritySystem maj_{5};
+  Coloring coloring_{5, ElementSet(5, {0, 1, 2})};  // 0,1,2 green; 3,4 red
+};
+
+TEST_F(WitnessTest, ValidGreenWitness) {
+  Witness w{Color::kGreen, ElementSet(5, {0, 1, 2})};
+  EXPECT_EQ(validate_witness(maj_, coloring_, w, ElementSet(5, {0, 1, 2})),
+            "");
+}
+
+TEST_F(WitnessTest, GreenWitnessWithUnprobedElementRejected) {
+  Witness w{Color::kGreen, ElementSet(5, {0, 1, 2})};
+  const auto error =
+      validate_witness(maj_, coloring_, w, ElementSet(5, {0, 1}));
+  EXPECT_NE(error.find("unprobed"), std::string::npos);
+}
+
+TEST_F(WitnessTest, GreenWitnessWithWrongColorRejected) {
+  Witness w{Color::kGreen, ElementSet(5, {0, 1, 3})};  // 3 is red
+  const auto error = validate_witness(maj_, coloring_, w, ElementSet::full(5));
+  EXPECT_NE(error.find("not green"), std::string::npos);
+}
+
+TEST_F(WitnessTest, GreenWitnessMustContainQuorum) {
+  Witness w{Color::kGreen, ElementSet(5, {0, 1})};  // only 2 < 3 elements
+  const auto error = validate_witness(maj_, coloring_, w, ElementSet::full(5));
+  EXPECT_NE(error.find("quorum"), std::string::npos);
+}
+
+TEST_F(WitnessTest, ValidRedWitness) {
+  const Coloring mostly_red(5, ElementSet(5, {0}));
+  Witness w{Color::kRed, ElementSet(5, {1, 2, 3})};
+  EXPECT_EQ(validate_witness(maj_, mostly_red, w, ElementSet(5, {1, 2, 3})),
+            "");
+}
+
+TEST_F(WitnessTest, RedWitnessMustBeTransversal) {
+  const Coloring mostly_red(5, ElementSet(5, {0}));
+  Witness w{Color::kRed, ElementSet(5, {1, 2})};  // misses quorum {0,3,4}
+  const auto error =
+      validate_witness(maj_, mostly_red, w, ElementSet::full(5));
+  EXPECT_NE(error.find("transversal"), std::string::npos);
+}
+
+TEST_F(WitnessTest, EmptyWitnessRejected) {
+  Witness w{Color::kGreen, ElementSet(5)};
+  EXPECT_NE(validate_witness(maj_, coloring_, w, ElementSet::full(5)), "");
+}
+
+TEST_F(WitnessTest, WrongUniverseRejected) {
+  Witness w{Color::kGreen, ElementSet(4, {0, 1, 2})};
+  EXPECT_NE(validate_witness(maj_, coloring_, w, ElementSet::full(5)), "");
+}
+
+TEST_F(WitnessTest, ToStringMentionsColorAndElements) {
+  Witness w{Color::kGreen, ElementSet(5, {0, 2})};
+  EXPECT_EQ(w.to_string(), "green {1, 3}");
+}
+
+TEST_F(WitnessTest, NonMinimalGreenWitnessAccepted) {
+  // A witness need only CONTAIN a quorum; supersets are legal.
+  Witness w{Color::kGreen, ElementSet(5, {0, 1, 2})};
+  const Coloring all_green(5, ElementSet::full(5));
+  Witness big{Color::kGreen, ElementSet::full(5)};
+  EXPECT_EQ(validate_witness(maj_, all_green, big, ElementSet::full(5)), "");
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,104 @@
+// Yao lower bounds (Thms 4.2, 4.6, 4.8): the exact optimal deterministic
+// cost against the paper's hard distributions.
+#include "core/exact/yao_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "core/formulas.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+
+namespace qps {
+namespace {
+
+TEST(YaoBound, Theorem42MajExactValue) {
+  // Against colorings with exactly (n+1)/2 reds, the best deterministic
+  // algorithm pays exactly n - (n-1)/(n+3).
+  for (std::size_t n : {3u, 5u, 7u, 9u}) {
+    const MajoritySystem maj(n);
+    const double value = yao_bound(maj, maj_hard_distribution(n));
+    EXPECT_NEAR(value, r_probe_maj_worst_case(n).to_double(), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(YaoBound, Maj3Gives8Over3) {
+  const MajoritySystem maj(3);
+  EXPECT_NEAR(yao_bound(maj, maj_hard_distribution(3)), 8.0 / 3.0, 1e-12);
+}
+
+TEST(YaoBound, Theorem46CwExactValue) {
+  // One green per row: every deterministic algorithm pays (n+k)/2.
+  const std::vector<std::vector<std::size_t>> walls = {
+      {1, 2}, {1, 3}, {1, 2, 3}, {1, 3, 2}, {1, 2, 2, 2}};
+  for (const auto& widths : walls) {
+    const CrumblingWall wall(widths);
+    const double value = yao_bound(wall, cw_hard_distribution(wall));
+    EXPECT_NEAR(value, cw_randomized_lower_bound(widths), 1e-9) << wall.name();
+  }
+}
+
+TEST(YaoBound, Theorem48TreeExactValue) {
+  // Two reds per height-1 subtree, upper levels green: the best
+  // deterministic algorithm pays 8/3 per subtree, 2(n+1)/3 total.
+  for (std::size_t h : {1u, 2u}) {
+    const TreeSystem tree(h);
+    const double value = yao_bound(tree, tree_hard_distribution(tree));
+    EXPECT_NEAR(value,
+                tree_randomized_lower_bound(tree.universe_size()), 1e-9)
+        << "h=" << h;
+  }
+}
+
+TEST(YaoBound, PointMassIsBestCaseCost) {
+  // Against a single known coloring, the optimal algorithm probes exactly
+  // a cheapest certificate: min quorum size for an all-green input.
+  const MajoritySystem maj(5);
+  std::vector<Coloring> support = {Coloring(5, ElementSet::full(5))};
+  const double value =
+      yao_bound(maj, ColoringDistribution::uniform(std::move(support)));
+  EXPECT_DOUBLE_EQ(value, 3.0);
+}
+
+TEST(YaoBound, LowerBoundsNeverExceedEvasiveness) {
+  const MajoritySystem maj(7);
+  EXPECT_LE(yao_bound(maj, maj_hard_distribution(7)), 7.0);
+}
+
+TEST(YaoBound, MixtureIsAtMostWorstComponent) {
+  // The Yao value of a mixture is between the values of its components.
+  const MajoritySystem maj(5);
+  std::vector<Coloring> support = {Coloring(5, ElementSet::full(5)),
+                                   Coloring(5)};
+  const double mixed =
+      yao_bound(maj, ColoringDistribution::uniform(std::move(support)));
+  EXPECT_GE(mixed, 3.0 - 1e-12);
+  EXPECT_LE(mixed, 5.0);
+}
+
+TEST(YaoBound, WeightsMatter) {
+  // Mixing the all-green coloring (cost 3 under full knowledge) into the
+  // hard distribution (cost 4.5) moves the value monotonically with the
+  // weights.
+  const MajoritySystem maj(5);
+  const auto hard = maj_hard_distribution(5);
+  std::vector<Coloring> support = {Coloring(5, ElementSet::full(5))};
+  std::vector<double> easy_heavy_weights = {0.9};
+  std::vector<double> hard_heavy_weights = {0.1};
+  for (std::size_t i = 0; i < hard.size(); ++i) {
+    support.push_back(hard.coloring(i));
+    easy_heavy_weights.push_back(0.1 / static_cast<double>(hard.size()));
+    hard_heavy_weights.push_back(0.9 / static_cast<double>(hard.size()));
+  }
+  const double easy_heavy =
+      yao_bound(maj, ColoringDistribution(support, easy_heavy_weights));
+  const double hard_heavy =
+      yao_bound(maj, ColoringDistribution(support, hard_heavy_weights));
+  EXPECT_LT(easy_heavy, hard_heavy);
+  EXPECT_LE(hard_heavy, 4.5 + 1e-9);
+  EXPECT_GE(easy_heavy, 3.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,195 @@
+// The ND-coterie contract, as a parameterized property suite over every
+// construction in the library (TEST_P): any system claiming to be a
+// nondominated coterie must satisfy the full Section 2 contract --
+// intersection, minimality, self-duality, Lemma 2.1, the Fact 2.3
+// availability identities, probe-strategy validity, and PPC symmetry.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "core/algorithms/greedy.h"
+#include "core/algorithms/random_order.h"
+#include "core/estimator.h"
+#include "core/exact/ppc_exact.h"
+#include "core/witness.h"
+#include "quorum/availability.h"
+#include "quorum/composite.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/fpp.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/properties.h"
+#include "quorum/tree_system.h"
+#include "quorum/vote_system.h"
+#include "quorum/wheel.h"
+
+namespace qps {
+namespace {
+
+struct SystemCase {
+  std::string label;
+  std::function<std::shared_ptr<const QuorumSystem>()> make;
+};
+
+void PrintTo(const SystemCase& c, std::ostream* os) { *os << c.label; }
+
+class NdCoterieContract : public ::testing::TestWithParam<SystemCase> {
+ protected:
+  std::shared_ptr<const QuorumSystem> system_ = GetParam().make();
+};
+
+TEST_P(NdCoterieContract, IsACoterie) {
+  EXPECT_TRUE(has_intersection_property(*system_));
+  EXPECT_TRUE(has_minimality_property(*system_));
+}
+
+TEST_P(NdCoterieContract, IsSelfDualHenceNd) {
+  EXPECT_TRUE(is_self_dual(*system_));
+  EXPECT_TRUE(is_nondominated(*system_));
+}
+
+TEST_P(NdCoterieContract, Lemma21EveryTransversalContainsAQuorum) {
+  EXPECT_TRUE(every_transversal_contains_quorum(*system_));
+}
+
+TEST_P(NdCoterieContract, QuorumSizeBoundsMatchEnumeration) {
+  const auto quorums = system_->enumerate_quorums();
+  ASSERT_FALSE(quorums.empty());
+  std::size_t lo = system_->universe_size() + 1, hi = 0;
+  for (const auto& q : quorums) {
+    lo = std::min(lo, q.count());
+    hi = std::max(hi, q.count());
+    EXPECT_TRUE(system_->is_quorum(q));
+  }
+  EXPECT_EQ(system_->min_quorum_size(), lo);
+  EXPECT_EQ(system_->max_quorum_size(), hi);
+}
+
+TEST_P(NdCoterieContract, CharacteristicFunctionIsMonotone) {
+  const std::size_t n = system_->universe_size();
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    if (!system_->contains_quorum(ElementSet::from_mask(n, mask))) continue;
+    for (std::size_t e = 0; e < n; ++e)
+      ASSERT_TRUE(system_->contains_quorum(
+          ElementSet::from_mask(n, mask | (1ULL << e))))
+          << "mask=" << mask << " e=" << e;
+  }
+}
+
+TEST_P(NdCoterieContract, Fact23AvailabilityIdentities) {
+  EXPECT_NEAR(failure_probability_exact(*system_, 0.5), 0.5, 1e-12);
+  for (double p : {0.1, 0.25, 0.4}) {
+    const double f = failure_probability_exact(*system_, p);
+    EXPECT_NEAR(f + failure_probability_exact(*system_, 1.0 - p), 1.0, 1e-12)
+        << "p=" << p;
+    EXPECT_LE(f, p + 1e-12) << "p=" << p;  // Fact 2.3(1)
+  }
+}
+
+TEST_P(NdCoterieContract, GenericStrategiesReturnValidWitnesses) {
+  Rng rng(0xC0FFEE);
+  const RandomOrderProbe random_order(*system_);
+  const GreedyCandidateProbe greedy(*system_);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double p = rng.uniform_real(0.1, 0.9);
+    const Coloring coloring =
+        sample_iid_coloring(system_->universe_size(), p, rng);
+    for (const ProbeStrategy* strategy :
+         {static_cast<const ProbeStrategy*>(&random_order),
+          static_cast<const ProbeStrategy*>(&greedy)}) {
+      ProbeSession session(coloring);
+      const Witness witness = strategy->run(session, rng);
+      ASSERT_EQ(
+          validate_witness(*system_, coloring, witness, session.probed()), "")
+          << strategy->name();
+    }
+  }
+}
+
+TEST_P(NdCoterieContract, PpcIsSymmetricInPAndQ) {
+  if (system_->universe_size() > 12) GTEST_SKIP() << "DP too large";
+  for (double p : {0.2, 0.35})
+    EXPECT_NEAR(ppc_exact(*system_, p), ppc_exact(*system_, 1.0 - p), 1e-9)
+        << "p=" << p;
+}
+
+TEST_P(NdCoterieContract, ExactlyOneMonochromaticQuorumPerColoring) {
+  // The operational meaning of self-duality (Section 2.3): every coloring
+  // admits a witness of exactly one color.
+  const std::size_t n = system_->universe_size();
+  const std::uint64_t limit = 1ULL << n;
+  const std::uint64_t full = limit - 1;
+  for (std::uint64_t greens = 0; greens < limit; ++greens) {
+    const bool green_quorum =
+        system_->contains_quorum(ElementSet::from_mask(n, greens));
+    const bool red_quorum =
+        system_->contains_quorum(ElementSet::from_mask(n, full & ~greens));
+    ASSERT_NE(green_quorum, red_quorum) << "greens=" << greens;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConstructions, NdCoterieContract,
+    ::testing::Values(
+        SystemCase{"Maj1", [] { return std::make_shared<MajoritySystem>(1); }},
+        SystemCase{"Maj5", [] { return std::make_shared<MajoritySystem>(5); }},
+        SystemCase{"Maj9", [] { return std::make_shared<MajoritySystem>(9); }},
+        SystemCase{"Wheel4", [] { return std::make_shared<WheelSystem>(4); }},
+        SystemCase{"Wheel7", [] { return std::make_shared<WheelSystem>(7); }},
+        SystemCase{"CW_123",
+                   [] {
+                     return std::make_shared<CrumblingWall>(
+                         std::vector<std::size_t>{1, 2, 3});
+                   }},
+        SystemCase{"CW_132",
+                   [] {
+                     return std::make_shared<CrumblingWall>(
+                         std::vector<std::size_t>{1, 3, 2});
+                   }},
+        SystemCase{"CW_1222",
+                   [] {
+                     return std::make_shared<CrumblingWall>(
+                         std::vector<std::size_t>{1, 2, 2, 2});
+                   }},
+        SystemCase{"Triang4",
+                   [] {
+                     return std::make_shared<CrumblingWall>(
+                         CrumblingWall::triang(4));
+                   }},
+        SystemCase{"Tree_h1", [] { return std::make_shared<TreeSystem>(1); }},
+        SystemCase{"Tree_h2", [] { return std::make_shared<TreeSystem>(2); }},
+        SystemCase{"HQS_h1", [] { return std::make_shared<HQSystem>(1); }},
+        SystemCase{"HQS_h2", [] { return std::make_shared<HQSystem>(2); }},
+        SystemCase{"Fano", [] { return std::make_shared<FppSystem>(2); }},
+        SystemCase{"VotesWheel5",
+                   [] {
+                     return std::make_shared<VoteSystem>(VoteSystem::wheel(5));
+                   }},
+        SystemCase{"Votes_32211",
+                   [] {
+                     return std::make_shared<VoteSystem>(
+                         std::vector<std::size_t>{3, 2, 2, 1, 1}, 5);
+                   }},
+        SystemCase{"Composite_Maj3_Maj3",
+                   [] {
+                     return std::make_shared<CompositeSystem>(
+                         CompositeSystem::uniform(
+                             std::make_shared<MajoritySystem>(3),
+                             std::make_shared<MajoritySystem>(3)));
+                   }},
+        SystemCase{"Composite_Wheel3_CW12",
+                   [] {
+                     return std::make_shared<CompositeSystem>(
+                         CompositeSystem::uniform(
+                             std::make_shared<WheelSystem>(3),
+                             std::make_shared<CrumblingWall>(
+                                 std::vector<std::size_t>{1, 2})));
+                   }}),
+    [](const ::testing::TestParamInfo<SystemCase>& info) {
+      return info.param.label;
+    });
+
+}  // namespace
+}  // namespace qps

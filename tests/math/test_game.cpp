@@ -1,0 +1,146 @@
+// The simplex LP and the zero-sum game solver used for exact PCR values.
+#include "math/game.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qps {
+namespace {
+
+TEST(Simplex, SolvesTextbookLP) {
+  // maximize 3x + 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18; optimum 36 at
+  // (2, 6).
+  std::vector<std::vector<double>> a = {{1, 0}, {0, 2}, {3, 2}};
+  std::vector<double> b = {4, 12, 18};
+  std::vector<double> c = {3, 5};
+  std::vector<double> x;
+  const double opt = simplex_maximize(a, b, c, x);
+  EXPECT_NEAR(opt, 36.0, 1e-9);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  std::vector<std::vector<double>> a = {{-1.0, 0.0}};
+  std::vector<double> b = {1};
+  std::vector<double> c = {1, 1};
+  std::vector<double> x;
+  EXPECT_THROW(simplex_maximize(a, b, c, x), std::runtime_error);
+}
+
+TEST(Simplex, DualsMatchComplementarySlackness) {
+  std::vector<std::vector<double>> a = {{1, 0}, {0, 2}, {3, 2}};
+  std::vector<double> b = {4, 12, 18};
+  std::vector<double> c = {3, 5};
+  std::vector<double> x, y;
+  const double primal = simplex_maximize(a, b, c, x, &y);
+  // Strong duality: b . y == optimum.
+  double dual = 0;
+  for (std::size_t i = 0; i < b.size(); ++i) dual += b[i] * y[i];
+  EXPECT_NEAR(dual, primal, 1e-9);
+}
+
+TEST(Simplex, RejectsNegativeRhs) {
+  std::vector<std::vector<double>> a = {{1.0}};
+  std::vector<double> b = {-1};
+  std::vector<double> c = {1};
+  std::vector<double> x;
+  EXPECT_THROW(simplex_maximize(a, b, c, x), std::invalid_argument);
+}
+
+TEST(Game, MatchingPennies) {
+  // Value 0, both mix 50/50.
+  const GameSolution s = solve_zero_sum_game({{1, -1}, {-1, 1}});
+  EXPECT_NEAR(s.value, 0.0, 1e-9);
+  EXPECT_NEAR(s.row_strategy[0], 0.5, 1e-9);
+  EXPECT_NEAR(s.column_strategy[0], 0.5, 1e-9);
+}
+
+TEST(Game, RockPaperScissors) {
+  const GameSolution s = solve_zero_sum_game(
+      {{0, -1, 1}, {1, 0, -1}, {-1, 1, 0}});
+  EXPECT_NEAR(s.value, 0.0, 1e-9);
+  for (double p : s.row_strategy) EXPECT_NEAR(p, 1.0 / 3.0, 1e-9);
+  for (double p : s.column_strategy) EXPECT_NEAR(p, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Game, DominatedStrategyGetsZeroWeight) {
+  // Column 1 dominates column 0 for the minimizer (always cheaper).
+  const GameSolution s = solve_zero_sum_game({{5, 1}, {6, 2}});
+  EXPECT_NEAR(s.value, 2.0, 1e-9);  // row player picks row 1, column 1
+  EXPECT_NEAR(s.column_strategy[0], 0.0, 1e-9);
+}
+
+TEST(Game, SaddlePoint) {
+  // A pure saddle at (row 0, col 0) with value 3.
+  const GameSolution s = solve_zero_sum_game({{3, 5}, {2, 7}});
+  EXPECT_NEAR(s.value, 3.0, 1e-9);
+}
+
+TEST(Game, ValueIsBetweenPureBounds) {
+  const std::vector<std::vector<double>> m = {{2, 7, 1}, {4, 3, 6}, {5, 2, 4}};
+  const GameSolution s = solve_zero_sum_game(m);
+  // maximin <= value <= minimax.
+  double maximin = -1e18, minimax = 1e18;
+  for (const auto& row : m) {
+    double rmin = 1e18;
+    for (double v : row) rmin = std::min(rmin, v);
+    maximin = std::max(maximin, rmin);
+  }
+  for (std::size_t j = 0; j < m[0].size(); ++j) {
+    double cmax = -1e18;
+    for (const auto& row : m) cmax = std::max(cmax, row[j]);
+    minimax = std::min(minimax, cmax);
+  }
+  EXPECT_GE(s.value, maximin - 1e-9);
+  EXPECT_LE(s.value, minimax + 1e-9);
+}
+
+TEST(Game, StrategiesAreDistributions) {
+  const GameSolution s = solve_zero_sum_game({{2, 7, 1}, {4, 3, 6}});
+  double row_total = 0, col_total = 0;
+  for (double p : s.row_strategy) {
+    EXPECT_GE(p, -1e-9);
+    row_total += p;
+  }
+  for (double p : s.column_strategy) {
+    EXPECT_GE(p, -1e-9);
+    col_total += p;
+  }
+  EXPECT_NEAR(row_total, 1.0, 1e-9);
+  EXPECT_NEAR(col_total, 1.0, 1e-9);
+}
+
+TEST(Game, NegativeEntriesHandledByShift) {
+  const GameSolution s = solve_zero_sum_game({{-3, -1}, {-1, -3}});
+  EXPECT_NEAR(s.value, -2.0, 1e-9);
+}
+
+TEST(Game, OptimalMixGuaranteesValue) {
+  // Row strategy must achieve >= value against every column.
+  const std::vector<std::vector<double>> m = {{1, 4}, {3, 2}};
+  const GameSolution s = solve_zero_sum_game(m);
+  for (std::size_t j = 0; j < 2; ++j) {
+    double expected = 0;
+    for (std::size_t i = 0; i < 2; ++i)
+      expected += s.row_strategy[i] * m[i][j];
+    EXPECT_GE(expected, s.value - 1e-9);
+  }
+  // Column strategy must achieve <= value against every row.
+  for (std::size_t i = 0; i < 2; ++i) {
+    double expected = 0;
+    for (std::size_t j = 0; j < 2; ++j)
+      expected += s.column_strategy[j] * m[i][j];
+    EXPECT_LE(expected, s.value + 1e-9);
+  }
+}
+
+TEST(Game, RejectsEmptyOrRagged) {
+  EXPECT_THROW(solve_zero_sum_game({}), std::invalid_argument);
+  EXPECT_THROW(solve_zero_sum_game({{1, 2}, {3}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,89 @@
+// Lemma 2.4: absorption time of the N x N directed grid walk.
+#include "math/random_walk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qps {
+namespace {
+
+TEST(GridWalk, TrivialCases) {
+  // N = 1: a single step always reaches a border.
+  EXPECT_DOUBLE_EQ(grid_walk_expected_time(1, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(grid_walk_expected_time(1, 0.2), 1.0);
+}
+
+TEST(GridWalk, DegenerateProbabilities) {
+  // p = 0: straight up, exactly N steps.  p = 1: straight right.
+  EXPECT_DOUBLE_EQ(grid_walk_expected_time(10, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(grid_walk_expected_time(10, 1.0), 10.0);
+}
+
+TEST(GridWalk, SmallExactValue) {
+  // N = 2, p = 1/2 by hand: E(0,0) = 1 + E(1,0) with E(1,0) = E(0,1) =
+  // 1 + 0.5*E(1,1), E(1,1) = 1.  So E = 1 + 1.5 = 2.5.
+  EXPECT_DOUBLE_EQ(grid_walk_expected_time(2, 0.5), 2.5);
+}
+
+TEST(GridWalk, BoundedBy2NMinusSqrt) {
+  for (std::size_t n : {4u, 16u, 64u, 256u}) {
+    const double e = grid_walk_expected_time(n, 0.5);
+    EXPECT_LT(e, 2.0 * n);
+    EXPECT_GT(e, 2.0 * n - 3.0 * std::sqrt(static_cast<double>(n)));
+  }
+}
+
+TEST(GridWalk, DeficitGrowsLikeSqrtN) {
+  // (2N - E(T)) should scale as sqrt(N): quadrupling N doubles the deficit.
+  const double d1 = 2.0 * 100 - grid_walk_expected_time(100, 0.5);
+  const double d2 = 2.0 * 400 - grid_walk_expected_time(400, 0.5);
+  EXPECT_NEAR(d2 / d1, 2.0, 0.06);
+}
+
+TEST(GridWalk, BiasedCaseApproachesNOverQ) {
+  // p < q: E(T) -> N/q.
+  for (double p : {0.1, 0.25, 0.4}) {
+    const double q = 1.0 - p;
+    const double e = grid_walk_expected_time(300, p);
+    EXPECT_NEAR(e, 300.0 / q, 1.0) << "p=" << p;
+  }
+}
+
+TEST(GridWalk, SymmetricInPAndQ) {
+  for (std::size_t n : {5u, 20u})
+    for (double p : {0.1, 0.3})
+      EXPECT_NEAR(grid_walk_expected_time(n, p),
+                  grid_walk_expected_time(n, 1.0 - p), 1e-9);
+}
+
+TEST(GridWalk, AsymptoticTracksExact) {
+  // At p = 1/2 the asymptotic 2N - sqrt(4N/pi) should be within a few
+  // percent of the exact DP for moderate N.
+  for (std::size_t n : {100u, 400u}) {
+    const double exact = grid_walk_expected_time(n, 0.5);
+    const double asym = grid_walk_asymptotic(n, 0.5);
+    EXPECT_NEAR(asym / exact, 1.0, 0.02) << "n=" << n;
+  }
+  EXPECT_DOUBLE_EQ(grid_walk_asymptotic(100, 0.2), 100.0 / 0.8);
+  EXPECT_DOUBLE_EQ(grid_walk_asymptotic(100, 0.8), 100.0 / 0.8);
+}
+
+TEST(GridWalk, SimulationAgreesWithExact) {
+  Rng rng(77);
+  for (double p : {0.5, 0.3}) {
+    const double exact = grid_walk_expected_time(50, p);
+    const double sim = grid_walk_simulated(50, p, 40000, rng);
+    EXPECT_NEAR(sim / exact, 1.0, 0.02) << "p=" << p;
+  }
+}
+
+TEST(GridWalk, RejectsBadArguments) {
+  EXPECT_THROW(grid_walk_expected_time(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(grid_walk_expected_time(5, -0.1), std::invalid_argument);
+  EXPECT_THROW(grid_walk_expected_time(5, 1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps

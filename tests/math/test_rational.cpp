@@ -1,0 +1,91 @@
+#include "math/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qps {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_EQ(r.numerator(), 0);
+  EXPECT_EQ(r.denominator(), 1);
+}
+
+TEST(Rational, ReducesOnConstruction) {
+  const Rational r(6, 8);
+  EXPECT_EQ(r.numerator(), 3);
+  EXPECT_EQ(r.denominator(), 4);
+}
+
+TEST(Rational, NormalizesSign) {
+  const Rational r(3, -4);
+  EXPECT_EQ(r.numerator(), -3);
+  EXPECT_EQ(r.denominator(), 4);
+  const Rational z(0, -7);
+  EXPECT_EQ(z.numerator(), 0);
+  EXPECT_EQ(z.denominator(), 1);
+}
+
+TEST(Rational, RejectsZeroDenominator) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), std::invalid_argument);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(7, 8), Rational(3, 4));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_LE(Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(5, 2).to_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Rational(8, 3).to_double(), 8.0 / 3.0);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(8, 3).to_string(), "8/3");
+  EXPECT_EQ(Rational(4, 2).to_string(), "2");
+  EXPECT_EQ(Rational(-3, 9).to_string(), "-1/3");
+  std::ostringstream os;
+  os << Rational(5, 2);
+  EXPECT_EQ(os.str(), "5/2");
+}
+
+TEST(Rational, LargeIntermediatesReduce) {
+  // (a/b) * (b/a) = 1 even when a*b would not overflow thanks to the
+  // 128-bit intermediates and eager reduction.
+  const std::int64_t big = 3037000499LL;  // ~sqrt(2^63)
+  const Rational r(big, big - 1);
+  EXPECT_EQ(r * Rational(big - 1, big), Rational(1));
+}
+
+TEST(Rational, OverflowThrows) {
+  const Rational huge(INT64_MAX, 1);
+  EXPECT_THROW(huge * huge, std::overflow_error);
+  EXPECT_THROW(huge + huge, std::overflow_error);
+}
+
+TEST(Rational, PaperConstants) {
+  // The worked example of Section 2.3 and the Fig. 9 constant.
+  EXPECT_EQ(Rational(5, 2) + Rational(1, 6), Rational(8, 3));
+  EXPECT_EQ(Rational(191, 27).to_string(), "191/27");
+  EXPECT_NEAR(Rational(191, 27).to_double(), 7.074, 0.001);
+}
+
+}  // namespace
+}  // namespace qps

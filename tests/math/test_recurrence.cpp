@@ -1,0 +1,93 @@
+// Fact 2.6 (linear recurrences) and Lemma 2.5 (damped products).
+#include "math/recurrence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qps {
+namespace {
+
+TEST(LinearRecurrence, IterationMatchesClosedFormConstantCoefficients) {
+  const double f0 = 1.0, a = 2.0, b = 2.0 / 3.0;
+  const auto f = solve_linear_recurrence(
+      f0, 10, [&](std::size_t) { return a; }, [&](std::size_t) { return b; });
+  for (std::size_t h = 0; h <= 10; ++h)
+    EXPECT_NEAR(f[h], linear_recurrence_closed_form(f0, a, b, h), 1e-9)
+        << "h=" << h;
+}
+
+TEST(LinearRecurrence, AEqualsOneIsArithmetic) {
+  EXPECT_DOUBLE_EQ(linear_recurrence_closed_form(3.0, 1.0, 2.0, 5), 13.0);
+}
+
+TEST(LinearRecurrence, Theorem47Recursion) {
+  // T_h = 2/3 + 2 T_{h-1}, T_0 = 1 solves to (5n+1)/6 with n = 2^{h+1}-1.
+  const auto f = solve_linear_recurrence(
+      1.0, 12, [](std::size_t) { return 2.0; },
+      [](std::size_t) { return 2.0 / 3.0; });
+  for (std::size_t h = 0; h <= 12; ++h) {
+    const double n = std::pow(2.0, static_cast<double>(h) + 1.0) - 1.0;
+    EXPECT_NEAR(f[h], (5.0 * n + 1.0) / 6.0, 1e-6) << "h=" << h;
+  }
+}
+
+TEST(LinearRecurrence, VaryingCoefficients) {
+  // f(h) = h + h * f(h-1), f(0) = 0: f(1) = 1, f(2) = 4, f(3) = 15.
+  const auto f = solve_linear_recurrence(
+      0.0, 3, [](std::size_t i) { return static_cast<double>(i); },
+      [](std::size_t i) { return static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  EXPECT_DOUBLE_EQ(f[2], 4.0);
+  EXPECT_DOUBLE_EQ(f[3], 15.0);
+}
+
+TEST(DampedProduct, ExactSmallCases) {
+  // prod_{i=1..2} (2 + 1 * 0.5^i) = 2.5 * 2.25 = 5.625.
+  EXPECT_NEAR(damped_product(2.0, 0.5, 1.0, 2), 5.625, 1e-12);
+  EXPECT_DOUBLE_EQ(damped_product(2.0, 0.5, 1.0, 0), 1.0);
+}
+
+TEST(DampedProductBound, Lemma25Holds) {
+  // The bound e^{Bc/a} a^h dominates the product for many parameters.
+  for (double a : {1.5, 2.0, 3.0})
+    for (double b : {0.3, 0.5, 0.75})
+      for (double c : {0.5, 1.0, 2.0})
+        for (std::size_t h : {1u, 5u, 20u, 60u}) {
+          EXPECT_LE(damped_product(a, b, c, h),
+                    damped_product_bound(a, b, c, h) * (1 + 1e-12))
+              << "a=" << a << " b=" << b << " c=" << c << " h=" << h;
+        }
+}
+
+TEST(DampedProductBound, TightUpToConstantFactor) {
+  // The ratio bound/product converges (the product is a^h times a
+  // convergent infinite product), so it stays bounded in h.
+  const double r1 = damped_product_bound(2.0, 0.5, 1.0, 30) /
+                    damped_product(2.0, 0.5, 1.0, 30);
+  const double r2 = damped_product_bound(2.0, 0.5, 1.0, 60) /
+                    damped_product(2.0, 0.5, 1.0, 60);
+  EXPECT_NEAR(r1, r2, 1e-6);
+  EXPECT_LT(r1, 2.0);
+}
+
+TEST(DampedProductBound, RejectsBadParameters) {
+  EXPECT_THROW(damped_product_bound(2.0, 1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(damped_product_bound(2.0, 0.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(damped_product_bound(0.0, 0.5, 1.0, 3), std::invalid_argument);
+}
+
+TEST(DampedProduct, Theorem38LowPRecursion) {
+  // Thm 3.8 for p < 1/2 bounds T(h) by prod (2 + 2p(3p-2p^2)^i), which by
+  // Lemma 2.5 is O(2^h) = O(n^{log_3 2}).
+  const double p = 0.3;
+  const double b = 3 * p - 2 * p * p;
+  const double product = damped_product(2.0, b, 2 * p, 20);
+  const double bound = damped_product_bound(2.0, b, 2 * p, 20);
+  EXPECT_LE(product, bound);
+  EXPECT_LT(bound / std::pow(2.0, 20), 10.0);  // constant-factor over 2^h
+}
+
+}  // namespace
+}  // namespace qps

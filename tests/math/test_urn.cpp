@@ -1,0 +1,118 @@
+// Verifies the urn lemmas of Section 2.4 three ways: closed form vs
+// independent state-space enumeration vs Monte Carlo.
+#include "math/urn.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+
+namespace qps {
+namespace {
+
+TEST(UrnFirstRed, Fact27KnownValues) {
+  // (r+g+1)/(r+1)
+  EXPECT_EQ(urn_first_red_expectation(1, 0), Rational(1));
+  EXPECT_EQ(urn_first_red_expectation(1, 1), Rational(3, 2));
+  EXPECT_EQ(urn_first_red_expectation(2, 1), Rational(4, 3));
+  EXPECT_EQ(urn_first_red_expectation(1, 9), Rational(11, 2));
+}
+
+TEST(UrnFirstRed, RequiresARedBall) {
+  EXPECT_THROW(urn_first_red_expectation(0, 5), std::invalid_argument);
+}
+
+TEST(UrnJthRed, Lemma28MatchesFact27AtJ1) {
+  for (std::size_t r = 1; r <= 6; ++r)
+    for (std::size_t g = 0; g <= 6; ++g)
+      EXPECT_EQ(urn_jth_red_expectation(r, g, 1),
+                urn_first_red_expectation(r, g))
+          << "r=" << r << " g=" << g;
+}
+
+TEST(UrnJthRed, DrawingAllRedsTakesAllWhenNoGreens) {
+  for (std::size_t r = 1; r <= 5; ++r)
+    EXPECT_EQ(urn_jth_red_expectation(r, 0, r), Rational(static_cast<std::int64_t>(r)));
+}
+
+TEST(UrnJthRed, ClosedFormEqualsEnumeration) {
+  for (std::size_t r = 1; r <= 5; ++r)
+    for (std::size_t g = 0; g <= 5; ++g)
+      for (std::size_t j = 1; j <= r; ++j)
+        EXPECT_EQ(urn_jth_red_expectation(r, g, j),
+                  urn_jth_red_expectation_enumerated(r, g, j))
+            << "r=" << r << " g=" << g << " j=" << j;
+}
+
+TEST(UrnJthRed, RejectsBadJ) {
+  EXPECT_THROW(urn_jth_red_expectation(3, 2, 0), std::invalid_argument);
+  EXPECT_THROW(urn_jth_red_expectation(3, 2, 4), std::invalid_argument);
+}
+
+TEST(UrnJthRed, MonteCarloAgrees) {
+  Rng rng(2024);
+  const double exact = urn_jth_red_expectation(5, 4, 3).to_double();
+  const double simulated = urn_jth_red_simulated(5, 4, 3, 200000, rng);
+  EXPECT_NEAR(simulated, exact, 0.02);
+}
+
+TEST(UrnJthRed, TheMajWorstCase) {
+  // Thm 4.2 uses r = j = k+1, g = k:  j(n+1)/(r+1) = n - (n-1)/(n+3).
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const std::size_t n = 2 * k + 1;
+    const Rational expected =
+        Rational(static_cast<std::int64_t>(n)) -
+        Rational(static_cast<std::int64_t>(n) - 1,
+                 static_cast<std::int64_t>(n) + 3);
+    EXPECT_EQ(urn_jth_red_expectation(k + 1, k, k + 1), expected) << "n=" << n;
+  }
+}
+
+TEST(UrnBothColors, Lemma29KnownValues) {
+  // 1 + r/(g+1) + g/(r+1)
+  EXPECT_EQ(urn_both_colors_expectation(1, 1), Rational(2));
+  // r=2, g=1: 1 + 2/2 + 1/3 = 7/3.
+  EXPECT_EQ(urn_both_colors_expectation(2, 1), Rational(7, 3));
+  EXPECT_EQ(urn_both_colors_expectation(1, 2), Rational(7, 3));
+  EXPECT_EQ(urn_both_colors_expectation(3, 3), Rational(1) + Rational(3, 4) +
+                                                   Rational(3, 4));
+}
+
+TEST(UrnBothColors, SymmetricInColors) {
+  for (std::size_t r = 1; r <= 6; ++r)
+    for (std::size_t g = 1; g <= 6; ++g)
+      EXPECT_EQ(urn_both_colors_expectation(r, g),
+                urn_both_colors_expectation(g, r));
+}
+
+TEST(UrnBothColors, ClosedFormEqualsEnumeration) {
+  for (std::size_t r = 1; r <= 6; ++r)
+    for (std::size_t g = 1; g <= 6; ++g)
+      EXPECT_EQ(urn_both_colors_expectation(r, g),
+                urn_both_colors_expectation_enumerated(r, g))
+          << "r=" << r << " g=" << g;
+}
+
+TEST(UrnBothColors, RequiresBothColors) {
+  EXPECT_THROW(urn_both_colors_expectation(0, 3), std::invalid_argument);
+  EXPECT_THROW(urn_both_colors_expectation(3, 0), std::invalid_argument);
+}
+
+TEST(UrnBothColors, Corollary43RowBound) {
+  // Cor 4.3: expected probes in a row with r+g = n_i is at most
+  // (n_i+1)/2 + 1/n_i, attained at r = 1 or g = 1.
+  for (std::size_t total = 2; total <= 12; ++total) {
+    const Rational bound(static_cast<std::int64_t>(total) + 1, 2);
+    const Rational extra(1, static_cast<std::int64_t>(total));
+    for (std::size_t r = 1; r < total; ++r) {
+      const std::size_t g = total - r;
+      EXPECT_LE(urn_both_colors_expectation(r, g), bound + extra)
+          << "r=" << r << " g=" << g;
+    }
+    EXPECT_EQ(urn_both_colors_expectation(1, total - 1), bound + extra);
+    EXPECT_EQ(urn_both_colors_expectation(total - 1, 1), bound + extra);
+  }
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,96 @@
+#include "protocols/quorum_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "core/algorithms/probe_cw.h"
+#include "quorum/crumbling_wall.h"
+
+namespace qps::protocols {
+namespace {
+
+class QuorumCacheTest : public ::testing::Test {
+ protected:
+  CrumblingWall wall_{{1, 2, 3}};
+  ProbeCW strategy_{wall_};
+  Rng rng_{42};
+};
+
+TEST_F(QuorumCacheTest, FirstSelectIsAMiss) {
+  CachedQuorumSelector cache(wall_, strategy_);
+  const Coloring all_green(6, ElementSet::full(6));
+  const auto quorum = cache.select(all_green, rng_);
+  ASSERT_TRUE(quorum.has_value());
+  EXPECT_TRUE(wall_.contains_quorum(*quorum));
+  EXPECT_EQ(cache.cache_hits(), 0u);
+  EXPECT_EQ(cache.cache_misses(), 1u);
+}
+
+TEST_F(QuorumCacheTest, StableViewHitsTheCache) {
+  CachedQuorumSelector cache(wall_, strategy_);
+  const Coloring all_green(6, ElementSet::full(6));
+  const auto first = cache.select(all_green, rng_);
+  for (int i = 0; i < 10; ++i) {
+    const auto again = cache.select(all_green, rng_);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, *first);
+  }
+  EXPECT_EQ(cache.cache_hits(), 10u);
+  EXPECT_EQ(cache.cache_misses(), 1u);
+}
+
+TEST_F(QuorumCacheTest, MemberFailureForcesReselection) {
+  CachedQuorumSelector cache(wall_, strategy_);
+  const Coloring all_green(6, ElementSet::full(6));
+  const auto first = cache.select(all_green, rng_);
+  ASSERT_TRUE(first.has_value());
+  // Kill one member of the cached quorum.
+  const Element victim = first->first();
+  const Coloring degraded = all_green.with(victim, Color::kRed);
+  const auto second = cache.select(degraded, rng_);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_FALSE(second->contains(victim));
+  EXPECT_TRUE(second->is_subset_of(degraded.greens()));
+  EXPECT_EQ(cache.cache_misses(), 2u);
+}
+
+TEST_F(QuorumCacheTest, UnrelatedFailureStillHits) {
+  CachedQuorumSelector cache(wall_, strategy_);
+  const Coloring all_green(6, ElementSet::full(6));
+  const auto first = cache.select(all_green, rng_);
+  ASSERT_TRUE(first.has_value());
+  // Fail an element OUTSIDE the cached quorum.
+  Element outsider = 6;
+  for (Element e = 0; e < 6; ++e)
+    if (!first->contains(e)) {
+      outsider = e;
+      break;
+    }
+  ASSERT_LT(outsider, 6u);
+  const auto second = cache.select(all_green.with(outsider, Color::kRed), rng_);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*second, *first);
+  EXPECT_EQ(cache.cache_hits(), 1u);
+}
+
+TEST_F(QuorumCacheTest, NoLiveQuorumReturnsNulloptAndInvalidates) {
+  CachedQuorumSelector cache(wall_, strategy_);
+  const Coloring all_green(6, ElementSet::full(6));
+  ASSERT_TRUE(cache.select(all_green, rng_).has_value());
+  // Kill rows so no quorum survives: red everything.
+  const Coloring dead(6);
+  EXPECT_FALSE(cache.select(dead, rng_).has_value());
+  EXPECT_FALSE(cache.cached().has_value());
+}
+
+TEST_F(QuorumCacheTest, ExplicitInvalidation) {
+  CachedQuorumSelector cache(wall_, strategy_);
+  const Coloring all_green(6, ElementSet::full(6));
+  cache.select(all_green, rng_);
+  cache.invalidate();
+  cache.select(all_green, rng_);
+  EXPECT_EQ(cache.cache_misses(), 2u);
+  EXPECT_EQ(cache.cache_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace qps::protocols

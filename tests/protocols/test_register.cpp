@@ -1,0 +1,161 @@
+// Quorum-replicated register: reads see completed writes through any live
+// quorum (intersection), versioning resolves concurrent writers.
+#include "protocols/register_client.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms/probe_maj.h"
+#include "protocols/server_node.h"
+#include "quorum/majority.h"
+#include "sim/fault_injector.h"
+
+namespace qps::protocols {
+namespace {
+
+using sim::Network;
+using sim::NodeId;
+using sim::Simulator;
+
+struct RegisterFixture {
+  Simulator simulator;
+  Rng net_rng{303};
+  Network net{simulator, net_rng, sim::uniform_latency(0.1, 0.4)};
+  std::vector<std::unique_ptr<ServerNode>> servers;
+  std::vector<std::unique_ptr<RegisterClient>> clients;
+  MajoritySystem system{5};
+  ProbeMaj strategy{system};
+
+  explicit RegisterFixture(std::size_t client_count) {
+    for (NodeId id = 0; id < system.universe_size(); ++id) {
+      servers.push_back(std::make_unique<ServerNode>(id));
+      net.add_node(servers.back().get());
+    }
+    RegisterClient::Options options;
+    options.ping_timeout = 1.0;
+    options.round_timeout = 2.0;
+    for (std::size_t i = 0; i < client_count; ++i) {
+      const auto id = static_cast<NodeId>(system.universe_size() + i);
+      clients.push_back(std::make_unique<RegisterClient>(
+          net, id, system, strategy, Rng(900 + i), options));
+      net.add_node(clients.back().get());
+    }
+  }
+};
+
+TEST(Register, WriteThenReadReturnsValue) {
+  RegisterFixture f(1);
+  bool wrote = false;
+  RegisterClient::ReadResult read;
+  f.clients[0]->write(42, [&](bool ok) {
+    wrote = ok;
+    f.clients[0]->read([&](RegisterClient::ReadResult r) { read = r; });
+  });
+  f.simulator.run();
+  EXPECT_TRUE(wrote);
+  EXPECT_TRUE(read.ok);
+  EXPECT_EQ(read.value, 42);
+  EXPECT_EQ(read.version, 1);
+}
+
+TEST(Register, FreshRegisterReadsVersionZero) {
+  RegisterFixture f(1);
+  RegisterClient::ReadResult read;
+  f.clients[0]->read([&](RegisterClient::ReadResult r) { read = r; });
+  f.simulator.run();
+  EXPECT_TRUE(read.ok);
+  EXPECT_EQ(read.version, 0);
+}
+
+TEST(Register, SecondWriteIncreasesVersion) {
+  RegisterFixture f(1);
+  RegisterClient::ReadResult read;
+  f.clients[0]->write(1, [&](bool) {
+    f.clients[0]->write(2, [&](bool) {
+      f.clients[0]->read([&](RegisterClient::ReadResult r) { read = r; });
+    });
+  });
+  f.simulator.run();
+  EXPECT_TRUE(read.ok);
+  EXPECT_EQ(read.value, 2);
+  EXPECT_EQ(read.version, 2);
+}
+
+TEST(Register, ReadSeesWriteFromOtherClient) {
+  RegisterFixture f(2);
+  RegisterClient::ReadResult read;
+  f.clients[0]->write(77, [&](bool ok) {
+    ASSERT_TRUE(ok);
+    f.clients[1]->read([&](RegisterClient::ReadResult r) { read = r; });
+  });
+  f.simulator.run();
+  EXPECT_TRUE(read.ok);
+  EXPECT_EQ(read.value, 77);
+}
+
+TEST(Register, SurvivesMinorityCrashBetweenWriteAndRead) {
+  RegisterFixture f(1);
+  RegisterClient::ReadResult read;
+  f.clients[0]->write(9, [&](bool ok) {
+    ASSERT_TRUE(ok);
+    // Crash two servers after the write completes; a read through any
+    // remaining majority quorum still intersects the write quorum.
+    f.servers[0]->crash();
+    f.servers[1]->crash();
+    f.clients[0]->read([&](RegisterClient::ReadResult r) { read = r; });
+  });
+  f.simulator.run();
+  EXPECT_TRUE(read.ok);
+  EXPECT_EQ(read.value, 9);
+}
+
+TEST(Register, FailsWithoutLiveQuorum) {
+  RegisterFixture f(1);
+  for (NodeId id : {0u, 1u, 2u}) f.servers[id]->crash();
+  bool done = false;
+  bool ok = true;
+  f.clients[0]->write(5, [&](bool result) {
+    done = true;
+    ok = result;
+  });
+  f.simulator.run();
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+}
+
+TEST(Register, ConcurrentWritesResolveByVersion) {
+  RegisterFixture f(2);
+  int done = 0;
+  f.clients[0]->write(100, [&](bool) { ++done; });
+  f.clients[1]->write(200, [&](bool) { ++done; });
+  f.simulator.run();
+  EXPECT_EQ(done, 2);
+  // After both complete, a read returns one of the two values
+  // deterministically resolved by (version, value) ordering.
+  RegisterClient::ReadResult read;
+  f.clients[0]->read([&](RegisterClient::ReadResult r) { read = r; });
+  f.simulator.run();
+  EXPECT_TRUE(read.ok);
+  EXPECT_TRUE(read.value == 100 || read.value == 200);
+  EXPECT_GE(read.version, 1);
+}
+
+TEST(Register, AmnesiacRecoveryLosesState) {
+  RegisterFixture f(1);
+  f.clients[0]->write(3, [&](bool) {});
+  f.simulator.run();
+  f.servers[2]->crash();
+  f.servers[2]->recover_amnesiac();
+  EXPECT_EQ(f.servers[2]->stored_version(), 0);
+}
+
+TEST(Register, RejectsConcurrentOperations) {
+  RegisterFixture f(1);
+  f.clients[0]->read([](RegisterClient::ReadResult) {});
+  EXPECT_THROW(f.clients[0]->write(1, [](bool) {}), std::invalid_argument);
+  f.simulator.run();
+}
+
+}  // namespace
+}  // namespace qps::protocols

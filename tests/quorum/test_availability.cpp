@@ -1,0 +1,144 @@
+// Availability F_p(S): closed forms vs exhaustive enumeration, and the
+// Peleg-Wool facts 2.3(1) and 2.3(2) used throughout Section 3.
+#include "quorum/availability.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "quorum/crumbling_wall.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+#include "quorum/wheel.h"
+
+namespace qps {
+namespace {
+
+const double kProbes[] = {0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95};
+
+TEST(Availability, MajorityClosedFormMatchesEnumeration) {
+  for (std::size_t n : {1u, 3u, 5u, 7u, 9u})
+    for (double p : kProbes)
+      EXPECT_NEAR(majority_failure_probability(n, p),
+                  failure_probability_exact(MajoritySystem(n), p), 1e-12)
+          << "n=" << n << " p=" << p;
+}
+
+TEST(Availability, CwClosedFormMatchesEnumeration) {
+  const std::vector<std::vector<std::size_t>> walls = {
+      {1}, {1, 2}, {1, 3}, {1, 2, 3}, {1, 3, 2}, {1, 2, 2, 2}, {1, 4, 3}};
+  for (const auto& widths : walls)
+    for (double p : kProbes)
+      EXPECT_NEAR(cw_failure_probability(widths, p),
+                  failure_probability_exact(CrumblingWall(widths), p), 1e-12)
+          << "p=" << p;
+}
+
+TEST(Availability, WheelMatchesItsWallForm) {
+  for (std::size_t n : {3u, 5u, 8u})
+    for (double p : kProbes)
+      EXPECT_NEAR(cw_failure_probability({1, n - 1}, p),
+                  failure_probability_exact(WheelSystem(n), p), 1e-12);
+}
+
+TEST(Availability, TreeClosedFormMatchesEnumeration) {
+  for (std::size_t h : {0u, 1u, 2u})
+    for (double p : kProbes)
+      EXPECT_NEAR(tree_failure_probability(h, p),
+                  failure_probability_exact(TreeSystem(h), p), 1e-12)
+          << "h=" << h << " p=" << p;
+}
+
+TEST(Availability, HqsClosedFormMatchesEnumeration) {
+  for (std::size_t h : {0u, 1u, 2u})
+    for (double p : kProbes)
+      EXPECT_NEAR(hqs_failure_probability(h, p),
+                  failure_probability_exact(HQSystem(h), p), 1e-12)
+          << "h=" << h << " p=" << p;
+}
+
+TEST(Availability, Fact232SelfDualComplement) {
+  // F_p + F_{1-p} = 1 for every ND coterie.
+  for (double p : kProbes) {
+    EXPECT_NEAR(majority_failure_probability(9, p) +
+                    majority_failure_probability(9, 1 - p),
+                1.0, 1e-12);
+    EXPECT_NEAR(cw_failure_probability({1, 2, 3}, p) +
+                    cw_failure_probability({1, 2, 3}, 1 - p),
+                1.0, 1e-12);
+    EXPECT_NEAR(tree_failure_probability(3, p) +
+                    tree_failure_probability(3, 1 - p),
+                1.0, 1e-12);
+    EXPECT_NEAR(hqs_failure_probability(3, p) +
+                    hqs_failure_probability(3, 1 - p),
+                1.0, 1e-12);
+  }
+}
+
+TEST(Availability, HalfIsExactlyHalfForNdCoteries) {
+  // Specialization of Fact 2.3(2) at p = 1/2.
+  EXPECT_DOUBLE_EQ(majority_failure_probability(7, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(cw_failure_probability({1, 2, 3}, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(tree_failure_probability(4, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(hqs_failure_probability(5, 0.5), 0.5);
+}
+
+TEST(Availability, Fact231FailureBelowP) {
+  // F_p <= p for p <= 1/2 (ND coteries).
+  for (double p : {0.05, 0.2, 0.35, 0.5}) {
+    EXPECT_LE(majority_failure_probability(9, p), p + 1e-12);
+    EXPECT_LE(cw_failure_probability({1, 2, 3, 4}, p), p + 1e-12);
+    EXPECT_LE(tree_failure_probability(3, p), p + 1e-12);
+    EXPECT_LE(hqs_failure_probability(3, p), p + 1e-12);
+  }
+}
+
+TEST(Availability, MajorityImprovesWithNForGoodP) {
+  // Condorcet: for p < 1/2 the majority failure probability drops with n.
+  EXPECT_GT(majority_failure_probability(3, 0.3),
+            majority_failure_probability(9, 0.3));
+  EXPECT_GT(majority_failure_probability(9, 0.3),
+            majority_failure_probability(21, 0.3));
+}
+
+TEST(Availability, TreeBoundFromProp36Holds) {
+  // F_p(Tree_h) <= (p + 1/2)^h for p <= 1/2 (used by Prop. 3.6).
+  for (std::size_t h : {1u, 2u, 4u, 8u})
+    for (double p : {0.1, 0.3, 0.5})
+      EXPECT_LE(tree_failure_probability(h, p), tree_failure_bound(h, p) + 1e-12)
+          << "h=" << h << " p=" << p;
+}
+
+TEST(Availability, HqsBoundFromThm38Holds) {
+  // F_p(HQS_h) <= p (3p - 2p^2)^h (used by Thm 3.8).
+  for (std::size_t h : {1u, 2u, 4u, 8u})
+    for (double p : {0.1, 0.3, 0.5})
+      EXPECT_LE(hqs_failure_probability(h, p), hqs_failure_bound(h, p) + 1e-12)
+          << "h=" << h << " p=" << p;
+}
+
+TEST(Availability, EdgeProbabilities) {
+  EXPECT_DOUBLE_EQ(majority_failure_probability(5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(majority_failure_probability(5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(tree_failure_probability(3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tree_failure_probability(3, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(cw_failure_probability({1, 2, 3}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(hqs_failure_probability(2, 1.0), 1.0);
+}
+
+TEST(Availability, HqsFixedPointAtHalf) {
+  // 1/2 is a fixed point of f -> 3f^2 - 2f^3, so F stays 1/2 at any height.
+  for (std::size_t h = 0; h <= 12; ++h)
+    EXPECT_DOUBLE_EQ(hqs_failure_probability(h, 0.5), 0.5);
+}
+
+TEST(Availability, RejectsBadProbability) {
+  EXPECT_THROW(failure_probability_exact(MajoritySystem(3), 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(cw_failure_probability({1, 2}, -0.1), std::invalid_argument);
+  EXPECT_THROW(tree_failure_bound(2, 0.7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,99 @@
+// Quorum-system composition: structure, HQS equivalence, ND closure.
+#include "quorum/composite.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "quorum/crumbling_wall.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/properties.h"
+#include "quorum/wheel.h"
+
+namespace qps {
+namespace {
+
+TEST(Composite, LayoutAndSizes) {
+  const CompositeSystem c = CompositeSystem::uniform(
+      std::make_shared<MajoritySystem>(3), std::make_shared<MajoritySystem>(5));
+  EXPECT_EQ(c.universe_size(), 15u);
+  EXPECT_EQ(c.slot_count(), 3u);
+  EXPECT_EQ(c.slot_begin(1), 5u);
+  EXPECT_EQ(c.slot_end(2), 15u);
+  // Quorum = 2 slots x 3-of-5 = 6 elements, uniformly.
+  EXPECT_EQ(c.min_quorum_size(), 6u);
+  EXPECT_EQ(c.max_quorum_size(), 6u);
+}
+
+TEST(Composite, RecursiveMajority3EqualsHqs) {
+  for (std::size_t h : {1u, 2u}) {
+    const CompositeSystem composed = CompositeSystem::recursive_majority3(h);
+    const HQSystem hqs(h);
+    ASSERT_EQ(composed.universe_size(), hqs.universe_size());
+    const std::size_t n = hqs.universe_size();
+    for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+      const ElementSet greens = ElementSet::from_mask(n, mask);
+      EXPECT_EQ(composed.contains_quorum(greens), hqs.contains_quorum(greens))
+          << "h=" << h << " mask=" << mask;
+    }
+  }
+}
+
+TEST(Composite, HeterogeneousSlots) {
+  // Maj3 outer over [Maj1, Maj3, Wheel(4)]: universe 1 + 3 + 4.
+  std::vector<QuorumSystemPtr> inner = {
+      std::make_shared<MajoritySystem>(1), std::make_shared<MajoritySystem>(3),
+      std::make_shared<WheelSystem>(4)};
+  const CompositeSystem c(std::make_shared<MajoritySystem>(3), inner);
+  EXPECT_EQ(c.universe_size(), 8u);
+  // Slot 0 live (element 0 green) + slot 1 live (2 of {1,2,3}) = quorum.
+  EXPECT_TRUE(c.contains_quorum(ElementSet(8, {0, 1, 2})));
+  // Only slot 2 live is not enough.
+  EXPECT_FALSE(c.contains_quorum(ElementSet(8, {4, 5})));
+  // Slot 1 + slot 2 (hub 4 + a rim member).
+  EXPECT_TRUE(c.contains_quorum(ElementSet(8, {1, 3, 4, 5})));
+}
+
+TEST(Composite, NdClosure) {
+  // Composition of ND coteries is ND (self-duality composes).
+  const CompositeSystem c = CompositeSystem::uniform(
+      std::make_shared<MajoritySystem>(3), std::make_shared<MajoritySystem>(3));
+  EXPECT_TRUE(is_nondominated(c));
+  std::vector<QuorumSystemPtr> inner = {
+      std::make_shared<MajoritySystem>(1), std::make_shared<MajoritySystem>(3),
+      std::make_shared<MajoritySystem>(3)};
+  const CompositeSystem mixed(std::make_shared<MajoritySystem>(3), inner);
+  EXPECT_TRUE(is_nondominated(mixed));
+}
+
+TEST(Composite, WheelOfWallsIsACoterie) {
+  const CompositeSystem c = CompositeSystem::uniform(
+      std::make_shared<WheelSystem>(3),
+      std::make_shared<CrumblingWall>(std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(c.universe_size(), 9u);
+  EXPECT_TRUE(is_coterie(c));
+  EXPECT_TRUE(is_nondominated(c));
+}
+
+TEST(Composite, MonotoneCharacteristicFunction) {
+  const CompositeSystem c = CompositeSystem::uniform(
+      std::make_shared<MajoritySystem>(3), std::make_shared<MajoritySystem>(3));
+  for (std::uint64_t mask = 0; mask < (1ULL << 9); ++mask) {
+    if (!c.contains_quorum(ElementSet::from_mask(9, mask))) continue;
+    for (std::size_t e = 0; e < 9; ++e)
+      EXPECT_TRUE(c.contains_quorum(
+          ElementSet::from_mask(9, mask | (1ULL << e))));
+  }
+}
+
+TEST(Composite, Validation) {
+  EXPECT_THROW(CompositeSystem(nullptr, {}), std::invalid_argument);
+  EXPECT_THROW(CompositeSystem(std::make_shared<MajoritySystem>(3),
+                               {std::make_shared<MajoritySystem>(3)}),
+               std::invalid_argument);
+  EXPECT_THROW(CompositeSystem::recursive_majority3(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,119 @@
+#include "quorum/crumbling_wall.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qps {
+namespace {
+
+TEST(CrumblingWall, NdShapeValidation) {
+  EXPECT_THROW(CrumblingWall({2, 3}), std::invalid_argument);   // top != 1
+  EXPECT_THROW(CrumblingWall({1, 1, 3}), std::invalid_argument);  // width-1 row
+  EXPECT_NO_THROW(CrumblingWall({1, 2, 3}));
+  EXPECT_NO_THROW(CrumblingWall({2, 3}, /*require_nd=*/false));
+  EXPECT_THROW(CrumblingWall({}), std::invalid_argument);
+  EXPECT_THROW(CrumblingWall({1, 0, 2}, false), std::invalid_argument);
+}
+
+TEST(CrumblingWall, LayoutIsRowMajor) {
+  const CrumblingWall wall({1, 2, 3});
+  EXPECT_EQ(wall.universe_size(), 6u);
+  EXPECT_EQ(wall.row_count(), 3u);
+  EXPECT_EQ(wall.row_begin(0), 0u);
+  EXPECT_EQ(wall.row_end(0), 1u);
+  EXPECT_EQ(wall.row_begin(1), 1u);
+  EXPECT_EQ(wall.row_end(1), 3u);
+  EXPECT_EQ(wall.row_begin(2), 3u);
+  EXPECT_EQ(wall.row_end(2), 6u);
+  EXPECT_EQ(wall.row_of(0), 0u);
+  EXPECT_EQ(wall.row_of(2), 1u);
+  EXPECT_EQ(wall.row_of(5), 2u);
+  EXPECT_THROW(wall.row_of(6), std::invalid_argument);
+}
+
+TEST(CrumblingWall, QuorumIsFullRowPlusRepresentatives) {
+  const CrumblingWall wall({1, 2, 3});
+  // Full row 1 = {1,2} plus one of row 2 = {3,4,5}.
+  EXPECT_TRUE(wall.is_quorum(ElementSet(6, {1, 2, 3})));
+  EXPECT_TRUE(wall.is_quorum(ElementSet(6, {1, 2, 5})));
+  // Full top row {0} plus one of each row below.
+  EXPECT_TRUE(wall.is_quorum(ElementSet(6, {0, 1, 4})));
+  // Full bottom row alone.
+  EXPECT_TRUE(wall.is_quorum(ElementSet(6, {3, 4, 5})));
+  // A full row without representatives below is not a quorum.
+  EXPECT_FALSE(wall.contains_quorum(ElementSet(6, {1, 2})));
+  // Representatives without a full row are not a quorum.
+  EXPECT_FALSE(wall.contains_quorum(ElementSet(6, {0, 1, 3})) &&
+               !wall.is_quorum(ElementSet(6, {0, 1, 3})));
+}
+
+TEST(CrumblingWall, Figure1TriangExample) {
+  // Fig. 1 shades a quorum of the Triang system: a full row plus one
+  // element from every row below it.
+  const CrumblingWall triang = CrumblingWall::triang(4);
+  EXPECT_EQ(triang.universe_size(), 10u);
+  // Row 1 = {1,2}; below: row 2 = {3,4,5}, row 3 = {6,7,8,9}.
+  EXPECT_TRUE(triang.is_quorum(ElementSet(10, {1, 2, 4, 8})));
+  EXPECT_FALSE(triang.contains_quorum(ElementSet(10, {1, 2, 4})));
+}
+
+TEST(CrumblingWall, QuorumSizeExtremes) {
+  const CrumblingWall wall({1, 2, 3});
+  // Sizes: row 0: 1 + 2 = 3; row 1: 2 + 1 = 3; row 2: 3 + 0 = 3.
+  EXPECT_EQ(wall.min_quorum_size(), 3u);
+  EXPECT_EQ(wall.max_quorum_size(), 3u);
+  const CrumblingWall wide({1, 5, 2});
+  // Row 0: 1+2=3, row 1: 5+1=6, row 2: 2.
+  EXPECT_EQ(wide.min_quorum_size(), 2u);
+  EXPECT_EQ(wide.max_quorum_size(), 6u);
+}
+
+TEST(CrumblingWall, EnumerationMatchesBruteForce) {
+  const CrumblingWall wall({1, 2, 3});
+  auto fast = wall.enumerate_quorums();
+  auto brute = wall.QuorumSystem::enumerate_quorums();
+  std::vector<std::uint64_t> a, b;
+  for (const auto& q : fast) a.push_back(q.to_mask());
+  for (const auto& q : brute) b.push_back(q.to_mask());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(CrumblingWall, EnumerationCount) {
+  // sum_j prod_{i>j} n_i = 2*3 + 3 + 1 = 10 for (1,2,3).
+  EXPECT_EQ(CrumblingWall({1, 2, 3}).enumerate_quorums().size(), 10u);
+}
+
+TEST(CrumblingWall, TriangFactory) {
+  const CrumblingWall triang = CrumblingWall::triang(3);
+  EXPECT_EQ(triang.row_count(), 3u);
+  EXPECT_EQ(triang.row_width(0), 1u);
+  EXPECT_EQ(triang.row_width(2), 3u);
+  EXPECT_EQ(triang.universe_size(), 6u);
+  EXPECT_EQ(triang.name(), "(1,2,3)-CW");
+}
+
+TEST(CrumblingWall, SingleRowWall) {
+  const CrumblingWall tiny({1});
+  EXPECT_EQ(tiny.universe_size(), 1u);
+  EXPECT_TRUE(tiny.is_quorum(ElementSet(1, {0})));
+  EXPECT_FALSE(tiny.contains_quorum(ElementSet(1)));
+}
+
+TEST(CrumblingWall, ContainsQuorumMonotone) {
+  const CrumblingWall wall({1, 3, 2});
+  const std::size_t n = wall.universe_size();
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    if (!wall.contains_quorum(ElementSet::from_mask(n, mask))) continue;
+    // Adding elements preserves the property.
+    for (std::size_t e = 0; e < n; ++e)
+      EXPECT_TRUE(
+          wall.contains_quorum(ElementSet::from_mask(n, mask | (1ULL << e))));
+  }
+}
+
+}  // namespace
+}  // namespace qps

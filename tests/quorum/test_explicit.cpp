@@ -1,0 +1,66 @@
+#include "quorum/explicit_system.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qps {
+namespace {
+
+TEST(Explicit, BuildsMaj3) {
+  const ExplicitSystem maj3(
+      3, {ElementSet(3, {0, 1}), ElementSet(3, {1, 2}), ElementSet(3, {0, 2})},
+      "Maj3");
+  EXPECT_EQ(maj3.universe_size(), 3u);
+  EXPECT_EQ(maj3.min_quorum_size(), 2u);
+  EXPECT_EQ(maj3.max_quorum_size(), 2u);
+  EXPECT_TRUE(maj3.contains_quorum(ElementSet(3, {0, 1})));
+  EXPECT_TRUE(maj3.contains_quorum(ElementSet(3, {0, 1, 2})));
+  EXPECT_FALSE(maj3.contains_quorum(ElementSet(3, {0})));
+  EXPECT_EQ(maj3.name(), "Maj3");
+}
+
+TEST(Explicit, RejectsEmptyFamily) {
+  EXPECT_THROW(ExplicitSystem(3, {}), std::invalid_argument);
+}
+
+TEST(Explicit, RejectsEmptyQuorum) {
+  EXPECT_THROW(ExplicitSystem(3, {ElementSet(3)}), std::invalid_argument);
+}
+
+TEST(Explicit, RejectsNonIntersecting) {
+  EXPECT_THROW(
+      ExplicitSystem(4, {ElementSet(4, {0, 1}), ElementSet(4, {2, 3})}),
+      std::invalid_argument);
+}
+
+TEST(Explicit, RejectsNonMinimalWhenCoterieRequired) {
+  EXPECT_THROW(
+      ExplicitSystem(3, {ElementSet(3, {0}), ElementSet(3, {0, 1})}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(ExplicitSystem(
+      3, {ElementSet(3, {0}), ElementSet(3, {0, 1})}, "NonMinimal",
+      /*require_coterie=*/false));
+}
+
+TEST(Explicit, RejectsWrongUniverse) {
+  EXPECT_THROW(ExplicitSystem(3, {ElementSet(4, {0, 1})}),
+               std::invalid_argument);
+}
+
+TEST(Explicit, SingletonSystem) {
+  const ExplicitSystem s(1, {ElementSet(1, {0})});
+  EXPECT_TRUE(s.contains_quorum(ElementSet::full(1)));
+  EXPECT_FALSE(s.contains_quorum(ElementSet(1)));
+}
+
+TEST(Explicit, EnumerateReturnsInputFamily) {
+  const std::vector<ElementSet> family = {ElementSet(4, {0, 1}),
+                                          ElementSet(4, {0, 2}),
+                                          ElementSet(4, {1, 2, 3})};
+  const ExplicitSystem s(4, family);
+  EXPECT_EQ(s.enumerate_quorums().size(), family.size());
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,99 @@
+// Finite projective planes (Maekawa-style sqrt(n) quorums).
+#include "quorum/fpp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quorum/properties.h"
+
+namespace qps {
+namespace {
+
+TEST(Fpp, SizesMatchProjectivePlaneCounts) {
+  for (std::size_t q : {2u, 3u, 5u, 7u}) {
+    const FppSystem fpp(q);
+    EXPECT_EQ(fpp.universe_size(), q * q + q + 1) << "q=" << q;
+    EXPECT_EQ(fpp.line_count(), q * q + q + 1);
+    EXPECT_EQ(fpp.min_quorum_size(), q + 1);
+    EXPECT_EQ(fpp.max_quorum_size(), q + 1);
+  }
+}
+
+TEST(Fpp, RejectsNonPrimeOrders) {
+  EXPECT_THROW(FppSystem(1), std::invalid_argument);
+  EXPECT_THROW(FppSystem(4), std::invalid_argument);  // prime powers: not yet
+  EXPECT_THROW(FppSystem(6), std::invalid_argument);
+}
+
+TEST(Fpp, FanoPlaneStructure) {
+  // q = 2: the Fano plane, 7 points, 7 lines of 3 points.
+  const FppSystem fano(2);
+  const auto lines = fano.enumerate_quorums();
+  ASSERT_EQ(lines.size(), 7u);
+  for (const auto& line : lines) EXPECT_EQ(line.count(), 3u);
+  // Every pair of distinct lines meets in exactly one point.
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    for (std::size_t j = i + 1; j < lines.size(); ++j)
+      EXPECT_EQ((lines[i] & lines[j]).count(), 1u) << i << "," << j;
+  // Every pair of points lies on exactly one common line.
+  for (Element a = 0; a < 7; ++a)
+    for (Element b = a + 1; b < 7; ++b) {
+      int common = 0;
+      for (const auto& line : lines)
+        if (line.contains(a) && line.contains(b)) ++common;
+      EXPECT_EQ(common, 1) << "points " << a << "," << b;
+    }
+}
+
+TEST(Fpp, EveryPointLiesOnQPlus1Lines) {
+  const FppSystem fpp(3);
+  const auto lines = fpp.enumerate_quorums();
+  for (Element point = 0; point < fpp.universe_size(); ++point) {
+    std::size_t incident = 0;
+    for (const auto& line : lines)
+      if (line.contains(point)) ++incident;
+    EXPECT_EQ(incident, 4u) << "point " << point;  // q + 1 = 4
+  }
+}
+
+TEST(Fpp, FanoIsNdButOrder3IsDominated) {
+  // PG(2,2) has no nontrivial blocking sets: every transversal of the
+  // Fano plane contains a line, so the Fano coterie is ND.  From order 3
+  // on, nontrivial blocking sets exist (e.g. the 6-point triangle in
+  // PG(2,3)), which are transversals containing no line -- the coterie is
+  // dominated.
+  const FppSystem fano(2);
+  EXPECT_TRUE(has_intersection_property(fano));
+  EXPECT_TRUE(has_minimality_property(fano));
+  EXPECT_TRUE(is_self_dual(fano));
+  EXPECT_TRUE(is_nondominated(fano));
+
+  const FppSystem order3(3);
+  EXPECT_TRUE(has_intersection_property(order3));
+  EXPECT_TRUE(has_minimality_property(order3));
+  EXPECT_FALSE(is_self_dual(order3));
+}
+
+TEST(Fpp, ContainsQuorumMatchesLineContainment) {
+  const FppSystem fano(2);
+  const auto lines = fano.enumerate_quorums();
+  for (const auto& line : lines) {
+    EXPECT_TRUE(fano.contains_quorum(line));
+    ElementSet broken = line;
+    broken.erase(broken.first());
+    EXPECT_FALSE(fano.contains_quorum(broken));
+  }
+  EXPECT_TRUE(fano.contains_quorum(ElementSet::full(7)));
+  EXPECT_FALSE(fano.contains_quorum(ElementSet(7)));
+}
+
+TEST(Fpp, QuorumSizeIsAboutSqrtN) {
+  const FppSystem fpp(7);  // n = 57, quorums of 8
+  const double n = static_cast<double>(fpp.universe_size());
+  const double c = static_cast<double>(fpp.min_quorum_size());
+  EXPECT_NEAR(c, std::sqrt(n), 1.0);
+}
+
+}  // namespace
+}  // namespace qps

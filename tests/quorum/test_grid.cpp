@@ -1,0 +1,56 @@
+#include "quorum/grid_system.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace qps {
+namespace {
+
+TEST(Grid, Layout) {
+  const GridSystem grid(2, 3);
+  EXPECT_EQ(grid.universe_size(), 6u);
+  EXPECT_EQ(grid.at(0, 0), 0u);
+  EXPECT_EQ(grid.at(1, 2), 5u);
+  EXPECT_THROW(grid.at(2, 0), std::invalid_argument);
+}
+
+TEST(Grid, QuorumIsRowPlusColumn) {
+  const GridSystem grid(2, 2);
+  // Row 0 = {0,1}, column 0 = {0,2} -> quorum {0,1,2}.
+  EXPECT_TRUE(grid.is_quorum(ElementSet(4, {0, 1, 2})));
+  EXPECT_TRUE(grid.is_quorum(ElementSet(4, {0, 1, 3})));
+  EXPECT_FALSE(grid.contains_quorum(ElementSet(4, {0, 1})));  // row only
+  EXPECT_FALSE(grid.contains_quorum(ElementSet(4, {0, 3})));  // diagonal
+}
+
+TEST(Grid, QuorumSize) {
+  const GridSystem grid(3, 4);
+  EXPECT_EQ(grid.min_quorum_size(), 6u);
+  EXPECT_EQ(grid.max_quorum_size(), 6u);
+}
+
+TEST(Grid, EnumerationMatchesBruteForce) {
+  const GridSystem grid(2, 2);
+  auto fast = grid.enumerate_quorums();
+  auto brute = grid.QuorumSystem::enumerate_quorums();
+  std::vector<std::uint64_t> a, b;
+  for (const auto& q : fast) a.push_back(q.to_mask());
+  for (const auto& q : brute) b.push_back(q.to_mask());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Grid, PairwiseIntersection) {
+  const GridSystem grid(3, 3);
+  const auto quorums = grid.enumerate_quorums();
+  for (std::size_t i = 0; i < quorums.size(); ++i)
+    for (std::size_t j = i + 1; j < quorums.size(); ++j)
+      EXPECT_TRUE(quorums[i].intersects(quorums[j]));
+}
+
+}  // namespace
+}  // namespace qps

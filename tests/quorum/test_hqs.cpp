@@ -1,0 +1,97 @@
+#include "quorum/hqs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qps {
+namespace {
+
+TEST(HQS, UniverseSizes) {
+  EXPECT_EQ(HQSystem(0).universe_size(), 1u);
+  EXPECT_EQ(HQSystem(1).universe_size(), 3u);
+  EXPECT_EQ(HQSystem(2).universe_size(), 9u);
+  EXPECT_EQ(HQSystem(3).universe_size(), 27u);
+}
+
+TEST(HQS, WithUniverseValidates) {
+  EXPECT_EQ(HQSystem::with_universe(9).height(), 2u);
+  EXPECT_THROW(HQSystem::with_universe(10), std::invalid_argument);
+}
+
+TEST(HQS, UniformQuorumSize) {
+  for (std::size_t h : {0u, 1u, 2u, 3u}) {
+    const HQSystem hqs(h);
+    EXPECT_EQ(hqs.quorum_size(), std::size_t{1} << h);
+    EXPECT_EQ(hqs.min_quorum_size(), hqs.max_quorum_size());
+  }
+}
+
+TEST(HQS, QuorumSizeIsNPowLog32) {
+  // c = 2^h = n^{log_3 2} ~ n^0.63.
+  const HQSystem hqs(6);
+  const double n = static_cast<double>(hqs.universe_size());
+  const double c = static_cast<double>(hqs.quorum_size());
+  EXPECT_NEAR(std::log(c) / std::log(n), std::log(2.0) / std::log(3.0), 1e-12);
+}
+
+TEST(HQS, HeightOneIsMaj3) {
+  const HQSystem hqs(1);
+  EXPECT_TRUE(hqs.is_quorum(ElementSet(3, {0, 1})));
+  EXPECT_TRUE(hqs.is_quorum(ElementSet(3, {1, 2})));
+  EXPECT_TRUE(hqs.is_quorum(ElementSet(3, {0, 2})));
+  EXPECT_FALSE(hqs.contains_quorum(ElementSet(3, {1})));
+}
+
+TEST(HQS, Figure3Quorum) {
+  // Fig. 3 shades the quorum {1,2,5,6} (1-based) of the height-2 HQS:
+  // leaves 0,1 make the first gate true, leaves 4,5 the second.
+  const HQSystem hqs(2);
+  EXPECT_TRUE(hqs.is_quorum(ElementSet(9, {0, 1, 4, 5})));
+  // Two leaves in the same subtree only make one gate true.
+  EXPECT_FALSE(hqs.contains_quorum(ElementSet(9, {0, 1, 4})));
+  // Four leaves spread across three subtrees with only one pair agreeing
+  // per gate: {0,3,6} has one leaf per gate -- no gate fires.
+  EXPECT_FALSE(hqs.contains_quorum(ElementSet(9, {0, 3, 6})));
+}
+
+TEST(HQS, MintermCount) {
+  // m(h) counts minterms: m(0) = 1; a gate minterm picks 2 of 3 children,
+  // so m(h) = 3 m(h-1)^2: m(1) = 3, m(2) = 27.
+  EXPECT_EQ(HQSystem(1).enumerate_quorums().size(), 3u);
+  EXPECT_EQ(HQSystem(2).enumerate_quorums().size(), 27u);
+}
+
+TEST(HQS, AllMintermsHaveUniformSize) {
+  const HQSystem hqs(2);
+  for (const auto& q : hqs.enumerate_quorums())
+    EXPECT_EQ(q.count(), hqs.quorum_size());
+}
+
+TEST(HQS, ContainsQuorumMonotone) {
+  const HQSystem hqs(2);
+  const std::uint64_t limit = 1ULL << 9;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    if (!hqs.contains_quorum(ElementSet::from_mask(9, mask))) continue;
+    for (std::size_t e = 0; e < 9; ++e)
+      EXPECT_TRUE(
+          hqs.contains_quorum(ElementSet::from_mask(9, mask | (1ULL << e))));
+  }
+}
+
+TEST(HQS, SubtreeSpan) {
+  const HQSystem hqs(3);
+  EXPECT_EQ(hqs.subtree_span(0), 1u);
+  EXPECT_EQ(hqs.subtree_span(2), 9u);
+  EXPECT_THROW(hqs.subtree_span(4), std::invalid_argument);
+}
+
+TEST(HQS, LargeEvaluationScales) {
+  const HQSystem hqs(9);  // n = 19683
+  EXPECT_TRUE(hqs.contains_quorum(ElementSet::full(hqs.universe_size())));
+  EXPECT_FALSE(hqs.contains_quorum(ElementSet(hqs.universe_size())));
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,76 @@
+#include "quorum/majority.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace qps {
+namespace {
+
+TEST(Majority, RequiresOddUniverse) {
+  EXPECT_THROW(MajoritySystem(4), std::invalid_argument);
+  EXPECT_THROW(MajoritySystem(0), std::invalid_argument);
+  EXPECT_NO_THROW(MajoritySystem(1));
+  EXPECT_NO_THROW(MajoritySystem(7));
+}
+
+TEST(Majority, Threshold) {
+  EXPECT_EQ(MajoritySystem(1).threshold(), 1u);
+  EXPECT_EQ(MajoritySystem(3).threshold(), 2u);
+  EXPECT_EQ(MajoritySystem(9).threshold(), 5u);
+}
+
+TEST(Majority, QuorumSizesAreUniform) {
+  const MajoritySystem maj(7);
+  EXPECT_EQ(maj.min_quorum_size(), 4u);
+  EXPECT_EQ(maj.max_quorum_size(), 4u);
+}
+
+TEST(Majority, ContainsQuorumIsThresholdCount) {
+  const MajoritySystem maj(5);
+  EXPECT_FALSE(maj.contains_quorum(ElementSet(5, {0, 1})));
+  EXPECT_TRUE(maj.contains_quorum(ElementSet(5, {0, 1, 2})));
+  EXPECT_TRUE(maj.contains_quorum(ElementSet::full(5)));
+  EXPECT_FALSE(maj.contains_quorum(ElementSet(5)));
+}
+
+TEST(Majority, IsQuorumRequiresExactThreshold) {
+  const MajoritySystem maj(5);
+  EXPECT_TRUE(maj.is_quorum(ElementSet(5, {0, 2, 4})));
+  EXPECT_FALSE(maj.is_quorum(ElementSet(5, {0, 1, 2, 3})));  // not minimal
+  EXPECT_FALSE(maj.is_quorum(ElementSet(5, {0, 1})));
+}
+
+TEST(Majority, EnumerationCountsBinomial) {
+  for (std::size_t n : {1u, 3u, 5u, 7u, 9u}) {
+    const MajoritySystem maj(n);
+    const auto quorums = maj.enumerate_quorums();
+    EXPECT_DOUBLE_EQ(static_cast<double>(quorums.size()),
+                     binomial_coefficient(n, (n + 1) / 2))
+        << "n=" << n;
+    for (const auto& q : quorums) EXPECT_EQ(q.count(), (n + 1) / 2);
+  }
+}
+
+TEST(Majority, Maj3IsTheWorkedExample) {
+  // Section 2.3: Maj3 = {{1,2},{2,3},{1,3}}.
+  const MajoritySystem maj(3);
+  const auto quorums = maj.enumerate_quorums();
+  ASSERT_EQ(quorums.size(), 3u);
+  EXPECT_TRUE(maj.is_quorum(ElementSet(3, {0, 1})));
+  EXPECT_TRUE(maj.is_quorum(ElementSet(3, {1, 2})));
+  EXPECT_TRUE(maj.is_quorum(ElementSet(3, {0, 2})));
+}
+
+TEST(Majority, TransversalsAreMajorities) {
+  const MajoritySystem maj(5);
+  EXPECT_TRUE(maj.is_transversal(ElementSet(5, {0, 1, 2})));
+  EXPECT_FALSE(maj.is_transversal(ElementSet(5, {0, 1})));
+}
+
+TEST(Majority, Name) { EXPECT_EQ(MajoritySystem(7).name(), "Maj(7)"); }
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,110 @@
+// Structural properties of Section 2.1: coterie checks, self-duality,
+// nondomination, domination, and Lemma 2.1.
+#include "quorum/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "quorum/crumbling_wall.h"
+#include "quorum/grid_system.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+#include "quorum/wheel.h"
+
+namespace qps {
+namespace {
+
+TEST(Properties, PaperSystemsAreNdCoteries) {
+  EXPECT_TRUE(is_nondominated(MajoritySystem(5)));
+  EXPECT_TRUE(is_nondominated(MajoritySystem(7)));
+  EXPECT_TRUE(is_nondominated(WheelSystem(5)));
+  EXPECT_TRUE(is_nondominated(WheelSystem(6)));
+  EXPECT_TRUE(is_nondominated(CrumblingWall({1, 2, 3})));
+  EXPECT_TRUE(is_nondominated(CrumblingWall({1, 3, 2})));
+  EXPECT_TRUE(is_nondominated(CrumblingWall::triang(3)));
+  EXPECT_TRUE(is_nondominated(TreeSystem(1)));
+  EXPECT_TRUE(is_nondominated(TreeSystem(2)));
+  EXPECT_TRUE(is_nondominated(HQSystem(1)));
+  EXPECT_TRUE(is_nondominated(HQSystem(2)));
+}
+
+TEST(Properties, GridIsACoterieButDominated) {
+  const GridSystem grid(2, 2);
+  EXPECT_TRUE(is_coterie(grid));
+  // The 2x2 grid (quorums of size 3 out of 4 elements) is not self-dual:
+  // e.g. the diagonal {0,3} intersects every row+column quorum but
+  // contains none.
+  EXPECT_FALSE(is_self_dual(grid));
+  EXPECT_FALSE(is_nondominated(grid));
+}
+
+TEST(Properties, NonNdWallIsDominated) {
+  // A wall whose top row is wider than 1 is a coterie but not ND.
+  const CrumblingWall wall({2, 2}, /*require_nd=*/false);
+  EXPECT_TRUE(is_coterie(wall));
+  EXPECT_FALSE(is_nondominated(wall));
+}
+
+TEST(Properties, SelfDualityEquivalentToComplementaryWitnesses) {
+  // For an ND coterie, every coloring has exactly one monochromatic
+  // quorum color: greens contain a quorum XOR reds contain a quorum.
+  const MajoritySystem maj(5);
+  const std::uint64_t limit = 1ULL << 5;
+  for (std::uint64_t greens = 0; greens < limit; ++greens) {
+    const bool green_quorum =
+        maj.contains_quorum(ElementSet::from_mask(5, greens));
+    const bool red_quorum =
+        maj.contains_quorum(ElementSet::from_mask(5, ~greens & (limit - 1)));
+    EXPECT_NE(green_quorum, red_quorum) << "greens=" << greens;
+  }
+}
+
+TEST(Properties, Lemma21TransversalsContainQuorums) {
+  EXPECT_TRUE(every_transversal_contains_quorum(MajoritySystem(5)));
+  EXPECT_TRUE(every_transversal_contains_quorum(WheelSystem(5)));
+  EXPECT_TRUE(every_transversal_contains_quorum(CrumblingWall({1, 2, 3})));
+  EXPECT_TRUE(every_transversal_contains_quorum(TreeSystem(2)));
+  EXPECT_TRUE(every_transversal_contains_quorum(HQSystem(2)));
+  // Fails for dominated systems: the grid has transversals without quorums.
+  EXPECT_FALSE(every_transversal_contains_quorum(GridSystem(2, 2)));
+}
+
+TEST(Properties, DominationExample) {
+  // {{1}} dominates {{1,2},{1,3}}: every quorum of the latter contains {1}.
+  const ExplicitSystem dominator(3, {ElementSet(3, {0})});
+  const ExplicitSystem dominated(
+      3, {ElementSet(3, {0, 1}), ElementSet(3, {0, 2})});
+  EXPECT_TRUE(dominates(dominator, dominated));
+  EXPECT_FALSE(dominates(dominated, dominator));
+}
+
+TEST(Properties, NoSelfDomination) {
+  const ExplicitSystem maj3(
+      3, {ElementSet(3, {0, 1}), ElementSet(3, {1, 2}), ElementSet(3, {0, 2})});
+  EXPECT_FALSE(dominates(maj3, maj3));
+}
+
+TEST(Properties, NdCoterieIsNotDominatedByAnyCoterie) {
+  // Check against a handful of candidate dominators over U = {1,2,3}.
+  const ExplicitSystem maj3(
+      3, {ElementSet(3, {0, 1}), ElementSet(3, {1, 2}), ElementSet(3, {0, 2})});
+  const ExplicitSystem single0(3, {ElementSet(3, {0})});
+  const ExplicitSystem single1(3, {ElementSet(3, {1})});
+  EXPECT_FALSE(dominates(single0, maj3) && true);  // {1} !>= {2,3}
+  EXPECT_FALSE(dominates(single1, maj3));
+}
+
+TEST(Properties, IntersectionAndMinimalityIndividually) {
+  const ExplicitSystem good(
+      3, {ElementSet(3, {0, 1}), ElementSet(3, {1, 2})});
+  EXPECT_TRUE(has_intersection_property(good));
+  EXPECT_TRUE(has_minimality_property(good));
+  const ExplicitSystem redundant(
+      3, {ElementSet(3, {0}), ElementSet(3, {0, 1})}, "NonMinimal",
+      /*require_coterie=*/false);
+  EXPECT_TRUE(has_intersection_property(redundant));
+  EXPECT_FALSE(has_minimality_property(redundant));
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,91 @@
+#include "quorum/tree_system.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qps {
+namespace {
+
+TEST(TreeSystem, UniverseSizes) {
+  EXPECT_EQ(TreeSystem(0).universe_size(), 1u);
+  EXPECT_EQ(TreeSystem(1).universe_size(), 3u);
+  EXPECT_EQ(TreeSystem(2).universe_size(), 7u);
+  EXPECT_EQ(TreeSystem(3).universe_size(), 15u);
+}
+
+TEST(TreeSystem, WithUniverseValidates) {
+  EXPECT_EQ(TreeSystem::with_universe(7).height(), 2u);
+  EXPECT_THROW(TreeSystem::with_universe(8), std::invalid_argument);
+}
+
+TEST(TreeSystem, HeapIndexing) {
+  const TreeSystem tree(2);
+  EXPECT_EQ(TreeSystem::left_child(0), 1u);
+  EXPECT_EQ(TreeSystem::right_child(0), 2u);
+  EXPECT_EQ(TreeSystem::left_child(2), 5u);
+  EXPECT_FALSE(tree.is_leaf(0));
+  EXPECT_FALSE(tree.is_leaf(2));
+  EXPECT_TRUE(tree.is_leaf(3));
+  EXPECT_TRUE(tree.is_leaf(6));
+}
+
+TEST(TreeSystem, QuorumSizes) {
+  const TreeSystem tree(3);
+  EXPECT_EQ(tree.min_quorum_size(), 4u);   // root-to-leaf path, h+1
+  EXPECT_EQ(tree.max_quorum_size(), 8u);   // all leaves, (n+1)/2
+}
+
+TEST(TreeSystem, HeightOneIsMaj3) {
+  // Root + either leaf, or both leaves: exactly the quorums of Maj3.
+  const TreeSystem tree(1);
+  EXPECT_TRUE(tree.is_quorum(ElementSet(3, {0, 1})));
+  EXPECT_TRUE(tree.is_quorum(ElementSet(3, {0, 2})));
+  EXPECT_TRUE(tree.is_quorum(ElementSet(3, {1, 2})));
+  EXPECT_FALSE(tree.contains_quorum(ElementSet(3, {0})));
+}
+
+TEST(TreeSystem, Figure2StyleQuorums) {
+  const TreeSystem tree(2);  // nodes 0..6; leaves 3,4,5,6
+  // Root-to-leaf path: root, left child, leftmost leaf.
+  EXPECT_TRUE(tree.is_quorum(ElementSet(7, {0, 1, 3})));
+  // Root + quorum of right subtree (both leaves of the right subtree).
+  EXPECT_TRUE(tree.is_quorum(ElementSet(7, {0, 5, 6})));
+  // Quorums of both subtrees: node1+leaf3 and node2+leaf6.
+  EXPECT_TRUE(tree.is_quorum(ElementSet(7, {1, 3, 2, 6})));
+  // All leaves.
+  EXPECT_TRUE(tree.is_quorum(ElementSet(7, {3, 4, 5, 6})));
+  // The root and one internal node do not reach a leaf... not a quorum.
+  EXPECT_FALSE(tree.contains_quorum(ElementSet(7, {0, 1, 2})));
+  // Non-minimal supersets are not quorums.
+  EXPECT_FALSE(tree.is_quorum(ElementSet(7, {0, 1, 3, 4})));
+  EXPECT_TRUE(tree.contains_quorum(ElementSet(7, {0, 1, 3, 4})));
+}
+
+TEST(TreeSystem, MintermCountHeight2) {
+  // q(h) = minimal quorums: q(0)=1; recursively quorums are
+  // root+minimal(L or R) or minimal(L)+minimal(R), minus overlaps; for a
+  // complete binary tree q(1) = 3, q(2) = 2*3 + 3*3 = 15.
+  EXPECT_EQ(TreeSystem(1).enumerate_quorums().size(), 3u);
+  EXPECT_EQ(TreeSystem(2).enumerate_quorums().size(), 15u);
+}
+
+TEST(TreeSystem, ContainsQuorumMonotone) {
+  const TreeSystem tree(2);
+  const std::uint64_t limit = 1ULL << 7;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    if (!tree.contains_quorum(ElementSet::from_mask(7, mask))) continue;
+    for (std::size_t e = 0; e < 7; ++e)
+      EXPECT_TRUE(
+          tree.contains_quorum(ElementSet::from_mask(7, mask | (1ULL << e))));
+  }
+}
+
+TEST(TreeSystem, LargeTreeEvaluationScales) {
+  const TreeSystem tree(15);  // n = 65535
+  EXPECT_TRUE(tree.contains_quorum(ElementSet::full(tree.universe_size())));
+  EXPECT_FALSE(tree.contains_quorum(ElementSet(tree.universe_size())));
+}
+
+}  // namespace
+}  // namespace qps

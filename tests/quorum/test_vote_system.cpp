@@ -1,0 +1,106 @@
+// Weighted voting systems (Gifford / Garcia-Molina & Barbara).
+#include "quorum/vote_system.h"
+
+#include <gtest/gtest.h>
+
+#include "quorum/majority.h"
+#include "quorum/properties.h"
+#include "quorum/wheel.h"
+
+namespace qps {
+namespace {
+
+TEST(VoteSystem, UniformVotesAreMajority) {
+  const VoteSystem votes({1, 1, 1, 1, 1}, 3);
+  const MajoritySystem maj(5);
+  for (std::uint64_t mask = 0; mask < 32; ++mask) {
+    const ElementSet greens = ElementSet::from_mask(5, mask);
+    EXPECT_EQ(votes.contains_quorum(greens), maj.contains_quorum(greens));
+  }
+  EXPECT_EQ(votes.min_quorum_size(), 3u);
+  EXPECT_EQ(votes.max_quorum_size(), 3u);
+}
+
+TEST(VoteSystem, WheelAssignmentMatchesWheelSystem) {
+  for (std::size_t n : {4u, 5u, 7u}) {
+    const VoteSystem votes = VoteSystem::wheel(n);
+    const WheelSystem wheel(n);
+    for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+      const ElementSet greens = ElementSet::from_mask(n, mask);
+      EXPECT_EQ(votes.contains_quorum(greens), wheel.contains_quorum(greens))
+          << "n=" << n << " mask=" << mask;
+    }
+    EXPECT_EQ(votes.min_quorum_size(), wheel.min_quorum_size());
+    EXPECT_EQ(votes.max_quorum_size(), wheel.max_quorum_size());
+  }
+}
+
+TEST(VoteSystem, RejectsBadThresholds) {
+  EXPECT_THROW(VoteSystem({1, 1, 1}, 1), std::invalid_argument);  // <= half
+  EXPECT_THROW(VoteSystem({1, 1, 1}, 4), std::invalid_argument);  // unreachable
+  EXPECT_THROW(VoteSystem({1, 0, 1}, 2), std::invalid_argument);  // zero vote
+  EXPECT_THROW(VoteSystem({}, 1), std::invalid_argument);
+}
+
+TEST(VoteSystem, QuorumSizeExtremesAgainstBruteForce) {
+  // Includes the {2,2,3,5}/T=8 case where a naive greedy fails.
+  const std::vector<std::pair<std::vector<std::size_t>, std::size_t>> cases = {
+      {{2, 2, 3, 5}, 8},  {{1, 1, 1, 4, 4}, 8}, {{3, 3, 4}, 6},
+      {{1, 2, 4, 4}, 6},  {{5, 4, 3, 2, 1}, 9}, {{1, 1, 3, 3, 3}, 7},
+      {{7, 1, 1, 1, 1}, 6}};
+  for (const auto& [weights, threshold] : cases) {
+    const VoteSystem votes(weights, threshold);
+    const auto quorums = votes.enumerate_quorums();  // brute force
+    ASSERT_FALSE(quorums.empty());
+    std::size_t lo = weights.size() + 1, hi = 0;
+    for (const auto& q : quorums) {
+      lo = std::min(lo, q.count());
+      hi = std::max(hi, q.count());
+    }
+    EXPECT_EQ(votes.min_quorum_size(), lo) << votes.name();
+    EXPECT_EQ(votes.max_quorum_size(), hi) << votes.name();
+  }
+}
+
+TEST(VoteSystem, DictatorWithTiebreakers) {
+  // Votes (3,1,1,1), T=4: the heavy node plus any one other, or all three
+  // light nodes... 1+1+1 = 3 < 4, so light nodes alone never win.
+  const VoteSystem votes({3, 1, 1, 1}, 4);
+  EXPECT_TRUE(votes.contains_quorum(ElementSet(4, {0, 2})));
+  EXPECT_FALSE(votes.contains_quorum(ElementSet(4, {1, 2, 3})));
+  EXPECT_FALSE(votes.contains_quorum(ElementSet(4, {0})));
+  EXPECT_EQ(votes.min_quorum_size(), 2u);
+  EXPECT_EQ(votes.max_quorum_size(), 2u);
+  // Without the heavy node no quorum exists: it is a "veto" member, and
+  // the coterie is dominated (not ND).
+  EXPECT_FALSE(is_nondominated(votes));
+}
+
+TEST(VoteSystem, OddUniformVotesAreNd) {
+  EXPECT_TRUE(is_nondominated(VoteSystem({1, 1, 1, 1, 1}, 3)));
+  EXPECT_TRUE(is_nondominated(VoteSystem::wheel(5)));
+}
+
+TEST(VoteSystem, Accessors) {
+  const VoteSystem votes({2, 1, 2}, 3);
+  EXPECT_EQ(votes.total_votes(), 5u);
+  EXPECT_EQ(votes.threshold(), 3u);
+  EXPECT_EQ(votes.votes_of(0), 2u);
+  EXPECT_EQ(votes.votes_of(1), 1u);
+  EXPECT_EQ(votes.name(), "Votes(n=3,T=3)");
+}
+
+TEST(VoteSystem, MonotoneAndIntersecting) {
+  const VoteSystem votes({3, 2, 2, 1, 1}, 5);
+  EXPECT_TRUE(has_intersection_property(votes));
+  EXPECT_TRUE(has_minimality_property(votes));
+  for (std::uint64_t mask = 0; mask < 32; ++mask) {
+    if (!votes.contains_quorum(ElementSet::from_mask(5, mask))) continue;
+    for (std::size_t e = 0; e < 5; ++e)
+      EXPECT_TRUE(votes.contains_quorum(
+          ElementSet::from_mask(5, mask | (1ULL << e))));
+  }
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,76 @@
+#include "quorum/wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "quorum/crumbling_wall.h"
+
+namespace qps {
+namespace {
+
+TEST(Wheel, RequiresAtLeastThree) {
+  EXPECT_THROW(WheelSystem(2), std::invalid_argument);
+  EXPECT_NO_THROW(WheelSystem(3));
+}
+
+TEST(Wheel, QuorumStructure) {
+  const WheelSystem wheel(5);
+  // Spokes {hub, i}.
+  for (Element i = 1; i < 5; ++i)
+    EXPECT_TRUE(wheel.is_quorum(ElementSet(5, {WheelSystem::kHub, i})));
+  // The rim {2..n} (0-based {1..4}).
+  EXPECT_TRUE(wheel.is_quorum(ElementSet(5, {1, 2, 3, 4})));
+  // Two rim elements without the hub are not a quorum.
+  EXPECT_FALSE(wheel.contains_quorum(ElementSet(5, {1, 2})));
+  // The hub alone is not a quorum.
+  EXPECT_FALSE(wheel.contains_quorum(ElementSet(5, {0})));
+}
+
+TEST(Wheel, QuorumSizes) {
+  const WheelSystem wheel(7);
+  EXPECT_EQ(wheel.min_quorum_size(), 2u);
+  EXPECT_EQ(wheel.max_quorum_size(), 6u);
+}
+
+TEST(Wheel, EnumerationHasNQuorums) {
+  // n-1 spokes plus the rim.
+  for (std::size_t n : {3u, 5u, 8u}) {
+    const auto quorums = WheelSystem(n).enumerate_quorums();
+    EXPECT_EQ(quorums.size(), n);
+  }
+}
+
+TEST(Wheel, EnumerationMatchesBruteForce) {
+  const WheelSystem wheel(6);
+  auto fast = wheel.enumerate_quorums();
+  auto brute = wheel.QuorumSystem::enumerate_quorums();
+  auto key = [](const ElementSet& s) { return s.to_mask(); };
+  std::vector<std::uint64_t> a, b;
+  for (const auto& q : fast) a.push_back(key(q));
+  for (const auto& q : brute) b.push_back(key(q));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Wheel, AgreesWithCrumblingWallForm) {
+  // Wheel(n) == (1, n-1)-CW on the same universe with the hub first.
+  for (std::size_t n : {3u, 5u, 7u}) {
+    const WheelSystem wheel(n);
+    const CrumblingWall wall = CrumblingWall::wheel(n);
+    const std::uint64_t limit = 1ULL << n;
+    for (std::uint64_t mask = 0; mask < limit; ++mask) {
+      const ElementSet s = ElementSet::from_mask(n, mask);
+      EXPECT_EQ(wheel.contains_quorum(s), wall.contains_quorum(s))
+          << "n=" << n << " mask=" << mask;
+    }
+  }
+}
+
+TEST(Wheel, Name) { EXPECT_EQ(WheelSystem(5).name(), "Wheel(5)"); }
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,204 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fault_injector.h"
+#include "sim/messages.h"
+
+namespace qps::sim {
+namespace {
+
+class EchoNode final : public Node {
+ public:
+  explicit EchoNode(NodeId id) : Node(id) {}
+  void on_message(const Message& message, Network& network) override {
+    received.push_back(message);
+    if (message.type == kPing) {
+      Message reply;
+      reply.from = id();
+      reply.to = message.from;
+      reply.type = kPong;
+      reply.a = message.a;
+      network.send(reply);
+    }
+  }
+  std::vector<Message> received;
+};
+
+struct NetFixture {
+  Simulator sim;
+  Rng rng{42};
+  Network net{sim, rng, fixed_latency(1.0)};
+  std::vector<std::unique_ptr<EchoNode>> nodes;
+
+  explicit NetFixture(std::size_t count) {
+    for (NodeId id = 0; id < count; ++id) {
+      nodes.push_back(std::make_unique<EchoNode>(id));
+      net.add_node(nodes.back().get());
+    }
+  }
+};
+
+TEST(Network, DeliversWithLatency) {
+  NetFixture f(2);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = kPing;
+  m.a = 7;
+  f.net.send(m);
+  f.sim.run();
+  ASSERT_EQ(f.nodes[1]->received.size(), 1u);
+  EXPECT_EQ(f.nodes[1]->received[0].a, 7);
+  // Ping delivered at t=1, pong back at t=2.
+  ASSERT_EQ(f.nodes[0]->received.size(), 1u);
+  EXPECT_EQ(f.nodes[0]->received[0].type, static_cast<std::uint32_t>(kPong));
+  EXPECT_DOUBLE_EQ(f.sim.now(), 2.0);
+}
+
+TEST(Network, CrashedNodeDropsMessages) {
+  NetFixture f(2);
+  f.nodes[1]->crash();
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = kPing;
+  f.net.send(m);
+  f.sim.run();
+  EXPECT_TRUE(f.nodes[1]->received.empty());
+  EXPECT_EQ(f.net.messages_sent(), 1u);
+  EXPECT_EQ(f.net.messages_delivered(), 0u);
+}
+
+TEST(Network, CrashAtDeliveryTimeDrops) {
+  // The message is in flight when the destination crashes.
+  NetFixture f(2);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = kPing;
+  f.net.send(m);
+  f.sim.schedule(0.5, [&] { f.nodes[1]->crash(); });
+  f.sim.run();
+  EXPECT_TRUE(f.nodes[1]->received.empty());
+}
+
+TEST(Network, RecoveryRestoresDelivery) {
+  NetFixture f(2);
+  f.nodes[1]->crash();
+  f.nodes[1]->recover();
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = kPing;
+  f.net.send(m);
+  f.sim.run();
+  EXPECT_EQ(f.nodes[1]->received.size(), 1u);
+}
+
+TEST(Network, RejectsUnknownDestination) {
+  NetFixture f(2);
+  Message m;
+  m.from = 0;
+  m.to = 9;
+  EXPECT_THROW(f.net.send(m), std::invalid_argument);
+}
+
+TEST(Network, NodesMustRegisterDensely) {
+  Simulator sim;
+  Rng rng(1);
+  Network net(sim, rng, fixed_latency(1.0));
+  EchoNode wrong(5);
+  EXPECT_THROW(net.add_node(&wrong), std::invalid_argument);
+}
+
+TEST(LatencyModels, SampleWithinBounds) {
+  Rng rng(9);
+  auto fixed = fixed_latency(2.5);
+  EXPECT_DOUBLE_EQ(fixed(rng), 2.5);
+  auto uniform = uniform_latency(1.0, 3.0);
+  for (int i = 0; i < 100; ++i) {
+    const double v = uniform(rng);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 3.0);
+  }
+  auto expo = exponential_latency(2.0);
+  double total = 0;
+  for (int i = 0; i < 20000; ++i) total += expo(rng);
+  EXPECT_NEAR(total / 20000, 2.0, 0.1);
+}
+
+TEST(FaultInjector, IidCrashesMatchProbability) {
+  Simulator sim;
+  Rng rng(11);
+  Network net(sim, rng, fixed_latency(1.0));
+  std::vector<std::unique_ptr<EchoNode>> nodes;
+  const std::size_t n = 2000;
+  for (NodeId id = 0; id < n; ++id) {
+    nodes.push_back(std::make_unique<EchoNode>(id));
+    net.add_node(nodes.back().get());
+  }
+  FaultInjector injector(net);
+  Rng crash_rng(13);
+  const ElementSet crashed = injector.crash_iid(n, 0.3, crash_rng);
+  EXPECT_NEAR(static_cast<double>(crashed.count()) / n, 0.3, 0.03);
+  for (Element e : crashed.to_vector())
+    EXPECT_FALSE(nodes[e]->alive());
+}
+
+TEST(Network, FullLossDeliversNothing) {
+  NetFixture f(2);
+  f.net.set_drop_probability(1.0);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = kPing;
+  for (int i = 0; i < 20; ++i) f.net.send(m);
+  f.sim.run();
+  EXPECT_TRUE(f.nodes[1]->received.empty());
+  EXPECT_EQ(f.net.messages_sent(), 20u);
+  EXPECT_EQ(f.net.messages_delivered(), 0u);
+}
+
+TEST(Network, PartialLossDropsAboutP) {
+  NetFixture f(2);
+  f.net.set_drop_probability(0.3);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = kReadReq;  // no replies, keeps counting simple
+  const int sent = 20000;
+  for (int i = 0; i < sent; ++i) f.net.send(m);
+  f.sim.run();
+  const double delivered_fraction =
+      static_cast<double>(f.nodes[1]->received.size()) / sent;
+  EXPECT_NEAR(delivered_fraction, 0.7, 0.02);
+}
+
+TEST(Network, DropProbabilityValidated) {
+  NetFixture f(1);
+  EXPECT_THROW(f.net.set_drop_probability(-0.1), std::invalid_argument);
+  EXPECT_THROW(f.net.set_drop_probability(1.5), std::invalid_argument);
+}
+
+TEST(FaultInjector, ScheduledCrashAndRecovery) {
+  NetFixture f(2);
+  FaultInjector injector(f.net);
+  injector.schedule_crash(1, 5.0);
+  injector.schedule_recovery(1, 10.0);
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = kPing;
+  // Sent at t=6 (delivered t=7, node crashed): dropped.
+  f.sim.schedule(6.0, [&] { f.net.send(m); });
+  // Sent at t=10.5 (delivered t=11.5, node recovered): delivered.
+  f.sim.schedule(10.5, [&] { f.net.send(m); });
+  f.sim.run();
+  EXPECT_EQ(f.nodes[1]->received.size(), 1u);
+}
+
+}  // namespace
+}  // namespace qps::sim

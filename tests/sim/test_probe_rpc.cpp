@@ -1,0 +1,95 @@
+// ClusterProber: probe strategies running over the simulated network.
+#include "sim/probe_rpc.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms/probe_cw.h"
+#include "core/witness.h"
+#include "protocols/server_node.h"
+#include "quorum/crumbling_wall.h"
+#include "sim/fault_injector.h"
+
+namespace qps::sim {
+namespace {
+
+struct ClusterFixture {
+  Simulator sim;
+  Rng rng{7};
+  Network net{sim, rng, uniform_latency(0.5, 1.5)};
+  std::vector<std::unique_ptr<protocols::ServerNode>> servers;
+  std::unique_ptr<ClusterProber> prober;
+
+  explicit ClusterFixture(std::size_t cluster, double timeout = 3.0) {
+    for (NodeId id = 0; id < cluster; ++id) {
+      servers.push_back(std::make_unique<protocols::ServerNode>(id));
+      net.add_node(servers.back().get());
+    }
+    prober = std::make_unique<ClusterProber>(
+        net, static_cast<NodeId>(cluster), cluster, timeout);
+    net.add_node(prober.get());
+  }
+};
+
+TEST(ClusterProber, LiveNodeIsGreen) {
+  ClusterFixture f(3);
+  EXPECT_EQ(f.prober->probe(0), Color::kGreen);
+  EXPECT_EQ(f.prober->probes_issued(), 1u);
+  // Round trip within [1, 3] time units.
+  EXPECT_GT(f.prober->time_in_probing(), 0.9);
+  EXPECT_LT(f.prober->time_in_probing(), 3.1);
+}
+
+TEST(ClusterProber, CrashedNodeIsRedAfterTimeout) {
+  ClusterFixture f(3);
+  f.servers[1]->crash();
+  const double before = f.sim.now();
+  EXPECT_EQ(f.prober->probe(1), Color::kRed);
+  // The full timeout elapsed.
+  EXPECT_NEAR(f.sim.now() - before, 3.0, 1e-9);
+}
+
+TEST(ClusterProber, SessionCountsDistinctProbes) {
+  ClusterFixture f(4);
+  f.servers[2]->crash();
+  ProbeSession session = f.prober->make_session();
+  EXPECT_EQ(session.probe(0), Color::kGreen);
+  EXPECT_EQ(session.probe(2), Color::kRed);
+  EXPECT_EQ(session.probe(0), Color::kGreen);  // cached, no new RPC
+  EXPECT_EQ(session.probe_count(), 2u);
+  EXPECT_EQ(f.prober->probes_issued(), 2u);
+}
+
+TEST(ClusterProber, ProbeStrategyOverLiveCluster) {
+  // Probe_CW runs unmodified against the simulated cluster and returns a
+  // valid witness for the true liveness coloring.
+  const CrumblingWall wall({1, 2, 3});
+  ClusterFixture f(wall.universe_size());
+  FaultInjector injector(f.net);
+  injector.crash_now(ElementSet(6, {1, 4}));
+
+  ProbeSession session = f.prober->make_session();
+  const ProbeCW strategy(wall);
+  Rng strategy_rng(1);
+  const Witness witness = strategy.run(session, strategy_rng);
+
+  const Coloring truth(6, ElementSet(6, {0, 2, 3, 5}));
+  EXPECT_EQ(validate_witness(wall, truth, witness, session.probed()), "");
+  EXPECT_EQ(witness.color, Color::kGreen);
+}
+
+TEST(ClusterProber, RejectsOutOfClusterProbe) {
+  ClusterFixture f(3);
+  EXPECT_THROW(f.prober->probe(3), std::invalid_argument);
+}
+
+TEST(ClusterProber, TimeoutMustBePositive) {
+  Simulator sim;
+  Rng rng(1);
+  Network net(sim, rng, fixed_latency(1.0));
+  EXPECT_THROW(ClusterProber(net, 0, 0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps::sim

@@ -1,0 +1,103 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qps::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(Simulator, SimultaneousEventsKeepSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    ++fired;
+    sim.schedule(1.0, [&] { ++fired; });
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double seen = -1;
+  sim.schedule_at(5.0, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Simulator, CannotScheduleIntoThePast) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(0.5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilPredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule(i + 1.0, [&] { ++count; });
+  const bool hit = sim.run_until([&] { return count >= 3; }, 100.0);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+  // Remaining events still pending.
+  EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(Simulator, RunUntilDeadlineStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(10.0, [&] { ++count; });
+  const bool hit = sim.run_until([&] { return count > 0; }, 5.0);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(count, 0);
+  // The pending event past the deadline was not executed.
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, RunWithEventBudget) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule(1.0, [&] { ++count; });
+  sim.run(4);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Simulator, RejectsNullCallback) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule(1.0, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps::sim

@@ -1,0 +1,161 @@
+#include "util/element_set.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qps {
+namespace {
+
+TEST(ElementSet, StartsEmpty) {
+  ElementSet s(10);
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(s.empty());
+  for (Element e = 0; e < 10; ++e) EXPECT_FALSE(s.contains(e));
+}
+
+TEST(ElementSet, InsertEraseContains) {
+  ElementSet s(100);
+  s.insert(0);
+  s.insert(63);
+  s.insert(64);
+  s.insert(99);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(99));
+  EXPECT_FALSE(s.contains(50));
+  s.erase(63);
+  EXPECT_FALSE(s.contains(63));
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(ElementSet, InsertIsIdempotent) {
+  ElementSet s(5);
+  s.insert(2);
+  s.insert(2);
+  EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(ElementSet, OutOfRangeThrows) {
+  ElementSet s(5);
+  EXPECT_THROW(s.insert(5), std::invalid_argument);
+  EXPECT_THROW(s.contains(5), std::invalid_argument);
+  EXPECT_THROW(s.erase(100), std::invalid_argument);
+}
+
+TEST(ElementSet, FullUniverse) {
+  for (std::size_t n : {1u, 63u, 64u, 65u, 130u}) {
+    const ElementSet s = ElementSet::full(n);
+    EXPECT_EQ(s.count(), n);
+    const ElementSet c = s.complement();
+    EXPECT_EQ(c.count(), 0u);
+  }
+}
+
+TEST(ElementSet, ComplementAcrossWordBoundary) {
+  ElementSet s(70);
+  s.insert(3);
+  s.insert(68);
+  const ElementSet c = s.complement();
+  EXPECT_EQ(c.count(), 68u);
+  EXPECT_FALSE(c.contains(3));
+  EXPECT_FALSE(c.contains(68));
+  EXPECT_TRUE(c.contains(69));
+}
+
+TEST(ElementSet, SubsetAndIntersection) {
+  ElementSet a(10, {1, 2, 3});
+  ElementSet b(10, {1, 2, 3, 7});
+  ElementSet c(10, {7, 8});
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(b.intersects(c));
+}
+
+TEST(ElementSet, EmptySetIsSubsetOfEverything) {
+  ElementSet empty(10);
+  ElementSet other(10, {4});
+  EXPECT_TRUE(empty.is_subset_of(other));
+  EXPECT_FALSE(empty.intersects(other));
+}
+
+TEST(ElementSet, SetOperations) {
+  ElementSet a(10, {1, 2, 3});
+  ElementSet b(10, {3, 4});
+  EXPECT_EQ((a | b), ElementSet(10, {1, 2, 3, 4}));
+  EXPECT_EQ((a & b), ElementSet(10, {3}));
+  EXPECT_EQ((a - b), ElementSet(10, {1, 2}));
+}
+
+TEST(ElementSet, MixedUniverseThrows) {
+  ElementSet a(10), b(11);
+  EXPECT_THROW((void)a.is_subset_of(b), std::invalid_argument);
+  EXPECT_THROW((void)a.intersects(b), std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+}
+
+TEST(ElementSet, ToVectorIsSortedAndComplete) {
+  ElementSet s(100, {99, 0, 64, 63});
+  const auto v = s.to_vector();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 63u);
+  EXPECT_EQ(v[2], 64u);
+  EXPECT_EQ(v[3], 99u);
+}
+
+TEST(ElementSet, FirstAndNextAfter) {
+  ElementSet s(130, {5, 64, 129});
+  EXPECT_EQ(s.first(), 5u);
+  EXPECT_EQ(s.next_after(5), 64u);
+  EXPECT_EQ(s.next_after(64), 129u);
+  EXPECT_EQ(s.next_after(129), 130u);  // sentinel: universe size
+  EXPECT_EQ(ElementSet(130).first(), 130u);
+}
+
+TEST(ElementSet, MaskRoundTrip) {
+  const ElementSet s = ElementSet::from_mask(8, 0b10110010);
+  EXPECT_EQ(s.to_mask(), 0b10110010u);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(4));
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(7));
+}
+
+TEST(ElementSet, MaskRejectsLargeUniverse) {
+  ElementSet s(65);
+  EXPECT_THROW((void)s.to_mask(), std::invalid_argument);
+  EXPECT_THROW((void)ElementSet::from_mask(65, 1), std::invalid_argument);
+  EXPECT_THROW((void)ElementSet::from_mask(3, 0b1000), std::invalid_argument);
+}
+
+TEST(ElementSet, EqualityAndHash) {
+  ElementSet a(10, {1, 2});
+  ElementSet b(10, {1, 2});
+  ElementSet c(10, {1, 3});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());  // not guaranteed, but true for FNV here
+}
+
+TEST(ElementSet, ToStringUsesOneBasedNames) {
+  ElementSet s(5, {0, 4});
+  EXPECT_EQ(s.to_string(), "{1, 5}");
+  EXPECT_EQ(ElementSet(5).to_string(), "{}");
+}
+
+TEST(ElementSet, ClearKeepsUniverse) {
+  ElementSet s(20, {3, 4, 5});
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.universe_size(), 20u);
+}
+
+}  // namespace
+}  // namespace qps

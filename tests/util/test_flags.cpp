@@ -1,0 +1,79 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qps {
+namespace {
+
+Flags make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get_int("n", 7), 7);
+  EXPECT_EQ(f.get_double("p", 0.5), 0.5);
+  EXPECT_EQ(f.get_string("name", "x"), "x");
+  EXPECT_FALSE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags f = make({"--n=12", "--p=0.25", "--name=tree"});
+  EXPECT_EQ(f.get_int("n", 0), 12);
+  EXPECT_DOUBLE_EQ(f.get_double("p", 0), 0.25);
+  EXPECT_EQ(f.get_string("name", ""), "tree");
+}
+
+TEST(Flags, SpaceSyntax) {
+  const Flags f = make({"--n", "12", "--name", "hqs"});
+  EXPECT_EQ(f.get_int("n", 0), 12);
+  EXPECT_EQ(f.get_string("name", ""), "hqs");
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const Flags f = make({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, BooleanSpellings) {
+  EXPECT_TRUE(make({"--x=true"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+  EXPECT_THROW(make({"--x=maybe"}).get_bool("x", true), std::invalid_argument);
+}
+
+TEST(Flags, TypeErrorsThrow) {
+  EXPECT_THROW(make({"--n=abc"}).get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(make({"--n=1.5x"}).get_double("n", 0), std::invalid_argument);
+  EXPECT_THROW(make({"--n=12junk"}).get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags f = make({"first", "--n=1", "second"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "first");
+  EXPECT_EQ(f.positional()[1], "second");
+}
+
+TEST(Flags, UnusedDetectsTypos) {
+  const Flags f = make({"--n=1", "--typo=2"});
+  EXPECT_EQ(f.get_int("n", 0), 1);
+  const auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Flags, HasMarksTouched) {
+  const Flags f = make({"--a=1"});
+  EXPECT_TRUE(f.has("a"));
+  EXPECT_TRUE(f.unused().empty());
+}
+
+}  // namespace
+}  // namespace qps

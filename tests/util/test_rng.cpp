@@ -1,0 +1,161 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace qps {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)})
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowRejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(123);
+  std::array<int, 10> counts{};
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, trials / 10 - 600);
+    EXPECT_LT(c, trials / 10 + 600);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double total = 0;
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) total += rng.uniform01();
+  EXPECT_NEAR(total / trials, 0.5, 0.005);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  const int trials = 100000;
+  int hits = 0;
+  for (int i = 0; i < trials; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(19);
+  const int trials = 200000;
+  double total = 0;
+  for (int i = 0; i < trials; ++i) total += rng.exponential(2.0);
+  EXPECT_NEAR(total / trials, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonpositiveRate) {
+  Rng rng(19);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(23);
+  const auto perm = rng.permutation(100);
+  std::set<std::uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationUniformOverSmallCases) {
+  // Each of the 6 permutations of 3 elements should appear ~1/6 of the time.
+  Rng rng(29);
+  std::map<std::vector<std::uint32_t>, int> counts;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    const auto p = rng.permutation(3);
+    ++counts[{p[0], p[1], p[2]}];
+  }
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [_, c] : counts) {
+    EXPECT_GT(c, trials / 6 - 500);
+    EXPECT_LT(c, trials / 6 + 500);
+  }
+}
+
+TEST(Rng, ShuffleArrayKeepsElements) {
+  Rng rng(31);
+  std::array<int, 3> a = {10, 20, 30};
+  rng.shuffle_array(a);
+  std::set<int> s(a.begin(), a.end());
+  EXPECT_EQ(s, (std::set<int>{10, 20, 30}));
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(101);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace qps

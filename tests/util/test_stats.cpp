@@ -1,0 +1,124 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace qps {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SemAndCiShrinkWithSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2);
+  EXPECT_GT(small.sem(), large.sem());
+  EXPECT_NEAR(large.ci95_halfwidth(), 1.96 * large.sem(), 1e-12);
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineHasLowerR2) {
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6};
+  const std::vector<double> y = {2.2, 3.8, 6.3, 7.9, 9.6, 12.4};
+  const LinearFit fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.15);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(FitLine, RejectsDegenerateInput) {
+  EXPECT_THROW(fit_line({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_line({1, 2}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(fit_line({2, 2}, {1, 3}), std::invalid_argument);
+}
+
+TEST(FitPowerLaw, RecoversExponent) {
+  std::vector<double> x, y;
+  for (double v : {10.0, 100.0, 1000.0, 10000.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 0.834));
+  }
+  const LinearFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.slope, 0.834, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(FitPowerLaw, RejectsNonPositive) {
+  EXPECT_THROW(fit_power_law({1, -2}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(fit_power_law({1, 2}, {0, 2}), std::invalid_argument);
+}
+
+TEST(BinomialCoefficient, SmallValues) {
+  EXPECT_DOUBLE_EQ(binomial_coefficient(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(9, 5), 126.0);
+  EXPECT_DOUBLE_EQ(binomial_coefficient(5, 6), 0.0);
+}
+
+TEST(BinomialTail, EdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_tail_geq(10, 0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_geq(10, 11, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_geq(10, 5, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_geq(10, 5, 1.0), 1.0);
+}
+
+TEST(BinomialTail, MatchesDirectSum) {
+  // P[X >= 2], X ~ Bin(3, 0.5) = (3 + 1)/8 = 0.5.
+  EXPECT_NEAR(binomial_tail_geq(3, 2, 0.5), 0.5, 1e-12);
+  // P[X >= 1], X ~ Bin(2, 0.3) = 1 - 0.49 = 0.51.
+  EXPECT_NEAR(binomial_tail_geq(2, 1, 0.3), 0.51, 1e-12);
+}
+
+TEST(BinomialTail, SymmetricAtHalf) {
+  // For odd n and p = 1/2, P[X >= (n+1)/2] = 1/2 exactly.
+  for (std::size_t n : {3u, 5u, 7u, 9u, 11u, 21u})
+    EXPECT_NEAR(binomial_tail_geq(n, (n + 1) / 2, 0.5), 0.5, 1e-12);
+}
+
+TEST(BinomialTail, RejectsBadProbability) {
+  EXPECT_THROW(binomial_tail_geq(4, 2, -0.1), std::invalid_argument);
+  EXPECT_THROW(binomial_tail_geq(4, 2, 1.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qps

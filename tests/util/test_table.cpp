@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qps {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 3), "2.000");
+  EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+}
+
+TEST(Table, PrintsHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"beta", "10.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("10.25"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // header + rule + 2 rows = 4 lines
+  int lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"x", "longer"});
+  t.add_row({"aaaaaaa", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Every line should have the same length (aligned columns).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t expected = 0;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (first) {
+      expected = line.size();
+      first = false;
+    }
+    // Numeric cells are right-aligned so trailing spaces can differ; check
+    // no line exceeds the rule width.
+    EXPECT_LE(line.size(), expected + 1);
+  }
+}
+
+TEST(Table, RowCount) {
+  Table t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace qps
