@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
       "F_p <= p for p <= 1/2; F_p + F_{1-p} = 1; F_{1/2} = 1/2 for every "
       "ND coterie",
       ctx);
+  bench::JsonReport report("availability", ctx);
 
   std::cout << "\n[A] Closed forms vs exhaustive enumeration (max abs error "
                "over p in {0.05..0.95}):\n";
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
     for (double p : probes)
       err = std::max(err, std::abs(majority_failure_probability(9, p) -
                                    failure_probability_exact(maj, p)));
+    report.add_check("maj9_closed_form", err < 1e-9);
     a.add_row({"Maj(9)", "9", Table::num(err, 15)});
   }
   {
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
     for (double p : probes)
       err = std::max(err, std::abs(cw_failure_probability({1, 3, 4}, p) -
                                    failure_probability_exact(wall, p)));
+    report.add_check("cw134_closed_form", err < 1e-9);
     a.add_row({"(1,3,4)-CW", "8", Table::num(err, 15)});
   }
   {
@@ -47,6 +50,7 @@ int main(int argc, char** argv) {
     for (double p : probes)
       err = std::max(err, std::abs(tree_failure_probability(2, p) -
                                    failure_probability_exact(tree, p)));
+    report.add_check("tree2_closed_form", err < 1e-9);
     a.add_row({"Tree(h=2)", "7", Table::num(err, 15)});
   }
   {
@@ -55,6 +59,7 @@ int main(int argc, char** argv) {
     for (double p : probes)
       err = std::max(err, std::abs(hqs_failure_probability(2, p) -
                                    failure_probability_exact(hqs, p)));
+    report.add_check("hqs2_closed_form", err < 1e-9);
     a.add_row({"HQS(h=2)", "9", Table::num(err, 15)});
   }
   a.print(std::cout);
@@ -82,5 +87,6 @@ int main(int argc, char** argv) {
                Table::num(hqs_failure_probability(h, 0.3), 8),
                Table::num(hqs_failure_bound(h, 0.3), 8)});
   c.print(std::cout);
+  report.write_if_requested();
   return 0;
 }

@@ -27,19 +27,26 @@ int main(int argc, char** argv) {
       "Ablation: structured algorithms vs generic baselines",
       "structure-aware probing is what turns PC = n into O(k) / O(n^c)",
       ctx);
-  Rng rng = ctx.make_rng();
-  EstimatorOptions options;
+  bench::JsonReport report("baselines", ctx);
+  EngineOptions options = ctx.engine_options();
   options.trials = std::max<std::size_t>(ctx.trials / 10, 500);
 
   std::cout << "\n[A] Average probes under iid failures (p = 1/2):\n";
   Table a({"system", "n", "structured", "random_order", "greedy(enum)"});
+  // Formats one PPC_{1/2} estimate as a table cell, recording it in the
+  // JSON report under "<system>/<strategy>".
+  const auto ppc = [&](const QuorumSystem& system, const ProbeStrategy& s) {
+    const double mean = estimate_ppc(system, s, 0.5, options).mean();
+    report.add_metric(system.name() + "/" + s.name(), mean);
+    return Table::num(mean, 2);
+  };
   {
     const MajoritySystem maj(51);
     const ProbeMaj structured(maj);
     const RandomOrderProbe random_order(maj);
     a.add_row({"Maj", "51",
-               Table::num(estimate_ppc(maj, structured, 0.5, options, rng).mean(), 2),
-               Table::num(estimate_ppc(maj, random_order, 0.5, options, rng).mean(), 2),
+               ppc(maj, structured),
+               ppc(maj, random_order),
                "-"});
   }
   {
@@ -47,8 +54,8 @@ int main(int argc, char** argv) {
     const ProbeCW structured(wall);
     const RandomOrderProbe random_order(wall);
     a.add_row({"(1,16,16,16)-CW", "49",
-               Table::num(estimate_ppc(wall, structured, 0.5, options, rng).mean(), 2),
-               Table::num(estimate_ppc(wall, random_order, 0.5, options, rng).mean(), 2),
+               ppc(wall, structured),
+               ppc(wall, random_order),
                "-"});
   }
   {
@@ -57,17 +64,17 @@ int main(int argc, char** argv) {
     const RandomOrderProbe random_order(small);
     const GreedyCandidateProbe greedy(small);
     a.add_row({"(1,2,3)-CW", "6",
-               Table::num(estimate_ppc(small, structured, 0.5, options, rng).mean(), 2),
-               Table::num(estimate_ppc(small, random_order, 0.5, options, rng).mean(), 2),
-               Table::num(estimate_ppc(small, greedy, 0.5, options, rng).mean(), 2)});
+               ppc(small, structured),
+               ppc(small, random_order),
+               ppc(small, greedy)});
   }
   {
     const TreeSystem tree(7);
     const ProbeTree structured(tree);
     const RandomOrderProbe random_order(tree);
     a.add_row({"Tree(h=7)", "255",
-               Table::num(estimate_ppc(tree, structured, 0.5, options, rng).mean(), 2),
-               Table::num(estimate_ppc(tree, random_order, 0.5, options, rng).mean(), 2),
+               ppc(tree, structured),
+               ppc(tree, random_order),
                "-"});
   }
   {
@@ -75,8 +82,8 @@ int main(int argc, char** argv) {
     const ProbeHQS structured(hqs);
     const RandomOrderProbe random_order(hqs);
     a.add_row({"HQS(h=5)", "243",
-               Table::num(estimate_ppc(hqs, structured, 0.5, options, rng).mean(), 2),
-               Table::num(estimate_ppc(hqs, random_order, 0.5, options, rng).mean(), 2),
+               ppc(hqs, structured),
+               ppc(hqs, random_order),
                "-"});
   }
   {
@@ -84,8 +91,8 @@ int main(int argc, char** argv) {
     const RandomOrderProbe random_order(fpp);
     const GreedyCandidateProbe greedy(fpp);
     a.add_row({"FPP(q=5)", "31", "-",
-               Table::num(estimate_ppc(fpp, random_order, 0.5, options, rng).mean(), 2),
-               Table::num(estimate_ppc(fpp, greedy, 0.5, options, rng).mean(), 2)});
+               ppc(fpp, random_order),
+               ppc(fpp, greedy)});
   }
   a.print(std::cout);
   std::cout << "(structured beats the universal baseline everywhere except "
@@ -143,5 +150,6 @@ int main(int argc, char** argv) {
     }
   }
   b.print(std::cout);
+  report.write_if_requested();
   return 0;
 }

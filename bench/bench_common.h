@@ -2,12 +2,26 @@
 // header with its experiment id, the seed used, and a paper-vs-measured
 // table, so the output of `for b in build/bench/*; do $b; done` is a
 // self-contained reproduction report.
+//
+// Monte-Carlo harnesses run on the parallel estimation engine
+// (core/engine/parallel_estimator.h): --threads picks the worker count
+// (default: all hardware threads; results are identical for any value),
+// and --target-sem enables early stopping at a standard-error target.
+// --json FILE writes a machine-readable summary of the key metrics, which
+// CI uploads as the perf-trajectory artifact.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/engine/parallel_estimator.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -19,8 +33,23 @@ struct BenchContext {
   std::uint64_t seed = 20010826;  // PODC 2001, in spirit
   std::size_t trials = 20000;
   bool quick = false;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  double target_sem = 0.0;  // 0 = run the full trial budget
+  std::string json_path;    // empty = no JSON report
 
   Rng make_rng() const { return Rng(seed); }
+
+  /// Engine configuration for one Monte-Carlo sweep.  All estimates in a
+  /// harness share the seed (common random numbers across sweep points);
+  /// pass a distinct `stream` to decorrelate independent experiments.
+  EngineOptions engine_options(std::uint64_t stream = 0) const {
+    EngineOptions options;
+    options.trials = trials;
+    options.threads = threads;
+    options.target_sem = target_sem;
+    options.seed = seed + 0x9e3779b97f4a7c15ULL * stream;
+    return options;
+  }
 };
 
 inline BenchContext parse_context(int argc, char** argv) {
@@ -31,10 +60,14 @@ inline BenchContext parse_context(int argc, char** argv) {
   ctx.trials = static_cast<std::size_t>(
       flags.get_int("trials", static_cast<std::int64_t>(ctx.trials)));
   ctx.quick = flags.get_bool("quick", false);
+  ctx.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  ctx.target_sem = flags.get_double("target-sem", 0.0);
+  ctx.json_path = flags.get_string("json", "");
   const auto unused = flags.unused();
   if (!unused.empty()) {
     std::cerr << "unknown flag --" << unused.front()
-              << " (supported: --seed --trials --quick)\n";
+              << " (supported: --seed --trials --quick --threads "
+                 "--target-sem --json)\n";
     std::exit(2);
   }
   if (ctx.quick) ctx.trials = std::max<std::size_t>(ctx.trials / 10, 100);
@@ -46,11 +79,91 @@ inline void print_header(const std::string& experiment,
   std::cout << "\n================================================================\n"
             << "EXPERIMENT  " << experiment << "\n"
             << "PAPER CLAIM " << claim << "\n"
-            << "seed=" << ctx.seed << " trials=" << ctx.trials << "\n"
+            << "seed=" << ctx.seed << " trials=" << ctx.trials
+            << " threads=" << (ctx.threads == 0 ? std::string("auto")
+                                                : std::to_string(ctx.threads))
+            << "\n"
             << "================================================================\n";
 }
 
 /// "yes"/"NO" markers keep the pass/fail column grep-able.
 inline std::string holds(bool ok) { return ok ? "yes" : "NO"; }
+
+/// Machine-readable bench summary: named scalar metrics plus named
+/// pass/fail checks, written as JSON when the harness got --json FILE.
+/// CI archives these files (BENCH_*.json) as the perf-trajectory artifact.
+class JsonReport {
+ public:
+  JsonReport(std::string experiment, const BenchContext& ctx)
+      : experiment_(std::move(experiment)), ctx_(ctx) {}
+
+  void add_metric(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+  void add_check(const std::string& name, bool pass) {
+    checks_.emplace_back(name, pass);
+    all_pass_ = all_pass_ && pass;
+  }
+  bool all_pass() const { return all_pass_; }
+
+  /// Writes the report when --json was given; exits non-zero on I/O error
+  /// so CI never uploads a silently-truncated artifact.
+  void write_if_requested() const {
+    if (ctx_.json_path.empty()) return;
+    std::ofstream out(ctx_.json_path);
+    if (!out) {
+      std::cerr << "cannot open --json path " << ctx_.json_path << "\n";
+      std::exit(2);
+    }
+    // Round-trippable doubles; non-finite values become null (JSON has no
+    // NaN/Inf) so the artifact always parses.
+    out << std::setprecision(std::numeric_limits<double>::max_digits10);
+    out << "{\n  \"experiment\": \"" << escape(experiment_) << "\",\n"
+        << "  \"seed\": " << ctx_.seed << ",\n"
+        << "  \"trials\": " << ctx_.trials << ",\n"
+        << "  \"threads\": " << ctx_.threads << ",\n"
+        << "  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i ? "," : "") << "\n    \"" << escape(metrics_[i].first)
+          << "\": ";
+      if (std::isfinite(metrics_[i].second))
+        out << metrics_[i].second;
+      else
+        out << "null";
+    }
+    out << (metrics_.empty() ? "" : "\n  ") << "},\n  \"checks\": {";
+    for (std::size_t i = 0; i < checks_.size(); ++i) {
+      out << (i ? "," : "") << "\n    \"" << escape(checks_[i].first)
+          << "\": " << (checks_[i].second ? "true" : "false");
+    }
+    out << (checks_.empty() ? "" : "\n  ") << "},\n  \"all_pass\": "
+        << (all_pass_ ? "true" : "false") << "\n}\n";
+    if (!out.flush()) {
+      std::cerr << "failed writing --json path " << ctx_.json_path << "\n";
+      std::exit(2);
+    }
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';  // metrics/ids are plain ASCII; fold control chars
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string experiment_;
+  const BenchContext& ctx_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, bool>> checks_;
+  bool all_pass_ = true;
+};
 
 }  // namespace qps::bench

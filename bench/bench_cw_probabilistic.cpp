@@ -19,9 +19,8 @@ int main(int argc, char** argv) {
       "PPC_p(Probe_CW) <= 2k-1, independent of n (Thm 3.3; Cor 3.4: Wheel "
       "<= 3; Cor 3.5: Triang <= 2k-1)",
       ctx);
-  Rng rng = ctx.make_rng();
-  EstimatorOptions options;
-  options.trials = ctx.trials;
+  bench::JsonReport report("cw_probabilistic", ctx);
+  const EngineOptions options = ctx.engine_options();
 
   // --- Main sweep: k fixed, n exploding; cost must stay put. -------------
   std::cout << "\n[A] Cost vs universe size at fixed k = 4 (p = 1/2):\n";
@@ -30,8 +29,10 @@ int main(int argc, char** argv) {
     const std::vector<std::size_t> widths = {1, width, width, width};
     const CrumblingWall wall(widths);
     const ProbeCW strategy(wall);
-    const auto stats = estimate_ppc(wall, strategy, 0.5, options, rng);
+    const auto stats = estimate_ppc(wall, strategy, 0.5, options);
     const double exact = probe_cw_expected(widths, 0.5);
+    report.add_metric("ppc_" + wall.name(), stats.mean());
+    report.add_check("bound_" + wall.name(), exact <= 7.0 + 1e-9);
     a.add_row({wall.name(), Table::num(static_cast<long long>(wall.universe_size())),
                Table::num(4ll), Table::num(stats.mean(), 3),
                Table::num(exact, 3), Table::num(7ll),
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
   for (double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
     const CrumblingWall wheel = CrumblingWall::wheel(64);
     const ProbeCW ws(wheel);
-    const auto wstats = estimate_ppc(wheel, ws, p, options, rng);
+    const auto wstats = estimate_ppc(wheel, ws, p, options);
     const double wexact = probe_cw_expected({1, 63}, p);
     b.add_row({"Wheel(64)", Table::num(p, 1), Table::num(wstats.mean(), 3),
                Table::num(wexact, 3), "3", bench::holds(wexact <= 3 + 1e-9)});
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
     std::vector<std::size_t> widths(8);
     for (std::size_t i = 0; i < 8; ++i) widths[i] = i + 1;
     const ProbeCW ts(triang);
-    const auto tstats = estimate_ppc(triang, ts, p, options, rng);
+    const auto tstats = estimate_ppc(triang, ts, p, options);
     const double texact = probe_cw_expected(widths, p);
     b.add_row({"Triang(k=8)", Table::num(p, 1), Table::num(tstats.mean(), 3),
                Table::num(texact, 3), "15",
@@ -92,8 +93,8 @@ int main(int argc, char** argv) {
     const CrumblingWall wall(widths);
     const ProbeCW top_down(wall);
     const RProbeCW bottom_up(wall);
-    const auto td = estimate_ppc(wall, top_down, 0.5, options, rng);
-    const auto bu = estimate_ppc(wall, bottom_up, 0.5, options, rng);
+    const auto td = estimate_ppc(wall, top_down, 0.5, options);
+    const auto bu = estimate_ppc(wall, bottom_up, 0.5, options);
     d.add_row({wall.name(),
                Table::num(static_cast<long long>(wall.universe_size())),
                Table::num(td.mean(), 3), Table::num(bu.mean(), 3)});
@@ -101,5 +102,6 @@ int main(int argc, char** argv) {
   d.print(std::cout);
   std::cout << "(top-down stays ~O(k) while the bottom-up scan pays for the "
                "wide bottom row)\n";
+  report.write_if_requested();
   return 0;
 }

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
       "LB (n+k)/2 (Thm 4.6) <= PCR <= (n+k)/2 + log k for Triang "
       "(Cor 4.5); Wheel = n-1",
       ctx);
-  Rng rng = ctx.make_rng();
+  bench::JsonReport report("cw_randomized", ctx);
 
   std::cout << "\n[A] Exact worst-case expectation of R_Probe_CW (exhaustive "
                "over colorings) vs the Thm 4.4 bound:\n";
@@ -50,8 +50,7 @@ int main(int argc, char** argv) {
   std::cout << "\n[B] Monte-Carlo check of R_Probe_CW on its worst coloring "
                "(bottom row monochromatic):\n";
   Table b({"wall", "measured", "exact", "agree"});
-  EstimatorOptions options;
-  options.trials = ctx.trials;
+  const EngineOptions options = ctx.engine_options();
   for (const auto& widths : walls) {
     const CrumblingWall wall(widths);
     const std::size_t n = wall.universe_size();
@@ -63,8 +62,12 @@ int main(int argc, char** argv) {
     const Coloring coloring(n, greens);
     const RProbeCW strategy(wall);
     const auto stats =
-        expected_probes_on(wall, strategy, coloring, options, rng);
+        expected_probes_on(wall, strategy, coloring, options);
     const double exact = r_probe_cw_expectation(wall, coloring);
+    report.add_metric("worst_" + wall.name(), stats.mean());
+    report.add_check("agree_" + wall.name(),
+                     std::abs(stats.mean() - exact) <
+                         std::max(4 * stats.ci95_halfwidth(), 1e-9));
     b.add_row({wall.name(), Table::num(stats.mean(), 3),
                Table::num(exact, 3),
                bench::holds(std::abs(stats.mean() - exact) <
@@ -86,5 +89,6 @@ int main(int argc, char** argv) {
                           2)});
   }
   c.print(std::cout);
+  report.write_if_requested();
   return 0;
 }

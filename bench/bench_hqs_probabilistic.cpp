@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
       "PPC_{1/2} = n^{log3(5/2)} = n^0.834 (Thm 3.8/3.9); O(n^{log3 2}) "
       "for p < 1/2",
       ctx);
-  Rng rng = ctx.make_rng();
-  EstimatorOptions options;
+  bench::JsonReport report("hqs_probabilistic", ctx);
+  EngineOptions options = ctx.engine_options();
   options.trials = std::max<std::size_t>(ctx.trials / 10, 500);
 
   std::cout << "\n[A] Probe_HQS measured vs the exact recursion:\n";
@@ -31,8 +31,16 @@ int main(int argc, char** argv) {
     const HQSystem hqs(h);
     const ProbeHQS strategy(hqs);
     for (double p : {0.5, 0.25}) {
-      const auto stats = estimate_ppc(hqs, strategy, p, options, rng);
+      const auto stats = estimate_ppc(hqs, strategy, p, options);
       const double exact = probe_hqs_expected(h, p);
+      std::string tag = "h";
+      tag += std::to_string(h);
+      tag += "_p";
+      tag += Table::num(p, 2);
+      report.add_metric("ppc_" + tag, stats.mean());
+      report.add_check("agree_" + tag,
+                       std::abs(stats.mean() - exact) <
+                           std::max(5 * stats.ci95_halfwidth(), 1e-6));
       a.add_row({Table::num(static_cast<long long>(h)),
                  Table::num(static_cast<long long>(hqs.universe_size())),
                  Table::num(p, 2), Table::num(stats.mean(), 2),
@@ -84,5 +92,6 @@ int main(int argc, char** argv) {
                "interleaving gates -- Thm 3.9's optimality claim fails at\n"
                "depth 2, consistent with later work on recursive 3-majority\n"
                "(see EXPERIMENTS.md).\n";
+  report.write_if_requested();
   return 0;
 }

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       "Omega(n^0.834) <= PCR(HQS); R_Probe = O(n^0.893); IR_Probe "
       "improves the constant (Thm 4.10)",
       ctx);
-  Rng rng = ctx.make_rng();
+  bench::JsonReport report("hqs_randomized", ctx);
 
   std::cout << "\n[A] Exact cost on the worst-case family P (Lemma 4.11):\n";
   Table a({"h", "n", "R_Probe_HQS", "IR_Probe_HQS", "IR_wins", "PPC LB (5/2)^h"});
@@ -72,11 +72,10 @@ int main(int argc, char** argv) {
     const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
     c.add_row({"measured (exact evaluator)",
                Table::num(ir_probe_hqs_expectation(hqs, worst), 6)});
-    EstimatorOptions options;
-    options.trials = ctx.trials;
+    const EngineOptions options = ctx.engine_options();
     const IRProbeHQS strategy(hqs);
     const auto stats =
-        expected_probes_on(hqs, strategy, worst, options, rng);
+        expected_probes_on(hqs, strategy, worst, options);
     c.add_row({"measured (Monte Carlo)", Table::num(stats.mean(), 4)});
     c.add_row({"Fig. 8 semantics 191/27", Table::num(191.0 / 27.0, 6)});
     c.add_row({"paper's Fig. 9 189.5/27", Table::num(189.5 / 27.0, 6)});
@@ -93,14 +92,19 @@ int main(int argc, char** argv) {
   {
     const HQSystem hqs(4);
     const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
-    EstimatorOptions options;
-    options.trials = ctx.trials;
+    const EngineOptions options = ctx.engine_options();
     const RProbeHQS r(hqs);
     const IRProbeHQS ir(hqs);
-    const auto rs = expected_probes_on(hqs, r, worst, options, rng);
-    const auto irs = expected_probes_on(hqs, ir, worst, options, rng);
+    const auto rs = expected_probes_on(hqs, r, worst, options);
+    const auto irs = expected_probes_on(hqs, ir, worst, options);
     const double rex = r_probe_hqs_expectation(hqs, worst);
     const double irex = ir_probe_hqs_expectation(hqs, worst);
+    report.add_metric("r_probe_h4", rs.mean());
+    report.add_metric("ir_probe_h4", irs.mean());
+    report.add_check("r_agree_h4",
+                     std::abs(rs.mean() - rex) < 4 * rs.ci95_halfwidth());
+    report.add_check("ir_agree_h4",
+                     std::abs(irs.mean() - irex) < 4 * irs.ci95_halfwidth());
     d.add_row({"R_Probe_HQS", Table::num(rs.mean(), 3), Table::num(rex, 3),
                bench::holds(std::abs(rs.mean() - rex) <
                             4 * rs.ci95_halfwidth())});
@@ -109,5 +113,6 @@ int main(int argc, char** argv) {
                             4 * irs.ci95_halfwidth())});
   }
   d.print(std::cout);
+  report.write_if_requested();
   return 0;
 }

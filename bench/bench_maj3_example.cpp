@@ -68,23 +68,22 @@ int main(int argc, char** argv) {
   std::cout << "\n[C] Ablation: specialized Probe_Maj vs the generic greedy "
                "candidate-counting baseline ([4,11]-style), p = 1/2:\n";
   Table c({"strategy", "avg probes (Maj(9))"});
+  bench::JsonReport report("maj3_example", ctx);
   {
-    Rng rng = ctx.make_rng();
-    EstimatorOptions options;
-    options.trials = ctx.trials;
+    const EngineOptions options = ctx.engine_options();
     const MajoritySystem maj9(9);
     const ProbeMaj specialized(maj9);
     const GreedyCandidateProbe greedy(maj9);
-    c.add_row({"Probe_Maj",
-               Table::num(estimate_ppc(maj9, specialized, 0.5, options, rng)
-                              .mean(),
-                          4)});
-    c.add_row({"Greedy_Candidate",
-               Table::num(estimate_ppc(maj9, greedy, 0.5, options, rng).mean(),
-                          4)});
+    const double spec = estimate_ppc(maj9, specialized, 0.5, options).mean();
+    const double gre = estimate_ppc(maj9, greedy, 0.5, options).mean();
+    report.add_metric("probe_maj9", spec);
+    report.add_metric("greedy_maj9", gre);
+    c.add_row({"Probe_Maj", Table::num(spec, 4)});
+    c.add_row({"Greedy_Candidate", Table::num(gre, 4)});
   }
   c.print(std::cout);
   std::cout << "(for Maj all orders are equivalent, so the two coincide up "
                "to noise --\n exactly the symmetry argument of Prop. 3.2)\n";
+  report.write_if_requested();
   return 0;
 }

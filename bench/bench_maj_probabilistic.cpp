@@ -19,23 +19,28 @@ int main(int argc, char** argv) {
       "Table 1 / Maj, probabilistic model",
       "PPC_p(Maj) = n - theta(sqrt n) at p=1/2; n/2q + o(1) for p < q",
       ctx);
-  Rng rng = ctx.make_rng();
+  bench::JsonReport report("maj_probabilistic", ctx);
 
   Table table({"n", "p", "measured", "exact_dp", "asymptotic", "deficit",
                "sqrt(n)", "within_bounds"});
-  EstimatorOptions options;
-  options.trials = ctx.trials;
+  const EngineOptions options = ctx.engine_options();
 
   for (std::size_t n : {51u, 101u, 201u, 401u, 801u}) {
     for (double p : {0.5, 0.3, 0.1}) {
       const MajoritySystem maj(n);
       const ProbeMaj strategy(maj);
-      const auto stats = estimate_ppc(maj, strategy, p, options, rng);
+      const auto stats = estimate_ppc(maj, strategy, p, options);
       const double exact = probe_maj_expected(n, p);
-      const double asym = grid_walk_asymptotic((n + 1) / 2, p) ;
+      const double asym = grid_walk_asymptotic((n + 1) / 2, p);
       const double deficit = static_cast<double>(n) - exact;
       const bool ok = std::abs(stats.mean() - exact) <
                       std::max(4 * stats.ci95_halfwidth(), 1e-6);
+      std::string tag = "n";
+      tag += std::to_string(n);
+      tag += "_p";
+      tag += Table::num(p, 1);
+      report.add_metric("ppc_" + tag, stats.mean());
+      report.add_check("within_bounds_" + tag, ok);
       table.add_row({Table::num(static_cast<long long>(n)), Table::num(p, 2),
                      Table::num(stats.mean(), 2), Table::num(exact, 2),
                      Table::num(asym, 2), Table::num(deficit, 2),
@@ -44,6 +49,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  report.write_if_requested();
 
   std::cout << "\nShape check: at p=1/2 the deficit n - E grows like sqrt(n)\n"
                "(compare the deficit and sqrt(n) columns); for p < 1/2 the\n"

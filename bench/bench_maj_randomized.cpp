@@ -18,22 +18,25 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Table 1 / Maj, randomized model",
       "PCR(Maj) = n - (n-1)/(n+3) = n - 1 + o(1) (Thm 4.2)", ctx);
-  Rng rng = ctx.make_rng();
+  bench::JsonReport report("maj_randomized", ctx);
 
   std::cout << "\n[A] Upper bound: R_Probe_Maj on its worst input (exactly "
                "(n+1)/2 reds):\n";
   Table a({"n", "measured", "urn_formula", "paper n-(n-1)/(n+3)", "agree"});
-  EstimatorOptions options;
-  options.trials = ctx.trials;
+  const EngineOptions options = ctx.engine_options();
   for (std::size_t n : {9u, 25u, 51u, 101u, 201u}) {
     const MajoritySystem maj(n);
     const RProbeMaj strategy(maj);
     ElementSet greens = ElementSet::full(n);
     for (Element e = 0; e < (n + 1) / 2; ++e) greens.erase(e);
     const Coloring worst(n, greens);
-    const auto stats = expected_probes_on(maj, strategy, worst, options, rng);
+    const auto stats = expected_probes_on(maj, strategy, worst, options);
     const double urn = r_probe_maj_expectation(maj, worst);
     const double paper = r_probe_maj_worst_case(n).to_double();
+    report.add_metric("pcr_n" + std::to_string(n), stats.mean());
+    report.add_check("agree_n" + std::to_string(n),
+                     std::abs(stats.mean() - paper) <
+                         4 * stats.ci95_halfwidth());
     a.add_row({Table::num(static_cast<long long>(n)),
                Table::num(stats.mean(), 3), Table::num(urn, 3),
                Table::num(paper, 3),
@@ -49,6 +52,8 @@ int main(int argc, char** argv) {
     const MajoritySystem maj(n);
     const double yao = yao_bound(maj, maj_hard_distribution(n));
     const double paper = r_probe_maj_worst_case(n).to_double();
+    report.add_check("yao_match_n" + std::to_string(n),
+                     std::abs(yao - paper) < 1e-9);
     b.add_row({Table::num(static_cast<long long>(n)), Table::num(yao, 6),
                Table::num(paper, 6),
                bench::holds(std::abs(yao - paper) < 1e-9)});
@@ -64,5 +69,6 @@ int main(int argc, char** argv) {
                               r_probe_maj_worst_case(n).to_double(),
                           4)});
   c.print(std::cout);
+  report.write_if_requested();
   return 0;
 }

@@ -19,8 +19,8 @@ int main(int argc, char** argv) {
       "Table 1 / Tree, probabilistic model",
       "PPC_p(Probe_Tree) = O(n^{log2(1+p)}); n^0.585 at p = 1/2 (Cor 3.7)",
       ctx);
-  Rng rng = ctx.make_rng();
-  EstimatorOptions options;
+  bench::JsonReport report("tree_probabilistic", ctx);
+  EngineOptions options = ctx.engine_options();
   options.trials = std::max<std::size_t>(ctx.trials / 10, 500);
 
   std::cout << "\n[A] Measured cost vs exact recursion (Monte Carlo):\n";
@@ -29,8 +29,16 @@ int main(int argc, char** argv) {
     const TreeSystem tree(h);
     const ProbeTree strategy(tree);
     for (double p : {0.5, 0.3}) {
-      const auto stats = estimate_ppc(tree, strategy, p, options, rng);
+      const auto stats = estimate_ppc(tree, strategy, p, options);
       const double exact = probe_tree_expected(h, p);
+      std::string tag = "h";
+      tag += std::to_string(h);
+      tag += "_p";
+      tag += Table::num(p, 1);
+      report.add_metric("ppc_" + tag, stats.mean());
+      report.add_check("agree_" + tag,
+                       std::abs(stats.mean() - exact) <
+                           std::max(5 * stats.ci95_halfwidth(), 1e-6));
       a.add_row({Table::num(static_cast<long long>(h)),
                  Table::num(static_cast<long long>(tree.universe_size())),
                  Table::num(p, 2), Table::num(stats.mean(), 2),
@@ -52,6 +60,7 @@ int main(int argc, char** argv) {
     }
     const LinearFit fit = fit_power_law(ns, costs);
     const double paper = tree_ppc_exponent(p);
+    report.add_metric("exponent_p" + Table::num(p, 1), fit.slope);
     b.add_row({Table::num(p, 2), Table::num(fit.slope, 4),
                Table::num(paper, 4), Table::num(std::abs(fit.slope - paper), 4)});
   }
@@ -65,5 +74,6 @@ int main(int argc, char** argv) {
     c.add_row({Table::num(p, 2), Table::num(probe_tree_expected(18, p), 1),
                Table::num(std::pow(n18, tree_ppc_exponent(p)), 1)});
   c.print(std::cout);
+  report.write_if_requested();
   return 0;
 }

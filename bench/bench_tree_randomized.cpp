@@ -84,20 +84,25 @@ int main(int argc, char** argv) {
   std::cout << "\n[C] Monte-Carlo sanity: R_Probe_Tree measured on a hard "
                "sample equals the exact evaluator:\n";
   Table c({"h", "measured", "exact", "agree"});
-  EstimatorOptions options;
-  options.trials = ctx.trials;
+  bench::JsonReport report("tree_randomized", ctx);
+  const EngineOptions options = ctx.engine_options();
   for (std::size_t h : {2u, 4u}) {
     const TreeSystem tree(h);
     Rng sample_rng = rng.fork();
     const Coloring hard = sample_tree_hard_coloring(tree, sample_rng);
     const RProbeTree strategy(tree);
-    const auto stats = expected_probes_on(tree, strategy, hard, options, rng);
+    const auto stats = expected_probes_on(tree, strategy, hard, options);
     const double exact = r_probe_tree_expectation(tree, hard);
+    report.add_metric("hard_h" + std::to_string(h), stats.mean());
+    report.add_check("agree_h" + std::to_string(h),
+                     std::abs(stats.mean() - exact) <
+                         std::max(4 * stats.ci95_halfwidth(), 1e-9));
     c.add_row({Table::num(static_cast<long long>(h)),
                Table::num(stats.mean(), 3), Table::num(exact, 3),
                bench::holds(std::abs(stats.mean() - exact) <
                             std::max(4 * stats.ci95_halfwidth(), 1e-9))});
   }
   c.print(std::cout);
+  report.write_if_requested();
   return 0;
 }

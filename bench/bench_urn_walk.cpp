@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
       "Fact 2.7, Lemma 2.8 (urn draws), Lemma 2.9 (both colors), Lemma 2.4 "
       "(grid walk)",
       ctx);
+  bench::JsonReport report("urn_walk", ctx);
   Rng rng = ctx.make_rng();
 
   std::cout << "\n[A] Lemma 2.8: E[draws to j-th red] = j(n+1)/(r+1):\n";
@@ -29,6 +30,9 @@ int main(int argc, char** argv) {
     const double enumerated =
         urn_jth_red_expectation_enumerated(r, g, j).to_double();
     const double simulated = urn_jth_red_simulated(r, g, j, trials, rng);
+    report.add_metric("urn_r" + std::to_string(r) + "g" + std::to_string(g) +
+                          "j" + std::to_string(j),
+                      simulated);
     a.add_row({Table::num(static_cast<long long>(r)),
                Table::num(static_cast<long long>(g)),
                Table::num(static_cast<long long>(j)), Table::num(closed, 4),
@@ -70,5 +74,6 @@ int main(int argc, char** argv) {
   c.print(std::cout);
   std::cout << "(the last column grows like sqrt(N): the theta(sqrt N) "
                "deficit of Lemma 2.4)\n";
+  report.write_if_requested();
   return 0;
 }

@@ -8,8 +8,9 @@
 #include <iostream>
 
 #include "core/algorithms/probe_cw.h"
-#include "core/algorithms/probe_tree.h"
 #include "core/algorithms/probe_hqs.h"
+#include "core/algorithms/probe_tree.h"
+#include "core/estimator.h"
 #include "core/witness.h"
 #include "quorum/crumbling_wall.h"
 #include "quorum/hqs.h"
@@ -113,5 +114,21 @@ int main(int argc, char** argv) {
       hqs, all_green, hqs_witness, hqs_session.probed());
   std::cout << "\n[4] validate_witness(...) -> "
             << (error.empty() ? std::string("OK") : error) << '\n';
+
+  // ---- 5. The parallel estimation engine ---------------------------------
+  // Average probes of Probe_CW under i.i.d. failures, estimated on all
+  // hardware threads.  The result is a pure function of (seed, trials):
+  // rerun with --seed to see it change, with any thread count to see it
+  // not change.
+  EngineOptions engine_options;
+  engine_options.trials = 50000;
+  engine_options.seed = seed;
+  const auto stats = estimate_ppc(triang, probe_cw, p, engine_options);
+  std::cout << "\n[5] engine: PPC_" << p << "(" << triang.name() << ") = "
+            << stats.mean() << " +- " << stats.ci95_halfwidth() << "  ("
+            << stats.count() << " trials on "
+            << ParallelEstimator(engine_options).resolved_threads()
+            << " threads, bound 2k-1 = " << 2 * triang.row_count() - 1
+            << ")\n";
   return 0;
 }

@@ -1,0 +1,177 @@
+#include "core/engine/parallel_estimator.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/probe_session.h"
+#include "core/witness.h"
+#include "util/require.h"
+
+namespace qps {
+
+namespace {
+
+// Shared state of one run(): per-batch results plus the in-order merge
+// frontier.  Workers deposit finished batches; whoever completes the batch
+// at the frontier advances the merge (under the mutex), which is the only
+// place results are combined or the stop decision is taken -- keeping both
+// independent of scheduling.
+struct RunState {
+  explicit RunState(std::size_t num_batches)
+      : results(num_batches), errors(num_batches), done(num_batches, 0) {}
+
+  std::atomic<std::size_t> next_batch{0};
+  std::atomic<bool> stop{false};
+
+  std::mutex mutex;
+  std::vector<RunningStats> results;
+  std::vector<std::exception_ptr> errors;
+  std::vector<char> done;
+  std::size_t merged_upto = 0;  // batches [0, merged_upto) are merged
+  RunningStats merged;
+  std::exception_ptr first_error;
+};
+
+}  // namespace
+
+ParallelEstimator::ParallelEstimator(EngineOptions options)
+    : options_(options) {
+  QPS_REQUIRE(options_.trials > 0, "need at least one trial");
+  QPS_REQUIRE(options_.batch_size > 0, "batch size must be positive");
+  QPS_REQUIRE(options_.target_sem >= 0.0, "target SEM must be non-negative");
+}
+
+std::size_t ParallelEstimator::resolved_threads() const {
+  std::size_t threads = options_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  const std::size_t num_batches =
+      (options_.trials + options_.batch_size - 1) / options_.batch_size;
+  return threads < num_batches ? threads : num_batches;
+}
+
+RunningStats ParallelEstimator::run(const Trial& trial) const {
+  QPS_REQUIRE(static_cast<bool>(trial), "run() needs a trial function");
+  const std::size_t trials = options_.trials;
+  const std::size_t batch_size = options_.batch_size;
+  const std::size_t num_batches = (trials + batch_size - 1) / batch_size;
+  const std::size_t threads = resolved_threads();
+
+  RunState state(num_batches);
+
+  // True once the merged prefix satisfies the early-stop target.  Called
+  // only under the mutex with a frontier that advances in index order, so
+  // the answer is a function of the batch results alone.
+  const auto stop_satisfied = [&](const RunningStats& merged) {
+    return options_.target_sem > 0.0 && merged.count() >= options_.min_trials &&
+           merged.sem() <= options_.target_sem;
+  };
+
+  const auto run_batch = [&](std::size_t k, RunningStats& out) {
+    const std::size_t begin = k * batch_size;
+    const std::size_t end = begin + batch_size < trials ? begin + batch_size
+                                                        : trials;
+    Rng rng = Rng::for_stream(options_.seed, k);
+    for (std::size_t t = begin; t < end; ++t) out.add(trial(rng));
+  };
+
+  const auto worker = [&] {
+    for (;;) {
+      if (state.stop.load(std::memory_order_relaxed)) return;
+      const std::size_t k =
+          state.next_batch.fetch_add(1, std::memory_order_relaxed);
+      if (k >= num_batches) return;
+
+      RunningStats batch;
+      std::exception_ptr error;
+      try {
+        run_batch(k, batch);
+      } catch (...) {
+        error = std::current_exception();
+      }
+
+      std::lock_guard<std::mutex> lock(state.mutex);
+      state.results[k] = batch;
+      state.errors[k] = error;
+      state.done[k] = 1;
+      // Once the stop decision fired, the merge frontier is frozen: batches
+      // completing after it are deposited but never merged.
+      if (state.stop.load(std::memory_order_relaxed)) return;
+      while (state.merged_upto < num_batches && state.done[state.merged_upto]) {
+        const std::size_t i = state.merged_upto++;
+        if (state.errors[i]) {
+          state.first_error = state.errors[i];
+          state.stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+        state.merged.merge(state.results[i]);
+        if (stop_satisfied(state.merged)) {
+          state.stop.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  if (state.first_error) std::rethrow_exception(state.first_error);
+  return state.merged;
+}
+
+RunningStats ParallelEstimator::run_sequential(const Trial& trial,
+                                               Rng& rng) const {
+  QPS_REQUIRE(static_cast<bool>(trial), "run_sequential() needs a trial");
+  RunningStats stats;
+  for (std::size_t t = 0; t < options_.trials; ++t) stats.add(trial(rng));
+  return stats;
+}
+
+RunningStats ParallelEstimator::estimate_ppc(const QuorumSystem& system,
+                                             const ProbeStrategy& strategy,
+                                             double p) const {
+  const bool validate = options_.validate_witnesses;
+  return run([&](Rng& rng) {
+    const Coloring coloring =
+        sample_iid_coloring(system.universe_size(), p, rng);
+    return run_probe_trial(system, strategy, coloring, validate, rng);
+  });
+}
+
+RunningStats ParallelEstimator::expected_probes_on(
+    const QuorumSystem& system, const ProbeStrategy& strategy,
+    const Coloring& coloring) const {
+  const bool validate = options_.validate_witnesses;
+  return run([&](Rng& rng) {
+    return run_probe_trial(system, strategy, coloring, validate, rng);
+  });
+}
+
+double run_probe_trial(const QuorumSystem& system,
+                       const ProbeStrategy& strategy, const Coloring& coloring,
+                       bool validate, Rng& rng) {
+  ProbeSession session(coloring);
+  const Witness witness = strategy.run(session, rng);
+  if (validate) {
+    const std::string error =
+        validate_witness(system, coloring, witness, session.probed());
+    if (!error.empty())
+      throw std::logic_error(strategy.name() +
+                             " returned a bad witness: " + error);
+  }
+  return static_cast<double>(session.probe_count());
+}
+
+}  // namespace qps

@@ -1,0 +1,96 @@
+// Parallel Monte-Carlo estimation engine.
+//
+// ParallelEstimator shards a trial budget into fixed-size batches and runs
+// the batches on a std::thread worker pool.  Determinism is the design
+// center: batch k always draws from the RNG stream derived from
+// (options.seed, k), and batch results are merged strictly in batch-index
+// order, so the returned statistics -- and the early-stop / throw decisions
+// -- are bit-identical for any thread count, including threads=1.
+//
+// Early stopping: when `target_sem > 0`, merging stops at the first batch
+// prefix whose standard error of the mean reaches the target (after at
+// least `min_trials` samples).  Workers racing ahead of the stop point may
+// compute extra batches; those are discarded, never merged, so the result
+// is still a pure function of the seed and the options.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/coloring.h"
+#include "core/strategy.h"
+#include "quorum/quorum_system.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace qps {
+
+struct EngineOptions {
+  /// Total Monte-Carlo trial budget (upper bound when early-stop is on).
+  std::size_t trials = 1000;
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  /// Trials per batch: the unit of determinism and of work distribution.
+  /// Results depend on this value (it fixes the RNG stream layout) but
+  /// never on the thread count.
+  std::size_t batch_size = 1024;
+  /// Stop once the merged standard error of the mean reaches this value;
+  /// 0 disables early stopping and the full budget runs.
+  double target_sem = 0.0;
+  /// Early stop is not considered before this many merged trials.
+  std::size_t min_trials = 1000;
+  /// Validate every returned witness against the ground truth; failures
+  /// throw std::logic_error (deterministically, see above).
+  bool validate_witnesses = false;
+  /// Root seed for the per-batch RNG streams.
+  std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+};
+
+class ParallelEstimator {
+ public:
+  explicit ParallelEstimator(EngineOptions options);
+
+  /// One Monte-Carlo sample; draws all randomness from the supplied
+  /// batch-local generator.
+  using Trial = std::function<double(Rng&)>;
+
+  /// Runs the trial budget through the worker pool and returns the merged
+  /// statistics.  Exceptions thrown by `trial` propagate, and which
+  /// exception surfaces is deterministic (first failing batch in index
+  /// order).
+  RunningStats run(const Trial& trial) const;
+
+  /// Sequential compatibility path: runs `trials` calls of `trial` in one
+  /// stream on the calling thread using the caller's generator, exactly as
+  /// the pre-engine estimator did.  No batching, no early stop.
+  RunningStats run_sequential(const Trial& trial, Rng& rng) const;
+
+  /// PPC_p estimation (Section 3 model): i.i.d. element failures with
+  /// probability p, fresh coloring per trial.
+  RunningStats estimate_ppc(const QuorumSystem& system,
+                            const ProbeStrategy& strategy, double p) const;
+
+  /// Expected probes of `strategy` on one fixed coloring (the inner
+  /// expectation of the Section 4 randomized model).
+  RunningStats expected_probes_on(const QuorumSystem& system,
+                                  const ProbeStrategy& strategy,
+                                  const Coloring& coloring) const;
+
+  const EngineOptions& options() const { return options_; }
+
+  /// The worker count `run()` will actually use (resolves threads=0 and
+  /// never exceeds the number of batches).
+  std::size_t resolved_threads() const;
+
+ private:
+  EngineOptions options_;
+};
+
+/// One probe run of `strategy` against `coloring`: the engine's innermost
+/// trial, shared with the legacy estimator API.  Returns the probe count;
+/// throws std::logic_error when validation is on and the witness is bad.
+double run_probe_trial(const QuorumSystem& system,
+                       const ProbeStrategy& strategy, const Coloring& coloring,
+                       bool validate, Rng& rng);
+
+}  // namespace qps

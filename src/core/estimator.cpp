@@ -1,25 +1,20 @@
 #include "core/estimator.h"
 
-#include <stdexcept>
-
 #include "util/require.h"
 
 namespace qps {
 
 namespace {
 
-double one_run(const QuorumSystem& system, const ProbeStrategy& strategy,
-               const Coloring& coloring, bool validate, Rng& rng) {
-  ProbeSession session(coloring);
-  const Witness witness = strategy.run(session, rng);
-  if (validate) {
-    const std::string error =
-        validate_witness(system, coloring, witness, session.probed());
-    if (!error.empty())
-      throw std::logic_error(strategy.name() + " returned a bad witness: " +
-                             error);
-  }
-  return static_cast<double>(session.probe_count());
+// Bridges the legacy single-threaded options to an engine configured for
+// the sequential compatibility path.
+EngineOptions sequential_engine(const EstimatorOptions& options) {
+  QPS_REQUIRE(options.trials > 0, "need at least one trial");
+  EngineOptions engine;
+  engine.trials = options.trials;
+  engine.threads = 1;
+  engine.validate_witnesses = options.validate_witnesses;
+  return engine;
 }
 
 }  // namespace
@@ -27,53 +22,97 @@ double one_run(const QuorumSystem& system, const ProbeStrategy& strategy,
 RunningStats estimate_ppc(const QuorumSystem& system,
                           const ProbeStrategy& strategy, double p,
                           const EstimatorOptions& options, Rng& rng) {
-  QPS_REQUIRE(options.trials > 0, "need at least one trial");
-  RunningStats stats;
-  for (std::size_t t = 0; t < options.trials; ++t) {
-    const Coloring coloring =
-        sample_iid_coloring(system.universe_size(), p, rng);
-    stats.add(one_run(system, strategy, coloring,
-                      options.validate_witnesses, rng));
-  }
-  return stats;
+  const ParallelEstimator engine(sequential_engine(options));
+  const bool validate = options.validate_witnesses;
+  return engine.run_sequential(
+      [&](Rng& r) {
+        const Coloring coloring =
+            sample_iid_coloring(system.universe_size(), p, r);
+        return run_probe_trial(system, strategy, coloring, validate, r);
+      },
+      rng);
+}
+
+RunningStats estimate_ppc(const QuorumSystem& system,
+                          const ProbeStrategy& strategy, double p,
+                          const EngineOptions& options) {
+  return ParallelEstimator(options).estimate_ppc(system, strategy, p);
 }
 
 RunningStats expected_probes_on(const QuorumSystem& system,
                                 const ProbeStrategy& strategy,
                                 const Coloring& coloring,
                                 const EstimatorOptions& options, Rng& rng) {
-  QPS_REQUIRE(options.trials > 0, "need at least one trial");
-  RunningStats stats;
-  for (std::size_t t = 0; t < options.trials; ++t)
-    stats.add(one_run(system, strategy, coloring,
-                      options.validate_witnesses, rng));
-  return stats;
+  const ParallelEstimator engine(sequential_engine(options));
+  const bool validate = options.validate_witnesses;
+  return engine.run_sequential(
+      [&](Rng& r) {
+        return run_probe_trial(system, strategy, coloring, validate, r);
+      },
+      rng);
 }
 
-WorstCaseResult worst_case_search(const QuorumSystem& system,
-                                  const ProbeStrategy& strategy,
-                                  std::optional<Coloring> seed_coloring,
-                                  std::size_t rounds,
-                                  std::size_t trials_per_eval, Rng& rng) {
+RunningStats expected_probes_on(const QuorumSystem& system,
+                                const ProbeStrategy& strategy,
+                                const Coloring& coloring,
+                                const EngineOptions& options) {
+  return ParallelEstimator(options).expected_probes_on(system, strategy,
+                                                       coloring);
+}
+
+namespace {
+
+// Shared hill-climb skeleton: `evaluate` scores one coloring; flips are
+// proposed from `rng` and accepted when not worse.
+WorstCaseResult hill_climb(
+    const QuorumSystem& system, std::optional<Coloring> seed_coloring,
+    std::size_t rounds, Rng& rng,
+    const std::function<double(const Coloring&)>& evaluate) {
   const std::size_t n = system.universe_size();
   Coloring current = seed_coloring.value_or(Coloring(n));
-  EstimatorOptions options;
-  options.trials = trials_per_eval;
-
-  double current_score =
-      expected_probes_on(system, strategy, current, options, rng).mean();
+  double current_score = evaluate(current);
   for (std::size_t round = 0; round < rounds; ++round) {
     const auto e = static_cast<Element>(rng.below(n));
-    const Coloring flipped =
-        current.with(e, opposite(current.color(e)));
-    const double flipped_score =
-        expected_probes_on(system, strategy, flipped, options, rng).mean();
+    const Coloring flipped = current.with(e, opposite(current.color(e)));
+    const double flipped_score = evaluate(flipped);
     if (flipped_score >= current_score) {
       current = flipped;
       current_score = flipped_score;
     }
   }
   return {current, current_score};
+}
+
+}  // namespace
+
+WorstCaseResult worst_case_search(const QuorumSystem& system,
+                                  const ProbeStrategy& strategy,
+                                  std::optional<Coloring> seed_coloring,
+                                  std::size_t rounds,
+                                  std::size_t trials_per_eval, Rng& rng) {
+  EstimatorOptions options;
+  options.trials = trials_per_eval;
+  return hill_climb(system, std::move(seed_coloring), rounds, rng,
+                    [&](const Coloring& c) {
+                      return expected_probes_on(system, strategy, c, options,
+                                                rng)
+                          .mean();
+                    });
+}
+
+WorstCaseResult worst_case_search(const QuorumSystem& system,
+                                  const ProbeStrategy& strategy,
+                                  std::optional<Coloring> seed_coloring,
+                                  std::size_t rounds, Rng& rng,
+                                  const EngineOptions& engine_options) {
+  // Every evaluation reuses the same engine seed: common random numbers
+  // across colorings, so a flip is judged on the coloring change rather
+  // than on sampling noise.
+  const ParallelEstimator engine(engine_options);
+  return hill_climb(
+      system, std::move(seed_coloring), rounds, rng, [&](const Coloring& c) {
+        return engine.expected_probes_on(system, strategy, c).mean();
+      });
 }
 
 }  // namespace qps

@@ -10,11 +10,19 @@
 //    worst-case expectation sup_c E[probes] of Section 4.
 // Every run can optionally validate the returned witness against the
 // ground truth coloring; validation failures throw.
+//
+// Two flavors of every estimate:
+//  * the Rng& overloads run single-threaded on the caller's generator, one
+//    stream, trial after trial (the original estimator semantics);
+//  * the EngineOptions overloads shard trials across the ParallelEstimator
+//    worker pool (core/engine/parallel_estimator.h) with deterministic
+//    per-batch RNG streams and optional early stop.
 #pragma once
 
 #include <optional>
 
 #include "core/coloring.h"
+#include "core/engine/parallel_estimator.h"
 #include "core/strategy.h"
 #include "quorum/quorum_system.h"
 #include "util/rng.h"
@@ -28,17 +36,30 @@ struct EstimatorOptions {
 };
 
 /// Expected probes of `strategy` when every element fails i.i.d. with
-/// probability `p`.
+/// probability `p`.  Single-threaded, on the caller's generator.
 RunningStats estimate_ppc(const QuorumSystem& system,
                           const ProbeStrategy& strategy, double p,
                           const EstimatorOptions& options, Rng& rng);
 
+/// Engine-backed variant: trials sharded across `options.threads` workers,
+/// reproducible from `options.seed` regardless of thread count.
+RunningStats estimate_ppc(const QuorumSystem& system,
+                          const ProbeStrategy& strategy, double p,
+                          const EngineOptions& options);
+
 /// Expected probes of `strategy` on the fixed `coloring` (expectation over
-/// the strategy's internal randomness).
+/// the strategy's internal randomness).  Single-threaded, on the caller's
+/// generator.
 RunningStats expected_probes_on(const QuorumSystem& system,
                                 const ProbeStrategy& strategy,
                                 const Coloring& coloring,
                                 const EstimatorOptions& options, Rng& rng);
+
+/// Engine-backed variant of expected_probes_on.
+RunningStats expected_probes_on(const QuorumSystem& system,
+                                const ProbeStrategy& strategy,
+                                const Coloring& coloring,
+                                const EngineOptions& options);
 
 struct WorstCaseResult {
   Coloring coloring;
@@ -54,5 +75,14 @@ WorstCaseResult worst_case_search(const QuorumSystem& system,
                                   std::optional<Coloring> seed_coloring,
                                   std::size_t rounds,
                                   std::size_t trials_per_eval, Rng& rng);
+
+/// Engine-backed variant: flip proposals still come from `rng`, but every
+/// inner expectation runs on the parallel engine with `engine_options`
+/// (whose `trials` is the per-evaluation budget).
+WorstCaseResult worst_case_search(const QuorumSystem& system,
+                                  const ProbeStrategy& strategy,
+                                  std::optional<Coloring> seed_coloring,
+                                  std::size_t rounds, Rng& rng,
+                                  const EngineOptions& engine_options);
 
 }  // namespace qps

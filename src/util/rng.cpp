@@ -94,4 +94,13 @@ std::vector<std::uint32_t> Rng::permutation(std::uint32_t n) {
 
 Rng Rng::fork() { return Rng(next_u64() ^ 0xa0761d6478bd642fULL); }
 
+Rng Rng::for_stream(std::uint64_t seed, std::uint64_t stream) {
+  // Mix the root seed once, offset by the stream index, and mix again: the
+  // splitmix64 finalizer is bijective with full avalanche, so adjacent
+  // stream indices land on unrelated xoshiro seed states.
+  std::uint64_t state = seed;
+  std::uint64_t stream_state = splitmix64(state) + stream;
+  return Rng(splitmix64(stream_state));
+}
+
 }  // namespace qps

@@ -71,6 +71,13 @@ class Rng {
   /// Forks an independent generator (streams are decorrelated by remixing).
   Rng fork();
 
+  /// Deterministic per-stream generator: the generator for (seed, k) is a
+  /// pure function of both values, and distinct stream indices give
+  /// decorrelated sequences.  Used by the parallel estimation engine to
+  /// give every trial batch its own reproducible stream regardless of
+  /// which thread runs it.
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream);
+
   /// Satisfies UniformRandomBitGenerator so std:: algorithms can use Rng.
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ULL; }

@@ -14,6 +14,11 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Folds another accumulator into this one (Chan et al. pairwise update),
+  /// as if every sample of `other` had been added after this one's.  The
+  /// parallel estimation engine reduces per-batch accumulators with this.
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return count_; }
   double mean() const;
   /// Unbiased sample variance; 0 for fewer than two samples.
