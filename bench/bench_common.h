@@ -9,10 +9,20 @@
 // and --target-sem enables early stopping at a standard-error target.
 // --json FILE writes a machine-readable summary of the key metrics, which
 // CI uploads as the perf-trajectory artifact.
+//
+// Grid-shaped sections run through the sweep orchestration subsystem
+// (core/sweep/): --workers K shards the grid across K subprocesses (this
+// same binary re-exec'ed in --worker mode; results are byte-identical for
+// any K, including the K=0 in-process path), --checkpoint FILE journals
+// every completed point, and --resume skips journaled points after an
+// interrupted run.  run_sweep() below is the one entry point benches use.
 #pragma once
+
+#include <unistd.h>
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -22,7 +32,11 @@
 #include <vector>
 
 #include "core/engine/parallel_estimator.h"
+#include "core/sweep/sweep_report.h"
+#include "core/sweep/sweep_runner.h"
+#include "core/sweep/sweep_spec.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -37,6 +51,14 @@ struct BenchContext {
   double target_sem = 0.0;  // 0 = run the full trial budget
   std::string json_path;    // empty = no JSON report
 
+  // Sweep orchestration (core/sweep/).
+  std::size_t workers = 0;       // subprocess count; 0 = in-process
+  std::string checkpoint_path;   // empty = no journal
+  bool resume = false;           // load the journal, skip completed points
+  bool worker_mode = false;      // hidden: this process serves one sweep
+  std::string worker_sweep;      // hidden: which sweep to serve
+  std::vector<std::string> command;  // original argv, for worker re-exec
+
   Rng make_rng() const { return Rng(seed); }
 
   /// Engine configuration for one Monte-Carlo sweep.  All estimates in a
@@ -48,6 +70,15 @@ struct BenchContext {
     options.threads = threads;
     options.target_sem = target_sem;
     options.seed = seed + 0x9e3779b97f4a7c15ULL * stream;
+    return options;
+  }
+
+  /// Engine configuration for one sweep point: the trial budget, thread
+  /// count and SEM target come from the flags, the seed from the point's
+  /// CRN-preserving derivation (core/sweep/sweep_spec.h).
+  EngineOptions engine_options_for(const sweep::SweepPoint& point) const {
+    EngineOptions options = engine_options();
+    options.seed = point.seed;
     return options;
   }
 };
@@ -63,15 +94,83 @@ inline BenchContext parse_context(int argc, char** argv) {
   ctx.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   ctx.target_sem = flags.get_double("target-sem", 0.0);
   ctx.json_path = flags.get_string("json", "");
+  ctx.workers = static_cast<std::size_t>(flags.get_int("workers", 0));
+  ctx.checkpoint_path = flags.get_string("checkpoint", "");
+  ctx.resume = flags.get_bool("resume", false);
+  ctx.worker_mode = flags.get_bool("worker", false);
+  ctx.worker_sweep = flags.get_string("sweep", "");
   const auto unused = flags.unused();
   if (!unused.empty()) {
     std::cerr << "unknown flag --" << unused.front()
               << " (supported: --seed --trials --quick --threads "
-                 "--target-sem --json)\n";
+                 "--target-sem --json --workers --checkpoint --resume)\n";
     std::exit(2);
   }
   if (ctx.quick) ctx.trials = std::max<std::size_t>(ctx.trials / 10, 100);
+  if (ctx.resume && ctx.checkpoint_path.empty()) {
+    std::cerr << "--resume needs --checkpoint FILE\n";
+    std::exit(2);
+  }
+  // Remember argv for worker re-exec, minus the worker-mode flags the
+  // runner adds itself.
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--worker" || arg.rfind("--worker=", 0) == 0 ||
+        arg.rfind("--sweep", 0) == 0)
+      continue;
+    ctx.command.push_back(arg);
+  }
   return ctx;
+}
+
+/// Runs `spec` through the sweep subsystem under the context's
+/// --workers/--checkpoint/--resume flags and returns the in-order results.
+///
+/// In worker mode (the hidden --worker --sweep=NAME flags the runner
+/// passes to its subprocesses) the behavior is different: when `spec` is
+/// the sweep this worker was spawned for, the call serves points over the
+/// protocol fds (stdin / fd 3) and never returns; for any other sweep it
+/// returns empty placeholder results so the harness skips cheaply to the
+/// sweep being served (all output is discarded in worker mode).
+inline std::vector<sweep::PointResult> run_sweep(
+    const BenchContext& ctx, sweep::SweepSpec spec,
+    const sweep::PointEvaluator& eval) {
+  // The journal must only revive points measured under the same budget.
+  // json_number keeps the SEM target round-trip exact; std::to_string
+  // would collapse distinct tiny targets to "0.000000".
+  spec.set_config_tag("trials=" + std::to_string(ctx.trials) +
+                      ";target_sem=" + json_number(ctx.target_sem));
+
+  if (ctx.worker_mode) {
+    if (ctx.worker_sweep == spec.name())
+      std::exit(sweep::SweepRunner::serve(spec, eval, STDIN_FILENO, 3));
+    std::vector<sweep::PointResult> placeholders;
+    for (const sweep::SweepPoint& point : spec.expand())
+      placeholders.push_back({point, RunningStats{}, false});
+    return placeholders;
+  }
+
+  // A fresh (non-resume) checkpointed run starts a new journal; do the
+  // truncation once per process so a bench journaling several sweeps into
+  // one file keeps them all.
+  if (!ctx.checkpoint_path.empty() && !ctx.resume) {
+    static bool truncated = false;
+    if (!truncated) {
+      std::ofstream(ctx.checkpoint_path, std::ios::trunc);
+      truncated = true;
+    }
+  }
+
+  sweep::SweepOptions options;
+  options.workers = ctx.workers;
+  options.checkpoint_path = ctx.checkpoint_path;
+  options.resume = ctx.resume;
+  if (ctx.workers > 0) {
+    options.worker_command = ctx.command;
+    options.worker_command.push_back("--worker");
+    options.worker_command.push_back("--sweep=" + spec.name());
+  }
+  return sweep::SweepRunner(std::move(spec), std::move(options)).run(eval);
 }
 
 inline void print_header(const std::string& experiment,
@@ -82,7 +181,7 @@ inline void print_header(const std::string& experiment,
             << "seed=" << ctx.seed << " trials=" << ctx.trials
             << " threads=" << (ctx.threads == 0 ? std::string("auto")
                                                 : std::to_string(ctx.threads))
-            << "\n"
+            << " workers=" << ctx.workers << "\n"
             << "================================================================\n";
 }
 
@@ -92,6 +191,13 @@ inline std::string holds(bool ok) { return ok ? "yes" : "NO"; }
 /// Machine-readable bench summary: named scalar metrics plus named
 /// pass/fail checks, written as JSON when the harness got --json FILE.
 /// CI archives these files (BENCH_*.json) as the perf-trajectory artifact.
+///
+/// Serialization uses util/json.h, so metric names round-trip arbitrary
+/// strings and non-finite values survive as their string encodings
+/// ("NaN"/"Infinity"/"-Infinity") instead of collapsing to null.  The
+/// report deliberately omits the sweep execution flags (--workers,
+/// --checkpoint, --resume): aggregated results are byte-identical across
+/// those, and CI's sweep-smoke job diffs the files to prove it.
 class JsonReport {
  public:
   JsonReport(std::string experiment, const BenchContext& ctx)
@@ -104,6 +210,18 @@ class JsonReport {
     checks_.emplace_back(name, pass);
     all_pass_ = all_pass_ && pass;
   }
+  /// One metric per sweep point (the point id keyed under `prefix/`),
+  /// recording the measured mean and the trials actually spent (visible
+  /// early-stop effect under --target-sem).
+  void add_sweep(const std::string& prefix,
+                 const std::vector<sweep::PointResult>& results) {
+    for (const sweep::PointResult& result : results) {
+      add_metric(prefix + "/" + result.point.id + "/mean",
+                 result.stats.mean());
+      add_metric(prefix + "/" + result.point.id + "/trials",
+                 static_cast<double>(result.stats.count()));
+    }
+  }
   bool all_pass() const { return all_pass_; }
 
   /// Writes the report when --json was given; exits non-zero on I/O error
@@ -115,26 +233,19 @@ class JsonReport {
       std::cerr << "cannot open --json path " << ctx_.json_path << "\n";
       std::exit(2);
     }
-    // Round-trippable doubles; non-finite values become null (JSON has no
-    // NaN/Inf) so the artifact always parses.
-    out << std::setprecision(std::numeric_limits<double>::max_digits10);
-    out << "{\n  \"experiment\": \"" << escape(experiment_) << "\",\n"
+    out << "{\n  \"experiment\": " << json_quote(experiment_) << ",\n"
         << "  \"seed\": " << ctx_.seed << ",\n"
         << "  \"trials\": " << ctx_.trials << ",\n"
         << "  \"threads\": " << ctx_.threads << ",\n"
         << "  \"metrics\": {";
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
-      out << (i ? "," : "") << "\n    \"" << escape(metrics_[i].first)
-          << "\": ";
-      if (std::isfinite(metrics_[i].second))
-        out << metrics_[i].second;
-      else
-        out << "null";
+      out << (i ? "," : "") << "\n    " << json_quote(metrics_[i].first)
+          << ": " << json_number(metrics_[i].second);
     }
     out << (metrics_.empty() ? "" : "\n  ") << "},\n  \"checks\": {";
     for (std::size_t i = 0; i < checks_.size(); ++i) {
-      out << (i ? "," : "") << "\n    \"" << escape(checks_[i].first)
-          << "\": " << (checks_[i].second ? "true" : "false");
+      out << (i ? "," : "") << "\n    " << json_quote(checks_[i].first)
+          << ": " << (checks_[i].second ? "true" : "false");
     }
     out << (checks_.empty() ? "" : "\n  ") << "},\n  \"all_pass\": "
         << (all_pass_ ? "true" : "false") << "\n}\n";
@@ -145,20 +256,6 @@ class JsonReport {
   }
 
  private:
-  static std::string escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      if (static_cast<unsigned char>(c) < 0x20) {
-        out += ' ';  // metrics/ids are plain ASCII; fold control chars
-        continue;
-      }
-      out.push_back(c);
-    }
-    return out;
-  }
-
   std::string experiment_;
   const BenchContext& ctx_;
   std::vector<std::pair<std::string, double>> metrics_;

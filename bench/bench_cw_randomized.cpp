@@ -3,6 +3,11 @@
 // 1/n_i) } -- for Triang (n+k)/2 + log k -- against a lower bound of
 // (n+k)/2 for ANY randomized algorithm (Yao on the one-green-per-row
 // distribution).
+//
+// The Monte-Carlo section runs through the sweep subsystem (core/sweep/):
+// --workers shards the walls across subprocesses, --checkpoint/--resume
+// survives interruption, and aggregated results are byte-identical for
+// any --workers value.
 #include <cmath>
 #include <iostream>
 
@@ -13,6 +18,28 @@
 #include "core/expectation.h"
 #include "core/formulas.h"
 #include "quorum/crumbling_wall.h"
+
+namespace {
+
+// The walls under test; sweep points refer to them by index so the runner
+// and its --worker subprocesses agree on the grid.
+const std::vector<std::vector<std::size_t>>& bench_walls() {
+  static const std::vector<std::vector<std::size_t>> walls = {
+      {1, 2, 3}, {1, 3, 2}, {1, 2, 2, 2}, {1, 4, 4}, {1, 9}};
+  return walls;
+}
+
+// The Cor. 4.5(2)-style extreme input: bottom row all red.
+qps::Coloring worst_coloring(const qps::CrumblingWall& wall) {
+  const std::size_t n = wall.universe_size();
+  qps::ElementSet greens = qps::ElementSet::full(n);
+  for (qps::Element e = wall.row_begin(wall.row_count() - 1);
+       e < wall.row_end(wall.row_count() - 1); ++e)
+    greens.erase(e);
+  return qps::Coloring(n, greens);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace qps;
@@ -27,8 +54,7 @@ int main(int argc, char** argv) {
   std::cout << "\n[A] Exact worst-case expectation of R_Probe_CW (exhaustive "
                "over colorings) vs the Thm 4.4 bound:\n";
   Table a({"wall", "n", "k", "worst_exact", "thm44_bound", "yao_LB", "ordered"});
-  const std::vector<std::vector<std::size_t>> walls = {
-      {1, 2, 3}, {1, 3, 2}, {1, 2, 2, 2}, {1, 4, 4}, {1, 9}};
+  const auto& walls = bench_walls();
   for (const auto& widths : walls) {
     const CrumblingWall wall(widths);
     const std::size_t n = wall.universe_size();
@@ -48,31 +74,35 @@ int main(int argc, char** argv) {
   a.print(std::cout);
 
   std::cout << "\n[B] Monte-Carlo check of R_Probe_CW on its worst coloring "
-               "(bottom row monochromatic):\n";
-  Table b({"wall", "measured", "exact", "agree"});
-  const EngineOptions options = ctx.engine_options();
-  for (const auto& widths : walls) {
-    const CrumblingWall wall(widths);
-    const std::size_t n = wall.universe_size();
-    // Bottom row all red is the Cor. 4.5(2)-style extreme.
-    ElementSet greens = ElementSet::full(n);
-    for (Element e = wall.row_begin(wall.row_count() - 1);
-         e < wall.row_end(wall.row_count() - 1); ++e)
-      greens.erase(e);
-    const Coloring coloring(n, greens);
+               "(bottom row monochromatic;\n    sweep subsystem: --workers "
+               "shards walls, --checkpoint/--resume survives "
+               "interruption):\n";
+  Table b({"wall", "trials", "measured", "sem", "exact", "agree"});
+  std::vector<std::size_t> wall_indices(walls.size());
+  for (std::size_t i = 0; i < walls.size(); ++i) wall_indices[i] = i;
+  sweep::SweepSpec spec("cw_randomized_mc", ctx.seed);
+  spec.add_block("cw", wall_indices, {"R"});
+  const auto evaluate = [&ctx](const sweep::SweepPoint& point) {
+    const CrumblingWall wall(bench_walls().at(point.size));
     const RProbeCW strategy(wall);
-    const auto stats =
-        expected_probes_on(wall, strategy, coloring, options);
-    const double exact = r_probe_cw_expectation(wall, coloring);
-    report.add_metric("worst_" + wall.name(), stats.mean());
-    report.add_check("agree_" + wall.name(),
-                     std::abs(stats.mean() - exact) <
-                         std::max(4 * stats.ci95_halfwidth(), 1e-9));
-    b.add_row({wall.name(), Table::num(stats.mean(), 3),
-               Table::num(exact, 3),
-               bench::holds(std::abs(stats.mean() - exact) <
-                            std::max(4 * stats.ci95_halfwidth(), 1e-9))});
+    return expected_probes_on(wall, strategy, worst_coloring(wall),
+                              ctx.engine_options_for(point));
+  };
+  const auto results = bench::run_sweep(ctx, spec, evaluate);
+  for (const auto& result : results) {
+    const CrumblingWall wall(walls[result.point.size]);
+    const double exact = r_probe_cw_expectation(wall, worst_coloring(wall));
+    const bool agree =
+        std::abs(result.stats.mean() - exact) <
+        std::max(4 * result.stats.ci95_halfwidth(), 1e-9);
+    report.add_check("agree_" + wall.name(), agree);
+    b.add_row({wall.name(),
+               Table::num(static_cast<long long>(result.stats.count())),
+               Table::num(result.stats.mean(), 3),
+               Table::num(result.stats.sem(), 4), Table::num(exact, 3),
+               bench::holds(agree)});
   }
+  report.add_sweep("mc", results);
   b.print(std::cout);
 
   std::cout << "\n[C] Triang scaling: bound vs lower bound as k grows\n"

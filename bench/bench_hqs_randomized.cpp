@@ -4,6 +4,11 @@
 //   IR_Probe_HQS improves the two-level constant (Fig. 9).
 // Costs on the worst-case family P are exact ((8/3)^h for R; the IR
 // two-level constant for IR), so the exponent fits are noise-free.
+//
+// The Monte-Carlo grid runs through the sweep subsystem (core/sweep/):
+// --workers shards (h, algorithm) rows across subprocesses, --target-sem
+// stops each row at fixed precision, --checkpoint/--resume survives
+// interruption.  Aggregated results are byte-identical for any --workers.
 #include <cmath>
 #include <iostream>
 #include <vector>
@@ -63,6 +68,25 @@ int main(int argc, char** argv) {
   }
   b.print(std::cout);
 
+  // Monte-Carlo grid over (h, algorithm) on the worst-case family P, run
+  // through the sweep subsystem: --workers shards the rows, --target-sem
+  // stops each row at fixed precision (the h = 6 rows dominate wall-clock
+  // at fixed trials), --checkpoint/--resume survives interruption.
+  sweep::SweepSpec spec("hqs_randomized_mc", ctx.seed);
+  spec.add_block("hqs", {2u, 4u, 6u}, {"R", "IR"});
+  const auto evaluate = [&ctx](const sweep::SweepPoint& point) {
+    const HQSystem hqs(point.size);
+    const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
+    const RProbeHQS r(hqs);
+    const IRProbeHQS ir(hqs);
+    const ProbeStrategy& strategy =
+        point.strategy == "IR" ? static_cast<const ProbeStrategy&>(ir)
+                               : static_cast<const ProbeStrategy&>(r);
+    return expected_probes_on(hqs, strategy, worst,
+                              ctx.engine_options_for(point));
+  };
+  const auto results = bench::run_sweep(ctx, spec, evaluate);
+
   std::cout << "\n[C] Fig. 9: the IR two-level constant at h = 2 "
                "(grandchildren are leaves, so E[probes] = E[recursive "
                "calls]):\n";
@@ -72,11 +96,10 @@ int main(int argc, char** argv) {
     const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
     c.add_row({"measured (exact evaluator)",
                Table::num(ir_probe_hqs_expectation(hqs, worst), 6)});
-    const EngineOptions options = ctx.engine_options();
-    const IRProbeHQS strategy(hqs);
-    const auto stats =
-        expected_probes_on(hqs, strategy, worst, options);
-    c.add_row({"measured (Monte Carlo)", Table::num(stats.mean(), 4)});
+    const auto* ir_h2 = sweep::SweepReport("hqs_randomized_mc", results)
+                            .find("family=hqs/size=2/strategy=IR");
+    c.add_row({"measured (Monte Carlo)",
+               Table::num(ir_h2 ? ir_h2->stats.mean() : 0.0, 4)});
     c.add_row({"Fig. 8 semantics 191/27", Table::num(191.0 / 27.0, 6)});
     c.add_row({"paper's Fig. 9 189.5/27", Table::num(189.5 / 27.0, 6)});
     c.add_row({"R_Probe_HQS (8/3)^2", Table::num(64.0 / 9.0, 6)});
@@ -87,32 +110,29 @@ int main(int argc, char** argv) {
                "printed as 1.5 in Fig. 9 -- see EXPERIMENTS.md.)\n";
 
   std::cout << "\n[D] Monte-Carlo agreement for both algorithms on family P "
-               "(h = 4):\n";
-  Table d({"algorithm", "measured", "exact", "agree"});
-  {
-    const HQSystem hqs(4);
+               "(sweep subsystem):\n";
+  Table d({"h", "algorithm", "trials", "measured", "sem", "exact", "agree"});
+  for (const auto& result : results) {
+    const HQSystem hqs(result.point.size);
     const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
-    const EngineOptions options = ctx.engine_options();
-    const RProbeHQS r(hqs);
-    const IRProbeHQS ir(hqs);
-    const auto rs = expected_probes_on(hqs, r, worst, options);
-    const auto irs = expected_probes_on(hqs, ir, worst, options);
-    const double rex = r_probe_hqs_expectation(hqs, worst);
-    const double irex = ir_probe_hqs_expectation(hqs, worst);
-    report.add_metric("r_probe_h4", rs.mean());
-    report.add_metric("ir_probe_h4", irs.mean());
-    report.add_check("r_agree_h4",
-                     std::abs(rs.mean() - rex) < 4 * rs.ci95_halfwidth());
-    report.add_check("ir_agree_h4",
-                     std::abs(irs.mean() - irex) < 4 * irs.ci95_halfwidth());
-    d.add_row({"R_Probe_HQS", Table::num(rs.mean(), 3), Table::num(rex, 3),
-               bench::holds(std::abs(rs.mean() - rex) <
-                            4 * rs.ci95_halfwidth())});
-    d.add_row({"IR_Probe_HQS", Table::num(irs.mean(), 3), Table::num(irex, 3),
-               bench::holds(std::abs(irs.mean() - irex) <
-                            4 * irs.ci95_halfwidth())});
+    const double exact = result.point.strategy == "IR"
+                             ? ir_probe_hqs_expectation(hqs, worst)
+                             : r_probe_hqs_expectation(hqs, worst);
+    const bool agree =
+        std::abs(result.stats.mean() - exact) <
+        std::max(4 * result.stats.ci95_halfwidth(), 1e-9);
+    report.add_check("agree_" + result.point.strategy + "_h" +
+                         std::to_string(result.point.size),
+                     agree);
+    d.add_row({Table::num(static_cast<long long>(result.point.size)),
+               result.point.strategy + "_Probe_HQS",
+               Table::num(static_cast<long long>(result.stats.count())),
+               Table::num(result.stats.mean(), 3),
+               Table::num(result.stats.sem(), 4), Table::num(exact, 3),
+               bench::holds(agree)});
   }
   d.print(std::cout);
+  report.add_sweep("mc", results);
   report.write_if_requested();
   return 0;
 }

@@ -4,6 +4,8 @@
 // performance regressions; they make no paper claims.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/algorithms/probe_cw.h"
 #include "core/algorithms/probe_hqs.h"
 #include "core/algorithms/probe_maj.h"
@@ -112,6 +114,68 @@ void BM_ExactTreeExpectation(benchmark::State& state) {
     benchmark::DoNotOptimize(r_probe_tree_expectation(tree, c));
 }
 BENCHMARK(BM_ExactTreeExpectation)->Arg(8)->Arg(12)->Arg(16);
+
+// --- Estimation-engine microbenchmarks -----------------------------------
+// These guard the engine's own overheads: how batch size trades RNG-stream
+// setup against merge frequency, what the ordered merge costs by itself,
+// and how throughput scales with the worker-thread count.  CI runs them
+// with --benchmark_format=json into the bench-smoke artifact.
+
+void BM_EngineBatchSize(benchmark::State& state) {
+  const MajoritySystem maj(101);
+  const ProbeMaj strategy(maj);
+  EngineOptions options;
+  options.trials = 16384;
+  options.threads = 1;
+  options.batch_size = static_cast<std::size_t>(state.range(0));
+  options.seed = 7;
+  const ParallelEstimator engine(options);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.estimate_ppc(maj, strategy, 0.5));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.trials));
+}
+BENCHMARK(BM_EngineBatchSize)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_EngineMergeOverhead(benchmark::State& state) {
+  // The merge reduction in isolation: fold `range` per-batch accumulators,
+  // each holding 1024 samples, exactly as run() does after the workers
+  // finish.
+  const std::size_t batches = static_cast<std::size_t>(state.range(0));
+  std::vector<RunningStats> parts(batches);
+  Rng rng(11);
+  for (auto& part : parts)
+    for (int i = 0; i < 1024; ++i) part.add(rng.uniform01());
+  for (auto _ : state) {
+    RunningStats merged;
+    for (const auto& part : parts) merged.merge(part);
+    benchmark::DoNotOptimize(merged.mean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batches));
+}
+BENCHMARK(BM_EngineMergeOverhead)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_EngineThreadScaling(benchmark::State& state) {
+  const MajoritySystem maj(1001);
+  const ProbeMaj strategy(maj);
+  EngineOptions options;
+  options.trials = 8192;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  options.seed = 13;
+  const ParallelEstimator engine(options);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.estimate_ppc(maj, strategy, 0.5));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.trials));
+}
+BENCHMARK(BM_EngineThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorEventChurn(benchmark::State& state) {
   for (auto _ : state) {

@@ -10,6 +10,14 @@
 // Yao engine / exact per-coloring expectation where feasible, Monte Carlo
 // otherwise.  The point is the SHAPE: who wins, the exponents, and the
 // upper/lower ordering -- not the authors' absolute constants.
+//
+// The exponent-fit grids (probabilistic Tree h = 16..24, probabilistic
+// HQS h = 4..12, randomized HQS h = 2..10) are the wall-clock of this
+// harness; they run through the sweep subsystem (core/sweep/) so
+// --workers shards the DP rows across subprocesses and
+// --checkpoint/--resume survives interruption.  Each exact value is one
+// single-sample sweep point; aggregated output is byte-identical for any
+// --workers value.
 #include <cmath>
 #include <iostream>
 
@@ -26,6 +34,19 @@
 #include "quorum/hqs.h"
 #include "quorum/majority.h"
 #include "quorum/tree_system.h"
+#include "util/require.h"
+
+namespace {
+
+/// An exact evaluation as a sweep result: a single-sample accumulator
+/// whose mean is the value.
+qps::RunningStats exact_sample(double value) {
+  qps::RunningStats stats;
+  stats.add(value);
+  return stats;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace qps;
@@ -33,6 +54,32 @@ int main(int argc, char** argv) {
   bench::print_header("TABLE 1 (all rows)",
                       "see the row-by-row claims printed below", ctx);
   bench::JsonReport report("table1", ctx);
+
+  // The exact exponent-fit grids, sharded across --workers subprocesses.
+  // Everything else in this harness is cheap and stays inline.
+  sweep::SweepSpec spec("table1_exact_grids", ctx.seed);
+  spec.add_block("tree_ppc", {16u, 17u, 18u, 19u, 20u, 21u, 22u, 23u, 24u});
+  spec.add_block("hqs_ppc", {4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u, 12u});
+  spec.add_block("hqs_pcr", {2u, 4u, 6u, 8u, 10u}, {"R", "IR"});
+  const auto evaluate = [](const sweep::SweepPoint& point) {
+    const std::size_t h = point.size;
+    if (point.family == "tree_ppc")
+      return exact_sample(probe_tree_expected(h, 0.5));
+    if (point.family == "hqs_ppc")
+      return exact_sample(probe_hqs_expected(h, 0.5));
+    const HQSystem hqs(h);
+    const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
+    return exact_sample(point.strategy == "IR"
+                            ? ir_probe_hqs_expectation(hqs, worst)
+                            : r_probe_hqs_expectation(hqs, worst));
+  };
+  const sweep::SweepReport grids("table1_exact_grids",
+                                 bench::run_sweep(ctx, spec, evaluate));
+  const auto grid_value = [&grids](const std::string& id) {
+    const auto* result = grids.find(id);
+    QPS_CHECK(result != nullptr, "missing sweep point " + id);
+    return result->stats.mean();
+  };
 
   std::cout << "\n--- probabilistic model, p = 1/2 ---------------------------\n";
   Table prob({"system", "n", "paper says", "measured/exact", "holds"});
@@ -64,7 +111,8 @@ int main(int argc, char** argv) {
     std::vector<double> ns, costs;
     for (std::size_t h = 16; h <= 24; ++h) {
       ns.push_back(std::pow(2.0, static_cast<double>(h) + 1.0) - 1.0);
-      costs.push_back(probe_tree_expected(h, 0.5));
+      costs.push_back(
+          grid_value(sweep::SweepSpec::point_id("tree_ppc", h, "", false, 0)));
     }
     const double slope = fit_power_law(ns, costs).slope;
     prob.add_row({"Tree", "2^17..2^25 - 1", "O(n^0.585)",
@@ -75,7 +123,8 @@ int main(int argc, char** argv) {
     std::vector<double> ns, costs;
     for (std::size_t h = 4; h <= 12; ++h) {
       ns.push_back(std::pow(3.0, static_cast<double>(h)));
-      costs.push_back(probe_hqs_expected(h, 0.5));
+      costs.push_back(
+          grid_value(sweep::SweepSpec::point_id("hqs_ppc", h, "", false, 0)));
     }
     const double slope = fit_power_law(ns, costs).slope;
     prob.add_row({"HQS", "3^4..3^12", "n^0.834 (exact)",
@@ -123,11 +172,11 @@ int main(int argc, char** argv) {
   {
     std::vector<double> ns, rc, irc;
     for (std::size_t h = 2; h <= 10; h += 2) {
-      const HQSystem hqs(h);
-      const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
-      ns.push_back(static_cast<double>(hqs.universe_size()));
-      rc.push_back(r_probe_hqs_expectation(hqs, worst));
-      irc.push_back(ir_probe_hqs_expectation(hqs, worst));
+      ns.push_back(std::pow(3.0, static_cast<double>(h)));
+      rc.push_back(
+          grid_value(sweep::SweepSpec::point_id("hqs_pcr", h, "R", false, 0)));
+      irc.push_back(grid_value(
+          sweep::SweepSpec::point_id("hqs_pcr", h, "IR", false, 0)));
     }
     const double r_slope = fit_power_law(ns, rc).slope;
     const double ir_slope = fit_power_law(ns, irc).slope;

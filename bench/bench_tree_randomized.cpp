@@ -4,6 +4,12 @@
 // two-reds-per-subtree distribution; the upper bound by exhaustive /
 // searched worst-case evaluation of R_Probe_Tree's exact per-coloring
 // expectation.
+//
+// The Monte-Carlo section runs through the sweep subsystem (core/sweep/):
+// --workers K shards the h rows across subprocesses, --target-sem stops
+// each row at fixed precision instead of a fixed trial count (the high-n
+// rows dominate wall-clock otherwise), and --checkpoint/--resume survive
+// interruption.  Aggregated results are byte-identical for any K.
 #include <cmath>
 #include <iostream>
 
@@ -15,14 +21,26 @@
 #include "core/formulas.h"
 #include "quorum/tree_system.h"
 
-int main(int argc, char** argv) {
-  using namespace qps;
-  const auto ctx = bench::parse_context(argc, argv);
-  bench::print_header(
-      "Table 1 / Tree, randomized model",
-      "2(n+1)/3 <= PCR(Tree) <= 5n/6 + 1/6 (Thms 4.8, 4.7)", ctx);
-  Rng rng = ctx.make_rng();
+namespace {
 
+// Stream index for per-point hard-coloring sampling; far outside the
+// engine's batch-index stream range so the coloring draw never collides
+// with a trial batch.
+constexpr std::uint64_t kColoringStream = 0x636f6c6f72ULL;  // "color"
+
+// The hard coloring a sweep point measures: reproducible from the point's
+// derived seed alone, so runner and workers agree on it exactly.
+qps::Coloring point_hard_coloring(const qps::TreeSystem& tree,
+                                  const qps::sweep::SweepPoint& point) {
+  qps::Rng rng = qps::Rng::for_stream(point.seed, kColoringStream);
+  return qps::sample_tree_hard_coloring(tree, rng);
+}
+
+// Sections [A]/[B]: the exact Yao lower bound and the exhaustive /
+// hill-climbed worst-case expectation.  Pure printing; skipped entirely by
+// --worker subprocesses.
+void print_exact_sections(const qps::bench::BenchContext& ctx, qps::Rng& rng) {
+  using namespace qps;
   std::cout << "\n[A] Yao lower bound on the hard distribution (exact):\n";
   Table a({"h", "n", "yao_exact", "paper 2(n+1)/3", "match"});
   for (std::size_t h : {1u, 2u, 3u}) {
@@ -46,8 +64,9 @@ int main(int argc, char** argv) {
     const std::size_t n = tree.universe_size();
     double worst = 0;
     for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask)
-      worst = std::max(worst, r_probe_tree_expectation(
-                                  tree, Coloring(n, ElementSet::from_mask(n, mask))));
+      worst = std::max(worst,
+                       r_probe_tree_expectation(
+                           tree, Coloring(n, ElementSet::from_mask(n, mask))));
     b.add_row({Table::num(static_cast<long long>(h)),
                Table::num(static_cast<long long>(n)), Table::num(worst, 4),
                Table::num(r_probe_tree_bound(n), 4),
@@ -80,29 +99,57 @@ int main(int argc, char** argv) {
                bench::holds(best <= r_probe_tree_bound(n) + 1e-9)});
   }
   b.print(std::cout);
+}
 
-  std::cout << "\n[C] Monte-Carlo sanity: R_Probe_Tree measured on a hard "
-               "sample equals the exact evaluator:\n";
-  Table c({"h", "measured", "exact", "agree"});
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace qps;
+  const auto ctx = bench::parse_context(argc, argv);
+  bench::print_header(
+      "Table 1 / Tree, randomized model",
+      "2(n+1)/3 <= PCR(Tree) <= 5n/6 + 1/6 (Thms 4.8, 4.7)", ctx);
+  Rng rng = ctx.make_rng();
+
+  // --worker subprocesses exist only to serve the sweep in section [C];
+  // skip the exact/exhaustive sections so they reach serve() immediately.
+  if (!ctx.worker_mode) print_exact_sections(ctx, rng);
+
+  std::cout << "\n[C] Monte-Carlo sweep: R_Probe_Tree on hard samples vs "
+               "the exact evaluator\n    (sweep subsystem; --workers "
+               "shards the h rows, --target-sem stops each row\n    at "
+               "fixed precision, --checkpoint/--resume survives "
+               "interruption):\n";
   bench::JsonReport report("tree_randomized", ctx);
-  const EngineOptions options = ctx.engine_options();
-  for (std::size_t h : {2u, 4u}) {
-    const TreeSystem tree(h);
-    Rng sample_rng = rng.fork();
-    const Coloring hard = sample_tree_hard_coloring(tree, sample_rng);
+  sweep::SweepSpec spec("tree_randomized_mc", ctx.seed);
+  spec.add_block("tree", {2u, 4u, 6u, 8u}, {"R"});
+  const auto evaluate = [&ctx](const sweep::SweepPoint& point) {
+    const TreeSystem tree(point.size);
+    const Coloring hard = point_hard_coloring(tree, point);
     const RProbeTree strategy(tree);
-    const auto stats = expected_probes_on(tree, strategy, hard, options);
+    return expected_probes_on(tree, strategy, hard,
+                              ctx.engine_options_for(point));
+  };
+  const auto results = bench::run_sweep(ctx, spec, evaluate);
+  Table c({"h", "n", "trials", "measured", "sem", "exact", "agree"});
+  for (const auto& result : results) {
+    const std::size_t h = result.point.size;
+    const TreeSystem tree(h);
+    const Coloring hard = point_hard_coloring(tree, result.point);
     const double exact = r_probe_tree_expectation(tree, hard);
-    report.add_metric("hard_h" + std::to_string(h), stats.mean());
-    report.add_check("agree_h" + std::to_string(h),
-                     std::abs(stats.mean() - exact) <
-                         std::max(4 * stats.ci95_halfwidth(), 1e-9));
+    const bool agree =
+        std::abs(result.stats.mean() - exact) <
+        std::max(4 * result.stats.ci95_halfwidth(), 1e-9);
+    report.add_check("agree_h" + std::to_string(h), agree);
     c.add_row({Table::num(static_cast<long long>(h)),
-               Table::num(stats.mean(), 3), Table::num(exact, 3),
-               bench::holds(std::abs(stats.mean() - exact) <
-                            std::max(4 * stats.ci95_halfwidth(), 1e-9))});
+               Table::num(static_cast<long long>(tree.universe_size())),
+               Table::num(static_cast<long long>(result.stats.count())),
+               Table::num(result.stats.mean(), 3),
+               Table::num(result.stats.sem(), 4), Table::num(exact, 3),
+               bench::holds(agree)});
   }
   c.print(std::cout);
+  report.add_sweep("mc", results);
   report.write_if_requested();
   return 0;
 }

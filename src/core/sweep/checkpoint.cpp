@@ -1,0 +1,50 @@
+#include "core/sweep/checkpoint.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "core/sweep/wire.h"
+
+namespace qps::sweep {
+
+SweepCheckpoint::SweepCheckpoint(std::string path, std::string sweep_name,
+                                 std::uint64_t fingerprint, bool resume)
+    : path_(std::move(path)),
+      sweep_name_(std::move(sweep_name)),
+      fingerprint_(fingerprint) {
+  if (path_.empty()) return;
+  if (resume) {
+    std::ifstream in(path_);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      const auto result = decode_result(line);
+      if (!result || result->sweep != sweep_name_ ||
+          result->fingerprint != fingerprint_)
+        continue;
+      completed_[result->index] = result->stats;
+    }
+  }
+  // Always append: a bench may journal several sweeps into one file, so
+  // truncating a stale journal is the caller's one-time decision (see
+  // bench_common.h), not something to redo per sweep.
+  out_ = std::fopen(path_.c_str(), "ab");
+  if (!out_)
+    throw std::runtime_error("cannot open checkpoint file " + path_);
+}
+
+SweepCheckpoint::~SweepCheckpoint() {
+  if (out_) std::fclose(out_);
+}
+
+void SweepCheckpoint::record(const SweepPoint& point,
+                             const RunningStats& stats) {
+  if (!out_) return;
+  const std::string line =
+      encode_result(sweep_name_, fingerprint_, point, stats);
+  if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
+      std::fflush(out_) != 0)
+    throw std::runtime_error("failed writing checkpoint file " + path_);
+  completed_[point.index] = stats;
+}
+
+}  // namespace qps::sweep

@@ -1,0 +1,56 @@
+// Checkpoint/resume journal for sweeps.
+//
+// The runner appends one wire-format result line per completed point and
+// flushes after each, so a killed run loses at most its in-flight points.
+// On resume the journal is scanned and every line whose (sweep name,
+// fingerprint) matches the current spec seeds the result table; those
+// points are never re-evaluated.  Lines from other sweeps (a bench may
+// journal several into one file), from a spec run under different options
+// (fingerprint mismatch), or truncated by a kill are skipped silently --
+// the journal is an optimization, never an authority.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "core/sweep/sweep_spec.h"
+#include "util/stats.h"
+
+namespace qps::sweep {
+
+class SweepCheckpoint {
+ public:
+  /// An empty `path` disables journaling entirely.  With `resume` the
+  /// existing file (if any) is scanned for entries matching (sweep_name,
+  /// fingerprint) and then opened for append; without it the file is
+  /// opened for append without scanning, so a fresh run extends the
+  /// journal and a later --resume still sees every sweep's entries.
+  SweepCheckpoint(std::string path, std::string sweep_name,
+                  std::uint64_t fingerprint, bool resume);
+  ~SweepCheckpoint();
+
+  SweepCheckpoint(const SweepCheckpoint&) = delete;
+  SweepCheckpoint& operator=(const SweepCheckpoint&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Journaled results recovered on construction, keyed by point index.
+  const std::map<std::size_t, RunningStats>& completed() const {
+    return completed_;
+  }
+
+  /// Appends one completed point and flushes.  I/O errors throw
+  /// std::runtime_error: a silently lost journal would turn --resume into
+  /// silent recomputation.
+  void record(const SweepPoint& point, const RunningStats& stats);
+
+ private:
+  std::string path_;
+  std::string sweep_name_;
+  std::uint64_t fingerprint_;
+  std::map<std::size_t, RunningStats> completed_;
+  std::FILE* out_ = nullptr;
+};
+
+}  // namespace qps::sweep

@@ -1,0 +1,61 @@
+#include "core/sweep/sweep_report.h"
+
+#include <ostream>
+
+#include "util/json.h"
+#include "util/table.h"
+
+namespace qps::sweep {
+
+SweepReport::SweepReport(std::string sweep_name,
+                         std::vector<PointResult> results)
+    : sweep_name_(std::move(sweep_name)), results_(std::move(results)) {}
+
+const PointResult* SweepReport::find(const std::string& id) const {
+  for (const PointResult& result : results_)
+    if (result.point.id == id) return &result;
+  return nullptr;
+}
+
+void SweepReport::print(std::ostream& os, int precision) const {
+  Table table({"point", "trials", "mean", "sem", "min", "max"});
+  for (const PointResult& result : results_) {
+    table.add_row(
+        {result.point.id,
+         Table::num(static_cast<long long>(result.stats.count())),
+         Table::num(result.stats.mean(), precision),
+         Table::num(result.stats.sem(), precision),
+         Table::num(result.stats.min(), precision),
+         Table::num(result.stats.max(), precision)});
+  }
+  table.print(os);
+}
+
+void SweepReport::write_json(std::ostream& os) const {
+  os << "{\n  \"sweep\": " << json_quote(sweep_name_)
+     << ",\n  \"points\": [";
+  for (std::size_t i = 0; i < results_.size(); ++i) {
+    const PointResult& result = results_[i];
+    os << (i ? "," : "") << "\n    {\"id\": " << json_quote(result.point.id)
+       << ", \"family\": " << json_quote(result.point.family)
+       << ", \"size\": " << result.point.size;
+    if (!result.point.strategy.empty())
+      os << ", \"strategy\": " << json_quote(result.point.strategy);
+    if (result.point.has_p) os << ", \"p\": " << json_number(result.point.p);
+    os << ", \"count\": " << result.stats.count()
+       << ", \"mean\": " << json_number(result.stats.mean())
+       << ", \"sem\": " << json_number(result.stats.sem())
+       << ", \"min\": " << json_number(result.stats.min())
+       << ", \"max\": " << json_number(result.stats.max()) << "}";
+  }
+  os << (results_.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+std::size_t SweepReport::checkpointed_count() const {
+  std::size_t count = 0;
+  for (const PointResult& result : results_)
+    if (result.from_checkpoint) ++count;
+  return count;
+}
+
+}  // namespace qps::sweep

@@ -1,0 +1,46 @@
+// Rendering of aggregated sweep results.
+//
+// A SweepReport holds the in-order PointResults of one sweep and renders
+// the two output shapes the harnesses already use: the aligned ASCII table
+// (util/table.h) and a machine-readable JSON array.  Both are emitted in
+// point-index order from round-trip-exact values, so the bytes are
+// identical for any worker count and for fresh-vs-resumed runs (the
+// from_checkpoint provenance bit is deliberately excluded from both
+// renderings for that reason).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/sweep/sweep_runner.h"
+
+namespace qps::sweep {
+
+class SweepReport {
+ public:
+  SweepReport(std::string sweep_name, std::vector<PointResult> results);
+
+  const std::vector<PointResult>& results() const { return results_; }
+
+  /// The result for a point id; nullptr when absent.
+  const PointResult* find(const std::string& id) const;
+
+  /// Aligned table: id | trials | mean | sem | min | max.  `precision`
+  /// controls the digits of the three value columns.
+  void print(std::ostream& os, int precision = 4) const;
+
+  /// JSON array of per-point objects with coordinates and moments; doubles
+  /// written round-trip-exact (util/json.h).
+  void write_json(std::ostream& os) const;
+
+  /// How many results were recovered from a checkpoint journal rather
+  /// than computed (diagnostic only; not part of any rendering).
+  std::size_t checkpointed_count() const;
+
+ private:
+  std::string sweep_name_;
+  std::vector<PointResult> results_;
+};
+
+}  // namespace qps::sweep

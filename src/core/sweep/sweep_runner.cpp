@@ -1,0 +1,321 @@
+#include "core/sweep/sweep_runner.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <iostream>
+
+#include "core/sweep/checkpoint.h"
+#include "core/sweep/wire.h"
+#include "util/require.h"
+
+namespace qps::sweep {
+
+namespace {
+
+/// Writes the whole buffer, retrying on EINTR; false on any other error
+/// (e.g. EPIPE from a dead worker).
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One spawned worker subprocess and its two pipe ends.
+struct WorkerProc {
+  pid_t pid = -1;
+  int request_fd = -1;  ///< Parent writes request lines here (worker stdin).
+  int result_fd = -1;   ///< Parent reads result lines here (worker fd 3).
+  std::string buffer;   ///< Partial result line accumulator.
+  bool busy = false;
+  std::size_t in_flight = 0;
+};
+
+void close_worker_fds(WorkerProc& worker) {
+  if (worker.request_fd >= 0) ::close(worker.request_fd);
+  if (worker.result_fd >= 0) ::close(worker.result_fd);
+  worker.request_fd = worker.result_fd = -1;
+}
+
+void reap_worker(WorkerProc& worker) {
+  close_worker_fds(worker);
+  if (worker.pid > 0) {
+    int status = 0;
+    ::waitpid(worker.pid, &status, 0);
+    worker.pid = -1;
+  }
+}
+
+/// fork/execs `command` with stdin and fd 3 wired to fresh pipes and
+/// stdout discarded; returns the worker handle or pid -1 on failure.
+WorkerProc spawn_worker(const std::vector<std::string>& command) {
+  WorkerProc worker;
+  int request_pipe[2] = {-1, -1};
+  int result_pipe[2] = {-1, -1};
+  if (::pipe(request_pipe) != 0) return worker;
+  if (::pipe(result_pipe) != 0) {
+    ::close(request_pipe[0]);
+    ::close(request_pipe[1]);
+    return worker;
+  }
+  // The parent-side ends must not leak into later workers' exec images:
+  // a sibling holding a copy of this worker's request pipe would keep it
+  // from ever seeing EOF at shutdown.
+  ::fcntl(request_pipe[1], F_SETFD, FD_CLOEXEC);
+  ::fcntl(result_pipe[0], F_SETFD, FD_CLOEXEC);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(request_pipe[0]);
+    ::close(request_pipe[1]);
+    ::close(result_pipe[0]);
+    ::close(result_pipe[1]);
+    return worker;
+  }
+
+  if (pid == 0) {
+    // Child: requests on stdin, results on fd 3, stdout to /dev/null so
+    // harness printing cannot corrupt the protocol.  pipe() fds are >= 3,
+    // so the dup2 targets never collide with a source before its dup2.
+    ::dup2(request_pipe[0], STDIN_FILENO);
+    ::dup2(result_pipe[1], 3);
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, STDOUT_FILENO);
+      if (devnull != STDOUT_FILENO) ::close(devnull);
+    }
+    for (const int fd : {request_pipe[0], request_pipe[1], result_pipe[0],
+                         result_pipe[1]})
+      if (fd != STDIN_FILENO && fd != 3) ::close(fd);
+
+    std::vector<char*> argv;
+    argv.reserve(command.size() + 1);
+    for (const std::string& arg : command)
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    ::_exit(127);
+  }
+
+  ::close(request_pipe[0]);
+  ::close(result_pipe[1]);
+  worker.pid = pid;
+  worker.request_fd = request_pipe[1];
+  worker.result_fd = result_pipe[0];
+  return worker;
+}
+
+/// Restores the previous SIGPIPE disposition on scope exit; a worker dying
+/// between poll() and our write must surface as EPIPE, not kill the run.
+class ScopedSigpipeIgnore {
+ public:
+  ScopedSigpipeIgnore() { previous_ = ::signal(SIGPIPE, SIG_IGN); }
+  ~ScopedSigpipeIgnore() { ::signal(SIGPIPE, previous_); }
+
+ private:
+  void (*previous_)(int);
+};
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepSpec spec, SweepOptions options)
+    : spec_(std::move(spec)), options_(std::move(options)) {
+  QPS_REQUIRE(options_.workers == 0 || !options_.worker_command.empty(),
+              "sharded execution needs a worker command");
+}
+
+std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
+  QPS_REQUIRE(static_cast<bool>(eval), "run() needs a point evaluator");
+  const std::vector<SweepPoint> points = spec_.expand();
+  SweepCheckpoint checkpoint(options_.checkpoint_path, spec_.name(),
+                             spec_.fingerprint(), options_.resume);
+
+  std::vector<PointResult> results(points.size());
+  std::vector<char> have(points.size(), 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    results[i].point = points[i];
+    const auto it = checkpoint.completed().find(i);
+    if (it != checkpoint.completed().end()) {
+      results[i].stats = it->second;
+      results[i].from_checkpoint = true;
+      have[i] = 1;
+    }
+  }
+
+  if (options_.workers > 0)
+    run_sharded(points, have, results, checkpoint);
+
+  // In-process path, doubling as the fallback when every worker died:
+  // evaluate whatever is still missing, in index order.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (have[i]) continue;
+    results[i].stats = eval(points[i]);
+    have[i] = 1;
+    checkpoint.record(points[i], results[i].stats);
+  }
+  return results;
+}
+
+void SweepRunner::run_sharded(const std::vector<SweepPoint>& points,
+                              std::vector<char>& have,
+                              std::vector<PointResult>& results,
+                              SweepCheckpoint& checkpoint) const {
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    if (!have[i]) pending.push_back(i);
+  if (pending.empty()) return;
+
+  ScopedSigpipeIgnore sigpipe_guard;
+  const std::uint64_t fingerprint = spec_.fingerprint();
+
+  std::vector<WorkerProc> workers;
+  const std::size_t worker_count =
+      options_.workers < pending.size() ? options_.workers : pending.size();
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    WorkerProc worker = spawn_worker(options_.worker_command);
+    if (worker.pid > 0) workers.push_back(worker);
+  }
+
+  // A worker failure forfeits only its in-flight point: push it back to the
+  // head of the queue (preserving index order among the waiting points) and
+  // drop the worker.
+  const auto fail_worker = [&](WorkerProc& worker) {
+    if (worker.busy) {
+      pending.push_front(worker.in_flight);
+      worker.busy = false;
+    }
+    if (worker.pid > 0) ::kill(worker.pid, SIGKILL);
+    reap_worker(worker);
+  };
+
+  std::size_t outstanding = pending.size();
+  while (outstanding > 0 && !workers.empty()) {
+    // Dispatch: hand every idle worker its next point.
+    for (std::size_t w = 0; w < workers.size();) {
+      WorkerProc& worker = workers[w];
+      if (worker.busy || pending.empty()) {
+        ++w;
+        continue;
+      }
+      const std::size_t index = pending.front();
+      pending.pop_front();
+      const std::string request = encode_request(index);
+      if (!write_all(worker.request_fd, request.data(), request.size())) {
+        pending.push_front(index);
+        fail_worker(worker);
+        workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(w));
+        continue;
+      }
+      worker.busy = true;
+      worker.in_flight = index;
+      ++w;
+    }
+    if (workers.empty()) break;
+
+    std::vector<pollfd> fds;
+    fds.reserve(workers.size());
+    for (const WorkerProc& worker : workers)
+      fds.push_back({worker.result_fd, POLLIN, 0});
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable poll failure: fall back to in-process
+    }
+
+    for (std::size_t w = 0; w < workers.size();) {
+      WorkerProc& worker = workers[w];
+      if ((fds[w].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        ++w;
+        continue;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(worker.result_fd, chunk, sizeof chunk);
+      bool failed = n <= 0 && !(n < 0 && errno == EINTR);
+      if (n > 0) {
+        worker.buffer.append(chunk, static_cast<std::size_t>(n));
+        std::size_t newline;
+        while (!failed &&
+               (newline = worker.buffer.find('\n')) != std::string::npos) {
+          const std::string line = worker.buffer.substr(0, newline);
+          worker.buffer.erase(0, newline + 1);
+          const auto result = decode_result(line);
+          if (!result || result->sweep != spec_.name() ||
+              result->fingerprint != fingerprint || !worker.busy ||
+              result->index != worker.in_flight ||
+              result->id != points[result->index].id) {
+            // Protocol violation: the worker is not running our spec (or
+            // is corrupt).  Treat like a crash.
+            failed = true;
+            break;
+          }
+          results[result->index].stats = result->stats;
+          results[result->index].from_checkpoint = false;
+          have[result->index] = 1;
+          checkpoint.record(points[result->index], result->stats);
+          worker.busy = false;
+          --outstanding;
+        }
+      }
+      if (failed) {
+        fail_worker(worker);
+        // Resize the poll mirror too so indices keep lining up.
+        fds.erase(fds.begin() + static_cast<std::ptrdiff_t>(w));
+        workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(w));
+        continue;
+      }
+      ++w;
+    }
+  }
+
+  if (outstanding > 0 && workers.empty())
+    std::cerr << "sweep " << spec_.name() << ": all workers died; running "
+              << outstanding << " remaining point(s) in-process\n";
+
+  // Clean shutdown: closing the request pipe EOFs each worker's serve()
+  // loop, which exits 0.
+  for (WorkerProc& worker : workers) reap_worker(worker);
+}
+
+int SweepRunner::serve(const SweepSpec& spec, const PointEvaluator& eval,
+                       int in_fd, int out_fd) {
+  QPS_REQUIRE(static_cast<bool>(eval), "serve() needs a point evaluator");
+  const std::vector<SweepPoint> points = spec.expand();
+  const std::uint64_t fingerprint = spec.fingerprint();
+
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(in_fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return 1;
+    }
+    if (n == 0) return 0;  // runner closed the pipe: we are done
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      const auto index = decode_request(line);
+      if (!index || *index >= points.size()) return 1;
+      const RunningStats stats = eval(points[*index]);
+      const std::string reply =
+          encode_result(spec.name(), fingerprint, points[*index], stats);
+      if (!write_all(out_fd, reply.data(), reply.size())) return 1;
+    }
+  }
+}
+
+}  // namespace qps::sweep

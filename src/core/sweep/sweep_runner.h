@@ -1,0 +1,90 @@
+// Sweep execution: in-process, or sharded across worker subprocesses.
+//
+// A SweepRunner executes every point of a SweepSpec through a caller-
+// supplied PointEvaluator and returns the results in point-index order.
+// Three execution paths, one output contract:
+//
+//  * workers == 0: each point is evaluated in the calling process, in
+//    index order.
+//  * workers >= 1: the runner fork/execs `worker_command` (normally the
+//    same binary re-invoked in --worker mode) once per worker.  Points are
+//    handed out dynamically -- a worker gets its next point the moment it
+//    finishes the previous one, so a slow high-n point never stalls the
+//    rest of the grid (work stealing by construction).  Requests travel to
+//    a worker's stdin and results come back on worker fd 3 as
+//    line-delimited JSON (core/sweep/wire.h); worker stdout is discarded
+//    so harness chatter cannot corrupt the protocol.
+//  * Failure containment: a worker that crashes (or emits a malformed or
+//    mismatched line) forfeits only its in-flight point, which is re-queued
+//    for the surviving workers.  If every worker dies, the remaining points
+//    run in-process in the parent.
+//
+// Because every point's result is a pure function of the spec (derived
+// seeds) and the evaluator, and aggregation is by point index, the
+// returned results -- and anything rendered from them -- are byte-identical
+// for any worker count, and for any interrupt/resume split when a
+// checkpoint journal is in use.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/sweep/sweep_spec.h"
+#include "util/stats.h"
+
+namespace qps::sweep {
+
+/// Evaluates one sweep point.  Must be a pure function of the point (use
+/// point.seed for all randomness) so that every process computes identical
+/// results; exact evaluations return a single-sample accumulator.
+using PointEvaluator = std::function<RunningStats(const SweepPoint&)>;
+
+struct SweepOptions {
+  /// Worker subprocesses; 0 runs every point in-process.
+  std::size_t workers = 0;
+  /// argv for worker subprocesses (argv[0] is the executable); required
+  /// when workers >= 1.  The command must re-enter serve() for this spec.
+  std::vector<std::string> worker_command;
+  /// Checkpoint journal path; empty disables journaling.
+  std::string checkpoint_path;
+  /// Load journaled results for this spec and skip those points.
+  bool resume = false;
+};
+
+struct PointResult {
+  SweepPoint point;
+  RunningStats stats;
+  /// True when the result was recovered from the journal, not computed.
+  bool from_checkpoint = false;
+};
+
+class SweepRunner {
+ public:
+  SweepRunner(SweepSpec spec, SweepOptions options);
+
+  /// Executes the sweep and returns one result per point, in index order.
+  std::vector<PointResult> run(const PointEvaluator& eval) const;
+
+  /// Worker-mode loop: reads request lines from `in_fd`, evaluates the
+  /// requested points of `spec`, writes result lines to `out_fd`; returns
+  /// the process exit code (0 on clean EOF).  The conventional fds when
+  /// spawned by run() are in_fd = 0 and out_fd = 3.
+  static int serve(const SweepSpec& spec, const PointEvaluator& eval,
+                   int in_fd, int out_fd);
+
+  const SweepSpec& spec() const { return spec_; }
+
+ private:
+  /// Runs the worker-pool path, depositing whatever the workers complete
+  /// into `results`/`have`; points still missing afterwards fall back to
+  /// the in-process path in run().
+  void run_sharded(const std::vector<SweepPoint>& points,
+                   std::vector<char>& have, std::vector<PointResult>& results,
+                   class SweepCheckpoint& checkpoint) const;
+
+  SweepSpec spec_;
+  SweepOptions options_;
+};
+
+}  // namespace qps::sweep

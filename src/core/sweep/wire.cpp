@@ -1,0 +1,85 @@
+#include "core/sweep/wire.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <exception>
+
+#include "util/json.h"
+
+namespace qps::sweep {
+
+namespace {
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+std::optional<std::uint64_t> parse_hex_u64(const std::string& s) {
+  if (s.empty() || s.size() > 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9')
+      v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else
+      return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string encode_request(std::size_t index) {
+  return "{\"point\": " + std::to_string(index) + "}\n";
+}
+
+std::optional<std::size_t> decode_request(std::string_view line) {
+  try {
+    const JsonValue v = JsonValue::parse(line);
+    return static_cast<std::size_t>(v.at("point").as_uint64());
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::string encode_result(const std::string& sweep_name,
+                          std::uint64_t fingerprint, const SweepPoint& point,
+                          const RunningStats& stats) {
+  const double m2 = stats.sum_squared_deviations();
+  std::string line = "{\"sweep\": " + json_quote(sweep_name) +
+                     ", \"fp\": " + json_quote(hex_u64(fingerprint)) +
+                     ", \"point\": " + std::to_string(point.index) +
+                     ", \"id\": " + json_quote(point.id) +
+                     ", \"count\": " + std::to_string(stats.count()) +
+                     ", \"mean\": " + json_number(stats.mean()) +
+                     ", \"m2\": " + json_number(m2) +
+                     ", \"min\": " + json_number(stats.min()) +
+                     ", \"max\": " + json_number(stats.max()) + "}\n";
+  return line;
+}
+
+std::optional<WireResult> decode_result(std::string_view line) {
+  try {
+    const JsonValue v = JsonValue::parse(line);
+    WireResult result;
+    result.sweep = v.at("sweep").as_string();
+    const auto fp = parse_hex_u64(v.at("fp").as_string());
+    if (!fp) return std::nullopt;
+    result.fingerprint = *fp;
+    result.index = static_cast<std::size_t>(v.at("point").as_uint64());
+    result.id = v.at("id").as_string();
+    result.stats = RunningStats::from_moments(
+        static_cast<std::size_t>(v.at("count").as_uint64()),
+        v.at("mean").as_double(), v.at("m2").as_double(),
+        v.at("min").as_double(), v.at("max").as_double());
+    return result;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace qps::sweep

@@ -1,0 +1,51 @@
+// Line-delimited JSON wire format shared by the worker protocol and the
+// checkpoint journal.
+//
+// One line, one message.  Requests (runner -> worker) carry a point index;
+// results (worker -> runner, and journal entries) carry the sweep name, the
+// spec fingerprint, the point's index and id, and the five raw moments of
+// its RunningStats.  Doubles are printed with max_digits10 and non-finite
+// values as their string encodings (util/json.h), so a result that crosses
+// a pipe or a restart reconstructs bit-for-bit -- the aggregated output of
+// a sharded or resumed sweep is byte-identical to an in-process run.
+//
+// decode_result() returns std::nullopt on any malformed line instead of
+// throwing: a worker killed mid-write leaves a truncated final line in the
+// journal, and resume must skip it, not abort.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/sweep/sweep_spec.h"
+#include "util/stats.h"
+
+namespace qps::sweep {
+
+/// A decoded result line.
+struct WireResult {
+  std::string sweep;
+  std::uint64_t fingerprint = 0;
+  std::size_t index = 0;
+  std::string id;
+  RunningStats stats;
+};
+
+/// Request line asking a worker for point `index` (newline included).
+std::string encode_request(std::size_t index);
+
+/// Parses a request line; nullopt when malformed.
+std::optional<std::size_t> decode_request(std::string_view line);
+
+/// Result line for `point` of the sweep identified by (name, fingerprint)
+/// (newline included).
+std::string encode_result(const std::string& sweep_name,
+                          std::uint64_t fingerprint, const SweepPoint& point,
+                          const RunningStats& stats);
+
+/// Parses a result line; nullopt when malformed or truncated.
+std::optional<WireResult> decode_result(std::string_view line);
+
+}  // namespace qps::sweep

@@ -36,6 +36,21 @@ void RunningStats::merge(const RunningStats& other) {
   count_ += other.count_;
 }
 
+RunningStats RunningStats::from_moments(std::size_t count, double mean,
+                                        double m2, double min, double max) {
+  QPS_REQUIRE(count > 0 || (mean == 0.0 && m2 == 0.0),
+              "an empty accumulator has zero moments");
+  QPS_REQUIRE(m2 >= 0.0 || std::isnan(m2),
+              "sum of squared deviations cannot be negative");
+  RunningStats stats;
+  stats.count_ = count;
+  stats.mean_ = mean;
+  stats.m2_ = m2;
+  stats.min_ = min;
+  stats.max_ = max;
+  return stats;
+}
+
 double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
 
 double RunningStats::variance() const {

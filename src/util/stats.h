@@ -19,6 +19,13 @@ class RunningStats {
   /// parallel estimation engine reduces per-batch accumulators with this.
   void merge(const RunningStats& other);
 
+  /// Reconstructs an accumulator from its five raw moments, exactly as
+  /// saved by count()/mean()/sum_squared_deviations()/min()/max().  The
+  /// sweep subsystem uses this to move results across process boundaries
+  /// (worker protocol, checkpoint journal) without losing a bit.
+  static RunningStats from_moments(std::size_t count, double mean, double m2,
+                                   double min, double max);
+
   std::size_t count() const { return count_; }
   double mean() const;
   /// Unbiased sample variance; 0 for fewer than two samples.
@@ -30,6 +37,9 @@ class RunningStats {
   double ci95_halfwidth() const;
   double min() const { return min_; }
   double max() const { return max_; }
+  /// Raw sum of squared deviations (the M2 term of Welford's recurrence);
+  /// together with count/mean/min/max it round-trips the accumulator.
+  double sum_squared_deviations() const { return m2_; }
 
  private:
   std::size_t count_ = 0;

@@ -1,0 +1,361 @@
+// Sweep subsystem tests: spec expansion and seed derivation, wire/journal
+// round-trips, worker-count invariance, crashed-worker recovery, and
+// checkpoint/resume.
+//
+// The sharded tests re-exec this binary as the worker process (the same
+// trick the bench harnesses use with --worker): main() below intercepts
+// --sweep-test-worker MODE before GoogleTest sees argv and enters
+// SweepRunner::serve() on the protocol fds.
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep/checkpoint.h"
+#include "core/sweep/sweep_report.h"
+#include "core/sweep/sweep_runner.h"
+#include "core/sweep/sweep_spec.h"
+#include "core/sweep/wire.h"
+#include "util/rng.h"
+
+namespace qps::sweep {
+namespace {
+
+/// The grid the parent tests and the re-exec'ed workers must agree on.
+SweepSpec make_grid_spec() {
+  SweepSpec spec("sweep_test_grid", 77);
+  spec.add_block("alpha", {3, 5}, {"R", "IR"});
+  spec.add_block("beta", {10});
+  spec.set_ps({0.25, 0.5});
+  return spec;
+}
+
+/// Deterministic pure function of the point: what every process computes.
+RunningStats eval_point(const SweepPoint& point) {
+  Rng rng = Rng::for_stream(point.seed, 999);
+  RunningStats stats;
+  for (int i = 0; i < 257; ++i)
+    stats.add(rng.uniform01() * (1.0 + point.p) +
+              static_cast<double>(point.size));
+  return stats;
+}
+
+std::vector<std::string> self_worker_command(const std::string& mode) {
+  return {"/proc/self/exe", "--sweep-test-worker", mode};
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "qps_sweep_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+void expect_same_results(const std::vector<PointResult>& a,
+                         const std::vector<PointResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].point.id, b[i].point.id);
+    EXPECT_EQ(a[i].stats.count(), b[i].stats.count()) << a[i].point.id;
+    EXPECT_EQ(a[i].stats.mean(), b[i].stats.mean()) << a[i].point.id;
+    EXPECT_EQ(a[i].stats.sum_squared_deviations(),
+              b[i].stats.sum_squared_deviations())
+        << a[i].point.id;
+    EXPECT_EQ(a[i].stats.min(), b[i].stats.min()) << a[i].point.id;
+    EXPECT_EQ(a[i].stats.max(), b[i].stats.max()) << a[i].point.id;
+  }
+}
+
+TEST(SweepSpec, ExpandsBlocksTimesStrategiesTimesPs) {
+  const auto points = make_grid_spec().expand();
+  // alpha: 2 sizes x 2 strategies x 2 ps = 8; beta: 1 x 1 x 2 = 2.
+  ASSERT_EQ(points.size(), 10u);
+  EXPECT_EQ(make_grid_spec().point_count(), 10u);
+  for (std::size_t i = 0; i < points.size(); ++i)
+    EXPECT_EQ(points[i].index, i);
+  EXPECT_EQ(points[0].id, "family=alpha/size=3/strategy=R/p=0.25");
+  EXPECT_EQ(points[1].id, "family=alpha/size=3/strategy=R/p=0.5");
+  EXPECT_EQ(points[8].id, "family=beta/size=10/p=0.25");
+  EXPECT_TRUE(points[8].strategy.empty());
+}
+
+TEST(SweepSpec, IdsAreCoordinateDerivedNotPositionDerived) {
+  EXPECT_EQ(SweepSpec::point_id("tree", 4, "R", true, 0.5),
+            "family=tree/size=4/strategy=R/p=0.5");
+  EXPECT_EQ(SweepSpec::point_id("tree", 4, "", false, 0.0),
+            "family=tree/size=4");
+}
+
+TEST(SweepSpec, SeedsShareThePAxisAndDecorrelateEverythingElse) {
+  const auto points = make_grid_spec().expand();
+  // Points 0 and 1 differ only in p: common random numbers, same seed.
+  EXPECT_EQ(points[0].seed, points[1].seed);
+  // Different strategy, size or family: decorrelated.
+  EXPECT_NE(points[0].seed, points[2].seed);  // strategy R vs IR
+  EXPECT_NE(points[0].seed, points[4].seed);  // size 3 vs 5
+  EXPECT_NE(points[0].seed, points[8].seed);  // family alpha vs beta
+  // And the derivation is a pure function of (base seed, coordinates).
+  EXPECT_EQ(points[0].seed, SweepSpec::derive_seed(77, "alpha", 3, "R"));
+  EXPECT_NE(SweepSpec::derive_seed(78, "alpha", 3, "R"), points[0].seed);
+}
+
+TEST(SweepSpec, FingerprintCoversIdentityAndConfig) {
+  const std::uint64_t base = make_grid_spec().fingerprint();
+  EXPECT_EQ(make_grid_spec().fingerprint(), base);
+
+  SweepSpec renamed("sweep_test_grid2", 77);
+  renamed.add_block("alpha", {3, 5}, {"R", "IR"});
+  EXPECT_NE(renamed.fingerprint(), base);
+
+  SweepSpec reseeded = make_grid_spec();
+  EXPECT_NE(SweepSpec("sweep_test_grid", 78).fingerprint(), base);
+
+  SweepSpec tagged = make_grid_spec();
+  tagged.set_config_tag("trials=1000");
+  EXPECT_NE(tagged.fingerprint(), base);
+}
+
+TEST(SweepWire, ResultLinesRoundTripExactly) {
+  const auto points = make_grid_spec().expand();
+  const RunningStats stats = eval_point(points[3]);
+  const std::string line =
+      encode_result("sweep_test_grid", 0xabcdef, points[3], stats);
+  const auto decoded = decode_result(line);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->sweep, "sweep_test_grid");
+  EXPECT_EQ(decoded->fingerprint, 0xabcdefu);
+  EXPECT_EQ(decoded->index, 3u);
+  EXPECT_EQ(decoded->id, points[3].id);
+  EXPECT_EQ(decoded->stats.count(), stats.count());
+  EXPECT_EQ(decoded->stats.mean(), stats.mean());
+  EXPECT_EQ(decoded->stats.sum_squared_deviations(),
+            stats.sum_squared_deviations());
+  EXPECT_EQ(decoded->stats.min(), stats.min());
+  EXPECT_EQ(decoded->stats.max(), stats.max());
+}
+
+TEST(SweepWire, NonFiniteMomentsSurvive) {
+  SweepPoint point;
+  point.index = 0;
+  point.id = "family=x/size=1";
+  const RunningStats stats = RunningStats::from_moments(
+      2, std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(), 1.0,
+      std::numeric_limits<double>::infinity());
+  const auto decoded = decode_result(encode_result("s", 1, point, stats));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::isinf(decoded->stats.mean()));
+  EXPECT_TRUE(std::isnan(decoded->stats.sum_squared_deviations()));
+}
+
+TEST(SweepWire, MalformedAndTruncatedLinesAreRejectedNotFatal) {
+  EXPECT_FALSE(decode_result("").has_value());
+  EXPECT_FALSE(decode_result("not json").has_value());
+  EXPECT_FALSE(decode_result("{\"sweep\": \"s\"}").has_value());
+  const auto points = make_grid_spec().expand();
+  const std::string line =
+      encode_result("s", 1, points[0], eval_point(points[0]));
+  EXPECT_FALSE(decode_result(line.substr(0, line.size() / 2)).has_value());
+  EXPECT_TRUE(decode_result(line).has_value());
+
+  EXPECT_FALSE(decode_request("{\"nope\": 1}").has_value());
+  EXPECT_EQ(decode_request(encode_request(7)).value(), 7u);
+}
+
+TEST(SweepRunner, InProcessRunEvaluatesEveryPointInOrder) {
+  std::vector<std::string> seen;
+  const auto results = SweepRunner(make_grid_spec(), SweepOptions{})
+                           .run([&](const SweepPoint& p) {
+                             seen.push_back(p.id);
+                             return eval_point(p);
+                           });
+  ASSERT_EQ(results.size(), 10u);
+  ASSERT_EQ(seen.size(), 10u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(seen[i], results[i].point.id);
+    EXPECT_FALSE(results[i].from_checkpoint);
+    EXPECT_EQ(results[i].stats.mean(), eval_point(results[i].point).mean());
+  }
+}
+
+TEST(SweepRunner, WorkerCountsZeroOneAndFourAgreeBitForBit) {
+  const auto baseline =
+      SweepRunner(make_grid_spec(), SweepOptions{}).run(eval_point);
+  for (const std::size_t workers : {1u, 4u}) {
+    SweepOptions options;
+    options.workers = workers;
+    options.worker_command = self_worker_command("grid");
+    const auto sharded =
+        SweepRunner(make_grid_spec(), options).run(eval_point);
+    expect_same_results(baseline, sharded);
+  }
+}
+
+TEST(SweepRunner, CrashedWorkerForfeitsOnlyItsInFlightPoint) {
+  // "crash" workers _exit(9) on point index 2: the first worker to draw it
+  // dies, the point is re-queued, kills the second worker too, and the
+  // runner finishes the remainder in-process.  The aggregated results must
+  // be indistinguishable from a healthy run.
+  const auto baseline =
+      SweepRunner(make_grid_spec(), SweepOptions{}).run(eval_point);
+  SweepOptions options;
+  options.workers = 2;
+  options.worker_command = self_worker_command("crash");
+  const auto recovered = SweepRunner(make_grid_spec(), options).run(eval_point);
+  expect_same_results(baseline, recovered);
+}
+
+TEST(SweepRunner, ForeignWorkersAreContainedByTheFingerprintCheck) {
+  // Workers serving a spec with a different config tag answer with a
+  // mismatched fingerprint; the runner must drop them and fall back.
+  SweepSpec tagged = make_grid_spec();
+  tagged.set_config_tag("different-context");
+  SweepOptions options;
+  options.workers = 2;
+  options.worker_command = self_worker_command("grid");
+  const auto results = SweepRunner(tagged, options).run(eval_point);
+  const auto baseline =
+      SweepRunner(make_grid_spec(), SweepOptions{}).run(eval_point);
+  expect_same_results(baseline, results);
+}
+
+TEST(SweepCheckpoint, ResumeSkipsJournaledPointsExactly) {
+  const std::string path = temp_path("resume.jsonl");
+  std::remove(path.c_str());
+
+  std::atomic<int> calls{0};
+  const auto counting_eval = [&](const SweepPoint& p) {
+    ++calls;
+    return eval_point(p);
+  };
+
+  SweepOptions first;
+  first.checkpoint_path = path;
+  const auto full = SweepRunner(make_grid_spec(), first).run(counting_eval);
+  EXPECT_EQ(calls.load(), 10);
+
+  // Truncate the journal to its first four lines: an interrupted run.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 10u);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    for (std::size_t i = 0; i < 4; ++i) out << lines[i] << "\n";
+  }
+
+  calls = 0;
+  SweepOptions second;
+  second.checkpoint_path = path;
+  second.resume = true;
+  const auto resumed = SweepRunner(make_grid_spec(), second).run(counting_eval);
+  EXPECT_EQ(calls.load(), 6);  // only the six non-journaled points
+  expect_same_results(full, resumed);
+  for (std::size_t i = 0; i < resumed.size(); ++i)
+    EXPECT_EQ(resumed[i].from_checkpoint, i < 4) << i;
+
+  // A second resume re-runs nothing at all.
+  calls = 0;
+  const auto third = SweepRunner(make_grid_spec(), second).run(counting_eval);
+  EXPECT_EQ(calls.load(), 0);
+  expect_same_results(full, third);
+  std::remove(path.c_str());
+}
+
+TEST(SweepCheckpoint, MismatchedFingerprintsAndGarbageLinesAreIgnored) {
+  const std::string path = temp_path("mismatch.jsonl");
+  std::remove(path.c_str());
+  {
+    SweepOptions options;
+    options.checkpoint_path = path;
+    SweepRunner(make_grid_spec(), options).run(eval_point);
+  }
+  // Append garbage and a truncated line, as a SIGKILL mid-write would.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "not json at all\n{\"sweep\": \"sweep_test_grid\", \"fp\"";
+  }
+  // Same journal, different config: nothing may be revived.
+  SweepSpec tagged = make_grid_spec();
+  tagged.set_config_tag("other-budget");
+  std::atomic<int> calls{0};
+  SweepOptions resume_options;
+  resume_options.checkpoint_path = path;
+  resume_options.resume = true;
+  SweepRunner(tagged, resume_options).run([&](const SweepPoint& p) {
+    ++calls;
+    return eval_point(p);
+  });
+  EXPECT_EQ(calls.load(), 10);
+
+  // Matching spec: all ten revived despite the garbage suffix.
+  calls = 0;
+  SweepRunner(make_grid_spec(), resume_options).run([&](const SweepPoint& p) {
+    ++calls;
+    return eval_point(p);
+  });
+  EXPECT_EQ(calls.load(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(SweepReport, RendersInPointOrderAndFindsById) {
+  const auto results =
+      SweepRunner(make_grid_spec(), SweepOptions{}).run(eval_point);
+  const SweepReport report("sweep_test_grid", results);
+  EXPECT_EQ(report.checkpointed_count(), 0u);
+  const auto* found = report.find("family=beta/size=10/p=0.5");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->point.index, 9u);
+  EXPECT_EQ(report.find("family=nope/size=1"), nullptr);
+
+  std::ostringstream json;
+  report.write_json(json);
+  std::ostringstream table;
+  report.print(table);
+  // Both renderings list every point, in order.
+  std::size_t last = 0;
+  for (const auto& result : results) {
+    const std::size_t at = json.str().find("\"" + result.point.id + "\"");
+    ASSERT_NE(at, std::string::npos) << result.point.id;
+    EXPECT_GE(at, last);
+    last = at;
+    EXPECT_NE(table.str().find(result.point.id), std::string::npos);
+  }
+}
+
+}  // namespace
+
+/// Worker-mode entry, reached from main() below in re-exec'ed copies of
+/// this binary.
+int run_test_worker(const std::string& mode) {
+  const SweepSpec spec = make_grid_spec();
+  if (mode == "grid") return SweepRunner::serve(spec, eval_point, 0, 3);
+  if (mode == "crash") {
+    return SweepRunner::serve(
+        spec,
+        [](const SweepPoint& point) {
+          if (point.index == 2) ::_exit(9);
+          return eval_point(point);
+        },
+        0, 3);
+  }
+  return 2;
+}
+
+}  // namespace qps::sweep
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::string(argv[1]) == "--sweep-test-worker")
+    return qps::sweep::run_test_worker(argv[2]);
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
