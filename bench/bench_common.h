@@ -14,8 +14,10 @@
 // (core/sweep/): --workers K shards the grid across K subprocesses (this
 // same binary re-exec'ed in --worker mode; results are byte-identical for
 // any K, including the K=0 in-process path), --checkpoint FILE journals
-// every completed point, and --resume skips journaled points after an
-// interrupted run.  run_sweep() below is the one entry point benches use.
+// every completed point, --resume skips journaled points after an
+// interrupted run, and --point ID re-runs a single point in isolation
+// (every other point comes back `skipped`).  run_sweep() below is the one
+// entry point benches use.
 #pragma once
 
 #include <unistd.h>
@@ -55,6 +57,7 @@ struct BenchContext {
   std::size_t workers = 0;       // subprocess count; 0 = in-process
   std::string checkpoint_path;   // empty = no journal
   bool resume = false;           // load the journal, skip completed points
+  std::string point_filter;      // --point ID: run one sweep point only
   bool worker_mode = false;      // hidden: this process serves one sweep
   std::string worker_sweep;      // hidden: which sweep to serve
   std::vector<std::string> command;  // original argv, for worker re-exec
@@ -83,6 +86,22 @@ struct BenchContext {
   }
 };
 
+namespace detail {
+
+/// Whether any run_sweep() of this process found the --point id in its
+/// spec.  Checked at exit so a mistyped id fails loudly instead of
+/// skipping every sweep and exiting 0.
+inline bool& point_filter_matched() {
+  static bool matched = false;
+  return matched;
+}
+inline std::string& point_filter_id() {
+  static std::string id;
+  return id;
+}
+
+}  // namespace detail
+
 inline BenchContext parse_context(int argc, char** argv) {
   Flags flags(argc, argv);
   BenchContext ctx;
@@ -97,13 +116,15 @@ inline BenchContext parse_context(int argc, char** argv) {
   ctx.workers = static_cast<std::size_t>(flags.get_int("workers", 0));
   ctx.checkpoint_path = flags.get_string("checkpoint", "");
   ctx.resume = flags.get_bool("resume", false);
+  ctx.point_filter = flags.get_string("point", "");
   ctx.worker_mode = flags.get_bool("worker", false);
   ctx.worker_sweep = flags.get_string("sweep", "");
   const auto unused = flags.unused();
   if (!unused.empty()) {
     std::cerr << "unknown flag --" << unused.front()
               << " (supported: --seed --trials --quick --threads "
-                 "--target-sem --json --workers --checkpoint --resume)\n";
+                 "--target-sem --json --workers --checkpoint --resume "
+                 "--point)\n";
     std::exit(2);
   }
   if (ctx.quick) ctx.trials = std::max<std::size_t>(ctx.trials / 10, 100);
@@ -111,6 +132,21 @@ inline BenchContext parse_context(int argc, char** argv) {
     std::cerr << "--resume needs --checkpoint FILE\n";
     std::exit(2);
   }
+  // A --point id that matches no sweep of the whole harness must not
+  // look like success; the at-exit hook turns it into exit 2.  Worker
+  // subprocesses are exempt: they serve runner-dispatched points and
+  // never consult the filter.
+  if (!ctx.point_filter.empty() && !ctx.worker_mode) {
+    detail::point_filter_id() = ctx.point_filter;
+    std::atexit(+[] {
+      if (!detail::point_filter_matched()) {
+        std::cerr << "--point '" << detail::point_filter_id()
+                  << "' matched no point id of any sweep in this harness\n";
+        std::_Exit(2);
+      }
+    });
+  }
+
   // Remember argv for worker re-exec, minus the worker-mode flags the
   // runner adds itself.
   for (int i = 0; i < argc; ++i) {
@@ -150,6 +186,25 @@ inline std::vector<sweep::PointResult> run_sweep(
     return placeholders;
   }
 
+  // --point debugging: a sweep that does not contain the requested id is
+  // skipped wholesale (all-placeholder results), so one --point flag
+  // isolates a single point across a harness running several sweeps.  The
+  // strict unknown-id error stays in SweepRunner for direct users.
+  if (!ctx.point_filter.empty()) {
+    bool in_spec = false;
+    std::vector<sweep::PointResult> placeholders;
+    for (const sweep::SweepPoint& point : spec.expand()) {
+      in_spec = in_spec || point.id == ctx.point_filter;
+      placeholders.push_back({point, RunningStats{}, false, true});
+    }
+    if (!in_spec) {
+      std::cerr << "sweep " << spec.name() << ": no point '"
+                << ctx.point_filter << "', skipping the whole sweep\n";
+      return placeholders;
+    }
+    detail::point_filter_matched() = true;
+  }
+
   // A fresh (non-resume) checkpointed run starts a new journal; do the
   // truncation once per process so a bench journaling several sweeps into
   // one file keeps them all.
@@ -165,6 +220,7 @@ inline std::vector<sweep::PointResult> run_sweep(
   options.workers = ctx.workers;
   options.checkpoint_path = ctx.checkpoint_path;
   options.resume = ctx.resume;
+  options.point_filter = ctx.point_filter;
   if (ctx.workers > 0) {
     options.worker_command = ctx.command;
     options.worker_command.push_back("--worker");
@@ -216,6 +272,7 @@ class JsonReport {
   void add_sweep(const std::string& prefix,
                  const std::vector<sweep::PointResult>& results) {
     for (const sweep::PointResult& result : results) {
+      if (result.skipped) continue;  // --point filter left this one out
       add_metric(prefix + "/" + result.point.id + "/mean",
                  result.stats.mean());
       add_metric(prefix + "/" + result.point.id + "/trials",

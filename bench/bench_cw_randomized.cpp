@@ -90,6 +90,7 @@ int main(int argc, char** argv) {
   };
   const auto results = bench::run_sweep(ctx, spec, evaluate);
   for (const auto& result : results) {
+    if (result.skipped) continue;  // excluded by --point
     const CrumblingWall wall(walls[result.point.size]);
     const double exact = r_probe_cw_expectation(wall, worst_coloring(wall));
     const bool agree =

@@ -113,6 +113,7 @@ int main(int argc, char** argv) {
                "(sweep subsystem):\n";
   Table d({"h", "algorithm", "trials", "measured", "sem", "exact", "agree"});
   for (const auto& result : results) {
+    if (result.skipped) continue;  // excluded by --point
     const HQSystem hqs(result.point.size);
     const Coloring worst = hqs_worst_case_coloring(hqs, Color::kGreen);
     const double exact = result.point.strategy == "IR"

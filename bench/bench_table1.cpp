@@ -81,6 +81,19 @@ int main(int argc, char** argv) {
     return result->stats.mean();
   };
 
+  // --point isolates one grid cell for debugging; the exponent fits below
+  // need the whole grid, so they are skipped and the isolated value is
+  // printed directly instead.
+  const bool full_grid = ctx.point_filter.empty();
+  if (!full_grid) {
+    std::cout << "\n--point active; exponent fits skipped.  Isolated "
+                 "point(s):\n";
+    for (const auto& result : grids.results())
+      if (!result.skipped)
+        std::cout << "  " << result.point.id << " = " << result.stats.mean()
+                  << "\n";
+  }
+
   std::cout << "\n--- probabilistic model, p = 1/2 ---------------------------\n";
   Table prob({"system", "n", "paper says", "measured/exact", "holds"});
   {
@@ -107,7 +120,7 @@ int main(int argc, char** argv) {
                   bench::holds(exact <= 31.0 &&
                                exact >= 2.0 * k - 3.0 * std::sqrt(static_cast<double>(k)))});
   }
-  {
+  if (full_grid) {
     std::vector<double> ns, costs;
     for (std::size_t h = 16; h <= 24; ++h) {
       ns.push_back(std::pow(2.0, static_cast<double>(h) + 1.0) - 1.0);
@@ -119,7 +132,7 @@ int main(int argc, char** argv) {
                   "fitted exponent " + Table::num(slope, 4),
                   bench::holds(std::abs(slope - 0.585) < 0.01)});
   }
-  {
+  if (full_grid) {
     std::vector<double> ns, costs;
     for (std::size_t h = 4; h <= 12; ++h) {
       ns.push_back(std::pow(3.0, static_cast<double>(h)));
@@ -169,7 +182,7 @@ int main(int argc, char** argv) {
                    bench::holds(std::abs(lb - 2.0 * (n + 1.0) / 3.0) < 1e-9 &&
                                 worst <= r_probe_tree_bound(n) + 1e-9)});
   }
-  {
+  if (full_grid) {
     std::vector<double> ns, rc, irc;
     for (std::size_t h = 2; h <= 10; h += 2) {
       ns.push_back(std::pow(3.0, static_cast<double>(h)));

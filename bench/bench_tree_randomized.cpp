@@ -133,6 +133,7 @@ int main(int argc, char** argv) {
   const auto results = bench::run_sweep(ctx, spec, evaluate);
   Table c({"h", "n", "trials", "measured", "sem", "exact", "agree"});
   for (const auto& result : results) {
+    if (result.skipped) continue;  // excluded by --point
     const std::size_t h = result.point.size;
     const TreeSystem tree(h);
     const Coloring hard = point_hard_coloring(tree, result.point);

@@ -3,9 +3,9 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "core/engine/parallel_for.h"
 #include "core/probe_session.h"
 #include "core/witness.h"
 #include "util/require.h"
@@ -45,11 +45,7 @@ ParallelEstimator::ParallelEstimator(EngineOptions options)
 }
 
 std::size_t ParallelEstimator::resolved_threads() const {
-  std::size_t threads = options_.threads;
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
+  const std::size_t threads = ThreadPool::resolve_threads(options_.threads);
   const std::size_t num_batches =
       (options_.trials + options_.batch_size - 1) / options_.batch_size;
   return threads < num_batches ? threads : num_batches;
@@ -118,14 +114,9 @@ RunningStats ParallelEstimator::run(const Trial& trial) const {
     }
   };
 
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t i = 0; i < threads; ++i) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
-  }
+  // The shared pool runs `worker` on `threads` workers (the calling thread
+  // included); a single-worker pool degenerates to an inline call.
+  ThreadPool(threads).run_workers(worker);
 
   if (state.first_error) std::rethrow_exception(state.first_error);
   return state.merged;

@@ -1,7 +1,8 @@
 // Parallel Monte-Carlo estimation engine.
 //
 // ParallelEstimator shards a trial budget into fixed-size batches and runs
-// the batches on a std::thread worker pool.  Determinism is the design
+// the batches on the shared worker pool (core/engine/parallel_for.h), the
+// same pool the exact DP kernel uses.  Determinism is the design
 // center: batch k always draws from the RNG stream derived from
 // (options.seed, k), and batch results are merged strictly in batch-index
 // order, so the returned statistics -- and the early-stop / throw decisions

@@ -2,9 +2,8 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_map>
 
-#include "core/exact/char_table.h"
+#include "core/exact/dp_kernel.h"
 #include "util/require.h"
 
 namespace qps {
@@ -50,70 +49,28 @@ void render(const DecisionTree& node, const std::string& prefix,
   render(*node.on_red, child_prefix, "0-> ", os);
 }
 
-class TreeBuilder {
- public:
-  TreeBuilder(const QuorumSystem& system, double p)
-      : table_(system), n_(system.universe_size()), p_(p), q_(1.0 - p) {}
-
-  std::unique_ptr<DecisionTree> build(std::uint64_t probed,
-                                      std::uint64_t greens) {
-    auto node = std::make_unique<DecisionTree>();
-    if (table_.contains_quorum(greens)) {
-      node->verdict = Color::kGreen;
-      return node;
-    }
-    if (!table_.contains_quorum(greens | (table_.full_mask() & ~probed))) {
-      node->verdict = Color::kRed;
-      return node;
-    }
-    node->probe = static_cast<Element>(best_probe(probed, greens));
-    const std::uint64_t bit = 1ULL << node->probe;
-    node->on_green = build(probed | bit, greens | bit);
-    node->on_red = build(probed | bit, greens);
+// Materializes the tree by walking the kernel's recorded argmin policy:
+// every internal node probes exactly the Bellman argmin of its knowledge
+// state, so the DP is solved once and never re-searched per node.
+std::unique_ptr<DecisionTree> build_from_policy(
+    const exact::DpKernel<exact::ExpectationPolicy>& kernel,
+    std::uint64_t probed, std::uint64_t greens) {
+  const CharTable& table = kernel.char_table();
+  auto node = std::make_unique<DecisionTree>();
+  if (table.contains_quorum(greens)) {
+    node->verdict = Color::kGreen;
     return node;
   }
-
- private:
-  double value(std::uint64_t probed, std::uint64_t greens) {
-    if (table_.is_terminal(probed, greens)) return 0.0;
-    const std::uint64_t key = (probed << n_) | greens;
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-    double best = static_cast<double>(n_) + 1.0;
-    for (std::size_t e = 0; e < n_; ++e) {
-      const std::uint64_t bit = 1ULL << e;
-      if (probed & bit) continue;
-      const double candidate = 1.0 + q_ * value(probed | bit, greens | bit) +
-                               p_ * value(probed | bit, greens);
-      if (candidate < best) best = candidate;
-    }
-    memo_.emplace(key, best);
-    return best;
+  if (!table.contains_quorum(greens | (table.full_mask() & ~probed))) {
+    node->verdict = Color::kRed;
+    return node;
   }
-
-  std::size_t best_probe(std::uint64_t probed, std::uint64_t greens) {
-    double best = static_cast<double>(n_) + 2.0;
-    std::size_t arg = n_;
-    for (std::size_t e = 0; e < n_; ++e) {
-      const std::uint64_t bit = 1ULL << e;
-      if (probed & bit) continue;
-      const double candidate = 1.0 + q_ * value(probed | bit, greens | bit) +
-                               p_ * value(probed | bit, greens);
-      if (candidate < best) {
-        best = candidate;
-        arg = e;
-      }
-    }
-    QPS_CHECK(arg < n_, "no probe available in a non-terminal state");
-    return arg;
-  }
-
-  CharTable table_;
-  std::size_t n_;
-  double p_;
-  double q_;
-  std::unordered_map<std::uint64_t, double> memo_;
-};
+  node->probe = static_cast<Element>(kernel.policy_probe(probed, greens));
+  const std::uint64_t bit = 1ULL << node->probe;
+  node->on_green = build_from_policy(kernel, probed | bit, greens | bit);
+  node->on_red = build_from_policy(kernel, probed | bit, greens);
+  return node;
+}
 
 }  // namespace
 
@@ -125,11 +82,17 @@ std::string DecisionTree::to_ascii() const {
 
 std::unique_ptr<DecisionTree> optimal_ppc_tree(const QuorumSystem& system,
                                                double p) {
-  QPS_REQUIRE(system.universe_size() <= 14,
-              "decision-tree extraction limited to n <= 14");
+  return optimal_ppc_tree(system, p, exact::DpOptions{});
+}
+
+std::unique_ptr<DecisionTree> optimal_ppc_tree(const QuorumSystem& system,
+                                               double p,
+                                               exact::DpOptions options) {
   QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
-  TreeBuilder builder(system, p);
-  return builder.build(0, 0);
+  options.record_policy = true;
+  const exact::DpKernel<exact::ExpectationPolicy> kernel(
+      system, exact::ExpectationPolicy(p), options);
+  return build_from_policy(kernel, 0, 0);
 }
 
 }  // namespace qps

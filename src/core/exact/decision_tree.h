@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/coloring.h"
+#include "core/exact/dp_kernel.h"
 #include "quorum/quorum_system.h"
 
 namespace qps {
@@ -40,9 +41,16 @@ struct DecisionTree {
 };
 
 /// Materializes an optimal probabilistic-model strategy for `system` at
-/// failure probability `p` (the argmin policy of the Bellman DP).
-/// Requires universe_size() <= 14.
+/// failure probability `p`, read off the DP kernel's recorded argmin
+/// policy (core/exact/dp_kernel.h).  Feasibility is the kernel's memory
+/// formula with policy recording (3^n argmin bytes).
 std::unique_ptr<DecisionTree> optimal_ppc_tree(const QuorumSystem& system,
                                                double p);
+
+/// As above with explicit kernel options (thread count, memory budget);
+/// DpOptions::record_policy is forced on, since the tree IS the policy.
+std::unique_ptr<DecisionTree> optimal_ppc_tree(const QuorumSystem& system,
+                                               double p,
+                                               exact::DpOptions options);
 
 }  // namespace qps

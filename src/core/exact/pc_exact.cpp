@@ -1,57 +1,16 @@
 #include "core/exact/pc_exact.h"
 
-#include <algorithm>
-#include <unordered_map>
-
-#include "core/exact/char_table.h"
-#include "util/require.h"
-
 namespace qps {
 
-namespace {
-
-class PcSolver {
- public:
-  explicit PcSolver(const QuorumSystem& system)
-      : table_(system), n_(system.universe_size()) {
-    memo_.reserve(1u << 18);
-  }
-
-  std::size_t solve() { return value(0, 0); }
-
- private:
-  std::size_t value(std::uint64_t probed, std::uint64_t greens) {
-    if (table_.is_terminal(probed, greens)) return 0;
-    const std::uint64_t key = (probed << n_) | greens;
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-
-    std::size_t best = n_ + 1;  // upper bound: probing everything certifies
-    for (std::size_t e = 0; e < n_; ++e) {
-      const std::uint64_t bit = 1ULL << e;
-      if (probed & bit) continue;
-      // Adversary answers with the worse color for the player.
-      const std::size_t worst =
-          std::max(value(probed | bit, greens | bit), value(probed | bit, greens));
-      best = std::min(best, 1 + worst);
-      if (best == 1) break;  // cannot do better than one probe
-    }
-    memo_.emplace(key, static_cast<std::uint32_t>(best));
-    return best;
-  }
-
-  CharTable table_;
-  std::size_t n_;
-  std::unordered_map<std::uint64_t, std::uint32_t> memo_;
-};
-
-}  // namespace
-
 std::size_t pc_exact(const QuorumSystem& system) {
-  QPS_REQUIRE(system.universe_size() <= 14,
-              "exact PC limited to n <= 14 (3^n knowledge states)");
-  PcSolver solver(system);
-  return solver.solve();
+  return pc_exact(system, exact::DpOptions{});
+}
+
+std::size_t pc_exact(const QuorumSystem& system,
+                     const exact::DpOptions& options) {
+  const exact::DpKernel<exact::MinimaxPolicy> kernel(
+      system, exact::MinimaxPolicy{}, options);
+  return kernel.root_value();
 }
 
 }  // namespace qps

@@ -3,18 +3,27 @@
 // PC(S) is the value of the two-player game of [PW02]: the player picks the
 // next element to probe, the adversary picks its color, and the game ends
 // when the probed colors certify the system state.  The minimax value is
-// computed by memoized search over knowledge states (probed set + observed
-// greens).  Lemma 2.2 (Maj, Wheel, CW and Tree are evasive, PC = n) is
-// verified with this engine in the tests.
+// the MinimaxPolicy instantiation of the shared Bellman DP kernel
+// (core/exact/dp_kernel.h): dense level-synchronous backward induction,
+// parallel within each level, bit-identical for any thread count.  Lemma
+// 2.2 (Maj, Wheel, CW and Tree are evasive, PC = n) is verified with this
+// engine in the tests.
 #pragma once
 
 #include <cstddef>
 
+#include "core/exact/dp_kernel.h"
 #include "quorum/quorum_system.h"
 
 namespace qps {
 
-/// Exact PC(S); requires universe_size() <= 14 (3^n knowledge states).
+/// Exact PC(S).  Feasibility is the kernel's memory formula
+/// (exact::require_dp_feasible): with the default 8 GiB budget the 1-byte
+/// minimax states admit n <= 21; the hard ceiling is n <= 22.
 std::size_t pc_exact(const QuorumSystem& system);
+
+/// As above with explicit kernel options (thread count, memory budget).
+std::size_t pc_exact(const QuorumSystem& system,
+                     const exact::DpOptions& options);
 
 }  // namespace qps

@@ -1,77 +1,27 @@
 #include "core/exact/ppc_exact.h"
 
-#include <unordered_map>
-
-#include "core/exact/char_table.h"
 #include "util/require.h"
 
 namespace qps {
 
-namespace {
-
-class PpcSolver {
- public:
-  PpcSolver(const QuorumSystem& system, double p)
-      : table_(system), n_(system.universe_size()), p_(p), q_(1.0 - p) {
-    QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
-    memo_.reserve(1u << 18);
-  }
-
-  double value(std::uint64_t probed, std::uint64_t greens) {
-    if (table_.is_terminal(probed, greens)) return 0.0;
-    const std::uint64_t key = (probed << n_) | greens;
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-
-    double best = static_cast<double>(n_) + 1.0;
-    for (std::size_t e = 0; e < n_; ++e) {
-      const std::uint64_t bit = 1ULL << e;
-      if (probed & bit) continue;
-      const double candidate = 1.0 + q_ * value(probed | bit, greens | bit) +
-                               p_ * value(probed | bit, greens);
-      if (candidate < best) best = candidate;
-    }
-    memo_.emplace(key, best);
-    return best;
-  }
-
-  std::size_t best_first_probe() {
-    double best = static_cast<double>(n_) + 1.0;
-    std::size_t arg = 0;
-    for (std::size_t e = 0; e < n_; ++e) {
-      const std::uint64_t bit = 1ULL << e;
-      const double candidate =
-          1.0 + q_ * value(bit, bit) + p_ * value(bit, 0);
-      if (candidate < best) {
-        best = candidate;
-        arg = e;
-      }
-    }
-    return arg;
-  }
-
- private:
-  CharTable table_;
-  std::size_t n_;
-  double p_;
-  double q_;
-  std::unordered_map<std::uint64_t, double> memo_;
-};
-
-}  // namespace
-
 double ppc_exact(const QuorumSystem& system, double p) {
-  QPS_REQUIRE(system.universe_size() <= 14,
-              "exact PPC limited to n <= 14 (3^n knowledge states)");
-  PpcSolver solver(system, p);
-  return solver.value(0, 0);
+  return ppc_exact(system, p, exact::DpOptions{});
+}
+
+double ppc_exact(const QuorumSystem& system, double p,
+                 const exact::DpOptions& options) {
+  QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
+  const exact::DpKernel<exact::ExpectationPolicy> kernel(
+      system, exact::ExpectationPolicy(p), options);
+  return kernel.root_value();
 }
 
 std::size_t ppc_optimal_first_probe(const QuorumSystem& system, double p) {
-  QPS_REQUIRE(system.universe_size() <= 14,
-              "exact PPC limited to n <= 14 (3^n knowledge states)");
-  PpcSolver solver(system, p);
-  return solver.best_first_probe();
+  QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
+  const exact::DpKernel<exact::ExpectationPolicy> kernel(
+      system, exact::ExpectationPolicy(p), exact::DpOptions{});
+  const std::size_t probe = kernel.root_probe();
+  return probe < system.universe_size() ? probe : 0;
 }
 
 }  // namespace qps

@@ -5,22 +5,31 @@
 // The optimal strategy satisfies the Bellman recursion
 //   V(state) = 0                       if the state holds a certificate,
 //   V(state) = min_e 1 + q V(state + e:green) + p V(state + e:red)
-// over knowledge states, solved here by memoized search.  At p = 1/2 all
-// values are dyadic rationals representable exactly in double, so the
-// worked example PPC(Maj3) = 5/2 and the Thm 3.9 value (5/2)^h for HQS are
-// reproduced bit-exactly.
+// over knowledge states, solved by the ExpectationPolicy instantiation of
+// the shared DP kernel (core/exact/dp_kernel.h).  At p = 1/2 all values
+// are dyadic rationals representable exactly in double, so the worked
+// example PPC(Maj3) = 5/2 and the Thm 3.9 value (5/2)^h for HQS are
+// reproduced bit-exactly; the kernel's arithmetic matches the legacy
+// recursion term for term, so every value is bit-identical to the old
+// engine and to itself under any thread count.
 #pragma once
 
+#include "core/exact/dp_kernel.h"
 #include "quorum/quorum_system.h"
 
 namespace qps {
 
-/// Exact PPC_p(S); requires universe_size() <= 14.
+/// Exact PPC_p(S).  Feasibility is the kernel's memory formula; with the
+/// default 8 GiB budget the double-valued states admit n <= 19.
 double ppc_exact(const QuorumSystem& system, double p);
 
+/// As above with explicit kernel options (thread count, memory budget).
+double ppc_exact(const QuorumSystem& system, double p,
+                 const exact::DpOptions& options);
+
 /// The greedy first probe of an optimal strategy (smallest element
-/// achieving the Bellman minimum at the root) -- exposed for inspection in
-/// the probe_explorer example.
+/// achieving the Bellman minimum at the root), read off the kernel's
+/// recorded root policy -- the DP is solved exactly once per (system, p).
 std::size_t ppc_optimal_first_probe(const QuorumSystem& system, double p);
 
 }  // namespace qps

@@ -1,89 +1,34 @@
 #include "core/exact/yao_bound.h"
 
-#include <unordered_map>
-#include <vector>
-
-#include "core/exact/char_table.h"
-#include "util/require.h"
+#include "core/exact/legacy_recursive.h"
 
 namespace qps {
 
-namespace {
-
-class YaoSolver {
- public:
-  YaoSolver(const QuorumSystem& system,
-            const ColoringDistribution& distribution)
-      : table_(system), n_(system.universe_size()) {
-    for (std::size_t i = 0; i < distribution.size(); ++i) {
-      support_.push_back(distribution.coloring(i).greens().to_mask());
-      weight_.push_back(distribution.weight(i));
-    }
-  }
-
-  double solve() {
-    std::vector<std::uint32_t> all(support_.size());
-    for (std::uint32_t i = 0; i < all.size(); ++i) all[i] = i;
-    return value(0, 0, all);
-  }
-
- private:
-  double value(std::uint64_t probed, std::uint64_t greens,
-               const std::vector<std::uint32_t>& consistent) {
-    if (table_.is_terminal(probed, greens)) return 0.0;
-    QPS_CHECK(!consistent.empty(),
-              "reached a knowledge state outside the support");
-    const std::uint64_t key = (probed << n_) | greens;
-    const auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
-
-    double total_weight = 0.0;
-    for (auto i : consistent) total_weight += weight_[i];
-
-    double best = static_cast<double>(n_) + 1.0;
-    std::vector<std::uint32_t> green_side, red_side;
-    for (std::size_t e = 0; e < n_; ++e) {
-      const std::uint64_t bit = 1ULL << e;
-      if (probed & bit) continue;
-      green_side.clear();
-      red_side.clear();
-      double green_weight = 0.0;
-      for (auto i : consistent) {
-        if (support_[i] & bit) {
-          green_side.push_back(i);
-          green_weight += weight_[i];
-        } else {
-          red_side.push_back(i);
-        }
-      }
-      double candidate = 1.0;
-      if (!green_side.empty())
-        candidate += green_weight / total_weight *
-                     value(probed | bit, greens | bit, green_side);
-      if (!red_side.empty())
-        candidate += (total_weight - green_weight) / total_weight *
-                     value(probed | bit, greens, red_side);
-      if (candidate < best) best = candidate;
-    }
-    memo_.emplace(key, best);
-    return best;
-  }
-
-  CharTable table_;
-  std::size_t n_;
-  std::vector<std::uint64_t> support_;
-  std::vector<double> weight_;
-  std::unordered_map<std::uint64_t, double> memo_;
-};
-
-}  // namespace
-
 double yao_bound(const QuorumSystem& system,
                  const ColoringDistribution& distribution) {
-  QPS_REQUIRE(system.universe_size() <= 20,
-              "Yao bound engine limited to n <= 20");
-  YaoSolver solver(system, distribution);
-  return solver.solve();
+  return yao_bound(system, distribution, exact::DpOptions{});
+}
+
+double yao_bound(const QuorumSystem& system,
+                 const ColoringDistribution& distribution,
+                 const exact::DpOptions& options) {
+  // The dense kernel evaluates all 3^n states (value + weight doubles),
+  // while the old recursion only visited states consistent with the
+  // support and was specified up to n <= 20.  To keep that public domain,
+  // sizes the kernel's memory budget rejects fall back to the sparse
+  // recursive solver as long as they fit its cap; beyond both, the
+  // kernel's centralized guard raises the explanatory error.
+  const std::size_t n = system.universe_size();
+  if (n >= 1 &&
+      exact::dp_peak_bytes(n, sizeof(double), /*weighted=*/true,
+                           /*record_policy=*/false) >
+          options.memory_limit_bytes &&
+      n <= 20) {
+    return exact::legacy::yao_bound_recursive(system, distribution);
+  }
+  const exact::DpKernel<exact::DistributionPolicy> kernel(
+      system, exact::DistributionPolicy(distribution), options);
+  return kernel.root_value();
 }
 
 }  // namespace qps

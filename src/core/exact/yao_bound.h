@@ -6,19 +6,31 @@
 // adaptive strategy satisfies
 //   V(state) = min_e 1 + P[e green | state] V(+green) + P[e red | state] V(+red)
 // with conditioning on the colorings consistent with the knowledge state.
-// Computed by memoized search; with the paper's hard distributions this
+// Solved by the DistributionPolicy instantiation of the shared DP kernel
+// (core/exact/dp_kernel.h), which tabulates the consistent-support mass of
+// every state level by level and feeds the child masses to the transition
+// as conditional probabilities.  With the paper's hard distributions this
 // reproduces the exact values of Thm 4.2 (n - (n-1)/(n+3) for Maj),
 // Thm 4.6 ((n+k)/2 for walls) and Thm 4.8 (2(n+1)/3 for Tree).
 #pragma once
 
 #include "core/coloring.h"
+#include "core/exact/dp_kernel.h"
 #include "quorum/quorum_system.h"
 
 namespace qps {
 
 /// Expected probes of the best deterministic strategy against
-/// `distribution`; requires universe_size() <= 20.
+/// `distribution`.  Feasibility is the kernel's memory formula (value +
+/// weight doubles per state); with the default 8 GiB budget the kernel
+/// handles n <= 19, and sizes the budget rejects fall back to the sparse
+/// legacy recursion up to its n <= 20 cap (the pre-kernel public domain).
 double yao_bound(const QuorumSystem& system,
                  const ColoringDistribution& distribution);
+
+/// As above with explicit kernel options (thread count, memory budget).
+double yao_bound(const QuorumSystem& system,
+                 const ColoringDistribution& distribution,
+                 const exact::DpOptions& options);
 
 }  // namespace qps

@@ -155,6 +155,22 @@ std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
     }
   }
 
+  // --point debugging filter: everything except the named point is marked
+  // skipped up front, so neither the worker pool nor the in-process
+  // fallback touches it (journaled results are still surfaced).
+  if (!options_.point_filter.empty()) {
+    bool matched = false;
+    for (const SweepPoint& point : points)
+      matched = matched || point.id == options_.point_filter;
+    QPS_REQUIRE(matched, "point filter '" + options_.point_filter +
+                             "' matches no point id of sweep " + spec_.name());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (points[i].id == options_.point_filter || have[i]) continue;
+      results[i].skipped = true;
+      have[i] = 1;
+    }
+  }
+
   if (options_.workers > 0)
     run_sharded(points, have, results, checkpoint);
 

@@ -50,6 +50,11 @@ struct SweepOptions {
   std::string checkpoint_path;
   /// Load journaled results for this spec and skip those points.
   bool resume = false;
+  /// When non-empty, only the point with exactly this id is evaluated and
+  /// every other point comes back with `skipped` set -- the debugging path
+  /// for re-running a single exact point in isolation.  Throws when no
+  /// point of the spec has this id.
+  std::string point_filter;
 };
 
 struct PointResult {
@@ -57,6 +62,9 @@ struct PointResult {
   RunningStats stats;
   /// True when the result was recovered from the journal, not computed.
   bool from_checkpoint = false;
+  /// True when the point was excluded by SweepOptions::point_filter; the
+  /// stats carry no samples.
+  bool skipped = false;
 };
 
 class SweepRunner {

@@ -82,7 +82,7 @@ TEST(DecisionTree, AsciiRenderingShowsProbesAndVerdicts) {
 }
 
 TEST(DecisionTree, RejectsLargeUniverse) {
-  EXPECT_THROW(optimal_ppc_tree(MajoritySystem(15), 0.5),
+  EXPECT_THROW(optimal_ppc_tree(MajoritySystem(23), 0.5),
                std::invalid_argument);
 }
 

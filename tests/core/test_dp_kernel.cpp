@@ -1,0 +1,263 @@
+// The unified Bellman DP kernel: differential tests against the legacy
+// recursive solvers, thread-count bit-identity, the centralized memory
+// guard, and the combinatorial ranking that backs the dense state layout.
+#include "core/exact/dp_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "core/engine/parallel_estimator.h"
+#include "core/exact/decision_tree.h"
+#include "core/exact/legacy_recursive.h"
+#include "core/exact/pc_exact.h"
+#include "core/exact/ppc_exact.h"
+#include "core/exact/yao_bound.h"
+#include "util/stats.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/grid_system.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+#include "quorum/wheel.h"
+
+namespace qps {
+namespace {
+
+/// Every seed family at sizes the legacy recursion can still reach.
+std::vector<std::unique_ptr<QuorumSystem>> seed_family_systems() {
+  std::vector<std::unique_ptr<QuorumSystem>> systems;
+  for (std::size_t n : {1u, 3u, 5u, 7u, 9u, 11u})
+    systems.push_back(std::make_unique<MajoritySystem>(n));
+  for (std::size_t n : {4u, 6u, 8u, 12u})
+    systems.push_back(std::make_unique<WheelSystem>(n));
+  for (const auto& widths : std::vector<std::vector<std::size_t>>{
+           {1, 2}, {1, 2, 3}, {1, 3, 2}, {1, 2, 2, 2}})
+    systems.push_back(std::make_unique<CrumblingWall>(widths));
+  for (std::size_t h : {1u, 2u})
+    systems.push_back(std::make_unique<TreeSystem>(h));
+  for (std::size_t h : {1u, 2u})
+    systems.push_back(std::make_unique<HQSystem>(h));
+  systems.push_back(std::make_unique<GridSystem>(3, 4));
+  return systems;
+}
+
+TEST(DpKernel, PcMatchesLegacyRecursionOnSeedFamilies) {
+  for (const auto& system : seed_family_systems())
+    EXPECT_EQ(pc_exact(*system), exact::legacy::pc_exact_recursive(*system))
+        << system->name();
+}
+
+TEST(DpKernel, PpcIsBitIdenticalToLegacyRecursionOnSeedFamilies) {
+  // The kernel evaluates 1 + q*V(green) + p*V(red) with the same operation
+  // order and the same ascending-element min as the recursion, so values
+  // match to the last bit, not just to a tolerance.
+  for (const auto& system : seed_family_systems()) {
+    for (double p : {0.0, 0.1, 0.3, 0.5, 0.8, 1.0}) {
+      EXPECT_EQ(ppc_exact(*system, p),
+                exact::legacy::ppc_exact_recursive(*system, p))
+          << system->name() << " p=" << p;
+    }
+  }
+}
+
+TEST(DpKernel, RootPolicyMatchesLegacyFirstProbe) {
+  for (const auto& system : seed_family_systems()) {
+    for (double p : {0.3, 0.5}) {
+      EXPECT_EQ(ppc_optimal_first_probe(*system, p),
+                exact::legacy::ppc_optimal_first_probe_recursive(*system, p))
+          << system->name() << " p=" << p;
+    }
+  }
+}
+
+TEST(DpKernel, YaoMatchesLegacyRecursionOnPaperDistributions) {
+  // The weighted policy's conditional probabilities come from tabulated
+  // child masses; summation order differs from the recursion, so agreement
+  // is to floating-point tolerance rather than bitwise.
+  for (std::size_t n : {3u, 5u, 7u, 9u}) {
+    const MajoritySystem maj(n);
+    const auto hard = maj_hard_distribution(n);
+    EXPECT_NEAR(yao_bound(maj, hard),
+                exact::legacy::yao_bound_recursive(maj, hard), 1e-12)
+        << "maj n=" << n;
+  }
+  for (const auto& widths : std::vector<std::vector<std::size_t>>{
+           {1, 2}, {1, 2, 3}, {1, 3, 2}, {1, 2, 2, 2}}) {
+    const CrumblingWall wall(widths);
+    const auto hard = cw_hard_distribution(wall);
+    EXPECT_NEAR(yao_bound(wall, hard),
+                exact::legacy::yao_bound_recursive(wall, hard), 1e-12)
+        << wall.name();
+  }
+  for (std::size_t h : {1u, 2u}) {
+    const TreeSystem tree(h);
+    const auto hard = tree_hard_distribution(tree);
+    EXPECT_NEAR(yao_bound(tree, hard),
+                exact::legacy::yao_bound_recursive(tree, hard), 1e-12)
+        << "tree h=" << h;
+  }
+}
+
+TEST(DpKernel, ResultsAreBitIdenticalAcrossThreadCounts) {
+  const MajoritySystem maj(11);
+  const CrumblingWall wall({1, 3, 4});
+  exact::DpOptions one;
+  one.threads = 1;
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    exact::DpOptions many;
+    many.threads = threads;
+    for (double p : {0.3, 0.5}) {
+      EXPECT_EQ(ppc_exact(maj, p, one), ppc_exact(maj, p, many))
+          << "threads=" << threads << " p=" << p;
+      EXPECT_EQ(ppc_exact(wall, p, one), ppc_exact(wall, p, many))
+          << "threads=" << threads << " p=" << p;
+    }
+    EXPECT_EQ(pc_exact(maj, one), pc_exact(maj, many));
+    const auto hard = maj_hard_distribution(9);
+    const MajoritySystem maj9(9);
+    EXPECT_EQ(yao_bound(maj9, hard, one), yao_bound(maj9, hard, many))
+        << "threads=" << threads;
+  }
+}
+
+TEST(DpKernel, PpcAgreesWithMonteCarloOptimalStrategy) {
+  // The kernel's optimum must match a Monte-Carlo run of its own extracted
+  // optimal decision tree within sampling error (4 x SEM).
+  const MajoritySystem maj(7);
+  for (double p : {0.3, 0.5}) {
+    const double optimum = ppc_exact(maj, p);
+    const auto tree = optimal_ppc_tree(maj, p);
+    EngineOptions options;
+    options.trials = 40000;
+    options.threads = 2;
+    const ParallelEstimator engine(options);
+    const RunningStats stats = engine.run([&](Rng& rng) {
+      const Coloring coloring = sample_iid_coloring(7, p, rng);
+      return static_cast<double>(tree->evaluate(coloring).second);
+    });
+    EXPECT_NEAR(stats.mean(), optimum,
+                std::max(4.0 * stats.sem(), 1e-9))
+        << "p=" << p;
+  }
+}
+
+TEST(DpKernel, StateCountsSumToPowersOfThree) {
+  for (std::size_t n : {1u, 4u, 9u, 14u}) {
+    std::size_t total = 0;
+    for (std::size_t k = 0; k <= n; ++k) total += exact::dp_state_count(n, k);
+    std::size_t expected = 1;
+    for (std::size_t i = 0; i < n; ++i) expected *= 3;
+    EXPECT_EQ(total, expected) << "n=" << n;
+  }
+}
+
+TEST(DpKernel, MemoryGuardStatesTheCapFormula) {
+  // A deliberately tiny budget trips the centralized guard; the message
+  // must spell out the formula and the knob.
+  try {
+    exact::require_dp_feasible(14, sizeof(double), false, false,
+                               1 << 20);  // 1 MiB
+    FAIL() << "expected the memory guard to throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("C(n,k)*2^k"), std::string::npos) << message;
+    EXPECT_NE(message.find("memory_limit_bytes"), std::string::npos)
+        << message;
+  }
+  // The default budget admits the sizes the acceptance bar names.
+  EXPECT_NO_THROW(exact::require_dp_feasible(18, sizeof(double), false, false,
+                                             exact::kDefaultDpMemoryLimit));
+  EXPECT_NO_THROW(exact::require_dp_feasible(
+      18, sizeof(std::uint8_t), false, false, exact::kDefaultDpMemoryLimit));
+  // And the hard characteristic-table ceiling still holds.
+  EXPECT_THROW(exact::require_dp_feasible(23, 1, false, false,
+                                          exact::kDefaultDpMemoryLimit),
+               std::invalid_argument);
+}
+
+TEST(DpKernel, MemoryGuardIsEnforcedThroughTheAdapters) {
+  exact::DpOptions starved;
+  starved.memory_limit_bytes = 1 << 16;  // 64 KiB: too small for n = 11
+  EXPECT_THROW(ppc_exact(MajoritySystem(11), 0.5, starved),
+               std::invalid_argument);
+  EXPECT_THROW(pc_exact(MajoritySystem(13), starved), std::invalid_argument);
+}
+
+TEST(DpKernel, YaoFallsBackToSparseRecursionWhenBudgetRejects) {
+  // The dense weighted kernel is budget-gated, but yao_bound keeps the
+  // pre-kernel public domain by falling back to the sparse recursion
+  // (cap n <= 20) instead of throwing.
+  const MajoritySystem maj(9);
+  const auto hard = maj_hard_distribution(9);
+  exact::DpOptions starved;
+  starved.memory_limit_bytes = 1 << 12;  // 4 KiB: kernel infeasible
+  EXPECT_NEAR(yao_bound(maj, hard, starved),
+              exact::legacy::yao_bound_recursive(maj, hard), 1e-12);
+}
+
+TEST(DpKernel, ColexRankingRoundTrips) {
+  for (std::size_t n : {5u, 9u, 12u}) {
+    for (std::size_t k = 0; k <= n; ++k) {
+      // Enumerate all C(n,k) masks in numeric order; ranks must be
+      // 0,1,2,... and unrank must invert.
+      std::size_t rank = 0;
+      std::uint64_t mask = k == 0 ? 0 : (1ULL << k) - 1;
+      const std::uint64_t limit = 1ULL << n;
+      while (mask < limit) {
+        EXPECT_EQ(exact::detail::colex_rank(mask), rank);
+        EXPECT_EQ(exact::detail::colex_unrank(rank, k), mask);
+        ++rank;
+        if (k == 0) break;
+        mask = exact::detail::next_same_popcount(mask);
+      }
+      EXPECT_EQ(rank,
+                static_cast<std::size_t>(binomial_coefficient(n, k) + 0.5))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(DpKernel, CompressSubmaskPacksGreensDensely) {
+  const std::uint64_t probed = 0b1011010;
+  // Submasks enumerated descending via (s-1) & probed walk compressed
+  // indices 2^k-1 .. 0 in lockstep.
+  std::uint32_t expected = (1u << std::popcount(probed)) - 1;
+  std::uint64_t sub = probed;
+  for (;;) {
+    EXPECT_EQ(exact::detail::compress_submask(sub, probed), expected);
+    if (sub == 0) break;
+    sub = (sub - 1) & probed;
+    --expected;
+  }
+}
+
+TEST(DpKernel, RecordedPolicyCoversEveryReachableState) {
+  // With record_policy on, every non-terminal state the optimal tree can
+  // reach must report a valid probe element not yet probed.
+  const CrumblingWall wall({1, 2, 2});
+  exact::DpOptions options;
+  options.record_policy = true;
+  const exact::DpKernel<exact::ExpectationPolicy> kernel(
+      wall, exact::ExpectationPolicy(0.4), options);
+  const std::size_t n = wall.universe_size();
+  for (std::uint64_t probed = 0; probed < (1ULL << n); ++probed) {
+    for (std::uint64_t greens = probed;; greens = (greens - 1) & probed) {
+      const std::size_t e = kernel.policy_probe(probed, greens);
+      const bool terminal =
+          kernel.char_table().is_terminal(probed, greens);
+      if (terminal) {
+        EXPECT_EQ(e, n) << "probed=" << probed << " greens=" << greens;
+      } else {
+        ASSERT_LT(e, n) << "probed=" << probed << " greens=" << greens;
+        EXPECT_EQ(probed & (1ULL << e), 0u);
+      }
+      if (greens == 0) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qps

@@ -1,0 +1,89 @@
+// The reusable worker pool behind the Monte-Carlo engine and the exact DP
+// kernel.
+#include "core/engine/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace qps {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, hits.size(), 17,
+                      [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i)
+                          hits[i].fetch_add(1, std::memory_order_relaxed);
+                      });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // A range no larger than one grain runs inline as a single chunk.
+  std::vector<int> seen;
+  pool.parallel_for(3, 7, 100, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      seen.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(seen, (std::vector<int>{3, 4, 5, 6}));
+}
+
+TEST(ThreadPool, RunWorkersRunsOnEveryWorker) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> runs{0};
+  pool.run_workers([&] { runs.fetch_add(1); });
+  EXPECT_EQ(runs.load(), 3);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossDispatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<long> sum{0};
+    pool.parallel_for(0, 100, 7, [&](std::size_t begin, std::size_t end) {
+      long local = 0;
+      for (std::size_t i = begin; i < end; ++i)
+        local += static_cast<long>(i);
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, ExceptionsPropagateToTheCaller) {
+  for (std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.parallel_for(0, 100, 3,
+                          [&](std::size_t begin, std::size_t) {
+                            if (begin >= 50)
+                              throw std::runtime_error("chunk failed");
+                          }),
+        std::runtime_error);
+    // The pool survives a throwing dispatch.
+    std::atomic<int> ok{0};
+    pool.parallel_for(0, 10, 1,
+                      [&](std::size_t, std::size_t) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 10);
+  }
+}
+
+TEST(ThreadPool, ResolveThreadsFallsBackToHardware) {
+  EXPECT_GE(ThreadPool::resolve_threads(0), 1u);
+  EXPECT_EQ(ThreadPool::resolve_threads(5), 5u);
+}
+
+}  // namespace
+}  // namespace qps

@@ -83,8 +83,15 @@ TEST(PcExact, NonEvasiveSystemExists) {
   EXPECT_EQ(pc_exact(dictator), 1u);
 }
 
+TEST(PcExact, AcceptsBeyondTheOldRecursionCap) {
+  // The legacy memoized recursion was capped at n <= 14; the dense DP
+  // kernel pushes evasiveness checks past it.
+  EXPECT_EQ(pc_exact(MajoritySystem(15)), 15u);
+}
+
 TEST(PcExact, RejectsLargeUniverse) {
-  EXPECT_THROW(pc_exact(MajoritySystem(15)), std::invalid_argument);
+  // The hard ceiling is the 2^n characteristic table (n <= 22).
+  EXPECT_THROW(pc_exact(MajoritySystem(23)), std::invalid_argument);
 }
 
 }  // namespace

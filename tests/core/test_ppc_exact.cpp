@@ -134,8 +134,17 @@ TEST(PpcExact, OptimalFirstProbeForCwIsBottomRow) {
   EXPECT_LT(first, wall.row_end(2));
 }
 
+TEST(PpcExact, AcceptsBeyondTheOldRecursionCap) {
+  // n = 15 was over the legacy n <= 14 recursion cap; Prop. 3.2 still
+  // pins the exact value to the grid-walk absorption time.
+  EXPECT_NEAR(ppc_exact(MajoritySystem(15), 0.5),
+              grid_walk_expected_time(8, 0.5), 1e-9);
+}
+
 TEST(PpcExact, RejectsLargeUniverse) {
-  EXPECT_THROW(ppc_exact(MajoritySystem(15), 0.5), std::invalid_argument);
+  // The hard ceiling is the 2^n characteristic table (n <= 22); memory
+  // caps below that are exercised in test_dp_kernel.cpp.
+  EXPECT_THROW(ppc_exact(MajoritySystem(23), 0.5), std::invalid_argument);
 }
 
 }  // namespace

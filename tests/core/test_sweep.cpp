@@ -184,6 +184,42 @@ TEST(SweepRunner, InProcessRunEvaluatesEveryPointInOrder) {
   }
 }
 
+TEST(SweepRunner, PointFilterRunsExactlyOneIsolatedPoint) {
+  const std::string target = "family=alpha/size=5/strategy=IR/p=0.5";
+  SweepOptions options;
+  options.point_filter = target;
+  std::size_t evaluations = 0;
+  const auto results =
+      SweepRunner(make_grid_spec(), options).run([&](const SweepPoint& p) {
+        ++evaluations;
+        return eval_point(p);
+      });
+  EXPECT_EQ(evaluations, 1u);
+  ASSERT_EQ(results.size(), 10u);
+  const auto full =
+      SweepRunner(make_grid_spec(), SweepOptions{}).run(eval_point);
+  for (const auto& result : results) {
+    if (result.point.id == target) {
+      EXPECT_FALSE(result.skipped);
+      // The isolated re-run reproduces the full sweep's value exactly.
+      EXPECT_EQ(result.stats.mean(),
+                full[result.point.index].stats.mean());
+      EXPECT_EQ(result.stats.count(),
+                full[result.point.index].stats.count());
+    } else {
+      EXPECT_TRUE(result.skipped) << result.point.id;
+      EXPECT_EQ(result.stats.count(), 0u) << result.point.id;
+    }
+  }
+}
+
+TEST(SweepRunner, PointFilterRejectsUnknownIds) {
+  SweepOptions options;
+  options.point_filter = "family=nope/size=1/p=0.5";
+  EXPECT_THROW(SweepRunner(make_grid_spec(), options).run(eval_point),
+               std::invalid_argument);
+}
+
 TEST(SweepRunner, WorkerCountsZeroOneAndFourAgreeBitForBit) {
   const auto baseline =
       SweepRunner(make_grid_spec(), SweepOptions{}).run(eval_point);
