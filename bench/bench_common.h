@@ -16,8 +16,10 @@
 // any K, including the K=0 in-process path), --checkpoint FILE journals
 // every completed point, --resume skips journaled points after an
 // interrupted run, and --point ID re-runs a single point in isolation
-// (every other point comes back `skipped`).  run_sweep() below is the one
-// entry point benches use.
+// (every other point comes back `skipped`).  --family TAG and --size N cut
+// coarser slices than --point and conjoin with it; filters that match
+// nothing anywhere exit 2.  run_sweep() below is the one entry point
+// benches use.
 #pragma once
 
 #include <unistd.h>
@@ -29,6 +31,7 @@
 #include <iomanip>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -58,9 +61,16 @@ struct BenchContext {
   std::string checkpoint_path;   // empty = no journal
   bool resume = false;           // load the journal, skip completed points
   std::string point_filter;      // --point ID: run one sweep point only
+  std::string family_filter;     // --family TAG: run one family's points
+  std::optional<std::size_t> size_filter;  // --size N: run one size's points
   bool worker_mode = false;      // hidden: this process serves one sweep
   std::string worker_sweep;      // hidden: which sweep to serve
   std::vector<std::string> command;  // original argv, for worker re-exec
+
+  bool has_sweep_filters() const {
+    return !point_filter.empty() || !family_filter.empty() ||
+           size_filter.has_value();
+  }
 
   Rng make_rng() const { return Rng(seed); }
 
@@ -88,16 +98,16 @@ struct BenchContext {
 
 namespace detail {
 
-/// Whether any run_sweep() of this process found the --point id in its
-/// spec.  Checked at exit so a mistyped id fails loudly instead of
-/// skipping every sweep and exiting 0.
-inline bool& point_filter_matched() {
+/// Whether any run_sweep() of this process found points matching the
+/// --point/--family/--size filters.  Checked at exit so a mistyped filter
+/// fails loudly (exit 2) instead of skipping every sweep and exiting 0.
+inline bool& sweep_filters_matched() {
   static bool matched = false;
   return matched;
 }
-inline std::string& point_filter_id() {
-  static std::string id;
-  return id;
+inline std::string& sweep_filters_description() {
+  static std::string description;
+  return description;
 }
 
 }  // namespace detail
@@ -117,6 +127,9 @@ inline BenchContext parse_context(int argc, char** argv) {
   ctx.checkpoint_path = flags.get_string("checkpoint", "");
   ctx.resume = flags.get_bool("resume", false);
   ctx.point_filter = flags.get_string("point", "");
+  ctx.family_filter = flags.get_string("family", "");
+  const std::int64_t size_flag = flags.get_int("size", -1);
+  if (size_flag >= 0) ctx.size_filter = static_cast<std::size_t>(size_flag);
   ctx.worker_mode = flags.get_bool("worker", false);
   ctx.worker_sweep = flags.get_string("sweep", "");
   const auto unused = flags.unused();
@@ -124,7 +137,7 @@ inline BenchContext parse_context(int argc, char** argv) {
     std::cerr << "unknown flag --" << unused.front()
               << " (supported: --seed --trials --quick --threads "
                  "--target-sem --json --workers --checkpoint --resume "
-                 "--point)\n";
+                 "--point --family --size)\n";
     std::exit(2);
   }
   if (ctx.quick) ctx.trials = std::max<std::size_t>(ctx.trials / 10, 100);
@@ -132,16 +145,23 @@ inline BenchContext parse_context(int argc, char** argv) {
     std::cerr << "--resume needs --checkpoint FILE\n";
     std::exit(2);
   }
-  // A --point id that matches no sweep of the whole harness must not
-  // look like success; the at-exit hook turns it into exit 2.  Worker
-  // subprocesses are exempt: they serve runner-dispatched points and
-  // never consult the filter.
-  if (!ctx.point_filter.empty() && !ctx.worker_mode) {
-    detail::point_filter_id() = ctx.point_filter;
+  // Filters that match no sweep of the whole harness must not look like
+  // success; the at-exit hook turns them into exit 2.  Worker subprocesses
+  // are exempt: they serve runner-dispatched points and never consult the
+  // filters.
+  if (ctx.has_sweep_filters() && !ctx.worker_mode) {
+    std::string description;
+    if (!ctx.point_filter.empty())
+      description += "--point '" + ctx.point_filter + "' ";
+    if (!ctx.family_filter.empty())
+      description += "--family '" + ctx.family_filter + "' ";
+    if (ctx.size_filter.has_value())
+      description += "--size " + std::to_string(*ctx.size_filter) + " ";
+    detail::sweep_filters_description() = description;
     std::atexit(+[] {
-      if (!detail::point_filter_matched()) {
-        std::cerr << "--point '" << detail::point_filter_id()
-                  << "' matched no point id of any sweep in this harness\n";
+      if (!detail::sweep_filters_matched()) {
+        std::cerr << detail::sweep_filters_description()
+                  << "matched no point of any sweep in this harness\n";
         std::_Exit(2);
       }
     });
@@ -186,23 +206,28 @@ inline std::vector<sweep::PointResult> run_sweep(
     return placeholders;
   }
 
-  // --point debugging: a sweep that does not contain the requested id is
-  // skipped wholesale (all-placeholder results), so one --point flag
-  // isolates a single point across a harness running several sweeps.  The
-  // strict unknown-id error stays in SweepRunner for direct users.
-  if (!ctx.point_filter.empty()) {
+  // Subsetting (--point / --family / --size): a sweep containing no
+  // matching point is skipped wholesale (all-placeholder results), so one
+  // filter isolates a slice across a harness running several sweeps.  The
+  // strict no-match error stays in SweepRunner for direct users.
+  sweep::SweepOptions filter_probe;
+  filter_probe.point_filter = ctx.point_filter;
+  filter_probe.family_filter = ctx.family_filter;
+  filter_probe.size_filter = ctx.size_filter;
+  if (filter_probe.has_filters()) {
     bool in_spec = false;
     std::vector<sweep::PointResult> placeholders;
     for (const sweep::SweepPoint& point : spec.expand()) {
-      in_spec = in_spec || point.id == ctx.point_filter;
+      in_spec = in_spec || filter_probe.selects(point);
       placeholders.push_back({point, RunningStats{}, false, true});
     }
     if (!in_spec) {
-      std::cerr << "sweep " << spec.name() << ": no point '"
-                << ctx.point_filter << "', skipping the whole sweep\n";
+      std::cerr << "sweep " << spec.name()
+                << ": no point matches the --point/--family/--size filters, "
+                   "skipping the whole sweep\n";
       return placeholders;
     }
-    detail::point_filter_matched() = true;
+    detail::sweep_filters_matched() = true;
   }
 
   // A fresh (non-resume) checkpointed run starts a new journal; do the
@@ -221,6 +246,8 @@ inline std::vector<sweep::PointResult> run_sweep(
   options.checkpoint_path = ctx.checkpoint_path;
   options.resume = ctx.resume;
   options.point_filter = ctx.point_filter;
+  options.family_filter = ctx.family_filter;
+  options.size_filter = ctx.size_filter;
   if (ctx.workers > 0) {
     options.worker_command = ctx.command;
     options.worker_command.push_back("--worker");

@@ -10,6 +10,7 @@
 #include "core/algorithms/probe_hqs.h"
 #include "core/algorithms/probe_maj.h"
 #include "core/algorithms/probe_tree.h"
+#include "core/engine/trial_workspace.h"
 #include "core/estimator.h"
 #include "core/exact/ppc_exact.h"
 #include "core/expectation.h"
@@ -114,6 +115,159 @@ void BM_ExactTreeExpectation(benchmark::State& state) {
     benchmark::DoNotOptimize(r_probe_tree_expectation(tree, c));
 }
 BENCHMARK(BM_ExactTreeExpectation)->Arg(8)->Arg(12)->Arg(16);
+
+// --- Probe-throughput suite ----------------------------------------------
+// Trials/sec of one full Monte-Carlo trial (coloring sample + probe run)
+// per family, on two paths:
+//  * Generic: the pre-workspace shape of the trial -- a fresh coloring, a
+//    fresh session answering probes through a type-erased std::function
+//    oracle, and the legacy ProbeStrategy::run() entry point with its
+//    per-call scratch.
+//  * Hot: the zero-allocation path -- one TrialWorkspace, colorings
+//    refilled in place from batched word-level sampling
+//    (sample_iid_coloring_words), and the scratch-aware run_with() entry
+//    point.
+// items_per_second is trials/sec.  CI pairs Generic/Hot by suffix, records
+// the speedups in the bench-smoke artifact, and gates them > 1.
+
+void run_generic_trials(benchmark::State& state, const QuorumSystem& system,
+                        const ProbeStrategy& strategy, double p) {
+  const std::size_t n = system.universe_size();
+  Rng rng(17);
+  for (auto _ : state) {
+    const Coloring c = sample_iid_coloring(n, p, rng);
+    ProbeSession session(n, [&c](Element e) { return c.color(e); });
+    benchmark::DoNotOptimize(strategy.run(session, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void run_hot_trials(benchmark::State& state, const QuorumSystem& system,
+                    const ProbeStrategy& strategy, double p) {
+  const std::size_t n = system.universe_size();
+  constexpr std::size_t kBatch = 1024;
+  TrialWorkspace ws(n);
+  Rng rng(17);
+  std::uint64_t* masks = ws.coloring_masks(kBatch);
+  std::size_t next = kBatch;
+  for (auto _ : state) {
+    if (next == kBatch) {
+      sample_iid_coloring_words(masks, kBatch, n, p, rng);
+      next = 0;
+    }
+    ws.coloring().assign_greens_mask(masks[next++]);
+    ProbeSession& session = ws.begin_trial(ws.coloring());
+    benchmark::DoNotOptimize(strategy.run_with(ws, session, rng));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_ProbeTrials_Generic_Maj63(benchmark::State& state) {
+  const MajoritySystem maj(63);
+  const ProbeMaj strategy(maj);
+  run_generic_trials(state, maj, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Generic_Maj63);
+
+void BM_ProbeTrials_Hot_Maj63(benchmark::State& state) {
+  const MajoritySystem maj(63);
+  const ProbeMaj strategy(maj);
+  run_hot_trials(state, maj, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Hot_Maj63);
+
+void BM_ProbeTrials_Generic_RMaj63(benchmark::State& state) {
+  const MajoritySystem maj(63);
+  const RProbeMaj strategy(maj);
+  run_generic_trials(state, maj, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Generic_RMaj63);
+
+void BM_ProbeTrials_Hot_RMaj63(benchmark::State& state) {
+  const MajoritySystem maj(63);
+  const RProbeMaj strategy(maj);
+  run_hot_trials(state, maj, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Hot_RMaj63);
+
+void BM_ProbeTrials_Generic_Tree63(benchmark::State& state) {
+  const TreeSystem tree(5);  // n = 63
+  const RProbeTree strategy(tree);
+  run_generic_trials(state, tree, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Generic_Tree63);
+
+void BM_ProbeTrials_Hot_Tree63(benchmark::State& state) {
+  const TreeSystem tree(5);
+  const RProbeTree strategy(tree);
+  run_hot_trials(state, tree, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Hot_Tree63);
+
+void BM_ProbeTrials_Generic_Hqs27(benchmark::State& state) {
+  const HQSystem hqs(3);  // n = 27
+  const ProbeHQS strategy(hqs);
+  run_generic_trials(state, hqs, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Generic_Hqs27);
+
+void BM_ProbeTrials_Hot_Hqs27(benchmark::State& state) {
+  const HQSystem hqs(3);
+  const ProbeHQS strategy(hqs);
+  run_hot_trials(state, hqs, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Hot_Hqs27);
+
+void BM_ProbeTrials_Generic_Cw55(benchmark::State& state) {
+  const CrumblingWall wall = CrumblingWall::triang(10);  // n = 55
+  const RProbeCW strategy(wall);
+  run_generic_trials(state, wall, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Generic_Cw55);
+
+void BM_ProbeTrials_Hot_Cw55(benchmark::State& state) {
+  const CrumblingWall wall = CrumblingWall::triang(10);
+  const RProbeCW strategy(wall);
+  run_hot_trials(state, wall, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Hot_Cw55);
+
+// Engine-level counterpart: estimate_ppc end to end, generic run() lambda
+// vs the workspace hot path the engine now takes by default.
+void BM_EstimatePpcGenericLambda(benchmark::State& state) {
+  const MajoritySystem maj(63);
+  const ProbeMaj strategy(maj);
+  EngineOptions options;
+  options.trials = 16384;
+  options.threads = 1;
+  options.seed = 23;
+  const ParallelEstimator engine(options);
+  for (auto _ : state) {
+    const auto stats = engine.run([&](Rng& rng) {
+      const Coloring c = sample_iid_coloring(63, 0.5, rng);
+      return run_probe_trial(maj, strategy, c, false, rng);
+    });
+    benchmark::DoNotOptimize(stats.mean());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.trials));
+}
+BENCHMARK(BM_EstimatePpcGenericLambda);
+
+void BM_EstimatePpcHotPath(benchmark::State& state) {
+  const MajoritySystem maj(63);
+  const ProbeMaj strategy(maj);
+  EngineOptions options;
+  options.trials = 16384;
+  options.threads = 1;
+  options.seed = 23;
+  const ParallelEstimator engine(options);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.estimate_ppc(maj, strategy, 0.5).mean());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.trials));
+}
+BENCHMARK(BM_EstimatePpcHotPath);
 
 // --- Estimation-engine microbenchmarks -----------------------------------
 // These guard the engine's own overheads: how batch size trades RNG-stream

@@ -5,7 +5,18 @@
 // on the enumerated quorum list, so it is restricted to systems whose
 // quorums can be enumerated; it serves as the baseline the paper's
 // structured algorithms are compared against in the benches.
+//
+// Candidate bookkeeping is bit-sliced: the constructor precomputes, per
+// element, the word-mask of quorums containing it, and a run tracks the
+// live / dead / not-yet-blocked candidate sets as word masks, so the
+// density scoring is popcounts instead of per-quorum membership tests.
+// The per-run masks live in reusable buffers (thread-local for run(), the
+// workspace's for run_with()), so no entry point allocates per trial in
+// the steady state.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "core/strategy.h"
 #include "quorum/quorum_system.h"
@@ -19,10 +30,20 @@ class GreedyCandidateProbe final : public ProbeStrategy {
 
   std::string name() const override { return "Greedy_Candidate"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
+  Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
+                   Rng& rng) const override;
 
  private:
+  Witness run_masks(ProbeSession& session, std::vector<std::uint64_t>& live,
+                    std::vector<std::uint64_t>& dead,
+                    std::vector<std::uint64_t>& unhit) const;
+
   const QuorumSystem* system_;
   std::vector<ElementSet> quorums_;
+  /// member_[e * mask_words_ + w]: bit q of word w set iff element e is in
+  /// quorum 64w + q.
+  std::vector<std::uint64_t> member_;
+  std::size_t mask_words_ = 0;
 };
 
 }  // namespace qps

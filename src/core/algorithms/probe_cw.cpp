@@ -1,5 +1,9 @@
 #include "core/algorithms/probe_cw.h"
 
+#include <algorithm>
+#include <array>
+#include <vector>
+
 #include "util/require.h"
 
 namespace qps {
@@ -37,51 +41,118 @@ Witness ProbeCW::run(ProbeSession& session, Rng& /*rng*/) const {
   return {mode, witness};
 }
 
-Witness RProbeCW::run(ProbeSession& session, Rng& rng) const {
-  const CrumblingWall& wall = *wall_;
+namespace {
+
+// Per-run scratch of R_Probe_CW: one same-colored representative per
+// scanned row, per color (the witness tail below a monochromatic row), and
+// a shuffle buffer for the current row.  Two flavors behind one interface:
+// word masks plus stack arrays when rows and widths fit in 64 (every
+// universe with n <= 64, so the hot path never touches the heap), heap
+// vectors for wider walls.
+struct StackCwScratch {
+  std::array<Element, 64> green_rep;
+  std::array<Element, 64> red_rep;
+  std::uint64_t has_green = 0;
+  std::uint64_t has_red = 0;
+  std::array<Element, 64> row_elems;
+
+  explicit StackCwScratch(const CrumblingWall&) {}
+  bool green(std::size_t row) const { return (has_green >> row) & 1ULL; }
+  bool red(std::size_t row) const { return (has_red >> row) & 1ULL; }
+  void set_green(std::size_t row, Element e) {
+    has_green |= 1ULL << row;
+    green_rep[row] = e;
+  }
+  void set_red(std::size_t row, Element e) {
+    has_red |= 1ULL << row;
+    red_rep[row] = e;
+  }
+};
+
+struct HeapCwScratch {
+  std::vector<Element> green_rep;
+  std::vector<Element> red_rep;
+  std::vector<char> has_green;
+  std::vector<char> has_red;
+  std::vector<Element> row_elems;
+
+  explicit HeapCwScratch(const CrumblingWall& wall)
+      : green_rep(wall.row_count()),
+        red_rep(wall.row_count()),
+        has_green(wall.row_count(), 0),
+        has_red(wall.row_count(), 0) {
+    std::size_t widest = 0;
+    for (std::size_t row = 0; row < wall.row_count(); ++row)
+      widest = std::max(widest, wall.row_width(row));
+    row_elems.resize(widest);
+  }
+  bool green(std::size_t row) const { return has_green[row] != 0; }
+  bool red(std::size_t row) const { return has_red[row] != 0; }
+  void set_green(std::size_t row, Element e) {
+    has_green[row] = 1;
+    green_rep[row] = e;
+  }
+  void set_red(std::size_t row, Element e) {
+    has_red[row] = 1;
+    red_rep[row] = e;
+  }
+};
+
+template <typename Scratch>
+Witness r_probe_cw_impl(const CrumblingWall& wall, ProbeSession& session,
+                        Rng& rng, Scratch scratch) {
   const std::size_t n = wall.universe_size();
   const std::size_t k = wall.row_count();
 
-  // One same-colored representative per scanned row, per color; when a
-  // monochromatic row is found these provide the witness tail below it.
-  std::vector<Element> green_rep(k), red_rep(k);
-  std::vector<bool> has_green(k, false), has_red(k, false);
-
   for (std::size_t row = k; row-- > 0;) {
-    std::vector<Element> elements;
-    elements.reserve(wall.row_width(row));
-    for (Element e = wall.row_begin(row); e < wall.row_end(row); ++e)
-      elements.push_back(e);
-    rng.shuffle(elements);
+    const std::size_t width = wall.row_width(row);
+    for (std::size_t i = 0; i < width; ++i)
+      scratch.row_elems[i] = wall.row_begin(row) + static_cast<Element>(i);
+    rng.shuffle_span(scratch.row_elems.data(), width);
 
-    for (Element e : elements) {
-      if (session.probe(e) == Color::kGreen) {
-        has_green[row] = true;
-        green_rep[row] = e;
-      } else {
-        has_red[row] = true;
-        red_rep[row] = e;
-      }
-      if (has_green[row] && has_red[row]) break;
+    for (std::size_t i = 0; i < width; ++i) {
+      const Element e = scratch.row_elems[i];
+      if (session.probe(e) == Color::kGreen)
+        scratch.set_green(row, e);
+      else
+        scratch.set_red(row, e);
+      if (scratch.green(row) && scratch.red(row)) break;
     }
 
-    if (!(has_green[row] && has_red[row])) {
+    if (!(scratch.green(row) && scratch.red(row))) {
       // Monochromatic row: full row + one matching element per row below.
-      const Color mode = has_green[row] ? Color::kGreen : Color::kRed;
+      const Color mode = scratch.green(row) ? Color::kGreen : Color::kRed;
       ElementSet witness(n);
       for (Element e = wall.row_begin(row); e < wall.row_end(row); ++e)
         witness.insert(e);
       for (std::size_t below = row + 1; below < k; ++below) {
-        QPS_CHECK(mode == Color::kGreen ? has_green[below] : has_red[below],
+        QPS_CHECK(mode == Color::kGreen ? scratch.green(below)
+                                        : scratch.red(below),
                   "rows below a monochromatic row must have both colors");
-        witness.insert(mode == Color::kGreen ? green_rep[below]
-                                             : red_rep[below]);
+        witness.insert(mode == Color::kGreen ? scratch.green_rep[below]
+                                             : scratch.red_rep[below]);
       }
       return {mode, witness};
     }
   }
   QPS_CHECK(false, "the width-1 top row is always monochromatic");
   return {};
+}
+
+bool fits_stack_scratch(const CrumblingWall& wall) {
+  if (wall.row_count() > 64) return false;
+  for (std::size_t row = 0; row < wall.row_count(); ++row)
+    if (wall.row_width(row) > 64) return false;
+  return true;
+}
+
+}  // namespace
+
+Witness RProbeCW::run(ProbeSession& session, Rng& rng) const {
+  const CrumblingWall& wall = *wall_;
+  if (fits_stack_scratch(wall))
+    return r_probe_cw_impl(wall, session, rng, StackCwScratch(wall));
+  return r_probe_cw_impl(wall, session, rng, HeapCwScratch(wall));
 }
 
 }  // namespace qps

@@ -1,8 +1,10 @@
 #include "core/algorithms/probe_hqs.h"
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
+#include "core/engine/trial_workspace.h"
 #include "util/require.h"
 
 namespace qps {
@@ -146,6 +148,119 @@ Eval ir_eval(std::size_t level, std::size_t index, ProbeSession& session,
   return merge_tiebreak(v1, v3, v2);
 }
 
+// ---- Word-level hot path (n <= 64) --------------------------------------
+// The same three evaluations with (value, support bitmask) results: sibling
+// supports are disjoint, so unions are single ORs and nothing is allocated.
+// Gate visit order and Rng draws are identical to the vector recursions
+// above, so both entry points agree probe-for-probe.
+
+struct MaskEval {
+  bool value = false;
+  std::uint64_t support = 0;
+};
+
+MaskEval leaf_eval_mask(Element leaf, ProbeSession& session) {
+  return {session.probe(leaf) == Color::kGreen, 1ULL << leaf};
+}
+
+MaskEval merge_pair_mask(MaskEval a, const MaskEval& b) {
+  QPS_CHECK(a.value == b.value, "merge_pair needs agreeing children");
+  a.support |= b.support;
+  return a;
+}
+
+MaskEval merge_tiebreak_mask(const MaskEval& first, const MaskEval& second,
+                             MaskEval third) {
+  QPS_CHECK(first.value != second.value, "tiebreak needs a disagreement");
+  third.support |= first.value == third.value ? first.support : second.support;
+  return third;
+}
+
+Witness materialize_mask(const MaskEval& eval, std::size_t n) {
+  Witness w;
+  w.color = eval.value ? Color::kGreen : Color::kRed;
+  w.elements = ElementSet::from_mask(n, eval.support);
+  return w;
+}
+
+MaskEval probe_hqs_rec_mask(std::size_t level, std::size_t index,
+                            ProbeSession& session) {
+  if (level == 0) return leaf_eval_mask(static_cast<Element>(index), session);
+  MaskEval first = probe_hqs_rec_mask(level - 1, index * 3, session);
+  MaskEval second = probe_hqs_rec_mask(level - 1, index * 3 + 1, session);
+  if (first.value == second.value) return merge_pair_mask(first, second);
+  MaskEval third = probe_hqs_rec_mask(level - 1, index * 3 + 2, session);
+  return merge_tiebreak_mask(first, second, third);
+}
+
+MaskEval r_probe_hqs_rec_mask(std::size_t level, std::size_t index,
+                              ProbeSession& session, Rng& rng) {
+  if (level == 0) return leaf_eval_mask(static_cast<Element>(index), session);
+  std::array<std::size_t, 3> order = {index * 3, index * 3 + 1, index * 3 + 2};
+  rng.shuffle_array(order);
+  MaskEval first = r_probe_hqs_rec_mask(level - 1, order[0], session, rng);
+  MaskEval second = r_probe_hqs_rec_mask(level - 1, order[1], session, rng);
+  if (first.value == second.value) return merge_pair_mask(first, second);
+  MaskEval third = r_probe_hqs_rec_mask(level - 1, order[2], session, rng);
+  return merge_tiebreak_mask(first, second, third);
+}
+
+MaskEval ir_eval_mask(std::size_t level, std::size_t index,
+                      ProbeSession& session, Rng& rng);
+
+MaskEval eval_node_mask(std::size_t level, std::size_t index,
+                        ProbeSession& session, Rng& rng) {
+  if (level == 0) return leaf_eval_mask(static_cast<Element>(index), session);
+  std::array<std::size_t, 3> order = {index * 3, index * 3 + 1, index * 3 + 2};
+  rng.shuffle_array(order);
+  MaskEval first = ir_eval_mask(level - 1, order[0], session, rng);
+  MaskEval second = ir_eval_mask(level - 1, order[1], session, rng);
+  if (first.value == second.value) return merge_pair_mask(first, second);
+  MaskEval third = ir_eval_mask(level - 1, order[2], session, rng);
+  return merge_tiebreak_mask(first, second, third);
+}
+
+MaskEval complete_node_mask(std::size_t child_level,
+                            std::array<std::size_t, 2> rest,
+                            const MaskEval& first, ProbeSession& session,
+                            Rng& rng) {
+  MaskEval second = ir_eval_mask(child_level, rest[0], session, rng);
+  if (first.value == second.value) return merge_pair_mask(second, first);
+  MaskEval third = ir_eval_mask(child_level, rest[1], session, rng);
+  return merge_tiebreak_mask(first, second, third);
+}
+
+MaskEval ir_eval_mask(std::size_t level, std::size_t index,
+                      ProbeSession& session, Rng& rng) {
+  if (level <= 1) return eval_node_mask(level, index, session, rng);
+
+  std::array<std::size_t, 3> children = {index * 3, index * 3 + 1,
+                                         index * 3 + 2};
+  rng.shuffle_array(children);
+  const std::size_t r1 = children[0];
+  const std::size_t r2 = children[1];
+  const std::size_t r3 = children[2];
+
+  const MaskEval v1 = eval_node_mask(level - 1, r1, session, rng);
+
+  std::array<std::size_t, 3> grandchildren = {r2 * 3, r2 * 3 + 1, r2 * 3 + 2};
+  rng.shuffle_array(grandchildren);
+  const MaskEval g1 = ir_eval_mask(level - 2, grandchildren[0], session, rng);
+  const std::array<std::size_t, 2> g_rest = {grandchildren[1],
+                                             grandchildren[2]};
+
+  if (g1.value == v1.value) {
+    const MaskEval v2 = complete_node_mask(level - 2, g_rest, g1, session, rng);
+    if (v2.value == v1.value) return merge_pair_mask(v2, v1);
+    const MaskEval v3 = eval_node_mask(level - 1, r3, session, rng);
+    return merge_tiebreak_mask(v1, v2, v3);
+  }
+  const MaskEval v3 = eval_node_mask(level - 1, r3, session, rng);
+  if (v3.value == v1.value) return merge_pair_mask(v3, v1);
+  const MaskEval v2 = complete_node_mask(level - 2, g_rest, g1, session, rng);
+  return merge_tiebreak_mask(v1, v3, v2);
+}
+
 }  // namespace
 
 Witness ProbeHQS::run(ProbeSession& session, Rng& /*rng*/) const {
@@ -153,14 +268,36 @@ Witness ProbeHQS::run(ProbeSession& session, Rng& /*rng*/) const {
                      hqs_->universe_size());
 }
 
+Witness ProbeHQS::run_with(TrialWorkspace& /*workspace*/,
+                           ProbeSession& session, Rng& rng) const {
+  const std::size_t n = hqs_->universe_size();
+  if (n > 64) return run(session, rng);
+  return materialize_mask(probe_hqs_rec_mask(hqs_->height(), 0, session), n);
+}
+
 Witness RProbeHQS::run(ProbeSession& session, Rng& rng) const {
   return materialize(r_probe_hqs_rec(hqs_->height(), 0, session, rng),
                      hqs_->universe_size());
 }
 
+Witness RProbeHQS::run_with(TrialWorkspace& /*workspace*/,
+                            ProbeSession& session, Rng& rng) const {
+  const std::size_t n = hqs_->universe_size();
+  if (n > 64) return run(session, rng);
+  return materialize_mask(r_probe_hqs_rec_mask(hqs_->height(), 0, session, rng),
+                          n);
+}
+
 Witness IRProbeHQS::run(ProbeSession& session, Rng& rng) const {
   return materialize(ir_eval(hqs_->height(), 0, session, rng),
                      hqs_->universe_size());
+}
+
+Witness IRProbeHQS::run_with(TrialWorkspace& /*workspace*/,
+                             ProbeSession& session, Rng& rng) const {
+  const std::size_t n = hqs_->universe_size();
+  if (n > 64) return run(session, rng);
+  return materialize_mask(ir_eval_mask(hqs_->height(), 0, session, rng), n);
 }
 
 }  // namespace qps

@@ -29,6 +29,9 @@ class ProbeHQS final : public ProbeStrategy {
   explicit ProbeHQS(const HQSystem& hqs) : hqs_(&hqs) {}
   std::string name() const override { return "Probe_HQS"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
+  /// Allocation-free word-mask evaluation for n <= 64.
+  Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
+                   Rng& rng) const override;
 
  private:
   const HQSystem* hqs_;
@@ -39,6 +42,9 @@ class RProbeHQS final : public ProbeStrategy {
   explicit RProbeHQS(const HQSystem& hqs) : hqs_(&hqs) {}
   std::string name() const override { return "R_Probe_HQS"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
+  /// Allocation-free word-mask evaluation for n <= 64.
+  Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
+                   Rng& rng) const override;
 
  private:
   const HQSystem* hqs_;
@@ -49,6 +55,9 @@ class IRProbeHQS final : public ProbeStrategy {
   explicit IRProbeHQS(const HQSystem& hqs) : hqs_(&hqs) {}
   std::string name() const override { return "IR_Probe_HQS"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
+  /// Allocation-free word-mask evaluation for n <= 64.
+  Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
+                   Rng& rng) const override;
 
  private:
   const HQSystem* hqs_;

@@ -1,21 +1,25 @@
 #include "core/algorithms/probe_maj.h"
 
+#include "core/engine/trial_workspace.h"
 #include "util/require.h"
 
 namespace qps {
 
 namespace {
 
-/// Probes elements in the given order until one color reaches the majority
-/// threshold; the monochromatic majority is the witness (a quorum if green,
-/// a transversal -- in fact a quorum, since Maj is ND -- if red).
-Witness probe_in_order(const MajoritySystem& system,
-                       const std::vector<Element>& order,
+/// Probes elements in the order `order(0), order(1), ...` until one color
+/// reaches the majority threshold; the monochromatic majority is the
+/// witness (a quorum if green, a transversal -- in fact a quorum, since Maj
+/// is ND -- if red).  For n <= 64 the green/red tallies are single-word
+/// sets, so the whole loop is allocation-free.
+template <typename OrderFn>
+Witness probe_in_order(const MajoritySystem& system, OrderFn&& order,
                        ProbeSession& session) {
   const std::size_t threshold = system.threshold();
   ElementSet greens(system.universe_size());
   ElementSet reds(system.universe_size());
-  for (Element e : order) {
+  for (std::size_t i = 0; i < system.universe_size(); ++i) {
+    const Element e = order(i);
     if (session.probe(e) == Color::kGreen) {
       greens.insert(e);
       if (greens.count() >= threshold) return {Color::kGreen, greens};
@@ -31,15 +35,26 @@ Witness probe_in_order(const MajoritySystem& system,
 }  // namespace
 
 Witness ProbeMaj::run(ProbeSession& session, Rng& /*rng*/) const {
-  std::vector<Element> order(system_->universe_size());
-  for (Element e = 0; e < order.size(); ++e) order[e] = e;
-  return probe_in_order(*system_, order, session);
+  return probe_in_order(
+      *system_, [](std::size_t i) { return static_cast<Element>(i); },
+      session);
 }
 
 Witness RProbeMaj::run(ProbeSession& session, Rng& rng) const {
   const auto perm = rng.permutation(
       static_cast<std::uint32_t>(system_->universe_size()));
-  return probe_in_order(*system_, perm, session);
+  return probe_in_order(
+      *system_, [&perm](std::size_t i) { return perm[i]; }, session);
+}
+
+Witness RProbeMaj::run_with(TrialWorkspace& workspace, ProbeSession& session,
+                            Rng& rng) const {
+  // Same draws as run(), but the permutation lands in the reusable buffer.
+  auto& perm = workspace.order_buffer();
+  rng.permutation_into(perm,
+                       static_cast<std::uint32_t>(system_->universe_size()));
+  return probe_in_order(
+      *system_, [&perm](std::size_t i) { return perm[i]; }, session);
 }
 
 }  // namespace qps

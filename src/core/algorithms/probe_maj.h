@@ -32,6 +32,10 @@ class RProbeMaj final : public ProbeStrategy {
   explicit RProbeMaj(const MajoritySystem& system) : system_(&system) {}
   std::string name() const override { return "R_Probe_Maj"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
+  /// Zero-allocation variant: the random order lands in the workspace's
+  /// reusable buffer.
+  Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
+                   Rng& rng) const override;
 
  private:
   const MajoritySystem* system_;

@@ -1,7 +1,9 @@
 #include "core/algorithms/probe_tree.h"
 
+#include <cstdint>
 #include <vector>
 
+#include "core/engine/trial_workspace.h"
 #include "util/require.h"
 
 namespace qps {
@@ -96,6 +98,85 @@ TreeWitness r_probe_tree_rec(const TreeSystem& tree, Element v,
   return std::move(match);
 }
 
+// ---- Word-level hot path (n <= 64) --------------------------------------
+// Same recursions, but a witness is (color, support bitmask): disjoint
+// unions are single ORs and nothing is allocated.  Probe order and Rng
+// draws are identical to the vector recursions above, so both entry points
+// return the same witness at the same cost for equal generator states.
+
+struct MaskWitness {
+  Color color = Color::kRed;
+  std::uint64_t mask = 0;
+};
+
+MaskWitness combine_with_root_mask(Element root, Color root_color,
+                                   MaskWitness first, MaskWitness second) {
+  if (first.color == root_color) {
+    first.mask |= 1ULL << root;
+    return first;
+  }
+  if (second.color == root_color) {
+    second.mask |= 1ULL << root;
+    return second;
+  }
+  QPS_CHECK(first.color == second.color,
+            "subtree witnesses opposing the root must agree");
+  first.mask |= second.mask;
+  return first;
+}
+
+MaskWitness probe_tree_rec_mask(const TreeSystem& tree, Element v,
+                                ProbeSession& session) {
+  if (tree.is_leaf(v)) return {session.probe(v), 1ULL << v};
+  const Color root_color = session.probe(v);
+  MaskWitness right =
+      probe_tree_rec_mask(tree, TreeSystem::right_child(v), session);
+  if (right.color == root_color) {
+    right.mask |= 1ULL << v;
+    return right;
+  }
+  MaskWitness left =
+      probe_tree_rec_mask(tree, TreeSystem::left_child(v), session);
+  return combine_with_root_mask(v, root_color, right, left);
+}
+
+MaskWitness r_probe_tree_rec_mask(const TreeSystem& tree, Element v,
+                                  ProbeSession& session, Rng& rng) {
+  if (tree.is_leaf(v)) return {session.probe(v), 1ULL << v};
+  const Element left = TreeSystem::left_child(v);
+  const Element right = TreeSystem::right_child(v);
+  const std::uint64_t plan = rng.below(3);
+  if (plan == 0 || plan == 1) {
+    const Element primary = plan == 0 ? right : left;
+    const Element sibling = plan == 0 ? left : right;
+    const Color root_color = session.probe(v);
+    MaskWitness first = r_probe_tree_rec_mask(tree, primary, session, rng);
+    if (first.color == root_color) {
+      first.mask |= 1ULL << v;
+      return first;
+    }
+    MaskWitness second = r_probe_tree_rec_mask(tree, sibling, session, rng);
+    return combine_with_root_mask(v, root_color, first, second);
+  }
+  MaskWitness wl = r_probe_tree_rec_mask(tree, left, session, rng);
+  MaskWitness wr = r_probe_tree_rec_mask(tree, right, session, rng);
+  if (wl.color == wr.color) {
+    wl.mask |= wr.mask;
+    return wl;
+  }
+  const Color root_color = session.probe(v);
+  MaskWitness& match = wl.color == root_color ? wl : wr;
+  match.mask |= 1ULL << v;
+  return match;
+}
+
+Witness materialize_mask(const MaskWitness& mw, std::size_t n) {
+  Witness w;
+  w.color = mw.color;
+  w.elements = ElementSet::from_mask(n, mw.mask);
+  return w;
+}
+
 }  // namespace
 
 Witness ProbeTree::run(ProbeSession& session, Rng& /*rng*/) const {
@@ -103,9 +184,28 @@ Witness ProbeTree::run(ProbeSession& session, Rng& /*rng*/) const {
                      tree_->universe_size());
 }
 
+Witness ProbeTree::run_with(TrialWorkspace& workspace, ProbeSession& session,
+                            Rng& rng) const {
+  const std::size_t n = tree_->universe_size();
+  if (n > 64) return run(session, rng);
+  (void)workspace;
+  return materialize_mask(probe_tree_rec_mask(*tree_, TreeSystem::kRoot,
+                                              session),
+                          n);
+}
+
 Witness RProbeTree::run(ProbeSession& session, Rng& rng) const {
   return materialize(r_probe_tree_rec(*tree_, TreeSystem::kRoot, session, rng),
                      tree_->universe_size());
+}
+
+Witness RProbeTree::run_with(TrialWorkspace& workspace, ProbeSession& session,
+                             Rng& rng) const {
+  const std::size_t n = tree_->universe_size();
+  if (n > 64) return run(session, rng);
+  (void)workspace;
+  return materialize_mask(
+      r_probe_tree_rec_mask(*tree_, TreeSystem::kRoot, session, rng), n);
 }
 
 }  // namespace qps

@@ -21,6 +21,9 @@ class ProbeTree final : public ProbeStrategy {
   explicit ProbeTree(const TreeSystem& tree) : tree_(&tree) {}
   std::string name() const override { return "Probe_Tree"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
+  /// Allocation-free word-mask recursion for n <= 64.
+  Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
+                   Rng& rng) const override;
 
  private:
   const TreeSystem* tree_;
@@ -31,6 +34,9 @@ class RProbeTree final : public ProbeStrategy {
   explicit RProbeTree(const TreeSystem& tree) : tree_(&tree) {}
   std::string name() const override { return "R_Probe_Tree"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
+  /// Allocation-free word-mask recursion for n <= 64.
+  Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
+                   Rng& rng) const override;
 
  private:
   const TreeSystem* tree_;

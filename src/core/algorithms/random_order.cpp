@@ -1,28 +1,49 @@
 #include "core/algorithms/random_order.h"
 
+#include "core/engine/trial_workspace.h"
 #include "util/require.h"
 
 namespace qps {
 
-Witness RandomOrderProbe::run(ProbeSession& session, Rng& rng) const {
-  const std::size_t n = system_->universe_size();
-  QPS_REQUIRE(session.universe_size() == n, "session over the wrong universe");
-  const auto order = rng.permutation(static_cast<std::uint32_t>(n));
+namespace {
+
+Witness probe_in_random_order(const QuorumSystem& system,
+                              const std::vector<std::uint32_t>& order,
+                              ProbeSession& session) {
+  const std::size_t n = system.universe_size();
   // not_red = greens + unprobed: the reds are a transversal exactly when
   // this set no longer contains a quorum.
   ElementSet not_red = ElementSet::full(n);
   for (Element e : order) {
     if (session.probe(e) == Color::kGreen) {
-      if (system_->contains_quorum(session.probed_greens()))
+      if (system.contains_quorum(session.probed_greens()))
         return {Color::kGreen, session.probed_greens()};
     } else {
       not_red.erase(e);
-      if (!system_->contains_quorum(not_red))
+      if (!system.contains_quorum(not_red))
         return {Color::kRed, session.probed_reds()};
     }
   }
   QPS_CHECK(false, "probing everything always certifies the state");
   return {};
+}
+
+}  // namespace
+
+Witness RandomOrderProbe::run(ProbeSession& session, Rng& rng) const {
+  const std::size_t n = system_->universe_size();
+  QPS_REQUIRE(session.universe_size() == n, "session over the wrong universe");
+  const auto order = rng.permutation(static_cast<std::uint32_t>(n));
+  return probe_in_random_order(*system_, order, session);
+}
+
+Witness RandomOrderProbe::run_with(TrialWorkspace& workspace,
+                                   ProbeSession& session, Rng& rng) const {
+  const std::size_t n = system_->universe_size();
+  QPS_REQUIRE(session.universe_size() == n, "session over the wrong universe");
+  auto& order = workspace.order_buffer();
+  rng.permutation_into(order, static_cast<std::uint32_t>(n));
+  return probe_in_random_order(*system_, order, session);
 }
 
 }  // namespace qps

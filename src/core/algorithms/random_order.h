@@ -18,6 +18,10 @@ class RandomOrderProbe final : public ProbeStrategy {
   explicit RandomOrderProbe(const QuorumSystem& system) : system_(&system) {}
   std::string name() const override { return "Random_Order"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
+  /// Zero-allocation variant: the random order lands in the workspace's
+  /// reusable buffer.
+  Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
+                   Rng& rng) const override;
 
  private:
   const QuorumSystem* system_;

@@ -1,6 +1,8 @@
 #include "core/coloring.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 
 #include "util/require.h"
 
@@ -33,6 +35,53 @@ Coloring sample_iid_coloring(std::size_t universe_size, double p, Rng& rng) {
   for (Element e = 0; e < universe_size; ++e)
     if (!rng.bernoulli(p)) greens.insert(e);
   return Coloring(universe_size, std::move(greens));
+}
+
+std::uint64_t sample_iid_coloring_mask(std::size_t universe_size, double p,
+                                       Rng& rng) {
+  QPS_REQUIRE(universe_size >= 1 && universe_size <= 64,
+              "mask sampling needs a universe of 1..64");
+  QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
+  std::uint64_t greens = 0;
+  for (Element e = 0; e < universe_size; ++e)
+    if (!rng.bernoulli(p)) greens |= 1ULL << e;
+  return greens;
+}
+
+void sample_iid_coloring_words(std::uint64_t* out, std::size_t count,
+                               std::size_t universe_size, double p, Rng& rng) {
+  QPS_REQUIRE(universe_size >= 1 && universe_size <= 64,
+              "word sampling needs a universe of 1..64");
+  QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
+  const std::uint64_t universe =
+      universe_size == 64 ? ~0ULL : (1ULL << universe_size) - 1;
+  // bernoulli(p) accepts iff uniform01() < p, i.e. iff the 53-bit uniform
+  // U satisfies U < ceil(p * 2^53); the product is exact (power-of-two
+  // scale), so P below reproduces that acceptance region bit-exactly.
+  const auto threshold =
+      static_cast<std::uint64_t>(std::ceil(p * 9007199254740992.0));  // 2^53
+  if (threshold == 0) {  // p == 0: nothing fails, and bernoulli draws nothing
+    for (std::size_t i = 0; i < count; ++i) out[i] = universe;
+    return;
+  }
+  if (threshold >= (1ULL << 53)) {  // p == 1: everything fails
+    for (std::size_t i = 0; i < count; ++i) out[i] = 0;
+    return;
+  }
+  // Bit-sliced comparison red_e = [U_e < P], one word of 64 lanes at a
+  // time, LSB to MSB: a set P bit ORs in a fresh random word, a clear bit
+  // ANDs one.  Bits below P's lowest set one leave an all-zero accumulator
+  // unchanged, so they are skipped and each mask costs 53 - countr_zero(P)
+  // draws regardless of the data (fixed construction per word).
+  const int lowest = std::countr_zero(threshold);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t reds = 0;
+    for (int b = lowest; b < 53; ++b) {
+      const std::uint64_t w = rng.next_u64();
+      reds = ((threshold >> b) & 1ULL) != 0 ? (reds | w) : (reds & w);
+    }
+    out[i] = ~reds & universe;
+  }
 }
 
 ColoringDistribution::ColoringDistribution(std::vector<Coloring> support,

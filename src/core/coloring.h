@@ -25,7 +25,9 @@ inline Color opposite(Color c) {
 
 std::string to_string(Color c);
 
-/// An assignment of colors to all n elements.  Immutable value type.
+/// An assignment of colors to all n elements.  Value type; immutable except
+/// for the assign_greens_mask() engine hook, which refills the coloring in
+/// place so the Monte-Carlo hot path can reuse one buffer across trials.
 class Coloring {
  public:
   /// All elements red.
@@ -44,6 +46,12 @@ class Coloring {
 
   Coloring with(Element e, Color c) const;
 
+  /// Overwrites the green set from a bitmask without reallocating
+  /// (universes of at most 64 elements).  Engine hook for the
+  /// zero-allocation trial loop; everything else should treat colorings as
+  /// immutable.
+  void assign_greens_mask(std::uint64_t mask) { greens_.assign_mask(mask); }
+
   bool operator==(const Coloring& other) const = default;
 
  private:
@@ -53,6 +61,29 @@ class Coloring {
 /// Samples a coloring where each element is red independently with
 /// probability `p` (the probabilistic model of Section 3).
 Coloring sample_iid_coloring(std::size_t universe_size, double p, Rng& rng);
+
+/// Green-mask variant of sample_iid_coloring for universes of at most 64
+/// elements: same distribution, same generator draw sequence (one uniform
+/// per element), no ElementSet materialization.  sample_iid_coloring(n,p,r)
+/// == Coloring(n, ElementSet::from_mask(n, sample_iid_coloring_mask(n,p,r)))
+/// for equal generator states.
+std::uint64_t sample_iid_coloring_mask(std::size_t universe_size, double p,
+                                       Rng& rng);
+
+/// Batched word-level i.i.d. sampling: fills `out[0..count)` with one green
+/// bitmask per trial (universes of at most 64 elements).  Each mask is
+/// built whole-word by the bit-sliced Bernoulli construction: p is read as
+/// a 53-bit fixed-point threshold P = ceil(p * 2^53) -- exactly the
+/// acceptance region of Rng::bernoulli -- and the word of per-element
+/// comparisons [U_e < P] is assembled from one 64-lane draw per significant
+/// bit of P (at most 53 draws for all 64 elements, and e.g. a single draw
+/// at p = 1/2).  The marginal of every element is therefore bit-exactly
+/// Bernoulli(p), while the joint draw sequence differs from the
+/// per-element samplers; estimates built on it are statistically
+/// equivalent, not stream-identical.  Deterministic function of (p, rng
+/// state), so engine results stay bit-identical across thread counts.
+void sample_iid_coloring_words(std::uint64_t* out, std::size_t count,
+                               std::size_t universe_size, double p, Rng& rng);
 
 /// A finite distribution over colorings with explicit weights; weights are
 /// normalized on construction.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/engine/parallel_for.h"
+#include "core/engine/trial_workspace.h"
 #include "core/probe_session.h"
 #include "core/witness.h"
 #include "util/require.h"
@@ -35,6 +36,25 @@ struct RunState {
   std::exception_ptr first_error;
 };
 
+/// One hot-path trial: reset the session, run the strategy through the
+/// scratch-aware entry point, optionally validate.  Allocation-free in the
+/// steady state for n <= 64.
+double run_workspace_trial(TrialWorkspace& workspace, const Coloring& coloring,
+                           const QuorumSystem& system,
+                           const ProbeStrategy& strategy, bool validate,
+                           Rng& rng) {
+  ProbeSession& session = workspace.begin_trial(coloring);
+  const Witness witness = strategy.run_with(workspace, session, rng);
+  if (validate) {
+    const std::string error =
+        validate_witness(system, coloring, witness, session.probed());
+    if (!error.empty())
+      throw std::logic_error(strategy.name() +
+                             " returned a bad witness: " + error);
+  }
+  return static_cast<double>(session.probe_count());
+}
+
 }  // namespace
 
 ParallelEstimator::ParallelEstimator(EngineOptions options)
@@ -51,8 +71,8 @@ std::size_t ParallelEstimator::resolved_threads() const {
   return threads < num_batches ? threads : num_batches;
 }
 
-RunningStats ParallelEstimator::run(const Trial& trial) const {
-  QPS_REQUIRE(static_cast<bool>(trial), "run() needs a trial function");
+RunningStats ParallelEstimator::run_batches(
+    const BatchFnFactory& make_batch_fn) const {
   const std::size_t trials = options_.trials;
   const std::size_t batch_size = options_.batch_size;
   const std::size_t num_batches = (trials + batch_size - 1) / batch_size;
@@ -68,15 +88,10 @@ RunningStats ParallelEstimator::run(const Trial& trial) const {
            merged.sem() <= options_.target_sem;
   };
 
-  const auto run_batch = [&](std::size_t k, RunningStats& out) {
-    const std::size_t begin = k * batch_size;
-    const std::size_t end = begin + batch_size < trials ? begin + batch_size
-                                                        : trials;
-    Rng rng = Rng::for_stream(options_.seed, k);
-    for (std::size_t t = begin; t < end; ++t) out.add(trial(rng));
-  };
-
   const auto worker = [&] {
+    // Per-worker state (e.g. the trial workspace) lives in the batch
+    // function made here, once per thread.
+    const BatchFn batch_fn = make_batch_fn();
     for (;;) {
       if (state.stop.load(std::memory_order_relaxed)) return;
       const std::size_t k =
@@ -86,7 +101,11 @@ RunningStats ParallelEstimator::run(const Trial& trial) const {
       RunningStats batch;
       std::exception_ptr error;
       try {
-        run_batch(k, batch);
+        const std::size_t begin = k * batch_size;
+        const std::size_t end =
+            begin + batch_size < trials ? begin + batch_size : trials;
+        Rng rng = Rng::for_stream(options_.seed, k);
+        batch_fn(begin, end, rng, batch);
       } catch (...) {
         error = std::current_exception();
       }
@@ -122,6 +141,16 @@ RunningStats ParallelEstimator::run(const Trial& trial) const {
   return state.merged;
 }
 
+RunningStats ParallelEstimator::run(const Trial& trial) const {
+  QPS_REQUIRE(static_cast<bool>(trial), "run() needs a trial function");
+  return run_batches([&trial] {
+    return [&trial](std::size_t begin, std::size_t end, Rng& rng,
+                    RunningStats& out) {
+      for (std::size_t t = begin; t < end; ++t) out.add(trial(rng));
+    };
+  });
+}
+
 RunningStats ParallelEstimator::run_sequential(const Trial& trial,
                                                Rng& rng) const {
   QPS_REQUIRE(static_cast<bool>(trial), "run_sequential() needs a trial");
@@ -134,10 +163,43 @@ RunningStats ParallelEstimator::estimate_ppc(const QuorumSystem& system,
                                              const ProbeStrategy& strategy,
                                              double p) const {
   const bool validate = options_.validate_witnesses;
-  return run([&](Rng& rng) {
-    const Coloring coloring =
-        sample_iid_coloring(system.universe_size(), p, rng);
-    return run_probe_trial(system, strategy, coloring, validate, rng);
+  const std::size_t n = system.universe_size();
+  if (n == 0 || n > 64) {
+    // General path: multi-word universes keep the original allocating trial.
+    return run([&](Rng& rng) {
+      const Coloring coloring = sample_iid_coloring(n, p, rng);
+      return run_probe_trial(system, strategy, coloring, validate, rng);
+    });
+  }
+  // Zero-allocation hot path: one workspace per worker, colorings filled
+  // in place.  kWordBatch samples the whole batch's masks up front (the
+  // sampling and strategy draws are then contiguous per batch); kPerElement
+  // interleaves them per trial, exactly like the generic path, so its
+  // results are bit-identical to it.
+  const ColoringSampler sampler = options_.sampler;
+  return run_batches([&system, &strategy, p, validate, n, sampler] {
+    auto workspace = std::make_shared<TrialWorkspace>(n);
+    return [workspace, &system, &strategy, p, validate, n, sampler](
+               std::size_t begin, std::size_t end, Rng& rng,
+               RunningStats& out) {
+      TrialWorkspace& ws = *workspace;
+      const std::size_t count = end - begin;
+      if (sampler == ColoringSampler::kWordBatch) {
+        std::uint64_t* masks = ws.coloring_masks(count);
+        sample_iid_coloring_words(masks, count, n, p, rng);
+        for (std::size_t i = 0; i < count; ++i) {
+          ws.coloring().assign_greens_mask(masks[i]);
+          out.add(run_workspace_trial(ws, ws.coloring(), system, strategy,
+                                      validate, rng));
+        }
+      } else {
+        for (std::size_t i = 0; i < count; ++i) {
+          ws.coloring().assign_greens_mask(sample_iid_coloring_mask(n, p, rng));
+          out.add(run_workspace_trial(ws, ws.coloring(), system, strategy,
+                                      validate, rng));
+        }
+      }
+    };
   });
 }
 
@@ -145,8 +207,23 @@ RunningStats ParallelEstimator::expected_probes_on(
     const QuorumSystem& system, const ProbeStrategy& strategy,
     const Coloring& coloring) const {
   const bool validate = options_.validate_witnesses;
-  return run([&](Rng& rng) {
-    return run_probe_trial(system, strategy, coloring, validate, rng);
+  const std::size_t n = system.universe_size();
+  if (n == 0 || n > 64) {
+    return run([&](Rng& rng) {
+      return run_probe_trial(system, strategy, coloring, validate, rng);
+    });
+  }
+  // Hot path on the fixed coloring; draw-for-draw identical to the generic
+  // path (the strategy's stream is all there is).
+  return run_batches([&system, &strategy, &coloring, validate, n] {
+    auto workspace = std::make_shared<TrialWorkspace>(n);
+    return [workspace, &system, &strategy, &coloring, validate](
+               std::size_t begin, std::size_t end, Rng& rng,
+               RunningStats& out) {
+      for (std::size_t t = begin; t < end; ++t)
+        out.add(run_workspace_trial(*workspace, coloring, system, strategy,
+                                    validate, rng));
+    };
   });
 }
 

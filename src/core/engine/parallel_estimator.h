@@ -26,6 +26,21 @@
 
 namespace qps {
 
+/// How estimate_ppc draws its per-trial colorings on the zero-allocation
+/// hot path (universes of at most 64 elements; larger universes always use
+/// the per-element sampler).
+enum class ColoringSampler {
+  /// One whole batch of green masks up front, word-at-a-time, via
+  /// sample_iid_coloring_words: the fastest path.  Statistically
+  /// equivalent to -- but a different draw sequence than -- the
+  /// per-element sampler.
+  kWordBatch,
+  /// Per-trial, one uniform per element, interleaved with the strategy's
+  /// own draws: bit-identical results to the pre-workspace generic path
+  /// (used by differential tests and available for reproducing old runs).
+  kPerElement,
+};
+
 struct EngineOptions {
   /// Total Monte-Carlo trial budget (upper bound when early-stop is on).
   std::size_t trials = 1000;
@@ -45,6 +60,8 @@ struct EngineOptions {
   bool validate_witnesses = false;
   /// Root seed for the per-batch RNG streams.
   std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
+  /// Coloring sampling mode for estimate_ppc's hot path (n <= 64).
+  ColoringSampler sampler = ColoringSampler::kWordBatch;
 };
 
 class ParallelEstimator {
@@ -84,6 +101,19 @@ class ParallelEstimator {
   std::size_t resolved_threads() const;
 
  private:
+  /// Evaluates trials [begin, end) of one batch into `out`, drawing only
+  /// from `rng` (the batch's stream).
+  using BatchFn =
+      std::function<void(std::size_t begin, std::size_t end, Rng& rng,
+                         RunningStats& out)>;
+  /// Called once per worker thread, so the returned BatchFn can own
+  /// per-worker state (a TrialWorkspace); may be invoked concurrently.
+  using BatchFnFactory = std::function<BatchFn()>;
+
+  /// The batching/merging/early-stop engine shared by run() and the
+  /// workspace-backed hot paths.
+  RunningStats run_batches(const BatchFnFactory& make_batch_fn) const;
+
   EngineOptions options_;
 };
 

@@ -1,0 +1,8 @@
+#include "core/engine/trial_workspace.h"
+
+namespace qps {
+
+TrialWorkspace::TrialWorkspace(std::size_t universe_size)
+    : coloring_(universe_size), session_(coloring_) {}
+
+}  // namespace qps

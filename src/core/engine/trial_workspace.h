@@ -1,0 +1,82 @@
+// TrialWorkspace: per-worker scratch arena for the Monte-Carlo hot path.
+//
+// One Monte-Carlo trial needs a sampled coloring, a probe session, and --
+// per strategy -- order buffers or candidate masks.  Allocating these per
+// trial dominated the runtime of the estimation engine; a TrialWorkspace
+// owns them all, is constructed once per ParallelEstimator worker (and once
+// for the sequential path), and is recycled between trials:
+//
+//   TrialWorkspace ws(system.universe_size());
+//   for (trial : batch) {
+//     ws.coloring().assign_greens_mask(masks[trial]);      // n <= 64
+//     ProbeSession& session = ws.begin_trial(ws.coloring());
+//     Witness w = strategy.run_with(ws, session, rng);
+//   }
+//
+// For the paper's universes (n <= 64, single-word ElementSets) the loop
+// body performs no heap allocation in the steady state; strategies reach
+// the reusable buffers through the scratch-aware ProbeStrategy::run_with
+// entry point (core/strategy.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/coloring.h"
+#include "core/probe_session.h"
+
+namespace qps {
+
+class TrialWorkspace {
+ public:
+  explicit TrialWorkspace(std::size_t universe_size);
+
+  // The session points at this workspace's own coloring slot, so copying
+  // or moving would leave it reading another (or dead) workspace's state.
+  TrialWorkspace(const TrialWorkspace&) = delete;
+  TrialWorkspace& operator=(const TrialWorkspace&) = delete;
+
+  std::size_t universe_size() const { return coloring_.universe_size(); }
+
+  /// The workspace's reusable coloring slot.  The engine refills it via
+  /// Coloring::assign_greens_mask between trials.
+  Coloring& coloring() { return coloring_; }
+
+  /// Rebinds the session to `coloring` (usually the workspace's own slot,
+  /// but any coloring over the same universe works, e.g. the fixed coloring
+  /// of expected_probes_on) and clears all per-trial probe state.
+  ProbeSession& begin_trial(const Coloring& coloring) {
+    session_.reset(coloring);
+    return session_;
+  }
+
+  ProbeSession& session() { return session_; }
+
+  /// Batch buffer of per-trial green masks (n <= 64), grown to `count`.
+  /// Contents are unspecified until the caller fills them.
+  std::uint64_t* coloring_masks(std::size_t count) {
+    if (coloring_masks_.size() < count) coloring_masks_.resize(count);
+    return coloring_masks_.data();
+  }
+
+  /// Reusable element-order buffer (randomized strategies refill it with
+  /// Rng::permutation_into).
+  std::vector<std::uint32_t>& order_buffer() { return order_; }
+
+  /// Independent reusable word-mask buffers (e.g. the greedy baseline's
+  /// live / dead / unhit candidate masks).
+  static constexpr std::size_t kWordBufferCount = 4;
+  std::vector<std::uint64_t>& word_buffer(std::size_t slot) {
+    return word_buffers_.at(slot);
+  }
+
+ private:
+  Coloring coloring_;
+  ProbeSession session_;
+  std::vector<std::uint64_t> coloring_masks_;
+  std::vector<std::uint32_t> order_;
+  std::array<std::vector<std::uint64_t>, kWordBufferCount> word_buffers_;
+};
+
+}  // namespace qps

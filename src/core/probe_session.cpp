@@ -4,12 +4,6 @@
 
 namespace qps {
 
-ProbeSession::ProbeSession(const Coloring& coloring)
-    : oracle_([&coloring](Element e) { return coloring.color(e); }),
-      probed_(coloring.universe_size()),
-      probed_greens_(coloring.universe_size()),
-      probed_reds_(coloring.universe_size()) {}
-
 ProbeSession::ProbeSession(std::size_t universe_size,
                            std::function<Color(Element)> oracle)
     : oracle_(std::move(oracle)),
@@ -19,17 +13,14 @@ ProbeSession::ProbeSession(std::size_t universe_size,
   QPS_REQUIRE(oracle_ != nullptr, "probe oracle must be callable");
 }
 
-Color ProbeSession::probe(Element e) {
-  if (probed_.contains(e))
-    return probed_greens_.contains(e) ? Color::kGreen : Color::kRed;
-  const Color c = oracle_(e);
-  probed_.insert(e);
-  ++probe_count_;
-  if (c == Color::kGreen)
-    probed_greens_.insert(e);
-  else
-    probed_reds_.insert(e);
-  return c;
+void ProbeSession::reset(const Coloring& coloring) {
+  QPS_REQUIRE(coloring.universe_size() == probed_.universe_size(),
+              "reset() coloring over the wrong universe");
+  coloring_ = &coloring;
+  probed_.clear();
+  probed_greens_.clear();
+  probed_reds_.clear();
+  probe_count_ = 0;
 }
 
 }  // namespace qps

@@ -8,7 +8,10 @@
 // A session is backed either by a ground-truth Coloring (the combinatorial
 // model used for all complexity measurements) or by an arbitrary oracle
 // callback (used by the sim/ substrate, where a probe is an RPC to a
-// possibly-crashed simulated processor).
+// possibly-crashed simulated processor).  The coloring-backed mode stores a
+// plain pointer and answers probes inline -- no type-erased call, no heap
+// traffic -- and a session can be reset() between Monte-Carlo trials so one
+// instance serves a whole batch (core/engine/trial_workspace.h).
 #pragma once
 
 #include <functional>
@@ -20,16 +23,36 @@ namespace qps {
 
 class ProbeSession {
  public:
-  /// Probes answered from a fixed coloring.
-  explicit ProbeSession(const Coloring& coloring);
+  /// Probes answered from a fixed coloring.  The coloring must outlive the
+  /// session (or its next reset()).
+  explicit ProbeSession(const Coloring& coloring)
+      : coloring_(&coloring),
+        probed_(coloring.universe_size()),
+        probed_greens_(coloring.universe_size()),
+        probed_reds_(coloring.universe_size()) {}
 
   /// Probes answered by `oracle` (e.g. a simulated network probe).  The
   /// oracle is consulted once per distinct element; results are cached.
-  ProbeSession(std::size_t universe_size,
-               std::function<Color(Element)> oracle);
+  ProbeSession(std::size_t universe_size, std::function<Color(Element)> oracle);
+
+  /// Rebinds the session to `coloring` and forgets every probe, reusing the
+  /// existing buffers: the zero-allocation path between trials.  The
+  /// coloring's universe size must match the session's.
+  void reset(const Coloring& coloring);
 
   /// Reveals the color of `e`, counting it on first probe only.
-  Color probe(Element e);
+  Color probe(Element e) {
+    if (probed_.contains(e))
+      return probed_greens_.contains(e) ? Color::kGreen : Color::kRed;
+    const Color c = coloring_ != nullptr ? coloring_->color(e) : oracle_(e);
+    probed_.insert(e);
+    ++probe_count_;
+    if (c == Color::kGreen)
+      probed_greens_.insert(e);
+    else
+      probed_reds_.insert(e);
+    return c;
+  }
 
   bool was_probed(Element e) const { return probed_.contains(e); }
   std::size_t probe_count() const { return probe_count_; }
@@ -41,6 +64,7 @@ class ProbeSession {
   const ElementSet& probed_reds() const { return probed_reds_; }
 
  private:
+  const Coloring* coloring_ = nullptr;  // ground truth, when coloring-backed
   std::function<Color(Element)> oracle_;
   ElementSet probed_;
   ElementSet probed_greens_;

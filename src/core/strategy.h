@@ -4,6 +4,18 @@
 // return a witness.  Deterministic strategies (Section 3) ignore the Rng;
 // randomized strategies (Section 4) draw all their randomness from it, so a
 // run is reproducible from the coloring and the generator seed.
+//
+// Two entry points:
+//  * run() is the original self-contained API; implementations may allocate
+//    whatever scratch they need per call.
+//  * run_with() additionally receives a TrialWorkspace
+//    (core/engine/trial_workspace.h) so a strategy can reuse per-worker
+//    buffers instead of allocating per trial -- the Monte-Carlo hot path.
+//    The default adapter ignores the workspace and forwards to run(), so
+//    legacy strategies keep working unchanged.  Overrides must draw from
+//    the Rng exactly as run() does: for any fixed generator state the two
+//    entry points return identical witnesses at identical probe cost
+//    (enforced by tests/core/test_hot_path_identity.cpp).
 #pragma once
 
 #include <memory>
@@ -15,6 +27,8 @@
 
 namespace qps {
 
+class TrialWorkspace;
+
 class ProbeStrategy {
  public:
   virtual ~ProbeStrategy() = default;
@@ -24,6 +38,15 @@ class ProbeStrategy {
   /// Probes until a witness is found; `session.probe_count()` afterwards is
   /// the cost of the run.
   virtual Witness run(ProbeSession& session, Rng& rng) const = 0;
+
+  /// Scratch-aware entry point: like run(), but may reuse the workspace's
+  /// buffers instead of allocating.  Must be observationally identical to
+  /// run() (same probes, same witness, same Rng draws).
+  virtual Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
+                           Rng& rng) const {
+    (void)workspace;
+    return run(session, rng);
+  }
 };
 
 using ProbeStrategyPtr = std::unique_ptr<const ProbeStrategy>;

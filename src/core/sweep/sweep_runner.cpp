@@ -131,6 +131,13 @@ class ScopedSigpipeIgnore {
 
 }  // namespace
 
+bool SweepOptions::selects(const SweepPoint& point) const {
+  if (!point_filter.empty() && point.id != point_filter) return false;
+  if (!family_filter.empty() && point.family != family_filter) return false;
+  if (size_filter.has_value() && point.size != *size_filter) return false;
+  return true;
+}
+
 SweepRunner::SweepRunner(SweepSpec spec, SweepOptions options)
     : spec_(std::move(spec)), options_(std::move(options)) {
   QPS_REQUIRE(options_.workers == 0 || !options_.worker_command.empty(),
@@ -155,17 +162,17 @@ std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
     }
   }
 
-  // --point debugging filter: everything except the named point is marked
-  // skipped up front, so neither the worker pool nor the in-process
-  // fallback touches it (journaled results are still surfaced).
-  if (!options_.point_filter.empty()) {
+  // Subsetting filters (--point / --family / --size): everything they
+  // exclude is marked skipped up front, so neither the worker pool nor the
+  // in-process fallback touches it (journaled results are still surfaced).
+  if (options_.has_filters()) {
     bool matched = false;
     for (const SweepPoint& point : points)
-      matched = matched || point.id == options_.point_filter;
-    QPS_REQUIRE(matched, "point filter '" + options_.point_filter +
-                             "' matches no point id of sweep " + spec_.name());
+      matched = matched || options_.selects(point);
+    QPS_REQUIRE(matched, "point/family/size filters match no point of sweep " +
+                             spec_.name());
     for (std::size_t i = 0; i < points.size(); ++i) {
-      if (points[i].id == options_.point_filter || have[i]) continue;
+      if (options_.selects(points[i]) || have[i]) continue;
       results[i].skipped = true;
       have[i] = 1;
     }

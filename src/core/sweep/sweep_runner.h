@@ -27,6 +27,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,21 @@ struct SweepOptions {
   /// for re-running a single exact point in isolation.  Throws when no
   /// point of the spec has this id.
   std::string point_filter;
+  /// Coarser slices than point_filter: keep only points of this family
+  /// (when non-empty) and/or this size (when set).  Filters conjoin --
+  /// a point must match every filter that is present -- and excluded
+  /// points come back `skipped`.  Throws when the conjunction matches no
+  /// point of the spec.
+  std::string family_filter;
+  std::optional<std::size_t> size_filter;
+
+  /// True when any subsetting filter is configured.
+  bool has_filters() const {
+    return !point_filter.empty() || !family_filter.empty() ||
+           size_filter.has_value();
+  }
+  /// Whether `point` survives the configured filters.
+  bool selects(const SweepPoint& point) const;
 };
 
 struct PointResult {

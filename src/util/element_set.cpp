@@ -1,114 +1,47 @@
 #include "util/element_set.h"
 
-#include <bit>
 #include <sstream>
-
-#include "util/require.h"
 
 namespace qps {
 
 namespace {
-constexpr std::size_t kWordBits = 64;
-std::size_t words_for(std::size_t n) { return (n + kWordBits - 1) / kWordBits; }
+constexpr std::size_t kWordBits = ElementSet::kInlineBits;
 }  // namespace
-
-ElementSet::ElementSet(std::size_t universe_size)
-    : n_(universe_size), words_(words_for(universe_size), 0) {}
-
-ElementSet::ElementSet(std::size_t universe_size,
-                       std::initializer_list<Element> members)
-    : ElementSet(universe_size) {
-  for (Element e : members) insert(e);
-}
 
 ElementSet ElementSet::full(std::size_t universe_size) {
   ElementSet s(universe_size);
+  if (s.is_small()) {
+    if (universe_size == kWordBits)
+      s.small_ = ~0ULL;
+    else
+      s.small_ = (1ULL << universe_size) - 1;
+    return s;
+  }
   for (auto& w : s.words_) w = ~0ULL;
   // Mask off bits above the universe boundary in the last word.
   const std::size_t tail = universe_size % kWordBits;
-  if (tail != 0 && !s.words_.empty()) s.words_.back() = (1ULL << tail) - 1;
+  if (tail != 0) s.words_.back() = (1ULL << tail) - 1;
   return s;
-}
-
-void ElementSet::check_element(Element e) const {
-  QPS_REQUIRE(e < n_, "element outside the universe");
-}
-
-void ElementSet::check_same_universe(const ElementSet& other) const {
-  QPS_REQUIRE(n_ == other.n_, "element sets over different universes");
-}
-
-bool ElementSet::contains(Element e) const {
-  check_element(e);
-  return (words_[e / kWordBits] >> (e % kWordBits)) & 1ULL;
-}
-
-void ElementSet::insert(Element e) {
-  check_element(e);
-  words_[e / kWordBits] |= 1ULL << (e % kWordBits);
-}
-
-void ElementSet::erase(Element e) {
-  check_element(e);
-  words_[e / kWordBits] &= ~(1ULL << (e % kWordBits));
-}
-
-void ElementSet::clear() {
-  for (auto& w : words_) w = 0;
-}
-
-std::size_t ElementSet::count() const {
-  std::size_t total = 0;
-  for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
-  return total;
-}
-
-bool ElementSet::is_subset_of(const ElementSet& other) const {
-  check_same_universe(other);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  return true;
-}
-
-bool ElementSet::intersects(const ElementSet& other) const {
-  check_same_universe(other);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  return false;
 }
 
 ElementSet ElementSet::complement() const {
   ElementSet result(n_);
+  if (is_small()) {
+    result.small_ = ~small_;
+    if (n_ < kWordBits) result.small_ &= (1ULL << n_) - 1;
+    return result;
+  }
   for (std::size_t i = 0; i < words_.size(); ++i) result.words_[i] = ~words_[i];
   const std::size_t tail = n_ % kWordBits;
-  if (tail != 0 && !result.words_.empty())
-    result.words_.back() &= (1ULL << tail) - 1;
+  if (tail != 0) result.words_.back() &= (1ULL << tail) - 1;
   return result;
-}
-
-ElementSet& ElementSet::operator|=(const ElementSet& other) {
-  check_same_universe(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
-  return *this;
-}
-
-ElementSet& ElementSet::operator&=(const ElementSet& other) {
-  check_same_universe(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
-  return *this;
-}
-
-ElementSet& ElementSet::operator-=(const ElementSet& other) {
-  check_same_universe(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
-  return *this;
 }
 
 std::vector<Element> ElementSet::to_vector() const {
   std::vector<Element> out;
   out.reserve(count());
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    std::uint64_t w = words_[i];
+  for (std::size_t i = 0; i < word_count(); ++i) {
+    std::uint64_t w = word(i);
     while (w != 0) {
       const int bit = std::countr_zero(w);
       out.push_back(static_cast<Element>(i * kWordBits + bit));
@@ -119,44 +52,41 @@ std::vector<Element> ElementSet::to_vector() const {
 }
 
 Element ElementSet::first() const {
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if (words_[i] != 0)
-      return static_cast<Element>(i * kWordBits + std::countr_zero(words_[i]));
+  for (std::size_t i = 0; i < word_count(); ++i)
+    if (word(i) != 0)
+      return static_cast<Element>(i * kWordBits + std::countr_zero(word(i)));
   return static_cast<Element>(n_);
 }
 
 Element ElementSet::next_after(Element e) const {
   check_element(e);
-  std::size_t word = (e + 1) / kWordBits;
-  if (word >= words_.size()) return static_cast<Element>(n_);
-  std::uint64_t w = words_[word] >> ((e + 1) % kWordBits) << ((e + 1) % kWordBits);
+  std::size_t idx = (e + 1) / kWordBits;
+  if (idx >= word_count()) return static_cast<Element>(n_);
+  std::uint64_t w = word(idx) >> ((e + 1) % kWordBits) << ((e + 1) % kWordBits);
   while (true) {
     if (w != 0)
-      return static_cast<Element>(word * kWordBits + std::countr_zero(w));
-    if (++word >= words_.size()) return static_cast<Element>(n_);
-    w = words_[word];
+      return static_cast<Element>(idx * kWordBits + std::countr_zero(w));
+    if (++idx >= word_count()) return static_cast<Element>(n_);
+    w = word(idx);
   }
 }
 
-std::uint64_t ElementSet::to_mask() const {
-  QPS_REQUIRE(n_ <= 64, "to_mask() is only defined for universes of <= 64");
-  return words_.empty() ? 0 : words_[0];
-}
-
-ElementSet ElementSet::from_mask(std::size_t universe_size, std::uint64_t mask) {
-  QPS_REQUIRE(universe_size <= 64, "from_mask() needs a universe of <= 64");
-  QPS_REQUIRE(universe_size == 64 || mask < (1ULL << universe_size),
+ElementSet ElementSet::from_mask(std::size_t universe_size,
+                                 std::uint64_t mask) {
+  QPS_REQUIRE(universe_size <= kWordBits,
+              "from_mask() needs a universe of <= 64");
+  QPS_REQUIRE(universe_size == kWordBits || mask < (1ULL << universe_size),
               "mask has bits outside the universe");
   ElementSet s(universe_size);
-  if (!s.words_.empty()) s.words_[0] = mask;
+  s.small_ = mask;
   return s;
 }
 
 std::size_t ElementSet::hash() const {
   // FNV-1a over the words plus the universe size.
   std::uint64_t h = 1469598103934665603ULL ^ n_;
-  for (auto w : words_) {
-    h ^= w;
+  for (std::size_t i = 0; i < word_count(); ++i) {
+    h ^= word(i);
     h *= 1099511628211ULL;
   }
   return static_cast<std::size_t>(h);

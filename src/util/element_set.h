@@ -2,14 +2,23 @@
 //
 // Quorum systems are set systems; every hot operation in the library
 // (characteristic-function evaluation, witness validation, transversal
-// tests) reduces to subset/intersection/popcount queries on element sets,
-// so they are all O(n/64) here.  The class is a regular value type.
+// tests) reduces to subset/intersection/popcount queries on element sets.
+// The class is a regular value type.
+//
+// Storage is small-buffer optimized: universes of up to 64 elements -- every
+// family size benchmarked from the paper -- live in one inline 64-bit word,
+// so construction, copies and all the hot queries touch no heap memory and
+// compile down to single word instructions.  Larger universes fall back to a
+// heap word vector with the same O(n/64) operations.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <initializer_list>
 #include <string>
 #include <vector>
+
+#include "util/require.h"
 
 namespace qps {
 
@@ -17,44 +26,111 @@ using Element = std::uint32_t;
 
 class ElementSet {
  public:
+  /// Universes of at most this many elements are stored inline (one word).
+  static constexpr std::size_t kInlineBits = 64;
+
   ElementSet() = default;
 
   /// Empty set over a universe of `universe_size` elements.
-  explicit ElementSet(std::size_t universe_size);
+  explicit ElementSet(std::size_t universe_size)
+      : n_(universe_size),
+        words_(universe_size <= kInlineBits ? 0 : word_capacity(universe_size),
+               0) {}
 
   /// Set over `universe_size` elements containing exactly `members`.
-  ElementSet(std::size_t universe_size, std::initializer_list<Element> members);
+  ElementSet(std::size_t universe_size, std::initializer_list<Element> members)
+      : ElementSet(universe_size) {
+    for (Element e : members) insert(e);
+  }
 
   /// Full universe {0 .. universe_size-1}.
   static ElementSet full(std::size_t universe_size);
 
   std::size_t universe_size() const { return n_; }
 
-  bool contains(Element e) const;
-  void insert(Element e);
-  void erase(Element e);
+  bool contains(Element e) const {
+    check_element(e);
+    if (is_small()) return (small_ >> e) & 1ULL;
+    return (words_[e / kInlineBits] >> (e % kInlineBits)) & 1ULL;
+  }
+
+  void insert(Element e) {
+    check_element(e);
+    if (is_small())
+      small_ |= 1ULL << e;
+    else
+      words_[e / kInlineBits] |= 1ULL << (e % kInlineBits);
+  }
+
+  void erase(Element e) {
+    check_element(e);
+    if (is_small())
+      small_ &= ~(1ULL << e);
+    else
+      words_[e / kInlineBits] &= ~(1ULL << (e % kInlineBits));
+  }
+
   /// Removes every element; universe size is unchanged.
-  void clear();
+  void clear() {
+    small_ = 0;
+    for (auto& w : words_) w = 0;
+  }
 
   /// Number of elements in the set.
-  std::size_t count() const;
+  std::size_t count() const {
+    if (is_small()) return static_cast<std::size_t>(std::popcount(small_));
+    std::size_t total = 0;
+    for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+  }
   bool empty() const { return count() == 0; }
 
   /// True iff *this is a subset of `other` (same universe required).
-  bool is_subset_of(const ElementSet& other) const;
+  bool is_subset_of(const ElementSet& other) const {
+    check_same_universe(other);
+    if (is_small()) return (small_ & ~other.small_) == 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    return true;
+  }
+
   /// True iff the two sets share at least one element.
-  bool intersects(const ElementSet& other) const;
+  bool intersects(const ElementSet& other) const {
+    check_same_universe(other);
+    if (is_small()) return (small_ & other.small_) != 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    return false;
+  }
 
   /// Complement within the universe.
   ElementSet complement() const;
 
-  ElementSet& operator|=(const ElementSet& other);
-  ElementSet& operator&=(const ElementSet& other);
-  ElementSet& operator-=(const ElementSet& other);
+  ElementSet& operator|=(const ElementSet& other) {
+    check_same_universe(other);
+    small_ |= other.small_;
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+  ElementSet& operator&=(const ElementSet& other) {
+    check_same_universe(other);
+    small_ &= other.small_;
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+  ElementSet& operator-=(const ElementSet& other) {
+    check_same_universe(other);
+    small_ &= ~other.small_;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] &= ~other.words_[i];
+    return *this;
+  }
   friend ElementSet operator|(ElementSet a, const ElementSet& b) { return a |= b; }
   friend ElementSet operator&(ElementSet a, const ElementSet& b) { return a &= b; }
   friend ElementSet operator-(ElementSet a, const ElementSet& b) { return a -= b; }
 
+  // Inline sets keep `words_` empty and heap sets keep `small_` zero, so the
+  // member-wise default compares canonical representations.
   bool operator==(const ElementSet& other) const = default;
 
   /// Members in increasing order.
@@ -66,9 +142,23 @@ class ElementSet {
   Element next_after(Element e) const;
 
   /// For universes of at most 64 elements: the set as a bitmask.
-  std::uint64_t to_mask() const;
+  std::uint64_t to_mask() const {
+    QPS_REQUIRE(n_ <= kInlineBits,
+                "to_mask() is only defined for universes of <= 64");
+    return small_;
+  }
   /// Builds a set from a bitmask (universe must be at most 64 elements).
   static ElementSet from_mask(std::size_t universe_size, std::uint64_t mask);
+
+  /// Overwrites the contents from a bitmask, in place (universe must be at
+  /// most 64 elements; the mask must fit it).  The zero-allocation trial
+  /// hot path uses this to re-fill a reusable set word-at-a-time.
+  void assign_mask(std::uint64_t mask) {
+    QPS_REQUIRE(n_ <= kInlineBits, "assign_mask() needs a universe of <= 64");
+    QPS_REQUIRE(n_ == kInlineBits || mask < (1ULL << n_),
+                "mask has bits outside the universe");
+    small_ = mask;
+  }
 
   /// Stable hash of the contents (for use in unordered containers).
   std::size_t hash() const;
@@ -77,11 +167,25 @@ class ElementSet {
   std::string to_string() const;
 
  private:
-  std::size_t n_ = 0;
-  std::vector<std::uint64_t> words_;
+  static constexpr std::size_t word_capacity(std::size_t n) {
+    return (n + kInlineBits - 1) / kInlineBits;
+  }
+  bool is_small() const { return n_ <= kInlineBits; }
+  std::size_t word_count() const { return is_small() ? 1 : words_.size(); }
+  std::uint64_t word(std::size_t i) const {
+    return is_small() ? small_ : words_[i];
+  }
 
-  void check_element(Element e) const;
-  void check_same_universe(const ElementSet& other) const;
+  void check_element(Element e) const {
+    QPS_REQUIRE(e < n_, "element outside the universe");
+  }
+  void check_same_universe(const ElementSet& other) const {
+    QPS_REQUIRE(n_ == other.n_, "element sets over different universes");
+  }
+
+  std::size_t n_ = 0;
+  std::uint64_t small_ = 0;            // inline storage, used iff n_ <= 64
+  std::vector<std::uint64_t> words_;   // heap storage, used iff n_ > 64
 };
 
 struct ElementSetHash {

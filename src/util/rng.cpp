@@ -86,10 +86,15 @@ double Rng::exponential(double lambda) {
 }
 
 std::vector<std::uint32_t> Rng::permutation(std::uint32_t n) {
-  std::vector<std::uint32_t> p(n);
-  for (std::uint32_t i = 0; i < n; ++i) p[i] = i;
-  shuffle(p);
+  std::vector<std::uint32_t> p;
+  permutation_into(p, n);
   return p;
+}
+
+void Rng::permutation_into(std::vector<std::uint32_t>& out, std::uint32_t n) {
+  out.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = i;
+  shuffle(out);
 }
 
 Rng Rng::fork() { return Rng(next_u64() ^ 0xa0761d6478bd642fULL); }

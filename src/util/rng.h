@@ -50,13 +50,27 @@ class Rng {
   /// Fisher-Yates shuffle of an index vector [0, n).
   std::vector<std::uint32_t> permutation(std::uint32_t n);
 
+  /// Allocation-free variant of permutation(): refills `out` with a shuffle
+  /// of [0, n), reusing its capacity.  Draws exactly the same generator
+  /// sequence as permutation(n), so the two are interchangeable in
+  /// reproducible runs; the trial hot path uses this with a workspace
+  /// buffer.
+  void permutation_into(std::vector<std::uint32_t>& out, std::uint32_t n);
+
+  /// In-place Fisher-Yates shuffle of a raw span.  Same draw sequence as
+  /// shuffle() on a vector of the same size.
+  template <typename T>
+  void shuffle_span(T* data, std::size_t size) {
+    for (std::size_t i = size; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      std::swap(data[i - 1], data[j]);
+    }
+  }
+
   /// In-place Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {
-    for (std::size_t i = v.size(); i > 1; --i) {
-      const std::size_t j = static_cast<std::size_t>(below(i));
-      std::swap(v[i - 1], v[j]);
-    }
+    shuffle_span(v.data(), v.size());
   }
 
   /// In-place Fisher-Yates shuffle of a fixed-size array.

@@ -1,0 +1,187 @@
+// Zero-allocation contract of the Monte-Carlo hot path.
+//
+// This binary replaces the global allocation functions with counting
+// forwarders (which is why it is its own test executable) and asserts that
+// a steady-state trial -- batched word-level coloring sampling, workspace
+// reset, scratch-aware strategy run -- performs exactly zero heap
+// allocations for every strategy x family at n <= 64.  The first trials of
+// a workspace may allocate (buffers grow to their high-water mark); the
+// measured window starts after a warmup.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/algorithms/greedy.h"
+#include "core/algorithms/probe_cw.h"
+#include "core/algorithms/probe_hqs.h"
+#include "core/algorithms/probe_maj.h"
+#include "core/algorithms/probe_tree.h"
+#include "core/algorithms/random_order.h"
+#include "core/engine/trial_workspace.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  ++g_allocations;
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  ++g_allocations;
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size == 0 ? alignment : size) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocations;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_allocations;
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace qps {
+namespace {
+
+/// Runs `trials` hot-path trials and returns the allocations performed
+/// after the warmup window.
+std::size_t allocations_in_steady_state(const QuorumSystem& system,
+                                        const ProbeStrategy& strategy,
+                                        double p, std::size_t trials) {
+  const std::size_t n = system.universe_size();
+  TrialWorkspace ws(n);
+  Rng rng(20010826);
+  constexpr std::size_t kBatch = 256;
+  std::uint64_t* masks = ws.coloring_masks(kBatch);
+
+  const auto run_batch = [&] {
+    sample_iid_coloring_words(masks, kBatch, n, p, rng);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      ws.coloring().assign_greens_mask(masks[i]);
+      ProbeSession& session = ws.begin_trial(ws.coloring());
+      const Witness witness = strategy.run_with(ws, session, rng);
+      if (witness.elements.empty()) std::abort();  // keep the result alive
+    }
+  };
+
+  run_batch();  // warmup: buffers grow to their high-water mark here
+  const std::size_t before = g_allocations.load();
+  for (std::size_t done = 0; done < trials; done += kBatch) run_batch();
+  return g_allocations.load() - before;
+}
+
+TEST(ZeroAllocationHotPath, EveryStrategyAndFamilyIsAllocationFree) {
+  const MajoritySystem maj63(63);
+  const MajoritySystem maj7(7);
+  const TreeSystem tree5(5);   // n = 63
+  const HQSystem hqs3(3);      // n = 27
+  const CrumblingWall cw10 = CrumblingWall::triang(10);  // n = 55
+
+  const ProbeMaj probe_maj(maj63);
+  const RProbeMaj r_probe_maj(maj63);
+  const RandomOrderProbe random_order(maj7);
+  const GreedyCandidateProbe greedy(maj7);
+  const ProbeTree probe_tree(tree5);
+  const RProbeTree r_probe_tree(tree5);
+  const ProbeHQS probe_hqs(hqs3);
+  const RProbeHQS r_probe_hqs(hqs3);
+  const IRProbeHQS ir_probe_hqs(hqs3);
+  const ProbeCW probe_cw(cw10);
+  const RProbeCW r_probe_cw(cw10);
+
+  const struct {
+    const QuorumSystem* system;
+    const ProbeStrategy* strategy;
+  } cases[] = {
+      {&maj63, &probe_maj},   {&maj63, &r_probe_maj},
+      {&maj7, &random_order}, {&maj7, &greedy},
+      {&tree5, &probe_tree},  {&tree5, &r_probe_tree},
+      {&hqs3, &probe_hqs},    {&hqs3, &r_probe_hqs},
+      {&hqs3, &ir_probe_hqs}, {&cw10, &probe_cw},
+      {&cw10, &r_probe_cw},
+  };
+  for (const auto& c : cases) {
+    const std::size_t allocations =
+        allocations_in_steady_state(*c.system, *c.strategy, 0.5, 2048);
+    EXPECT_EQ(allocations, 0u)
+        << c.strategy->name() << " on " << c.system->name();
+  }
+}
+
+TEST(ZeroAllocationHotPath, LegacyEntryPointsFixedBySatelliteAreClean) {
+  // The satellite fix: R_Probe_CW's per-call row scratch and the greedy
+  // baseline's candidate masks no longer allocate per trial even through
+  // the legacy run() entry point.
+  const CrumblingWall cw10 = CrumblingWall::triang(10);
+  const RProbeCW r_probe_cw(cw10);
+  const MajoritySystem maj7(7);
+  const GreedyCandidateProbe greedy(maj7);
+  Rng rng(7);
+
+  const auto steady_allocations = [&](const QuorumSystem& system,
+                                      const ProbeStrategy& strategy) {
+    const std::size_t n = system.universe_size();
+    Coloring coloring(n);
+    ProbeSession session(coloring);
+    const auto trial = [&] {
+      coloring.assign_greens_mask(sample_iid_coloring_mask(n, 0.5, rng));
+      session.reset(coloring);
+      (void)strategy.run(session, rng);
+    };
+    for (int i = 0; i < 16; ++i) trial();  // warmup
+    const std::size_t before = g_allocations.load();
+    for (int i = 0; i < 512; ++i) trial();
+    return g_allocations.load() - before;
+  };
+  EXPECT_EQ(steady_allocations(cw10, r_probe_cw), 0u);
+  EXPECT_EQ(steady_allocations(maj7, greedy), 0u);
+}
+
+TEST(ZeroAllocationHotPath, TheAllocationCounterItselfWorks) {
+  const std::size_t before = g_allocations.load();
+  auto p = std::make_unique<std::vector<int>>(100);
+  p->push_back(1);
+  EXPECT_GT(g_allocations.load(), before);
+}
+
+}  // namespace
+}  // namespace qps

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
 #include <set>
 #include <stdexcept>
+#include <vector>
 
 namespace qps {
 namespace {
@@ -146,6 +149,115 @@ TEST(HqsWorstCase, FamilyPStructure) {
   // For h=2 (n=9): majority children contribute 2 greens each, the
   // minority child 1 green: total 5.
   EXPECT_EQ(c.green_count(), 5u);
+}
+
+TEST(IidSampling, MaskSamplerMatchesSetSamplerDrawForDraw) {
+  // sample_iid_coloring_mask consumes the same generator sequence as
+  // sample_iid_coloring and must produce the same coloring.
+  for (double p : {0.0, 0.3, 0.5, 0.8, 1.0}) {
+    Rng set_rng(11), mask_rng(11);
+    for (int trial = 0; trial < 50; ++trial) {
+      const Coloring c = sample_iid_coloring(21, p, set_rng);
+      const std::uint64_t mask = sample_iid_coloring_mask(21, p, mask_rng);
+      ASSERT_EQ(c.greens().to_mask(), mask) << "p=" << p;
+    }
+    EXPECT_EQ(set_rng.next_u64(), mask_rng.next_u64()) << "p=" << p;
+  }
+}
+
+TEST(IidSampling, WordSamplerIsDeterministic) {
+  std::uint64_t a[16], b[16];
+  Rng rng_a(123), rng_b(123);
+  sample_iid_coloring_words(a, 16, 64, 0.37, rng_a);
+  sample_iid_coloring_words(b, 16, 64, 0.37, rng_b);
+  for (int i = 0; i < 16; ++i) ASSERT_EQ(a[i], b[i]);
+  // One call for 16 masks == two calls for 8 + 8 on the same stream.
+  Rng rng_c(123);
+  sample_iid_coloring_words(b, 8, 64, 0.37, rng_c);
+  sample_iid_coloring_words(b + 8, 8, 64, 0.37, rng_c);
+  for (int i = 0; i < 16; ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(IidSampling, WordSamplerEdgeProbabilities) {
+  std::uint64_t masks[4];
+  Rng rng(9);
+  sample_iid_coloring_words(masks, 4, 10, 0.0, rng);
+  for (auto m : masks) EXPECT_EQ(m, (1ULL << 10) - 1);  // p=0: all green
+  sample_iid_coloring_words(masks, 4, 10, 1.0, rng);
+  for (auto m : masks) EXPECT_EQ(m, 0ULL);  // p=1: all red
+  // Full-word universe at p = 1/2: each mask is one raw uniform word, so
+  // four draws must not all collide and greens must be plausible counts.
+  sample_iid_coloring_words(masks, 4, 64, 0.5, rng);
+  EXPECT_FALSE(masks[0] == masks[1] && masks[1] == masks[2] &&
+               masks[2] == masks[3]);
+  for (auto m : masks) {
+    EXPECT_GT(std::popcount(m), 8);   // P(<= 8 greens) ~ 1e-10
+    EXPECT_LT(std::popcount(m), 56);  // symmetric
+  }
+}
+
+TEST(IidSampling, WordSamplerRespectsTheUniverseBoundary) {
+  std::uint64_t masks[64];
+  Rng rng(77);
+  for (std::size_t n : {1u, 7u, 63u, 64u}) {
+    sample_iid_coloring_words(masks, 64, n, 0.4, rng);
+    const std::uint64_t universe = n == 64 ? ~0ULL : (1ULL << n) - 1;
+    for (auto m : masks) ASSERT_EQ(m & ~universe, 0ULL) << "n=" << n;
+  }
+}
+
+TEST(IidSampling, WordSamplerMarginalsMatchBernoulli) {
+  // Statistical equivalence to the per-element sampler: the green count
+  // over many trials must match (1-p) * n well within 6 sigma.
+  const std::size_t kTrials = 40000;
+  std::vector<std::uint64_t> masks(kTrials);
+  for (double p : {0.1, 0.37, 0.5, 0.75}) {
+    Rng rng(1234);
+    sample_iid_coloring_words(masks.data(), kTrials, 48, p, rng);
+    double greens = 0;
+    std::vector<std::size_t> per_element(48, 0);
+    for (auto m : masks) {
+      greens += std::popcount(m);
+      for (int e = 0; e < 48; ++e) per_element[e] += (m >> e) & 1;
+    }
+    const double n_trials = static_cast<double>(kTrials);
+    const double expected = (1.0 - p) * 48.0 * n_trials;
+    const double sigma = std::sqrt(48.0 * p * (1.0 - p) * n_trials);
+    EXPECT_NEAR(greens, expected, 6.0 * sigma) << "p=" << p;
+    // And element marginals individually (no positional bias).
+    const double elem_sigma = std::sqrt(p * (1.0 - p) * n_trials);
+    for (int e = 0; e < 48; ++e)
+      ASSERT_NEAR(static_cast<double>(per_element[e]), (1.0 - p) * n_trials,
+                  6.0 * elem_sigma)
+          << "p=" << p << " element " << e;
+  }
+}
+
+TEST(IidSampling, WordSamplerCouplesMonotonicallyAcrossP) {
+  // On a shared stream, dyadic thresholds with the same trailing-zero
+  // count consume the same draws, and a lane red at the smaller p is red
+  // at the larger one: the comonotone coupling that keeps CRN E(p) curves
+  // smooth along dyadic grids.
+  std::uint64_t lo[32], hi[32];
+  Rng rng_lo(5), rng_hi(5);
+  sample_iid_coloring_words(lo, 32, 64, 0.25, rng_lo);   // P = 2^51
+  sample_iid_coloring_words(hi, 32, 64, 0.75, rng_hi);   // P = 3 * 2^51
+  // 0.25 consumes 2 draws/word, 0.75 consumes 2 draws/word: same stream
+  // offsets; reds at 0.25 must be a subset of reds at 0.75.
+  for (int i = 0; i < 32; ++i)
+    ASSERT_EQ(~lo[i] & hi[i], 0ULL) << i;  // reds(lo) subset reds(hi)
+}
+
+TEST(IidSampling, WordSamplerRejectsBadArguments) {
+  std::uint64_t mask;
+  Rng rng(1);
+  EXPECT_THROW(sample_iid_coloring_words(&mask, 1, 0, 0.5, rng),
+               std::invalid_argument);
+  EXPECT_THROW(sample_iid_coloring_words(&mask, 1, 65, 0.5, rng),
+               std::invalid_argument);
+  EXPECT_THROW(sample_iid_coloring_words(&mask, 1, 8, 1.5, rng),
+               std::invalid_argument);
+  EXPECT_THROW(sample_iid_coloring_mask(65, 0.5, rng), std::invalid_argument);
 }
 
 TEST(HqsWorstCase, RedRootIsComplementary) {

@@ -61,6 +61,35 @@ TEST(Greedy, ComparableToProbeCwOnSmallWalls) {
   EXPECT_GE(stats.mean(), 2.0);
 }
 
+TEST(Greedy, HonorsProbesAlreadyOnTheSession) {
+  // A partially probed session is part of run()'s contract: pre-existing
+  // probes must count toward both certificates.
+  const MajoritySystem maj(5);
+  const GreedyCandidateProbe greedy(maj);
+  Rng rng(4);
+
+  // Pre-probe the three reds: they already form a transversal, so the run
+  // must certify red without any further probes.
+  const Coloring mostly_red(5, ElementSet(5, {3, 4}));
+  ProbeSession red_session(mostly_red);
+  red_session.probe(0);
+  red_session.probe(1);
+  red_session.probe(2);
+  const Witness red = greedy.run(red_session, rng);
+  EXPECT_EQ(red.color, Color::kRed);
+  EXPECT_EQ(red_session.probe_count(), 3u);
+
+  // Pre-probe a full green quorum: certify green with no further probes.
+  const Coloring mostly_green(5, ElementSet(5, {0, 1, 2}));
+  ProbeSession green_session(mostly_green);
+  green_session.probe(0);
+  green_session.probe(1);
+  green_session.probe(2);
+  const Witness green = greedy.run(green_session, rng);
+  EXPECT_EQ(green.color, Color::kGreen);
+  EXPECT_EQ(green_session.probe_count(), 3u);
+}
+
 TEST(Greedy, NeverExceedsUniverseSize) {
   const MajoritySystem maj(7);
   const GreedyCandidateProbe greedy(maj);

@@ -220,6 +220,77 @@ TEST(SweepRunner, PointFilterRejectsUnknownIds) {
                std::invalid_argument);
 }
 
+TEST(SweepRunner, FamilyFilterRunsExactlyThatFamilysSlice) {
+  SweepOptions options;
+  options.family_filter = "beta";
+  std::size_t evaluations = 0;
+  const auto results =
+      SweepRunner(make_grid_spec(), options).run([&](const SweepPoint& p) {
+        ++evaluations;
+        EXPECT_EQ(p.family, "beta");
+        return eval_point(p);
+      });
+  EXPECT_EQ(evaluations, 2u);  // beta x {0.25, 0.5}
+  const auto full =
+      SweepRunner(make_grid_spec(), SweepOptions{}).run(eval_point);
+  for (const auto& result : results) {
+    if (result.point.family == "beta") {
+      EXPECT_FALSE(result.skipped);
+      EXPECT_EQ(result.stats.mean(), full[result.point.index].stats.mean());
+    } else {
+      EXPECT_TRUE(result.skipped) << result.point.id;
+    }
+  }
+}
+
+TEST(SweepRunner, SizeFilterConjoinsWithFamilyFilter) {
+  SweepOptions options;
+  options.family_filter = "alpha";
+  options.size_filter = 5;
+  std::size_t evaluations = 0;
+  const auto results =
+      SweepRunner(make_grid_spec(), options).run([&](const SweepPoint& p) {
+        ++evaluations;
+        EXPECT_EQ(p.family, "alpha");
+        EXPECT_EQ(p.size, 5u);
+        return eval_point(p);
+      });
+  EXPECT_EQ(evaluations, 4u);  // alpha x size 5 x {R, IR} x {0.25, 0.5}
+  std::size_t selected = 0;
+  for (const auto& result : results)
+    if (!result.skipped) ++selected;
+  EXPECT_EQ(selected, 4u);
+}
+
+TEST(SweepRunner, SizeFilterAloneCutsAcrossFamilies) {
+  SweepOptions options;
+  options.size_filter = 10;
+  std::size_t evaluations = 0;
+  SweepRunner(make_grid_spec(), options).run([&](const SweepPoint& p) {
+    ++evaluations;
+    EXPECT_EQ(p.size, 10u);
+    return eval_point(p);
+  });
+  EXPECT_EQ(evaluations, 2u);
+}
+
+TEST(SweepRunner, UnmatchedFamilyOrSizeFiltersThrow) {
+  SweepOptions family_options;
+  family_options.family_filter = "gamma";
+  EXPECT_THROW(SweepRunner(make_grid_spec(), family_options).run(eval_point),
+               std::invalid_argument);
+  SweepOptions size_options;
+  size_options.size_filter = 42;
+  EXPECT_THROW(SweepRunner(make_grid_spec(), size_options).run(eval_point),
+               std::invalid_argument);
+  // Individually matching filters whose conjunction is empty also throw.
+  SweepOptions conjunction;
+  conjunction.family_filter = "beta";
+  conjunction.size_filter = 3;
+  EXPECT_THROW(SweepRunner(make_grid_spec(), conjunction).run(eval_point),
+               std::invalid_argument);
+}
+
 TEST(SweepRunner, WorkerCountsZeroOneAndFourAgreeBitForBit) {
   const auto baseline =
       SweepRunner(make_grid_spec(), SweepOptions{}).run(eval_point);

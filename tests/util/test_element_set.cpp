@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/rng.h"
 
 namespace qps {
 namespace {
@@ -155,6 +158,97 @@ TEST(ElementSet, ClearKeepsUniverse) {
   s.clear();
   EXPECT_TRUE(s.empty());
   EXPECT_EQ(s.universe_size(), 20u);
+}
+
+TEST(ElementSet, AssignMaskOverwritesInPlace) {
+  ElementSet s(8, {0, 1, 2});
+  s.assign_mask(0b10100000);
+  EXPECT_EQ(s.to_mask(), 0b10100000u);
+  EXPECT_EQ(s.count(), 2u);
+  s.assign_mask(0);
+  EXPECT_TRUE(s.empty());
+  ElementSet full64(64);
+  full64.assign_mask(~0ULL);
+  EXPECT_EQ(full64.count(), 64u);
+}
+
+TEST(ElementSet, AssignMaskRejectsBadInput) {
+  ElementSet wide(65);
+  EXPECT_THROW(wide.assign_mask(1), std::invalid_argument);
+  ElementSet narrow(3);
+  EXPECT_THROW(narrow.assign_mask(0b1000), std::invalid_argument);
+}
+
+// The n = 64 / 65 boundary separates the inline single-word storage from
+// the heap word vector.  Mirror a long random operation sequence on a
+// small- and a large-universe set (the latter never touching its top
+// element) and demand identical observable behavior throughout.
+TEST(ElementSet, SmallAndLargeStorageAgreeAtTheBoundary) {
+  const std::size_t kSmall = 64;
+  const std::size_t kLarge = 65;
+  ElementSet small_a(kSmall), large_a(kLarge);
+  ElementSet small_b(kSmall), large_b(kLarge);
+  Rng rng(20010826);
+  for (int step = 0; step < 2000; ++step) {
+    const auto e = static_cast<Element>(rng.below(kSmall));
+    switch (rng.below(6)) {
+      case 0:
+        small_a.insert(e);
+        large_a.insert(e);
+        break;
+      case 1:
+        small_a.erase(e);
+        large_a.erase(e);
+        break;
+      case 2:
+        small_b.insert(e);
+        large_b.insert(e);
+        break;
+      case 3:
+        small_a |= small_b;
+        large_a |= large_b;
+        break;
+      case 4:
+        small_a -= small_b;
+        large_a -= large_b;
+        break;
+      case 5:
+        small_a &= small_b.complement() | small_b;
+        large_a &= (large_b.complement() | large_b);
+        break;
+    }
+    ASSERT_EQ(small_a.count(), large_a.count()) << "step " << step;
+    ASSERT_EQ(small_a.contains(e), large_a.contains(e)) << "step " << step;
+    ASSERT_EQ(small_a.first(), std::min<Element>(large_a.first(), kSmall));
+    ASSERT_EQ(small_a.is_subset_of(small_b), large_a.is_subset_of(large_b));
+    ASSERT_EQ(small_a.intersects(small_b), large_a.intersects(large_b));
+  }
+  // Structural agreement at the end: same members.
+  const auto small_members = small_a.to_vector();
+  const auto large_members = large_a.to_vector();
+  EXPECT_EQ(small_members, large_members);
+}
+
+TEST(ElementSet, ComplementAtTheStorageBoundary) {
+  for (std::size_t n : {63u, 64u, 65u}) {
+    ElementSet s(n, {0, static_cast<Element>(n - 1)});
+    const ElementSet c = s.complement();
+    EXPECT_EQ(c.count(), n - 2) << n;
+    EXPECT_FALSE(c.contains(0)) << n;
+    EXPECT_FALSE(c.contains(static_cast<Element>(n - 1))) << n;
+    EXPECT_EQ((s | c).count(), n) << n;
+    EXPECT_FALSE(s.intersects(c)) << n;
+  }
+}
+
+TEST(ElementSet, NextAfterAtTheStorageBoundary) {
+  for (std::size_t n : {64u, 65u, 130u}) {
+    ElementSet s(n);
+    s.insert(0);
+    s.insert(static_cast<Element>(n - 1));
+    EXPECT_EQ(s.next_after(0), n - 1) << n;
+    EXPECT_EQ(s.next_after(static_cast<Element>(n - 1)), n) << n;
+  }
 }
 
 }  // namespace
