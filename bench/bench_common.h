@@ -55,6 +55,11 @@ struct BenchContext {
   std::size_t threads = 0;  // 0 = hardware concurrency
   double target_sem = 0.0;  // 0 = run the full trial budget
   std::string json_path;    // empty = no JSON report
+  // --execution bitsliced|scalar: trial execution mode for estimate_ppc
+  // (the bit-sliced 64-trials-per-word kernel where eligible, vs. always
+  // the scalar per-trial path).  Results are bit-identical either way --
+  // CI's bench-smoke job cmp's the two JSONs to prove it.
+  Execution execution = Execution::kBitSliced;
 
   // Sweep orchestration (core/sweep/).
   std::size_t workers = 0;       // subprocess count; 0 = in-process
@@ -83,6 +88,7 @@ struct BenchContext {
     options.threads = threads;
     options.target_sem = target_sem;
     options.seed = seed + 0x9e3779b97f4a7c15ULL * stream;
+    options.execution = execution;
     return options;
   }
 
@@ -123,6 +129,16 @@ inline BenchContext parse_context(int argc, char** argv) {
   ctx.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   ctx.target_sem = flags.get_double("target-sem", 0.0);
   ctx.json_path = flags.get_string("json", "");
+  const std::string execution = flags.get_string("execution", "bitsliced");
+  if (execution == "bitsliced") {
+    ctx.execution = Execution::kBitSliced;
+  } else if (execution == "scalar") {
+    ctx.execution = Execution::kScalar;
+  } else {
+    std::cerr << "--execution must be 'bitsliced' or 'scalar', got '"
+              << execution << "'\n";
+    std::exit(2);
+  }
   ctx.workers = static_cast<std::size_t>(flags.get_int("workers", 0));
   ctx.checkpoint_path = flags.get_string("checkpoint", "");
   ctx.resume = flags.get_bool("resume", false);
@@ -136,8 +152,8 @@ inline BenchContext parse_context(int argc, char** argv) {
   if (!unused.empty()) {
     std::cerr << "unknown flag --" << unused.front()
               << " (supported: --seed --trials --quick --threads "
-                 "--target-sem --json --workers --checkpoint --resume "
-                 "--point --family --size)\n";
+                 "--target-sem --execution --json --workers --checkpoint "
+                 "--resume --point --family --size)\n";
     std::exit(2);
   }
   if (ctx.quick) ctx.trials = std::max<std::size_t>(ctx.trials / 10, 100);

@@ -10,6 +10,7 @@
 #include "core/algorithms/probe_hqs.h"
 #include "core/algorithms/probe_maj.h"
 #include "core/algorithms/probe_tree.h"
+#include "core/engine/batch_kernel.h"
 #include "core/engine/trial_workspace.h"
 #include "core/estimator.h"
 #include "core/exact/ppc_exact.h"
@@ -118,17 +119,23 @@ BENCHMARK(BM_ExactTreeExpectation)->Arg(8)->Arg(12)->Arg(16);
 
 // --- Probe-throughput suite ----------------------------------------------
 // Trials/sec of one full Monte-Carlo trial (coloring sample + probe run)
-// per family, on two paths:
+// per family, on three paths:
 //  * Generic: the pre-workspace shape of the trial -- a fresh coloring, a
 //    fresh session answering probes through a type-erased std::function
 //    oracle, and the legacy ProbeStrategy::run() entry point with its
 //    per-call scratch.
-//  * Hot: the zero-allocation path -- one TrialWorkspace, colorings
+//  * Hot: the zero-allocation scalar path -- one TrialWorkspace, colorings
 //    refilled in place from batched word-level sampling
 //    (sample_iid_coloring_words), and the scratch-aware run_with() entry
 //    point.
-// items_per_second is trials/sec.  CI pairs Generic/Hot by suffix, records
-// the speedups in the bench-smoke artifact, and gates them > 1.
+//  * Batch: the bit-sliced 64-trials-per-word kernel
+//    (core/engine/batch_kernel.h) -- transposed colorings, mask-arithmetic
+//    lane control, bit-sliced probe tallies.  Deterministic-order
+//    strategies only.
+// items_per_second is trials/sec.  CI pairs Generic/Hot and Hot/Batch by
+// suffix (bench/probe_throughput_schema.py), records the hot_vs_generic
+// and batch_vs_hot speedup series under stable metric names in
+// BENCH_micro_probe.json, and gates every speedup > 1.
 
 void run_generic_trials(benchmark::State& state, const QuorumSystem& system,
                         const ProbeStrategy& strategy, double p) {
@@ -162,6 +169,35 @@ void run_hot_trials(benchmark::State& state, const QuorumSystem& system,
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 
+void run_batch_trials(benchmark::State& state, const QuorumSystem& system,
+                      const ProbeStrategy& strategy, double p) {
+  const std::size_t n = system.universe_size();
+  constexpr std::size_t kBatch = 1024;
+  constexpr std::size_t kLanes = BatchTrialBlock::kLanes;
+  TrialWorkspace ws(n);
+  Rng rng(17);
+  std::uint64_t* masks = ws.coloring_masks(kBatch);
+  BatchTrialBlock& block = ws.batch_block();
+  std::size_t next = kBatch;
+  std::uint64_t checksum = 0;
+  // One iteration = one 64-lane block, probe-count gather included (the
+  // engine reads every lane's count into its statistics).
+  for (auto _ : state) {
+    if (next == kBatch) {
+      sample_iid_coloring_words(masks, kBatch, n, p, rng);
+      next = 0;
+    }
+    block.load(masks + next, kLanes, n);
+    strategy.run_batch(block);
+    for (std::size_t lane = 0; lane < kLanes; ++lane)
+      checksum += block.probe_count(lane);
+    next += kLanes;
+  }
+  benchmark::DoNotOptimize(checksum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kLanes));
+}
+
 void BM_ProbeTrials_Generic_Maj63(benchmark::State& state) {
   const MajoritySystem maj(63);
   const ProbeMaj strategy(maj);
@@ -175,6 +211,13 @@ void BM_ProbeTrials_Hot_Maj63(benchmark::State& state) {
   run_hot_trials(state, maj, strategy, 0.5);
 }
 BENCHMARK(BM_ProbeTrials_Hot_Maj63);
+
+void BM_ProbeTrials_Batch_Maj63(benchmark::State& state) {
+  const MajoritySystem maj(63);
+  const ProbeMaj strategy(maj);
+  run_batch_trials(state, maj, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Batch_Maj63);
 
 void BM_ProbeTrials_Generic_RMaj63(benchmark::State& state) {
   const MajoritySystem maj(63);
@@ -204,6 +247,22 @@ void BM_ProbeTrials_Hot_Tree63(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeTrials_Hot_Tree63);
 
+// Deterministic-order tree / cw probers: the Hot/Batch pair measures the
+// bit-sliced kernel against the scalar hot path on the same strategy.
+void BM_ProbeTrials_Hot_DetTree63(benchmark::State& state) {
+  const TreeSystem tree(5);  // n = 63
+  const ProbeTree strategy(tree);
+  run_hot_trials(state, tree, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Hot_DetTree63);
+
+void BM_ProbeTrials_Batch_DetTree63(benchmark::State& state) {
+  const TreeSystem tree(5);
+  const ProbeTree strategy(tree);
+  run_batch_trials(state, tree, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Batch_DetTree63);
+
 void BM_ProbeTrials_Generic_Hqs27(benchmark::State& state) {
   const HQSystem hqs(3);  // n = 27
   const ProbeHQS strategy(hqs);
@@ -217,6 +276,13 @@ void BM_ProbeTrials_Hot_Hqs27(benchmark::State& state) {
   run_hot_trials(state, hqs, strategy, 0.5);
 }
 BENCHMARK(BM_ProbeTrials_Hot_Hqs27);
+
+void BM_ProbeTrials_Batch_Hqs27(benchmark::State& state) {
+  const HQSystem hqs(3);
+  const ProbeHQS strategy(hqs);
+  run_batch_trials(state, hqs, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Batch_Hqs27);
 
 void BM_ProbeTrials_Generic_Cw55(benchmark::State& state) {
   const CrumblingWall wall = CrumblingWall::triang(10);  // n = 55
@@ -232,8 +298,24 @@ void BM_ProbeTrials_Hot_Cw55(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbeTrials_Hot_Cw55);
 
-// Engine-level counterpart: estimate_ppc end to end, generic run() lambda
-// vs the workspace hot path the engine now takes by default.
+void BM_ProbeTrials_Hot_DetCw55(benchmark::State& state) {
+  const CrumblingWall wall = CrumblingWall::triang(10);  // n = 55
+  const ProbeCW strategy(wall);
+  run_hot_trials(state, wall, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Hot_DetCw55);
+
+void BM_ProbeTrials_Batch_DetCw55(benchmark::State& state) {
+  const CrumblingWall wall = CrumblingWall::triang(10);
+  const ProbeCW strategy(wall);
+  run_batch_trials(state, wall, strategy, 0.5);
+}
+BENCHMARK(BM_ProbeTrials_Batch_DetCw55);
+
+// Engine-level counterpart: estimate_ppc end to end -- the generic run()
+// lambda, the scalar workspace hot path (the PR 4 default, pinned with
+// Execution::kScalar), and the bit-sliced batch kernel the engine now
+// takes by default.
 void BM_EstimatePpcGenericLambda(benchmark::State& state) {
   const MajoritySystem maj(63);
   const ProbeMaj strategy(maj);
@@ -261,6 +343,7 @@ void BM_EstimatePpcHotPath(benchmark::State& state) {
   options.trials = 16384;
   options.threads = 1;
   options.seed = 23;
+  options.execution = Execution::kScalar;  // the scalar hot path, explicitly
   const ParallelEstimator engine(options);
   for (auto _ : state)
     benchmark::DoNotOptimize(engine.estimate_ppc(maj, strategy, 0.5).mean());
@@ -268,6 +351,21 @@ void BM_EstimatePpcHotPath(benchmark::State& state) {
                           static_cast<std::int64_t>(options.trials));
 }
 BENCHMARK(BM_EstimatePpcHotPath);
+
+void BM_EstimatePpcBitSliced(benchmark::State& state) {
+  const MajoritySystem maj(63);
+  const ProbeMaj strategy(maj);
+  EngineOptions options;
+  options.trials = 16384;
+  options.threads = 1;
+  options.seed = 23;
+  const ParallelEstimator engine(options);  // kBitSliced is the default
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.estimate_ppc(maj, strategy, 0.5).mean());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.trials));
+}
+BENCHMARK(BM_EstimatePpcBitSliced);
 
 // --- Estimation-engine microbenchmarks -----------------------------------
 // These guard the engine's own overheads: how batch size trades RNG-stream

@@ -19,9 +19,11 @@ GreedyCandidateProbe::GreedyCandidateProbe(const QuorumSystem& system)
 }
 
 Witness GreedyCandidateProbe::run(ProbeSession& session, Rng& /*rng*/) const {
-  // Reused across calls, so the legacy entry point also stops allocating
-  // per trial once warm.
-  static thread_local std::vector<std::uint64_t> live, dead, unhit;
+  // Legacy self-contained entry point: per-call scratch, as the
+  // ProbeStrategy contract allows.  The hot path goes through run_with,
+  // whose scratch is owned by the caller's TrialWorkspace -- no hidden
+  // per-thread state whose growth outlives the call.
+  std::vector<std::uint64_t> live, dead, unhit;
   return run_masks(session, live, dead, unhit);
 }
 

@@ -10,9 +10,10 @@
 // element, the word-mask of quorums containing it, and a run tracks the
 // live / dead / not-yet-blocked candidate sets as word masks, so the
 // density scoring is popcounts instead of per-quorum membership tests.
-// The per-run masks live in reusable buffers (thread-local for run(), the
-// workspace's for run_with()), so no entry point allocates per trial in
-// the steady state.
+// On the hot path (run_with) the per-run masks live in the caller's
+// TrialWorkspace, so steady-state trials allocate nothing and all scratch
+// ownership is explicit; the legacy run() entry point allocates its
+// scratch per call.
 #pragma once
 
 #include <cstdint>

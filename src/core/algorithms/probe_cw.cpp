@@ -4,6 +4,7 @@
 #include <array>
 #include <vector>
 
+#include "core/engine/batch_kernel.h"
 #include "util/require.h"
 
 namespace qps {
@@ -39,6 +40,36 @@ Witness ProbeCW::run(ProbeSession& session, Rng& /*rng*/) const {
     }
   }
   return {mode, witness};
+}
+
+bool ProbeCW::supports_batch(std::size_t universe_size) const {
+  return universe_size == wall_->universe_size() && universe_size <= 64 &&
+         wall_->row_width(0) == 1;
+}
+
+void ProbeCW::run_batch(BatchTrialBlock& block) const {
+  const CrumblingWall& wall = *wall_;
+  QPS_REQUIRE(block.universe_size() == wall.universe_size(),
+              "batch block over the wrong universe");
+  QPS_REQUIRE(wall.row_width(0) == 1, "Probe_CW expects a width-1 top row");
+  const std::uint64_t all = block.lanes();
+  // Per-lane mode as a word: bit t set iff lane t's current witness color
+  // is green.  The top element seeds it; every lane probes the whole scan.
+  block.count_probe(all);
+  std::uint64_t mode = block.greens(wall.row_begin(0));
+  for (std::size_t row = 1; row < wall.row_count(); ++row) {
+    // Lanes scan the row left to right and drop out at their first
+    // mode-matching element; greens(e) ^ mode keeps exactly the
+    // still-unmatched lanes.
+    std::uint64_t scanning = all;
+    for (Element e = wall.row_begin(row);
+         e < wall.row_end(row) && scanning != 0; ++e) {
+      block.count_probe(scanning);
+      scanning &= block.greens(e) ^ mode;
+    }
+    // Lanes that matched nothing saw a monochromatic opposite row: flip.
+    mode ^= scanning;
+  }
 }
 
 namespace {

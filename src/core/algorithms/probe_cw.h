@@ -24,6 +24,10 @@ class ProbeCW final : public ProbeStrategy {
   explicit ProbeCW(const CrumblingWall& wall) : wall_(&wall) {}
   std::string name() const override { return "Probe_CW"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
+  /// Bit-sliced batch kernel: the top-down row scan with a per-lane mode
+  /// word; lanes leave a row as soon as they match their mode.
+  bool supports_batch(std::size_t universe_size) const override;
+  void run_batch(BatchTrialBlock& block) const override;
 
  private:
   const CrumblingWall* wall_;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/engine/batch_kernel.h"
 #include "core/engine/trial_workspace.h"
 #include "util/require.h"
 
@@ -261,6 +262,30 @@ MaskEval ir_eval_mask(std::size_t level, std::size_t index,
   return merge_tiebreak_mask(v1, v3, v2);
 }
 
+// ---- Bit-sliced batch kernel (64 trials per word) ------------------------
+// Probe_HQS's left-to-right gate evaluation with an active-lane mask: all
+// active lanes evaluate the first two children; only the lanes whose
+// children disagree evaluate the third.  Returns the gate-value word
+// (valid on the active lanes); the per-lane probed leaf set is exactly the
+// scalar evaluation's.
+std::uint64_t batch_hqs_rec(std::size_t level, std::size_t index,
+                            std::uint64_t active, BatchTrialBlock& block) {
+  if (active == 0) return 0;
+  if (level == 0) {
+    block.count_probe(active);
+    return block.greens(static_cast<Element>(index));
+  }
+  const std::uint64_t first =
+      batch_hqs_rec(level - 1, index * 3, active, block);
+  const std::uint64_t second =
+      batch_hqs_rec(level - 1, index * 3 + 1, active, block);
+  const std::uint64_t disagree = first ^ second;
+  const std::uint64_t third =
+      batch_hqs_rec(level - 1, index * 3 + 2, active & disagree, block);
+  // Agreeing children decide the gate; otherwise the third child does.
+  return (~disagree & first) | (disagree & third);
+}
+
 }  // namespace
 
 Witness ProbeHQS::run(ProbeSession& session, Rng& /*rng*/) const {
@@ -273,6 +298,16 @@ Witness ProbeHQS::run_with(TrialWorkspace& /*workspace*/,
   const std::size_t n = hqs_->universe_size();
   if (n > 64) return run(session, rng);
   return materialize_mask(probe_hqs_rec_mask(hqs_->height(), 0, session), n);
+}
+
+bool ProbeHQS::supports_batch(std::size_t universe_size) const {
+  return universe_size == hqs_->universe_size() && universe_size <= 64;
+}
+
+void ProbeHQS::run_batch(BatchTrialBlock& block) const {
+  QPS_REQUIRE(block.universe_size() == hqs_->universe_size(),
+              "batch block over the wrong universe");
+  (void)batch_hqs_rec(hqs_->height(), 0, block.lanes(), block);
 }
 
 Witness RProbeHQS::run(ProbeSession& session, Rng& rng) const {

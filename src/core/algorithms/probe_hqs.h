@@ -32,6 +32,10 @@ class ProbeHQS final : public ProbeStrategy {
   /// Allocation-free word-mask evaluation for n <= 64.
   Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
                    Rng& rng) const override;
+  /// Bit-sliced batch kernel: one masked gate-tree walk, only the lanes
+  /// whose first two children disagree visiting the third.
+  bool supports_batch(std::size_t universe_size) const override;
+  void run_batch(BatchTrialBlock& block) const override;
 
  private:
   const HQSystem* hqs_;

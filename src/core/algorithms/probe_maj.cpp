@@ -1,5 +1,6 @@
 #include "core/algorithms/probe_maj.h"
 
+#include "core/engine/batch_kernel.h"
 #include "core/engine/trial_workspace.h"
 #include "util/require.h"
 
@@ -38,6 +39,35 @@ Witness ProbeMaj::run(ProbeSession& session, Rng& /*rng*/) const {
   return probe_in_order(
       *system_, [](std::size_t i) { return static_cast<Element>(i); },
       session);
+}
+
+bool ProbeMaj::supports_batch(std::size_t universe_size) const {
+  return universe_size == system_->universe_size() && universe_size <= 64;
+}
+
+void ProbeMaj::run_batch(BatchTrialBlock& block) const {
+  const std::size_t n = system_->universe_size();
+  QPS_REQUIRE(block.universe_size() == n,
+              "batch block over the wrong universe");
+  const std::size_t threshold = system_->threshold();
+  // Lock-step sequential scan: element i is probed by every lane that has
+  // not yet seen a monochromatic majority.  Green tallies are bit-sliced;
+  // the red tally needs no planes of its own, since after i+1 probes
+  // reds == threshold iff greens == i+1 - threshold.
+  LaneTally greens;
+  std::uint64_t active = block.lanes();
+  for (std::size_t i = 0; i < n && active != 0; ++i) {
+    block.count_probe(active);
+    greens.add(block.greens(static_cast<Element>(i)) & active);
+    // No lane can reach either threshold before probing `threshold`
+    // elements; skip the equality folds on the first threshold-1 steps.
+    if (i + 1 >= threshold) {
+      const std::uint64_t done =
+          greens.equals(threshold) | greens.equals(i + 1 - threshold);
+      active &= ~done;
+    }
+  }
+  QPS_CHECK(active == 0, "one color must reach the majority threshold");
 }
 
 Witness RProbeMaj::run(ProbeSession& session, Rng& rng) const {

@@ -21,6 +21,10 @@ class ProbeMaj final : public ProbeStrategy {
   explicit ProbeMaj(const MajoritySystem& system) : system_(&system) {}
   std::string name() const override { return "Probe_Maj"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
+  /// Bit-sliced batch kernel: 64 trials per word, bit-sliced green tallies,
+  /// per-lane stop detection by plane equality against the threshold.
+  bool supports_batch(std::size_t universe_size) const override;
+  void run_batch(BatchTrialBlock& block) const override;
 
  private:
   const MajoritySystem* system_;

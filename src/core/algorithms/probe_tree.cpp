@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/engine/batch_kernel.h"
 #include "core/engine/trial_workspace.h"
 #include "util/require.h"
 
@@ -170,6 +171,31 @@ MaskWitness r_probe_tree_rec_mask(const TreeSystem& tree, Element v,
   return match;
 }
 
+// ---- Bit-sliced batch kernel (64 trials per word) ------------------------
+// The Probe_Tree recursion with an active-lane mask instead of a single
+// trial: every lane entering a node probes it, all active lanes evaluate
+// the right subtree, and only the lanes whose right-witness color differs
+// from their root color descend into the left subtree.  Returns the
+// witness-color word for the subtree (valid on the active lanes).  The
+// per-lane probed SET is exactly the scalar recursion's, so the bit-sliced
+// probe counts match it lane for lane.
+std::uint64_t batch_tree_rec(const TreeSystem& tree, Element v,
+                             std::uint64_t active, BatchTrialBlock& block) {
+  if (active == 0) return 0;
+  block.count_probe(active);
+  const std::uint64_t color = block.greens(v);
+  if (tree.is_leaf(v)) return color;
+  const std::uint64_t right =
+      batch_tree_rec(tree, TreeSystem::right_child(v), active, block);
+  const std::uint64_t agree = ~(right ^ color);
+  const std::uint64_t left =
+      batch_tree_rec(tree, TreeSystem::left_child(v), active & ~agree, block);
+  // Right witness matching the root keeps the root's color; otherwise the
+  // overall witness color is the left recursion's (it either matches the
+  // root or joins the right witness in the opposite color).
+  return (agree & color) | (~agree & left);
+}
+
 Witness materialize_mask(const MaskWitness& mw, std::size_t n) {
   Witness w;
   w.color = mw.color;
@@ -192,6 +218,16 @@ Witness ProbeTree::run_with(TrialWorkspace& workspace, ProbeSession& session,
   return materialize_mask(probe_tree_rec_mask(*tree_, TreeSystem::kRoot,
                                               session),
                           n);
+}
+
+bool ProbeTree::supports_batch(std::size_t universe_size) const {
+  return universe_size == tree_->universe_size() && universe_size <= 64;
+}
+
+void ProbeTree::run_batch(BatchTrialBlock& block) const {
+  QPS_REQUIRE(block.universe_size() == tree_->universe_size(),
+              "batch block over the wrong universe");
+  (void)batch_tree_rec(*tree_, TreeSystem::kRoot, block.lanes(), block);
 }
 
 Witness RProbeTree::run(ProbeSession& session, Rng& rng) const {

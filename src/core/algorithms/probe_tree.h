@@ -24,6 +24,10 @@ class ProbeTree final : public ProbeStrategy {
   /// Allocation-free word-mask recursion for n <= 64.
   Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
                    Rng& rng) const override;
+  /// Bit-sliced batch kernel: one masked recursion over the tree, lanes
+  /// that disagree with their root color descending into the left subtree.
+  bool supports_batch(std::size_t universe_size) const override;
+  void run_batch(BatchTrialBlock& block) const override;
 
  private:
   const TreeSystem* tree_;

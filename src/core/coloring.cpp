@@ -84,6 +84,31 @@ void sample_iid_coloring_words(std::uint64_t* out, std::size_t count,
   }
 }
 
+void transpose_coloring_words(const std::uint64_t* trial_masks,
+                              std::size_t trial_count,
+                              std::uint64_t* element_words,
+                              std::size_t universe_size) {
+  QPS_REQUIRE(universe_size >= 1 && universe_size <= 64,
+              "transpose needs a universe of 1..64");
+  QPS_REQUIRE(trial_count <= 64, "at most 64 trials per transpose");
+  // Hacker's-Delight 64x64 transpose by masked delta swaps.  The classic
+  // algorithm transposes under the MSB-left convention, i.e. with LSB
+  // indexing it maps (row r, bit b) to (63-b, 63-r); loading and storing
+  // with reversed row indices turns that into the plain (r, b) -> (b, r).
+  std::uint64_t x[64];
+  for (std::size_t t = 0; t < 64; ++t)
+    x[63 - t] = t < trial_count ? trial_masks[t] : 0;
+  for (std::uint64_t j = 32, m = 0x00000000FFFFFFFFULL; j != 0;
+       j >>= 1, m ^= m << j) {
+    for (std::uint64_t k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = (x[k] ^ (x[k + j] >> j)) & m;
+      x[k] ^= t;
+      x[k + j] ^= t << j;
+    }
+  }
+  for (std::size_t e = 0; e < universe_size; ++e) element_words[e] = x[63 - e];
+}
+
 ColoringDistribution::ColoringDistribution(std::vector<Coloring> support,
                                            std::vector<double> weights)
     : support_(std::move(support)), weights_(std::move(weights)) {

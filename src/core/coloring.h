@@ -85,6 +85,18 @@ std::uint64_t sample_iid_coloring_mask(std::size_t universe_size, double p,
 void sample_iid_coloring_words(std::uint64_t* out, std::size_t count,
                                std::size_t universe_size, double p, Rng& rng);
 
+/// Transposes up to 64 per-trial green bitmasks (the layout
+/// sample_iid_coloring_words produces: word t = trial t, bit e = element e)
+/// into the bit-sliced per-element layout of the batch trial kernel
+/// (core/engine/batch_kernel.h): `element_words[e]` holds element e's color
+/// across the trials, bit t of it = bit e of `trial_masks[t]`.  Lanes
+/// beyond `trial_count` come out zero.  One 64x64 bit-matrix transpose via
+/// masked delta swaps -- no per-bit loops.
+void transpose_coloring_words(const std::uint64_t* trial_masks,
+                              std::size_t trial_count,
+                              std::uint64_t* element_words,
+                              std::size_t universe_size);
+
 /// A finite distribution over colorings with explicit weights; weights are
 /// normalized on construction.
 class ColoringDistribution {

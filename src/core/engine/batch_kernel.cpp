@@ -1,0 +1,26 @@
+#include "core/engine/batch_kernel.h"
+
+#include <algorithm>
+
+#include "core/strategy.h"
+#include "util/stats.h"
+
+namespace qps {
+
+void run_bit_sliced_trials(const ProbeStrategy& strategy,
+                           BatchTrialBlock& block,
+                           const std::uint64_t* trial_green_masks,
+                           std::size_t trial_count, std::size_t universe_size,
+                           RunningStats& out) {
+  for (std::size_t offset = 0; offset < trial_count;
+       offset += BatchTrialBlock::kLanes) {
+    const std::size_t lanes =
+        std::min(BatchTrialBlock::kLanes, trial_count - offset);
+    block.load(trial_green_masks + offset, lanes, universe_size);
+    strategy.run_batch(block);
+    for (std::size_t lane = 0; lane < lanes; ++lane)
+      out.add(static_cast<double>(block.probe_count(lane)));
+  }
+}
+
+}  // namespace qps

@@ -1,0 +1,142 @@
+// Bit-sliced batch trial kernel: 64 Monte-Carlo trials per machine word.
+//
+// The scalar hot path (trial_workspace.h) runs one trial at a time; every
+// probe is a branch on one trial's color.  For universes of n <= 64
+// elements and deterministic-order strategies, a whole block of 64 trials
+// can instead run in lock-step, one bit-lane per trial:
+//
+//  * BatchTrialBlock::load() transposes 64 per-trial green masks (the
+//    layout sample_iid_coloring_words produces) into one word PER ELEMENT
+//    holding that element's color across the 64 trials, so a probe step
+//    reads all lanes' answers in a single load;
+//  * a strategy's run_batch() override (core/strategy.h) walks its fixed
+//    probe structure once, carrying an active-lane mask through its control
+//    flow -- divergence between trials becomes mask arithmetic, never a
+//    per-trial branch;
+//  * probe accounting is bit-sliced too: LaneTally keeps 64 per-lane
+//    counters as 7 bit-planes, so charging a probe to any subset of lanes
+//    is one ripple-carry add and per-lane stop detection is a 7-word
+//    equality against a constant.
+//
+// Contract: for every lane t < trial_count(), the probe count recovered by
+// probe_count(t) must be bit-identical to what the scalar
+// ProbeStrategy::run_with() path reports for trial t's coloring
+// (tests/core/test_batch_kernel.cpp enforces this per strategy x family).
+// The engine dispatches to this kernel via EngineOptions::execution
+// (parallel_estimator.h); randomized-order strategies and n > 64 always
+// take the scalar path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/coloring.h"
+#include "util/element_set.h"
+
+namespace qps {
+
+/// 64 per-lane counters stored as bit-planes: plane b holds bit b of every
+/// lane's counter.  Counts up to 64 (the largest probe count / tally a
+/// n <= 64 trial can reach), hence 7 planes.
+class LaneTally {
+ public:
+  static constexpr std::size_t kPlanes = 7;
+
+  /// Increments the counter of every lane set in `lanes` (ripple-carry add
+  /// of a 1-bit across the planes).
+  void add(std::uint64_t lanes) {
+    std::uint64_t carry = lanes;
+    for (std::size_t b = 0; b < kPlanes && carry != 0; ++b) {
+      const std::uint64_t t = planes_[b] & carry;
+      planes_[b] ^= carry;
+      carry = t;
+    }
+  }
+
+  /// The lanes whose counter currently equals `value` (a 7-word fold).
+  std::uint64_t equals(std::size_t value) const {
+    std::uint64_t eq = ~0ULL;
+    for (std::size_t b = 0; b < kPlanes; ++b)
+      eq &= ((value >> b) & 1U) != 0 ? planes_[b] : ~planes_[b];
+    return eq;
+  }
+
+  /// One lane's counter, gathered from the planes.
+  std::uint32_t get(std::size_t lane) const {
+    std::uint32_t value = 0;
+    for (std::size_t b = 0; b < kPlanes; ++b)
+      value |= static_cast<std::uint32_t>((planes_[b] >> lane) & 1ULL) << b;
+    return value;
+  }
+
+  void clear() { planes_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, kPlanes> planes_{};
+};
+
+/// One block of up to 64 trials in transposed (bit-sliced) coloring layout,
+/// plus the bit-sliced probe accounting for the block.  Fixed-size storage,
+/// so a block can live inside a TrialWorkspace and be reloaded between
+/// blocks without touching the heap.
+class BatchTrialBlock {
+ public:
+  static constexpr std::size_t kLanes = 64;
+
+  /// Transposes `trial_count` (1..64) per-trial green masks over a universe
+  /// of `universe_size` (1..64) elements into the per-element lane words
+  /// and resets the probe tallies.
+  void load(const std::uint64_t* trial_green_masks, std::size_t trial_count,
+            std::size_t universe_size) {
+    QPS_REQUIRE(trial_count >= 1 && trial_count <= kLanes,
+                "a batch block holds 1..64 trials");
+    transpose_coloring_words(trial_green_masks, trial_count,
+                             element_greens_.data(), universe_size);
+    n_ = universe_size;
+    trial_count_ = trial_count;
+    probes_.clear();
+  }
+
+  std::size_t universe_size() const { return n_; }
+  std::size_t trial_count() const { return trial_count_; }
+
+  /// Mask of the lanes that carry a trial (low trial_count() bits).
+  std::uint64_t lanes() const {
+    return trial_count_ == kLanes ? ~0ULL : (1ULL << trial_count_) - 1;
+  }
+
+  /// Element e's color across the block: bit t set iff trial t has e green.
+  std::uint64_t greens(Element e) const { return element_greens_[e]; }
+
+  /// Charges one probe to every lane in `lanes` (a strategy calls this once
+  /// per element it probes, with the mask of lanes that probe it; an
+  /// element may be charged at most once per lane).
+  void count_probe(std::uint64_t lanes) { probes_.add(lanes); }
+
+  /// Trial t's probe count; defined for t < trial_count() after run_batch.
+  std::uint32_t probe_count(std::size_t lane) const {
+    return probes_.get(lane);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t trial_count_ = 0;
+  std::array<std::uint64_t, kLanes> element_greens_{};
+  LaneTally probes_;
+};
+
+class ProbeStrategy;
+class RunningStats;
+
+/// Drives `trial_count` trials through `strategy`'s bit-sliced kernel in
+/// 64-lane blocks: load (transpose), run_batch, then append the per-trial
+/// probe counts to `out` strictly in trial order -- the same order, hence
+/// the same RunningStats, as the scalar path produces.  The strategy must
+/// support batching (ProbeStrategy::supports_batch).
+void run_bit_sliced_trials(const ProbeStrategy& strategy,
+                           BatchTrialBlock& block,
+                           const std::uint64_t* trial_green_masks,
+                           std::size_t trial_count, std::size_t universe_size,
+                           RunningStats& out);
+
+}  // namespace qps

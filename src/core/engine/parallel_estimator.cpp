@@ -171,11 +171,34 @@ RunningStats ParallelEstimator::estimate_ppc(const QuorumSystem& system,
       return run_probe_trial(system, strategy, coloring, validate, rng);
     });
   }
-  // Zero-allocation hot path: one workspace per worker, colorings filled
-  // in place.  kWordBatch samples the whole batch's masks up front (the
-  // sampling and strategy draws are then contiguous per batch); kPerElement
-  // interleaves them per trial, exactly like the generic path, so its
-  // results are bit-identical to it.
+  // Bit-sliced batch kernel: 64 trials per word for deterministic-order
+  // strategies.  The masks are sampled exactly as on the scalar kWordBatch
+  // path (same draws, same rng sequence) and deterministic strategies draw
+  // nothing themselves, so the per-trial probe counts -- and therefore the
+  // merged statistics -- are bit-identical to the scalar path's.
+  // Validation needs materialized witnesses, which the kernel never builds:
+  // that combination falls back to the scalar path below.
+  if (options_.execution == Execution::kBitSliced &&
+      options_.sampler == ColoringSampler::kWordBatch && !validate &&
+      strategy.supports_batch(n)) {
+    return run_batches([&strategy, p, n] {
+      auto workspace = std::make_shared<TrialWorkspace>(n);
+      return [workspace, &strategy, p, n](std::size_t begin, std::size_t end,
+                                          Rng& rng, RunningStats& out) {
+        TrialWorkspace& ws = *workspace;
+        const std::size_t count = end - begin;
+        std::uint64_t* masks = ws.coloring_masks(count);
+        sample_iid_coloring_words(masks, count, n, p, rng);
+        run_bit_sliced_trials(strategy, ws.batch_block(), masks, count, n,
+                              out);
+      };
+    });
+  }
+  // Zero-allocation scalar hot path: one workspace per worker, colorings
+  // filled in place.  kWordBatch samples the whole batch's masks up front
+  // (the sampling and strategy draws are then contiguous per batch);
+  // kPerElement interleaves them per trial, exactly like the generic path,
+  // so its results are bit-identical to it.
   const ColoringSampler sampler = options_.sampler;
   return run_batches([&system, &strategy, p, validate, n, sampler] {
     auto workspace = std::make_shared<TrialWorkspace>(n);

@@ -41,6 +41,22 @@ enum class ColoringSampler {
   kPerElement,
 };
 
+/// How estimate_ppc executes the trials of a batch.
+enum class Execution {
+  /// Bit-sliced 64-trials-per-word batch kernel
+  /// (core/engine/batch_kernel.h) where eligible: deterministic-order
+  /// strategy (ProbeStrategy::supports_batch), 1 <= n <= 64, the
+  /// kWordBatch sampler, and witness validation off (the kernel resolves
+  /// win/loss as lane masks and never materializes witnesses).  Ineligible
+  /// combinations -- randomized-order strategies, n > 64, kPerElement,
+  /// validation -- fall back to the scalar path, so the default is always
+  /// safe.  Per-trial probe counts are bit-identical to kScalar's, hence
+  /// so are the returned statistics.
+  kBitSliced,
+  /// Always the per-trial run_with scalar hot path (the PR 4 shape).
+  kScalar,
+};
+
 struct EngineOptions {
   /// Total Monte-Carlo trial budget (upper bound when early-stop is on).
   std::size_t trials = 1000;
@@ -62,6 +78,9 @@ struct EngineOptions {
   std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
   /// Coloring sampling mode for estimate_ppc's hot path (n <= 64).
   ColoringSampler sampler = ColoringSampler::kWordBatch;
+  /// Trial execution mode for estimate_ppc (bit-sliced batch kernel where
+  /// eligible vs. always scalar); results are bit-identical either way.
+  Execution execution = Execution::kBitSliced;
 };
 
 class ParallelEstimator {

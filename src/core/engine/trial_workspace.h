@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/coloring.h"
+#include "core/engine/batch_kernel.h"
 #include "core/probe_session.h"
 
 namespace qps {
@@ -71,12 +72,18 @@ class TrialWorkspace {
     return word_buffers_.at(slot);
   }
 
+  /// The worker's bit-sliced 64-trials-per-word block
+  /// (core/engine/batch_kernel.h): fixed-size storage, reloaded per block
+  /// by the engine's kBitSliced execution path.
+  BatchTrialBlock& batch_block() { return batch_block_; }
+
  private:
   Coloring coloring_;
   ProbeSession session_;
   std::vector<std::uint64_t> coloring_masks_;
   std::vector<std::uint32_t> order_;
   std::array<std::vector<std::uint64_t>, kWordBufferCount> word_buffers_;
+  BatchTrialBlock batch_block_;
 };
 
 }  // namespace qps

@@ -23,10 +23,12 @@
 
 #include "core/probe_session.h"
 #include "core/witness.h"
+#include "util/require.h"
 #include "util/rng.h"
 
 namespace qps {
 
+class BatchTrialBlock;
 class TrialWorkspace;
 
 class ProbeStrategy {
@@ -46,6 +48,26 @@ class ProbeStrategy {
                            Rng& rng) const {
     (void)workspace;
     return run(session, rng);
+  }
+
+  /// True when the strategy can execute a bit-sliced 64-trials-per-word
+  /// block (core/engine/batch_kernel.h) over a universe of `universe_size`
+  /// elements.  Only strategies with a DETERMINISTIC probe order qualify
+  /// (they draw nothing from the Rng, so 64 lanes can share one pass), and
+  /// only for n <= 64.  Default: no batch kernel.
+  virtual bool supports_batch(std::size_t universe_size) const {
+    (void)universe_size;
+    return false;
+  }
+
+  /// Runs one loaded block of trials in lock-step, charging probes through
+  /// BatchTrialBlock::count_probe.  For every lane, the recovered probe
+  /// count must be bit-identical to what run_with() reports on that lane's
+  /// coloring (tests/core/test_batch_kernel.cpp).  Only called when
+  /// supports_batch(block.universe_size()) is true.
+  virtual void run_batch(BatchTrialBlock& block) const {
+    (void)block;
+    QPS_CHECK(false, name() + " has no bit-sliced batch kernel");
   }
 };
 

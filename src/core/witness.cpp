@@ -6,9 +6,10 @@ std::string Witness::to_string() const {
   return qps::to_string(color) + " " + elements.to_string();
 }
 
-std::string validate_witness(const QuorumSystem& system,
-                             const Coloring& coloring, const Witness& witness,
-                             const ElementSet& probed) {
+std::string validate_witness_walk(const QuorumSystem& system,
+                                  const Coloring& coloring,
+                                  const Witness& witness,
+                                  const ElementSet& probed) {
   if (witness.elements.universe_size() != system.universe_size())
     return "witness over the wrong universe";
   if (witness.elements.empty()) return "witness is empty";
@@ -25,6 +26,33 @@ std::string validate_witness(const QuorumSystem& system,
     if (!system.is_transversal(witness.elements))
       return "red witness is not a transversal";
   }
+  return {};
+}
+
+std::string validate_witness(const QuorumSystem& system,
+                             const Coloring& coloring, const Witness& witness,
+                             const ElementSet& probed) {
+  const std::size_t n = system.universe_size();
+  if (n == 0 || n > ElementSet::kInlineBits ||
+      witness.elements.universe_size() != n || probed.universe_size() != n ||
+      coloring.universe_size() != n)
+    return validate_witness_walk(system, coloring, witness, probed);
+  // Word-mask fast path: the subset and color checks collapse to three
+  // single-word tests against the probed and green masks.  Any anomaly is
+  // re-derived through the walk so failure messages stay identical; the
+  // all-clear case -- every witness the engine validates on the hot path --
+  // never touches a per-element loop.
+  const std::uint64_t w = witness.elements.to_mask();
+  const std::uint64_t greens = coloring.greens().to_mask();
+  const std::uint64_t mismatched =
+      witness.color == Color::kGreen ? (w & ~greens) : (w & greens);
+  if (w == 0 || (w & ~probed.to_mask()) != 0 || mismatched != 0)
+    return validate_witness_walk(system, coloring, witness, probed);
+  const bool resolved = witness.color == Color::kGreen
+                            ? system.contains_quorum(witness.elements)
+                            : system.is_transversal(witness.elements);
+  if (!resolved)
+    return validate_witness_walk(system, coloring, witness, probed);
   return {};
 }
 

@@ -26,8 +26,20 @@ struct Witness {
 ///  * every witness element really has the witness color,
 ///  * green witnesses contain a quorum; red witnesses are transversals.
 /// Returns an empty string when valid, else a description of the violation.
+/// For universes of at most 64 elements the subset/color checks run on word
+/// masks (no per-element walk); larger universes -- and any detected
+/// violation, to keep messages exact -- take the legacy walk below.
 std::string validate_witness(const QuorumSystem& system,
                              const Coloring& coloring, const Witness& witness,
                              const ElementSet& probed);
+
+/// The per-element reference implementation of validate_witness, kept
+/// callable for differential tests of the word-mask fast path (the n = 63 /
+/// 64 / 65 boundary cases in tests/core/test_witness.cpp).  Same verdicts
+/// and messages for every input.
+std::string validate_witness_walk(const QuorumSystem& system,
+                                  const Coloring& coloring,
+                                  const Witness& witness,
+                                  const ElementSet& probed);
 
 }  // namespace qps

@@ -147,14 +147,14 @@ TEST(ZeroAllocationHotPath, EveryStrategyAndFamilyIsAllocationFree) {
   }
 }
 
-TEST(ZeroAllocationHotPath, LegacyEntryPointsFixedBySatelliteAreClean) {
-  // The satellite fix: R_Probe_CW's per-call row scratch and the greedy
-  // baseline's candidate masks no longer allocate per trial even through
-  // the legacy run() entry point.
+TEST(ZeroAllocationHotPath, LegacyRProbeCwEntryPointIsClean) {
+  // R_Probe_CW's per-call row scratch lives on the stack for n <= 64, so
+  // even the legacy run() entry point allocates nothing per trial.  (The
+  // greedy baseline's legacy run() deliberately allocates per call now:
+  // its reusable scratch is TrialWorkspace-owned, reachable only through
+  // run_with -- no hidden thread-local state.)
   const CrumblingWall cw10 = CrumblingWall::triang(10);
   const RProbeCW r_probe_cw(cw10);
-  const MajoritySystem maj7(7);
-  const GreedyCandidateProbe greedy(maj7);
   Rng rng(7);
 
   const auto steady_allocations = [&](const QuorumSystem& system,
@@ -173,7 +173,59 @@ TEST(ZeroAllocationHotPath, LegacyEntryPointsFixedBySatelliteAreClean) {
     return g_allocations.load() - before;
   };
   EXPECT_EQ(steady_allocations(cw10, r_probe_cw), 0u);
-  EXPECT_EQ(steady_allocations(maj7, greedy), 0u);
+}
+
+TEST(ZeroAllocationHotPath, BitSlicedBatchKernelIsAllocationFree) {
+  // The 64-trials-per-word batch path: sample a batch of masks, transpose
+  // 64-lane blocks into the workspace's BatchTrialBlock, run the strategy's
+  // batch kernel, gather per-lane probe counts.  Zero allocations in the
+  // steady state for every batch-eligible strategy.
+  const MajoritySystem maj63(63);
+  const TreeSystem tree5(5);   // n = 63
+  const HQSystem hqs3(3);      // n = 27
+  const CrumblingWall cw10 = CrumblingWall::triang(10);  // n = 55
+
+  const ProbeMaj probe_maj(maj63);
+  const ProbeTree probe_tree(tree5);
+  const ProbeHQS probe_hqs(hqs3);
+  const ProbeCW probe_cw(cw10);
+
+  const struct {
+    const QuorumSystem* system;
+    const ProbeStrategy* strategy;
+  } cases[] = {
+      {&maj63, &probe_maj},
+      {&tree5, &probe_tree},
+      {&hqs3, &probe_hqs},
+      {&cw10, &probe_cw},
+  };
+  for (const auto& c : cases) {
+    const std::size_t n = c.system->universe_size();
+    ASSERT_TRUE(c.strategy->supports_batch(n)) << c.strategy->name();
+    TrialWorkspace ws(n);
+    Rng rng(20010826);
+    constexpr std::size_t kBatch = 256;
+    std::uint64_t* masks = ws.coloring_masks(kBatch);
+    std::uint64_t checksum = 0;
+
+    const auto run_batch = [&] {
+      sample_iid_coloring_words(masks, kBatch, n, 0.5, rng);
+      BatchTrialBlock& block = ws.batch_block();
+      for (std::size_t off = 0; off < kBatch; off += BatchTrialBlock::kLanes) {
+        block.load(masks + off, BatchTrialBlock::kLanes, n);
+        c.strategy->run_batch(block);
+        for (std::size_t lane = 0; lane < BatchTrialBlock::kLanes; ++lane)
+          checksum += block.probe_count(lane);
+      }
+    };
+
+    run_batch();  // warmup
+    const std::size_t before = g_allocations.load();
+    for (int i = 0; i < 8; ++i) run_batch();
+    EXPECT_EQ(g_allocations.load() - before, 0u)
+        << c.strategy->name() << " on " << c.system->name();
+    if (checksum == 0) std::abort();  // keep the counts alive
+  }
 }
 
 TEST(ZeroAllocationHotPath, TheAllocationCounterItselfWorks) {

@@ -1,0 +1,287 @@
+// Bit-sliced batch kernel (core/engine/batch_kernel.h): per-trial probe
+// counts from run_batch must be bit-identical to the scalar run_with path
+// for every eligible strategy x family, for full and partial lane blocks,
+// and through the engine for any thread count.
+#include "core/engine/batch_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/algorithms/probe_cw.h"
+#include "core/algorithms/probe_hqs.h"
+#include "core/algorithms/probe_maj.h"
+#include "core/algorithms/probe_tree.h"
+#include "core/engine/trial_workspace.h"
+#include "core/estimator.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+
+namespace qps {
+namespace {
+
+TEST(LaneTally, AddEqualsAndGetAgreeWithScalarCounters) {
+  LaneTally tally;
+  std::uint32_t reference[64] = {};
+  Rng rng(11);
+  for (int step = 0; step < 60; ++step) {
+    const std::uint64_t lanes = rng.next_u64();
+    tally.add(lanes);
+    for (std::size_t lane = 0; lane < 64; ++lane)
+      if ((lanes >> lane) & 1ULL) ++reference[lane];
+    for (std::size_t lane = 0; lane < 64; ++lane)
+      ASSERT_EQ(tally.get(lane), reference[lane]) << step << " " << lane;
+    const std::uint32_t probe_value = reference[step];
+    std::uint64_t expected_eq = 0;
+    for (std::size_t lane = 0; lane < 64; ++lane)
+      if (reference[lane] == probe_value) expected_eq |= 1ULL << lane;
+    ASSERT_EQ(tally.equals(probe_value), expected_eq) << step;
+  }
+  tally.clear();
+  for (std::size_t lane = 0; lane < 64; ++lane) EXPECT_EQ(tally.get(lane), 0u);
+}
+
+TEST(BatchTrialBlock, LoadTransposesAndZeroesUnusedLanes) {
+  Rng rng(5);
+  std::vector<std::uint64_t> masks(17);
+  sample_iid_coloring_words(masks.data(), masks.size(), 40, 0.5, rng);
+  BatchTrialBlock block;
+  block.load(masks.data(), masks.size(), 40);
+  EXPECT_EQ(block.trial_count(), 17u);
+  EXPECT_EQ(block.universe_size(), 40u);
+  EXPECT_EQ(block.lanes(), (1ULL << 17) - 1);
+  for (Element e = 0; e < 40; ++e)
+    for (std::size_t t = 0; t < 64; ++t)
+      ASSERT_EQ((block.greens(e) >> t) & 1ULL,
+                t < masks.size() ? (masks[t] >> e) & 1ULL : 0ULL)
+          << "e=" << e << " t=" << t;
+}
+
+struct Case {
+  std::string label;
+  std::shared_ptr<const QuorumSystem> system;
+  std::shared_ptr<const ProbeStrategy> strategy;
+};
+
+std::vector<Case> batch_cases() {
+  std::vector<Case> cases;
+  const auto add = [&](std::string label,
+                       std::shared_ptr<const QuorumSystem> system,
+                       std::shared_ptr<const ProbeStrategy> strategy) {
+    cases.push_back({std::move(label), std::move(system), std::move(strategy)});
+  };
+  for (const std::size_t n : {1u, 5u, 21u, 63u}) {
+    auto maj = std::make_shared<MajoritySystem>(n);
+    add("Probe_Maj/Maj" + std::to_string(n), maj,
+        std::make_shared<ProbeMaj>(*maj));
+  }
+  for (const std::size_t h : {0u, 2u, 5u}) {  // n = 1, 7, 63
+    auto tree = std::make_shared<TreeSystem>(h);
+    add("Probe_Tree/Tree" + std::to_string(h), tree,
+        std::make_shared<ProbeTree>(*tree));
+  }
+  for (const std::size_t h : {1u, 2u, 3u}) {  // n = 3, 9, 27
+    auto hqs = std::make_shared<HQSystem>(h);
+    add("Probe_HQS/Hqs" + std::to_string(h), hqs,
+        std::make_shared<ProbeHQS>(*hqs));
+  }
+  for (const std::size_t rows : {2u, 4u, 10u}) {  // n = 3, 10, 55
+    auto wall = std::make_shared<CrumblingWall>(CrumblingWall::triang(rows));
+    add("Probe_CW/Triang" + std::to_string(rows), wall,
+        std::make_shared<ProbeCW>(*wall));
+  }
+  // The exactly-one-full-word boundary: wheel(64) is the only paper family
+  // that can sit at n = 64.
+  auto wheel = std::make_shared<CrumblingWall>(CrumblingWall::wheel(64));
+  add("Probe_CW/Wheel64", wheel, std::make_shared<ProbeCW>(*wheel));
+  return cases;
+}
+
+TEST(BatchKernel, ProbeCountsMatchScalarRunWithPerLane) {
+  for (const Case& c : batch_cases()) {
+    const std::size_t n = c.system->universe_size();
+    ASSERT_TRUE(c.strategy->supports_batch(n)) << c.label;
+    TrialWorkspace ws(n);
+    Rng rng(20010826);
+    BatchTrialBlock block;
+    for (const std::size_t count : {std::size_t{64}, std::size_t{17},
+                                    std::size_t{1}, std::size_t{64}}) {
+      for (const double p : {0.1, 0.5, 0.9}) {
+        std::vector<std::uint64_t> masks(count);
+        sample_iid_coloring_words(masks.data(), count, n, p, rng);
+        block.load(masks.data(), count, n);
+        c.strategy->run_batch(block);
+        Rng unused(1);
+        for (std::size_t t = 0; t < count; ++t) {
+          ws.coloring().assign_greens_mask(masks[t]);
+          ProbeSession& session = ws.begin_trial(ws.coloring());
+          (void)c.strategy->run_with(ws, session, unused);
+          ASSERT_EQ(block.probe_count(t), session.probe_count())
+              << c.label << " count=" << count << " p=" << p << " lane=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchKernel, RunBitSlicedTrialsMatchesScalarStatsAcrossBlockSeams) {
+  // 200 trials = three full blocks + one 8-lane partial; the driver must
+  // append counts in trial order so the RunningStats match exactly.
+  const MajoritySystem maj(63);
+  const ProbeMaj strategy(maj);
+  constexpr std::size_t kTrials = 200;
+  Rng rng(99);
+  std::vector<std::uint64_t> masks(kTrials);
+  sample_iid_coloring_words(masks.data(), kTrials, 63, 0.5, rng);
+
+  RunningStats batch;
+  BatchTrialBlock block;
+  run_bit_sliced_trials(strategy, block, masks.data(), kTrials, 63, batch);
+
+  RunningStats scalar;
+  TrialWorkspace ws(63);
+  Rng unused(1);
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    ws.coloring().assign_greens_mask(masks[t]);
+    ProbeSession& session = ws.begin_trial(ws.coloring());
+    (void)strategy.run_with(ws, session, unused);
+    scalar.add(static_cast<double>(session.probe_count()));
+  }
+  EXPECT_EQ(batch.count(), scalar.count());
+  EXPECT_EQ(batch.mean(), scalar.mean());
+  EXPECT_EQ(batch.variance(), scalar.variance());
+  EXPECT_EQ(batch.min(), scalar.min());
+  EXPECT_EQ(batch.max(), scalar.max());
+}
+
+EngineOptions engine_options(std::size_t threads, Execution execution) {
+  EngineOptions options;
+  options.trials = 5990;     // last batch is partial
+  options.batch_size = 500;  // blocks of 64 end with a 52-lane partial
+  options.threads = threads;
+  options.seed = 42;
+  options.execution = execution;
+  return options;
+}
+
+TEST(BatchKernel, EngineBitSlicedIsBitIdenticalToScalarForEveryFamily) {
+  for (const Case& c : batch_cases()) {
+    for (const std::size_t threads : {1u, 4u}) {
+      for (const double p : {0.3, 0.7}) {
+        const RunningStats scalar =
+            ParallelEstimator(engine_options(threads, Execution::kScalar))
+                .estimate_ppc(*c.system, *c.strategy, p);
+        const RunningStats sliced =
+            ParallelEstimator(engine_options(threads, Execution::kBitSliced))
+                .estimate_ppc(*c.system, *c.strategy, p);
+        ASSERT_EQ(sliced.count(), scalar.count()) << c.label;
+        ASSERT_EQ(sliced.mean(), scalar.mean()) << c.label;
+        ASSERT_EQ(sliced.variance(), scalar.variance()) << c.label;
+        ASSERT_EQ(sliced.min(), scalar.min()) << c.label;
+        ASSERT_EQ(sliced.max(), scalar.max()) << c.label;
+      }
+    }
+  }
+}
+
+TEST(BatchKernel, EngineBitSlicedIsThreadCountInvariant) {
+  const TreeSystem tree(5);
+  const ProbeTree strategy(tree);
+  const RunningStats baseline =
+      ParallelEstimator(engine_options(1, Execution::kBitSliced))
+          .estimate_ppc(tree, strategy, 0.4);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    const RunningStats stats =
+        ParallelEstimator(engine_options(threads, Execution::kBitSliced))
+            .estimate_ppc(tree, strategy, 0.4);
+    EXPECT_EQ(stats.count(), baseline.count()) << threads;
+    EXPECT_EQ(stats.mean(), baseline.mean()) << threads;
+    EXPECT_EQ(stats.variance(), baseline.variance()) << threads;
+    EXPECT_EQ(stats.min(), baseline.min()) << threads;
+    EXPECT_EQ(stats.max(), baseline.max()) << threads;
+  }
+}
+
+TEST(BatchKernel, EarlyStopDecisionsMatchTheScalarPath) {
+  const MajoritySystem maj(63);
+  const ProbeMaj strategy(maj);
+  auto options = engine_options(4, Execution::kBitSliced);
+  options.trials = 100000;
+  options.target_sem = 0.05;
+  options.min_trials = 2000;
+  const RunningStats sliced =
+      ParallelEstimator(options).estimate_ppc(maj, strategy, 0.5);
+  options.execution = Execution::kScalar;
+  const RunningStats scalar =
+      ParallelEstimator(options).estimate_ppc(maj, strategy, 0.5);
+  EXPECT_LT(sliced.count(), options.trials);  // the stop actually fired
+  EXPECT_EQ(sliced.count(), scalar.count());
+  EXPECT_EQ(sliced.mean(), scalar.mean());
+}
+
+TEST(BatchKernel, RandomizedStrategiesAreIneligibleAndFallBackUnchanged) {
+  const MajoritySystem maj(21);
+  const RProbeMaj randomized(maj);
+  EXPECT_FALSE(randomized.supports_batch(21));
+  // kBitSliced with an ineligible strategy is exactly the scalar path.
+  const RunningStats sliced =
+      ParallelEstimator(engine_options(2, Execution::kBitSliced))
+          .estimate_ppc(maj, randomized, 0.5);
+  const RunningStats scalar =
+      ParallelEstimator(engine_options(2, Execution::kScalar))
+          .estimate_ppc(maj, randomized, 0.5);
+  EXPECT_EQ(sliced.count(), scalar.count());
+  EXPECT_EQ(sliced.mean(), scalar.mean());
+  EXPECT_EQ(sliced.variance(), scalar.variance());
+}
+
+TEST(BatchKernel, SupportsBatchRespectsStructuralEligibility) {
+  const MajoritySystem maj63(63);
+  const ProbeMaj probe_maj(maj63);
+  EXPECT_TRUE(probe_maj.supports_batch(63));
+  EXPECT_FALSE(probe_maj.supports_batch(21));  // wrong universe
+  // A wall without the width-1 top row Probe_CW requires is ineligible.
+  const CrumblingWall wide_top({2, 2}, /*require_nd=*/false);
+  const ProbeCW probe_cw(wide_top);
+  EXPECT_FALSE(probe_cw.supports_batch(wide_top.universe_size()));
+}
+
+TEST(BatchKernel, ValidationRequestsFallBackToTheValidatingScalarPath) {
+  // A broken strategy must still be caught when the engine default
+  // (kBitSliced) is combined with validate_witnesses: validation is a
+  // scalar-path concern and forces the fallback.
+  class Broken final : public ProbeStrategy {
+   public:
+    std::string name() const override { return "Broken"; }
+    Witness run(ProbeSession& session, Rng&) const override {
+      session.probe(0);
+      Witness w;
+      w.color = Color::kGreen;
+      w.elements = ElementSet(session.universe_size());
+      w.elements.insert(0);
+      return w;
+    }
+    bool supports_batch(std::size_t) const override { return true; }
+  };
+  const MajoritySystem maj(5);
+  const Broken broken;
+  auto options = engine_options(2, Execution::kBitSliced);
+  options.validate_witnesses = true;
+  EXPECT_THROW(ParallelEstimator(options).estimate_ppc(maj, broken, 0.5),
+               std::logic_error);
+}
+
+TEST(BatchKernel, DefaultRunBatchRefusesStrategiesWithoutAKernel) {
+  const MajoritySystem maj(5);
+  const RProbeMaj randomized(maj);
+  BatchTrialBlock block;
+  std::uint64_t mask = 0x15;
+  block.load(&mask, 1, 5);
+  EXPECT_THROW(randomized.run_batch(block), std::logic_error);
+}
+
+}  // namespace
+}  // namespace qps

@@ -260,6 +260,46 @@ TEST(IidSampling, WordSamplerRejectsBadArguments) {
   EXPECT_THROW(sample_iid_coloring_mask(65, 0.5, rng), std::invalid_argument);
 }
 
+TEST(ColoringTranspose, MatchesTheBitwiseDefinition) {
+  // element_words[e] bit t must equal trial_masks[t] bit e, with lanes
+  // beyond trial_count zeroed -- the exact contract the batch kernel's
+  // per-element loads rely on.
+  Rng rng(77);
+  for (const std::size_t n : {1u, 13u, 63u, 64u}) {
+    for (const std::size_t count : {1u, 17u, 63u, 64u}) {
+      std::vector<std::uint64_t> masks(count);
+      sample_iid_coloring_words(masks.data(), count, n, 0.5, rng);
+      std::vector<std::uint64_t> words(n);
+      transpose_coloring_words(masks.data(), count, words.data(), n);
+      for (std::size_t e = 0; e < n; ++e)
+        for (std::size_t t = 0; t < 64; ++t)
+          ASSERT_EQ((words[e] >> t) & 1ULL,
+                    t < count ? (masks[t] >> e) & 1ULL : 0ULL)
+              << "n=" << n << " count=" << count << " e=" << e << " t=" << t;
+    }
+  }
+}
+
+TEST(ColoringTranspose, RoundTripsThroughItself) {
+  // Transposing twice (64 full lanes both ways) is the identity.
+  Rng rng(123);
+  std::uint64_t masks[64], once[64], twice[64];
+  sample_iid_coloring_words(masks, 64, 64, 0.3, rng);
+  transpose_coloring_words(masks, 64, once, 64);
+  transpose_coloring_words(once, 64, twice, 64);
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(twice[i], masks[i]) << i;
+}
+
+TEST(ColoringTranspose, RejectsBadArguments) {
+  std::uint64_t mask = 1, out[1];
+  EXPECT_THROW(transpose_coloring_words(&mask, 1, out, 0),
+               std::invalid_argument);
+  EXPECT_THROW(transpose_coloring_words(&mask, 1, out, 65),
+               std::invalid_argument);
+  EXPECT_THROW(transpose_coloring_words(&mask, 65, out, 1),
+               std::invalid_argument);
+}
+
 TEST(HqsWorstCase, RedRootIsComplementary) {
   const HQSystem hqs(2);
   const Coloring g = hqs_worst_case_coloring(hqs, Color::kGreen);

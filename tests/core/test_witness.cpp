@@ -2,7 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
+#include "core/algorithms/probe_cw.h"
+#include "core/algorithms/probe_hqs.h"
+#include "core/algorithms/probe_maj.h"
+#include "core/algorithms/probe_tree.h"
+#include "core/coloring.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/hqs.h"
 #include "quorum/majority.h"
+#include "quorum/tree_system.h"
 
 namespace qps {
 namespace {
@@ -74,6 +85,124 @@ TEST_F(WitnessTest, NonMinimalGreenWitnessAccepted) {
   const Coloring all_green(5, ElementSet::full(5));
   Witness big{Color::kGreen, ElementSet::full(5)};
   EXPECT_EQ(validate_witness(maj_, all_green, big, ElementSet::full(5)), "");
+}
+
+// ---- Word-mask fast path vs. the legacy walk at the storage boundary -----
+// validate_witness runs on word masks for n <= 64 and on the per-element
+// walk beyond; at n = 63 (one word with a tail), n = 64 (exactly one full
+// word) and n = 65 / 81 (spill to the heap path) both implementations must
+// return identical verdicts AND identical messages, for real strategy
+// witnesses and for systematically corrupted ones, across all four paper
+// families.
+
+struct BoundaryCase {
+  std::string label;
+  std::shared_ptr<const QuorumSystem> system;
+  std::shared_ptr<const ProbeStrategy> strategy;
+};
+
+std::vector<BoundaryCase> boundary_cases() {
+  std::vector<BoundaryCase> cases;
+  const auto add = [&](std::string label,
+                       std::shared_ptr<const QuorumSystem> system,
+                       std::shared_ptr<const ProbeStrategy> strategy) {
+    cases.push_back({std::move(label), std::move(system), std::move(strategy)});
+  };
+  // n = 63: one inline word, one tail bit to spare.
+  auto maj63 = std::make_shared<MajoritySystem>(63);
+  add("maj/63", maj63, std::make_shared<ProbeMaj>(*maj63));
+  auto tree5 = std::make_shared<TreeSystem>(5);  // n = 63
+  add("tree/63", tree5, std::make_shared<ProbeTree>(*tree5));
+  auto wheel63 = std::make_shared<CrumblingWall>(CrumblingWall::wheel(63));
+  add("cw/63", wheel63, std::make_shared<ProbeCW>(*wheel63));
+  auto hqs27 = std::make_shared<HQSystem>(3);  // n = 27, inline
+  add("hqs/27", hqs27, std::make_shared<ProbeHQS>(*hqs27));
+  // n = 64: exactly one full word (only CW among the families lands here).
+  auto wheel64 = std::make_shared<CrumblingWall>(CrumblingWall::wheel(64));
+  add("cw/64", wheel64, std::make_shared<ProbeCW>(*wheel64));
+  // n > 64: the heap ElementSet path, where validate_witness must hand
+  // straight to the walk.
+  auto maj65 = std::make_shared<MajoritySystem>(65);
+  add("maj/65", maj65, std::make_shared<ProbeMaj>(*maj65));
+  auto wheel65 = std::make_shared<CrumblingWall>(CrumblingWall::wheel(65));
+  add("cw/65", wheel65, std::make_shared<ProbeCW>(*wheel65));
+  auto hqs81 = std::make_shared<HQSystem>(4);  // n = 81
+  add("hqs/81", hqs81, std::make_shared<ProbeHQS>(*hqs81));
+  return cases;
+}
+
+void expect_same_verdict(const QuorumSystem& system, const Coloring& coloring,
+                         const Witness& witness, const ElementSet& probed,
+                         const std::string& context) {
+  const std::string mask = validate_witness(system, coloring, witness, probed);
+  const std::string walk =
+      validate_witness_walk(system, coloring, witness, probed);
+  EXPECT_EQ(mask, walk) << context;
+}
+
+TEST(WitnessMaskBoundary, MaskPathMatchesWalkOnStrategyWitnesses) {
+  for (const BoundaryCase& c : boundary_cases()) {
+    const std::size_t n = c.system->universe_size();
+    Rng rng(20010826);
+    for (int trial = 0; trial < 50; ++trial) {
+      const double p = 0.15 + 0.2 * static_cast<double>(trial % 4);
+      const Coloring coloring = sample_iid_coloring(n, p, rng);
+      ProbeSession session(coloring);
+      const Witness witness = c.strategy->run(session, rng);
+      const ElementSet& probed = session.probed();
+      // The genuine witness validates cleanly through both paths.
+      EXPECT_EQ(validate_witness(*c.system, coloring, witness, probed), "")
+          << c.label << " trial " << trial;
+      expect_same_verdict(*c.system, coloring, witness, probed,
+                          c.label + " genuine");
+      // Color flip: every element now has the wrong color.
+      Witness flipped = witness;
+      flipped.color = opposite(flipped.color);
+      expect_same_verdict(*c.system, coloring, flipped, probed,
+                          c.label + " flipped");
+      // Unprobed element: drop one witness element from the probed set.
+      ElementSet partial = probed;
+      partial.erase(witness.elements.first());
+      expect_same_verdict(*c.system, coloring, witness, partial,
+                          c.label + " unprobed");
+      // Gutted witness: remove one element, usually breaking the quorum /
+      // transversal property.
+      Witness gutted = witness;
+      gutted.elements.erase(gutted.elements.first());
+      expect_same_verdict(*c.system, coloring, gutted, probed,
+                          c.label + " gutted");
+      // Empty and wrong-universe witnesses.
+      Witness empty{witness.color, ElementSet(n)};
+      expect_same_verdict(*c.system, coloring, empty, probed,
+                          c.label + " empty");
+    }
+  }
+}
+
+TEST(WitnessMaskBoundary, WrongUniverseAgreesAcrossPaths) {
+  const MajoritySystem maj63(63);
+  Rng rng(3);
+  const Coloring coloring = sample_iid_coloring(63, 0.5, rng);
+  Witness wrong{Color::kGreen, ElementSet(64, {0, 1, 2})};
+  expect_same_verdict(maj63, coloring, wrong, ElementSet::full(63),
+                      "wrong universe");
+}
+
+TEST(WitnessMaskBoundary, MismatchedProbedUniverseThrowsOnBothPaths) {
+  // A probed set over the wrong universe is a caller bug; the mask fast
+  // path must hand it to the walk, which reports it through is_subset_of's
+  // precondition -- not silently compare raw masks.
+  const MajoritySystem maj63(63);
+  Rng rng(4);
+  const Coloring coloring = sample_iid_coloring(63, 0.5, rng);
+  ProbeSession session(coloring);
+  const ProbeMaj strategy(maj63);
+  const Witness witness = strategy.run(session, rng);
+  const ElementSet probed64 = ElementSet::full(64);
+  EXPECT_THROW((void)validate_witness(maj63, coloring, witness, probed64),
+               std::invalid_argument);
+  EXPECT_THROW((void)validate_witness_walk(maj63, coloring, witness, probed64),
+               std::invalid_argument);
 }
 
 }  // namespace
