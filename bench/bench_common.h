@@ -20,6 +20,16 @@
 // coarser slices than --point and conjoin with it; filters that match
 // nothing anywhere exit 2.  run_sweep() below is the one entry point
 // benches use.
+//
+// Distributed sweeps (core/net/) extend the same contract across
+// processes and hosts: --listen[=PORT] turns the bench into a socket job
+// server (port 0 = kernel-chosen, reported on stdout as
+// "listening on 127.0.0.1:PORT"), --dial HOST:PORT[,HOST:PORT...] pulls in
+// worker daemons running in listen mode, and --connect HOST:PORT turns
+// the bench into a socket worker serving its own sweeps to a remote
+// coordinator.  Aggregated results stay byte-identical to the in-process
+// run for any worker fleet, and --checkpoint/--resume compose: a
+// coordinator killed mid-sweep resumes from its journal.
 #pragma once
 
 #include <unistd.h>
@@ -31,12 +41,15 @@
 #include <iomanip>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/engine/parallel_estimator.h"
+#include "core/net/socket.h"
+#include "core/net/socket_sweep.h"
 #include "core/sweep/sweep_report.h"
 #include "core/sweep/sweep_runner.h"
 #include "core/sweep/sweep_spec.h"
@@ -71,6 +84,24 @@ struct BenchContext {
   bool worker_mode = false;      // hidden: this process serves one sweep
   std::string worker_sweep;      // hidden: which sweep to serve
   std::vector<std::string> command;  // original argv, for worker re-exec
+
+  // Distributed sweeps (core/net/).
+  bool listen = false;             // --listen[=PORT]: run as job server
+  std::uint16_t listen_port = 0;   // 0 = kernel-chosen, reported on stdout
+  std::string connect_address;     // --connect HOST:PORT: run as a worker
+  std::vector<std::string> dial;   // --dial LIST: worker daemons to dial
+  double net_timeout = 30.0;       // --net-timeout S: dead-worker timeout
+  double net_heartbeat = 5.0;      // --net-heartbeat S: advertised cadence
+  // --no-local-fallback: the job server never evaluates points itself and
+  // waits for workers instead (tests use this to force every point through
+  // the socket path; a sweep no worker can serve then waits forever).
+  bool net_local_fallback = true;
+  // Bound in parse_context() when --listen is given (port printed on
+  // stdout); shared so BenchContext stays copyable.
+  std::shared_ptr<net::TcpListener> listener;
+
+  /// This process serves sweeps to a remote coordinator over a socket.
+  bool socket_worker_mode() const { return !connect_address.empty(); }
 
   bool has_sweep_filters() const {
     return !point_filter.empty() || !family_filter.empty() ||
@@ -148,13 +179,69 @@ inline BenchContext parse_context(int argc, char** argv) {
   if (size_flag >= 0) ctx.size_filter = static_cast<std::size_t>(size_flag);
   ctx.worker_mode = flags.get_bool("worker", false);
   ctx.worker_sweep = flags.get_string("sweep", "");
+  if (flags.has("listen")) {
+    ctx.listen = true;
+    const std::string value = flags.get_string("listen", "true");
+    if (value != "true") {  // bare --listen means port 0 (kernel-chosen)
+      char* end = nullptr;
+      const unsigned long port = std::strtoul(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || port > 65535) {
+        std::cerr << "--listen expects a port (or no value for a "
+                     "kernel-chosen one), got '" << value << "'\n";
+        std::exit(2);
+      }
+      ctx.listen_port = static_cast<std::uint16_t>(port);
+    }
+  }
+  ctx.connect_address = flags.get_string("connect", "");
+  const std::string dial_list = flags.get_string("dial", "");
+  for (std::size_t start = 0; start < dial_list.size();) {
+    std::size_t comma = dial_list.find(',', start);
+    if (comma == std::string::npos) comma = dial_list.size();
+    if (comma > start) ctx.dial.push_back(dial_list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  ctx.net_timeout = flags.get_double("net-timeout", ctx.net_timeout);
+  ctx.net_heartbeat = flags.get_double("net-heartbeat", ctx.net_heartbeat);
+  ctx.net_local_fallback = !flags.get_bool("no-local-fallback", false);
   const auto unused = flags.unused();
   if (!unused.empty()) {
     std::cerr << "unknown flag --" << unused.front()
               << " (supported: --seed --trials --quick --threads "
                  "--target-sem --execution --json --workers --checkpoint "
-                 "--resume --point --family --size)\n";
+                 "--resume --point --family --size --listen --connect "
+                 "--dial --net-timeout --net-heartbeat "
+                 "--no-local-fallback)\n";
     std::exit(2);
+  }
+  if ((ctx.listen && (ctx.workers > 0 || !ctx.connect_address.empty())) ||
+      (!ctx.connect_address.empty() && ctx.workers > 0)) {
+    std::cerr << "--listen, --connect and --workers are mutually "
+                 "exclusive execution modes\n";
+    std::exit(2);
+  }
+  if (!ctx.dial.empty() && !ctx.listen) {
+    std::cerr << "--dial only makes sense with --listen\n";
+    std::exit(2);
+  }
+  if (!ctx.net_local_fallback && !ctx.listen) {
+    std::cerr << "--no-local-fallback only makes sense with --listen\n";
+    std::exit(2);
+  }
+  if (ctx.listen) {
+    ctx.listener = std::make_shared<net::TcpListener>(
+        net::TcpListener::bind(ctx.listen_port));
+    if (!ctx.listener->valid()) {
+      std::cerr << "cannot bind job-server port "
+                << (ctx.listen_port == 0 ? std::string("(any)")
+                                         : std::to_string(ctx.listen_port))
+                << "\n";
+      std::exit(2);
+    }
+    // Scripts parse this line to learn the kernel-chosen port; flush so it
+    // is visible before the first sweep blocks.
+    std::cout << "listening on 127.0.0.1:" << ctx.listener->port()
+              << std::endl;
   }
   if (ctx.quick) ctx.trials = std::max<std::size_t>(ctx.trials / 10, 100);
   if (ctx.resume && ctx.checkpoint_path.empty()) {
@@ -196,7 +283,8 @@ inline BenchContext parse_context(int argc, char** argv) {
 }
 
 /// Runs `spec` through the sweep subsystem under the context's
-/// --workers/--checkpoint/--resume flags and returns the in-order results.
+/// --workers/--checkpoint/--resume/--listen/--connect flags and returns
+/// the in-order results.
 ///
 /// In worker mode (the hidden --worker --sweep=NAME flags the runner
 /// passes to its subprocesses) the behavior is different: when `spec` is
@@ -204,9 +292,17 @@ inline BenchContext parse_context(int argc, char** argv) {
 /// protocol fds (stdin / fd 3) and never returns; for any other sweep it
 /// returns empty placeholder results so the harness skips cheaply to the
 /// sweep being served (all output is discarded in worker mode).
+///
+/// In --connect mode the call dials the coordinator and serves this sweep
+/// over the socket protocol, then returns all-skipped placeholders (the
+/// coordinator owns the real results).  In --listen mode the call runs
+/// the socket job server for this sweep; `evaluator_id` names the
+/// registered evaluator (core/sweep/evaluators.h) generic worker daemons
+/// may use -- empty admits only same-binary --connect workers, with
+/// everything else computed by the coordinator's local fallback.
 inline std::vector<sweep::PointResult> run_sweep(
     const BenchContext& ctx, sweep::SweepSpec spec,
-    const sweep::PointEvaluator& eval) {
+    const sweep::PointEvaluator& eval, const std::string& evaluator_id = "") {
   // The journal must only revive points measured under the same budget.
   // json_number keeps the SEM target round-trip exact; std::to_string
   // would collapse distinct tiny targets to "0.000000".
@@ -219,6 +315,30 @@ inline std::vector<sweep::PointResult> run_sweep(
     std::vector<sweep::PointResult> placeholders;
     for (const sweep::SweepPoint& point : spec.expand())
       placeholders.push_back({point, RunningStats{}, false});
+    return placeholders;
+  }
+
+  // Socket worker: serve this sweep to the remote coordinator, then hand
+  // back all-skipped placeholders -- the coordinator owns the aggregated
+  // results, so this process's tables and checks stay empty.
+  if (ctx.socket_worker_mode()) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!net::parse_host_port(ctx.connect_address, host, port)) {
+      std::cerr << "--connect expects HOST:PORT, got '" << ctx.connect_address
+                << "'\n";
+      std::exit(2);
+    }
+    net::WorkerServeOptions serve_options;
+    serve_options.node = host + ":" + std::to_string(::getpid());
+    const net::ServeOutcome outcome =
+        net::serve_pinned_sweep(host, port, spec, eval, serve_options);
+    if (outcome == net::ServeOutcome::kConnectFailed)
+      std::cerr << "sweep " << spec.name() << ": no coordinator at "
+                << ctx.connect_address << "\n";
+    std::vector<sweep::PointResult> placeholders;
+    for (const sweep::SweepPoint& point : spec.expand())
+      placeholders.push_back({point, RunningStats{}, false, true});
     return placeholders;
   }
 
@@ -268,6 +388,16 @@ inline std::vector<sweep::PointResult> run_sweep(
     options.worker_command = ctx.command;
     options.worker_command.push_back("--worker");
     options.worker_command.push_back("--sweep=" + spec.name());
+  }
+  if (ctx.listen) {
+    net::SocketCoordinatorOptions coordinator;
+    coordinator.engine.worker_timeout = ctx.net_timeout;
+    coordinator.engine.heartbeat_interval = ctx.net_heartbeat;
+    coordinator.engine.evaluator = evaluator_id;
+    coordinator.dial = ctx.dial;
+    coordinator.local_fallback = ctx.net_local_fallback;
+    options.remote_runner =
+        net::make_socket_remote_runner(ctx.listener.get(), coordinator);
   }
   return sweep::SweepRunner(std::move(spec), std::move(options)).run(eval);
 }

@@ -23,10 +23,8 @@
 #include "core/exact/legacy_recursive.h"
 #include "core/exact/pc_exact.h"
 #include "core/exact/ppc_exact.h"
-#include "quorum/crumbling_wall.h"
-#include "quorum/hqs.h"
+#include "core/sweep/evaluators.h"
 #include "quorum/majority.h"
-#include "quorum/tree_system.h"
 #include "quorum/wheel.h"
 
 namespace {
@@ -56,24 +54,6 @@ ExtraFlags extract_extra_flags(int& argc, char** argv) {
   }
   argc = out;
   return extra;
-}
-
-// The crumbling walls under test; sweep points refer to them by index so
-// the runner and its --worker subprocesses agree on the grid.
-const std::vector<std::vector<std::size_t>>& bench_walls() {
-  static const std::vector<std::vector<std::size_t>> walls = {
-      {1, 2}, {1, 2, 3}, {1, 2, 3, 4}};
-  return walls;
-}
-
-std::unique_ptr<qps::QuorumSystem> make_system(const std::string& family,
-                                               std::size_t size) {
-  if (family == "maj") return std::make_unique<qps::MajoritySystem>(size);
-  if (family == "tree") return std::make_unique<qps::TreeSystem>(size);
-  if (family == "hqs") return std::make_unique<qps::HQSystem>(size);
-  if (family == "cw")
-    return std::make_unique<qps::CrumblingWall>(bench_walls().at(size));
-  throw std::invalid_argument("unknown sweep family " + family);
 }
 
 template <class F>
@@ -123,17 +103,18 @@ int main(int argc, char** argv) {
     exact_spec.add_block("cw", {0, 1, 2});
   }
   exact_spec.set_ps(ps);
-  const auto evaluate_exact = [&](const sweep::SweepPoint& point) {
-    const auto system = make_system(point.family, point.size);
-    RunningStats stats;
-    stats.add(ppc_exact(*system, point.p, dp_options));
-    return stats;
-  };
-  const auto exact_results = bench::run_sweep(ctx, exact_spec, evaluate_exact);
+  // The registered evaluator, not a local lambda: the coordinator, pipe
+  // workers, --connect workers, and qps_workerd daemons all run this same
+  // code path, which is what makes their results interchangeable.
+  const auto evaluate_exact =
+      sweep::find_standard_evaluator("exact_ppc", ctx.threads);
+  const auto exact_results =
+      bench::run_sweep(ctx, exact_spec, evaluate_exact, "exact_ppc");
   Table a({"family", "size", "n", "p", "PPC_p (exact)"});
   for (const auto& result : exact_results) {
     if (result.skipped) continue;
-    const auto system = make_system(result.point.family, result.point.size);
+    const auto system =
+        sweep::standard_system(result.point.family, result.point.size);
     a.add_row({result.point.family,
                Table::num(static_cast<long long>(result.point.size)),
                Table::num(static_cast<long long>(system->universe_size())),
@@ -159,7 +140,7 @@ int main(int argc, char** argv) {
   mc_spec.add_block("cw", {1}, {"opt"});
   mc_spec.set_ps(ps);
   const auto evaluate_mc = [&](const sweep::SweepPoint& point) {
-    const auto system = make_system(point.family, point.size);
+    const auto system = sweep::standard_system(point.family, point.size);
     const auto tree = optimal_ppc_tree(*system, point.p, dp_options);
     const ParallelEstimator engine(ctx.engine_options_for(point));
     const std::size_t n = system->universe_size();
@@ -173,7 +154,8 @@ int main(int argc, char** argv) {
            "within 4sem"});
   for (const auto& result : mc_results) {
     if (result.skipped) continue;
-    const auto system = make_system(result.point.family, result.point.size);
+    const auto system =
+        sweep::standard_system(result.point.family, result.point.size);
     const double exact_value = ppc_exact(*system, result.point.p, dp_options);
     const double gap = result.stats.mean() - exact_value;
     const bool agree =
@@ -193,7 +175,7 @@ int main(int argc, char** argv) {
   // Section [C] is opt-in (--timings) and parent-only: wall-clock numbers
   // are nondeterministic, and the CI bit-identity check cmp's the JSON of
   // two runs at different thread counts, which must stay byte-identical.
-  if (extra.timings && !ctx.worker_mode) {
+  if (extra.timings && !ctx.worker_mode && !ctx.socket_worker_mode()) {
     std::cout << "\n[C] Kernel vs legacy recursion, and a beyond-the-cap "
                  "solve:\n";
     const std::size_t speed_n = ctx.quick ? 11 : 13;

@@ -1,0 +1,31 @@
+#include "core/net/framing.h"
+
+namespace qps::net {
+
+bool LineReassembler::feed(std::string_view bytes,
+                           std::vector<std::string>& lines) {
+  if (failed_) return false;
+  while (!bytes.empty()) {
+    const std::size_t newline = bytes.find('\n');
+    if (newline == std::string_view::npos) {
+      buffer_.append(bytes);
+      break;
+    }
+    if (buffer_.empty()) {
+      lines.emplace_back(bytes.substr(0, newline));
+    } else {
+      buffer_.append(bytes.substr(0, newline));
+      lines.push_back(std::move(buffer_));
+      buffer_.clear();
+    }
+    bytes.remove_prefix(newline + 1);
+  }
+  if (buffer_.size() > max_line_bytes_) {
+    buffer_.clear();
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qps::net

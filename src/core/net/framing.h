@@ -1,0 +1,56 @@
+// Line reassembly for the socket worker protocol.
+//
+// TCP hands the receiver arbitrary byte chunks: a protocol line may arrive
+// in one read, split across dozens, or glued to its neighbours -- and the
+// split can land anywhere, including inside a multi-byte UTF-8 sequence or
+// halfway through a JSON \uXXXX escape.  LineReassembler accumulates
+// chunks and emits complete '\n'-terminated lines (terminator stripped);
+// by construction the reassembled line is byte-identical to what the
+// sender wrote, whatever the segmentation, so the wire decoders never see
+// a partial frame.
+//
+// A line that grows past `max_line_bytes` without a terminator is a
+// protocol violation (a corrupt or hostile peer streaming garbage): feed()
+// returns false and the reassembler latches into the failed state until
+// reset(), so one oversized frame cannot be mistaken for the prefix of the
+// next legitimate one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qps::net {
+
+class LineReassembler {
+ public:
+  explicit LineReassembler(std::size_t max_line_bytes = 1 << 20)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends `bytes`; every completed line (terminator stripped) is
+  /// appended to `lines`.  Returns false once the unterminated tail
+  /// exceeds max_line_bytes; the reassembler then stays failed (and eats
+  /// all further input) until reset().
+  bool feed(std::string_view bytes, std::vector<std::string>& lines);
+
+  /// Unterminated bytes currently buffered (a truncated final frame after
+  /// EOF shows up here).
+  const std::string& partial() const { return buffer_; }
+
+  bool failed() const { return failed_; }
+
+  /// Clears the buffer and the failed latch.
+  void reset() {
+    buffer_.clear();
+    failed_ = false;
+  }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  bool failed_ = false;
+};
+
+}  // namespace qps::net

@@ -1,0 +1,292 @@
+#include "core/net/job_server.h"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+
+#include "core/sweep/wire.h"
+#include "util/require.h"
+
+namespace qps::net {
+
+JobServerEngine::JobServerEngine(const std::vector<sweep::SweepPoint>& points,
+                                 std::string sweep_name,
+                                 std::uint64_t fingerprint,
+                                 std::deque<std::size_t> pending,
+                                 JobServerOptions options)
+    : points_(points),
+      sweep_name_(std::move(sweep_name)),
+      fingerprint_(fingerprint),
+      options_(std::move(options)),
+      pending_(std::move(pending)),
+      done_(points.size(), 1) {
+  for (const std::size_t index : pending_) {
+    QPS_REQUIRE(index < points_.size(), "pending index out of range");
+    done_[index] = 0;
+  }
+  outstanding_ = pending_.size();
+}
+
+void JobServerEngine::on_open(SessionId session, double now) {
+  Session& s = sessions_[session];
+  s.opened_at = s.last_activity = now;
+}
+
+void JobServerEngine::on_bytes(SessionId session, std::string_view bytes,
+                               double now) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;  // already dropped: late bytes ignored
+  it->second.last_activity = now;
+  std::vector<std::string> lines;
+  if (!it->second.lines.feed(bytes, lines)) {
+    kill(session, "oversized frame");
+    return;
+  }
+  for (const std::string& line : lines) {
+    handle_line(session, line, now);
+    // handle_line may have killed (erased) the session; later lines from
+    // a dropped peer are noise.
+    if (sessions_.find(session) == sessions_.end()) return;
+  }
+}
+
+void JobServerEngine::on_close(SessionId session, double /*now*/) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  if (it->second.busy) pending_.push_front(it->second.in_flight);
+  sessions_.erase(it);
+  dispatch();
+}
+
+void JobServerEngine::on_tick(double now) {
+  std::vector<SessionId> expired;
+  for (const auto& [id, s] : sessions_) {
+    if (s.state == Session::State::kAwaitHello &&
+        now - s.opened_at > options_.handshake_timeout)
+      expired.push_back(id);
+    else if (s.state == Session::State::kActive && s.busy &&
+             now - s.last_activity > options_.worker_timeout)
+      expired.push_back(id);
+  }
+  for (const SessionId id : expired) {
+    ++workers_timed_out_;
+    kill(id, "timed out");
+  }
+}
+
+void JobServerEngine::handle_line(SessionId session, const std::string& line,
+                                  double now) {
+  (void)now;
+  JsonValue value;
+  try {
+    value = JsonValue::parse(line);
+  } catch (const std::exception&) {
+    kill(session, "malformed frame");
+    return;
+  }
+  Session& s = sessions_.at(session);
+  switch (classify_line(value)) {
+    case LineKind::kHello:
+      if (s.state != Session::State::kAwaitHello) {
+        kill(session, "duplicate hello");
+        return;
+      }
+      handle_hello(session, value);
+      return;
+    case LineKind::kResult:
+      if (s.state != Session::State::kActive) {
+        kill(session, "result before handshake");
+        return;
+      }
+      handle_result(session, line);
+      return;
+    case LineKind::kHeartbeat:
+      if (s.state != Session::State::kActive)
+        kill(session, "heartbeat before handshake");
+      return;  // liveness already refreshed in on_bytes
+    default:
+      kill(session, "unexpected frame");
+      return;
+  }
+}
+
+void JobServerEngine::handle_hello(SessionId session, const JsonValue& value) {
+  const auto hello = decode_hello(value);
+  if (!hello) {
+    kill(session, "malformed hello");
+    return;
+  }
+  if (hello->version != kProtocolVersion) {
+    decline(session,
+            "protocol version mismatch: coordinator speaks v" +
+                std::to_string(kProtocolVersion) + ", worker '" + hello->node +
+                "' speaks v" + std::to_string(hello->version),
+            /*retry=*/false);
+    return;
+  }
+
+  Welcome welcome;
+  welcome.ok = true;
+  welcome.heartbeat_seconds = options_.heartbeat_interval;
+  welcome.sweep = sweep_name_;
+  welcome.fingerprint = fingerprint_;
+  if (hello->pinned()) {
+    if (hello->sweep != sweep_name_ || hello->fingerprint != fingerprint_) {
+      decline(session,
+              "sweep '" + hello->sweep + "' is not active (serving '" +
+                  sweep_name_ + "')",
+              /*retry=*/true);
+      return;
+    }
+  } else {
+    if (options_.evaluator.empty()) {
+      decline(session,
+              "sweep '" + sweep_name_ +
+                  "' has no registered evaluator; only same-binary workers "
+                  "can serve it",
+              /*retry=*/true);
+      return;
+    }
+    if (std::find(hello->evaluators.begin(), hello->evaluators.end(),
+                  options_.evaluator) == hello->evaluators.end()) {
+      decline(session,
+              "worker '" + hello->node + "' does not support evaluator '" +
+                  options_.evaluator + "'",
+              /*retry=*/true);
+      return;
+    }
+    welcome.evaluator = options_.evaluator;
+    welcome.spec_text = options_.spec_text;
+  }
+
+  Session& s = sessions_.at(session);
+  s.state = Session::State::kActive;
+  s.node = hello->node;
+  outbox_.push_back({session, encode_welcome(welcome), false});
+  // A worker that joins after the last point was handed out (or after the
+  // sweep finished entirely) would otherwise idle forever.
+  if (done()) {
+    outbox_.push_back({session, encode_bye(), true});
+    sessions_.erase(session);
+    return;
+  }
+  dispatch();
+}
+
+void JobServerEngine::handle_result(SessionId session,
+                                    const std::string& line) {
+  const auto result = sweep::decode_result(line);
+  if (!result || result->sweep != sweep_name_ ||
+      result->fingerprint != fingerprint_ ||
+      result->index >= points_.size() ||
+      result->id != points_[result->index].id) {
+    kill(session, "mismatched result");
+    return;
+  }
+  Session& s = sessions_.at(session);
+  if (s.busy && s.in_flight == result->index) s.busy = false;
+  if (done_[result->index]) {
+    // Duplicate delivery: a retransmission after a reconnect, or the
+    // original worker of a reassigned point finishing late.  Results are
+    // pure functions of the point, so dropping the copy is lossless.
+    ++duplicates_ignored_;
+  } else {
+    ++results_from_workers_;
+    record(result->index, result->stats);
+  }
+  if (!done()) dispatch();
+}
+
+void JobServerEngine::record(std::size_t index, const RunningStats& stats) {
+  done_[index] = 1;
+  --outstanding_;
+  completed_.emplace_back(index, stats);
+  // The point may still sit in pending_ (forfeited by one worker, then
+  // completed by an unsolicited duplicate from another): never re-issue it.
+  const auto it = std::find(pending_.begin(), pending_.end(), index);
+  if (it != pending_.end()) pending_.erase(it);
+  if (done()) broadcast_bye();
+}
+
+void JobServerEngine::kill(SessionId session, const std::string& reason) {
+  (void)reason;
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) return;
+  ++protocol_errors_;
+  if (it->second.busy) pending_.push_front(it->second.in_flight);
+  sessions_.erase(it);
+  outbox_.push_back({session, std::string(), true});
+  dispatch();
+}
+
+void JobServerEngine::decline(SessionId session, const std::string& error,
+                              bool retry) {
+  Welcome welcome;
+  welcome.ok = false;
+  welcome.error = error;
+  welcome.retry = retry;
+  sessions_.erase(session);
+  outbox_.push_back({session, encode_welcome(welcome), true});
+}
+
+void JobServerEngine::dispatch() {
+  if (pending_.empty()) return;
+  for (auto& [id, s] : sessions_) {
+    if (s.state != Session::State::kActive || s.busy) continue;
+    s.busy = true;
+    s.in_flight = pending_.front();
+    pending_.pop_front();
+    outbox_.push_back({id, sweep::encode_request(s.in_flight), false});
+    if (pending_.empty()) return;
+  }
+}
+
+void JobServerEngine::broadcast_bye() {
+  for (const auto& [id, s] : sessions_)
+    outbox_.push_back({id, encode_bye(), true});
+  sessions_.clear();
+}
+
+std::vector<JobServerEngine::Send> JobServerEngine::take_outbox() {
+  return std::exchange(outbox_, {});
+}
+
+std::vector<std::pair<std::size_t, RunningStats>>
+JobServerEngine::take_completed() {
+  return std::exchange(completed_, {});
+}
+
+std::optional<std::size_t> JobServerEngine::take_local_point() {
+  if (pending_.empty()) return std::nullopt;
+  const std::size_t index = pending_.front();
+  pending_.pop_front();
+  return index;
+}
+
+void JobServerEngine::complete_local(std::size_t index,
+                                     const RunningStats& stats) {
+  if (done_[index]) return;  // a worker's duplicate beat us to it
+  record(index, stats);
+}
+
+double JobServerEngine::next_deadline() const {
+  double deadline = std::numeric_limits<double>::infinity();
+  for (const auto& [id, s] : sessions_) {
+    if (s.state == Session::State::kAwaitHello)
+      deadline =
+          std::min(deadline, s.opened_at + options_.handshake_timeout);
+    else if (s.busy)
+      deadline =
+          std::min(deadline, s.last_activity + options_.worker_timeout);
+  }
+  return deadline;
+}
+
+std::size_t JobServerEngine::active_workers() const {
+  std::size_t count = 0;
+  for (const auto& [id, s] : sessions_)
+    if (s.state == Session::State::kActive) ++count;
+  return count;
+}
+
+}  // namespace qps::net

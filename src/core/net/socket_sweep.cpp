@@ -1,0 +1,382 @@
+#include "core/net/socket_sweep.h"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/net/framing.h"
+#include "core/sweep/spec_codec.h"
+#include "util/require.h"
+
+namespace qps::net {
+
+namespace {
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Background heartbeat: keeps the coordinator's liveness timer fed while
+/// a long evaluation holds the data path silent.  Writes share
+/// `write_mutex` with result sends so frames never interleave.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(TcpStream& stream, std::mutex& write_mutex,
+                  double interval_seconds)
+      : stream_(stream), write_mutex_(write_mutex) {
+    if (interval_seconds <= 0) return;
+    thread_ = std::thread([this, interval_seconds] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      const auto interval = std::chrono::duration<double>(interval_seconds);
+      while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+        std::lock_guard<std::mutex> write_lock(write_mutex_);
+        // A failed heartbeat means the peer is gone; the read loop will
+        // notice on its own, so the failure needs no handling here.
+        stream_.send_all(encode_heartbeat());
+      }
+    });
+  }
+
+  ~HeartbeatThread() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  TcpStream& stream_;
+  std::mutex& write_mutex_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace
+
+bool parse_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size())
+    return false;
+  unsigned long value = 0;
+  for (std::size_t i = colon + 1; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return false;
+    value = value * 10 + static_cast<unsigned long>(text[i] - '0');
+    if (value > 65535) return false;
+  }
+  host = text.substr(0, colon);
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+void run_socket_sweep(TcpListener& listener,
+                      const std::vector<sweep::SweepPoint>& points,
+                      const std::string& sweep_name, std::uint64_t fingerprint,
+                      std::deque<std::size_t> pending,
+                      const sweep::PointEvaluator& local_eval,
+                      const sweep::RemoteRecord& record,
+                      const SocketCoordinatorOptions& options) {
+  QPS_REQUIRE(listener.valid(), "job server needs a bound listener");
+  QPS_REQUIRE(!options.local_fallback || static_cast<bool>(local_eval),
+              "local fallback needs an evaluator");
+
+  const std::size_t total = pending.size();
+  JobServerEngine engine(points, sweep_name, fingerprint, std::move(pending),
+                         options.engine);
+  std::map<SessionId, TcpStream> streams;
+  SessionId next_id = 1;
+  std::size_t local_points = 0;
+
+  const auto flush = [&] {
+    // Draining can cascade: a failed send closes a session, which forfeits
+    // its point, which dispatches to another worker.
+    for (;;) {
+      const auto outbox = engine.take_outbox();
+      if (outbox.empty()) return;
+      for (const JobServerEngine::Send& send : outbox) {
+        const auto it = streams.find(send.session);
+        if (it == streams.end()) continue;
+        bool drop = send.close_after;
+        if (!send.bytes.empty() && !it->second.send_all(send.bytes)) {
+          engine.on_close(send.session, monotonic_seconds());
+          drop = true;
+        }
+        if (drop) {
+          it->second.close();
+          streams.erase(send.session);
+        }
+      }
+    }
+  };
+  const auto deliver = [&] {
+    for (const auto& [index, stats] : engine.take_completed())
+      record(index, stats);
+  };
+
+  // Workers running in --listen mode are dialed once up front; they speak
+  // first (hello) exactly like accepted connections.
+  for (const std::string& address : options.dial) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parse_host_port(address, host, port)) {
+      std::cerr << "sweep " << sweep_name << ": bad worker address '"
+                << address << "' (want host:port)\n";
+      continue;
+    }
+    TcpStream stream = TcpStream::connect(host, port);
+    if (!stream.valid()) {
+      std::cerr << "sweep " << sweep_name << ": cannot dial worker at "
+                << address << "\n";
+      continue;
+    }
+    const SessionId id = next_id++;
+    streams.emplace(id, std::move(stream));
+    engine.on_open(id, monotonic_seconds());
+  }
+
+  while (!engine.done()) {
+    flush();
+    deliver();
+    if (engine.done()) break;
+
+    // Fallback waits for "no sessions at all", not just "no active
+    // workers": a freshly dialed daemon whose hello is still in flight
+    // must get a chance to serve before the coordinator eats the grid
+    // itself.  A connection that never completes its handshake releases
+    // the brake via the handshake timeout.
+    const bool fallback_ready =
+        options.local_fallback && engine.session_count() == 0;
+
+    std::vector<pollfd> fds;
+    std::vector<SessionId> ids;
+    fds.push_back({listener.fd(), POLLIN, 0});
+    for (const auto& [id, stream] : streams) {
+      ids.push_back(id);
+      fds.push_back({stream.fd(), POLLIN, 0});
+    }
+    int timeout_ms = 200;
+    if (fallback_ready) {
+      timeout_ms = 0;  // local work is waiting; just drain ready events
+    } else {
+      const double deadline = engine.next_deadline();
+      if (std::isfinite(deadline)) {
+        const double wait = (deadline - monotonic_seconds()) * 1000.0;
+        timeout_ms = wait < 10.0 ? 10 : (wait > 500.0 ? 500 : static_cast<int>(wait));
+      }
+    }
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      QPS_CHECK(false, "poll failed in job server loop");
+    }
+
+    if (fds[0].revents & POLLIN) {
+      TcpStream stream = listener.accept();
+      if (stream.valid()) {
+        const SessionId id = next_id++;
+        streams.emplace(id, std::move(stream));
+        engine.on_open(id, monotonic_seconds());
+      }
+    }
+    // Reads strictly before the timeout tick: bytes buffered while we were
+    // busy (or blocked in a local evaluation) count as liveness.
+    for (std::size_t k = 0; k < ids.size(); ++k) {
+      if ((fds[k + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const auto it = streams.find(ids[k]);
+      if (it == streams.end()) continue;
+      char chunk[4096];
+      const long n = it->second.read_some(chunk, sizeof chunk);
+      if (n > 0) {
+        engine.on_bytes(ids[k], std::string_view(chunk,
+                                                 static_cast<std::size_t>(n)),
+                        monotonic_seconds());
+      } else {
+        engine.on_close(ids[k], monotonic_seconds());
+        it->second.close();
+        streams.erase(it);
+      }
+    }
+    engine.on_tick(monotonic_seconds());
+    flush();
+    deliver();
+
+    if (options.local_fallback && engine.session_count() == 0 &&
+        !engine.done()) {
+      if (const auto index = engine.take_local_point()) {
+        engine.complete_local(*index, local_eval(points[*index]));
+        ++local_points;
+        deliver();
+      }
+    }
+  }
+
+  flush();    // broadcast the final byes
+  deliver();  // nothing left, but keep the contract obvious
+
+  // One grep-able accounting line per sweep: CI asserts work really went
+  // through the socket path (and how much was recovered from faults).
+  std::cerr << "sweep " << sweep_name << ": job server done, " << total
+            << " point(s): " << engine.results_from_workers()
+            << " from workers, " << local_points << " local, "
+            << engine.duplicates_ignored() << " duplicate(s) ignored, "
+            << engine.workers_timed_out() << " worker timeout(s), "
+            << engine.protocol_errors() << " protocol error(s)\n";
+}
+
+sweep::RemoteRunner make_socket_remote_runner(
+    TcpListener* listener, SocketCoordinatorOptions options) {
+  QPS_REQUIRE(listener != nullptr, "remote runner needs a listener");
+  return [listener, options](const sweep::SweepSpec& spec,
+                             const std::vector<sweep::SweepPoint>& points,
+                             std::deque<std::size_t> pending,
+                             const sweep::PointEvaluator& eval,
+                             const sweep::RemoteRecord& record) {
+    SocketCoordinatorOptions opts = options;
+    if (!opts.engine.evaluator.empty() && opts.engine.spec_text.empty())
+      opts.engine.spec_text = sweep::spec_to_json(spec);
+    run_socket_sweep(*listener, points, spec.name(), spec.fingerprint(),
+                     std::move(pending), eval, record, opts);
+  };
+}
+
+ServeOutcome serve_connection(TcpStream& stream, const Hello& hello,
+                              const SweepBinder& binder, std::string* error) {
+  const auto fail = [error](ServeOutcome outcome, const std::string& why) {
+    if (error) *error = why;
+    return outcome;
+  };
+
+  WorkerEngine engine(hello);
+  if (!stream.send_all(engine.hello_line()))
+    return fail(ServeOutcome::kLost, "connection lost sending hello");
+
+  std::vector<sweep::SweepPoint> points;
+  sweep::PointEvaluator eval;
+  std::mutex write_mutex;
+  std::unique_ptr<HeartbeatThread> heartbeat;
+
+  LineReassembler reassembler;
+  char chunk[4096];
+  for (;;) {
+    const long n = stream.read_some(chunk, sizeof chunk);
+    if (n <= 0)
+      return fail(ServeOutcome::kLost, "connection lost mid-serve");
+    std::vector<std::string> lines;
+    if (!reassembler.feed(
+            std::string_view(chunk, static_cast<std::size_t>(n)), lines))
+      return fail(ServeOutcome::kLost, "oversized frame from coordinator");
+    for (const std::string& line : lines) {
+      const WorkerEngine::Event event = engine.on_line(line);
+      switch (event.kind) {
+        case WorkerEngine::Event::Kind::kNone:
+          break;
+        case WorkerEngine::Event::Kind::kAccepted: {
+          std::string bind_error;
+          if (!binder(event.welcome, points, eval, bind_error))
+            return fail(ServeOutcome::kDeclinedFatal, bind_error);
+          heartbeat = std::make_unique<HeartbeatThread>(
+              stream, write_mutex, event.welcome.heartbeat_seconds);
+          break;
+        }
+        case WorkerEngine::Event::Kind::kDeclined:
+          return fail(event.welcome.retry ? ServeOutcome::kDeclinedRetry
+                                          : ServeOutcome::kDeclinedFatal,
+                      event.welcome.error);
+        case WorkerEngine::Event::Kind::kEvaluate: {
+          if (event.index >= points.size())
+            return fail(ServeOutcome::kLost, "request index out of range");
+          const RunningStats stats = eval(points[event.index]);
+          const std::string reply =
+              engine.result_line(points[event.index], stats);
+          std::lock_guard<std::mutex> lock(write_mutex);
+          if (!stream.send_all(reply))
+            return fail(ServeOutcome::kLost, "connection lost sending result");
+          break;
+        }
+        case WorkerEngine::Event::Kind::kBye:
+          return ServeOutcome::kServedBye;
+        case WorkerEngine::Event::Kind::kProtocolError:
+          return fail(ServeOutcome::kLost, event.error);
+      }
+    }
+  }
+}
+
+ServeOutcome serve_pinned_sweep(const std::string& host, std::uint16_t port,
+                                const sweep::SweepSpec& spec,
+                                const sweep::PointEvaluator& eval,
+                                const WorkerServeOptions& options) {
+  Hello hello;
+  hello.node = options.node;
+  hello.sweep = spec.name();
+  hello.fingerprint = spec.fingerprint();
+  const SweepBinder binder = pinned_binder(spec, eval);
+
+  int connect_failures = 0;
+  int declines = 0;
+  int losses = 0;
+  for (;;) {
+    TcpStream stream = TcpStream::connect(host, port);
+    if (!stream.valid()) {
+      if (++connect_failures > options.connect_retries)
+        return ServeOutcome::kConnectFailed;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.connect_retry_seconds));
+      continue;
+    }
+    connect_failures = 0;
+
+    std::string error;
+    const ServeOutcome outcome = serve_connection(stream, hello, binder,
+                                                  &error);
+    switch (outcome) {
+      case ServeOutcome::kDeclinedRetry:
+        // A multi-sweep coordinator serves its sweeps in order; ours is
+        // simply not up yet (or already finished -- the bounded budget
+        // covers that case too).
+        if (++declines > options.decline_retries) {
+          std::cerr << "worker " << options.node << ": giving up on sweep "
+                    << spec.name() << ": " << error << "\n";
+          return outcome;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options.decline_retry_seconds));
+        continue;
+      case ServeOutcome::kLost:
+        // The coordinator may just be restarting (checkpoint resume); a
+        // fresh handshake is safe because duplicate results are ignored.
+        if (++losses > options.lost_retries) {
+          std::cerr << "worker " << options.node << ": lost sweep "
+                    << spec.name() << ": " << error << "\n";
+          return outcome;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options.connect_retry_seconds));
+        continue;
+      case ServeOutcome::kDeclinedFatal:
+        std::cerr << "worker " << options.node << ": declined for sweep "
+                  << spec.name() << ": " << error << "\n";
+        return outcome;
+      default:
+        return outcome;
+    }
+  }
+}
+
+}  // namespace qps::net

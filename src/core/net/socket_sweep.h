@@ -1,0 +1,107 @@
+// TCP drivers for the sweep worker protocol.
+//
+// Both protocol state machines are transport-free (core/net/job_server.h,
+// core/net/worker.h); this header binds them to real sockets:
+//
+//  * run_socket_sweep() is the coordinator's job-server loop: it polls the
+//    listener and every worker connection, feeds the JobServerEngine
+//    (reads strictly before timeout ticks, so a hello buffered during a
+//    long local evaluation always beats the handshake axe), flushes its
+//    outbox, and -- when no worker is serving and local fallback is
+//    enabled -- evaluates pending points in-process so the sweep
+//    terminates even if every daemon declines or dies.
+//  * serve_connection() / serve_pinned_sweep() are the worker's blocking
+//    side: hello, welcome, evaluate-request loop until bye, with a
+//    background heartbeat thread keeping the coordinator's liveness timer
+//    fed through long evaluations.
+//  * make_socket_remote_runner() packages the coordinator loop as the
+//    sweep::RemoteRunner hook SweepOptions accepts, which is how a bench
+//    in --listen mode distributes its sweeps without the sweep layer
+//    knowing sockets exist.
+//
+// Listeners bind port 0 by default and report the kernel-chosen port, so
+// parallel CI jobs never race for a fixed port.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/net/job_server.h"
+#include "core/net/socket.h"
+#include "core/net/worker.h"
+#include "core/sweep/sweep_runner.h"
+
+namespace qps::net {
+
+struct SocketCoordinatorOptions {
+  JobServerOptions engine;
+  /// "host:port" addresses of workers running in --listen mode; dialed
+  /// once at startup (a dial failure is a warning, not an error -- workers
+  /// in --connect mode arrive through the listener instead).
+  std::vector<std::string> dial;
+  /// Evaluate pending points in-process while no worker is serving.  Keeps
+  /// every sweep live (registry daemons decline sweeps they cannot serve);
+  /// tests disable it to prove workers computed everything.
+  bool local_fallback = true;
+};
+
+/// Splits "host:port"; false on malformed input.
+bool parse_host_port(const std::string& text, std::string& host,
+                     std::uint16_t& port);
+
+/// Coordinator loop: drives the job-server engine over `listener` until
+/// every pending index has a result, invoking `record` exactly once per
+/// completed point.  `local_eval` is used only for local fallback and for
+/// it only when options.local_fallback.
+void run_socket_sweep(TcpListener& listener,
+                      const std::vector<sweep::SweepPoint>& points,
+                      const std::string& sweep_name, std::uint64_t fingerprint,
+                      std::deque<std::size_t> pending,
+                      const sweep::PointEvaluator& local_eval,
+                      const sweep::RemoteRecord& record,
+                      const SocketCoordinatorOptions& options);
+
+/// The coordinator loop as a sweep-layer hook.  `listener` must outlive
+/// the returned runner; when options.engine.evaluator is set and spec_text
+/// empty, the spec is serialized automatically per sweep.
+sweep::RemoteRunner make_socket_remote_runner(TcpListener* listener,
+                                              SocketCoordinatorOptions options);
+
+enum class ServeOutcome {
+  kServedBye,      ///< Clean completion: coordinator said bye.
+  kDeclinedRetry,  ///< Declined, worth retrying (sweep not active yet).
+  kDeclinedFatal,  ///< Declined for good (version mismatch, bad binder).
+  kLost,           ///< Connection or protocol failure mid-serve.
+  kConnectFailed,  ///< Dial retries exhausted.
+};
+
+struct WorkerServeOptions {
+  /// Diagnostic worker name carried in the hello (hostname:pid style).
+  std::string node = "worker";
+  /// Dial retry budget (the coordinator may not be listening yet).
+  int connect_retries = 25;
+  double connect_retry_seconds = 0.2;
+  /// Retryable-decline budget (a multi-sweep bench's coordinator serves
+  /// sweeps in order; a worker ahead of it must wait its turn).
+  int decline_retries = 150;
+  double decline_retry_seconds = 0.2;
+  /// Reconnect budget after a mid-serve connection loss.
+  int lost_retries = 3;
+};
+
+/// Serves one established connection to completion (blocking).  On any
+/// decline/loss, `error` (when non-null) receives the reason.
+ServeOutcome serve_connection(TcpStream& stream, const Hello& hello,
+                              const SweepBinder& binder,
+                              std::string* error = nullptr);
+
+/// Pinned worker: dials host:port and serves `spec` with `eval`, retrying
+/// dials, retryable declines, and lost connections per `options`.
+ServeOutcome serve_pinned_sweep(const std::string& host, std::uint16_t port,
+                                const sweep::SweepSpec& spec,
+                                const sweep::PointEvaluator& eval,
+                                const WorkerServeOptions& options);
+
+}  // namespace qps::net

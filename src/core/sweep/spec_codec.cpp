@@ -1,0 +1,59 @@
+#include "core/sweep/spec_codec.h"
+
+#include <stdexcept>
+
+#include "core/sweep/wire.h"
+
+namespace qps::sweep {
+
+std::string spec_to_json(const SweepSpec& spec) {
+  std::string out = "{\"name\": " + json_quote(spec.name()) +
+                    ", \"seed\": " +
+                    json_quote(encode_hex_u64(spec.base_seed())) +
+                    ", \"config\": " + json_quote(spec.config_tag()) +
+                    ", \"blocks\": [";
+  bool first_block = true;
+  for (const SweepSpec::Block& block : spec.blocks()) {
+    if (!first_block) out += ", ";
+    first_block = false;
+    out += "{\"family\": " + json_quote(block.family) + ", \"sizes\": [";
+    for (std::size_t i = 0; i < block.sizes.size(); ++i)
+      out += (i ? ", " : "") + std::to_string(block.sizes[i]);
+    out += "], \"strategies\": [";
+    for (std::size_t i = 0; i < block.strategies.size(); ++i)
+      out += (i ? ", " : "") + json_quote(block.strategies[i]);
+    out += "]}";
+  }
+  out += "], \"ps\": [";
+  for (std::size_t i = 0; i < spec.ps().size(); ++i)
+    out += (i ? ", " : "") + json_number(spec.ps()[i]);
+  out += "]}";
+  return out;
+}
+
+SweepSpec spec_from_json(const JsonValue& value) {
+  const auto seed = decode_hex_u64(value.at("seed").as_string());
+  if (!seed)
+    throw std::invalid_argument("sweep spec: malformed seed encoding");
+  SweepSpec spec(value.at("name").as_string(), *seed);
+  spec.set_config_tag(value.at("config").as_string());
+  for (const JsonValue& block : value.at("blocks").as_array()) {
+    std::vector<std::size_t> sizes;
+    for (const JsonValue& size : block.at("sizes").as_array())
+      sizes.push_back(static_cast<std::size_t>(size.as_uint64()));
+    std::vector<std::string> strategies;
+    for (const JsonValue& strategy : block.at("strategies").as_array())
+      strategies.push_back(strategy.as_string());
+    spec.add_block(block.at("family").as_string(), std::move(sizes),
+                   std::move(strategies));
+  }
+  const auto& ps = value.at("ps").as_array();
+  if (!ps.empty()) {
+    std::vector<double> grid;
+    for (const JsonValue& p : ps) grid.push_back(p.as_double());
+    spec.set_ps(std::move(grid));
+  }
+  return spec;
+}
+
+}  // namespace qps::sweep

@@ -1,0 +1,34 @@
+// SweepSpec serialization for the socket worker protocol.
+//
+// A generic remote worker daemon (tools/qps_workerd) has no bench argv to
+// rebuild the sweep grid from, so the coordinator ships the declarative
+// spec itself inside the handshake welcome.  The codec round-trips every
+// input of expand() -- name, base seed, config tag, blocks, p grid -- so
+// the deserialized spec produces bit-identical point ids, seeds, and
+// fingerprint on the worker side; the worker re-derives the fingerprint
+// and refuses to serve when it disagrees with the coordinator's claim,
+// turning any codec or version skew into a loud handshake failure instead
+// of silently mismatched grids.
+//
+// The base seed and p values must survive exactly: the seed travels as the
+// fixed-width hex encoding (a JSON number is a double and cannot carry 64
+// bits), and each p as json_number (max_digits10, so text -> strtod
+// recovers the exact bits that entered the point ids and CRN seeds).
+#pragma once
+
+#include <string>
+
+#include "core/sweep/sweep_spec.h"
+#include "util/json.h"
+
+namespace qps::sweep {
+
+/// `spec` as a single-line JSON object (no trailing newline).
+std::string spec_to_json(const SweepSpec& spec);
+
+/// Rebuilds a spec from a value produced by spec_to_json (parsed or
+/// embedded in a larger message).  Throws std::invalid_argument on any
+/// missing or malformed field.
+SweepSpec spec_from_json(const JsonValue& value);
+
+}  // namespace qps::sweep

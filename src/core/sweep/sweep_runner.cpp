@@ -142,6 +142,9 @@ SweepRunner::SweepRunner(SweepSpec spec, SweepOptions options)
     : spec_(std::move(spec)), options_(std::move(options)) {
   QPS_REQUIRE(options_.workers == 0 || !options_.worker_command.empty(),
               "sharded execution needs a worker command");
+  QPS_REQUIRE(options_.workers == 0 || !options_.remote_runner,
+              "worker subprocesses and a remote runner are mutually "
+              "exclusive");
 }
 
 std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
@@ -180,6 +183,28 @@ std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
 
   if (options_.workers > 0)
     run_sharded(points, have, results, checkpoint);
+
+  // Distributed path: hand the still-missing indices to the injected hook.
+  // The record sink is dedup-guarded (a badly-behaved hook reporting an
+  // index twice must not double-journal) and journals exactly like the
+  // other paths, so interrupt/resume composes with remote execution.
+  if (options_.remote_runner) {
+    std::deque<std::size_t> pending;
+    for (std::size_t i = 0; i < points.size(); ++i)
+      if (!have[i]) pending.push_back(i);
+    if (!pending.empty()) {
+      const RemoteRecord record = [&](std::size_t index,
+                                      const RunningStats& stats) {
+        QPS_REQUIRE(index < points.size(), "remote result index out of range");
+        if (have[index]) return;
+        results[index].stats = stats;
+        results[index].from_checkpoint = false;
+        have[index] = 1;
+        checkpoint.record(points[index], stats);
+      };
+      options_.remote_runner(spec_, points, std::move(pending), eval, record);
+    }
+  }
 
   // In-process path, doubling as the fallback when every worker died:
   // evaluate whatever is still missing, in index order.

@@ -26,6 +26,7 @@
 // checkpoint journal is in use.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
@@ -41,12 +42,34 @@ namespace qps::sweep {
 /// results; exact evaluations return a single-sample accumulator.
 using PointEvaluator = std::function<RunningStats(const SweepPoint&)>;
 
+/// Sink a RemoteRunner reports each completed point through, exactly once
+/// per index.
+using RemoteRecord =
+    std::function<void(std::size_t index, const RunningStats& stats)>;
+
+/// Injected distributed-execution hook.  Called with the spec, its
+/// expanded points, and the indices still to be computed; must evaluate
+/// every pending point (remotely, or locally via `eval` as a fallback) and
+/// report each completion through `record`.  core/net/socket_sweep.h
+/// supplies the socket job-server implementation -- the hook is a
+/// std::function so the sweep layer stays free of any net dependency.
+using RemoteRunner = std::function<void(
+    const SweepSpec& spec, const std::vector<SweepPoint>& points,
+    std::deque<std::size_t> pending, const PointEvaluator& eval,
+    const RemoteRecord& record)>;
+
 struct SweepOptions {
   /// Worker subprocesses; 0 runs every point in-process.
   std::size_t workers = 0;
   /// argv for worker subprocesses (argv[0] is the executable); required
   /// when workers >= 1.  The command must re-enter serve() for this spec.
   std::vector<std::string> worker_command;
+  /// Distributed execution: when set, pending points are handed to this
+  /// hook instead of worker subprocesses (mutually exclusive with
+  /// workers >= 1).  Checkpointing, filters, and result aggregation are
+  /// unchanged -- the hook only replaces who computes the points, so the
+  /// output stays byte-identical.
+  RemoteRunner remote_runner;
   /// Checkpoint journal path; empty disables journaling.
   std::string checkpoint_path;
   /// Load journaled results for this spec and skip those points.

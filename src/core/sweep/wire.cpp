@@ -8,15 +8,13 @@
 
 namespace qps::sweep {
 
-namespace {
-
-std::string hex_u64(std::uint64_t v) {
+std::string encode_hex_u64(std::uint64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
   return buf;
 }
 
-std::optional<std::uint64_t> parse_hex_u64(const std::string& s) {
+std::optional<std::uint64_t> decode_hex_u64(const std::string& s) {
   if (s.empty() || s.size() > 16) return std::nullopt;
   std::uint64_t v = 0;
   for (const char c : s) {
@@ -30,8 +28,6 @@ std::optional<std::uint64_t> parse_hex_u64(const std::string& s) {
   }
   return v;
 }
-
-}  // namespace
 
 std::string encode_request(std::size_t index) {
   return "{\"point\": " + std::to_string(index) + "}\n";
@@ -51,7 +47,7 @@ std::string encode_result(const std::string& sweep_name,
                           const RunningStats& stats) {
   const double m2 = stats.sum_squared_deviations();
   std::string line = "{\"sweep\": " + json_quote(sweep_name) +
-                     ", \"fp\": " + json_quote(hex_u64(fingerprint)) +
+                     ", \"fp\": " + json_quote(encode_hex_u64(fingerprint)) +
                      ", \"point\": " + std::to_string(point.index) +
                      ", \"id\": " + json_quote(point.id) +
                      ", \"count\": " + std::to_string(stats.count()) +
@@ -67,7 +63,7 @@ std::optional<WireResult> decode_result(std::string_view line) {
     const JsonValue v = JsonValue::parse(line);
     WireResult result;
     result.sweep = v.at("sweep").as_string();
-    const auto fp = parse_hex_u64(v.at("fp").as_string());
+    const auto fp = decode_hex_u64(v.at("fp").as_string());
     if (!fp) return std::nullopt;
     result.fingerprint = *fp;
     result.index = static_cast<std::size_t>(v.at("point").as_uint64());

@@ -24,6 +24,15 @@
 
 namespace qps::sweep {
 
+/// `v` as a fixed-width lowercase hex string ("%016x"); the encoding used
+/// for fingerprints and seeds everywhere a uint64 crosses the wire or the
+/// journal, since a JSON number (double) cannot carry 64 bits exactly.
+std::string encode_hex_u64(std::uint64_t v);
+
+/// Inverts encode_hex_u64 (also accepts shorter strings); nullopt on any
+/// non-hex character or on more than 16 digits.
+std::optional<std::uint64_t> decode_hex_u64(const std::string& s);
+
 /// A decoded result line.
 struct WireResult {
   std::string sweep;

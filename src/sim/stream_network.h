@@ -1,0 +1,119 @@
+// A byte-stream fake network over the discrete-event simulator.
+//
+// Where sim/network.h models datagram message passing for the quorum
+// protocols, StreamNetwork models what the socket worker protocol
+// actually runs on: ordered, connection-oriented byte streams with no
+// message boundaries.  One server (the sweep coordinator) accepts any
+// number of client connections (workers); bytes written to a direction
+// are delivered to the peer's data handler as chunks after a sampled
+// latency, with per-direction FIFO enforced (a chunk is never delivered
+// before an earlier one, whatever latencies were drawn -- TCP semantics).
+//
+// The fault surface is exactly what the protocol must survive:
+//
+//  * segmentation -- `max_chunk` splits writes into arbitrarily small
+//    deliveries (1 byte in the adversarial tests), exercising line
+//    reassembly across partial reads;
+//  * partition -- a direction silently black-holes everything while
+//    `partitioned` is set: the connection looks alive but no bytes (or
+//    close) arrive, which is how dead-worker timeouts get exercised;
+//  * death -- close() delivers an orderly EOF to the peer after the
+//    in-flight bytes, like a kernel flushing a dead process's socket.
+//
+// Everything is deterministic given the Rng seed, so every protocol
+// failure scenario is a plain ctest case, not a flaky multi-host repro.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace qps::sim {
+
+/// Shaping and fault knobs of one direction of one connection; mutable at
+/// any time through the accessors below.
+struct StreamFaults {
+  LatencyModel latency;        ///< Per-chunk delay; default fixed 1 ms.
+  std::size_t max_chunk = 0;   ///< Split writes into pieces <= this (0 = off).
+  bool partitioned = false;    ///< Black-hole bytes and closes while set.
+};
+
+class StreamNetwork {
+ public:
+  using ConnId = std::uint64_t;
+  using OpenHandler = std::function<void(ConnId)>;
+  using DataHandler = std::function<void(ConnId, const std::string& bytes)>;
+  using CloseHandler = std::function<void(ConnId)>;
+
+  StreamNetwork(Simulator& simulator, Rng& rng);
+
+  /// Template applied to both directions of every subsequent connect();
+  /// the way tests impose shaping (e.g. 1-byte segmentation) on a
+  /// connection's very first bytes, before they could grab its ConnId.
+  void set_default_faults(const StreamFaults& faults) {
+    default_faults_ = faults;
+  }
+
+  /// Installs the server (coordinator) side.  `on_open` fires when a
+  /// client's connect reaches the server; `on_data`/`on_close` carry
+  /// client-to-server traffic.
+  void set_server(OpenHandler on_open, DataHandler on_data,
+                  CloseHandler on_close);
+
+  /// Opens a client connection; the server's open handler runs after the
+  /// connect latency, and `on_data`/`on_close` carry server-to-client
+  /// traffic.
+  ConnId connect(DataHandler on_data, CloseHandler on_close);
+
+  void send_to_server(ConnId conn, std::string bytes);
+  void send_to_client(ConnId conn, std::string bytes);
+
+  /// Closes the connection from one side: the closer stops receiving
+  /// immediately; the peer sees EOF after the bytes already in flight.
+  void close(ConnId conn, bool from_server);
+
+  /// Fault knobs, addressable per connection and direction.  Valid until
+  /// the connection is fully closed.
+  StreamFaults& to_server(ConnId conn);
+  StreamFaults& to_client(ConnId conn);
+
+  std::uint64_t chunks_delivered() const { return chunks_delivered_; }
+  std::uint64_t bytes_black_holed() const { return bytes_black_holed_; }
+
+ private:
+  struct Direction {
+    StreamFaults faults;
+    double clock = 0.0;  ///< FIFO floor: no delivery before this instant.
+  };
+  struct Conn {
+    DataHandler client_data;
+    CloseHandler client_close;
+    bool server_alive = true;  ///< Server side still delivers/receives.
+    bool client_alive = true;
+    Direction to_server;
+    Direction to_client;
+  };
+
+  /// Next delivery instant on `direction`, respecting FIFO order.
+  double stamp(Direction& direction);
+  void send(ConnId conn, bool to_server, std::string bytes);
+  void maybe_erase(ConnId conn);
+
+  Simulator* simulator_;
+  Rng* rng_;
+  OpenHandler server_open_;
+  DataHandler server_data_;
+  CloseHandler server_close_;
+  std::map<ConnId, Conn> conns_;
+  StreamFaults default_faults_;
+  ConnId next_id_ = 1;
+  std::uint64_t chunks_delivered_ = 0;
+  std::uint64_t bytes_black_holed_ = 0;
+};
+
+}  // namespace qps::sim

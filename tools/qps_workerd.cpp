@@ -1,0 +1,199 @@
+// qps_workerd: generic remote sweep worker daemon.
+//
+// Unlike a bench re-invoked with --connect (which rebuilds its sweep from
+// its own argv), this daemon knows nothing about any particular sweep: it
+// advertises the standard evaluator registry (core/sweep/evaluators.h) in
+// its hello, receives the serialized SweepSpec inside the coordinator's
+// welcome, re-derives the spec fingerprint and refuses to serve on any
+// disagreement, then evaluates requested points until bye.  Results are
+// bit-identical to the coordinator computing the same points itself.
+//
+// Two modes:
+//
+//   qps_workerd --connect HOST:PORT[,HOST:PORT...]
+//       Dials each coordinator in turn and serves whatever sweeps appear,
+//       re-dialing between sweeps; exits 0 once every address has refused
+//       connections --max-connect-failures consecutive times (the
+//       coordinators are gone -- the job is over).
+//
+//   qps_workerd --listen[=PORT]
+//       Binds (port 0 by default -- the kernel picks a free one), reports
+//       "listening on 127.0.0.1:PORT" on stdout, and serves accepted
+//       coordinator connections forever (a job server dials workers it
+//       was given via --dial).
+//
+// A protocol-version mismatch is fatal (exit 3) with both versions named:
+// mixed-version fleets must fail fast, not mis-parse frames.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/net/messages.h"
+#include "core/net/socket.h"
+#include "core/net/socket_sweep.h"
+#include "core/net/worker.h"
+#include "core/sweep/evaluators.h"
+#include "util/flags.h"
+
+namespace {
+
+std::string node_name() {
+  char host[256] = "worker";
+  ::gethostname(host, sizeof host - 1);
+  return std::string(host) + ":" + std::to_string(::getpid());
+}
+
+bool is_version_mismatch(const std::string& error) {
+  return error.find("protocol version mismatch") != std::string::npos;
+}
+
+struct DaemonOptions {
+  std::size_t dp_threads = 0;
+  double retry_seconds = 0.5;
+  int max_connect_failures = 20;
+};
+
+/// Serves one established connection; returns the outcome and exits the
+/// process on a version mismatch.
+qps::net::ServeOutcome serve_once(qps::net::TcpStream& stream,
+                                  const qps::net::Hello& hello,
+                                  const qps::net::SweepBinder& binder,
+                                  const std::string& peer) {
+  std::string error;
+  const qps::net::ServeOutcome outcome =
+      qps::net::serve_connection(stream, hello, binder, &error);
+  switch (outcome) {
+    case qps::net::ServeOutcome::kServedBye:
+      std::cerr << "qps_workerd: sweep complete (" << peer << ")\n";
+      break;
+    case qps::net::ServeOutcome::kDeclinedRetry:
+      std::cerr << "qps_workerd: declined by " << peer << ": " << error
+                << "\n";
+      break;
+    case qps::net::ServeOutcome::kDeclinedFatal:
+      std::cerr << "qps_workerd: fatally declined by " << peer << ": "
+                << error << "\n";
+      if (is_version_mismatch(error)) std::exit(3);
+      break;
+    case qps::net::ServeOutcome::kLost:
+      std::cerr << "qps_workerd: lost " << peer << ": " << error << "\n";
+      if (is_version_mismatch(error)) std::exit(3);
+      break;
+    default:
+      break;
+  }
+  return outcome;
+}
+
+int run_connect_mode(const std::vector<std::string>& addresses,
+                     const qps::net::Hello& hello,
+                     const qps::net::SweepBinder& binder,
+                     const DaemonOptions& options) {
+  std::vector<std::string> hosts(addresses.size());
+  std::vector<std::uint16_t> ports(addresses.size());
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    if (!qps::net::parse_host_port(addresses[i], hosts[i], ports[i])) {
+      std::cerr << "qps_workerd: bad --connect address '" << addresses[i]
+                << "' (want HOST:PORT)\n";
+      return 2;
+    }
+  }
+
+  std::vector<int> failures(addresses.size(), 0);
+  for (;;) {
+    bool all_gone = true;
+    for (std::size_t i = 0; i < addresses.size(); ++i) {
+      if (failures[i] > options.max_connect_failures) continue;
+      all_gone = false;
+      qps::net::TcpStream stream =
+          qps::net::TcpStream::connect(hosts[i], ports[i]);
+      if (!stream.valid()) {
+        ++failures[i];
+        continue;
+      }
+      failures[i] = 0;
+      serve_once(stream, hello, binder, addresses[i]);
+    }
+    if (all_gone) {
+      std::cerr << "qps_workerd: no coordinator reachable; exiting\n";
+      return 0;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.retry_seconds));
+  }
+}
+
+int run_listen_mode(std::uint16_t port, const qps::net::Hello& hello,
+                    const qps::net::SweepBinder& binder) {
+  qps::net::TcpListener listener = qps::net::TcpListener::bind(port);
+  if (!listener.valid()) {
+    std::cerr << "qps_workerd: cannot bind port "
+              << (port == 0 ? std::string("(any)") : std::to_string(port))
+              << "\n";
+    return 2;
+  }
+  // Scripts parse this line to learn the kernel-chosen port.
+  std::cout << "listening on 127.0.0.1:" << listener.port() << std::endl;
+  for (;;) {
+    qps::net::TcpStream stream = listener.accept();
+    if (!stream.valid()) continue;
+    serve_once(stream, hello, binder, "coordinator");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  qps::Flags flags(argc, argv);
+  DaemonOptions options;
+  options.dp_threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  options.retry_seconds = flags.get_double("retry-seconds", 0.5);
+  options.max_connect_failures =
+      static_cast<int>(flags.get_int("max-connect-failures", 20));
+  const std::string connect = flags.get_string("connect", "");
+  const bool listen = flags.has("listen");
+  const std::string listen_value = flags.get_string("listen", "true");
+  const auto unused = flags.unused();
+  if (!unused.empty() || (connect.empty() == !listen)) {
+    std::cerr << "usage: qps_workerd --connect HOST:PORT[,HOST:PORT...] "
+                 "| --listen[=PORT]\n"
+                 "       [--threads N] [--retry-seconds S] "
+                 "[--max-connect-failures N]\n";
+    return 2;
+  }
+
+  qps::net::Hello hello;
+  hello.node = node_name();
+  hello.evaluators = qps::sweep::standard_evaluator_ids();
+  const qps::net::SweepBinder binder =
+      qps::net::registry_binder(options.dp_threads);
+
+  if (!connect.empty()) {
+    std::vector<std::string> addresses;
+    for (std::size_t start = 0; start < connect.size();) {
+      std::size_t comma = connect.find(',', start);
+      if (comma == std::string::npos) comma = connect.size();
+      if (comma > start) addresses.push_back(connect.substr(start, comma - start));
+      start = comma + 1;
+    }
+    return run_connect_mode(addresses, hello, binder, options);
+  }
+
+  std::uint16_t port = 0;
+  if (listen_value != "true") {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(listen_value.c_str(), &end, 10);
+    if (end == listen_value.c_str() || *end != '\0' || value > 65535) {
+      std::cerr << "qps_workerd: --listen expects a port, got '"
+                << listen_value << "'\n";
+      return 2;
+    }
+    port = static_cast<std::uint16_t>(value);
+  }
+  return run_listen_mode(port, hello, binder);
+}
