@@ -50,6 +50,8 @@
 #include "core/engine/parallel_estimator.h"
 #include "core/net/socket.h"
 #include "core/net/socket_sweep.h"
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
 #include "core/sweep/sweep_report.h"
 #include "core/sweep/sweep_runner.h"
 #include "core/sweep/sweep_spec.h"
@@ -84,6 +86,16 @@ struct BenchContext {
   bool worker_mode = false;      // hidden: this process serves one sweep
   std::string worker_sweep;      // hidden: which sweep to serve
   std::vector<std::string> command;  // original argv, for worker re-exec
+
+  // Observability (core/obs/).  --trace FILE records Chrome/Perfetto
+  // trace_event JSON for the whole run; --metrics-json FILE dumps the
+  // metrics registry snapshot at exit; --progress prints a throttled
+  // points-done/trials-per-second line to stderr during sweeps.  None of
+  // these touch stdout or the computation, so reports and sweep results
+  // stay byte-identical with them on or off.
+  std::string trace_path;         // empty = no trace
+  std::string metrics_json_path;  // empty = no metrics dump
+  bool progress = false;
 
   // Distributed sweeps (core/net/).
   bool listen = false;             // --listen[=PORT]: run as job server
@@ -147,6 +159,17 @@ inline std::string& sweep_filters_description() {
   return description;
 }
 
+/// Output paths for the at-exit observability writers (std::atexit takes a
+/// captureless function, so the paths live in these statics).
+inline std::string& trace_output_path() {
+  static std::string path;
+  return path;
+}
+inline std::string& metrics_output_path() {
+  static std::string path;
+  return path;
+}
+
 }  // namespace detail
 
 inline BenchContext parse_context(int argc, char** argv) {
@@ -204,6 +227,9 @@ inline BenchContext parse_context(int argc, char** argv) {
   ctx.net_timeout = flags.get_double("net-timeout", ctx.net_timeout);
   ctx.net_heartbeat = flags.get_double("net-heartbeat", ctx.net_heartbeat);
   ctx.net_local_fallback = !flags.get_bool("no-local-fallback", false);
+  ctx.trace_path = flags.get_string("trace", "");
+  ctx.metrics_json_path = flags.get_string("metrics-json", "");
+  ctx.progress = flags.get_bool("progress", false);
   const auto unused = flags.unused();
   if (!unused.empty()) {
     std::cerr << "unknown flag --" << unused.front()
@@ -211,7 +237,7 @@ inline BenchContext parse_context(int argc, char** argv) {
                  "--target-sem --execution --json --workers --checkpoint "
                  "--resume --point --family --size --listen --connect "
                  "--dial --net-timeout --net-heartbeat "
-                 "--no-local-fallback)\n";
+                 "--no-local-fallback --trace --metrics-json --progress)\n";
     std::exit(2);
   }
   if ((ctx.listen && (ctx.workers > 0 || !ctx.connect_address.empty())) ||
@@ -248,6 +274,34 @@ inline BenchContext parse_context(int argc, char** argv) {
     std::cerr << "--resume needs --checkpoint FILE\n";
     std::exit(2);
   }
+  // Observability sinks are written at exit so one file covers the whole
+  // harness (every sweep, every estimator run), including early std::exit
+  // paths like worker mode.
+  if (!ctx.trace_path.empty()) {
+    if (!obs::kTraceCompiled)
+      std::cerr << "--trace: tracing is compiled out (QPS_OBS_TRACE=0); the "
+                   "trace will be empty\n";
+    obs::TraceRecorder::instance().enable();
+    detail::trace_output_path() = ctx.trace_path;
+    std::atexit(+[] {
+      if (!obs::TraceRecorder::instance().write_json(
+              detail::trace_output_path()))
+        std::cerr << "failed writing --trace path "
+                  << detail::trace_output_path() << "\n";
+    });
+  }
+  if (!ctx.metrics_json_path.empty()) {
+    if (!obs::kMetricsCompiled)
+      std::cerr << "--metrics-json: metrics are compiled out "
+                   "(QPS_OBS_METRICS=0); the snapshot will be empty\n";
+    detail::metrics_output_path() = ctx.metrics_json_path;
+    std::atexit(+[] {
+      if (!obs::MetricsRegistry::instance().write_json(
+              detail::metrics_output_path()))
+        std::cerr << "failed writing --metrics-json path "
+                  << detail::metrics_output_path() << "\n";
+    });
+  }
   // Filters that match no sweep of the whole harness must not look like
   // success; the at-exit hook turns them into exit 2.  Worker subprocesses
   // are exempt: they serve runner-dispatched points and never consult the
@@ -271,12 +325,21 @@ inline BenchContext parse_context(int argc, char** argv) {
   }
 
   // Remember argv for worker re-exec, minus the worker-mode flags the
-  // runner adds itself.
+  // runner adds itself and the observability sinks, which are
+  // per-process: a worker inheriting --trace/--metrics-json would clobber
+  // the coordinator's files at exit, and --progress lines would
+  // interleave.  Value-taking flags accept both --flag=V and --flag V, so
+  // the bare form skips the following value token too.
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--worker" || arg.rfind("--worker=", 0) == 0 ||
-        arg.rfind("--sweep", 0) == 0)
+        arg.rfind("--sweep", 0) == 0 || arg.rfind("--progress=", 0) == 0 ||
+        arg.rfind("--trace=", 0) == 0 || arg.rfind("--metrics-json=", 0) == 0)
       continue;
+    if (arg == "--trace" || arg == "--metrics-json" || arg == "--progress") {
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) ++i;
+      continue;
+    }
     ctx.command.push_back(arg);
   }
   return ctx;
@@ -381,6 +444,7 @@ inline std::vector<sweep::PointResult> run_sweep(
   options.workers = ctx.workers;
   options.checkpoint_path = ctx.checkpoint_path;
   options.resume = ctx.resume;
+  options.progress = ctx.progress;
   options.point_filter = ctx.point_filter;
   options.family_filter = ctx.family_filter;
   options.size_filter = ctx.size_filter;

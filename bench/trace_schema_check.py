@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Validate a --trace artifact as a loadable Chrome/Perfetto trace.
+
+Usage: trace_schema_check.py TRACE_JSON [--require SPAN_NAME ...]
+
+Checks that the file is one JSON document in the trace_event format
+(https://ui.perfetto.dev opens it directly): a top-level object with a
+"traceEvents" array whose entries carry name/cat/ph/ts/pid/tid, complete
+spans ("ph" == "X") a numeric "dur", and instants ("ph" == "i") a scope.
+Timestamps must be sorted, which the recorder guarantees and downstream
+diffing relies on.  Each --require NAME asserts at least one event with
+that name exists, so CI can prove a layer (engine batch, sweep point, net
+session) actually emitted its spans into the uploaded artifact.
+
+Exit code doubles as the CI gate: 0 clean, 1 on any violation, 2 usage.
+"""
+import json
+import sys
+
+ALLOWED_PHASES = {"X", "i"}
+
+
+def fail(message: str) -> int:
+    print(f"trace_schema_check: {message}")
+    return 1
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if not args or "--require" in args[:1]:
+        print(f"usage: {sys.argv[0]} TRACE_JSON [--require SPAN_NAME ...]")
+        return 2
+    path = args[0]
+    required = []
+    rest = args[1:]
+    while rest:
+        if rest[0] != "--require" or len(rest) < 2:
+            print(f"usage: {sys.argv[0]} TRACE_JSON [--require SPAN_NAME ...]")
+            return 2
+        required.append(rest[1])
+        rest = rest[2:]
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(f"{path}: not readable JSON: {error}")
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return fail(f"{path}: want an object with a 'traceEvents' array")
+
+    events = doc["traceEvents"]
+    seen = {}
+    previous_ts = None
+    for k, event in enumerate(events):
+        where = f"{path}: traceEvents[{k}]"
+        if not isinstance(event, dict):
+            return fail(f"{where}: not an object")
+        for field, kinds in (("name", str), ("cat", str), ("ph", str),
+                             ("ts", (int, float)), ("pid", int), ("tid", int)):
+            if not isinstance(event.get(field), kinds):
+                return fail(f"{where}: missing or mistyped '{field}'")
+        phase = event["ph"]
+        if phase not in ALLOWED_PHASES:
+            return fail(f"{where}: unexpected phase '{phase}'")
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            return fail(f"{where}: complete span without numeric 'dur'")
+        if phase == "i" and not isinstance(event.get("s"), str):
+            return fail(f"{where}: instant without scope 's'")
+        if previous_ts is not None and event["ts"] < previous_ts:
+            return fail(f"{where}: timestamps not sorted "
+                        f"({event['ts']} after {previous_ts})")
+        previous_ts = event["ts"]
+        seen[event["name"]] = seen.get(event["name"], 0) + 1
+
+    missing = [name for name in required if name not in seen]
+    if missing:
+        return fail(f"{path}: required span(s) absent: {missing}; "
+                    f"present: {sorted(seen)}")
+
+    summary = ", ".join(f"{name} x{seen[name]}" for name in sorted(seen))
+    print(f"{path}: {len(events)} event(s) valid"
+          + (f" ({summary})" if summary else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

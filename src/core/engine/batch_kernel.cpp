@@ -2,22 +2,42 @@
 
 #include <algorithm>
 
+#include "core/obs/metrics.h"
 #include "core/strategy.h"
 #include "util/stats.h"
 
 namespace qps {
+
+namespace {
+
+struct KernelMetrics {
+  obs::Counter& trials =
+      obs::MetricsRegistry::instance().counter("engine/bitsliced_trials");
+  obs::Counter& blocks =
+      obs::MetricsRegistry::instance().counter("engine/bitsliced_blocks");
+
+  static KernelMetrics& get() {
+    static KernelMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 void run_bit_sliced_trials(const ProbeStrategy& strategy,
                            BatchTrialBlock& block,
                            const std::uint64_t* trial_green_masks,
                            std::size_t trial_count, std::size_t universe_size,
                            RunningStats& out) {
+  KernelMetrics& metrics = KernelMetrics::get();
+  metrics.trials.add(trial_count);
   for (std::size_t offset = 0; offset < trial_count;
        offset += BatchTrialBlock::kLanes) {
     const std::size_t lanes =
         std::min(BatchTrialBlock::kLanes, trial_count - offset);
     block.load(trial_green_masks + offset, lanes, universe_size);
     strategy.run_batch(block);
+    metrics.blocks.increment();
     for (std::size_t lane = 0; lane < lanes; ++lane)
       out.add(static_cast<double>(block.probe_count(lane)));
   }

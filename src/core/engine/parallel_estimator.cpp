@@ -7,6 +7,8 @@
 
 #include "core/engine/parallel_for.h"
 #include "core/engine/trial_workspace.h"
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
 #include "core/probe_session.h"
 #include "core/witness.h"
 #include "util/require.h"
@@ -14,6 +16,24 @@
 namespace qps {
 
 namespace {
+
+// Engine metrics, registered once.  All are per-batch (a batch is ~1024
+// trials), so the per-trial overhead of metrics is a fraction of an atomic.
+struct EngineMetrics {
+  obs::Counter& trials =
+      obs::MetricsRegistry::instance().counter("engine/trials");
+  obs::Counter& batches =
+      obs::MetricsRegistry::instance().counter("engine/batches");
+  obs::Counter& early_stops =
+      obs::MetricsRegistry::instance().counter("engine/early_stops");
+  obs::Histogram& merge_wait_us =
+      obs::MetricsRegistry::instance().histogram("engine/merge_wait_us");
+
+  static EngineMetrics& get() {
+    static EngineMetrics metrics;
+    return metrics;
+  }
+};
 
 // Shared state of one run(): per-batch results plus the in-order merge
 // frontier.  Workers deposit finished batches; whoever completes the batch
@@ -88,6 +108,7 @@ RunningStats ParallelEstimator::run_batches(
            merged.sem() <= options_.target_sem;
   };
 
+  EngineMetrics& metrics = EngineMetrics::get();
   const auto worker = [&] {
     // Per-worker state (e.g. the trial workspace) lives in the batch
     // function made here, once per thread.
@@ -105,12 +126,28 @@ RunningStats ParallelEstimator::run_batches(
         const std::size_t end =
             begin + batch_size < trials ? begin + batch_size : trials;
         Rng rng = Rng::for_stream(options_.seed, k);
+        QPS_TRACE_SPAN("engine/batch", "engine");
         batch_fn(begin, end, rng, batch);
+        metrics.batches.increment();
+        metrics.trials.add(end - begin);
       } catch (...) {
         error = std::current_exception();
       }
 
-      std::lock_guard<std::mutex> lock(state.mutex);
+      // The merge-wait histogram records how long workers queue on the
+      // merge mutex: the direct measurement of merge contention the
+      // lock-free refactor (ROADMAP) needs a baseline for.
+      std::uint64_t wait_us = 0;
+      if constexpr (obs::kMetricsCompiled) {
+        const std::uint64_t t0 = obs::monotonic_us();
+        state.mutex.lock();
+        wait_us = obs::monotonic_us() - t0;
+      } else {
+        state.mutex.lock();
+      }
+      std::lock_guard<std::mutex> lock(state.mutex, std::adopt_lock);
+      if constexpr (obs::kMetricsCompiled)
+        metrics.merge_wait_us.record(wait_us);
       state.results[k] = batch;
       state.errors[k] = error;
       state.done[k] = 1;
@@ -126,6 +163,7 @@ RunningStats ParallelEstimator::run_batches(
         }
         state.merged.merge(state.results[i]);
         if (stop_satisfied(state.merged)) {
+          metrics.early_stops.increment();
           state.stop.store(true, std::memory_order_relaxed);
           return;
         }

@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "core/engine/parallel_for.h"
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
 #include "util/require.h"
 
 namespace qps::exact {
@@ -14,6 +16,24 @@ namespace qps::exact {
 namespace {
 
 constexpr std::size_t kMaxUniverse = 22;  // characteristic-table ceiling
+
+// Shared by every DpKernel<Policy> instantiation: one set of exact-solver
+// metrics, registered on first solve.
+struct DpMetrics {
+  obs::Counter& solves =
+      obs::MetricsRegistry::instance().counter("exact/solves");
+  obs::Counter& levels =
+      obs::MetricsRegistry::instance().counter("exact/levels");
+  obs::Histogram& level_us =
+      obs::MetricsRegistry::instance().histogram("exact/level_us");
+  obs::Gauge& frontier_bytes =
+      obs::MetricsRegistry::instance().gauge("exact/frontier_bytes");
+
+  static DpMetrics& get() {
+    static DpMetrics metrics;
+    return metrics;
+  }
+};
 
 /// States per parallel chunk.  Chunk boundaries are a pure function of the
 /// level size, never of the thread count, and every chunk writes disjoint
@@ -160,6 +180,9 @@ DpKernel<Policy>::DpKernel(const QuorumSystem& system, Policy policy,
 
 template <class Policy>
 void DpKernel<Policy>::solve() {
+  QPS_TRACE_SPAN("exact/solve", "exact");
+  DpMetrics& metrics = DpMetrics::get();
+  metrics.solves.increment();
   ThreadPool pool(options_.threads);
 
   std::vector<Value> values_next;
@@ -168,6 +191,9 @@ void DpKernel<Policy>::solve() {
   std::vector<double> weights_cur;
 
   for (std::size_t k = n_ + 1; k-- > 0;) {
+    QPS_TRACE_SPAN("exact/level", "exact");
+    std::uint64_t level_t0 = 0;
+    if constexpr (obs::kMetricsCompiled) level_t0 = obs::monotonic_us();
     const std::size_t total = dp_state_count(n_, k);
     values_cur.assign(total, Value{});
     if constexpr (Policy::kWeighted) {
@@ -191,6 +217,15 @@ void DpKernel<Policy>::solve() {
                       });
     values_next = std::move(values_cur);
     if constexpr (Policy::kWeighted) weights_next = std::move(weights_cur);
+    metrics.levels.increment();
+    if constexpr (obs::kMetricsCompiled) {
+      metrics.level_us.record(obs::monotonic_us() - level_t0);
+      // Live DP frontier: the level just produced, plus its weights when
+      // the policy carries them.
+      metrics.frontier_bytes.set(static_cast<std::int64_t>(
+          values_next.size() * sizeof(Value) +
+          (Policy::kWeighted ? weights_next.size() * sizeof(double) : 0)));
+    }
   }
   root_value_ = values_next[0];
 }

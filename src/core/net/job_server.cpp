@@ -4,10 +4,48 @@
 #include <exception>
 #include <limits>
 
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
 #include "core/sweep/wire.h"
 #include "util/require.h"
 
 namespace qps::net {
+
+namespace {
+
+// Process-wide mirrors of the engine's per-instance counters.  Each event
+// has exactly one increment site, shared with the per-instance bump, so
+// the --metrics-json dump and the engine's own accounting (the per-sweep
+// stderr line) can never disagree.
+struct NetMetrics {
+  obs::Counter& sessions_opened =
+      obs::MetricsRegistry::instance().counter("net/sessions_opened");
+  obs::Counter& sessions_closed =
+      obs::MetricsRegistry::instance().counter("net/sessions_closed");
+  obs::Counter& handshakes =
+      obs::MetricsRegistry::instance().counter("net/handshakes");
+  obs::Counter& dispatches =
+      obs::MetricsRegistry::instance().counter("net/dispatches");
+  obs::Counter& requeues =
+      obs::MetricsRegistry::instance().counter("net/requeues");
+  obs::Counter& duplicates_ignored =
+      obs::MetricsRegistry::instance().counter("net/duplicates_ignored");
+  obs::Counter& worker_timeouts =
+      obs::MetricsRegistry::instance().counter("net/worker_timeouts");
+  obs::Counter& protocol_errors =
+      obs::MetricsRegistry::instance().counter("net/protocol_errors");
+  obs::Counter& results_from_workers =
+      obs::MetricsRegistry::instance().counter("net/results_from_workers");
+  obs::Histogram& heartbeat_gap_us =
+      obs::MetricsRegistry::instance().histogram("net/heartbeat_gap_us");
+
+  static NetMetrics& get() {
+    static NetMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
 
 JobServerEngine::JobServerEngine(const std::vector<sweep::SweepPoint>& points,
                                  std::string sweep_name,
@@ -30,6 +68,8 @@ JobServerEngine::JobServerEngine(const std::vector<sweep::SweepPoint>& points,
 void JobServerEngine::on_open(SessionId session, double now) {
   Session& s = sessions_[session];
   s.opened_at = s.last_activity = now;
+  NetMetrics::get().sessions_opened.increment();
+  obs::TraceRecorder::instance().record_instant("net/session_open", "net");
 }
 
 void JobServerEngine::on_bytes(SessionId session, std::string_view bytes,
@@ -53,8 +93,12 @@ void JobServerEngine::on_bytes(SessionId session, std::string_view bytes,
 void JobServerEngine::on_close(SessionId session, double /*now*/) {
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) return;
-  if (it->second.busy) pending_.push_front(it->second.in_flight);
+  if (it->second.busy) {
+    pending_.push_front(it->second.in_flight);
+    NetMetrics::get().requeues.increment();
+  }
   sessions_.erase(it);
+  NetMetrics::get().sessions_closed.increment();
   dispatch();
 }
 
@@ -70,13 +114,13 @@ void JobServerEngine::on_tick(double now) {
   }
   for (const SessionId id : expired) {
     ++workers_timed_out_;
+    NetMetrics::get().worker_timeouts.increment();
     kill(id, "timed out");
   }
 }
 
 void JobServerEngine::handle_line(SessionId session, const std::string& line,
                                   double now) {
-  (void)now;
   JsonValue value;
   try {
     value = JsonValue::parse(line);
@@ -101,8 +145,18 @@ void JobServerEngine::handle_line(SessionId session, const std::string& line,
       handle_result(session, line);
       return;
     case LineKind::kHeartbeat:
-      if (s.state != Session::State::kActive)
+      if (s.state != Session::State::kActive) {
         kill(session, "heartbeat before handshake");
+        return;
+      }
+      // Observed heartbeat cadence per session: the driver clock gap
+      // between consecutive heartbeats, in microseconds.  A worker under
+      // load (or a congested path) shows up as gaps well above the
+      // advertised interval, long before the timeout fires.
+      if (s.last_heartbeat > 0.0 && now > s.last_heartbeat)
+        NetMetrics::get().heartbeat_gap_us.record(
+            static_cast<std::uint64_t>((now - s.last_heartbeat) * 1e6));
+      s.last_heartbeat = now;
       return;  // liveness already refreshed in on_bytes
     default:
       kill(session, "unexpected frame");
@@ -162,12 +216,15 @@ void JobServerEngine::handle_hello(SessionId session, const JsonValue& value) {
   Session& s = sessions_.at(session);
   s.state = Session::State::kActive;
   s.node = hello->node;
+  NetMetrics::get().handshakes.increment();
+  obs::TraceRecorder::instance().record_instant("net/session_active", "net");
   outbox_.push_back({session, encode_welcome(welcome), false});
   // A worker that joins after the last point was handed out (or after the
   // sweep finished entirely) would otherwise idle forever.
   if (done()) {
     outbox_.push_back({session, encode_bye(), true});
     sessions_.erase(session);
+    NetMetrics::get().sessions_closed.increment();
     return;
   }
   dispatch();
@@ -190,8 +247,10 @@ void JobServerEngine::handle_result(SessionId session,
     // original worker of a reassigned point finishing late.  Results are
     // pure functions of the point, so dropping the copy is lossless.
     ++duplicates_ignored_;
+    NetMetrics::get().duplicates_ignored.increment();
   } else {
     ++results_from_workers_;
+    NetMetrics::get().results_from_workers.increment();
     record(result->index, result->stats);
   }
   if (!done()) dispatch();
@@ -213,8 +272,13 @@ void JobServerEngine::kill(SessionId session, const std::string& reason) {
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) return;
   ++protocol_errors_;
-  if (it->second.busy) pending_.push_front(it->second.in_flight);
+  NetMetrics::get().protocol_errors.increment();
+  if (it->second.busy) {
+    pending_.push_front(it->second.in_flight);
+    NetMetrics::get().requeues.increment();
+  }
   sessions_.erase(it);
+  NetMetrics::get().sessions_closed.increment();
   outbox_.push_back({session, std::string(), true});
   dispatch();
 }
@@ -226,6 +290,7 @@ void JobServerEngine::decline(SessionId session, const std::string& error,
   welcome.error = error;
   welcome.retry = retry;
   sessions_.erase(session);
+  NetMetrics::get().sessions_closed.increment();
   outbox_.push_back({session, encode_welcome(welcome), true});
 }
 
@@ -236,14 +301,17 @@ void JobServerEngine::dispatch() {
     s.busy = true;
     s.in_flight = pending_.front();
     pending_.pop_front();
+    NetMetrics::get().dispatches.increment();
     outbox_.push_back({id, sweep::encode_request(s.in_flight), false});
     if (pending_.empty()) return;
   }
 }
 
 void JobServerEngine::broadcast_bye() {
-  for (const auto& [id, s] : sessions_)
+  for (const auto& [id, s] : sessions_) {
     outbox_.push_back({id, encode_bye(), true});
+    NetMetrics::get().sessions_closed.increment();
+  }
   sessions_.clear();
 }
 

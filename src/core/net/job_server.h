@@ -124,6 +124,9 @@ class JobServerEngine {
     std::size_t in_flight = 0;
     double opened_at = 0.0;
     double last_activity = 0.0;
+    /// Driver time of the previous heartbeat; feeds the observed
+    /// heartbeat-gap histogram (0 until the first heartbeat lands).
+    double last_heartbeat = 0.0;
   };
 
   void handle_line(SessionId session, const std::string& line, double now);

@@ -2,6 +2,8 @@
 
 #include <poll.h>
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -10,10 +12,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <utility>
 
 #include "core/net/framing.h"
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
 #include "core/sweep/spec_codec.h"
 #include "util/require.h"
 
@@ -44,6 +49,9 @@ class HeartbeatThread {
         // A failed heartbeat means the peer is gone; the read loop will
         // notice on its own, so the failure needs no handling here.
         stream_.send_all(encode_heartbeat());
+        static obs::Counter& heartbeats_sent =
+            obs::MetricsRegistry::instance().counter("net/heartbeats_sent");
+        heartbeats_sent.increment();
       }
     });
   }
@@ -95,6 +103,7 @@ void run_socket_sweep(TcpListener& listener,
   QPS_REQUIRE(listener.valid(), "job server needs a bound listener");
   QPS_REQUIRE(!options.local_fallback || static_cast<bool>(local_eval),
               "local fallback needs an evaluator");
+  QPS_TRACE_SPAN("net/serve_sweep", "net");
 
   const std::size_t total = pending.size();
   JobServerEngine engine(points, sweep_name, fingerprint, std::move(pending),
@@ -219,7 +228,10 @@ void run_socket_sweep(TcpListener& listener,
     if (options.local_fallback && engine.session_count() == 0 &&
         !engine.done()) {
       if (const auto index = engine.take_local_point()) {
-        engine.complete_local(*index, local_eval(points[*index]));
+        {
+          QPS_TRACE_SPAN("sweep/point", "sweep");
+          engine.complete_local(*index, local_eval(points[*index]));
+        }
         ++local_points;
         deliver();
       }
@@ -231,12 +243,29 @@ void run_socket_sweep(TcpListener& listener,
 
   // One grep-able accounting line per sweep: CI asserts work really went
   // through the socket path (and how much was recovered from faults).
-  std::cerr << "sweep " << sweep_name << ": job server done, " << total
-            << " point(s): " << engine.results_from_workers()
-            << " from workers, " << local_points << " local, "
-            << engine.duplicates_ignored() << " duplicate(s) ignored, "
-            << engine.workers_timed_out() << " worker timeout(s), "
-            << engine.protocol_errors() << " protocol error(s)\n";
+  // Every number comes from the engine's counters -- which increment at
+  // the same single site as their net/* metric mirrors -- and the line
+  // goes out as one buffer through one write(2), so it can neither
+  // disagree with --metrics-json nor interleave with other writers.
+  std::ostringstream line;
+  line << "sweep " << sweep_name << ": job server done, " << total
+       << " point(s): " << engine.results_from_workers() << " from workers, "
+       << local_points << " local, " << engine.duplicates_ignored()
+       << " duplicate(s) ignored, " << engine.workers_timed_out()
+       << " worker timeout(s), " << engine.protocol_errors()
+       << " protocol error(s)\n";
+  const std::string text = line.str();
+  const char* data = text.data();
+  std::size_t left = text.size();
+  while (left > 0) {
+    const ssize_t n = ::write(STDERR_FILENO, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    data += static_cast<std::size_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
 }
 
 sweep::RemoteRunner make_socket_remote_runner(
@@ -301,7 +330,11 @@ ServeOutcome serve_connection(TcpStream& stream, const Hello& hello,
         case WorkerEngine::Event::Kind::kEvaluate: {
           if (event.index >= points.size())
             return fail(ServeOutcome::kLost, "request index out of range");
-          const RunningStats stats = eval(points[event.index]);
+          RunningStats stats;
+          {
+            QPS_TRACE_SPAN("sweep/point", "sweep");
+            stats = eval(points[event.index]);
+          }
           const std::string reply =
               engine.result_line(points[event.index], stats);
           std::lock_guard<std::mutex> lock(write_mutex);

@@ -1,0 +1,177 @@
+#include "core/obs/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "core/obs/metrics.h"
+#include "util/json.h"
+
+namespace qps::obs {
+
+namespace {
+
+/// Sentinel duration marking an instant event ("ph":"i").
+constexpr std::uint64_t kInstantDuration = ~std::uint64_t{0};
+
+struct Event {
+  const char* name;
+  const char* category;
+  std::uint64_t start_us;
+  std::uint64_t duration_us;
+};
+
+/// One thread's buffer.  The owning thread appends under the ring mutex
+/// (uncontended except against a concurrent to_json/clear); capacity is
+/// reserved up front so appends never allocate.
+struct Ring {
+  explicit Ring(std::uint32_t tid_in) : tid(tid_in) {
+    events.reserve(TraceRecorder::kRingCapacity);
+  }
+  std::mutex mutex;
+  std::vector<Event> events;
+  std::uint64_t dropped = 0;
+  std::uint32_t tid;
+};
+
+}  // namespace
+
+struct TraceRecorder::Impl {
+  std::mutex mutex;                          // guards the ring list
+  std::vector<std::unique_ptr<Ring>> rings;  // rings outlive their threads
+
+  Ring& ring_for_this_thread() {
+    thread_local Ring* ring = nullptr;
+    if (ring == nullptr) {
+      std::lock_guard<std::mutex> lock(mutex);
+      rings.push_back(
+          std::make_unique<Ring>(static_cast<std::uint32_t>(rings.size() + 1)));
+      ring = rings.back().get();
+    }
+    return *ring;
+  }
+
+  void append(const Event& event) {
+    Ring& ring = ring_for_this_thread();
+    std::lock_guard<std::mutex> lock(ring.mutex);
+    if (ring.events.size() >= TraceRecorder::kRingCapacity) {
+      ++ring.dropped;
+      return;
+    }
+    ring.events.push_back(event);
+  }
+};
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceRecorder::Impl& TraceRecorder::impl() const {
+  // Intentionally leaked: rings are first created by whichever thread
+  // records first, which can be after a client registered an atexit trace
+  // writer -- a destroyed ring list under that writer would be a
+  // use-after-free.  The process exit reclaims the memory.
+  static Impl* impl = new Impl;
+  return *impl;
+}
+
+std::uint64_t TraceSpan::now_us() noexcept { return monotonic_us(); }
+
+void TraceRecorder::record_span(const char* name, const char* category,
+                                std::uint64_t start_us,
+                                std::uint64_t duration_us) noexcept {
+  if (!enabled()) return;
+  if (duration_us == kInstantDuration) --duration_us;  // keep the sentinel
+  impl().append({name, category, start_us, duration_us});
+}
+
+void TraceRecorder::record_instant(const char* name,
+                                   const char* category) noexcept {
+  if (!enabled()) return;
+  impl().append({name, category, monotonic_us(), kInstantDuration});
+}
+
+std::string TraceRecorder::to_json() const {
+  struct Tagged {
+    Event event;
+    std::uint32_t tid;
+  };
+  std::vector<Tagged> all;
+  {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    for (const auto& ring : i.rings) {
+      std::lock_guard<std::mutex> ring_lock(ring->mutex);
+      for (const Event& event : ring->events)
+        all.push_back({event, ring->tid});
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.event.start_us < b.event.start_us;
+                   });
+
+  const int pid = static_cast<int>(::getpid());
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t k = 0; k < all.size(); ++k) {
+    const Event& e = all[k].event;
+    out << (k ? ",\n" : "\n") << "{\"name\": " << json_quote(e.name)
+        << ", \"cat\": " << json_quote(e.category) << ", \"ph\": ";
+    if (e.duration_us == kInstantDuration)
+      out << "\"i\", \"s\": \"t\"";
+    else
+      out << "\"X\", \"dur\": " << e.duration_us;
+    out << ", \"ts\": " << e.start_us << ", \"pid\": " << pid
+        << ", \"tid\": " << all[k].tid << "}";
+  }
+  out << (all.empty() ? "" : "\n") << "]}\n";
+  return out.str();
+}
+
+bool TraceRecorder::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json();
+  return static_cast<bool>(out.flush());
+}
+
+void TraceRecorder::clear() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (const auto& ring : i.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    ring->events.clear();
+    ring->dropped = 0;
+  }
+}
+
+std::uint64_t TraceRecorder::dropped() const noexcept {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::uint64_t total = 0;
+  for (const auto& ring : i.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  std::size_t total = 0;
+  for (const auto& ring : i.rings) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    total += ring->events.size();
+  }
+  return total;
+}
+
+}  // namespace qps::obs

@@ -1,0 +1,130 @@
+// Trace-span recording in Chrome/Perfetto trace_event JSON.
+//
+// TraceRecorder collects complete spans ("ph":"X") and instant events
+// ("ph":"i") into fixed-capacity per-thread ring buffers; to_json()
+// merges every thread's events, sorted by timestamp, into one
+// {"traceEvents": [...]} document that chrome://tracing and
+// https://ui.perfetto.dev open directly.
+//
+// The hot-path contract mirrors the metrics registry:
+//
+//  * Compile-time kill switch: with QPS_OBS_TRACE=0 the QPS_TRACE_SPAN
+//    macro expands to nothing and enabled() is a constant false, so every
+//    instrumented scope compiles to exactly the uninstrumented code.
+//  * Runtime kill switch: recording is off until enable(); a disabled
+//    span construction is one relaxed atomic load and no clock read.
+//  * Bounded memory: each thread buffer holds kRingCapacity events; once
+//    full, new events are dropped (and counted) rather than grown -- a
+//    runaway span site can cost accuracy, never memory or latency.
+//
+// Spans never affect the traced computation (no RNG, no allocation on the
+// recording path after a ring's first event, timestamps only), which is
+// what lets CI demand byte-identical sweep output with tracing on and off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#ifndef QPS_OBS_TRACE
+#define QPS_OBS_TRACE 1
+#endif
+
+namespace qps::obs {
+
+/// True when trace spans are compiled in (QPS_OBS_TRACE != 0).
+inline constexpr bool kTraceCompiled = QPS_OBS_TRACE != 0;
+
+class TraceRecorder {
+ public:
+  /// Events kept per thread before new ones are dropped.
+  static constexpr std::size_t kRingCapacity = 1 << 16;
+
+  static TraceRecorder& instance();
+
+  void enable() noexcept {
+    enabled_flag().store(true, std::memory_order_relaxed);
+  }
+  void disable() noexcept {
+    enabled_flag().store(false, std::memory_order_relaxed);
+  }
+  /// The one check on the hot path: constant false when compiled out.
+  static bool enabled() noexcept {
+    if constexpr (kTraceCompiled)
+      return enabled_flag().load(std::memory_order_relaxed);
+    else
+      return false;
+  }
+
+  /// Records one complete span.  `name` and `category` must be string
+  /// literals (or otherwise outlive the recorder): only the pointers are
+  /// stored.
+  void record_span(const char* name, const char* category,
+                   std::uint64_t start_us, std::uint64_t duration_us) noexcept;
+  /// Records one instant event at the current time.
+  void record_instant(const char* name, const char* category) noexcept;
+
+  /// Every recorded event as one Chrome trace_event JSON document,
+  /// sorted by timestamp.
+  std::string to_json() const;
+  /// to_json() to `path`; false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Discards every recorded event (buffers stay registered).
+  void clear();
+  /// Events dropped across all threads because a ring was full.
+  std::uint64_t dropped() const noexcept;
+  /// Events currently held across all threads.
+  std::size_t event_count() const;
+
+ private:
+  TraceRecorder() = default;
+  static std::atomic<bool>& enabled_flag() noexcept {
+    static std::atomic<bool> flag{false};
+    return flag;
+  }
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// RAII span: stamps the start on construction (when recording is on) and
+/// records the completed span on destruction.  Use through QPS_TRACE_SPAN.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category) noexcept {
+    if (TraceRecorder::enabled()) {
+      name_ = name;
+      category_ = category;
+      start_us_ = now_us();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr)
+      TraceRecorder::instance().record_span(name_, category_, start_us_,
+                                            now_us() - start_us_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  static std::uint64_t now_us() noexcept;
+
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace qps::obs
+
+#if QPS_OBS_TRACE
+#define QPS_OBS_CONCAT_INNER(a, b) a##b
+#define QPS_OBS_CONCAT(a, b) QPS_OBS_CONCAT_INNER(a, b)
+/// Scoped span covering the rest of the enclosing block.
+#define QPS_TRACE_SPAN(name, category) \
+  ::qps::obs::TraceSpan QPS_OBS_CONCAT(qps_trace_span_, __COUNTER__)( \
+      name, category)
+#else
+#define QPS_TRACE_SPAN(name, category) \
+  do {                                 \
+  } while (false)
+#endif

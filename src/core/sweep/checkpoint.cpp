@@ -3,6 +3,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "core/obs/metrics.h"
 #include "core/sweep/wire.h"
 
 namespace qps::sweep {
@@ -45,6 +46,9 @@ void SweepCheckpoint::record(const SweepPoint& point,
       std::fflush(out_) != 0)
     throw std::runtime_error("failed writing checkpoint file " + path_);
   completed_[point.index] = stats;
+  static obs::Counter& writes =
+      obs::MetricsRegistry::instance().counter("sweep/checkpoint_writes");
+  writes.increment();
 }
 
 }  // namespace qps::sweep

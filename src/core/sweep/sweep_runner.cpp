@@ -6,11 +6,15 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <iostream>
 
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
 #include "core/sweep/checkpoint.h"
 #include "core/sweep/wire.h"
 #include "util/require.h"
@@ -18,6 +22,24 @@
 namespace qps::sweep {
 
 namespace {
+
+struct SweepMetrics {
+  obs::Counter& points_done =
+      obs::MetricsRegistry::instance().counter("sweep/points_done");
+  obs::Counter& points_requeued =
+      obs::MetricsRegistry::instance().counter("sweep/points_requeued");
+  obs::Counter& worker_dispatches =
+      obs::MetricsRegistry::instance().counter("sweep/worker_dispatches");
+  obs::Gauge& queue_depth =
+      obs::MetricsRegistry::instance().gauge("sweep/queue_depth");
+  obs::Gauge& workers_busy =
+      obs::MetricsRegistry::instance().gauge("sweep/workers_busy");
+
+  static SweepMetrics& get() {
+    static SweepMetrics metrics;
+    return metrics;
+  }
+};
 
 /// Writes the whole buffer, retrying on EINTR; false on any other error
 /// (e.g. EPIPE from a dead worker).
@@ -131,6 +153,93 @@ class ScopedSigpipeIgnore {
 
 }  // namespace
 
+/// Throttled stderr progress line (--progress): points done/total, rolling
+/// trials/sec sourced from the engine/trials counter, and an ETA from the
+/// points-per-second since the meter started.  Each update is one buffer
+/// and one write(2), so lines from concurrent processes never interleave
+/// mid-line, and nothing here touches stdout.
+class ProgressMeter {
+ public:
+  ProgressMeter(bool enabled, std::string sweep_name, std::size_t total,
+                std::size_t already_done)
+      : enabled_(enabled),
+        name_(std::move(sweep_name)),
+        total_(total),
+        done_(already_done),
+        initial_done_(already_done) {
+    if (!enabled_) return;
+    start_us_ = obs::monotonic_us();
+    last_emit_us_ = start_us_;
+    last_trials_ = engine_trials();
+  }
+
+  /// One point finished (any execution path).  Emits at most once per
+  /// second.
+  void point_done() {
+    ++done_;
+    if (enabled_) emit(false);
+  }
+
+  /// Final line, emitted unconditionally so the 100% state is always seen.
+  void finish() {
+    if (enabled_ && done_ > initial_done_) emit(true);
+  }
+
+ private:
+  static std::uint64_t engine_trials() {
+    return obs::MetricsRegistry::instance().counter("engine/trials").value();
+  }
+
+  void emit(bool force) {
+    const std::uint64_t now = obs::monotonic_us();
+    if (!force && now - last_emit_us_ < kMinIntervalUs) return;
+
+    const std::uint64_t trials = engine_trials();
+    const double window_s =
+        static_cast<double>(now - last_emit_us_) / 1e6;
+    const double rate =
+        window_s > 0.0
+            ? static_cast<double>(trials - last_trials_) / window_s
+            : 0.0;
+    last_emit_us_ = now;
+    last_trials_ = trials;
+
+    // ETA from the points completed by this run (checkpointed points were
+    // free and would bias the estimate).
+    const double elapsed_s = static_cast<double>(now - start_us_) / 1e6;
+    const std::size_t computed = done_ - initial_done_;
+    double eta_s = -1.0;
+    if (computed > 0 && done_ < total_)
+      eta_s = elapsed_s / static_cast<double>(computed) *
+              static_cast<double>(total_ - done_);
+
+    char line[256];
+    int len;
+    if (eta_s >= 0.0)
+      len = std::snprintf(line, sizeof line,
+                          "sweep %s: %zu/%zu points, %.3g trials/s, eta %.0fs\n",
+                          name_.c_str(), done_, total_, rate, eta_s);
+    else
+      len = std::snprintf(line, sizeof line,
+                          "sweep %s: %zu/%zu points, %.3g trials/s\n",
+                          name_.c_str(), done_, total_, rate);
+    if (len > 0)
+      write_all(STDERR_FILENO, line,
+                std::min(static_cast<std::size_t>(len), sizeof line - 1));
+  }
+
+  static constexpr std::uint64_t kMinIntervalUs = 1000000;
+
+  bool enabled_;
+  std::string name_;
+  std::size_t total_;
+  std::size_t done_;
+  std::size_t initial_done_;
+  std::uint64_t start_us_ = 0;
+  std::uint64_t last_emit_us_ = 0;
+  std::uint64_t last_trials_ = 0;
+};
+
 bool SweepOptions::selects(const SweepPoint& point) const {
   if (!point_filter.empty() && point.id != point_filter) return false;
   if (!family_filter.empty() && point.family != family_filter) return false;
@@ -181,8 +290,14 @@ std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
     }
   }
 
+  std::size_t already_done = 0;
+  for (const char h : have) already_done += static_cast<std::size_t>(h);
+  ProgressMeter progress(options_.progress, spec_.name(), points.size(),
+                         already_done);
+  SweepMetrics& metrics = SweepMetrics::get();
+
   if (options_.workers > 0)
-    run_sharded(points, have, results, checkpoint);
+    run_sharded(points, have, results, checkpoint, progress);
 
   // Distributed path: hand the still-missing indices to the injected hook.
   // The record sink is dedup-guarded (a badly-behaved hook reporting an
@@ -201,6 +316,8 @@ std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
         results[index].from_checkpoint = false;
         have[index] = 1;
         checkpoint.record(points[index], stats);
+        metrics.points_done.increment();
+        progress.point_done();
       };
       options_.remote_runner(spec_, points, std::move(pending), eval, record);
     }
@@ -210,23 +327,31 @@ std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
   // evaluate whatever is still missing, in index order.
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (have[i]) continue;
-    results[i].stats = eval(points[i]);
+    {
+      QPS_TRACE_SPAN("sweep/point", "sweep");
+      results[i].stats = eval(points[i]);
+    }
     have[i] = 1;
     checkpoint.record(points[i], results[i].stats);
+    metrics.points_done.increment();
+    progress.point_done();
   }
+  progress.finish();
   return results;
 }
 
 void SweepRunner::run_sharded(const std::vector<SweepPoint>& points,
                               std::vector<char>& have,
                               std::vector<PointResult>& results,
-                              SweepCheckpoint& checkpoint) const {
+                              SweepCheckpoint& checkpoint,
+                              ProgressMeter& progress) const {
   std::deque<std::size_t> pending;
   for (std::size_t i = 0; i < points.size(); ++i)
     if (!have[i]) pending.push_back(i);
   if (pending.empty()) return;
 
   ScopedSigpipeIgnore sigpipe_guard;
+  SweepMetrics& metrics = SweepMetrics::get();
   const std::uint64_t fingerprint = spec_.fingerprint();
 
   std::vector<WorkerProc> workers;
@@ -244,9 +369,17 @@ void SweepRunner::run_sharded(const std::vector<SweepPoint>& points,
     if (worker.busy) {
       pending.push_front(worker.in_flight);
       worker.busy = false;
+      metrics.points_requeued.increment();
     }
     if (worker.pid > 0) ::kill(worker.pid, SIGKILL);
     reap_worker(worker);
+  };
+
+  const auto update_gauges = [&] {
+    metrics.queue_depth.set(static_cast<std::int64_t>(pending.size()));
+    std::int64_t busy = 0;
+    for (const WorkerProc& worker : workers) busy += worker.busy ? 1 : 0;
+    metrics.workers_busy.set(busy);
   };
 
   std::size_t outstanding = pending.size();
@@ -269,9 +402,11 @@ void SweepRunner::run_sharded(const std::vector<SweepPoint>& points,
       }
       worker.busy = true;
       worker.in_flight = index;
+      metrics.worker_dispatches.increment();
       ++w;
     }
     if (workers.empty()) break;
+    update_gauges();
 
     std::vector<pollfd> fds;
     fds.reserve(workers.size());
@@ -314,6 +449,8 @@ void SweepRunner::run_sharded(const std::vector<SweepPoint>& points,
           checkpoint.record(points[result->index], result->stats);
           worker.busy = false;
           --outstanding;
+          metrics.points_done.increment();
+          progress.point_done();
         }
       }
       if (failed) {
@@ -334,6 +471,7 @@ void SweepRunner::run_sharded(const std::vector<SweepPoint>& points,
   // Clean shutdown: closing the request pipe EOFs each worker's serve()
   // loop, which exits 0.
   for (WorkerProc& worker : workers) reap_worker(worker);
+  update_gauges();
 }
 
 int SweepRunner::serve(const SweepSpec& spec, const PointEvaluator& eval,
@@ -358,7 +496,11 @@ int SweepRunner::serve(const SweepSpec& spec, const PointEvaluator& eval,
       buffer.erase(0, newline + 1);
       const auto index = decode_request(line);
       if (!index || *index >= points.size()) return 1;
-      const RunningStats stats = eval(points[*index]);
+      RunningStats stats;
+      {
+        QPS_TRACE_SPAN("sweep/point", "sweep");
+        stats = eval(points[*index]);
+      }
       const std::string reply =
           encode_result(spec.name(), fingerprint, points[*index], stats);
       if (!write_all(out_fd, reply.data(), reply.size())) return 1;

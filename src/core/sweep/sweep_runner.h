@@ -72,6 +72,11 @@ struct SweepOptions {
   RemoteRunner remote_runner;
   /// Checkpoint journal path; empty disables journaling.
   std::string checkpoint_path;
+  /// Emit a throttled progress line to stderr after each completed point:
+  /// points done/total, rolling trials/sec (from the engine/trials metric),
+  /// and an ETA.  Progress goes to stderr only, so stdout reports stay
+  /// byte-identical with it on or off.
+  bool progress = false;
   /// Load journaled results for this spec and skip those points.
   bool resume = false;
   /// When non-empty, only the point with exactly this id is evaluated and
@@ -128,7 +133,8 @@ class SweepRunner {
   /// the in-process path in run().
   void run_sharded(const std::vector<SweepPoint>& points,
                    std::vector<char>& have, std::vector<PointResult>& results,
-                   class SweepCheckpoint& checkpoint) const;
+                   class SweepCheckpoint& checkpoint,
+                   class ProgressMeter& progress) const;
 
   SweepSpec spec_;
   SweepOptions options_;

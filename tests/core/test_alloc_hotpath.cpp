@@ -21,7 +21,10 @@
 #include "core/algorithms/probe_maj.h"
 #include "core/algorithms/probe_tree.h"
 #include "core/algorithms/random_order.h"
+#include "core/engine/batch_kernel.h"
 #include "core/engine/trial_workspace.h"
+#include "core/obs/metrics.h"
+#include "util/stats.h"
 #include "quorum/crumbling_wall.h"
 #include "quorum/hqs.h"
 #include "quorum/majority.h"
@@ -226,6 +229,41 @@ TEST(ZeroAllocationHotPath, BitSlicedBatchKernelIsAllocationFree) {
         << c.strategy->name() << " on " << c.system->name();
     if (checksum == 0) std::abort();  // keep the counts alive
   }
+}
+
+TEST(ZeroAllocationHotPath, MetricsEnabledHotPathStaysAllocationFree) {
+  // The observability layer rides the hot path in default builds
+  // (QPS_OBS_METRICS=1): counters, histograms, and the instrumented
+  // bit-sliced kernel must all hold the zero-allocations-per-trial
+  // contract in the steady state.  Registration (first use of a name) may
+  // allocate; that happens in the warmup.
+  const MajoritySystem maj63(63);
+  const ProbeMaj probe_maj(maj63);
+  const std::size_t n = maj63.universe_size();
+  TrialWorkspace ws(n);
+  Rng rng(20010826);
+  constexpr std::size_t kBatch = 256;
+  std::uint64_t* masks = ws.coloring_masks(kBatch);
+
+  obs::Counter& counter =
+      obs::MetricsRegistry::instance().counter("test/alloc_hotpath_counter");
+  obs::Histogram& histogram = obs::MetricsRegistry::instance().histogram(
+      "test/alloc_hotpath_histogram");
+  RunningStats stats;
+
+  const auto run_batch = [&] {
+    sample_iid_coloring_words(masks, kBatch, n, 0.5, rng);
+    run_bit_sliced_trials(probe_maj, ws.batch_block(), masks, kBatch, n,
+                          stats);
+    counter.add(kBatch);
+    histogram.record(static_cast<std::uint64_t>(stats.count()));
+  };
+
+  run_batch();  // warmup: buffer growth and instrument registration
+  const std::size_t before = g_allocations.load();
+  for (int i = 0; i < 8; ++i) run_batch();
+  EXPECT_EQ(g_allocations.load() - before, 0u);
+  if (stats.count() == 0) std::abort();  // keep the results alive
 }
 
 TEST(ZeroAllocationHotPath, TheAllocationCounterItselfWorks) {

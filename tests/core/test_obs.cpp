@@ -1,0 +1,236 @@
+// Observability layer contracts (core/obs/): histogram bucket edges,
+// sharded-counter totals under concurrent writers (run under TSan in CI's
+// thread-sanitizer job via the Obs suite-name filter), registry identity
+// and kind checking, JSON snapshots parsing through util/json, and the
+// trace recorder's Chrome trace_event round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/obs/metrics.h"
+#include "core/obs/trace.h"
+#include "util/json.h"
+
+namespace qps::obs {
+namespace {
+
+TEST(ObsMetrics, HistogramBucketEdges) {
+  // Bucket 0 is exactly the value 0; bucket i holds the values of bit
+  // width i; the last bucket is the overflow sink.
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+
+  // Power-of-two boundaries: 2^(i-1) opens bucket i, 2^i - 1 closes it.
+  for (std::size_t i = 1; i + 1 < Histogram::kBuckets; ++i) {
+    const std::uint64_t lo = std::uint64_t{1} << (i - 1);
+    EXPECT_EQ(Histogram::bucket_index(lo), i) << "lower edge of bucket " << i;
+    EXPECT_EQ(Histogram::bucket_index(2 * lo - 1), i)
+        << "upper edge of bucket " << i;
+    EXPECT_EQ(Histogram::bucket_lower_bound(i), lo);
+  }
+  EXPECT_EQ(Histogram::bucket_lower_bound(0), 0u);
+
+  // Everything of bit width >= kBuckets - 1 lands in the overflow sink,
+  // up to and including the max representable value.
+  const std::uint64_t first_overflow = std::uint64_t{1}
+                                       << (Histogram::kBuckets - 2);
+  EXPECT_EQ(Histogram::bucket_index(first_overflow - 1),
+            Histogram::kBuckets - 2);
+  EXPECT_EQ(Histogram::bucket_index(first_overflow), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<std::uint64_t>::max()),
+            Histogram::kBuckets - 1);
+}
+
+TEST(ObsMetrics, HistogramRecordCountsSumsAndOverflows) {
+  if (!kMetricsCompiled) GTEST_SKIP() << "metrics writes compiled out";
+  Histogram h("test/edges");
+  h.record(0);
+  h.record(1);
+  h.record(7);
+  h.record(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.bucket_count(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.sum(), 0 + 1 + 7 + std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ObsMetrics, ShardedCounterMergesConcurrentWriters) {
+  if (!kMetricsCompiled) GTEST_SKIP() << "metrics writes compiled out";
+  Counter& counter =
+      MetricsRegistry::instance().counter("test/concurrent_adds");
+  const std::uint64_t before = counter.value();
+
+  // More writers than shards, each hammering its own shard, with a reader
+  // polling merged totals throughout: TSan (CI's thread-sanitizer job runs
+  // this suite) proves the relaxed-atomic scheme is race-free, and the
+  // final total proves no increment was lost to shard contention.
+  constexpr std::size_t kThreads = 3 * kCounterShards / 2;
+  constexpr std::uint64_t kAddsPerThread = 20000;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    writers.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) counter.increment();
+    });
+  std::thread reader([&counter, before] {
+    for (int i = 0; i < 1000; ++i) {
+      const std::uint64_t seen = counter.value();
+      ASSERT_GE(seen, before);
+      ASSERT_LE(seen - before, kThreads * kAddsPerThread);
+    }
+  });
+  for (std::thread& w : writers) w.join();
+  reader.join();
+  EXPECT_EQ(counter.value() - before, kThreads * kAddsPerThread);
+}
+
+TEST(ObsMetrics, HistogramIsSafeUnderConcurrentRecords) {
+  if (!kMetricsCompiled) GTEST_SKIP() << "metrics writes compiled out";
+  Histogram& h =
+      MetricsRegistry::instance().histogram("test/concurrent_records");
+  const std::uint64_t before_count = h.count();
+  const std::uint64_t before_sum = h.sum();
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kRecords = 10000;
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    writers.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kRecords; ++i) h.record(t);
+    });
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(h.count() - before_count, kThreads * kRecords);
+  std::uint64_t expected_sum = 0;
+  for (std::size_t t = 0; t < kThreads; ++t) expected_sum += t * kRecords;
+  EXPECT_EQ(h.sum() - before_sum, expected_sum);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  if (!kMetricsCompiled) GTEST_SKIP() << "metrics writes compiled out";
+  Gauge g("test/gauge");
+  EXPECT_EQ(g.value(), 0);
+  g.set(42);
+  EXPECT_EQ(g.value(), 42);
+  g.add(-50);
+  EXPECT_EQ(g.value(), -8);
+}
+
+TEST(ObsMetrics, RegistryReturnsSameInstrumentForSameName) {
+  Counter& a = MetricsRegistry::instance().counter("test/identity");
+  Counter& b = MetricsRegistry::instance().counter("test/identity");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ObsMetrics, RegistryRejectsKindMismatch) {
+  MetricsRegistry::instance().counter("test/kind_clash");
+  EXPECT_THROW(MetricsRegistry::instance().gauge("test/kind_clash"),
+               std::logic_error);
+  EXPECT_THROW(MetricsRegistry::instance().histogram("test/kind_clash"),
+               std::logic_error);
+}
+
+TEST(ObsMetrics, SnapshotJsonParsesAndCarriesValues) {
+  if (!kMetricsCompiled) GTEST_SKIP() << "metrics writes compiled out";
+  Counter& counter = MetricsRegistry::instance().counter("test/snap_counter");
+  Gauge& gauge = MetricsRegistry::instance().gauge("test/snap_gauge");
+  Histogram& histogram =
+      MetricsRegistry::instance().histogram("test/snap_histogram");
+  const std::uint64_t counter_before = counter.value();
+  counter.add(5);
+  gauge.set(-7);
+  histogram.record(3);
+
+  const JsonValue snapshot =
+      JsonValue::parse(MetricsRegistry::instance().snapshot_json());
+  EXPECT_EQ(snapshot.at("counters").at("test/snap_counter").as_uint64(),
+            counter_before + 5);
+  EXPECT_EQ(snapshot.at("gauges").at("test/snap_gauge").as_double(), -7.0);
+  const JsonValue& h = snapshot.at("histograms").at("test/snap_histogram");
+  EXPECT_GE(h.at("count").as_uint64(), 1u);
+  EXPECT_GE(h.at("sum").as_uint64(), 3u);
+  // Buckets are trimmed after the last non-empty one; value 3 lives in
+  // bucket 2, so at least three entries must survive.
+  EXPECT_GE(h.at("buckets").as_array().size(), 3u);
+}
+
+TEST(ObsTrace, SpansRoundTripThroughChromeJson) {
+  if (!kTraceCompiled) GTEST_SKIP() << "tracing compiled out";
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.enable();
+  recorder.clear();
+
+  // Spans from several threads plus an instant, all through the public
+  // macro / recorder surface.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([] {
+      QPS_TRACE_SPAN("test/worker_span", "test");
+    });
+  for (std::thread& t : threads) t.join();
+  {
+    QPS_TRACE_SPAN("test/outer_span", "test");
+  }
+  recorder.record_instant("test/instant", "test");
+  recorder.disable();
+
+  EXPECT_EQ(recorder.event_count(), 6u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+
+  const JsonValue doc = JsonValue::parse(recorder.to_json());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  const std::vector<JsonValue>& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 6u);
+
+  std::set<std::string> names;
+  std::uint64_t previous_ts = 0;
+  bool saw_instant = false;
+  for (const JsonValue& event : events) {
+    names.insert(event.at("name").as_string());
+    EXPECT_EQ(event.at("cat").as_string(), "test");
+    const std::uint64_t ts = event.at("ts").as_uint64();
+    EXPECT_GE(ts, previous_ts) << "events must be sorted by timestamp";
+    previous_ts = ts;
+    EXPECT_GT(event.at("pid").as_uint64(), 0u);
+    EXPECT_GT(event.at("tid").as_uint64(), 0u);
+    if (event.at("ph").as_string() == "X") {
+      EXPECT_TRUE(event.contains("dur"));
+    } else {
+      EXPECT_EQ(event.at("ph").as_string(), "i");
+      saw_instant = true;
+    }
+  }
+  EXPECT_TRUE(saw_instant);
+  EXPECT_EQ(names, (std::set<std::string>{"test/worker_span",
+                                          "test/outer_span", "test/instant"}));
+
+  recorder.clear();
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+TEST(ObsTrace, DisabledRecorderRecordsNothing) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.disable();
+  recorder.clear();
+  {
+    QPS_TRACE_SPAN("test/should_not_appear", "test");
+  }
+  recorder.record_instant("test/should_not_appear", "test");
+  EXPECT_EQ(recorder.event_count(), 0u);
+  // An empty trace is still a valid Chrome document.
+  const JsonValue doc = JsonValue::parse(recorder.to_json());
+  EXPECT_TRUE(doc.at("traceEvents").as_array().empty());
+}
+
+}  // namespace
+}  // namespace qps::obs

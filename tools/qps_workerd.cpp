@@ -22,6 +22,11 @@
 //       coordinator connections forever (a job server dials workers it
 //       was given via --dial).
 //
+// With --metrics-json FILE the daemon dumps its metrics registry snapshot
+// to FILE every --metrics-interval seconds (default 5), so an operator --
+// or the distributed-smoke CI job -- can watch evaluations, heartbeats,
+// and protocol counters while it serves.
+//
 // A protocol-version mismatch is fatal (exit 3) with both versions named:
 // mixed-version fleets must fail fast, not mis-parse frames.
 #include <unistd.h>
@@ -29,6 +34,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +43,7 @@
 #include "core/net/socket.h"
 #include "core/net/socket_sweep.h"
 #include "core/net/worker.h"
+#include "core/obs/metrics.h"
 #include "core/sweep/evaluators.h"
 #include "util/flags.h"
 
@@ -158,14 +165,26 @@ int main(int argc, char** argv) {
   const std::string connect = flags.get_string("connect", "");
   const bool listen = flags.has("listen");
   const std::string listen_value = flags.get_string("listen", "true");
+  const std::string metrics_json = flags.get_string("metrics-json", "");
+  const double metrics_interval = flags.get_double("metrics-interval", 5.0);
   const auto unused = flags.unused();
   if (!unused.empty() || (connect.empty() == !listen)) {
     std::cerr << "usage: qps_workerd --connect HOST:PORT[,HOST:PORT...] "
                  "| --listen[=PORT]\n"
                  "       [--threads N] [--retry-seconds S] "
-                 "[--max-connect-failures N]\n";
+                 "[--max-connect-failures N]\n"
+                 "       [--metrics-json FILE] [--metrics-interval S]\n";
     return 2;
   }
+
+  // Periodic (not just at-exit) dump: a daemon is typically killed, not
+  // exited, so the file must stay fresh while it serves.  Kept alive for
+  // the life of main; its destructor writes one final snapshot on the
+  // clean-exit paths.
+  std::unique_ptr<qps::obs::PeriodicMetricsDump> metrics_dump;
+  if (!metrics_json.empty())
+    metrics_dump = std::make_unique<qps::obs::PeriodicMetricsDump>(
+        metrics_json, metrics_interval);
 
   qps::net::Hello hello;
   hello.node = node_name();
