@@ -129,13 +129,21 @@ BENCHMARK(BM_ExactTreeExpectation)->Arg(8)->Arg(12)->Arg(16);
 //    (sample_iid_coloring_words), and the scratch-aware run_with() entry
 //    point.
 //  * Batch: the bit-sliced 64-trials-per-word kernel
-//    (core/engine/batch_kernel.h) -- transposed colorings, mask-arithmetic
-//    lane control, bit-sliced probe tallies.  Deterministic-order
-//    strategies only.
-// items_per_second is trials/sec.  CI pairs Generic/Hot and Hot/Batch by
-// suffix (bench/probe_throughput_schema.py), records the hot_vs_generic
-// and batch_vs_hot speedup series under stable metric names in
-// BENCH_micro_probe.json, and gates every speedup > 1.
+//    (core/engine/batch_kernel.h) pinned to the single-word table
+//    (--simd off's shape) -- transposed colorings, mask-arithmetic lane
+//    control, bit-sliced probe tallies.
+//  * Simd: the same batch kernel on the best compiled ISA
+//    (core/engine/simd.h, W lane words per pass), deterministic-order
+//    strategies -- the Batch/Simd pair isolates the widening win.
+//  * RandBatch: the batch kernel (best ISA) on the randomized-order
+//    strategies, which pre-draw per-lane permutations / plans and run on
+//    permuted colorings -- paired with Hot on the same strategy.
+// items_per_second is trials/sec.  CI pairs Generic/Hot, Hot/Batch,
+// Batch/Simd and Hot/RandBatch by suffix
+// (bench/probe_throughput_schema.py), records the hot_vs_generic,
+// batch_vs_hot, simd_vs_batch and randomized_batch_vs_hot speedup series
+// under stable metric names in BENCH_micro_probe.json, and gates every
+// speedup > 1.
 
 void run_generic_trials(benchmark::State& state, const QuorumSystem& system,
                         const ProbeStrategy& strategy, double p) {
@@ -170,32 +178,34 @@ void run_hot_trials(benchmark::State& state, const QuorumSystem& system,
 }
 
 void run_batch_trials(benchmark::State& state, const QuorumSystem& system,
-                      const ProbeStrategy& strategy, double p) {
+                      const ProbeStrategy& strategy, double p, SimdIsa isa) {
   const std::size_t n = system.universe_size();
-  constexpr std::size_t kBatch = 1024;
-  constexpr std::size_t kLanes = BatchTrialBlock::kLanes;
+  constexpr std::size_t kBatch = 4096;  // a multiple of every lane capacity
+  const SimdKernels& kernels = resolve_simd_kernels(isa);
   TrialWorkspace ws(n);
   Rng rng(17);
   std::uint64_t* masks = ws.coloring_masks(kBatch);
   BatchTrialBlock& block = ws.batch_block();
+  block.configure(kernels, n);
+  const std::size_t lanes = block.lane_capacity();
   std::size_t next = kBatch;
   std::uint64_t checksum = 0;
-  // One iteration = one 64-lane block, probe-count gather included (the
-  // engine reads every lane's count into its statistics).
+  // One iteration = one super-block of 64*W lanes, probe-count gather
+  // included (the engine reads every lane's count into its statistics).
   for (auto _ : state) {
     if (next == kBatch) {
       sample_iid_coloring_words(masks, kBatch, n, p, rng);
       next = 0;
     }
-    block.load(masks + next, kLanes, n);
-    strategy.run_batch(block);
-    for (std::size_t lane = 0; lane < kLanes; ++lane)
+    block.load(masks + next, lanes);
+    strategy.run_batch(block, rng);
+    for (std::size_t lane = 0; lane < lanes; ++lane)
       checksum += block.probe_count(lane);
-    next += kLanes;
+    next += lanes;
   }
   benchmark::DoNotOptimize(checksum);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(kLanes));
+                          static_cast<std::int64_t>(lanes));
 }
 
 void BM_ProbeTrials_Generic_Maj63(benchmark::State& state) {
@@ -215,9 +225,16 @@ BENCHMARK(BM_ProbeTrials_Hot_Maj63);
 void BM_ProbeTrials_Batch_Maj63(benchmark::State& state) {
   const MajoritySystem maj(63);
   const ProbeMaj strategy(maj);
-  run_batch_trials(state, maj, strategy, 0.5);
+  run_batch_trials(state, maj, strategy, 0.5, SimdIsa::kOff);
 }
 BENCHMARK(BM_ProbeTrials_Batch_Maj63);
+
+void BM_ProbeTrials_Simd_Maj63(benchmark::State& state) {
+  const MajoritySystem maj(63);
+  const ProbeMaj strategy(maj);
+  run_batch_trials(state, maj, strategy, 0.5, SimdIsa::kAuto);
+}
+BENCHMARK(BM_ProbeTrials_Simd_Maj63);
 
 void BM_ProbeTrials_Generic_RMaj63(benchmark::State& state) {
   const MajoritySystem maj(63);
@@ -259,9 +276,16 @@ BENCHMARK(BM_ProbeTrials_Hot_DetTree63);
 void BM_ProbeTrials_Batch_DetTree63(benchmark::State& state) {
   const TreeSystem tree(5);
   const ProbeTree strategy(tree);
-  run_batch_trials(state, tree, strategy, 0.5);
+  run_batch_trials(state, tree, strategy, 0.5, SimdIsa::kOff);
 }
 BENCHMARK(BM_ProbeTrials_Batch_DetTree63);
+
+void BM_ProbeTrials_Simd_DetTree63(benchmark::State& state) {
+  const TreeSystem tree(5);
+  const ProbeTree strategy(tree);
+  run_batch_trials(state, tree, strategy, 0.5, SimdIsa::kAuto);
+}
+BENCHMARK(BM_ProbeTrials_Simd_DetTree63);
 
 void BM_ProbeTrials_Generic_Hqs27(benchmark::State& state) {
   const HQSystem hqs(3);  // n = 27
@@ -280,9 +304,16 @@ BENCHMARK(BM_ProbeTrials_Hot_Hqs27);
 void BM_ProbeTrials_Batch_Hqs27(benchmark::State& state) {
   const HQSystem hqs(3);
   const ProbeHQS strategy(hqs);
-  run_batch_trials(state, hqs, strategy, 0.5);
+  run_batch_trials(state, hqs, strategy, 0.5, SimdIsa::kOff);
 }
 BENCHMARK(BM_ProbeTrials_Batch_Hqs27);
+
+void BM_ProbeTrials_Simd_Hqs27(benchmark::State& state) {
+  const HQSystem hqs(3);
+  const ProbeHQS strategy(hqs);
+  run_batch_trials(state, hqs, strategy, 0.5, SimdIsa::kAuto);
+}
+BENCHMARK(BM_ProbeTrials_Simd_Hqs27);
 
 void BM_ProbeTrials_Generic_Cw55(benchmark::State& state) {
   const CrumblingWall wall = CrumblingWall::triang(10);  // n = 55
@@ -308,9 +339,40 @@ BENCHMARK(BM_ProbeTrials_Hot_DetCw55);
 void BM_ProbeTrials_Batch_DetCw55(benchmark::State& state) {
   const CrumblingWall wall = CrumblingWall::triang(10);
   const ProbeCW strategy(wall);
-  run_batch_trials(state, wall, strategy, 0.5);
+  run_batch_trials(state, wall, strategy, 0.5, SimdIsa::kOff);
 }
 BENCHMARK(BM_ProbeTrials_Batch_DetCw55);
+
+void BM_ProbeTrials_Simd_DetCw55(benchmark::State& state) {
+  const CrumblingWall wall = CrumblingWall::triang(10);
+  const ProbeCW strategy(wall);
+  run_batch_trials(state, wall, strategy, 0.5, SimdIsa::kAuto);
+}
+BENCHMARK(BM_ProbeTrials_Simd_DetCw55);
+
+// Randomized-order strategies through the batch kernel (pre-drawn
+// per-lane permutations / plans, best ISA), paired with Hot on the same
+// strategy: the randomized_batch_vs_hot series.
+void BM_ProbeTrials_RandBatch_RMaj63(benchmark::State& state) {
+  const MajoritySystem maj(63);
+  const RProbeMaj strategy(maj);
+  run_batch_trials(state, maj, strategy, 0.5, SimdIsa::kAuto);
+}
+BENCHMARK(BM_ProbeTrials_RandBatch_RMaj63);
+
+void BM_ProbeTrials_RandBatch_Tree63(benchmark::State& state) {
+  const TreeSystem tree(5);
+  const RProbeTree strategy(tree);
+  run_batch_trials(state, tree, strategy, 0.5, SimdIsa::kAuto);
+}
+BENCHMARK(BM_ProbeTrials_RandBatch_Tree63);
+
+void BM_ProbeTrials_RandBatch_Cw55(benchmark::State& state) {
+  const CrumblingWall wall = CrumblingWall::triang(10);
+  const RProbeCW strategy(wall);
+  run_batch_trials(state, wall, strategy, 0.5, SimdIsa::kAuto);
+}
+BENCHMARK(BM_ProbeTrials_RandBatch_Cw55);
 
 // Engine-level counterpart: estimate_ppc end to end -- the generic run()
 // lambda, the scalar workspace hot path (the PR 4 default, pinned with

@@ -11,8 +11,13 @@ machine-comparable PR-over-PR instead of raw benchmark dumps.
 Benchmarks pair up by suffix:
   BM_ProbeTrials_Generic_X / BM_ProbeTrials_Hot_X  -> speedup/hot_vs_generic/X
   BM_ProbeTrials_Hot_X     / BM_ProbeTrials_Batch_X -> speedup/batch_vs_hot/X
+  BM_ProbeTrials_Batch_X   / BM_ProbeTrials_Simd_X  -> speedup/simd_vs_batch/X
+  BM_ProbeTrials_Hot_X     / BM_ProbeTrials_RandBatch_X
+                           -> speedup/randomized_batch_vs_hot/X
   BM_EstimatePpcGenericLambda / BM_EstimatePpcHotPath / BM_EstimatePpcBitSliced
                            -> the engine end-to-end series
+The Batch tier pins --simd off (one lane word) so simd_vs_batch isolates the
+wide-ISA gain; Simd and RandBatch run whatever ISA the dispatcher picks.
 Every speedup is gated > 1 (a path that stops beating its baseline fails
 the job); the exit code doubles as the CI gate.
 """
@@ -20,6 +25,7 @@ import json
 import sys
 
 GENERIC, HOT, BATCH = "_Generic_", "_Hot_", "_Batch_"
+SIMD, RANDBATCH = "_Simd_", "_RandBatch_"
 
 
 def main() -> int:
@@ -55,10 +61,16 @@ def main() -> int:
             record(case_of(name, HOT), "hot", rate[name])
         elif BATCH in name:
             record(case_of(name, BATCH), "batch", rate[name])
+        elif SIMD in name:
+            record(case_of(name, SIMD), "simd", rate[name])
+        elif RANDBATCH in name:
+            record(case_of(name, RANDBATCH), "randomized_batch", rate[name])
 
-    # Pairing is strict: a Generic benchmark without its Hot counterpart, or
-    # a Batch one without its Hot baseline, is a broken suite and must fail
-    # the job (KeyError), not silently drop the gate.
+    # Pairing is strict: a Generic benchmark without its Hot counterpart, a
+    # Batch one without its Hot baseline, a Simd one without its off-ISA
+    # Batch twin, or a RandBatch one without its scalar Hot baseline, is a
+    # broken suite and must fail the job (KeyError), not silently drop the
+    # gate.
     for name in sorted(rate):
         if GENERIC in name:
             case = case_of(name, GENERIC)
@@ -68,6 +80,14 @@ def main() -> int:
             case = case_of(name, BATCH)
             gate("batch_vs_hot", case, rate[name],
                  rate[name.replace(BATCH, HOT)])
+        elif SIMD in name:
+            case = case_of(name, SIMD)
+            gate("simd_vs_batch", case, rate[name],
+                 rate[name.replace(SIMD, BATCH)])
+        elif RANDBATCH in name:
+            case = case_of(name, RANDBATCH)
+            gate("randomized_batch_vs_hot", case, rate[name],
+                 rate[name.replace(RANDBATCH, HOT)])
 
     # Engine end-to-end (estimate_ppc on Maj63): generic lambda vs. scalar
     # hot path vs. the bit-sliced default.

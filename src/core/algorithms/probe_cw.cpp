@@ -43,43 +43,26 @@ Witness ProbeCW::run(ProbeSession& session, Rng& /*rng*/) const {
 }
 
 bool ProbeCW::supports_batch(std::size_t universe_size) const {
-  return universe_size == wall_->universe_size() && universe_size <= 64 &&
-         wall_->row_width(0) == 1;
+  return universe_size == wall_->universe_size() && wall_->row_width(0) == 1;
 }
 
-void ProbeCW::run_batch(BatchTrialBlock& block) const {
-  const CrumblingWall& wall = *wall_;
-  QPS_REQUIRE(block.universe_size() == wall.universe_size(),
+void ProbeCW::run_batch(BatchTrialBlock& block, Rng& /*rng*/) const {
+  QPS_REQUIRE(block.universe_size() == wall_->universe_size(),
               "batch block over the wrong universe");
-  QPS_REQUIRE(wall.row_width(0) == 1, "Probe_CW expects a width-1 top row");
-  const std::uint64_t all = block.lanes();
-  // Per-lane mode as a word: bit t set iff lane t's current witness color
-  // is green.  The top element seeds it; every lane probes the whole scan.
-  block.count_probe(all);
-  std::uint64_t mode = block.greens(wall.row_begin(0));
-  for (std::size_t row = 1; row < wall.row_count(); ++row) {
-    // Lanes scan the row left to right and drop out at their first
-    // mode-matching element; greens(e) ^ mode keeps exactly the
-    // still-unmatched lanes.
-    std::uint64_t scanning = all;
-    for (Element e = wall.row_begin(row);
-         e < wall.row_end(row) && scanning != 0; ++e) {
-      block.count_probe(scanning);
-      scanning &= block.greens(e) ^ mode;
-    }
-    // Lanes that matched nothing saw a monochromatic opposite row: flip.
-    mode ^= scanning;
-  }
+  QPS_REQUIRE(wall_->row_width(0) == 1, "Probe_CW expects a width-1 top row");
+  block.kernels().cw_scan(block.view(), row_offsets_.data(),
+                          wall_->row_count());
 }
 
 namespace {
 
 // Per-run scratch of R_Probe_CW: one same-colored representative per
 // scanned row, per color (the witness tail below a monochromatic row), and
-// a shuffle buffer for the current row.  Two flavors behind one interface:
-// word masks plus stack arrays when rows and widths fit in 64 (every
-// universe with n <= 64, so the hot path never touches the heap), heap
-// vectors for wider walls.
+// the pre-drawn row orders, concatenated by row (row r's shuffled elements
+// occupy row_elems[row_begin(r) .. row_end(r)), since rows partition
+// [0, n)).  Two flavors behind one interface: word masks plus stack arrays
+// when the rows and the universe fit in 64 (so the hot path never touches
+// the heap), heap vectors for wider walls.
 struct StackCwScratch {
   std::array<Element, 64> green_rep;
   std::array<Element, 64> red_rep;
@@ -111,12 +94,8 @@ struct HeapCwScratch {
       : green_rep(wall.row_count()),
         red_rep(wall.row_count()),
         has_green(wall.row_count(), 0),
-        has_red(wall.row_count(), 0) {
-    std::size_t widest = 0;
-    for (std::size_t row = 0; row < wall.row_count(); ++row)
-      widest = std::max(widest, wall.row_width(row));
-    row_elems.resize(widest);
-  }
+        has_red(wall.row_count(), 0),
+        row_elems(wall.universe_size()) {}
   bool green(std::size_t row) const { return has_green[row] != 0; }
   bool red(std::size_t row) const { return has_red[row] != 0; }
   void set_green(std::size_t row, Element e) {
@@ -135,14 +114,25 @@ Witness r_probe_cw_impl(const CrumblingWall& wall, ProbeSession& session,
   const std::size_t n = wall.universe_size();
   const std::size_t k = wall.row_count();
 
+  // Pre-draw every row's random order BEFORE any probing, in the scan's
+  // row order (bottom-up): the draw sequence is then independent of the
+  // trial's control flow (which row ends the scan), so the bit-sliced
+  // batch path can replicate it lane by lane and stay stream-identical to
+  // the scalar loop.  Orders of unscanned rows are simply never read.
   for (std::size_t row = k; row-- > 0;) {
     const std::size_t width = wall.row_width(row);
+    const Element base = wall.row_begin(row);
     for (std::size_t i = 0; i < width; ++i)
-      scratch.row_elems[i] = wall.row_begin(row) + static_cast<Element>(i);
-    rng.shuffle_span(scratch.row_elems.data(), width);
+      scratch.row_elems[base + i] = base + static_cast<Element>(i);
+    rng.shuffle_span(scratch.row_elems.data() + base, width);
+  }
+
+  for (std::size_t row = k; row-- > 0;) {
+    const std::size_t width = wall.row_width(row);
+    const Element base = wall.row_begin(row);
 
     for (std::size_t i = 0; i < width; ++i) {
-      const Element e = scratch.row_elems[i];
+      const Element e = scratch.row_elems[base + i];
       if (session.probe(e) == Color::kGreen)
         scratch.set_green(row, e);
       else
@@ -171,10 +161,9 @@ Witness r_probe_cw_impl(const CrumblingWall& wall, ProbeSession& session,
 }
 
 bool fits_stack_scratch(const CrumblingWall& wall) {
-  if (wall.row_count() > 64) return false;
-  for (std::size_t row = 0; row < wall.row_count(); ++row)
-    if (wall.row_width(row) > 64) return false;
-  return true;
+  // The concatenated row orders hold all n elements, and the per-row
+  // representative masks hold one bit per row (row_count <= n).
+  return wall.universe_size() <= 64;
 }
 
 }  // namespace
@@ -184,6 +173,40 @@ Witness RProbeCW::run(ProbeSession& session, Rng& rng) const {
   if (fits_stack_scratch(wall))
     return r_probe_cw_impl(wall, session, rng, StackCwScratch(wall));
   return r_probe_cw_impl(wall, session, rng, HeapCwScratch(wall));
+}
+
+bool RProbeCW::supports_batch(std::size_t universe_size) const {
+  // The batch scan, like the scalar one, relies on the width-1 top row to
+  // guarantee every lane meets a monochromatic row.
+  return universe_size == wall_->universe_size() && wall_->row_width(0) == 1;
+}
+
+void RProbeCW::run_batch(BatchTrialBlock& block, Rng& rng) const {
+  const CrumblingWall& wall = *wall_;
+  const std::size_t n = wall.universe_size();
+  QPS_REQUIRE(block.universe_size() == n,
+              "batch block over the wrong universe");
+  // Probing random row elements in stored order is probing stored elements
+  // of the within-row permuted coloring.  One concatenated permutation per
+  // lane, rows drawn bottom-up -- the exact draws run() makes per trial.
+  auto& perm = block.order_buffer();
+  perm.resize(n);
+  const std::uint64_t* src = block.trial_masks();
+  std::uint64_t* dst = block.scratch_masks();
+  const std::size_t stride = block.mask_words();
+  for (std::size_t t = 0; t < block.trial_count(); ++t) {
+    for (std::size_t row = wall.row_count(); row-- > 0;) {
+      const std::size_t width = wall.row_width(row);
+      const Element base = wall.row_begin(row);
+      for (std::size_t i = 0; i < width; ++i)
+        perm[base + i] = base + static_cast<Element>(i);
+      rng.shuffle_span(perm.data() + base, width);
+    }
+    permute_mask_words(src + t * stride, perm.data(), n, dst + t * stride);
+  }
+  block.use_scratch();
+  block.kernels().rcw_scan(block.view(), row_offsets_.data(),
+                           wall.row_count());
 }
 
 }  // namespace qps

@@ -12,36 +12,63 @@
 // max_j { n_j + sum_{i>j} ((n_i+1)/2 + 1/n_i) }.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/strategy.h"
 #include "quorum/crumbling_wall.h"
 
 namespace qps {
 
+namespace cw_detail {
+/// The wall's rows as a row_begin offset array (row_count+1 entries, rows
+/// partition [0, n) contiguously) -- the plain-array row layout the batch
+/// kernels (core/engine/simd.h) take.
+inline std::vector<std::uint32_t> row_offsets(const CrumblingWall& wall) {
+  std::vector<std::uint32_t> offsets;
+  offsets.reserve(wall.row_count() + 1);
+  for (std::size_t row = 0; row < wall.row_count(); ++row)
+    offsets.push_back(wall.row_begin(row));
+  offsets.push_back(static_cast<std::uint32_t>(wall.universe_size()));
+  return offsets;
+}
+}  // namespace cw_detail
+
 /// Fig. 5's deterministic top-down algorithm.  Within a row, elements are
 /// probed left to right (the order is irrelevant in the i.i.d. model).
 class ProbeCW final : public ProbeStrategy {
  public:
-  explicit ProbeCW(const CrumblingWall& wall) : wall_(&wall) {}
+  explicit ProbeCW(const CrumblingWall& wall)
+      : wall_(&wall), row_offsets_(cw_detail::row_offsets(wall)) {}
   std::string name() const override { return "Probe_CW"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
   /// Bit-sliced batch kernel: the top-down row scan with a per-lane mode
   /// word; lanes leave a row as soon as they match their mode.
   bool supports_batch(std::size_t universe_size) const override;
-  void run_batch(BatchTrialBlock& block) const override;
+  void run_batch(BatchTrialBlock& block, Rng& rng) const override;
 
  private:
   const CrumblingWall* wall_;
+  std::vector<std::uint32_t> row_offsets_;
 };
 
 /// Section 4.2's randomized bottom-up algorithm.
 class RProbeCW final : public ProbeStrategy {
  public:
-  explicit RProbeCW(const CrumblingWall& wall) : wall_(&wall) {}
+  explicit RProbeCW(const CrumblingWall& wall)
+      : wall_(&wall), row_offsets_(cw_detail::row_offsets(wall)) {}
   std::string name() const override { return "R_Probe_CW"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
+  /// Bit-sliced batch kernel: each lane's coloring is permuted by that
+  /// lane's pre-drawn within-row orders, then a bottom-up masked scan
+  /// probes each row until both colors are seen.  Draw-compatible with the
+  /// scalar entry point, which pre-draws all row orders up front too.
+  bool supports_batch(std::size_t universe_size) const override;
+  void run_batch(BatchTrialBlock& block, Rng& rng) const override;
 
  private:
   const CrumblingWall* wall_;
+  std::vector<std::uint32_t> row_offsets_;
 };
 
 }  // namespace qps

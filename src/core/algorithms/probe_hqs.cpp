@@ -67,16 +67,63 @@ Eval probe_hqs_rec(std::size_t level, std::size_t index,
 
 // -------------------------------------------------------------- R_Probe_HQS
 
-Eval r_probe_hqs_rec(std::size_t level, std::size_t index,
-                     ProbeSession& session, Rng& rng) {
+/// Gate index in the level-major enumeration (level height..1, index
+/// ascending): the levels above `level` contribute (3^(height-level)-1)/2
+/// gates.  Mirrors rhqs_gate in the batch kernels (simd_kernels.inc.h).
+std::size_t hqs_gate(std::size_t height, std::size_t level,
+                     std::size_t index) {
+  std::size_t pow3 = 1;
+  for (std::size_t j = level; j < height; ++j) pow3 *= 3;
+  return (pow3 - 1) / 2 + index;
+}
+
+// R_Probe_HQS pre-draws one random child order per gate, in gate-id order,
+// BEFORE the recursion starts: the draw sequence is then independent of the
+// trial's control flow (which gates get visited), so the bit-sliced batch
+// path can replicate it lane by lane and stay stream-identical to the
+// scalar loop.  Unvisited gates' orders are simply never read.  Each
+// gate's order is encoded as first*3 + second (relative child indices;
+// third = 3 - first - second).
+class HqsOrderBuffer {
+ public:
+  /// Fills one shuffled order per gate ((n-1)/2 gates) and returns the
+  /// buffer.  Stack storage up to 512 gates -- height 6, n = 729 -- so the
+  /// n <= 64 hot path stays allocation-free.
+  const std::uint8_t* draw(const HQSystem& hqs, Rng& rng) {
+    const std::size_t gates = (hqs.universe_size() - 1) / 2;
+    std::uint8_t* orders = stack_.data();
+    if (gates > stack_.size()) {
+      heap_.resize(gates);
+      orders = heap_.data();
+    }
+    for (std::size_t g = 0; g < gates; ++g) {
+      std::array<std::uint8_t, 3> ord = {0, 1, 2};
+      rng.shuffle_array(ord);
+      orders[g] = static_cast<std::uint8_t>(ord[0] * 3 + ord[1]);
+    }
+    return orders;
+  }
+
+ private:
+  std::array<std::uint8_t, 512> stack_;
+  std::vector<std::uint8_t> heap_;
+};
+
+Eval r_probe_hqs_rec(std::size_t height, std::size_t level, std::size_t index,
+                     ProbeSession& session, const std::uint8_t* orders) {
   if (level == 0) return leaf_eval(static_cast<Element>(index), session);
-  std::array<std::size_t, 3> order = {index * 3, index * 3 + 1, index * 3 + 2};
-  rng.shuffle_array(order);
-  Eval first = r_probe_hqs_rec(level - 1, order[0], session, rng);
-  Eval second = r_probe_hqs_rec(level - 1, order[1], session, rng);
+  const std::uint8_t code = orders[hqs_gate(height, level, index)];
+  const std::size_t c0 = code / 3;
+  const std::size_t c1 = code % 3;
+  const std::size_t c2 = 3 - c0 - c1;
+  Eval first = r_probe_hqs_rec(height, level - 1, index * 3 + c0, session,
+                               orders);
+  Eval second = r_probe_hqs_rec(height, level - 1, index * 3 + c1, session,
+                                orders);
   if (first.value == second.value)
     return merge_pair(std::move(first), second);
-  Eval third = r_probe_hqs_rec(level - 1, order[2], session, rng);
+  Eval third = r_probe_hqs_rec(height, level - 1, index * 3 + c2, session,
+                               orders);
   return merge_tiebreak(first, second, std::move(third));
 }
 
@@ -194,15 +241,21 @@ MaskEval probe_hqs_rec_mask(std::size_t level, std::size_t index,
   return merge_tiebreak_mask(first, second, third);
 }
 
-MaskEval r_probe_hqs_rec_mask(std::size_t level, std::size_t index,
-                              ProbeSession& session, Rng& rng) {
+MaskEval r_probe_hqs_rec_mask(std::size_t height, std::size_t level,
+                              std::size_t index, ProbeSession& session,
+                              const std::uint8_t* orders) {
   if (level == 0) return leaf_eval_mask(static_cast<Element>(index), session);
-  std::array<std::size_t, 3> order = {index * 3, index * 3 + 1, index * 3 + 2};
-  rng.shuffle_array(order);
-  MaskEval first = r_probe_hqs_rec_mask(level - 1, order[0], session, rng);
-  MaskEval second = r_probe_hqs_rec_mask(level - 1, order[1], session, rng);
+  const std::uint8_t code = orders[hqs_gate(height, level, index)];
+  const std::size_t c0 = code / 3;
+  const std::size_t c1 = code % 3;
+  const std::size_t c2 = 3 - c0 - c1;
+  MaskEval first =
+      r_probe_hqs_rec_mask(height, level - 1, index * 3 + c0, session, orders);
+  MaskEval second =
+      r_probe_hqs_rec_mask(height, level - 1, index * 3 + c1, session, orders);
   if (first.value == second.value) return merge_pair_mask(first, second);
-  MaskEval third = r_probe_hqs_rec_mask(level - 1, order[2], session, rng);
+  MaskEval third =
+      r_probe_hqs_rec_mask(height, level - 1, index * 3 + c2, session, orders);
   return merge_tiebreak_mask(first, second, third);
 }
 
@@ -262,30 +315,6 @@ MaskEval ir_eval_mask(std::size_t level, std::size_t index,
   return merge_tiebreak_mask(v1, v3, v2);
 }
 
-// ---- Bit-sliced batch kernel (64 trials per word) ------------------------
-// Probe_HQS's left-to-right gate evaluation with an active-lane mask: all
-// active lanes evaluate the first two children; only the lanes whose
-// children disagree evaluate the third.  Returns the gate-value word
-// (valid on the active lanes); the per-lane probed leaf set is exactly the
-// scalar evaluation's.
-std::uint64_t batch_hqs_rec(std::size_t level, std::size_t index,
-                            std::uint64_t active, BatchTrialBlock& block) {
-  if (active == 0) return 0;
-  if (level == 0) {
-    block.count_probe(active);
-    return block.greens(static_cast<Element>(index));
-  }
-  const std::uint64_t first =
-      batch_hqs_rec(level - 1, index * 3, active, block);
-  const std::uint64_t second =
-      batch_hqs_rec(level - 1, index * 3 + 1, active, block);
-  const std::uint64_t disagree = first ^ second;
-  const std::uint64_t third =
-      batch_hqs_rec(level - 1, index * 3 + 2, active & disagree, block);
-  // Agreeing children decide the gate; otherwise the third child does.
-  return (~disagree & first) | (disagree & third);
-}
-
 }  // namespace
 
 Witness ProbeHQS::run(ProbeSession& session, Rng& /*rng*/) const {
@@ -301,26 +330,60 @@ Witness ProbeHQS::run_with(TrialWorkspace& /*workspace*/,
 }
 
 bool ProbeHQS::supports_batch(std::size_t universe_size) const {
-  return universe_size == hqs_->universe_size() && universe_size <= 64;
+  return universe_size == hqs_->universe_size();
 }
 
-void ProbeHQS::run_batch(BatchTrialBlock& block) const {
+void ProbeHQS::run_batch(BatchTrialBlock& block, Rng& /*rng*/) const {
   QPS_REQUIRE(block.universe_size() == hqs_->universe_size(),
               "batch block over the wrong universe");
-  (void)batch_hqs_rec(hqs_->height(), 0, block.lanes(), block);
+  block.kernels().hqs_scan(block.view(), hqs_->height());
 }
 
 Witness RProbeHQS::run(ProbeSession& session, Rng& rng) const {
-  return materialize(r_probe_hqs_rec(hqs_->height(), 0, session, rng),
-                     hqs_->universe_size());
+  const std::size_t h = hqs_->height();
+  HqsOrderBuffer orders;
+  return materialize(
+      r_probe_hqs_rec(h, h, 0, session, orders.draw(*hqs_, rng)),
+      hqs_->universe_size());
 }
 
 Witness RProbeHQS::run_with(TrialWorkspace& /*workspace*/,
                             ProbeSession& session, Rng& rng) const {
   const std::size_t n = hqs_->universe_size();
-  if (n > 64) return run(session, rng);
-  return materialize_mask(r_probe_hqs_rec_mask(hqs_->height(), 0, session, rng),
-                          n);
+  const std::size_t h = hqs_->height();
+  HqsOrderBuffer orders;
+  const std::uint8_t* drawn = orders.draw(*hqs_, rng);
+  if (n > 64)
+    return materialize(r_probe_hqs_rec(h, h, 0, session, drawn), n);
+  return materialize_mask(r_probe_hqs_rec_mask(h, h, 0, session, drawn), n);
+}
+
+bool RProbeHQS::supports_batch(std::size_t universe_size) const {
+  return universe_size == hqs_->universe_size();
+}
+
+void RProbeHQS::run_batch(BatchTrialBlock& block, Rng& rng) const {
+  const std::size_t n = hqs_->universe_size();
+  QPS_REQUIRE(block.universe_size() == n,
+              "batch block over the wrong universe");
+  // Pre-draw every lane's gate orders, in trial order then gate order --
+  // the exact draws the scalar entry points make per trial -- into 6
+  // lane-mask words per gate: slot c = lanes that picked child c first,
+  // slot 3+c = lanes that picked it second.
+  const std::size_t gates = (n - 1) / 2;
+  const std::size_t w = block.width();
+  std::uint64_t* orders = block.plan_masks(gates * 6 * w);
+  for (std::size_t t = 0; t < block.trial_count(); ++t) {
+    const std::size_t kw = t / 64;
+    const std::uint64_t bit = 1ULL << (t % 64);
+    for (std::size_t g = 0; g < gates; ++g) {
+      std::array<std::uint8_t, 3> ord = {0, 1, 2};
+      rng.shuffle_array(ord);
+      orders[(g * 6 + ord[0]) * w + kw] |= bit;
+      orders[(g * 6 + 3 + ord[1]) * w + kw] |= bit;
+    }
+  }
+  block.kernels().rhqs_scan(block.view(), hqs_->height(), orders);
 }
 
 Witness IRProbeHQS::run(ProbeSession& session, Rng& rng) const {

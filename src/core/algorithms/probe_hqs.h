@@ -35,7 +35,7 @@ class ProbeHQS final : public ProbeStrategy {
   /// Bit-sliced batch kernel: one masked gate-tree walk, only the lanes
   /// whose first two children disagree visiting the third.
   bool supports_batch(std::size_t universe_size) const override;
-  void run_batch(BatchTrialBlock& block) const override;
+  void run_batch(BatchTrialBlock& block, Rng& rng) const override;
 
  private:
   const HQSystem* hqs_;
@@ -49,6 +49,13 @@ class RProbeHQS final : public ProbeStrategy {
   /// Allocation-free word-mask evaluation for n <= 64.
   Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
                    Rng& rng) const override;
+  /// Bit-sliced batch kernel: every lane's per-gate child orders are
+  /// pre-drawn as lane masks, then a two-phase masked walk evaluates each
+  /// lane's first two picks and, on disagreement, its third.
+  /// Draw-compatible with the scalar entry points, which pre-draw all gate
+  /// orders in gate order too.
+  bool supports_batch(std::size_t universe_size) const override;
+  void run_batch(BatchTrialBlock& block, Rng& rng) const override;
 
  private:
   const HQSystem* hqs_;

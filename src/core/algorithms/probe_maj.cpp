@@ -42,32 +42,17 @@ Witness ProbeMaj::run(ProbeSession& session, Rng& /*rng*/) const {
 }
 
 bool ProbeMaj::supports_batch(std::size_t universe_size) const {
-  return universe_size == system_->universe_size() && universe_size <= 64;
+  return universe_size == system_->universe_size();
 }
 
-void ProbeMaj::run_batch(BatchTrialBlock& block) const {
-  const std::size_t n = system_->universe_size();
-  QPS_REQUIRE(block.universe_size() == n,
+void ProbeMaj::run_batch(BatchTrialBlock& block, Rng& /*rng*/) const {
+  QPS_REQUIRE(block.universe_size() == system_->universe_size(),
               "batch block over the wrong universe");
-  const std::size_t threshold = system_->threshold();
   // Lock-step sequential scan: element i is probed by every lane that has
-  // not yet seen a monochromatic majority.  Green tallies are bit-sliced;
-  // the red tally needs no planes of its own, since after i+1 probes
-  // reds == threshold iff greens == i+1 - threshold.
-  LaneTally greens;
-  std::uint64_t active = block.lanes();
-  for (std::size_t i = 0; i < n && active != 0; ++i) {
-    block.count_probe(active);
-    greens.add(block.greens(static_cast<Element>(i)) & active);
-    // No lane can reach either threshold before probing `threshold`
-    // elements; skip the equality folds on the first threshold-1 steps.
-    if (i + 1 >= threshold) {
-      const std::uint64_t done =
-          greens.equals(threshold) | greens.equals(i + 1 - threshold);
-      active &= ~done;
-    }
-  }
-  QPS_CHECK(active == 0, "one color must reach the majority threshold");
+  // not yet seen a monochromatic majority; both stop conditions are the
+  // same threshold.
+  const std::size_t threshold = system_->threshold();
+  block.kernels().count_scan(block.view(), threshold, threshold);
 }
 
 Witness RProbeMaj::run(ProbeSession& session, Rng& rng) const {
@@ -85,6 +70,31 @@ Witness RProbeMaj::run_with(TrialWorkspace& workspace, ProbeSession& session,
                        static_cast<std::uint32_t>(system_->universe_size()));
   return probe_in_order(
       *system_, [&perm](std::size_t i) { return perm[i]; }, session);
+}
+
+bool RProbeMaj::supports_batch(std::size_t universe_size) const {
+  return universe_size == system_->universe_size();
+}
+
+void RProbeMaj::run_batch(BatchTrialBlock& block, Rng& rng) const {
+  const std::size_t n = system_->universe_size();
+  QPS_REQUIRE(block.universe_size() == n,
+              "batch block over the wrong universe");
+  // Probing random elements in canonical order is probing canonical
+  // elements in the permuted coloring: bit j of the permuted mask = bit
+  // perm[j] of the original.  One permutation per lane, drawn in trial
+  // order -- the exact draws run_with() makes.
+  auto& perm = block.order_buffer();
+  const std::uint64_t* src = block.trial_masks();
+  std::uint64_t* dst = block.scratch_masks();
+  const std::size_t stride = block.mask_words();
+  for (std::size_t t = 0; t < block.trial_count(); ++t) {
+    rng.permutation_into(perm, static_cast<std::uint32_t>(n));
+    permute_mask_words(src + t * stride, perm.data(), n, dst + t * stride);
+  }
+  block.use_scratch();
+  const std::size_t threshold = system_->threshold();
+  block.kernels().count_scan(block.view(), threshold, threshold);
 }
 
 }  // namespace qps

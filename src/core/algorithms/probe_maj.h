@@ -21,10 +21,11 @@ class ProbeMaj final : public ProbeStrategy {
   explicit ProbeMaj(const MajoritySystem& system) : system_(&system) {}
   std::string name() const override { return "Probe_Maj"; }
   Witness run(ProbeSession& session, Rng& rng) const override;
-  /// Bit-sliced batch kernel: 64 trials per word, bit-sliced green tallies,
-  /// per-lane stop detection by plane equality against the threshold.
+  /// Bit-sliced batch kernel: 64*W trials per block via the ISA table's
+  /// count_scan -- bit-sliced green tallies, per-lane stop detection by
+  /// plane equality against the threshold.  Any universe size.
   bool supports_batch(std::size_t universe_size) const override;
-  void run_batch(BatchTrialBlock& block) const override;
+  void run_batch(BatchTrialBlock& block, Rng& rng) const override;
 
  private:
   const MajoritySystem* system_;
@@ -40,6 +41,12 @@ class RProbeMaj final : public ProbeStrategy {
   /// reusable buffer.
   Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
                    Rng& rng) const override;
+  /// Bit-sliced batch kernel: each lane's coloring is permuted by that
+  /// lane's pre-drawn random order (probing random elements in canonical
+  /// order == probing canonical elements in random order), then the same
+  /// count_scan as Probe_Maj runs on the permuted block.
+  bool supports_batch(std::size_t universe_size) const override;
+  void run_batch(BatchTrialBlock& block, Rng& rng) const override;
 
  private:
   const MajoritySystem* system_;

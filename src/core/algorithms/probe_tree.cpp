@@ -1,5 +1,6 @@
 #include "core/algorithms/probe_tree.h"
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -66,29 +67,58 @@ TreeWitness probe_tree_rec(const TreeSystem& tree, Element v,
   return combine_with_root(v, root_color, std::move(right), std::move(left));
 }
 
+// R_Probe_Tree pre-draws one plan per internal node, in node-index order,
+// BEFORE the recursion starts: the draw sequence is then independent of the
+// trial's control flow (which subtrees get visited), so the bit-sliced
+// batch path can replicate it lane by lane and stay stream-identical to
+// the scalar loop.  Unvisited nodes' plans are simply never read.
+class TreePlanBuffer {
+ public:
+  /// Fills plans[v] = Uniform{0,1,2} for every internal node v (nodes with
+  /// children: v < n/2) and returns the buffer.  Stack storage up to 512
+  /// internal nodes -- height 9, n = 1023 -- so the n <= 64 hot path stays
+  /// allocation-free.
+  const std::uint8_t* draw(const TreeSystem& tree, Rng& rng) {
+    const std::size_t internal = tree.universe_size() / 2;
+    std::uint8_t* plans = stack_.data();
+    if (internal > stack_.size()) {
+      heap_.resize(internal);
+      plans = heap_.data();
+    }
+    for (std::size_t v = 0; v < internal; ++v)
+      plans[v] = static_cast<std::uint8_t>(rng.below(3));
+    return plans;
+  }
+
+ private:
+  std::array<std::uint8_t, 512> stack_;
+  std::vector<std::uint8_t> heap_;
+};
+
 TreeWitness r_probe_tree_rec(const TreeSystem& tree, Element v,
-                             ProbeSession& session, Rng& rng) {
+                             ProbeSession& session,
+                             const std::uint8_t* plans) {
   if (tree.is_leaf(v)) return leaf_witness(v, session.probe(v));
   const Element left = TreeSystem::left_child(v);
   const Element right = TreeSystem::right_child(v);
-  const std::uint64_t plan = rng.below(3);
+  const std::uint8_t plan = plans[v];
   if (plan == 0 || plan == 1) {
     // Root together with one subtree; the sibling only on a color mismatch.
     const Element primary = plan == 0 ? right : left;
     const Element sibling = plan == 0 ? left : right;
     const Color root_color = session.probe(v);
-    TreeWitness first = r_probe_tree_rec(tree, primary, session, rng);
+    TreeWitness first = r_probe_tree_rec(tree, primary, session, plans);
     if (first.color == root_color) {
       first.elems.push_back(v);
       return first;
     }
-    TreeWitness second = r_probe_tree_rec(tree, sibling, session, rng);
+    TreeWitness second = r_probe_tree_rec(tree, sibling, session, plans);
     return combine_with_root(v, root_color, std::move(first),
                              std::move(second));
   }
   // Both subtrees first; the root only if their witnesses disagree.
-  TreeWitness wl = r_probe_tree_rec(tree, left, session, rng);
-  TreeWitness wr = r_probe_tree_rec(tree, right, session, rng);
+  TreeWitness wl = r_probe_tree_rec(tree, left, session, plans);
+  TreeWitness wr = r_probe_tree_rec(tree, right, session, plans);
   if (wl.color == wr.color) {
     append(wl, wr);
     return wl;
@@ -142,25 +172,26 @@ MaskWitness probe_tree_rec_mask(const TreeSystem& tree, Element v,
 }
 
 MaskWitness r_probe_tree_rec_mask(const TreeSystem& tree, Element v,
-                                  ProbeSession& session, Rng& rng) {
+                                  ProbeSession& session,
+                                  const std::uint8_t* plans) {
   if (tree.is_leaf(v)) return {session.probe(v), 1ULL << v};
   const Element left = TreeSystem::left_child(v);
   const Element right = TreeSystem::right_child(v);
-  const std::uint64_t plan = rng.below(3);
+  const std::uint8_t plan = plans[v];
   if (plan == 0 || plan == 1) {
     const Element primary = plan == 0 ? right : left;
     const Element sibling = plan == 0 ? left : right;
     const Color root_color = session.probe(v);
-    MaskWitness first = r_probe_tree_rec_mask(tree, primary, session, rng);
+    MaskWitness first = r_probe_tree_rec_mask(tree, primary, session, plans);
     if (first.color == root_color) {
       first.mask |= 1ULL << v;
       return first;
     }
-    MaskWitness second = r_probe_tree_rec_mask(tree, sibling, session, rng);
+    MaskWitness second = r_probe_tree_rec_mask(tree, sibling, session, plans);
     return combine_with_root_mask(v, root_color, first, second);
   }
-  MaskWitness wl = r_probe_tree_rec_mask(tree, left, session, rng);
-  MaskWitness wr = r_probe_tree_rec_mask(tree, right, session, rng);
+  MaskWitness wl = r_probe_tree_rec_mask(tree, left, session, plans);
+  MaskWitness wr = r_probe_tree_rec_mask(tree, right, session, plans);
   if (wl.color == wr.color) {
     wl.mask |= wr.mask;
     return wl;
@@ -169,31 +200,6 @@ MaskWitness r_probe_tree_rec_mask(const TreeSystem& tree, Element v,
   MaskWitness& match = wl.color == root_color ? wl : wr;
   match.mask |= 1ULL << v;
   return match;
-}
-
-// ---- Bit-sliced batch kernel (64 trials per word) ------------------------
-// The Probe_Tree recursion with an active-lane mask instead of a single
-// trial: every lane entering a node probes it, all active lanes evaluate
-// the right subtree, and only the lanes whose right-witness color differs
-// from their root color descend into the left subtree.  Returns the
-// witness-color word for the subtree (valid on the active lanes).  The
-// per-lane probed SET is exactly the scalar recursion's, so the bit-sliced
-// probe counts match it lane for lane.
-std::uint64_t batch_tree_rec(const TreeSystem& tree, Element v,
-                             std::uint64_t active, BatchTrialBlock& block) {
-  if (active == 0) return 0;
-  block.count_probe(active);
-  const std::uint64_t color = block.greens(v);
-  if (tree.is_leaf(v)) return color;
-  const std::uint64_t right =
-      batch_tree_rec(tree, TreeSystem::right_child(v), active, block);
-  const std::uint64_t agree = ~(right ^ color);
-  const std::uint64_t left =
-      batch_tree_rec(tree, TreeSystem::left_child(v), active & ~agree, block);
-  // Right witness matching the root keeps the root's color; otherwise the
-  // overall witness color is the left recursion's (it either matches the
-  // root or joins the right witness in the opposite color).
-  return (agree & color) | (~agree & left);
 }
 
 Witness materialize_mask(const MaskWitness& mw, std::size_t n) {
@@ -221,27 +227,58 @@ Witness ProbeTree::run_with(TrialWorkspace& workspace, ProbeSession& session,
 }
 
 bool ProbeTree::supports_batch(std::size_t universe_size) const {
-  return universe_size == tree_->universe_size() && universe_size <= 64;
+  return universe_size == tree_->universe_size();
 }
 
-void ProbeTree::run_batch(BatchTrialBlock& block) const {
+void ProbeTree::run_batch(BatchTrialBlock& block, Rng& /*rng*/) const {
   QPS_REQUIRE(block.universe_size() == tree_->universe_size(),
               "batch block over the wrong universe");
-  (void)batch_tree_rec(*tree_, TreeSystem::kRoot, block.lanes(), block);
+  block.kernels().tree_scan(block.view());
 }
 
 Witness RProbeTree::run(ProbeSession& session, Rng& rng) const {
-  return materialize(r_probe_tree_rec(*tree_, TreeSystem::kRoot, session, rng),
+  TreePlanBuffer plans;
+  return materialize(r_probe_tree_rec(*tree_, TreeSystem::kRoot, session,
+                                      plans.draw(*tree_, rng)),
                      tree_->universe_size());
 }
 
 Witness RProbeTree::run_with(TrialWorkspace& workspace, ProbeSession& session,
                              Rng& rng) const {
   const std::size_t n = tree_->universe_size();
-  if (n > 64) return run(session, rng);
+  TreePlanBuffer plans;
+  const std::uint8_t* drawn = plans.draw(*tree_, rng);
+  if (n > 64)
+    return materialize(r_probe_tree_rec(*tree_, TreeSystem::kRoot, session,
+                                        drawn),
+                       n);
   (void)workspace;
   return materialize_mask(
-      r_probe_tree_rec_mask(*tree_, TreeSystem::kRoot, session, rng), n);
+      r_probe_tree_rec_mask(*tree_, TreeSystem::kRoot, session, drawn), n);
+}
+
+bool RProbeTree::supports_batch(std::size_t universe_size) const {
+  return universe_size == tree_->universe_size();
+}
+
+void RProbeTree::run_batch(BatchTrialBlock& block, Rng& rng) const {
+  const std::size_t n = tree_->universe_size();
+  QPS_REQUIRE(block.universe_size() == n,
+              "batch block over the wrong universe");
+  // Pre-draw every lane's plans, in trial order then node order -- the
+  // exact draws the scalar entry points make per trial -- into per-node
+  // lane-mask triples: bit t of plans[(v*3 + p)*W + t/64] says lane t
+  // picked plan p at node v.
+  const std::size_t internal = n / 2;
+  const std::size_t w = block.width();
+  std::uint64_t* plans = block.plan_masks(internal * 3 * w);
+  for (std::size_t t = 0; t < block.trial_count(); ++t) {
+    const std::size_t kw = t / 64;
+    const std::uint64_t bit = 1ULL << (t % 64);
+    for (std::size_t v = 0; v < internal; ++v)
+      plans[(v * 3 + rng.below(3)) * w + kw] |= bit;
+  }
+  block.kernels().rtree_scan(block.view(), plans);
 }
 
 }  // namespace qps

@@ -1,5 +1,6 @@
 #include "core/algorithms/random_order.h"
 
+#include "core/engine/batch_kernel.h"
 #include "core/engine/trial_workspace.h"
 #include "util/require.h"
 
@@ -44,6 +45,33 @@ Witness RandomOrderProbe::run_with(TrialWorkspace& workspace,
   auto& order = workspace.order_buffer();
   rng.permutation_into(order, static_cast<std::uint32_t>(n));
   return probe_in_random_order(*system_, order, session);
+}
+
+bool RandomOrderProbe::supports_batch(std::size_t universe_size) const {
+  return universe_size == system_->universe_size() &&
+         system_->quorum_count_certificate() != 0;
+}
+
+void RandomOrderProbe::run_batch(BatchTrialBlock& block, Rng& rng) const {
+  const std::size_t n = system_->universe_size();
+  QPS_REQUIRE(block.universe_size() == n,
+              "batch block over the wrong universe");
+  const std::size_t cert = system_->quorum_count_certificate();
+  QPS_REQUIRE(cert != 0, "batch Random_Order needs a counting certificate");
+  // Permute each lane's coloring by its random order (same trick as
+  // R_Probe_Maj), then count: with contains_quorum(S) <=> |S| >= cert, a
+  // lane certifies green at `cert` probed greens and red once not_red =
+  // n - probed_reds drops below cert, i.e. at n - cert + 1 probed reds.
+  auto& perm = block.order_buffer();
+  const std::uint64_t* src = block.trial_masks();
+  std::uint64_t* dst = block.scratch_masks();
+  const std::size_t stride = block.mask_words();
+  for (std::size_t t = 0; t < block.trial_count(); ++t) {
+    rng.permutation_into(perm, static_cast<std::uint32_t>(n));
+    permute_mask_words(src + t * stride, perm.data(), n, dst + t * stride);
+  }
+  block.use_scratch();
+  block.kernels().count_scan(block.view(), cert, n - cert + 1);
 }
 
 }  // namespace qps

@@ -22,6 +22,13 @@ class RandomOrderProbe final : public ProbeStrategy {
   /// reusable buffer.
   Witness run_with(TrialWorkspace& workspace, ProbeSession& session,
                    Rng& rng) const override;
+  /// Bit-sliced batch kernel, available when the system advertises a
+  /// counting certificate c (quorum_count_certificate): each lane's
+  /// coloring is permuted by its pre-drawn random order, then a counting
+  /// scan stops a lane at c greens (probed greens contain a quorum) or
+  /// n-c+1 reds (the unprobed + green set lost its last quorum).
+  bool supports_batch(std::size_t universe_size) const override;
+  void run_batch(BatchTrialBlock& block, Rng& rng) const override;
 
  private:
   const QuorumSystem* system_;

@@ -50,54 +50,54 @@ std::uint64_t sample_iid_coloring_mask(std::size_t universe_size, double p,
 
 void sample_iid_coloring_words(std::uint64_t* out, std::size_t count,
                                std::size_t universe_size, double p, Rng& rng) {
-  QPS_REQUIRE(universe_size >= 1 && universe_size <= 64,
-              "word sampling needs a universe of 1..64");
+  QPS_REQUIRE(universe_size >= 1, "word sampling needs a nonempty universe");
   QPS_REQUIRE(p >= 0.0 && p <= 1.0, "probability outside [0,1]");
-  const std::uint64_t universe =
-      universe_size == 64 ? ~0ULL : (1ULL << universe_size) - 1;
+  const std::size_t stride = (universe_size + 63) / 64;
+  const std::size_t tail_bits = universe_size - (stride - 1) * 64;
+  const std::uint64_t tail_mask =
+      tail_bits == 64 ? ~0ULL : (1ULL << tail_bits) - 1;
   // bernoulli(p) accepts iff uniform01() < p, i.e. iff the 53-bit uniform
   // U satisfies U < ceil(p * 2^53); the product is exact (power-of-two
   // scale), so P below reproduces that acceptance region bit-exactly.
   const auto threshold =
       static_cast<std::uint64_t>(std::ceil(p * 9007199254740992.0));  // 2^53
   if (threshold == 0) {  // p == 0: nothing fails, and bernoulli draws nothing
-    for (std::size_t i = 0; i < count; ++i) out[i] = universe;
+    for (std::size_t i = 0; i < count * stride; ++i)
+      out[i] = (i % stride) + 1 == stride ? tail_mask : ~0ULL;
     return;
   }
   if (threshold >= (1ULL << 53)) {  // p == 1: everything fails
-    for (std::size_t i = 0; i < count; ++i) out[i] = 0;
+    for (std::size_t i = 0; i < count * stride; ++i) out[i] = 0;
     return;
   }
   // Bit-sliced comparison red_e = [U_e < P], one word of 64 lanes at a
   // time, LSB to MSB: a set P bit ORs in a fresh random word, a clear bit
   // ANDs one.  Bits below P's lowest set one leave an all-zero accumulator
-  // unchanged, so they are skipped and each mask costs 53 - countr_zero(P)
-  // draws regardless of the data (fixed construction per word).
+  // unchanged, so they are skipped and each word costs 53 - countr_zero(P)
+  // draws regardless of the data (fixed construction per word).  Words are
+  // drawn trial-major then chunk-major, so for n <= 64 (stride 1) the
+  // sequence is the original single-word sampler's, draw for draw.
   const int lowest = std::countr_zero(threshold);
   for (std::size_t i = 0; i < count; ++i) {
-    std::uint64_t reds = 0;
-    for (int b = lowest; b < 53; ++b) {
-      const std::uint64_t w = rng.next_u64();
-      reds = ((threshold >> b) & 1ULL) != 0 ? (reds | w) : (reds & w);
+    for (std::size_t c = 0; c < stride; ++c) {
+      std::uint64_t reds = 0;
+      for (int b = lowest; b < 53; ++b) {
+        const std::uint64_t w = rng.next_u64();
+        reds = ((threshold >> b) & 1ULL) != 0 ? (reds | w) : (reds & w);
+      }
+      out[i * stride + c] = ~reds & (c + 1 == stride ? tail_mask : ~0ULL);
     }
-    out[i] = ~reds & universe;
   }
 }
 
-void transpose_coloring_words(const std::uint64_t* trial_masks,
-                              std::size_t trial_count,
-                              std::uint64_t* element_words,
-                              std::size_t universe_size) {
-  QPS_REQUIRE(universe_size >= 1 && universe_size <= 64,
-              "transpose needs a universe of 1..64");
-  QPS_REQUIRE(trial_count <= 64, "at most 64 trials per transpose");
-  // Hacker's-Delight 64x64 transpose by masked delta swaps.  The classic
-  // algorithm transposes under the MSB-left convention, i.e. with LSB
-  // indexing it maps (row r, bit b) to (63-b, 63-r); loading and storing
-  // with reversed row indices turns that into the plain (r, b) -> (b, r).
-  std::uint64_t x[64];
-  for (std::size_t t = 0; t < 64; ++t)
-    x[63 - t] = t < trial_count ? trial_masks[t] : 0;
+namespace {
+
+// Hacker's-Delight 64x64 in-place bit-matrix transpose by masked delta
+// swaps.  The classic algorithm transposes under the MSB-left convention,
+// i.e. with LSB indexing it maps (row r, bit b) to (63-b, 63-r); callers
+// load and store with reversed row indices to get the plain (r, b) ->
+// (b, r).
+void transpose_64x64(std::uint64_t x[64]) {
   for (std::uint64_t j = 32, m = 0x00000000FFFFFFFFULL; j != 0;
        j >>= 1, m ^= m << j) {
     for (std::uint64_t k = 0; k < 64; k = (k + j + 1) & ~j) {
@@ -106,7 +106,49 @@ void transpose_coloring_words(const std::uint64_t* trial_masks,
       x[k + j] ^= t << j;
     }
   }
+}
+
+}  // namespace
+
+void transpose_coloring_words(const std::uint64_t* trial_masks,
+                              std::size_t trial_count,
+                              std::uint64_t* element_words,
+                              std::size_t universe_size) {
+  QPS_REQUIRE(universe_size >= 1 && universe_size <= 64,
+              "transpose needs a universe of 1..64");
+  QPS_REQUIRE(trial_count <= 64, "at most 64 trials per transpose");
+  std::uint64_t x[64];
+  for (std::size_t t = 0; t < 64; ++t)
+    x[63 - t] = t < trial_count ? trial_masks[t] : 0;
+  transpose_64x64(x);
   for (std::size_t e = 0; e < universe_size; ++e) element_words[e] = x[63 - e];
+}
+
+void transpose_coloring_words_strided(const std::uint64_t* trial_masks,
+                                      std::size_t trial_count,
+                                      std::size_t universe_size,
+                                      std::size_t lane_words,
+                                      std::uint64_t* element_words) {
+  QPS_REQUIRE(universe_size >= 1, "transpose needs a nonempty universe");
+  QPS_REQUIRE(lane_words >= 1, "transpose needs at least one lane word");
+  QPS_REQUIRE(trial_count <= 64 * lane_words,
+              "more trials than the lane words can hold");
+  const std::size_t stride = (universe_size + 63) / 64;
+  std::uint64_t x[64];
+  for (std::size_t k = 0; k < lane_words; ++k) {
+    for (std::size_t c = 0; c < stride; ++c) {
+      // Tile (k, c): trials [64k, 64k+64) x elements [64c, 64c+64).
+      for (std::size_t t = 0; t < 64; ++t) {
+        const std::size_t trial = 64 * k + t;
+        x[63 - t] = trial < trial_count ? trial_masks[trial * stride + c] : 0;
+      }
+      transpose_64x64(x);
+      const std::size_t chunk_elems =
+          universe_size - 64 * c < 64 ? universe_size - 64 * c : 64;
+      for (std::size_t e = 0; e < chunk_elems; ++e)
+        element_words[(64 * c + e) * lane_words + k] = x[63 - e];
+    }
+  }
 }
 
 ColoringDistribution::ColoringDistribution(std::vector<Coloring> support,

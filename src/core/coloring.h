@@ -52,6 +52,13 @@ class Coloring {
   /// immutable.
   void assign_greens_mask(std::uint64_t mask) { greens_.assign_mask(mask); }
 
+  /// Multi-word variant: overwrites the green set from ceil(n/64) mask
+  /// words (the per-trial rows sample_iid_coloring_words produces).  Same
+  /// engine hook, any universe size.
+  void assign_greens_words(const std::uint64_t* words) {
+    greens_.assign_words(words);
+  }
+
   bool operator==(const Coloring& other) const = default;
 
  private:
@@ -70,18 +77,20 @@ Coloring sample_iid_coloring(std::size_t universe_size, double p, Rng& rng);
 std::uint64_t sample_iid_coloring_mask(std::size_t universe_size, double p,
                                        Rng& rng);
 
-/// Batched word-level i.i.d. sampling: fills `out[0..count)` with one green
-/// bitmask per trial (universes of at most 64 elements).  Each mask is
-/// built whole-word by the bit-sliced Bernoulli construction: p is read as
-/// a 53-bit fixed-point threshold P = ceil(p * 2^53) -- exactly the
-/// acceptance region of Rng::bernoulli -- and the word of per-element
-/// comparisons [U_e < P] is assembled from one 64-lane draw per significant
-/// bit of P (at most 53 draws for all 64 elements, and e.g. a single draw
-/// at p = 1/2).  The marginal of every element is therefore bit-exactly
-/// Bernoulli(p), while the joint draw sequence differs from the
-/// per-element samplers; estimates built on it are statistically
-/// equivalent, not stream-identical.  Deterministic function of (p, rng
-/// state), so engine results stay bit-identical across thread counts.
+/// Batched word-level i.i.d. sampling: fills `out` with one green mask row
+/// of ceil(n/64) words per trial (trial t occupies
+/// out[t*stride .. t*stride+stride)).  Each word is built by the bit-sliced
+/// Bernoulli construction: p is read as a 53-bit fixed-point threshold
+/// P = ceil(p * 2^53) -- exactly the acceptance region of Rng::bernoulli --
+/// and the word of per-element comparisons [U_e < P] is assembled from one
+/// 64-lane draw per significant bit of P (at most 53 draws per word, and
+/// e.g. a single draw at p = 1/2).  The marginal of every element is
+/// therefore bit-exactly Bernoulli(p), while the joint draw sequence
+/// differs from the per-element samplers; estimates built on it are
+/// statistically equivalent, not stream-identical.  Deterministic function
+/// of (p, rng state), so engine results stay bit-identical across thread
+/// counts; for n <= 64 (stride 1) the draw sequence is unchanged from the
+/// original single-word sampler.
 void sample_iid_coloring_words(std::uint64_t* out, std::size_t count,
                                std::size_t universe_size, double p, Rng& rng);
 
@@ -96,6 +105,20 @@ void transpose_coloring_words(const std::uint64_t* trial_masks,
                               std::size_t trial_count,
                               std::uint64_t* element_words,
                               std::size_t universe_size);
+
+/// Multi-word, multi-lane transpose for the SIMD batch engine
+/// (core/engine/simd.h): `trial_masks` holds `trial_count` rows of
+/// stride = ceil(universe_size/64) words (the sample_iid_coloring_words
+/// layout, any n), and the output is the lane-word matrix
+/// `element_words[e*lane_words + k]` = colors of element e across trials
+/// [64k, 64k+64).  Requires trial_count <= 64*lane_words; lanes beyond
+/// trial_count come out zero.  Tiled 64x64 bit-matrix transposes, one tile
+/// per (lane word, element chunk) pair.
+void transpose_coloring_words_strided(const std::uint64_t* trial_masks,
+                                      std::size_t trial_count,
+                                      std::size_t universe_size,
+                                      std::size_t lane_words,
+                                      std::uint64_t* element_words);
 
 /// A finite distribution over colorings with explicit weights; weights are
 /// normalized on construction.

@@ -15,6 +15,8 @@ struct KernelMetrics {
       obs::MetricsRegistry::instance().counter("engine/bitsliced_trials");
   obs::Counter& blocks =
       obs::MetricsRegistry::instance().counter("engine/bitsliced_blocks");
+  obs::Counter& simd_blocks =
+      obs::MetricsRegistry::instance().counter("engine/simd_blocks");
 
   static KernelMetrics& get() {
     static KernelMetrics metrics;
@@ -28,16 +30,19 @@ void run_bit_sliced_trials(const ProbeStrategy& strategy,
                            BatchTrialBlock& block,
                            const std::uint64_t* trial_green_masks,
                            std::size_t trial_count, std::size_t universe_size,
-                           RunningStats& out) {
+                           Rng& rng, RunningStats& out) {
+  QPS_REQUIRE(block.universe_size() == universe_size,
+              "batch block configured for a different universe");
   KernelMetrics& metrics = KernelMetrics::get();
   metrics.trials.add(trial_count);
-  for (std::size_t offset = 0; offset < trial_count;
-       offset += BatchTrialBlock::kLanes) {
-    const std::size_t lanes =
-        std::min(BatchTrialBlock::kLanes, trial_count - offset);
-    block.load(trial_green_masks + offset, lanes, universe_size);
-    strategy.run_batch(block);
-    metrics.blocks.increment();
+  const std::size_t cap = block.lane_capacity();
+  const std::size_t stride = block.mask_words();
+  for (std::size_t offset = 0; offset < trial_count; offset += cap) {
+    const std::size_t lanes = std::min(cap, trial_count - offset);
+    block.load(trial_green_masks + offset * stride, lanes);
+    strategy.run_batch(block, rng);
+    metrics.blocks.add((lanes + 63) / 64);   // 64-lane blocks, as in PR 5
+    metrics.simd_blocks.increment();         // one W-wide super-block
     for (std::size_t lane = 0; lane < lanes; ++lane)
       out.add(static_cast<double>(block.probe_count(lane)));
   }

@@ -1,43 +1,49 @@
-// Bit-sliced batch trial kernel: 64 Monte-Carlo trials per machine word.
+// Bit-sliced batch trial kernel: 64*W Monte-Carlo trials per block.
 //
 // The scalar hot path (trial_workspace.h) runs one trial at a time; every
-// probe is a branch on one trial's color.  For universes of n <= 64
-// elements and deterministic-order strategies, a whole block of 64 trials
-// can instead run in lock-step, one bit-lane per trial:
+// probe is a branch on one trial's color.  A batch block instead runs a
+// whole super-block of trials in lock-step, one bit-lane per trial and
+// W = SimdKernels::width lane words side by side (core/engine/simd.h):
 //
-//  * BatchTrialBlock::load() transposes 64 per-trial green masks (the
-//    layout sample_iid_coloring_words produces) into one word PER ELEMENT
-//    holding that element's color across the 64 trials, so a probe step
-//    reads all lanes' answers in a single load;
-//  * a strategy's run_batch() override (core/strategy.h) walks its fixed
-//    probe structure once, carrying an active-lane mask through its control
-//    flow -- divergence between trials becomes mask arithmetic, never a
-//    per-trial branch;
-//  * probe accounting is bit-sliced too: LaneTally keeps 64 per-lane
-//    counters as 7 bit-planes, so charging a probe to any subset of lanes
-//    is one ripple-carry add and per-lane stop detection is a 7-word
+//  * BatchTrialBlock::load() binds up to 64*W per-trial green-mask rows
+//    (the layout sample_iid_coloring_words produces, ceil(n/64) words per
+//    trial -- any universe size); view() transposes them on demand into
+//    one lane-word row PER ELEMENT, so a probe step reads all lanes'
+//    answers in W word loads;
+//  * a strategy's run_batch() override (core/strategy.h) pre-draws its
+//    per-trial randomness into the block's side buffers (permuted masks,
+//    plan masks) and then calls one of the block's ISA kernels, which walk
+//    the probe structure once carrying an active-lane matrix -- divergence
+//    between trials becomes mask arithmetic, never a per-trial branch;
+//  * probe accounting is bit-sliced too: per-lane counters live as
+//    bit_width(n) bit planes of W words each, charged by ripple-carry adds
+//    inside the kernels, and per-lane stop detection is a plane-fold
 //    equality against a constant.
 //
 // Contract: for every lane t < trial_count(), the probe count recovered by
 // probe_count(t) must be bit-identical to what the scalar
 // ProbeStrategy::run_with() path reports for trial t's coloring
-// (tests/core/test_batch_kernel.cpp enforces this per strategy x family).
-// The engine dispatches to this kernel via EngineOptions::execution
-// (parallel_estimator.h); randomized-order strategies and n > 64 always
-// take the scalar path.
+// (tests/core/test_batch_kernel.cpp and test_simd.cpp enforce this per
+// strategy x family x ISA).  The engine dispatches to this kernel via
+// EngineOptions::execution, with the ISA picked once per run through
+// EngineOptions::simd (parallel_estimator.h).
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
+#include <vector>
 
 #include "core/coloring.h"
+#include "core/engine/simd.h"
 #include "util/element_set.h"
 
 namespace qps {
 
 /// 64 per-lane counters stored as bit-planes: plane b holds bit b of every
-/// lane's counter.  Counts up to 64 (the largest probe count / tally a
-/// n <= 64 trial can reach), hence 7 planes.
+/// lane's counter.  Counts up to 64, hence 7 planes.  The single-word
+/// reference model of the in-kernel tallies; tests diff the wide kernels
+/// against it.
 class LaneTally {
  public:
   static constexpr std::size_t kPlanes = 7;
@@ -75,68 +81,175 @@ class LaneTally {
   std::array<std::uint64_t, kPlanes> planes_{};
 };
 
-/// One block of up to 64 trials in transposed (bit-sliced) coloring layout,
-/// plus the bit-sliced probe accounting for the block.  Fixed-size storage,
-/// so a block can live inside a TrialWorkspace and be reloaded between
-/// blocks without touching the heap.
+/// One super-block of up to 64*width trials in transposed (bit-sliced)
+/// coloring layout, plus the bit-sliced probe accounting and the side
+/// buffers batch strategies pre-draw their randomness into.  All storage is
+/// sized once by configure(); load()/view()/run_batch never allocate, so a
+/// block can live inside a TrialWorkspace and be reloaded between
+/// super-blocks without touching the heap.
 class BatchTrialBlock {
  public:
-  static constexpr std::size_t kLanes = 64;
-
-  /// Transposes `trial_count` (1..64) per-trial green masks over a universe
-  /// of `universe_size` (1..64) elements into the per-element lane words
-  /// and resets the probe tallies.
-  void load(const std::uint64_t* trial_green_masks, std::size_t trial_count,
-            std::size_t universe_size) {
-    QPS_REQUIRE(trial_count >= 1 && trial_count <= kLanes,
-                "a batch block holds 1..64 trials");
-    transpose_coloring_words(trial_green_masks, trial_count,
-                             element_greens_.data(), universe_size);
+  /// Binds the block to an ISA kernel table and a universe size, sizing all
+  /// storage.  No-op when already configured identically; invalidates any
+  /// loaded trials otherwise.
+  void configure(const SimdKernels& kernels, std::size_t universe_size) {
+    QPS_REQUIRE(universe_size >= 1, "a batch block needs a nonempty universe");
+    if (kernels_ == &kernels && n_ == universe_size) return;
+    kernels_ = &kernels;
     n_ = universe_size;
+    planes_ = std::bit_width(universe_size);
+    mask_words_ = (universe_size + 63) / 64;
+    const std::size_t w = kernels.width;
+    element_greens_.assign(n_ * w, 0);
+    probe_planes_.assign(planes_ * w, 0);
+    tally_planes_.assign(planes_ * w, 0);
+    active_.assign(w, 0);
+    scratch_masks_.assign(lane_capacity() * mask_words_, 0);
+    trial_count_ = 0;
+    source_masks_ = nullptr;
+    transposed_ = false;
+  }
+
+  /// Binds `trial_count` (1 .. lane_capacity()) per-trial green-mask rows
+  /// of mask_words() words each and resets the probe tallies.  The masks
+  /// are transposed lazily by view(), so a permuting strategy that fills
+  /// scratch_masks() and calls use_scratch() never pays for transposing
+  /// the originals.  The mask rows must stay valid until the kernel runs.
+  void load(const std::uint64_t* trial_green_masks, std::size_t trial_count) {
+    QPS_REQUIRE(kernels_ != nullptr, "configure() the block before load()");
+    QPS_REQUIRE(trial_count >= 1 && trial_count <= lane_capacity(),
+                "a batch block holds 1..64*width trials");
+    source_masks_ = trial_green_masks;
     trial_count_ = trial_count;
-    probes_.clear();
+    transposed_ = false;
+    for (auto& p : probe_planes_) p = 0;
+    for (std::size_t k = 0; k < active_.size(); ++k) {
+      const std::size_t low = 64 * k;
+      if (trial_count >= low + 64)
+        active_[k] = ~0ULL;
+      else if (trial_count > low)
+        active_[k] = (1ULL << (trial_count - low)) - 1;
+      else
+        active_[k] = 0;
+    }
+  }
+
+  /// The kernels' window into the block; transposes the bound masks into
+  /// the per-element layout on first use after load()/use_scratch().
+  BlockView view() {
+    QPS_REQUIRE(trial_count_ >= 1, "load() trials before view()");
+    if (!transposed_) {
+      transpose_coloring_words_strided(source_masks_, trial_count_, n_,
+                                       width(), element_greens_.data());
+      transposed_ = true;
+    }
+    return BlockView{element_greens_.data(), probe_planes_.data(),
+                     tally_planes_.data(),   active_.data(),
+                     n_,                     planes_};
   }
 
   std::size_t universe_size() const { return n_; }
   std::size_t trial_count() const { return trial_count_; }
-
-  /// Mask of the lanes that carry a trial (low trial_count() bits).
-  std::uint64_t lanes() const {
-    return trial_count_ == kLanes ? ~0ULL : (1ULL << trial_count_) - 1;
+  /// Lane words per element row (the configured ISA's W).
+  std::size_t width() const { return kernels_ == nullptr ? 0 : kernels_->width; }
+  /// Trials per super-block: 64 * width().
+  std::size_t lane_capacity() const { return 64 * width(); }
+  /// Words per trial mask row: ceil(universe_size / 64).
+  std::size_t mask_words() const { return mask_words_; }
+  const SimdKernels& kernels() const {
+    QPS_REQUIRE(kernels_ != nullptr, "configure() the block first");
+    return *kernels_;
   }
 
-  /// Element e's color across the block: bit t set iff trial t has e green.
-  std::uint64_t greens(Element e) const { return element_greens_[e]; }
+  /// The currently bound per-trial mask rows (the load() source, or the
+  /// scratch buffer after use_scratch()).
+  const std::uint64_t* trial_masks() const { return source_masks_; }
 
-  /// Charges one probe to every lane in `lanes` (a strategy calls this once
-  /// per element it probes, with the mask of lanes that probe it; an
-  /// element may be charged at most once per lane).
-  void count_probe(std::uint64_t lanes) { probes_.add(lanes); }
+  /// Writable buffer of lane_capacity() mask rows for permuting strategies;
+  /// sized by configure(), so filling it never allocates.
+  std::uint64_t* scratch_masks() { return scratch_masks_.data(); }
 
-  /// Trial t's probe count; defined for t < trial_count() after run_batch.
+  /// Rebinds the block to scratch_masks() (and re-queues the transpose).
+  /// Probe tallies and the active mask are kept from load().
+  void use_scratch() {
+    source_masks_ = scratch_masks_.data();
+    transposed_ = false;
+  }
+
+  /// Reusable per-trial index buffer (permutations, row orders); strategies
+  /// resize it to their need, the capacity sticks across blocks.
+  std::vector<std::uint32_t>& order_buffer() { return order_buffer_; }
+
+  /// Zeroed buffer of `words` lane words for pre-drawn per-lane structure
+  /// masks (R_Probe_Tree plans, R_Probe_HQS orders); grows on first use,
+  /// never shrinks.
+  std::uint64_t* plan_masks(std::size_t words) {
+    if (plan_masks_.size() < words) plan_masks_.resize(words);
+    for (std::size_t i = 0; i < words; ++i) plan_masks_[i] = 0;
+    return plan_masks_.data();
+  }
+
+  /// Trial t's probe count, gathered from the probe planes; defined for
+  /// t < trial_count() after a kernel ran.
   std::uint32_t probe_count(std::size_t lane) const {
-    return probes_.get(lane);
+    const std::size_t w = width();
+    std::uint32_t value = 0;
+    for (std::size_t b = 0; b < planes_; ++b)
+      value |= static_cast<std::uint32_t>(
+                   (probe_planes_[b * w + lane / 64] >> (lane % 64)) & 1ULL)
+               << b;
+    return value;
   }
 
  private:
+  const SimdKernels* kernels_ = nullptr;
   std::size_t n_ = 0;
+  std::size_t planes_ = 0;
+  std::size_t mask_words_ = 0;
   std::size_t trial_count_ = 0;
-  std::array<std::uint64_t, kLanes> element_greens_{};
-  LaneTally probes_;
+  const std::uint64_t* source_masks_ = nullptr;
+  bool transposed_ = false;
+  std::vector<std::uint64_t> element_greens_;  // n * W lane words
+  std::vector<std::uint64_t> probe_planes_;    // planes * W
+  std::vector<std::uint64_t> tally_planes_;    // planes * W kernel scratch
+  std::vector<std::uint64_t> active_;          // W
+  std::vector<std::uint64_t> scratch_masks_;   // lane_capacity * mask_words
+  std::vector<std::uint64_t> plan_masks_;
+  std::vector<std::uint32_t> order_buffer_;
 };
 
+/// Applies an element permutation to one multi-word green mask row: bit j
+/// of `dst` = bit perm[j] of `src` (so scanning dst in canonical order
+/// 0..n-1 visits src's colors in the order perm[0], perm[1], ...).  `dst`
+/// must not alias `src`; rows are ceil(n/64) words.
+inline void permute_mask_words(const std::uint64_t* src,
+                               const std::uint32_t* perm, std::size_t n,
+                               std::uint64_t* dst) {
+  const std::size_t words = (n + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) dst[w] = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint32_t e = perm[j];
+    dst[j >> 6] |= ((src[e >> 6] >> (e & 63)) & 1ULL) << (j & 63);
+  }
+}
+
 class ProbeStrategy;
+class Rng;
 class RunningStats;
 
 /// Drives `trial_count` trials through `strategy`'s bit-sliced kernel in
-/// 64-lane blocks: load (transpose), run_batch, then append the per-trial
-/// probe counts to `out` strictly in trial order -- the same order, hence
-/// the same RunningStats, as the scalar path produces.  The strategy must
-/// support batching (ProbeStrategy::supports_batch).
+/// super-blocks of block.lane_capacity() lanes: load (bind + lazy
+/// transpose), run_batch, then append the per-trial probe counts to `out`
+/// strictly in trial order -- the same order, hence the same RunningStats,
+/// as the scalar path produces.  `rng` feeds the strategies' pre-drawn
+/// per-trial randomness (permutations, plans), consumed in trial order so
+/// the draw sequence matches the scalar loop's.  The block must be
+/// configure()d for `universe_size`, and the strategy must support
+/// batching (ProbeStrategy::supports_batch).
 void run_bit_sliced_trials(const ProbeStrategy& strategy,
                            BatchTrialBlock& block,
                            const std::uint64_t* trial_green_masks,
                            std::size_t trial_count, std::size_t universe_size,
-                           RunningStats& out);
+                           Rng& rng, RunningStats& out);
 
 }  // namespace qps

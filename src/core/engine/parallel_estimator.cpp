@@ -202,39 +202,51 @@ RunningStats ParallelEstimator::estimate_ppc(const QuorumSystem& system,
                                              double p) const {
   const bool validate = options_.validate_witnesses;
   const std::size_t n = system.universe_size();
-  if (n == 0 || n > 64) {
-    // General path: multi-word universes keep the original allocating trial.
+  if (n == 0) {
     return run([&](Rng& rng) {
       const Coloring coloring = sample_iid_coloring(n, p, rng);
       return run_probe_trial(system, strategy, coloring, validate, rng);
     });
   }
-  // Bit-sliced batch kernel: 64 trials per word for deterministic-order
-  // strategies.  The masks are sampled exactly as on the scalar kWordBatch
-  // path (same draws, same rng sequence) and deterministic strategies draw
-  // nothing themselves, so the per-trial probe counts -- and therefore the
-  // merged statistics -- are bit-identical to the scalar path's.
-  // Validation needs materialized witnesses, which the kernel never builds:
-  // that combination falls back to the scalar path below.
+  // Bit-sliced batch kernels: 64*W trials per super-block for every
+  // strategy with a batch kernel, any universe size.  The masks are
+  // sampled exactly as on the scalar kWordBatch path (same draws, same rng
+  // sequence) and batch strategies pre-draw their per-trial randomness in
+  // trial order (the exact draws the scalar loop makes), so the per-trial
+  // probe counts -- and therefore the merged statistics -- are
+  // bit-identical to the scalar path's, for every ISA.  Validation needs
+  // materialized witnesses, which the kernels never build: that
+  // combination falls back to the scalar path below.
   if (options_.execution == Execution::kBitSliced &&
       options_.sampler == ColoringSampler::kWordBatch && !validate &&
       strategy.supports_batch(n)) {
-    return run_batches([&strategy, p, n] {
+    const SimdKernels& kernels = resolve_simd_kernels(options_.simd);
+    return run_batches([&strategy, &kernels, p, n] {
       auto workspace = std::make_shared<TrialWorkspace>(n);
-      return [workspace, &strategy, p, n](std::size_t begin, std::size_t end,
-                                          Rng& rng, RunningStats& out) {
+      return [workspace, &strategy, &kernels, p, n](
+                 std::size_t begin, std::size_t end, Rng& rng,
+                 RunningStats& out) {
         TrialWorkspace& ws = *workspace;
         const std::size_t count = end - begin;
         std::uint64_t* masks = ws.coloring_masks(count);
         sample_iid_coloring_words(masks, count, n, p, rng);
+        ws.batch_block().configure(kernels, n);
         run_bit_sliced_trials(strategy, ws.batch_block(), masks, count, n,
-                              out);
+                              rng, out);
       };
     });
   }
+  if (options_.sampler == ColoringSampler::kPerElement && n > 64) {
+    // The per-element sampler only exists single-word; larger universes
+    // keep the original allocating per-trial path (same draw sequence).
+    return run([&](Rng& rng) {
+      const Coloring coloring = sample_iid_coloring(n, p, rng);
+      return run_probe_trial(system, strategy, coloring, validate, rng);
+    });
+  }
   // Zero-allocation scalar hot path: one workspace per worker, colorings
-  // filled in place.  kWordBatch samples the whole batch's masks up front
-  // (the sampling and strategy draws are then contiguous per batch);
+  // filled in place.  kWordBatch samples the whole batch's mask rows up
+  // front (the sampling and strategy draws are then contiguous per batch);
   // kPerElement interleaves them per trial, exactly like the generic path,
   // so its results are bit-identical to it.
   const ColoringSampler sampler = options_.sampler;
@@ -246,10 +258,11 @@ RunningStats ParallelEstimator::estimate_ppc(const QuorumSystem& system,
       TrialWorkspace& ws = *workspace;
       const std::size_t count = end - begin;
       if (sampler == ColoringSampler::kWordBatch) {
+        const std::size_t stride = (n + 63) / 64;
         std::uint64_t* masks = ws.coloring_masks(count);
         sample_iid_coloring_words(masks, count, n, p, rng);
         for (std::size_t i = 0; i < count; ++i) {
-          ws.coloring().assign_greens_mask(masks[i]);
+          ws.coloring().assign_greens_words(masks + i * stride);
           out.add(run_workspace_trial(ws, ws.coloring(), system, strategy,
                                       validate, rng));
         }

@@ -19,6 +19,7 @@
 #include <functional>
 
 #include "core/coloring.h"
+#include "core/engine/simd.h"
 #include "core/strategy.h"
 #include "quorum/quorum_system.h"
 #include "util/rng.h"
@@ -27,31 +28,31 @@
 namespace qps {
 
 /// How estimate_ppc draws its per-trial colorings on the zero-allocation
-/// hot path (universes of at most 64 elements; larger universes always use
-/// the per-element sampler).
+/// hot path.
 enum class ColoringSampler {
-  /// One whole batch of green masks up front, word-at-a-time, via
-  /// sample_iid_coloring_words: the fastest path.  Statistically
-  /// equivalent to -- but a different draw sequence than -- the
-  /// per-element sampler.
+  /// One whole batch of green-mask rows up front, word-at-a-time, via
+  /// sample_iid_coloring_words: the fastest path, any universe size.
+  /// Statistically equivalent to -- but a different draw sequence than --
+  /// the per-element sampler.
   kWordBatch,
   /// Per-trial, one uniform per element, interleaved with the strategy's
   /// own draws: bit-identical results to the pre-workspace generic path
   /// (used by differential tests and available for reproducing old runs).
+  /// Universes above 64 elements take the generic allocating trial.
   kPerElement,
 };
 
 /// How estimate_ppc executes the trials of a batch.
 enum class Execution {
-  /// Bit-sliced 64-trials-per-word batch kernel
-  /// (core/engine/batch_kernel.h) where eligible: deterministic-order
-  /// strategy (ProbeStrategy::supports_batch), 1 <= n <= 64, the
-  /// kWordBatch sampler, and witness validation off (the kernel resolves
-  /// win/loss as lane masks and never materializes witnesses).  Ineligible
-  /// combinations -- randomized-order strategies, n > 64, kPerElement,
-  /// validation -- fall back to the scalar path, so the default is always
-  /// safe.  Per-trial probe counts are bit-identical to kScalar's, hence
-  /// so are the returned statistics.
+  /// Bit-sliced batch kernels (core/engine/batch_kernel.h) where eligible:
+  /// the strategy has a batch kernel (ProbeStrategy::supports_batch --
+  /// deterministic-order scans and the pre-drawing randomized-order
+  /// strategies, any universe size), the kWordBatch sampler, and witness
+  /// validation off (the kernels resolve win/loss as lane masks and never
+  /// materialize witnesses).  Ineligible combinations -- strategies
+  /// without a kernel, kPerElement, validation -- fall back to the scalar
+  /// path, so the default is always safe.  Per-trial probe counts are
+  /// bit-identical to kScalar's, hence so are the returned statistics.
   kBitSliced,
   /// Always the per-trial run_with scalar hot path (the PR 4 shape).
   kScalar,
@@ -81,6 +82,11 @@ struct EngineOptions {
   /// Trial execution mode for estimate_ppc (bit-sliced batch kernel where
   /// eligible vs. always scalar); results are bit-identical either way.
   Execution execution = Execution::kBitSliced;
+  /// Instruction set for the bit-sliced kernels (core/engine/simd.h):
+  /// kAuto picks the best the build and CPU support, resolved once per
+  /// estimate_ppc call.  Per-trial results are bit-identical across ISAs
+  /// (only the number of lane words per pass changes).
+  SimdIsa simd = SimdIsa::kAuto;
 };
 
 class ParallelEstimator {

@@ -1,0 +1,134 @@
+// SIMD portability shim for the bit-sliced batch engine.
+//
+// The batch kernel (batch_kernel.h) packs 64 Monte-Carlo trials into every
+// machine word; this layer widens that to W words processed in lock-step,
+// so one pass of a scan kernel advances 64*W trials.  The hot loops (the
+// ripple-carry tally add, the stop-detection equality fold, the masked
+// recursions of Probe_Tree/HQS/CW) are compiled once per instruction set
+// with fixed-trip-count W loops the compiler turns into vector code:
+//
+//   ISA       W   words per op  requires
+//   avx512    8   512 bits      AVX-512F (x86-64)
+//   avx2      4   256 bits      AVX2 (x86-64)
+//   neon      2   128 bits      AArch64 (NEON is baseline there)
+//   portable  4   4x64 scalar   nothing (plain C++, any target)
+//   off       1   64 bits       nothing (PR 5's single-word layout)
+//
+// The kernels never touch project headers beyond this one: each ISA
+// translation unit is compiled with its own -m flags, and letting it emit,
+// say, an AVX-encoded copy of an inline function that other TUs also define
+// would let the linker pick the wide encoding for everyone (an illegal
+// instruction on older CPUs).  So the contract between the engine and the
+// kernels is the POD BlockView below plus plain arrays for structure
+// (tree shape is implied by the heap indexing, HQS by its height, CW by a
+// row-offset array), and every kernel body lives in an anonymous namespace
+// of its own TU (simd_kernels.inc.h).
+//
+// Dispatch happens once per engine run: resolve_simd_kernels() picks the
+// best ISA the build and the CPU both support (overridable through
+// EngineOptions::simd / the benches' --simd= flag) and returns the kernel
+// table; the ISA in use is published as the `engine/simd_isa` gauge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qps {
+
+enum class SimdIsa : std::uint8_t {
+  kAuto = 0,      // best available: avx512 > avx2 > neon > portable
+  kOff = 1,       // single 64-bit word per step (the PR 5 layout)
+  kPortable = 2,  // plain C++ over uint64[4]; compiles anywhere
+  kNeon = 3,      // AArch64
+  kAvx2 = 4,      // x86-64 with AVX2
+  kAvx512 = 5,    // x86-64 with AVX-512F
+};
+
+/// The kernels' window into one loaded BatchTrialBlock.  All arrays are
+/// lane-word matrices with W = SimdKernels::width words per row:
+///   greens[e*W + k]        element e's colors for lanes [64k, 64k+64)
+///   probe_planes[b*W + k]  bit b of the per-lane probe counters
+///   tally_planes           kernel-owned scratch counters, same layout
+///   active[k]              bit t set iff lane 64k+t carries a trial
+/// `planes` is the number of bit planes in each counter (enough for counts
+/// up to `universe`).  POD on purpose -- see the ODR note above.
+struct BlockView {
+  std::uint64_t* greens;
+  std::uint64_t* probe_planes;
+  std::uint64_t* tally_planes;
+  const std::uint64_t* active;
+  std::size_t universe;
+  std::size_t planes;
+};
+
+/// One ISA's kernel table.  Every entry charges probes into
+/// `probe_planes` for exactly the element set the scalar strategy would
+/// probe on each lane's coloring -- the bit-identity contract.
+struct SimdKernels {
+  SimdIsa isa;
+  std::size_t width;  // W: lane words per element / plane
+
+  /// Sequential scan in element order 0..n-1; a lane stops once its green
+  /// tally reaches `green_stop` or its red tally reaches `red_stop`.
+  /// Covers Probe_Maj and, on permuted colorings, R_Probe_Maj and
+  /// Random_Order over counting systems.
+  void (*count_scan)(const BlockView&, std::size_t green_stop,
+                     std::size_t red_stop);
+
+  /// Probe_Tree's masked recursion over the implicit heap tree
+  /// (children of v are 2v+1 / 2v+2; v is a leaf iff 2v+1 >= n).
+  void (*tree_scan)(const BlockView&);
+
+  /// R_Probe_Tree: per-lane pre-drawn plans as bit masks,
+  /// plan_masks[(v*3 + plan)*W + k] for internal nodes v in [0, n/2).
+  void (*rtree_scan)(const BlockView&, const std::uint64_t* plan_masks);
+
+  /// Probe_HQS's masked 2-of-3 gate evaluation; n = 3^height.
+  void (*hqs_scan)(const BlockView&, std::size_t height);
+
+  /// R_Probe_HQS: per-lane pre-drawn child orders as bit masks, 6 words per
+  /// gate (first-child masks F0..F2 then second-child masks S0..S2) at
+  /// order_masks[(g*6 + slot)*W + k]; gates g enumerate level height..1,
+  /// index ascending.
+  void (*rhqs_scan)(const BlockView&, std::size_t height,
+                    const std::uint64_t* order_masks);
+
+  /// Probe_CW's top-down mode scan; rows are [row_begin[r], row_begin[r+1])
+  /// and row_begin has row_count+1 entries.
+  void (*cw_scan)(const BlockView&, const std::uint32_t* row_begin,
+                  std::size_t row_count);
+
+  /// R_Probe_CW's bottom-up both-colors scan (on within-row permuted
+  /// colorings); same row_begin convention.
+  void (*rcw_scan)(const BlockView&, const std::uint32_t* row_begin,
+                   std::size_t row_count);
+};
+
+/// Parses "auto" / "avx512" / "avx2" / "neon" / "portable" / "off".
+/// Returns false (and leaves *out untouched) on anything else.
+bool parse_simd_isa(const std::string& text, SimdIsa* out);
+
+const char* simd_isa_name(SimdIsa isa);
+
+/// True when `isa` can run here: compiled into this build and supported by
+/// the CPU.  kAuto, kOff and kPortable are always available.
+bool simd_isa_available(SimdIsa isa);
+
+/// Resolves a requested ISA to its kernel table (kAuto picks the best
+/// available, detected once per process) and publishes the choice as the
+/// `engine/simd_isa` gauge.  Throws when a concrete request is not
+/// available in this build or on this CPU.
+const SimdKernels& resolve_simd_kernels(SimdIsa requested);
+
+namespace simd_detail {
+// Per-TU kernel tables; nullptr when the ISA is not compiled in
+// (-DQPS_SIMD=OFF or an unsupported target).
+const SimdKernels* off_table();
+const SimdKernels* portable_table();
+const SimdKernels* neon_table();
+const SimdKernels* avx2_table();
+const SimdKernels* avx512_table();
+}  // namespace simd_detail
+
+}  // namespace qps

@@ -1,0 +1,32 @@
+// AVX2 kernels: W = 4 (256-bit lane rows).  Compiled with -mavx2 via
+// per-source-file flags in src/CMakeLists.txt; everything except the table
+// getter has internal linkage so no AVX-encoded body can leak to TUs that
+// run on non-AVX2 hosts (see the ODR note in simd.h).
+#include "core/engine/simd.h"
+
+#if defined(QPS_SIMD_COMPILE_AVX2) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+namespace qps {
+namespace {
+constexpr std::size_t kW = 4;
+#include "core/engine/simd_kernels.inc.h"
+}  // namespace
+
+const SimdKernels* simd_detail::avx2_table() {
+  static constexpr SimdKernels table = {
+      SimdIsa::kAvx2, 4,
+      &count_scan,    &tree_scan, &rtree_scan, &hqs_scan,
+      &rhqs_scan,     &cw_scan,   &rcw_scan};
+  return &table;
+}
+
+}  // namespace qps
+
+#else
+
+namespace qps {
+const SimdKernels* simd_detail::avx2_table() { return nullptr; }
+}  // namespace qps
+
+#endif

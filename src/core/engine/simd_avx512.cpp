@@ -1,0 +1,31 @@
+// AVX-512F kernels: W = 8 (512-bit lane rows).  Compiled with -mavx512f
+// via per-source-file flags in src/CMakeLists.txt; see the ODR note in
+// simd.h for why nothing but the table getter is visible outside this TU.
+#include "core/engine/simd.h"
+
+#if defined(QPS_SIMD_COMPILE_AVX512) && \
+    (defined(__x86_64__) || defined(__i386__))
+
+namespace qps {
+namespace {
+constexpr std::size_t kW = 8;
+#include "core/engine/simd_kernels.inc.h"
+}  // namespace
+
+const SimdKernels* simd_detail::avx512_table() {
+  static constexpr SimdKernels table = {
+      SimdIsa::kAvx512, 8,
+      &count_scan,      &tree_scan, &rtree_scan, &hqs_scan,
+      &rhqs_scan,       &cw_scan,   &rcw_scan};
+  return &table;
+}
+
+}  // namespace qps
+
+#else
+
+namespace qps {
+const SimdKernels* simd_detail::avx512_table() { return nullptr; }
+}  // namespace qps
+
+#endif

@@ -1,0 +1,31 @@
+// NEON kernels: W = 2 (128-bit lane rows).  NEON is baseline on AArch64,
+// so no extra -m flags are needed -- the define simply gates the TU to
+// builds where src/CMakeLists.txt enabled it (QPS_SIMD=ON on an aarch64
+// target).
+#include "core/engine/simd.h"
+
+#if defined(QPS_SIMD_COMPILE_NEON) && defined(__aarch64__)
+
+namespace qps {
+namespace {
+constexpr std::size_t kW = 2;
+#include "core/engine/simd_kernels.inc.h"
+}  // namespace
+
+const SimdKernels* simd_detail::neon_table() {
+  static constexpr SimdKernels table = {
+      SimdIsa::kNeon, 2,
+      &count_scan,    &tree_scan, &rtree_scan, &hqs_scan,
+      &rhqs_scan,     &cw_scan,   &rcw_scan};
+  return &table;
+}
+
+}  // namespace qps
+
+#else
+
+namespace qps {
+const SimdKernels* simd_detail::neon_table() { return nullptr; }
+}  // namespace qps
+
+#endif

@@ -1,0 +1,38 @@
+// Always-compiled kernel widths: "off" (W = 1, PR 5's one-word-per-step
+// layout) and "portable" (W = 4 plain C++, no target-specific flags --
+// compilers still unroll and often vectorize the fixed-trip loops under
+// the build's baseline flags).  See simd.h for the TU-isolation rules.
+#include "core/engine/simd.h"
+
+namespace qps {
+namespace {
+
+namespace w1 {
+constexpr std::size_t kW = 1;
+#include "core/engine/simd_kernels.inc.h"
+}  // namespace w1
+
+namespace w4 {
+constexpr std::size_t kW = 4;
+#include "core/engine/simd_kernels.inc.h"
+}  // namespace w4
+
+}  // namespace
+
+const SimdKernels* simd_detail::off_table() {
+  static constexpr SimdKernels table = {
+      SimdIsa::kOff,     1,
+      &w1::count_scan,   &w1::tree_scan, &w1::rtree_scan, &w1::hqs_scan,
+      &w1::rhqs_scan,    &w1::cw_scan,   &w1::rcw_scan};
+  return &table;
+}
+
+const SimdKernels* simd_detail::portable_table() {
+  static constexpr SimdKernels table = {
+      SimdIsa::kPortable, 4,
+      &w4::count_scan,    &w4::tree_scan, &w4::rtree_scan, &w4::hqs_scan,
+      &w4::rhqs_scan,     &w4::cw_scan,   &w4::rcw_scan};
+  return &table;
+}
+
+}  // namespace qps

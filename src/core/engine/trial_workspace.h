@@ -54,10 +54,12 @@ class TrialWorkspace {
 
   ProbeSession& session() { return session_; }
 
-  /// Batch buffer of per-trial green masks (n <= 64), grown to `count`.
-  /// Contents are unspecified until the caller fills them.
+  /// Batch buffer of per-trial green-mask rows (ceil(n/64) words each, the
+  /// sample_iid_coloring_words layout), grown to `count` rows.  Contents
+  /// are unspecified until the caller fills them.
   std::uint64_t* coloring_masks(std::size_t count) {
-    if (coloring_masks_.size() < count) coloring_masks_.resize(count);
+    const std::size_t words = count * ((universe_size() + 63) / 64);
+    if (coloring_masks_.size() < words) coloring_masks_.resize(words);
     return coloring_masks_.data();
   }
 
@@ -72,9 +74,9 @@ class TrialWorkspace {
     return word_buffers_.at(slot);
   }
 
-  /// The worker's bit-sliced 64-trials-per-word block
-  /// (core/engine/batch_kernel.h): fixed-size storage, reloaded per block
-  /// by the engine's kBitSliced execution path.
+  /// The worker's bit-sliced batch block (core/engine/batch_kernel.h):
+  /// storage sized once by BatchTrialBlock::configure, reloaded per
+  /// super-block by the engine's kBitSliced execution path.
   BatchTrialBlock& batch_block() { return batch_block_; }
 
  private:

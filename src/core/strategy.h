@@ -50,23 +50,30 @@ class ProbeStrategy {
     return run(session, rng);
   }
 
-  /// True when the strategy can execute a bit-sliced 64-trials-per-word
-  /// block (core/engine/batch_kernel.h) over a universe of `universe_size`
-  /// elements.  Only strategies with a DETERMINISTIC probe order qualify
-  /// (they draw nothing from the Rng, so 64 lanes can share one pass), and
-  /// only for n <= 64.  Default: no batch kernel.
+  /// True when the strategy can execute a bit-sliced batch block
+  /// (core/engine/batch_kernel.h) over a universe of `universe_size`
+  /// elements.  Deterministic-order strategies map straight onto a scan
+  /// kernel; randomized-order strategies qualify too by pre-drawing their
+  /// per-trial randomness (permuted colorings, plan masks) before the
+  /// lock-step pass.  Any universe size -- lanes carry ceil(n/64) words.
+  /// Default: no batch kernel.
   virtual bool supports_batch(std::size_t universe_size) const {
     (void)universe_size;
     return false;
   }
 
-  /// Runs one loaded block of trials in lock-step, charging probes through
-  /// BatchTrialBlock::count_probe.  For every lane, the recovered probe
-  /// count must be bit-identical to what run_with() reports on that lane's
-  /// coloring (tests/core/test_batch_kernel.cpp).  Only called when
-  /// supports_batch(block.universe_size()) is true.
-  virtual void run_batch(BatchTrialBlock& block) const {
+  /// Runs one loaded super-block of trials in lock-step through the block's
+  /// ISA kernel table (block.kernels()).  Randomized strategies draw their
+  /// per-trial randomness from `rng` for lanes 0 .. trial_count()-1 IN
+  /// TRIAL ORDER, with exactly the draws run_with() makes per trial, so the
+  /// batch path consumes the same stream as the scalar loop.  For every
+  /// lane, the recovered probe count must be bit-identical to what
+  /// run_with() reports on that lane's coloring
+  /// (tests/core/test_batch_kernel.cpp, tests/core/test_simd.cpp).  Only
+  /// called when supports_batch(block.universe_size()) is true.
+  virtual void run_batch(BatchTrialBlock& block, Rng& rng) const {
     (void)block;
+    (void)rng;
     QPS_CHECK(false, name() + " has no bit-sliced batch kernel");
   }
 };

@@ -20,6 +20,9 @@ class MajoritySystem final : public QuorumSystem {
   std::size_t max_quorum_size() const override { return threshold_; }
   /// All (n choose (n+1)/2) subsets of the threshold size.
   std::vector<ElementSet> enumerate_quorums() const override;
+  /// Maj is a counting system: greens contain a quorum iff there are at
+  /// least (n+1)/2 of them.
+  std::size_t quorum_count_certificate() const override { return threshold_; }
 
   /// The majority threshold (n+1)/2.
   std::size_t threshold() const { return threshold_; }

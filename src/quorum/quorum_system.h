@@ -47,6 +47,13 @@ class QuorumSystem {
   /// complement of `blockers` contains no quorum.
   bool is_transversal(const ElementSet& blockers) const;
 
+  /// Counting certificate: a nonzero c means f_S depends only on |greens|,
+  /// with contains_quorum(S) <=> |S| >= c (for example Majority's
+  /// threshold).  Lets generic probers (Random_Order) replace the
+  /// characteristic-function calls with a counter -- and with it ride the
+  /// bit-sliced batch kernels.  Default: 0 (no such certificate).
+  virtual std::size_t quorum_count_certificate() const { return 0; }
+
   /// All quorums (minterms), enumerated by brute force over subsets.
   /// Only valid for universes of at most `kEnumerationLimit` elements;
   /// structured systems may override with cheaper enumerations.

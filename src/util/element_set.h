@@ -160,6 +160,21 @@ class ElementSet {
     small_ = mask;
   }
 
+  /// Overwrites the contents from ceil(n/64) little-endian mask words, in
+  /// place, for any universe size.  Bits above the universe in the last
+  /// word must be zero.  Multi-word sibling of assign_mask() for the
+  /// zero-allocation trial hot path.
+  void assign_words(const std::uint64_t* words) {
+    if (is_small()) {
+      assign_mask(words[0]);
+      return;
+    }
+    const std::size_t rem = n_ % kInlineBits;
+    QPS_REQUIRE(rem == 0 || (words[words_.size() - 1] >> rem) == 0,
+                "mask words have bits outside the universe");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] = words[i];
+  }
+
   /// Stable hash of the contents (for use in unordered containers).
   std::size_t hash() const;
 

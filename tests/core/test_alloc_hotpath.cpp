@@ -9,6 +9,7 @@
 // measured window starts after a warmup.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <memory>
@@ -179,29 +180,37 @@ TEST(ZeroAllocationHotPath, LegacyRProbeCwEntryPointIsClean) {
 }
 
 TEST(ZeroAllocationHotPath, BitSlicedBatchKernelIsAllocationFree) {
-  // The 64-trials-per-word batch path: sample a batch of masks, transpose
-  // 64-lane blocks into the workspace's BatchTrialBlock, run the strategy's
-  // batch kernel, gather per-lane probe counts.  Zero allocations in the
-  // steady state for every batch-eligible strategy.
+  // The bit-sliced batch path: sample a batch of masks, load super-blocks
+  // into the workspace's BatchTrialBlock, run the strategy's batch kernel,
+  // gather per-lane probe counts.  Zero allocations in the steady state for
+  // every batch-eligible strategy, including the randomized-order kernels
+  // (their pre-drawn permutations and plan masks live in block-owned
+  // buffers that grow once during warmup).
   const MajoritySystem maj63(63);
   const TreeSystem tree5(5);   // n = 63
   const HQSystem hqs3(3);      // n = 27
   const CrumblingWall cw10 = CrumblingWall::triang(10);  // n = 55
 
   const ProbeMaj probe_maj(maj63);
+  const RProbeMaj r_probe_maj(maj63);
+  const RandomOrderProbe random_order(maj63);
   const ProbeTree probe_tree(tree5);
+  const RProbeTree r_probe_tree(tree5);
   const ProbeHQS probe_hqs(hqs3);
+  const RProbeHQS r_probe_hqs(hqs3);
   const ProbeCW probe_cw(cw10);
+  const RProbeCW r_probe_cw(cw10);
 
   const struct {
     const QuorumSystem* system;
     const ProbeStrategy* strategy;
   } cases[] = {
-      {&maj63, &probe_maj},
-      {&tree5, &probe_tree},
-      {&hqs3, &probe_hqs},
-      {&cw10, &probe_cw},
+      {&maj63, &probe_maj}, {&maj63, &r_probe_maj}, {&maj63, &random_order},
+      {&tree5, &probe_tree}, {&tree5, &r_probe_tree},
+      {&hqs3, &probe_hqs},   {&hqs3, &r_probe_hqs},
+      {&cw10, &probe_cw},    {&cw10, &r_probe_cw},
   };
+  const SimdKernels& kernels = resolve_simd_kernels(SimdIsa::kAuto);
   for (const auto& c : cases) {
     const std::size_t n = c.system->universe_size();
     ASSERT_TRUE(c.strategy->supports_batch(n)) << c.strategy->name();
@@ -214,10 +223,14 @@ TEST(ZeroAllocationHotPath, BitSlicedBatchKernelIsAllocationFree) {
     const auto run_batch = [&] {
       sample_iid_coloring_words(masks, kBatch, n, 0.5, rng);
       BatchTrialBlock& block = ws.batch_block();
-      for (std::size_t off = 0; off < kBatch; off += BatchTrialBlock::kLanes) {
-        block.load(masks + off, BatchTrialBlock::kLanes, n);
-        c.strategy->run_batch(block);
-        for (std::size_t lane = 0; lane < BatchTrialBlock::kLanes; ++lane)
+      block.configure(kernels, n);  // no-op after the first call
+      for (std::size_t off = 0; off < kBatch;
+           off += block.lane_capacity()) {
+        const std::size_t lanes =
+            std::min(block.lane_capacity(), kBatch - off);
+        block.load(masks + off, lanes);
+        c.strategy->run_batch(block, rng);
+        for (std::size_t lane = 0; lane < lanes; ++lane)
           checksum += block.probe_count(lane);
       }
     };
@@ -251,9 +264,10 @@ TEST(ZeroAllocationHotPath, MetricsEnabledHotPathStaysAllocationFree) {
       "test/alloc_hotpath_histogram");
   RunningStats stats;
 
+  ws.batch_block().configure(resolve_simd_kernels(SimdIsa::kAuto), n);
   const auto run_batch = [&] {
     sample_iid_coloring_words(masks, kBatch, n, 0.5, rng);
-    run_bit_sliced_trials(probe_maj, ws.batch_block(), masks, kBatch, n,
+    run_bit_sliced_trials(probe_maj, ws.batch_block(), masks, kBatch, n, rng,
                           stats);
     counter.add(kBatch);
     histogram.record(static_cast<std::uint64_t>(stats.count()));

@@ -1,7 +1,10 @@
 // Bit-sliced batch kernel (core/engine/batch_kernel.h): per-trial probe
 // counts from run_batch must be bit-identical to the scalar run_with path
-// for every eligible strategy x family, for full and partial lane blocks,
-// and through the engine for any thread count.
+// for every eligible strategy x family -- deterministic scans AND the
+// pre-drawing randomized-order strategies -- for full and partial lane
+// blocks, for the single-word and wide (portable W=4) kernel tables, and
+// through the engine for any thread count.  Per-ISA native coverage and
+// the n > 64 boundary matrix live in test_simd.cpp.
 #include "core/engine/batch_kernel.h"
 
 #include <gtest/gtest.h>
@@ -9,10 +12,12 @@
 #include <memory>
 #include <vector>
 
+#include "core/algorithms/greedy.h"
 #include "core/algorithms/probe_cw.h"
 #include "core/algorithms/probe_hqs.h"
 #include "core/algorithms/probe_maj.h"
 #include "core/algorithms/probe_tree.h"
+#include "core/algorithms/random_order.h"
 #include "core/engine/trial_workspace.h"
 #include "core/estimator.h"
 #include "quorum/crumbling_wall.h"
@@ -49,13 +54,17 @@ TEST(BatchTrialBlock, LoadTransposesAndZeroesUnusedLanes) {
   std::vector<std::uint64_t> masks(17);
   sample_iid_coloring_words(masks.data(), masks.size(), 40, 0.5, rng);
   BatchTrialBlock block;
-  block.load(masks.data(), masks.size(), 40);
+  block.configure(resolve_simd_kernels(SimdIsa::kOff), 40);
+  EXPECT_EQ(block.width(), 1u);
+  EXPECT_EQ(block.lane_capacity(), 64u);
+  block.load(masks.data(), masks.size());
   EXPECT_EQ(block.trial_count(), 17u);
   EXPECT_EQ(block.universe_size(), 40u);
-  EXPECT_EQ(block.lanes(), (1ULL << 17) - 1);
+  const BlockView view = block.view();
+  EXPECT_EQ(view.active[0], (1ULL << 17) - 1);
   for (Element e = 0; e < 40; ++e)
     for (std::size_t t = 0; t < 64; ++t)
-      ASSERT_EQ((block.greens(e) >> t) & 1ULL,
+      ASSERT_EQ((view.greens[e] >> t) & 1ULL,
                 t < masks.size() ? (masks[t] >> e) & 1ULL : 0ULL)
           << "e=" << e << " t=" << t;
 }
@@ -78,49 +87,85 @@ std::vector<Case> batch_cases() {
     add("Probe_Maj/Maj" + std::to_string(n), maj,
         std::make_shared<ProbeMaj>(*maj));
   }
+  for (const std::size_t n : {21u, 63u}) {
+    auto maj = std::make_shared<MajoritySystem>(n);
+    add("R_Probe_Maj/Maj" + std::to_string(n), maj,
+        std::make_shared<RProbeMaj>(*maj));
+    add("Random_Order/Maj" + std::to_string(n), maj,
+        std::make_shared<RandomOrderProbe>(*maj));
+  }
   for (const std::size_t h : {0u, 2u, 5u}) {  // n = 1, 7, 63
     auto tree = std::make_shared<TreeSystem>(h);
     add("Probe_Tree/Tree" + std::to_string(h), tree,
         std::make_shared<ProbeTree>(*tree));
+  }
+  for (const std::size_t h : {2u, 5u}) {
+    auto tree = std::make_shared<TreeSystem>(h);
+    add("R_Probe_Tree/Tree" + std::to_string(h), tree,
+        std::make_shared<RProbeTree>(*tree));
   }
   for (const std::size_t h : {1u, 2u, 3u}) {  // n = 3, 9, 27
     auto hqs = std::make_shared<HQSystem>(h);
     add("Probe_HQS/Hqs" + std::to_string(h), hqs,
         std::make_shared<ProbeHQS>(*hqs));
   }
+  for (const std::size_t h : {2u, 3u}) {
+    auto hqs = std::make_shared<HQSystem>(h);
+    add("R_Probe_HQS/Hqs" + std::to_string(h), hqs,
+        std::make_shared<RProbeHQS>(*hqs));
+  }
   for (const std::size_t rows : {2u, 4u, 10u}) {  // n = 3, 10, 55
     auto wall = std::make_shared<CrumblingWall>(CrumblingWall::triang(rows));
     add("Probe_CW/Triang" + std::to_string(rows), wall,
         std::make_shared<ProbeCW>(*wall));
   }
+  for (const std::size_t rows : {4u, 10u}) {
+    auto wall = std::make_shared<CrumblingWall>(CrumblingWall::triang(rows));
+    add("R_Probe_CW/Triang" + std::to_string(rows), wall,
+        std::make_shared<RProbeCW>(*wall));
+  }
   // The exactly-one-full-word boundary: wheel(64) is the only paper family
   // that can sit at n = 64.
   auto wheel = std::make_shared<CrumblingWall>(CrumblingWall::wheel(64));
   add("Probe_CW/Wheel64", wheel, std::make_shared<ProbeCW>(*wheel));
+  add("R_Probe_CW/Wheel64", wheel, std::make_shared<RProbeCW>(*wheel));
   return cases;
 }
 
 TEST(BatchKernel, ProbeCountsMatchScalarRunWithPerLane) {
+  // Both always-available kernel tables: kOff (W=1, the PR 5 shape) and
+  // kPortable (W=4) -- the latter exercises multi-lane-word blocks and a
+  // partial final lane word.  Randomized strategies pre-draw per lane in
+  // trial order, so a scalar Rng seeded identically replays their stream.
+  std::uint64_t config_seed = 1000;
   for (const Case& c : batch_cases()) {
     const std::size_t n = c.system->universe_size();
     ASSERT_TRUE(c.strategy->supports_batch(n)) << c.label;
+    const std::size_t stride = (n + 63) / 64;
     TrialWorkspace ws(n);
-    Rng rng(20010826);
-    BatchTrialBlock block;
-    for (const std::size_t count : {std::size_t{64}, std::size_t{17},
-                                    std::size_t{1}, std::size_t{64}}) {
-      for (const double p : {0.1, 0.5, 0.9}) {
-        std::vector<std::uint64_t> masks(count);
-        sample_iid_coloring_words(masks.data(), count, n, p, rng);
-        block.load(masks.data(), count, n);
-        c.strategy->run_batch(block);
-        Rng unused(1);
-        for (std::size_t t = 0; t < count; ++t) {
-          ws.coloring().assign_greens_mask(masks[t]);
-          ProbeSession& session = ws.begin_trial(ws.coloring());
-          (void)c.strategy->run_with(ws, session, unused);
-          ASSERT_EQ(block.probe_count(t), session.probe_count())
-              << c.label << " count=" << count << " p=" << p << " lane=" << t;
+    Rng sample_rng(20010826);
+    for (const SimdIsa isa : {SimdIsa::kOff, SimdIsa::kPortable}) {
+      const SimdKernels& kernels = resolve_simd_kernels(isa);
+      BatchTrialBlock block;
+      block.configure(kernels, n);
+      for (const std::size_t count :
+           {block.lane_capacity(), std::size_t{17}, std::size_t{1}}) {
+        for (const double p : {0.1, 0.5, 0.9}) {
+          std::vector<std::uint64_t> masks(count * stride);
+          sample_iid_coloring_words(masks.data(), count, n, p, sample_rng);
+          block.load(masks.data(), count);
+          ++config_seed;
+          Rng batch_rng(config_seed);
+          c.strategy->run_batch(block, batch_rng);
+          Rng scalar_rng(config_seed);
+          for (std::size_t t = 0; t < count; ++t) {
+            ws.coloring().assign_greens_words(masks.data() + t * stride);
+            ProbeSession& session = ws.begin_trial(ws.coloring());
+            (void)c.strategy->run_with(ws, session, scalar_rng);
+            ASSERT_EQ(block.probe_count(t), session.probe_count())
+                << c.label << " isa=" << simd_isa_name(isa)
+                << " count=" << count << " p=" << p << " lane=" << t;
+          }
         }
       }
     }
@@ -128,33 +173,46 @@ TEST(BatchKernel, ProbeCountsMatchScalarRunWithPerLane) {
 }
 
 TEST(BatchKernel, RunBitSlicedTrialsMatchesScalarStatsAcrossBlockSeams) {
-  // 200 trials = three full blocks + one 8-lane partial; the driver must
-  // append counts in trial order so the RunningStats match exactly.
+  // Three full super-blocks plus an 8-lane partial for each kernel width;
+  // the driver must consume the rng and append counts strictly in trial
+  // order so the RunningStats (and a randomized strategy's draw stream)
+  // match the scalar loop exactly.
   const MajoritySystem maj(63);
-  const ProbeMaj strategy(maj);
-  constexpr std::size_t kTrials = 200;
-  Rng rng(99);
-  std::vector<std::uint64_t> masks(kTrials);
-  sample_iid_coloring_words(masks.data(), kTrials, 63, 0.5, rng);
+  const ProbeMaj det(maj);
+  const RProbeMaj rnd(maj);
+  for (const ProbeStrategy* strategy :
+       {static_cast<const ProbeStrategy*>(&det),
+        static_cast<const ProbeStrategy*>(&rnd)}) {
+    for (const SimdIsa isa : {SimdIsa::kOff, SimdIsa::kPortable}) {
+      const SimdKernels& kernels = resolve_simd_kernels(isa);
+      const std::size_t trials = 3 * 64 * kernels.width + 8;
+      Rng rng(99);
+      std::vector<std::uint64_t> masks(trials);
+      sample_iid_coloring_words(masks.data(), trials, 63, 0.5, rng);
 
-  RunningStats batch;
-  BatchTrialBlock block;
-  run_bit_sliced_trials(strategy, block, masks.data(), kTrials, 63, batch);
+      RunningStats batch;
+      BatchTrialBlock block;
+      block.configure(kernels, 63);
+      Rng batch_rng(4242);
+      run_bit_sliced_trials(*strategy, block, masks.data(), trials, 63,
+                            batch_rng, batch);
 
-  RunningStats scalar;
-  TrialWorkspace ws(63);
-  Rng unused(1);
-  for (std::size_t t = 0; t < kTrials; ++t) {
-    ws.coloring().assign_greens_mask(masks[t]);
-    ProbeSession& session = ws.begin_trial(ws.coloring());
-    (void)strategy.run_with(ws, session, unused);
-    scalar.add(static_cast<double>(session.probe_count()));
+      RunningStats scalar;
+      TrialWorkspace ws(63);
+      Rng scalar_rng(4242);
+      for (std::size_t t = 0; t < trials; ++t) {
+        ws.coloring().assign_greens_mask(masks[t]);
+        ProbeSession& session = ws.begin_trial(ws.coloring());
+        (void)strategy->run_with(ws, session, scalar_rng);
+        scalar.add(static_cast<double>(session.probe_count()));
+      }
+      EXPECT_EQ(batch.count(), scalar.count());
+      EXPECT_EQ(batch.mean(), scalar.mean());
+      EXPECT_EQ(batch.variance(), scalar.variance());
+      EXPECT_EQ(batch.min(), scalar.min());
+      EXPECT_EQ(batch.max(), scalar.max());
+    }
   }
-  EXPECT_EQ(batch.count(), scalar.count());
-  EXPECT_EQ(batch.mean(), scalar.mean());
-  EXPECT_EQ(batch.variance(), scalar.variance());
-  EXPECT_EQ(batch.min(), scalar.min());
-  EXPECT_EQ(batch.max(), scalar.max());
 }
 
 EngineOptions engine_options(std::size_t threads, Execution execution) {
@@ -205,6 +263,27 @@ TEST(BatchKernel, EngineBitSlicedIsThreadCountInvariant) {
   }
 }
 
+TEST(BatchKernel, EngineSimdChoiceNeverChangesTheStatistics) {
+  // Same trials, any compiled ISA: the lane-word width is the only thing
+  // that may differ.  (The full per-strategy ISA sweep is test_simd.cpp.)
+  const MajoritySystem maj(63);
+  const RProbeMaj strategy(maj);
+  auto options = engine_options(2, Execution::kBitSliced);
+  options.simd = SimdIsa::kOff;
+  const RunningStats baseline =
+      ParallelEstimator(options).estimate_ppc(maj, strategy, 0.5);
+  for (const SimdIsa isa : {SimdIsa::kPortable, SimdIsa::kAvx2,
+                            SimdIsa::kAvx512, SimdIsa::kNeon}) {
+    if (!simd_isa_available(isa)) continue;
+    options.simd = isa;
+    const RunningStats stats =
+        ParallelEstimator(options).estimate_ppc(maj, strategy, 0.5);
+    EXPECT_EQ(stats.count(), baseline.count()) << simd_isa_name(isa);
+    EXPECT_EQ(stats.mean(), baseline.mean()) << simd_isa_name(isa);
+    EXPECT_EQ(stats.variance(), baseline.variance()) << simd_isa_name(isa);
+  }
+}
+
 TEST(BatchKernel, EarlyStopDecisionsMatchTheScalarPath) {
   const MajoritySystem maj(63);
   const ProbeMaj strategy(maj);
@@ -222,17 +301,25 @@ TEST(BatchKernel, EarlyStopDecisionsMatchTheScalarPath) {
   EXPECT_EQ(sliced.mean(), scalar.mean());
 }
 
-TEST(BatchKernel, RandomizedStrategiesAreIneligibleAndFallBackUnchanged) {
+TEST(BatchKernel, StrategiesWithoutAKernelFallBackUnchanged) {
+  // The greedy baseline and IR_Probe_HQS have no bit-sliced kernel (their
+  // probe order depends on observed colors mid-run); kBitSliced with such
+  // a strategy is exactly the scalar path.
   const MajoritySystem maj(21);
-  const RProbeMaj randomized(maj);
-  EXPECT_FALSE(randomized.supports_batch(21));
-  // kBitSliced with an ineligible strategy is exactly the scalar path.
+  const GreedyCandidateProbe greedy(maj);
+  EXPECT_FALSE(greedy.supports_batch(21));
+  const HQSystem hqs(3);
+  const IRProbeHQS ir(hqs);
+  EXPECT_FALSE(ir.supports_batch(hqs.universe_size()));
+  auto sliced_options = engine_options(2, Execution::kBitSliced);
+  sliced_options.trials = 500;  // the greedy baseline is slow per trial
+  sliced_options.batch_size = 64;
+  auto scalar_options = sliced_options;
+  scalar_options.execution = Execution::kScalar;
   const RunningStats sliced =
-      ParallelEstimator(engine_options(2, Execution::kBitSliced))
-          .estimate_ppc(maj, randomized, 0.5);
+      ParallelEstimator(sliced_options).estimate_ppc(maj, greedy, 0.5);
   const RunningStats scalar =
-      ParallelEstimator(engine_options(2, Execution::kScalar))
-          .estimate_ppc(maj, randomized, 0.5);
+      ParallelEstimator(scalar_options).estimate_ppc(maj, greedy, 0.5);
   EXPECT_EQ(sliced.count(), scalar.count());
   EXPECT_EQ(sliced.mean(), scalar.mean());
   EXPECT_EQ(sliced.variance(), scalar.variance());
@@ -243,10 +330,21 @@ TEST(BatchKernel, SupportsBatchRespectsStructuralEligibility) {
   const ProbeMaj probe_maj(maj63);
   EXPECT_TRUE(probe_maj.supports_batch(63));
   EXPECT_FALSE(probe_maj.supports_batch(21));  // wrong universe
-  // A wall without the width-1 top row Probe_CW requires is ineligible.
+  const RProbeMaj r_probe_maj(maj63);
+  EXPECT_TRUE(r_probe_maj.supports_batch(63));
+  // A wall without the width-1 top row Probe_CW requires is ineligible,
+  // randomized or not.
   const CrumblingWall wide_top({2, 2}, /*require_nd=*/false);
   const ProbeCW probe_cw(wide_top);
   EXPECT_FALSE(probe_cw.supports_batch(wide_top.universe_size()));
+  const RProbeCW r_probe_cw(wide_top);
+  EXPECT_FALSE(r_probe_cw.supports_batch(wide_top.universe_size()));
+  // Random_Order needs a counting certificate; TreeSystem advertises none.
+  const TreeSystem tree(2);
+  const RandomOrderProbe on_tree(tree);
+  EXPECT_FALSE(on_tree.supports_batch(tree.universe_size()));
+  const RandomOrderProbe on_maj(maj63);
+  EXPECT_TRUE(on_maj.supports_batch(63));
 }
 
 TEST(BatchKernel, ValidationRequestsFallBackToTheValidatingScalarPath) {
@@ -276,11 +374,13 @@ TEST(BatchKernel, ValidationRequestsFallBackToTheValidatingScalarPath) {
 
 TEST(BatchKernel, DefaultRunBatchRefusesStrategiesWithoutAKernel) {
   const MajoritySystem maj(5);
-  const RProbeMaj randomized(maj);
+  const GreedyCandidateProbe greedy(maj);
   BatchTrialBlock block;
+  block.configure(resolve_simd_kernels(SimdIsa::kOff), 5);
   std::uint64_t mask = 0x15;
-  block.load(&mask, 1, 5);
-  EXPECT_THROW(randomized.run_batch(block), std::logic_error);
+  block.load(&mask, 1);
+  Rng rng(1);
+  EXPECT_THROW(greedy.run_batch(block, rng), std::logic_error);
 }
 
 }  // namespace

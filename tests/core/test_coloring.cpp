@@ -253,11 +253,32 @@ TEST(IidSampling, WordSamplerRejectsBadArguments) {
   Rng rng(1);
   EXPECT_THROW(sample_iid_coloring_words(&mask, 1, 0, 0.5, rng),
                std::invalid_argument);
-  EXPECT_THROW(sample_iid_coloring_words(&mask, 1, 65, 0.5, rng),
-               std::invalid_argument);
   EXPECT_THROW(sample_iid_coloring_words(&mask, 1, 8, 1.5, rng),
                std::invalid_argument);
   EXPECT_THROW(sample_iid_coloring_mask(65, 0.5, rng), std::invalid_argument);
+}
+
+TEST(IidSampling, WordSamplerCoversMultiWordUniverses) {
+  // n > 64 rows are ceil(n/64) words with the bits above n zeroed in the
+  // last word; the single-word n <= 64 draw sequence is unchanged (the
+  // sampler is trial-major, chunk-major, so one chunk is the old layout).
+  Rng rng(31);
+  for (const std::size_t n : {65u, 127u, 128u, 129u}) {
+    const std::size_t words = (n + 63) / 64;
+    std::vector<std::uint64_t> masks(8 * words);
+    sample_iid_coloring_words(masks.data(), 8, n, 0.4, rng);
+    const std::size_t rem = n % 64;
+    for (std::size_t t = 0; t < 8; ++t) {
+      if (rem != 0) {
+        ASSERT_EQ(masks[t * words + words - 1] >> rem, 0ULL)
+            << "n=" << n << " t=" << t;
+      }
+      std::size_t greens = 0;
+      for (std::size_t w = 0; w < words; ++w)
+        greens += std::popcount(masks[t * words + w]);
+      ASSERT_LE(greens, n);
+    }
+  }
 }
 
 TEST(ColoringTranspose, MatchesTheBitwiseDefinition) {

@@ -1,0 +1,276 @@
+// SIMD layer (core/engine/simd.h): ISA parsing/dispatch, the strided
+// multi-word transpose, and the word-boundary property matrix -- every
+// batchable strategy x family at n = 64/65/127/128/129 must be
+// bit-identical to the scalar path on every compiled ISA, including
+// partial final blocks, partial final lane words, and the all-dead /
+// all-live colorings.
+#include "core/engine/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/algorithms/probe_cw.h"
+#include "core/algorithms/probe_hqs.h"
+#include "core/algorithms/probe_maj.h"
+#include "core/algorithms/probe_tree.h"
+#include "core/algorithms/random_order.h"
+#include "core/coloring.h"
+#include "core/engine/batch_kernel.h"
+#include "core/engine/parallel_estimator.h"
+#include "core/engine/trial_workspace.h"
+#include "core/obs/metrics.h"
+#include "quorum/crumbling_wall.h"
+#include "quorum/hqs.h"
+#include "quorum/majority.h"
+#include "quorum/tree_system.h"
+
+namespace qps {
+namespace {
+
+constexpr SimdIsa kAllIsas[] = {SimdIsa::kOff, SimdIsa::kPortable,
+                                SimdIsa::kNeon, SimdIsa::kAvx2,
+                                SimdIsa::kAvx512};
+
+std::vector<SimdIsa> available_isas() {
+  std::vector<SimdIsa> isas;
+  for (const SimdIsa isa : kAllIsas)
+    if (simd_isa_available(isa)) isas.push_back(isa);
+  return isas;
+}
+
+TEST(SimdDispatch, ParseRoundTripsEveryName) {
+  for (const SimdIsa isa : {SimdIsa::kAuto, SimdIsa::kOff, SimdIsa::kPortable,
+                            SimdIsa::kNeon, SimdIsa::kAvx2, SimdIsa::kAvx512}) {
+    SimdIsa parsed = SimdIsa::kAuto;
+    ASSERT_TRUE(parse_simd_isa(simd_isa_name(isa), &parsed))
+        << simd_isa_name(isa);
+    EXPECT_EQ(parsed, isa);
+  }
+  SimdIsa parsed = SimdIsa::kNeon;
+  EXPECT_FALSE(parse_simd_isa("sse9", &parsed));
+  EXPECT_FALSE(parse_simd_isa("", &parsed));
+  EXPECT_FALSE(parse_simd_isa("AVX2", &parsed));  // names are lower-case
+  EXPECT_EQ(parsed, SimdIsa::kNeon);              // untouched on failure
+}
+
+TEST(SimdDispatch, FallbackTablesAreAlwaysAvailable) {
+  EXPECT_TRUE(simd_isa_available(SimdIsa::kAuto));
+  EXPECT_TRUE(simd_isa_available(SimdIsa::kOff));
+  EXPECT_TRUE(simd_isa_available(SimdIsa::kPortable));
+  EXPECT_EQ(resolve_simd_kernels(SimdIsa::kOff).width, 1u);
+  EXPECT_EQ(resolve_simd_kernels(SimdIsa::kPortable).width, 4u);
+  const SimdKernels& best = resolve_simd_kernels(SimdIsa::kAuto);
+  EXPECT_TRUE(simd_isa_available(best.isa));
+  EXPECT_GE(best.width, 1u);
+}
+
+TEST(SimdDispatch, UnavailableIsasResolveToAThrow) {
+  for (const SimdIsa isa : kAllIsas) {
+    if (simd_isa_available(isa)) {
+      EXPECT_EQ(resolve_simd_kernels(isa).isa, isa) << simd_isa_name(isa);
+    } else {
+      EXPECT_THROW(resolve_simd_kernels(isa), std::invalid_argument)
+          << simd_isa_name(isa);
+    }
+  }
+}
+
+TEST(SimdDispatch, ResolvingPublishesTheIsaGauge) {
+  (void)resolve_simd_kernels(SimdIsa::kPortable);
+  EXPECT_EQ(obs::MetricsRegistry::instance().gauge("engine/simd_isa").value(),
+            static_cast<std::int64_t>(SimdIsa::kPortable));
+  const SimdKernels& best = resolve_simd_kernels(SimdIsa::kAuto);
+  EXPECT_EQ(obs::MetricsRegistry::instance().gauge("engine/simd_isa").value(),
+            static_cast<std::int64_t>(best.isa));
+}
+
+TEST(StridedTranspose, MatchesTheBitwiseDefinitionAcrossWordBoundaries) {
+  // element_words[e*W + k] bit t must equal row (64k + t)'s bit e, with
+  // lanes at and beyond trial_count zeroed -- for universes straddling
+  // every word boundary and for partial final lane words.
+  Rng rng(77);
+  for (const std::size_t n : {1u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    const std::size_t stride = (n + 63) / 64;
+    for (const std::size_t lane_words : {1u, 2u, 4u, 8u}) {
+      const std::size_t cap = 64 * lane_words;
+      for (std::size_t count : {std::size_t{1}, std::size_t{17},
+                                std::size_t{64}, cap - 5, cap}) {
+        if (count > cap || count < 1) continue;
+        std::vector<std::uint64_t> masks(count * stride);
+        sample_iid_coloring_words(masks.data(), count, n, 0.5, rng);
+        std::vector<std::uint64_t> words(n * lane_words, ~0ULL);  // stale
+        transpose_coloring_words_strided(masks.data(), count, n, lane_words,
+                                         words.data());
+        for (std::size_t e = 0; e < n; ++e) {
+          for (std::size_t lane = 0; lane < cap; ++lane) {
+            const std::uint64_t got =
+                (words[e * lane_words + lane / 64] >> (lane % 64)) & 1ULL;
+            const std::uint64_t want =
+                lane < count
+                    ? (masks[lane * stride + e / 64] >> (e % 64)) & 1ULL
+                    : 0ULL;
+            ASSERT_EQ(got, want) << "n=" << n << " W=" << lane_words
+                                 << " count=" << count << " e=" << e
+                                 << " lane=" << lane;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(StridedTranspose, RejectsBadArguments) {
+  std::uint64_t mask = 1, out[64];
+  EXPECT_THROW(transpose_coloring_words_strided(&mask, 1, 0, 1, out),
+               std::invalid_argument);
+  EXPECT_THROW(transpose_coloring_words_strided(&mask, 1, 1, 0, out),
+               std::invalid_argument);
+  EXPECT_THROW(transpose_coloring_words_strided(&mask, 65, 1, 1, out),
+               std::invalid_argument);
+}
+
+struct Case {
+  std::string label;
+  std::shared_ptr<const QuorumSystem> system;
+  std::shared_ptr<const ProbeStrategy> strategy;
+};
+
+/// Every batchable strategy on every paper family that can sit at or just
+/// across the 64-element word boundary.
+std::vector<Case> boundary_cases() {
+  std::vector<Case> cases;
+  const auto add = [&](std::string label,
+                       std::shared_ptr<const QuorumSystem> system,
+                       std::shared_ptr<const ProbeStrategy> strategy) {
+    cases.push_back({std::move(label), std::move(system), std::move(strategy)});
+  };
+  for (const std::size_t n : {65u, 127u, 129u}) {  // Maj needs odd n
+    auto maj = std::make_shared<MajoritySystem>(n);
+    add("Probe_Maj/Maj" + std::to_string(n), maj,
+        std::make_shared<ProbeMaj>(*maj));
+    add("R_Probe_Maj/Maj" + std::to_string(n), maj,
+        std::make_shared<RProbeMaj>(*maj));
+    add("Random_Order/Maj" + std::to_string(n), maj,
+        std::make_shared<RandomOrderProbe>(*maj));
+  }
+  auto tree = std::make_shared<TreeSystem>(6);  // n = 127
+  add("Probe_Tree/Tree6", tree, std::make_shared<ProbeTree>(*tree));
+  add("R_Probe_Tree/Tree6", tree, std::make_shared<RProbeTree>(*tree));
+  auto hqs = std::make_shared<HQSystem>(4);  // n = 81
+  add("Probe_HQS/Hqs4", hqs, std::make_shared<ProbeHQS>(*hqs));
+  add("R_Probe_HQS/Hqs4", hqs, std::make_shared<RProbeHQS>(*hqs));
+  for (const std::size_t n : {64u, 65u, 128u, 129u}) {  // wheel: any n
+    auto wall = std::make_shared<CrumblingWall>(CrumblingWall::wheel(n));
+    add("Probe_CW/Wheel" + std::to_string(n), wall,
+        std::make_shared<ProbeCW>(*wall));
+    add("R_Probe_CW/Wheel" + std::to_string(n), wall,
+        std::make_shared<RProbeCW>(*wall));
+  }
+  return cases;
+}
+
+TEST(SimdBoundary, EveryIsaMatchesScalarPerLaneAcrossWordBoundaries) {
+  // p = 0.0 / 1.0 are the all-live / all-dead colorings; count = 13 leaves
+  // a partial first lane word, count = lane_capacity() fills every word.
+  // One block per case is reconfigured across ISAs, which also exercises
+  // configure()'s invalidation path.
+  std::uint64_t config_seed = 9000;
+  for (const Case& c : boundary_cases()) {
+    const std::size_t n = c.system->universe_size();
+    ASSERT_TRUE(c.strategy->supports_batch(n)) << c.label;
+    const std::size_t stride = (n + 63) / 64;
+    TrialWorkspace ws(n);
+    Rng sample_rng(42);
+    BatchTrialBlock block;
+    for (const SimdIsa isa : available_isas()) {
+      const SimdKernels& kernels = resolve_simd_kernels(isa);
+      block.configure(kernels, n);
+      for (const std::size_t count : {block.lane_capacity(), std::size_t{13}}) {
+        for (const double p : {0.0, 0.4, 1.0}) {
+          std::vector<std::uint64_t> masks(count * stride);
+          sample_iid_coloring_words(masks.data(), count, n, p, sample_rng);
+          block.load(masks.data(), count);
+          ++config_seed;
+          Rng batch_rng(config_seed);
+          c.strategy->run_batch(block, batch_rng);
+          Rng scalar_rng(config_seed);
+          for (std::size_t t = 0; t < count; ++t) {
+            ws.coloring().assign_greens_words(masks.data() + t * stride);
+            ProbeSession& session = ws.begin_trial(ws.coloring());
+            (void)c.strategy->run_with(ws, session, scalar_rng);
+            ASSERT_EQ(block.probe_count(t), session.probe_count())
+                << c.label << " isa=" << simd_isa_name(isa)
+                << " count=" << count << " p=" << p << " lane=" << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBoundary, EngineStatisticsAreIsaInvariantAboveSixtyFourElements) {
+  // Full engine runs (multi-word sampler + bit-sliced execution) must
+  // return identical statistics for every compiled ISA, on a randomized
+  // strategy so the pre-drawn permutation streams are covered too.
+  const MajoritySystem maj(65);
+  const RandomOrderProbe random_order(maj);
+  const CrumblingWall wall = CrumblingWall::wheel(128);
+  const RProbeCW r_probe_cw(wall);
+  const struct {
+    const QuorumSystem* system;
+    const ProbeStrategy* strategy;
+  } cases[] = {{&maj, &random_order}, {&wall, &r_probe_cw}};
+  for (const auto& c : cases) {
+    EngineOptions options;
+    options.trials = 2000;
+    options.batch_size = 256;
+    options.threads = 2;
+    options.seed = 7;
+    options.execution = Execution::kBitSliced;
+    options.simd = SimdIsa::kOff;
+    const RunningStats baseline =
+        ParallelEstimator(options).estimate_ppc(*c.system, *c.strategy, 0.45);
+    options.execution = Execution::kScalar;
+    const RunningStats scalar =
+        ParallelEstimator(options).estimate_ppc(*c.system, *c.strategy, 0.45);
+    EXPECT_EQ(baseline.count(), scalar.count()) << c.strategy->name();
+    EXPECT_EQ(baseline.mean(), scalar.mean()) << c.strategy->name();
+    options.execution = Execution::kBitSliced;
+    for (const SimdIsa isa : available_isas()) {
+      options.simd = isa;
+      const RunningStats stats =
+          ParallelEstimator(options).estimate_ppc(*c.system, *c.strategy, 0.45);
+      EXPECT_EQ(stats.count(), baseline.count())
+          << c.strategy->name() << " " << simd_isa_name(isa);
+      EXPECT_EQ(stats.mean(), baseline.mean())
+          << c.strategy->name() << " " << simd_isa_name(isa);
+      EXPECT_EQ(stats.variance(), baseline.variance())
+          << c.strategy->name() << " " << simd_isa_name(isa);
+      EXPECT_EQ(stats.min(), baseline.min())
+          << c.strategy->name() << " " << simd_isa_name(isa);
+      EXPECT_EQ(stats.max(), baseline.max())
+          << c.strategy->name() << " " << simd_isa_name(isa);
+    }
+  }
+}
+
+TEST(SimdBoundary, BitSlicedEngineRunsCountSimdBlocks) {
+  obs::Counter& blocks =
+      obs::MetricsRegistry::instance().counter("engine/simd_blocks");
+  const std::uint64_t before = blocks.value();
+  const MajoritySystem maj(65);
+  const ProbeMaj strategy(maj);
+  EngineOptions options;
+  options.trials = 512;
+  options.batch_size = 256;
+  options.threads = 1;
+  options.execution = Execution::kBitSliced;
+  (void)ParallelEstimator(options).estimate_ppc(maj, strategy, 0.5);
+  EXPECT_GT(blocks.value(), before);
+}
+
+}  // namespace
+}  // namespace qps
