@@ -43,11 +43,13 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/engine/parallel_estimator.h"
+#include "core/fault/fault.h"
 #include "core/net/socket.h"
 #include "core/net/socket_sweep.h"
 #include "core/obs/metrics.h"
@@ -113,6 +115,17 @@ struct BenchContext {
   // waits for workers instead (tests use this to force every point through
   // the socket path; a sweep no worker can serve then waits forever).
   bool net_local_fallback = true;
+
+  // Robustness (core/fault/).  --fault SPEC arms deterministic fault
+  // injection (grammar in core/fault/fault.h); the spec rides along in the
+  // worker re-exec argv, so pipe workers inherit it -- use match= to pin a
+  // rule to one point.  --max-point-retries bounds how often a forfeited
+  // point is retried before quarantine; --point-deadline S kills a socket
+  // worker that holds one point longer than S seconds, heartbeats
+  // notwithstanding.
+  std::string fault_spec;            // empty = no injection
+  std::size_t max_point_retries = 3;
+  double point_deadline = 0.0;       // 0 = watchdog disabled
   // Bound in parse_context() when --listen is given (port printed on
   // stdout); shared so BenchContext stays copyable.
   std::shared_ptr<net::TcpListener> listener;
@@ -244,6 +257,28 @@ inline BenchContext parse_context(int argc, char** argv) {
   ctx.net_timeout = flags.get_double("net-timeout", ctx.net_timeout);
   ctx.net_heartbeat = flags.get_double("net-heartbeat", ctx.net_heartbeat);
   ctx.net_local_fallback = !flags.get_bool("no-local-fallback", false);
+  ctx.fault_spec = flags.get_string("fault", "");
+  if (!ctx.fault_spec.empty()) {
+    if (!fault::kFaultCompiled)
+      std::cerr << "--fault: fault injection is compiled out (QPS_FAULT=0); "
+                   "the spec is ignored\n";
+    try {
+      fault::configure(ctx.fault_spec);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "--fault: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
+  const std::int64_t retries_flag =
+      flags.get_int("max-point-retries",
+                    static_cast<std::int64_t>(ctx.max_point_retries));
+  if (retries_flag < 0) {
+    std::cerr << "--max-point-retries must be >= 0, got " << retries_flag
+              << "\n";
+    std::exit(2);
+  }
+  ctx.max_point_retries = static_cast<std::size_t>(retries_flag);
+  ctx.point_deadline = flags.get_double("point-deadline", 0.0);
   ctx.trace_path = flags.get_string("trace", "");
   ctx.metrics_json_path = flags.get_string("metrics-json", "");
   ctx.progress = flags.get_bool("progress", false);
@@ -254,7 +289,8 @@ inline BenchContext parse_context(int argc, char** argv) {
                  "--target-sem --execution --simd --json --workers --checkpoint "
                  "--resume --point --family --size --listen --connect "
                  "--dial --net-timeout --net-heartbeat "
-                 "--no-local-fallback --trace --metrics-json --progress)\n";
+                 "--no-local-fallback --trace --metrics-json --progress "
+                 "--fault --max-point-retries --point-deadline)\n";
     std::exit(2);
   }
   if ((ctx.listen && (ctx.workers > 0 || !ctx.connect_address.empty())) ||
@@ -465,6 +501,7 @@ inline std::vector<sweep::PointResult> run_sweep(
   options.point_filter = ctx.point_filter;
   options.family_filter = ctx.family_filter;
   options.size_filter = ctx.size_filter;
+  options.max_point_retries = ctx.max_point_retries;
   if (ctx.workers > 0) {
     options.worker_command = ctx.command;
     options.worker_command.push_back("--worker");
@@ -475,6 +512,8 @@ inline std::vector<sweep::PointResult> run_sweep(
     coordinator.engine.worker_timeout = ctx.net_timeout;
     coordinator.engine.heartbeat_interval = ctx.net_heartbeat;
     coordinator.engine.evaluator = evaluator_id;
+    coordinator.engine.max_point_retries = ctx.max_point_retries;
+    coordinator.engine.point_deadline = ctx.point_deadline;
     coordinator.dial = ctx.dial;
     coordinator.local_fallback = ctx.net_local_fallback;
     options.remote_runner =
@@ -526,7 +565,8 @@ class JsonReport {
   void add_sweep(const std::string& prefix,
                  const std::vector<sweep::PointResult>& results) {
     for (const sweep::PointResult& result : results) {
-      if (result.skipped) continue;  // --point filter left this one out
+      if (result.skipped) continue;     // --point filter left this one out
+      if (result.quarantined) continue;  // no result to report, only counters
       add_metric(prefix + "/" + result.point.id + "/mean",
                  result.stats.mean());
       add_metric(prefix + "/" + result.point.id + "/trials",

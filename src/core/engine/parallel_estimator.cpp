@@ -7,6 +7,7 @@
 
 #include "core/engine/parallel_for.h"
 #include "core/engine/trial_workspace.h"
+#include "core/fault/fault.h"
 #include "core/obs/metrics.h"
 #include "core/obs/trace.h"
 #include "core/probe_session.h"
@@ -200,6 +201,7 @@ RunningStats ParallelEstimator::run_sequential(const Trial& trial,
 RunningStats ParallelEstimator::estimate_ppc(const QuorumSystem& system,
                                              const ProbeStrategy& strategy,
                                              double p) const {
+  QPS_FAULT_POINT("engine/estimate");
   const bool validate = options_.validate_witnesses;
   const std::size_t n = system.universe_size();
   if (n == 0) {

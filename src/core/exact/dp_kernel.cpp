@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/engine/parallel_for.h"
+#include "core/fault/fault.h"
 #include "core/obs/metrics.h"
 #include "core/obs/trace.h"
 #include "util/require.h"
@@ -195,9 +196,18 @@ void DpKernel<Policy>::solve() {
     std::uint64_t level_t0 = 0;
     if constexpr (obs::kMetricsCompiled) level_t0 = obs::monotonic_us();
     const std::size_t total = dp_state_count(n_, k);
-    values_cur.assign(total, Value{});
+    try {
+      QPS_FAULT_POINT("exact/level_alloc");  // alloc action: forced OOM here
+      values_cur.assign(total, Value{});
+      if constexpr (Policy::kWeighted) weights_cur.assign(total, 0.0);
+      if (options_.record_policy) argmin_tables_[k].assign(total, kDpNoProbe);
+    } catch (const std::bad_alloc&) {
+      const std::size_t bytes =
+          total * (sizeof(Value) + (Policy::kWeighted ? sizeof(double) : 0) +
+                   (options_.record_policy ? 1 : 0));
+      throw BudgetExceeded(n_, k, bytes);
+    }
     if constexpr (Policy::kWeighted) {
-      weights_cur.assign(total, 0.0);
       const std::size_t blocks = static_cast<std::size_t>(binom(n_, k));
       pool.parallel_for(0, blocks, 64,
                         [&](std::size_t block_begin, std::size_t block_end) {
@@ -205,11 +215,8 @@ void DpKernel<Policy>::solve() {
                                                 weights_cur);
                         });
     }
-    std::vector<std::uint8_t>* argmin = nullptr;
-    if (options_.record_policy) {
-      argmin_tables_[k].assign(total, kDpNoProbe);
-      argmin = &argmin_tables_[k];
-    }
+    std::vector<std::uint8_t>* argmin =
+        options_.record_policy ? &argmin_tables_[k] : nullptr;
     pool.parallel_for(0, total, kStateGrain,
                       [&](std::size_t state_begin, std::size_t state_end) {
                         evaluate_states(k, state_begin, state_end, values_next,

@@ -38,6 +38,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/coloring.h"
@@ -45,6 +47,34 @@
 #include "quorum/quorum_system.h"
 
 namespace qps::exact {
+
+/// Thrown when a mid-solve frontier allocation fails: the upfront
+/// require_dp_feasible() formula admitted the solve but the OS could not
+/// actually back the level buffers (overcommit, cgroup limits, memory
+/// pressure from neighbors).  Structured degradation -- callers can shrink
+/// n or retry -- instead of an uncaught bad_alloc tearing the process
+/// down.  Deterministically exercised via the "exact/level_alloc" fault
+/// point.
+class BudgetExceeded : public std::runtime_error {
+ public:
+  BudgetExceeded(std::size_t n, std::size_t level, std::size_t bytes)
+      : std::runtime_error("exact DP out of memory at n=" + std::to_string(n) +
+                           " level k=" + std::to_string(level) + " (" +
+                           std::to_string(bytes >> 20) +
+                           " MiB frontier); the feasibility formula admitted "
+                           "the solve but the allocation failed"),
+        n_(n),
+        level_(level),
+        bytes_(bytes) {}
+  std::size_t universe_size() const { return n_; }
+  std::size_t level() const { return level_; }
+  std::size_t frontier_bytes() const { return bytes_; }
+
+ private:
+  std::size_t n_;
+  std::size_t level_;
+  std::size_t bytes_;
+};
 
 /// Default kernel memory budget: 8 GiB, which admits PPC/Yao up to n = 19
 /// and PC (1-byte states) up to n = 21; the hard ceiling is the n <= 22 of

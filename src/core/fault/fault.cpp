@@ -1,0 +1,352 @@
+#include "core/fault/fault.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/obs/metrics.h"
+
+namespace qps::fault {
+
+namespace {
+
+enum class Action { kCrash, kError, kDelay, kTorn, kAllocFail };
+
+const char* action_name(Action action) {
+  switch (action) {
+    case Action::kCrash: return "crash";
+    case Action::kError: return "error";
+    case Action::kDelay: return "delay";
+    case Action::kTorn: return "torn";
+    case Action::kAllocFail: return "alloc";
+  }
+  return "?";
+}
+
+struct Rule {
+  std::string point;
+  Action action = Action::kError;
+  std::uint64_t after = 1;   ///< First hit (1-based) the rule may fire on.
+  std::uint64_t count = 0;   ///< Max firings; 0 means unlimited.
+  double prob = -1.0;        ///< Firing probability; < 0 means always.
+  std::uint64_t seed = 0;    ///< Seed for the prob decision hash.
+  double ms = 10.0;          ///< Delay action: stall duration.
+  double frac = 0.5;         ///< Torn action: payload fraction kept.
+  std::string match;         ///< Detail-tag substring filter; empty: any.
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+  obs::Counter* fired_counter = nullptr;
+};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Deterministic per-hit firing decision: a pure function of (seed, point
+/// name, 1-based hit index), independent of scheduling.
+bool bernoulli(const Rule& rule, std::uint64_t hit_index) {
+  if (rule.prob < 0.0) return true;
+  const std::uint64_t h =
+      splitmix64(rule.seed ^ splitmix64(fnv1a(rule.point) + hit_index));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+  return u < rule.prob;
+}
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry registry;
+    return registry;
+  }
+
+  void configure(const std::string& spec) {
+    std::vector<Rule> parsed = parse(spec);
+    if (parsed.empty()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    load_env_locked();
+    for (Rule& rule : parsed) install_locked(std::move(rule));
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rules_.clear();
+    env_loaded_ = true;  // an explicit clear() also discards QPS_FAULTS
+    armed_.store(false, std::memory_order_relaxed);
+  }
+
+  std::string describe() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    load_env_locked();
+    std::ostringstream os;
+    for (std::size_t i = 0; i < rules_.size(); ++i) {
+      if (i) os << "; ";
+      os << rules_[i].point << ':' << action_name(rules_[i].action);
+    }
+    return os.str();
+  }
+
+  bool armed() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    load_env_locked();
+    return !rules_.empty();
+  }
+
+  /// The disarmed fast path reads one relaxed atomic; QPS_FAULTS is
+  /// loaded lazily on the first hit so library code needs no init call.
+  bool maybe_armed() {
+    if (armed_.load(std::memory_order_relaxed)) return true;
+    if (env_loaded_.load(std::memory_order_acquire)) return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    load_env_locked();
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  void hit(const char* point, std::string_view detail) {
+    if (!maybe_armed()) return;
+    Action action = Action::kError;
+    std::string what;
+    double ms = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      static obs::Counter& hits =
+          obs::MetricsRegistry::instance().counter("fault/hits");
+      hits.increment();
+      Rule* firing = nullptr;
+      for (Rule& rule : rules_) {
+        if (rule.action == Action::kTorn) continue;  // consume_torn() only
+        if (!matches(rule, point, detail)) continue;
+        ++rule.hits;
+        if (firing == nullptr && eligible(rule)) firing = &rule;
+      }
+      if (firing == nullptr) return;
+      fired_locked(*firing);
+      action = firing->action;
+      ms = firing->ms;
+      std::ostringstream os;
+      os << "fault: " << action_name(action) << " at " << point << " (hit "
+         << firing->hits << ")";
+      what = os.str();
+    }
+    // Perform the action outside the lock: a stalled or throwing site must
+    // not hold up other threads' fault evaluation.
+    switch (action) {
+      case Action::kCrash: {
+        what += "\n";
+        // Raw write(2): stdio buffers would be lost across _Exit.
+        [[maybe_unused]] const ssize_t n =
+            ::write(STDERR_FILENO, what.data(), what.size());
+        std::_Exit(86);
+      }
+      case Action::kError:
+        throw InjectedFault(what);
+      case Action::kDelay:
+        std::this_thread::sleep_for(std::chrono::duration<double>(ms / 1e3));
+        return;
+      case Action::kAllocFail:
+        throw std::bad_alloc();
+      case Action::kTorn:
+        return;  // unreachable
+    }
+  }
+
+  std::optional<double> consume_torn(const char* point,
+                                     std::string_view detail) {
+    if (!maybe_armed()) return std::nullopt;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Rule& rule : rules_) {
+      if (rule.action != Action::kTorn) continue;
+      if (!matches(rule, point, detail)) continue;
+      ++rule.hits;
+      if (!eligible(rule)) continue;
+      fired_locked(rule);
+      return rule.frac;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static bool matches(const Rule& rule, const char* point,
+                      std::string_view detail) {
+    if (rule.point != point) return false;
+    return rule.match.empty() ||
+           detail.find(rule.match) != std::string_view::npos;
+  }
+
+  static bool eligible(const Rule& rule) {
+    if (rule.hits < rule.after) return false;
+    if (rule.count != 0 && rule.fired >= rule.count) return false;
+    return bernoulli(rule, rule.hits);
+  }
+
+  void fired_locked(Rule& rule) {
+    ++rule.fired;
+    static obs::Counter& fired =
+        obs::MetricsRegistry::instance().counter("fault/fired");
+    fired.increment();
+    if (rule.fired_counter) rule.fired_counter->increment();
+  }
+
+  void install_locked(Rule rule) {
+    rule.fired_counter =
+        &obs::MetricsRegistry::instance().counter("fault/fired/" + rule.point);
+    rules_.push_back(std::move(rule));
+    armed_.store(true, std::memory_order_relaxed);
+  }
+
+  void load_env_locked() {
+    if (env_loaded_.load(std::memory_order_relaxed)) return;
+    const char* env = std::getenv("QPS_FAULTS");
+    if (env != nullptr && *env != '\0')
+      for (Rule& rule : parse(env)) install_locked(std::move(rule));
+    env_loaded_.store(true, std::memory_order_release);
+  }
+
+  static std::vector<Rule> parse(const std::string& spec);
+
+  std::mutex mutex_;
+  std::vector<Rule> rules_;
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> env_loaded_{false};
+};
+
+[[noreturn]] void bad_spec(const std::string& rule, const std::string& why) {
+  throw std::invalid_argument("bad fault rule '" + rule + "': " + why);
+}
+
+double parse_number(const std::string& rule, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(text, &used);
+    if (used != text.size()) bad_spec(rule, "trailing junk in '" + text + "'");
+    return value;
+  } catch (const std::invalid_argument&) {
+    bad_spec(rule, "not a number: '" + text + "'");
+  } catch (const std::out_of_range&) {
+    bad_spec(rule, "out of range: '" + text + "'");
+  }
+}
+
+std::string trim(const std::string& text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+    ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+    --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<Rule> Registry::parse(const std::string& spec) {
+  std::vector<Rule> rules;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t semi = spec.find(';', start);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string text = trim(spec.substr(start, semi - start));
+    start = semi + 1;
+    if (text.empty()) continue;
+
+    std::vector<std::string> fields;
+    std::size_t fstart = 0;
+    while (fstart <= text.size()) {
+      std::size_t colon = text.find(':', fstart);
+      if (colon == std::string::npos) colon = text.size();
+      fields.push_back(text.substr(fstart, colon - fstart));
+      fstart = colon + 1;
+    }
+    if (fields.size() < 2) bad_spec(text, "want POINT:ACTION[:PARAM...]");
+
+    Rule rule;
+    rule.point = fields[0];
+    if (rule.point.empty()) bad_spec(text, "empty point name");
+    const std::string& action = fields[1];
+    if (action == "crash") rule.action = Action::kCrash;
+    else if (action == "error") rule.action = Action::kError;
+    else if (action == "delay") rule.action = Action::kDelay;
+    else if (action == "torn") rule.action = Action::kTorn;
+    else if (action == "alloc") rule.action = Action::kAllocFail;
+    else
+      bad_spec(text, "unknown action '" + action +
+                         "' (want crash|error|delay|torn|alloc)");
+
+    for (std::size_t i = 2; i < fields.size(); ++i) {
+      const std::size_t eq = fields[i].find('=');
+      if (eq == std::string::npos)
+        bad_spec(text, "parameter '" + fields[i] + "' is not KEY=VALUE");
+      const std::string key = fields[i].substr(0, eq);
+      const std::string value = fields[i].substr(eq + 1);
+      if (key == "after") {
+        const double v = parse_number(text, value);
+        if (v < 1) bad_spec(text, "after must be >= 1");
+        rule.after = static_cast<std::uint64_t>(v);
+      } else if (key == "count") {
+        rule.count = static_cast<std::uint64_t>(parse_number(text, value));
+      } else if (key == "prob") {
+        rule.prob = parse_number(text, value);
+        if (rule.prob < 0.0 || rule.prob > 1.0)
+          bad_spec(text, "prob must be in [0, 1]");
+      } else if (key == "seed") {
+        rule.seed = static_cast<std::uint64_t>(parse_number(text, value));
+      } else if (key == "ms") {
+        rule.ms = parse_number(text, value);
+      } else if (key == "frac") {
+        rule.frac = parse_number(text, value);
+        if (rule.frac < 0.0 || rule.frac > 1.0)
+          bad_spec(text, "frac must be in [0, 1]");
+      } else if (key == "match") {
+        rule.match = value;
+      } else {
+        bad_spec(text, "unknown parameter '" + key + "'");
+      }
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace
+
+void configure(const std::string& spec) { Registry::instance().configure(spec); }
+
+void clear() { Registry::instance().clear(); }
+
+std::string describe() { return Registry::instance().describe(); }
+
+namespace detail {
+
+void hit_impl(const char* point, std::string_view detail) {
+  Registry::instance().hit(point, detail);
+}
+
+std::optional<double> consume_torn_impl(const char* point,
+                                        std::string_view detail) {
+  return Registry::instance().consume_torn(point, detail);
+}
+
+bool armed_impl() { return Registry::instance().armed(); }
+
+}  // namespace detail
+
+}  // namespace qps::fault

@@ -1,0 +1,117 @@
+// Deterministic fault injection for the engine, sweep, and net fabric.
+//
+// Code under test declares named fault points:
+//
+//   QPS_FAULT_POINT("sweep/checkpoint_write");           // plain site
+//   QPS_FAULT_POINT2("net/worker_eval", point.id);       // with a detail tag
+//
+// and a process-global FaultRegistry -- armed from `--fault SPEC` or the
+// QPS_FAULTS environment variable -- decides per hit whether the site
+// crashes, throws, stalls, or (for write helpers that opt in via
+// consume_torn()) truncates its write.  Nothing fires unless a spec was
+// installed, and the disarmed fast path is a single relaxed atomic load.
+//
+// Spec grammar (see README "Robustness"):
+//
+//   SPEC   := RULE (';' RULE)*
+//   RULE   := POINT ':' ACTION (':' PARAM)*
+//   ACTION := crash | error | delay | torn | alloc
+//   PARAM  := after=N | count=K | prob=P | seed=S | ms=M | frac=F | match=SUB
+//
+// A rule fires on hits number `after`, after+1, ... (1-based, default 1),
+// at most `count` times (default unlimited).  With `prob` set, each
+// eligible hit instead fires with probability P, decided by a hash of
+// (seed, point name, hit index) -- fully deterministic, independent of
+// thread interleaving for a fixed per-point hit order.  `match` restricts
+// a rule to hits whose detail tag contains SUB (e.g. one sweep point id).
+// Actions:
+//
+//   crash  -- write one diagnostic line to stderr and _Exit(86).
+//   error  -- throw fault::InjectedFault (a std::runtime_error).
+//   delay  -- sleep `ms` milliseconds (default 10), then continue.
+//   alloc  -- throw std::bad_alloc, exercising allocation-failure paths.
+//   torn   -- only consulted by consume_torn(): the write helper keeps
+//             the first `frac` (default 0.5) of the payload and drops the
+//             rest, modelling a torn write / full disk without reporting
+//             an error.  hit() ignores torn rules.
+//
+// Every evaluation bumps `fault/hits`; every firing bumps `fault/fired`
+// and `fault/fired/<point>` in the MetricsRegistry.
+//
+// Compiling with QPS_FAULT=0 (-DQPS_FAULT=OFF at configure time) turns
+// every site into nothing: the macros expand to a discarded void and the
+// inline wrappers constant-fold away, so the disarmed cost is literally
+// zero -- the same kill-switch contract as the obs layer.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#ifndef QPS_FAULT
+#define QPS_FAULT 1
+#endif
+
+namespace qps::fault {
+
+/// True when fault points are compiled in (QPS_FAULT != 0).
+inline constexpr bool kFaultCompiled = QPS_FAULT != 0;
+
+/// Thrown by the `error` action; code that survives it must treat it like
+/// any other operational failure (I/O error, lost connection, ...).
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Installs (appends) fault rules from a spec string.  Throws
+/// std::invalid_argument naming the offending rule on a malformed spec.
+/// An empty spec is a no-op.
+void configure(const std::string& spec);
+
+/// Removes every installed rule and resets hit counters (tests).
+void clear();
+
+/// Human-readable summary of the installed rules; empty when disarmed.
+std::string describe();
+
+namespace detail {
+void hit_impl(const char* point, std::string_view detail);
+std::optional<double> consume_torn_impl(const char* point,
+                                        std::string_view detail);
+bool armed_impl();
+}  // namespace detail
+
+/// Evaluates the rules for `point`; may crash, throw, or stall per the
+/// installed spec.  `detail` is matched against rules' `match=` filter.
+inline void hit(const char* point, std::string_view detail = {}) {
+  if constexpr (kFaultCompiled)
+    detail::hit_impl(point, detail);
+  else
+    (void)point, (void)detail;
+}
+
+/// Torn-write hook for write helpers: when a `torn` rule for `point`
+/// fires, returns the fraction of the payload to keep (in [0, 1]);
+/// nullopt means write everything as usual.
+inline std::optional<double> consume_torn(const char* point,
+                                          std::string_view detail = {}) {
+  if constexpr (kFaultCompiled) return detail::consume_torn_impl(point, detail);
+  (void)point, (void)detail;
+  return std::nullopt;
+}
+
+/// True when at least one rule is installed (diagnostics; the hot path
+/// does its own check inside hit()).
+inline bool armed() {
+  if constexpr (kFaultCompiled) return detail::armed_impl();
+  return false;
+}
+
+}  // namespace qps::fault
+
+/// Named fault point; compiles to nothing under -DQPS_FAULT=OFF.
+#define QPS_FAULT_POINT(point) ::qps::fault::hit(point)
+/// Fault point with a detail tag for `match=` rules (e.g. a point id).
+#define QPS_FAULT_POINT2(point, detail) ::qps::fault::hit(point, detail)

@@ -36,6 +36,10 @@ struct NetMetrics {
       obs::MetricsRegistry::instance().counter("net/protocol_errors");
   obs::Counter& results_from_workers =
       obs::MetricsRegistry::instance().counter("net/results_from_workers");
+  obs::Counter& points_quarantined =
+      obs::MetricsRegistry::instance().counter("net/points_quarantined");
+  obs::Counter& deadline_forfeits =
+      obs::MetricsRegistry::instance().counter("net/deadline_forfeits");
   obs::Histogram& heartbeat_gap_us =
       obs::MetricsRegistry::instance().histogram("net/heartbeat_gap_us");
 
@@ -57,7 +61,8 @@ JobServerEngine::JobServerEngine(const std::vector<sweep::SweepPoint>& points,
       fingerprint_(fingerprint),
       options_(std::move(options)),
       pending_(std::move(pending)),
-      done_(points.size(), 1) {
+      done_(points.size(), 1),
+      attempts_(points.size(), 0) {
   for (const std::size_t index : pending_) {
     QPS_REQUIRE(index < points_.size(), "pending index out of range");
     done_[index] = 0;
@@ -93,17 +98,17 @@ void JobServerEngine::on_bytes(SessionId session, std::string_view bytes,
 void JobServerEngine::on_close(SessionId session, double /*now*/) {
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) return;
-  if (it->second.busy) {
-    pending_.push_front(it->second.in_flight);
-    NetMetrics::get().requeues.increment();
-  }
+  const bool busy = it->second.busy;
+  const std::size_t in_flight = it->second.in_flight;
   sessions_.erase(it);
   NetMetrics::get().sessions_closed.increment();
+  if (busy) forfeit(in_flight);
   dispatch();
 }
 
 void JobServerEngine::on_tick(double now) {
   std::vector<SessionId> expired;
+  std::vector<SessionId> overdue;
   for (const auto& [id, s] : sessions_) {
     if (s.state == Session::State::kAwaitHello &&
         now - s.opened_at > options_.handshake_timeout)
@@ -111,11 +116,25 @@ void JobServerEngine::on_tick(double now) {
     else if (s.state == Session::State::kActive && s.busy &&
              now - s.last_activity > options_.worker_timeout)
       expired.push_back(id);
+    else if (s.state == Session::State::kActive && s.busy &&
+             options_.point_deadline > 0.0 &&
+             now - s.dispatched_at > options_.point_deadline)
+      overdue.push_back(id);
   }
   for (const SessionId id : expired) {
     ++workers_timed_out_;
     NetMetrics::get().worker_timeouts.increment();
     kill(id, "timed out");
+  }
+  // The point-deadline watchdog: the worker is live (its heartbeats kept
+  // it off the timeout list) but has sat on one point too long.  Dropping
+  // the session -- not just the point -- keeps its eventual stale result
+  // from racing the reassignment, and forfeit() below decides requeue vs
+  // quarantine.
+  for (const SessionId id : overdue) {
+    ++deadline_forfeits_;
+    NetMetrics::get().deadline_forfeits.increment();
+    kill(id, "point deadline exceeded");
   }
 }
 
@@ -273,14 +292,28 @@ void JobServerEngine::kill(SessionId session, const std::string& reason) {
   if (it == sessions_.end()) return;
   ++protocol_errors_;
   NetMetrics::get().protocol_errors.increment();
-  if (it->second.busy) {
-    pending_.push_front(it->second.in_flight);
-    NetMetrics::get().requeues.increment();
-  }
+  const bool busy = it->second.busy;
+  const std::size_t in_flight = it->second.in_flight;
   sessions_.erase(it);
   NetMetrics::get().sessions_closed.increment();
   outbox_.push_back({session, std::string(), true});
+  if (busy) forfeit(in_flight);
   dispatch();
+}
+
+void JobServerEngine::forfeit(std::size_t index) {
+  if (done_[index]) return;  // completed by a duplicate in the meantime
+  if (++attempts_[index] > options_.max_point_retries) {
+    done_[index] = 1;
+    --outstanding_;
+    quarantined_.emplace_back(index, attempts_[index]);
+    ++points_quarantined_;
+    NetMetrics::get().points_quarantined.increment();
+    if (done()) broadcast_bye();
+  } else {
+    pending_.push_front(index);
+    NetMetrics::get().requeues.increment();
+  }
 }
 
 void JobServerEngine::decline(SessionId session, const std::string& error,
@@ -300,6 +333,7 @@ void JobServerEngine::dispatch() {
     if (s.state != Session::State::kActive || s.busy) continue;
     s.busy = true;
     s.in_flight = pending_.front();
+    s.dispatched_at = s.last_activity;
     pending_.pop_front();
     NetMetrics::get().dispatches.increment();
     outbox_.push_back({id, sweep::encode_request(s.in_flight), false});
@@ -324,6 +358,11 @@ JobServerEngine::take_completed() {
   return std::exchange(completed_, {});
 }
 
+std::vector<std::pair<std::size_t, std::size_t>>
+JobServerEngine::take_quarantined() {
+  return std::exchange(quarantined_, {});
+}
+
 std::optional<std::size_t> JobServerEngine::take_local_point() {
   if (pending_.empty()) return std::nullopt;
   const std::size_t index = pending_.front();
@@ -340,12 +379,16 @@ void JobServerEngine::complete_local(std::size_t index,
 double JobServerEngine::next_deadline() const {
   double deadline = std::numeric_limits<double>::infinity();
   for (const auto& [id, s] : sessions_) {
-    if (s.state == Session::State::kAwaitHello)
+    if (s.state == Session::State::kAwaitHello) {
       deadline =
           std::min(deadline, s.opened_at + options_.handshake_timeout);
-    else if (s.busy)
+    } else if (s.busy) {
       deadline =
           std::min(deadline, s.last_activity + options_.worker_timeout);
+      if (options_.point_deadline > 0.0)
+        deadline =
+            std::min(deadline, s.dispatched_at + options_.point_deadline);
+    }
   }
   return deadline;
 }

@@ -20,6 +20,12 @@
 //    busy -- heartbeats count), violates the protocol, or feeds garbage
 //    forfeits only its in-flight point, which is re-queued at the front
 //    so index order among waiting points is preserved.
+//  * A point forfeited more than max_point_retries times is quarantined:
+//    marked done-without-result, surfaced through take_quarantined() and
+//    the accounting counters, and never dispatched again -- a poison
+//    point must not eat the fleet.  With point_deadline set, a worker
+//    that heartbeats but holds one point past the deadline is killed and
+//    the point forfeited the same way (liveness is not progress).
 //  * Results are validated against (sweep name, fingerprint, point id)
 //    and recorded at most once: a duplicate delivery -- retransmission
 //    after a reconnect, or the original worker of a reassigned point
@@ -59,6 +65,15 @@ struct JobServerOptions {
   double worker_timeout = 30.0;
   /// Heartbeat cadence advertised to workers in the welcome.
   double heartbeat_interval = 5.0;
+  /// Per-point retry budget: a point forfeited (worker death, timeout,
+  /// protocol kill, deadline) more than this many times is quarantined --
+  /// completed-as-failed, reported via take_quarantined() and the
+  /// accounting counters -- instead of requeued forever.
+  std::size_t max_point_retries = 3;
+  /// Per-point deadline watchdog: a busy worker that has held one point
+  /// longer than this (heartbeats notwithstanding -- liveness is not
+  /// progress) is killed and the point forfeited.  0 disables.
+  double point_deadline = 0.0;
   /// Registry evaluator id for this sweep (core/sweep/evaluators.h) and
   /// the serialized spec (core/sweep/spec_codec.h) shipped to registry
   /// workers; empty `evaluator` means only pinned workers are admitted.
@@ -94,6 +109,10 @@ class JobServerEngine {
   std::vector<Send> take_outbox();
   /// Validated, deduplicated results completed since the last call.
   std::vector<std::pair<std::size_t, RunningStats>> take_completed();
+  /// Points quarantined since the last call, as (index, attempts) pairs.
+  /// Quarantined points count as done for termination purposes but carry
+  /// no result.
+  std::vector<std::pair<std::size_t, std::size_t>> take_quarantined();
 
   // -- coordinator-local evaluation (fallback when no worker can serve) --
   /// Claims the next pending point for in-process evaluation; the engine
@@ -113,6 +132,8 @@ class JobServerEngine {
   std::uint64_t duplicates_ignored() const { return duplicates_ignored_; }
   std::uint64_t workers_timed_out() const { return workers_timed_out_; }
   std::uint64_t results_from_workers() const { return results_from_workers_; }
+  std::uint64_t points_quarantined() const { return points_quarantined_; }
+  std::uint64_t deadline_forfeits() const { return deadline_forfeits_; }
 
  private:
   struct Session {
@@ -124,6 +145,9 @@ class JobServerEngine {
     std::size_t in_flight = 0;
     double opened_at = 0.0;
     double last_activity = 0.0;
+    /// Driver time the in-flight point was dispatched; feeds the
+    /// point-deadline watchdog.
+    double dispatched_at = 0.0;
     /// Driver time of the previous heartbeat; feeds the observed
     /// heartbeat-gap histogram (0 until the first heartbeat lands).
     double last_heartbeat = 0.0;
@@ -134,6 +158,8 @@ class JobServerEngine {
   void handle_result(SessionId session, const std::string& line);
   /// Drops the session, forfeiting (re-queueing) its in-flight point.
   void kill(SessionId session, const std::string& reason);
+  /// Requeues a forfeited point, or quarantines it past its retry budget.
+  void forfeit(std::size_t index);
   void decline(SessionId session, const std::string& error, bool retry);
   /// Hands pending points to idle active workers.
   void dispatch();
@@ -149,15 +175,20 @@ class JobServerEngine {
   std::deque<std::size_t> pending_;
   std::vector<char> done_;
   std::size_t outstanding_ = 0;
+  /// Forfeit count per point index, feeding the quarantine budget.
+  std::vector<std::size_t> attempts_;
 
   std::map<SessionId, Session> sessions_;
   std::vector<Send> outbox_;
   std::vector<std::pair<std::size_t, RunningStats>> completed_;
+  std::vector<std::pair<std::size_t, std::size_t>> quarantined_;
 
   std::uint64_t protocol_errors_ = 0;
   std::uint64_t duplicates_ignored_ = 0;
   std::uint64_t workers_timed_out_ = 0;
   std::uint64_t results_from_workers_ = 0;
+  std::uint64_t points_quarantined_ = 0;
+  std::uint64_t deadline_forfeits_ = 0;
 };
 
 }  // namespace qps::net

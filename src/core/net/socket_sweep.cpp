@@ -16,10 +16,12 @@
 #include <thread>
 #include <utility>
 
+#include "core/fault/fault.h"
 #include "core/net/framing.h"
 #include "core/obs/metrics.h"
 #include "core/obs/trace.h"
 #include "core/sweep/spec_codec.h"
+#include "util/backoff.h"
 #include "util/require.h"
 
 namespace qps::net {
@@ -99,7 +101,8 @@ void run_socket_sweep(TcpListener& listener,
                       std::deque<std::size_t> pending,
                       const sweep::PointEvaluator& local_eval,
                       const sweep::RemoteRecord& record,
-                      const SocketCoordinatorOptions& options) {
+                      const SocketCoordinatorOptions& options,
+                      const sweep::RemoteQuarantine& quarantine) {
   QPS_REQUIRE(listener.valid(), "job server needs a bound listener");
   QPS_REQUIRE(!options.local_fallback || static_cast<bool>(local_eval),
               "local fallback needs an evaluator");
@@ -111,6 +114,8 @@ void run_socket_sweep(TcpListener& listener,
   std::map<SessionId, TcpStream> streams;
   SessionId next_id = 1;
   std::size_t local_points = 0;
+  util::Backoff accept_backoff(/*initial_seconds=*/0.01, /*max_seconds=*/1.0,
+                               /*seed=*/fingerprint);
 
   const auto flush = [&] {
     // Draining can cascade: a failed send closes a session, which forfeits
@@ -133,9 +138,33 @@ void run_socket_sweep(TcpListener& listener,
       }
     }
   };
+  std::size_t quarantined_count = 0;
+  std::size_t rescued_count = 0;
   const auto deliver = [&] {
     for (const auto& [index, stats] : engine.take_completed())
       record(index, stats);
+    for (const auto& [index, attempts] : engine.take_quarantined()) {
+      // With local fallback enabled the coordinator is allowed one
+      // last-resort evaluation before declaring the point poison -- the
+      // same semantics as the pipe runner's in-process tail.  Without it
+      // (tests proving workers computed everything) quarantine is final.
+      if (options.local_fallback) {
+        try {
+          QPS_TRACE_SPAN("sweep/point", "sweep");
+          const RunningStats stats = local_eval(points[index]);
+          record(index, stats);
+          ++rescued_count;
+          continue;
+        } catch (const std::exception& e) {
+          std::cerr << "sweep " << sweep_name << ": point "
+                    << points[index].id
+                    << " failed the local last resort too: " << e.what()
+                    << "\n";
+        }
+      }
+      ++quarantined_count;
+      if (quarantine) quarantine(index, attempts);
+    }
   };
 
   // Workers running in --listen mode are dialed once up front; they speak
@@ -196,11 +225,26 @@ void run_socket_sweep(TcpListener& listener,
     }
 
     if (fds[0].revents & POLLIN) {
-      TcpStream stream = listener.accept();
-      if (stream.valid()) {
-        const SessionId id = next_id++;
-        streams.emplace(id, std::move(stream));
-        engine.on_open(id, monotonic_seconds());
+      bool accepted = false;
+      try {
+        QPS_FAULT_POINT("net/coordinator_accept");
+        TcpStream stream = listener.accept();
+        if (stream.valid()) {
+          const SessionId id = next_id++;
+          streams.emplace(id, std::move(stream));
+          engine.on_open(id, monotonic_seconds());
+          accepted = true;
+        }
+      } catch (const fault::InjectedFault&) {
+        // Injected accept failure: handled exactly like a real one below.
+      }
+      if (accepted) {
+        accept_backoff.reset();
+      } else {
+        // A failing accept(2) with a readable listener would otherwise
+        // spin the poll loop flat out; back off with jitter instead.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(accept_backoff.next()));
       }
     }
     // Reads strictly before the timeout tick: bytes buffered while we were
@@ -250,9 +294,11 @@ void run_socket_sweep(TcpListener& listener,
   std::ostringstream line;
   line << "sweep " << sweep_name << ": job server done, " << total
        << " point(s): " << engine.results_from_workers() << " from workers, "
-       << local_points << " local, " << engine.duplicates_ignored()
+       << local_points << " local, " << rescued_count << " rescued, "
+       << quarantined_count << " quarantined, " << engine.duplicates_ignored()
        << " duplicate(s) ignored, " << engine.workers_timed_out()
-       << " worker timeout(s), " << engine.protocol_errors()
+       << " worker timeout(s), " << engine.deadline_forfeits()
+       << " deadline forfeit(s), " << engine.protocol_errors()
        << " protocol error(s)\n";
   const std::string text = line.str();
   const char* data = text.data();
@@ -275,12 +321,13 @@ sweep::RemoteRunner make_socket_remote_runner(
                              const std::vector<sweep::SweepPoint>& points,
                              std::deque<std::size_t> pending,
                              const sweep::PointEvaluator& eval,
-                             const sweep::RemoteRecord& record) {
+                             const sweep::RemoteRecord& record,
+                             const sweep::RemoteQuarantine& quarantine) {
     SocketCoordinatorOptions opts = options;
     if (!opts.engine.evaluator.empty() && opts.engine.spec_text.empty())
       opts.engine.spec_text = sweep::spec_to_json(spec);
     run_socket_sweep(*listener, points, spec.name(), spec.fingerprint(),
-                     std::move(pending), eval, record, opts);
+                     std::move(pending), eval, record, opts, quarantine);
   };
 }
 
@@ -331,9 +378,17 @@ ServeOutcome serve_connection(TcpStream& stream, const Hello& hello,
           if (event.index >= points.size())
             return fail(ServeOutcome::kLost, "request index out of range");
           RunningStats stats;
-          {
+          try {
             QPS_TRACE_SPAN("sweep/point", "sweep");
+            QPS_FAULT_POINT2("net/worker_eval", points[event.index].id);
             stats = eval(points[event.index]);
+          } catch (const std::exception& e) {
+            // A throwing evaluator (injected fault, BudgetExceeded, ...)
+            // must not tear the daemon down: drop the connection so the
+            // coordinator forfeits the point to another worker or, past
+            // its budget, quarantines it.
+            return fail(ServeOutcome::kLost,
+                        std::string("evaluator failed: ") + e.what());
           }
           const std::string reply =
               engine.result_line(points[event.index], stats);

@@ -52,16 +52,21 @@ bool parse_host_port(const std::string& text, std::string& host,
                      std::uint16_t& port);
 
 /// Coordinator loop: drives the job-server engine over `listener` until
-/// every pending index has a result, invoking `record` exactly once per
-/// completed point.  `local_eval` is used only for local fallback and for
-/// it only when options.local_fallback.
+/// every pending index has a result or is quarantined, invoking `record`
+/// exactly once per completed point.  A point that burns its retry budget
+/// gets one local last-resort evaluation when options.local_fallback is
+/// enabled; only if that throws too (or fallback is disabled) is
+/// `quarantine` (when non-null) invoked for it.  `local_eval` is used only
+/// for local fallback and the last resort, and only when
+/// options.local_fallback.
 void run_socket_sweep(TcpListener& listener,
                       const std::vector<sweep::SweepPoint>& points,
                       const std::string& sweep_name, std::uint64_t fingerprint,
                       std::deque<std::size_t> pending,
                       const sweep::PointEvaluator& local_eval,
                       const sweep::RemoteRecord& record,
-                      const SocketCoordinatorOptions& options);
+                      const SocketCoordinatorOptions& options,
+                      const sweep::RemoteQuarantine& quarantine = nullptr);
 
 /// The coordinator loop as a sweep-layer hook.  `listener` must outlive
 /// the returned runner; when options.engine.evaluator is set and spec_text

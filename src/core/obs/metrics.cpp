@@ -3,13 +3,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
-#include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include "util/fsio.h"
 #include "util/json.h"
 
 namespace qps::obs {
@@ -134,10 +134,10 @@ std::string MetricsRegistry::snapshot_json() const {
 }
 
 bool MetricsRegistry::write_json(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  out << snapshot_json();
-  return static_cast<bool>(out.flush());
+  // Atomic replace: a reader (the distributed-smoke watcher, an operator's
+  // `watch cat`) polling the file mid-dump must never see a torn snapshot,
+  // and a crash mid-write must leave the previous snapshot intact.
+  return util::write_file_atomic(path, snapshot_json());
 }
 
 struct PeriodicMetricsDump::Impl {

@@ -3,13 +3,13 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <fstream>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "core/obs/metrics.h"
+#include "util/fsio.h"
 #include "util/json.h"
 
 namespace qps::obs {
@@ -136,10 +136,9 @@ std::string TraceRecorder::to_json() const {
 }
 
 bool TraceRecorder::write_json(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  out << to_json();
-  return static_cast<bool>(out.flush());
+  // Atomic replace so a crash mid-write cannot leave a truncated trace
+  // that chrome://tracing rejects wholesale.
+  return util::write_file_atomic(path, to_json());
 }
 
 void TraceRecorder::clear() {

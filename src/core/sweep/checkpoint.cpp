@@ -1,8 +1,9 @@
 #include "core/sweep/checkpoint.h"
 
 #include <fstream>
-#include <stdexcept>
+#include <iostream>
 
+#include "core/fault/fault.h"
 #include "core/obs/metrics.h"
 #include "core/sweep/wire.h"
 
@@ -16,25 +17,46 @@ SweepCheckpoint::SweepCheckpoint(std::string path, std::string sweep_name,
   if (path_.empty()) return;
   if (resume) {
     std::ifstream in(path_);
+    recovery_.existed = in.good();
     std::string line;
     while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
       const auto result = decode_result(line);
-      if (!result || result->sweep != sweep_name_ ||
-          result->fingerprint != fingerprint_)
+      if (!result) {
+        // Torn tail (killed mid-append) or damaged mid-file line: the
+        // journal is an optimization, never an authority, so the point is
+        // simply recomputed -- but the damage is counted and reported
+        // below, never swallowed.
+        ++recovery_.corrupt;
         continue;
+      }
+      if (result->sweep != sweep_name_ || result->fingerprint != fingerprint_) {
+        ++recovery_.foreign;
+        continue;
+      }
       completed_[result->index] = result->stats;
+      ++recovery_.recovered;
     }
+    if (recovery_.existed && recovery_.corrupt > 0)
+      std::cerr << "sweep " << sweep_name_ << ": checkpoint journal " << path_
+                << ": skipped " << recovery_.corrupt
+                << " unparseable line(s) (torn or corrupt); those points "
+                   "will be recomputed\n";
+    else if (recovery_.existed && recovery_.recovered == 0 &&
+             recovery_.foreign == 0)
+      std::cerr << "sweep " << sweep_name_ << ": checkpoint journal " << path_
+                << " is empty; nothing to resume\n";
   }
   // Always append: a bench may journal several sweeps into one file, so
   // truncating a stale journal is the caller's one-time decision (see
   // bench_common.h), not something to redo per sweep.
-  out_ = std::fopen(path_.c_str(), "ab");
-  if (!out_)
-    throw std::runtime_error("cannot open checkpoint file " + path_);
-}
-
-SweepCheckpoint::~SweepCheckpoint() {
-  if (out_) std::fclose(out_);
+  try {
+    out_ = std::make_unique<util::AppendFile>(path_, "sweep/checkpoint_write");
+  } catch (const util::IoError& e) {
+    throw CheckpointError(std::string("cannot open checkpoint journal: ") +
+                              e.what(),
+                          path_);
+  }
 }
 
 void SweepCheckpoint::record(const SweepPoint& point,
@@ -42,9 +64,19 @@ void SweepCheckpoint::record(const SweepPoint& point,
   if (!out_) return;
   const std::string line =
       encode_result(sweep_name_, fingerprint_, point, stats);
-  if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
-      std::fflush(out_) != 0)
-    throw std::runtime_error("failed writing checkpoint file " + path_);
+  try {
+    out_->append_line(line);
+  } catch (const util::IoError& e) {
+    throw CheckpointError(
+        std::string("failed writing checkpoint journal: ") + e.what(), path_);
+  } catch (const fault::InjectedFault& e) {
+    // The injected stand-in for a full disk: same structured failure as
+    // the real thing.
+    throw CheckpointError(
+        std::string("failed writing checkpoint journal ") + path_ + ": " +
+            e.what(),
+        path_);
+  }
   completed_[point.index] = stats;
   static obs::Counter& writes =
       obs::MetricsRegistry::instance().counter("sweep/checkpoint_writes");

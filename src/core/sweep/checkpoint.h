@@ -1,34 +1,67 @@
 // Checkpoint/resume journal for sweeps.
 //
-// The runner appends one wire-format result line per completed point and
-// flushes after each, so a killed run loses at most its in-flight points.
-// On resume the journal is scanned and every line whose (sweep name,
-// fingerprint) matches the current spec seeds the result table; those
-// points are never re-evaluated.  Lines from other sweeps (a bench may
-// journal several into one file), from a spec run under different options
-// (fingerprint mismatch), or truncated by a kill are skipped silently --
-// the journal is an optimization, never an authority.
+// The runner appends one wire-format result line per completed point; each
+// append is a single write(2) on an O_APPEND descriptor followed by
+// fdatasync (util/fsio.h), so a committed point survives SIGKILL and a
+// crash can tear at most the in-flight line.  On resume the journal is
+// scanned and every line whose (sweep name, fingerprint) matches the
+// current spec seeds the result table; those points are never
+// re-evaluated.  Lines from other sweeps (a bench may journal several into
+// one file) or from a spec run under different options (fingerprint
+// mismatch) are skipped silently -- they are someone else's data.  Corrupt
+// or torn lines are skipped too, but *diagnosed*: the resume scan reports
+// how many lines it could not parse (those points are recomputed), so a
+// damaged journal never silently shrinks a resume.  Write failures throw
+// CheckpointError naming the journal -- a silently lost journal would turn
+// --resume into silent recomputation.
+//
+// Every append consults the "sweep/checkpoint_write" fault point
+// (core/fault/fault.h): `error` models a full disk, `torn` produces
+// exactly the mid-file corruption the resume scanner must survive, and
+// `crash` dies mid-transaction.
 #pragma once
 
-#include <cstdio>
 #include <map>
+#include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "core/sweep/sweep_spec.h"
+#include "util/fsio.h"
 #include "util/stats.h"
 
 namespace qps::sweep {
 
+/// Thrown when the journal cannot be opened or a point cannot be durably
+/// appended; what() names the journal path and the OS error.
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(const std::string& what, std::string path)
+      : std::runtime_error(what), path_(std::move(path)) {}
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
 class SweepCheckpoint {
  public:
+  /// What the resume scan found; surfaced for tests and diagnostics.
+  struct RecoveryReport {
+    bool existed = false;        ///< The journal file was present.
+    std::size_t recovered = 0;   ///< Lines matching (sweep, fingerprint).
+    std::size_t foreign = 0;     ///< Valid lines of other sweeps/options.
+    std::size_t corrupt = 0;     ///< Unparseable (torn/damaged) lines.
+  };
+
   /// An empty `path` disables journaling entirely.  With `resume` the
   /// existing file (if any) is scanned for entries matching (sweep_name,
   /// fingerprint) and then opened for append; without it the file is
   /// opened for append without scanning, so a fresh run extends the
   /// journal and a later --resume still sees every sweep's entries.
+  /// Throws CheckpointError when the journal cannot be opened.
   SweepCheckpoint(std::string path, std::string sweep_name,
                   std::uint64_t fingerprint, bool resume);
-  ~SweepCheckpoint();
 
   SweepCheckpoint(const SweepCheckpoint&) = delete;
   SweepCheckpoint& operator=(const SweepCheckpoint&) = delete;
@@ -40,9 +73,11 @@ class SweepCheckpoint {
     return completed_;
   }
 
-  /// Appends one completed point and flushes.  I/O errors throw
-  /// std::runtime_error: a silently lost journal would turn --resume into
-  /// silent recomputation.
+  /// Resume-scan accounting (all zeros when not resuming).
+  const RecoveryReport& recovery() const { return recovery_; }
+
+  /// Appends one completed point durably; throws CheckpointError on any
+  /// write or sync failure.
   void record(const SweepPoint& point, const RunningStats& stats);
 
  private:
@@ -50,7 +85,8 @@ class SweepCheckpoint {
   std::string sweep_name_;
   std::uint64_t fingerprint_;
   std::map<std::size_t, RunningStats> completed_;
-  std::FILE* out_ = nullptr;
+  RecoveryReport recovery_;
+  std::unique_ptr<util::AppendFile> out_;
 };
 
 }  // namespace qps::sweep

@@ -12,7 +12,9 @@
 #include <cstring>
 #include <deque>
 #include <iostream>
+#include <sstream>
 
+#include "core/fault/fault.h"
 #include "core/obs/metrics.h"
 #include "core/obs/trace.h"
 #include "core/sweep/checkpoint.h"
@@ -28,6 +30,10 @@ struct SweepMetrics {
       obs::MetricsRegistry::instance().counter("sweep/points_done");
   obs::Counter& points_requeued =
       obs::MetricsRegistry::instance().counter("sweep/points_requeued");
+  obs::Counter& points_quarantined =
+      obs::MetricsRegistry::instance().counter("sweep/points_quarantined");
+  obs::Counter& workers_respawned =
+      obs::MetricsRegistry::instance().counter("sweep/workers_respawned");
   obs::Counter& worker_dispatches =
       obs::MetricsRegistry::instance().counter("sweep/worker_dispatches");
   obs::Gauge& queue_depth =
@@ -296,8 +302,13 @@ std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
                          already_done);
   SweepMetrics& metrics = SweepMetrics::get();
 
+  // Worker-pool forfeit counts: nonzero marks a point the pool already
+  // failed on, which makes the in-process loop below its *last resort*
+  // (failure there quarantines instead of propagating).
+  std::vector<std::size_t> attempts(points.size(), 0);
+
   if (options_.workers > 0)
-    run_sharded(points, have, results, checkpoint, progress);
+    run_sharded(points, have, results, attempts, checkpoint, progress);
 
   // Distributed path: hand the still-missing indices to the injected hook.
   // The record sink is dedup-guarded (a badly-behaved hook reporting an
@@ -319,17 +330,45 @@ std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
         metrics.points_done.increment();
         progress.point_done();
       };
-      options_.remote_runner(spec_, points, std::move(pending), eval, record);
+      const RemoteQuarantine quarantine = [&](std::size_t index,
+                                              std::size_t attempts) {
+        QPS_REQUIRE(index < points.size(),
+                    "remote quarantine index out of range");
+        if (have[index]) return;
+        results[index].quarantined = true;
+        have[index] = 1;  // the in-process fallback must not touch it
+        metrics.points_quarantined.increment();
+        std::cerr << "sweep " << spec_.name() << ": point "
+                  << points[index].id << " quarantined after " << attempts
+                  << " failed attempt(s)\n";
+        progress.point_done();
+      };
+      options_.remote_runner(spec_, points, std::move(pending), eval, record,
+                             quarantine);
     }
   }
 
-  // In-process path, doubling as the fallback when every worker died:
-  // evaluate whatever is still missing, in index order.
+  // In-process path, doubling as the fallback when every worker died and
+  // as the last resort for points that burned the pool's retry budget:
+  // evaluate whatever is still missing, in index order.  A last-resort
+  // point (attempts > 0) that throws here too is quarantined; a
+  // first-touch failure propagates, exactly as it always has.
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (have[i]) continue;
-    {
+    try {
       QPS_TRACE_SPAN("sweep/point", "sweep");
       results[i].stats = eval(points[i]);
+    } catch (const std::exception& e) {
+      if (attempts[i] == 0) throw;
+      results[i].quarantined = true;
+      have[i] = 1;
+      metrics.points_quarantined.increment();
+      std::cerr << "sweep " << spec_.name() << ": point " << points[i].id
+                << " quarantined after " << attempts[i]
+                << " worker attempt(s) and an in-process failure: "
+                << e.what() << "\n";
+      progress.point_done();
+      continue;
     }
     have[i] = 1;
     checkpoint.record(points[i], results[i].stats);
@@ -343,6 +382,7 @@ std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
 void SweepRunner::run_sharded(const std::vector<SweepPoint>& points,
                               std::vector<char>& have,
                               std::vector<PointResult>& results,
+                              std::vector<std::size_t>& attempts,
                               SweepCheckpoint& checkpoint,
                               ProgressMeter& progress) const {
   std::deque<std::size_t> pending;
@@ -362,14 +402,31 @@ void SweepRunner::run_sharded(const std::vector<SweepPoint>& points,
     if (worker.pid > 0) workers.push_back(worker);
   }
 
+  // Dead workers are replaced while work remains, so one poison point
+  // cannot grind the pool down to the in-process fallback.  The budget
+  // bounds the total forks: every respawn is caused by a forfeit, and
+  // each point forfeits at most max_point_retries + 1 times before
+  // quarantine ends its career.
+  std::size_t outstanding = pending.size();
+  std::size_t respawn_budget =
+      worker_count * (options_.max_point_retries + 1);
+  std::vector<std::size_t> withheld;
+
   // A worker failure forfeits only its in-flight point: push it back to the
-  // head of the queue (preserving index order among the waiting points) and
-  // drop the worker.
+  // head of the queue (preserving index order among the waiting points) --
+  // or, past the point's retry budget, withhold it from the pool for the
+  // in-process last resort -- and drop the worker.
   const auto fail_worker = [&](WorkerProc& worker) {
     if (worker.busy) {
-      pending.push_front(worker.in_flight);
+      const std::size_t index = worker.in_flight;
       worker.busy = false;
-      metrics.points_requeued.increment();
+      if (++attempts[index] > options_.max_point_retries) {
+        --outstanding;  // have[] stays 0: run() takes the last resort
+        withheld.push_back(index);
+      } else {
+        pending.push_front(index);
+        metrics.points_requeued.increment();
+      }
     }
     if (worker.pid > 0) ::kill(worker.pid, SIGKILL);
     reap_worker(worker);
@@ -382,8 +439,23 @@ void SweepRunner::run_sharded(const std::vector<SweepPoint>& points,
     metrics.workers_busy.set(busy);
   };
 
-  std::size_t outstanding = pending.size();
-  while (outstanding > 0 && !workers.empty()) {
+  while (outstanding > 0) {
+    // Replace dead workers while undispatched work remains; a failed
+    // fork ends replacement for this run (the fallback still finishes the
+    // sweep).
+    while (!pending.empty() && workers.size() < worker_count &&
+           respawn_budget > 0) {
+      --respawn_budget;
+      WorkerProc worker = spawn_worker(options_.worker_command);
+      if (worker.pid <= 0) {
+        respawn_budget = 0;
+        break;
+      }
+      workers.push_back(worker);
+      metrics.workers_respawned.increment();
+    }
+    if (workers.empty()) break;
+
     // Dispatch: hand every idle worker its next point.
     for (std::size_t w = 0; w < workers.size();) {
       WorkerProc& worker = workers[w];
@@ -395,7 +467,11 @@ void SweepRunner::run_sharded(const std::vector<SweepPoint>& points,
       pending.pop_front();
       const std::string request = encode_request(index);
       if (!write_all(worker.request_fd, request.data(), request.size())) {
-        pending.push_front(index);
+        // The worker died before taking the request; charge the forfeit
+        // to this point so a pipeline that keeps dying cannot loop the
+        // respawn path forever.
+        worker.busy = true;
+        worker.in_flight = index;
         fail_worker(worker);
         workers.erase(workers.begin() + static_cast<std::ptrdiff_t>(w));
         continue;
@@ -465,8 +541,21 @@ void SweepRunner::run_sharded(const std::vector<SweepPoint>& points,
   }
 
   if (outstanding > 0 && workers.empty())
-    std::cerr << "sweep " << spec_.name() << ": all workers died; running "
+    std::cerr << "sweep " << spec_.name()
+              << ": worker pool exhausted (respawn budget spent); running "
               << outstanding << " remaining point(s) in-process\n";
+  if (!withheld.empty()) {
+    // One grep-able accounting line: which points burned the pool's retry
+    // budget and go to the in-process last resort.
+    std::ostringstream os;
+    os << "sweep " << spec_.name() << ": " << withheld.size()
+       << " point(s) burned the worker retry budget ("
+       << options_.max_point_retries + 1
+       << " attempts); retrying in-process:";
+    for (const std::size_t index : withheld) os << ' ' << points[index].id;
+    os << '\n';
+    std::cerr << os.str();
+  }
 
   // Clean shutdown: closing the request pipe EOFs each worker's serve()
   // loop, which exits 0.
@@ -499,6 +588,9 @@ int SweepRunner::serve(const SweepSpec& spec, const PointEvaluator& eval,
       RunningStats stats;
       {
         QPS_TRACE_SPAN("sweep/point", "sweep");
+        // Worker-side injection site: crash/error/delay here exercises the
+        // runner's forfeit -> respawn -> quarantine machinery.
+        QPS_FAULT_POINT2("sweep/point_eval", points[*index].id);
         stats = eval(points[*index]);
       }
       const std::string reply =

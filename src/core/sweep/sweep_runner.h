@@ -16,8 +16,14 @@
 //    so harness chatter cannot corrupt the protocol.
 //  * Failure containment: a worker that crashes (or emits a malformed or
 //    mismatched line) forfeits only its in-flight point, which is re-queued
-//    for the surviving workers.  If every worker dies, the remaining points
-//    run in-process in the parent.
+//    for the surviving workers, and a replacement worker is spawned while
+//    work remains (bounded by the retry budgets, so a crash loop cannot
+//    fork forever).  A point forfeited more than max_point_retries times
+//    is withheld from the pool and handed to the in-process fallback for
+//    one last-resort evaluation; only a point that fails there too is
+//    quarantined -- reported, with no result, never silently dropped.  If
+//    the pool cannot be kept alive, the remaining points run in-process in
+//    the parent.
 //
 // Because every point's result is a pure function of the spec (derived
 // seeds) and the evaluator, and aggregation is by point index, the
@@ -47,16 +53,27 @@ using PointEvaluator = std::function<RunningStats(const SweepPoint&)>;
 using RemoteRecord =
     std::function<void(std::size_t index, const RunningStats& stats)>;
 
+/// Sink a RemoteRunner reports quarantined points through: `index` burned
+/// its retry budget (it killed or timed out `attempts` workers) and will
+/// not be evaluated.  A quarantined point is final for the sweep: the hook
+/// is expected to have already spent whatever local last resort it is
+/// configured for (run_socket_sweep tries `eval` once when local fallback
+/// is enabled), so the runner must not evaluate it again.
+using RemoteQuarantine =
+    std::function<void(std::size_t index, std::size_t attempts)>;
+
 /// Injected distributed-execution hook.  Called with the spec, its
 /// expanded points, and the indices still to be computed; must evaluate
 /// every pending point (remotely, or locally via `eval` as a fallback) and
-/// report each completion through `record`.  core/net/socket_sweep.h
-/// supplies the socket job-server implementation -- the hook is a
-/// std::function so the sweep layer stays free of any net dependency.
+/// report each completion through `record` -- or, for a point that
+/// exhausts its retry budget, through `quarantine`.  core/net/
+/// socket_sweep.h supplies the socket job-server implementation -- the
+/// hook is a std::function so the sweep layer stays free of any net
+/// dependency.
 using RemoteRunner = std::function<void(
     const SweepSpec& spec, const std::vector<SweepPoint>& points,
     std::deque<std::size_t> pending, const PointEvaluator& eval,
-    const RemoteRecord& record)>;
+    const RemoteRecord& record, const RemoteQuarantine& quarantine)>;
 
 struct SweepOptions {
   /// Worker subprocesses; 0 runs every point in-process.
@@ -72,6 +89,14 @@ struct SweepOptions {
   RemoteRunner remote_runner;
   /// Checkpoint journal path; empty disables journaling.
   std::string checkpoint_path;
+  /// Per-point retry budget for the worker-pool path: a point forfeited
+  /// (its worker crashed or misbehaved) more than this many times is
+  /// withheld from the pool -- a point that deterministically kills
+  /// workers must not eat the fleet -- and falls through to one in-process
+  /// last-resort evaluation.  If that throws too, the point is
+  /// *quarantined*: marked PointResult::quarantined, reported, and never
+  /// evaluated again this run.
+  std::size_t max_point_retries = 3;
   /// Emit a throttled progress line to stderr after each completed point:
   /// points done/total, rolling trials/sec (from the engine/trials metric),
   /// and an ETA.  Progress goes to stderr only, so stdout reports stay
@@ -109,6 +134,10 @@ struct PointResult {
   /// True when the point was excluded by SweepOptions::point_filter; the
   /// stats carry no samples.
   bool skipped = false;
+  /// True when the point exhausted SweepOptions::max_point_retries (it
+  /// repeatedly killed or stalled workers) and every permitted last resort
+  /// failed too; the stats carry no samples.
+  bool quarantined = false;
 };
 
 class SweepRunner {
@@ -129,10 +158,13 @@ class SweepRunner {
 
  private:
   /// Runs the worker-pool path, depositing whatever the workers complete
-  /// into `results`/`have`; points still missing afterwards fall back to
-  /// the in-process path in run().
+  /// into `results`/`have` and the per-point forfeit counts into
+  /// `attempts`; points still missing afterwards fall back to the
+  /// in-process path in run(), which quarantines any point with a nonzero
+  /// attempt count whose last-resort evaluation throws.
   void run_sharded(const std::vector<SweepPoint>& points,
                    std::vector<char>& have, std::vector<PointResult>& results,
+                   std::vector<std::size_t>& attempts,
                    class SweepCheckpoint& checkpoint,
                    class ProgressMeter& progress) const;
 

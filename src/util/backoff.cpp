@@ -1,0 +1,34 @@
+#include "util/backoff.h"
+
+namespace qps::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double Backoff::base() const {
+  double delay = initial_;
+  for (std::uint64_t i = 0; i < attempt_; ++i) {
+    delay *= multiplier_;
+    if (delay >= max_) return max_;
+  }
+  return delay < max_ ? delay : max_;
+}
+
+double Backoff::next() {
+  const double current = base();
+  ++attempt_;
+  const std::uint64_t h = splitmix64(seed_ ^ (attempt_ * 0x9e3779b97f4a7c15ULL));
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0,1)
+  return current * (0.5 + 0.5 * u);
+}
+
+}  // namespace qps::util

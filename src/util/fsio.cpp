@@ -1,0 +1,118 @@
+#include "util/fsio.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/fault/fault.h"
+
+namespace qps::util {
+
+namespace {
+
+std::string errno_text() {
+  return std::strerror(errno) + (" (errno " + std::to_string(errno) + ")");
+}
+
+/// Writes the whole buffer, retrying on EINTR; false on any other error.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+bool fail(std::string* error, const std::string& why) {
+  if (error) *error = why;
+  return false;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::string_view content,
+                       std::string* error) {
+  // The tmp file must live in the target's directory: rename(2) is atomic
+  // only within one filesystem.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0)
+    return fail(error, "cannot create " + tmp + ": " + errno_text());
+  if (!write_all(fd, content.data(), content.size())) {
+    const std::string why = "cannot write " + tmp + ": " + errno_text();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail(error, why);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string why = "cannot fsync " + tmp + ": " + errno_text();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail(error, why);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return fail(error, "cannot close " + tmp + ": " + errno_text());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why =
+        "cannot rename " + tmp + " to " + path + ": " + errno_text();
+    ::unlink(tmp.c_str());
+    return fail(error, why);
+  }
+  // fsync the directory so the rename itself survives a crash; failure
+  // here is not fatal (the data is already safely in place on most
+  // filesystems) but is still reported.
+  const int dir_fd =
+      ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return true;
+}
+
+AppendFile::AppendFile(std::string path, const char* fault_point)
+    : path_(std::move(path)), fault_point_(fault_point) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0)
+    throw IoError("cannot open " + path_ + " for append: " + errno_text(),
+                  path_);
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AppendFile::append_line(std::string_view line) {
+  std::size_t size = line.size();
+  if (fault_point_ != nullptr) {
+    // error/alloc throw here (the "disk full" stand-in), crash exits
+    // mid-transaction, and a torn rule truncates the payload below.
+    qps::fault::hit(fault_point_);
+    if (const auto frac = qps::fault::consume_torn(fault_point_))
+      size = static_cast<std::size_t>(static_cast<double>(size) * *frac);
+  }
+  if (!write_all(fd_, line.data(), size))
+    throw IoError("failed writing " + path_ + ": " + errno_text(), path_);
+  if (::fdatasync(fd_) != 0)
+    throw IoError("failed syncing " + path_ + ": " + errno_text(), path_);
+}
+
+}  // namespace qps::util

@@ -1,0 +1,74 @@
+// Crash-safe file I/O helpers.
+//
+// Two write disciplines, for the two shapes of durable file this codebase
+// produces:
+//
+//  * write_file_atomic(): whole-file snapshots (metrics/trace JSON dumps).
+//    The content goes to a temporary file in the same directory, is
+//    fsync'd, and is rename(2)'d over the target, so a crash at any
+//    instant leaves either the old file or the new one -- never a torn
+//    head.  The directory entry is fsync'd too, making the rename itself
+//    durable.
+//
+//  * AppendFile: append-only journals (the sweep checkpoint).  Each
+//    append_line() is one write(2) on an O_APPEND descriptor followed by
+//    fdatasync(2), so a committed line survives SIGKILL and at most the
+//    in-flight line can be torn.  Failures throw IoError naming the path
+//    and errno -- a silently lost journal line would turn resume into
+//    silent recomputation.
+//
+// Both honor fault-injection rules on the caller-supplied fault point
+// (core/fault/fault.h): `error`/`alloc`/`crash`/`delay` act before the
+// write, and a `torn` rule makes AppendFile keep only a prefix of the
+// line while still reporting success -- the exact corruption the resume
+// scanner must survive.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace qps::util {
+
+/// Thrown on any I/O failure; what() names the path and the errno text.
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& what, std::string path)
+      : std::runtime_error(what), path_(std::move(path)) {}
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Atomically replaces `path` with `content` (tmp file + fsync + rename).
+/// Returns false and fills `error` (when non-null) on failure instead of
+/// throwing -- the obs dump sites treat a failed dump as a warning.
+bool write_file_atomic(const std::string& path, std::string_view content,
+                       std::string* error = nullptr);
+
+class AppendFile {
+ public:
+  /// Opens `path` for durable appends (O_APPEND | O_CREAT).  `fault_point`
+  /// (may be null) names the injection point consulted on every append.
+  /// Throws IoError when the file cannot be opened.
+  explicit AppendFile(std::string path, const char* fault_point = nullptr);
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Appends `line` with one write(2) and fdatasyncs; throws IoError on
+  /// short or failed writes.  A torn-write fault keeps a prefix only and
+  /// reports success (that is the fault).
+  void append_line(std::string_view line);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  const char* fault_point_;
+  int fd_ = -1;
+};
+
+}  // namespace qps::util

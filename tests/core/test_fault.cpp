@@ -1,0 +1,182 @@
+// Fault-injection registry tests: spec parsing, the firing schedule
+// (after/count/prob/match), action behavior, determinism, and the
+// kill-switch contract.  The registry is process-global, so every test
+// clears it on entry and exit.
+#include <gtest/gtest.h>
+
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/fault/fault.h"
+
+namespace qps::fault {
+namespace {
+
+class FaultTest : public testing::Test {
+ protected:
+  void SetUp() override { clear(); }
+  void TearDown() override { clear(); }
+};
+
+// GTEST_SKIP() only aborts the function it appears in, so this must be a
+// macro expanded in the test body, not a helper call.  Tests that need a
+// rule to actually fire use it; parsing/clearing behave identically in
+// both configurations and stay unguarded.
+#define REQUIRE_FAULTS()                                             \
+  if (!kFaultCompiled)                                               \
+  GTEST_SKIP() << "fault injection compiled out (QPS_FAULT=OFF)"
+
+TEST_F(FaultTest, EmptySpecIsANoOp) {
+  configure("");
+  configure("  ;  ; ");
+  EXPECT_FALSE(armed());
+  EXPECT_EQ(describe(), "");
+  hit("anything/at_all");  // must not throw
+}
+
+TEST_F(FaultTest, MalformedSpecsAreRejectedNamingTheRule) {
+  EXPECT_THROW(configure("justapoint"), std::invalid_argument);
+  EXPECT_THROW(configure("p:frobnicate"), std::invalid_argument);
+  EXPECT_THROW(configure("p:error:after"), std::invalid_argument);
+  EXPECT_THROW(configure("p:error:after=0"), std::invalid_argument);
+  EXPECT_THROW(configure("p:error:prob=1.5"), std::invalid_argument);
+  EXPECT_THROW(configure("p:torn:frac=-0.1"), std::invalid_argument);
+  EXPECT_THROW(configure("p:error:after=xyz"), std::invalid_argument);
+  EXPECT_THROW(configure("p:error:nope=1"), std::invalid_argument);
+  EXPECT_THROW(configure(":error"), std::invalid_argument);
+  try {
+    configure("p:error:prob=2");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("p:error:prob=2"),
+              std::string::npos);
+  }
+  // A throwing configure() installs nothing.
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(FaultTest, ErrorActionFiresFromAfterOnwards) {
+  REQUIRE_FAULTS();
+  configure("t/err:error:after=3");
+  EXPECT_TRUE(armed());
+  hit("t/err");  // hit 1
+  hit("t/err");  // hit 2
+  EXPECT_THROW(hit("t/err"), InjectedFault);  // hit 3: fires
+  EXPECT_THROW(hit("t/err"), InjectedFault);  // and keeps firing
+  hit("t/other");  // different point: untouched
+}
+
+TEST_F(FaultTest, WhatNamesThePointAndHitIndex) {
+  REQUIRE_FAULTS();
+  configure("t/what:error");
+  try {
+    hit("t/what");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("t/what"), std::string::npos) << what;
+    EXPECT_NE(what.find("hit 1"), std::string::npos) << what;
+  }
+}
+
+TEST_F(FaultTest, CountBoundsTheFirings) {
+  REQUIRE_FAULTS();
+  configure("t/count:error:count=2");
+  EXPECT_THROW(hit("t/count"), InjectedFault);
+  EXPECT_THROW(hit("t/count"), InjectedFault);
+  for (int i = 0; i < 10; ++i) hit("t/count");  // budget spent: silent
+}
+
+TEST_F(FaultTest, MatchRestrictsToDetailSubstrings) {
+  REQUIRE_FAULTS();
+  configure("t/match:error:match=size=5");
+  hit("t/match", "family=alpha/size=3/p=0.5");
+  EXPECT_THROW(hit("t/match", "family=alpha/size=5/p=0.5"), InjectedFault);
+  hit("t/match");  // no detail at all: no match
+}
+
+TEST_F(FaultTest, ProbScheduleIsDeterministicAndSeedDependent) {
+  REQUIRE_FAULTS();
+  const auto schedule = [](const std::string& spec) {
+    clear();
+    configure(spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      try {
+        hit("t/prob");
+        fired.push_back(false);
+      } catch (const InjectedFault&) {
+        fired.push_back(true);
+      }
+    }
+    return fired;
+  };
+  const auto a = schedule("t/prob:error:prob=0.3:seed=42");
+  const auto b = schedule("t/prob:error:prob=0.3:seed=42");
+  EXPECT_EQ(a, b);  // pure function of (seed, point, hit index)
+  const auto c = schedule("t/prob:error:prob=0.3:seed=43");
+  EXPECT_NE(a, c);
+  std::size_t fired = 0;
+  for (const bool f : a) fired += f ? 1 : 0;
+  EXPECT_GT(fired, 20u);  // ~60 expected; bounds are generous
+  EXPECT_LT(fired, 140u);
+}
+
+TEST_F(FaultTest, AllocActionThrowsBadAlloc) {
+  REQUIRE_FAULTS();
+  configure("t/alloc:alloc");
+  EXPECT_THROW(hit("t/alloc"), std::bad_alloc);
+}
+
+TEST_F(FaultTest, DelayActionStallsThenContinues) {
+  configure("t/delay:delay:ms=1:count=1");
+  hit("t/delay");  // sleeps ~1ms, must not throw
+  hit("t/delay");  // count spent
+}
+
+TEST_F(FaultTest, TornRulesAreInvisibleToHitAndServedByConsumeTorn) {
+  REQUIRE_FAULTS();
+  configure("t/torn:torn:frac=0.25:count=1");
+  hit("t/torn");  // torn rules never fire through hit()
+  const auto frac = consume_torn("t/torn");
+  ASSERT_TRUE(frac.has_value());
+  EXPECT_DOUBLE_EQ(*frac, 0.25);
+  EXPECT_FALSE(consume_torn("t/torn").has_value());  // count spent
+}
+
+TEST_F(FaultTest, RulesAccumulateAcrossConfigureCalls) {
+  REQUIRE_FAULTS();
+  configure("t/one:error");
+  configure("t/two:alloc");
+  const std::string summary = describe();
+  EXPECT_NE(summary.find("t/one:error"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("t/two:alloc"), std::string::npos) << summary;
+  EXPECT_THROW(hit("t/one"), InjectedFault);
+  EXPECT_THROW(hit("t/two"), std::bad_alloc);
+}
+
+TEST_F(FaultTest, ClearDisarmsEverything) {
+  configure("t/gone:error");
+  clear();
+  EXPECT_FALSE(armed());
+  EXPECT_EQ(describe(), "");
+  hit("t/gone");  // must not throw
+}
+
+TEST_F(FaultTest, KillSwitchConstantIsVisible) {
+  // This test builds in both configurations; under -DQPS_FAULT=OFF the
+  // macros must be inert even with rules "installed".
+  if (!kFaultCompiled) {
+    configure("t/off:error");
+    QPS_FAULT_POINT("t/off");
+    QPS_FAULT_POINT2("t/off", "detail");
+    EXPECT_FALSE(armed());
+  } else {
+    EXPECT_TRUE(kFaultCompiled);
+  }
+}
+
+}  // namespace
+}  // namespace qps::fault

@@ -1,0 +1,57 @@
+// Backoff schedule tests: capped exponential growth, jitter bounds, and
+// deterministic replay for a fixed seed.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/backoff.h"
+
+namespace qps::util {
+namespace {
+
+TEST(Backoff, BaseDoublesUpToTheCap) {
+  Backoff backoff(1.0, 8.0, /*seed=*/7);
+  const double bases[] = {1.0, 2.0, 4.0, 8.0, 8.0, 8.0};
+  for (const double base : bases) {
+    EXPECT_DOUBLE_EQ(backoff.base(), base);
+    const double delay = backoff.next();
+    // Jitter draws uniformly from [base/2, base].
+    EXPECT_GE(delay, base / 2.0);
+    EXPECT_LE(delay, base);
+  }
+  EXPECT_EQ(backoff.attempts(), 6u);
+}
+
+TEST(Backoff, SameSeedReplaysTheExactSchedule) {
+  Backoff a(0.5, 30.0, 1234);
+  Backoff b(0.5, 30.0, 1234);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(a.next(), b.next());
+}
+
+TEST(Backoff, DifferentSeedsDecorrelate) {
+  Backoff a(0.5, 30.0, 1);
+  Backoff b(0.5, 30.0, 2);
+  bool any_different = false;
+  for (int i = 0; i < 20; ++i) any_different |= a.next() != b.next();
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Backoff, ResetRestartsFromTheInitialDelay) {
+  Backoff backoff(1.0, 64.0, 99);
+  std::vector<double> first;
+  for (int i = 0; i < 5; ++i) first.push_back(backoff.next());
+  backoff.reset();
+  EXPECT_EQ(backoff.attempts(), 0u);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(backoff.next(), first[i]);
+}
+
+TEST(Backoff, CustomMultiplierGrowsSlower) {
+  Backoff backoff(1.0, 100.0, 0, /*multiplier=*/1.5);
+  backoff.next();
+  EXPECT_DOUBLE_EQ(backoff.base(), 1.5);
+  backoff.next();
+  EXPECT_DOUBLE_EQ(backoff.base(), 2.25);
+}
+
+}  // namespace
+}  // namespace qps::util

@@ -1,0 +1,116 @@
+// Crash-safe I/O helper tests: atomic whole-file replacement, durable
+// journal appends, structured failures, and the torn-write fault hook.
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/fault/fault.h"
+#include "util/fsio.h"
+
+namespace qps::util {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "qps_fsio_" + std::to_string(::getpid()) + "_" +
+         name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(WriteFileAtomic, CreatesAndReplaces) {
+  const std::string path = temp_path("atomic.json");
+  std::remove(path.c_str());
+  EXPECT_TRUE(write_file_atomic(path, "first\n"));
+  EXPECT_EQ(slurp(path), "first\n");
+  EXPECT_TRUE(write_file_atomic(path, "second, longer content\n"));
+  EXPECT_EQ(slurp(path), "second, longer content\n");
+  // The staging file must not survive a successful write.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  EXPECT_NE(::access(tmp.c_str(), F_OK), 0);
+  std::remove(path.c_str());
+}
+
+TEST(WriteFileAtomic, ReportsStructuredFailure) {
+  std::string error;
+  EXPECT_FALSE(write_file_atomic("/nonexistent-dir-qps/x.json", "x", &error));
+  EXPECT_NE(error.find("/nonexistent-dir-qps/x.json"), std::string::npos)
+      << error;
+}
+
+TEST(AppendFile, AppendsAcrossReopens) {
+  const std::string path = temp_path("journal.jsonl");
+  std::remove(path.c_str());
+  {
+    AppendFile journal(path);
+    journal.append_line("one\n");
+    journal.append_line("two\n");
+  }
+  {
+    AppendFile journal(path);  // reopen must append, not truncate
+    journal.append_line("three\n");
+  }
+  EXPECT_EQ(slurp(path), "one\ntwo\nthree\n");
+  std::remove(path.c_str());
+}
+
+TEST(AppendFile, UnopenablePathThrowsIoErrorNamingIt) {
+  const std::string path = "/nonexistent-dir-qps/journal.jsonl";
+  try {
+    AppendFile journal(path);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.path(), path);
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+  }
+}
+
+TEST(AppendFile, TornFaultKeepsOnlyThePrefix) {
+  fault::clear();
+  const std::string path = temp_path("torn.jsonl");
+  std::remove(path.c_str());
+  fault::configure("test/fsio_append:torn:frac=0.5:after=2:count=1");
+  {
+    AppendFile journal(path, "test/fsio_append");
+    journal.append_line("0123456789\n");  // hit 1: intact
+    journal.append_line("0123456789\n");  // hit 2: torn, first 5 bytes kept
+    journal.append_line("0123456789\n");  // hit 3: intact again
+  }
+  fault::clear();
+  if (fault::kFaultCompiled)
+    EXPECT_EQ(slurp(path), "0123456789\n012340123456789\n");
+  else
+    EXPECT_EQ(slurp(path), "0123456789\n0123456789\n0123456789\n");
+  std::remove(path.c_str());
+}
+
+TEST(AppendFile, ErrorFaultSurfacesAsInjectedFault) {
+  fault::clear();
+  const std::string path = temp_path("diskfull.jsonl");
+  std::remove(path.c_str());
+  fault::configure("test/fsio_error:error:after=2");
+  {
+    AppendFile journal(path, "test/fsio_error");
+    journal.append_line("committed\n");
+    if (fault::kFaultCompiled)
+      EXPECT_THROW(journal.append_line("lost\n"), fault::InjectedFault);
+    else
+      journal.append_line("lost\n");
+  }
+  fault::clear();
+  // The committed line is durable regardless.
+  EXPECT_NE(slurp(path).find("committed\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qps::util

@@ -12,9 +12,14 @@
 //
 //   qps_workerd --connect HOST:PORT[,HOST:PORT...]
 //       Dials each coordinator in turn and serves whatever sweeps appear,
-//       re-dialing between sweeps; exits 0 once every address has refused
-//       connections --max-connect-failures consecutive times (the
-//       coordinators are gone -- the job is over).
+//       re-dialing between sweeps.  Failed dials back off exponentially
+//       (--retry-seconds initial, doubling to --max-backoff-seconds, with
+//       deterministic jitter) up to --max-connect-failures consecutive
+//       failures per address.  Exits 0 once every address is exhausted
+//       after having served at least one sweep (the coordinators are
+//       gone -- the job is over); exits 2, naming each address, when some
+//       coordinator was never reachable at all (a typo'd HOST:PORT must
+//       not look like a completed job).
 //
 //   qps_workerd --listen[=PORT]
 //       Binds (port 0 by default -- the kernel picks a free one), reports
@@ -25,7 +30,9 @@
 // With --metrics-json FILE the daemon dumps its metrics registry snapshot
 // to FILE every --metrics-interval seconds (default 5), so an operator --
 // or the distributed-smoke CI job -- can watch evaluations, heartbeats,
-// and protocol counters while it serves.
+// and protocol counters while it serves.  --fault SPEC arms deterministic
+// fault injection (grammar in core/fault/fault.h); the daemon's own site
+// is "workerd/serve", hit once per accepted/dialed serving attempt.
 //
 // A protocol-version mismatch is fatal (exit 3) with both versions named:
 // mixed-version fleets must fail fast, not mis-parse frames.
@@ -35,16 +42,19 @@
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/fault/fault.h"
 #include "core/net/messages.h"
 #include "core/net/socket.h"
 #include "core/net/socket_sweep.h"
 #include "core/net/worker.h"
 #include "core/obs/metrics.h"
 #include "core/sweep/evaluators.h"
+#include "util/backoff.h"
 #include "util/flags.h"
 
 namespace {
@@ -61,8 +71,9 @@ bool is_version_mismatch(const std::string& error) {
 
 struct DaemonOptions {
   std::size_t dp_threads = 0;
-  double retry_seconds = 0.5;
-  int max_connect_failures = 20;
+  double retry_seconds = 0.5;       // initial re-dial backoff
+  double max_backoff_seconds = 10;  // re-dial backoff cap
+  int max_connect_failures = 20;    // consecutive failures per address
 };
 
 /// Serves one established connection; returns the outcome and exits the
@@ -72,8 +83,14 @@ qps::net::ServeOutcome serve_once(qps::net::TcpStream& stream,
                                   const qps::net::SweepBinder& binder,
                                   const std::string& peer) {
   std::string error;
-  const qps::net::ServeOutcome outcome =
-      qps::net::serve_connection(stream, hello, binder, &error);
+  qps::net::ServeOutcome outcome;
+  try {
+    QPS_FAULT_POINT2("workerd/serve", peer);
+    outcome = qps::net::serve_connection(stream, hello, binder, &error);
+  } catch (const qps::fault::InjectedFault& e) {
+    outcome = qps::net::ServeOutcome::kLost;
+    error = e.what();
+  }
   switch (outcome) {
     case qps::net::ServeOutcome::kServedBye:
       std::cerr << "qps_workerd: sweep complete (" << peer << ")\n";
@@ -111,9 +128,23 @@ int run_connect_mode(const std::vector<std::string>& addresses,
     }
   }
 
+  // Per-address state: consecutive-failure count against the budget, a
+  // capped-exponential re-dial backoff (seeded per address so a fleet of
+  // daemons pointed at one dead coordinator doesn't dial in lockstep), and
+  // whether the address ever produced a connection at all.
   std::vector<int> failures(addresses.size(), 0);
+  std::vector<bool> ever_connected(addresses.size(), false);
+  std::vector<qps::util::Backoff> backoff;
+  backoff.reserve(addresses.size());
+  for (std::size_t i = 0; i < addresses.size(); ++i)
+    backoff.emplace_back(options.retry_seconds, options.max_backoff_seconds,
+                         static_cast<std::uint64_t>(::getpid()) * 1315423911u +
+                             i);
+
   for (;;) {
     bool all_gone = true;
+    bool served = false;
+    double sleep_seconds = 0.0;
     for (std::size_t i = 0; i < addresses.size(); ++i) {
       if (failures[i] > options.max_connect_failures) continue;
       all_gone = false;
@@ -121,17 +152,38 @@ int run_connect_mode(const std::vector<std::string>& addresses,
           qps::net::TcpStream::connect(hosts[i], ports[i]);
       if (!stream.valid()) {
         ++failures[i];
+        const double delay = backoff[i].next();
+        if (failures[i] <= options.max_connect_failures &&
+            (sleep_seconds == 0.0 || delay < sleep_seconds))
+          sleep_seconds = delay;
         continue;
       }
       failures[i] = 0;
+      ever_connected[i] = true;
+      backoff[i].reset();
+      served = true;
       serve_once(stream, hello, binder, addresses[i]);
     }
     if (all_gone) {
+      bool unreachable = false;
+      for (std::size_t i = 0; i < addresses.size(); ++i) {
+        if (ever_connected[i]) continue;
+        unreachable = true;
+        std::cerr << "qps_workerd: coordinator " << addresses[i]
+                  << " was never reachable ("
+                  << options.max_connect_failures + 1
+                  << " consecutive dial failures)\n";
+      }
+      if (unreachable) return 2;
       std::cerr << "qps_workerd: no coordinator reachable; exiting\n";
       return 0;
     }
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(options.retry_seconds));
+    // A successful serve means the coordinator may have another sweep
+    // queued right behind this one -- re-dial immediately.  Only an
+    // all-failure pass waits, for the soonest address's backoff.
+    if (!served && sleep_seconds > 0.0)
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(sleep_seconds));
   }
 }
 
@@ -146,9 +198,18 @@ int run_listen_mode(std::uint16_t port, const qps::net::Hello& hello,
   }
   // Scripts parse this line to learn the kernel-chosen port.
   std::cout << "listening on 127.0.0.1:" << listener.port() << std::endl;
+  // Accept failures (fd exhaustion, transient kernel errors) back off
+  // instead of spinning the core.
+  qps::util::Backoff accept_backoff(0.01, 1.0,
+                                    static_cast<std::uint64_t>(::getpid()));
   for (;;) {
     qps::net::TcpStream stream = listener.accept();
-    if (!stream.valid()) continue;
+    if (!stream.valid()) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(accept_backoff.next()));
+      continue;
+    }
+    accept_backoff.reset();
     serve_once(stream, hello, binder, "coordinator");
   }
 }
@@ -160,6 +221,8 @@ int main(int argc, char** argv) {
   DaemonOptions options;
   options.dp_threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   options.retry_seconds = flags.get_double("retry-seconds", 0.5);
+  options.max_backoff_seconds =
+      flags.get_double("max-backoff-seconds", options.max_backoff_seconds);
   options.max_connect_failures =
       static_cast<int>(flags.get_int("max-connect-failures", 20));
   const std::string connect = flags.get_string("connect", "");
@@ -167,14 +230,27 @@ int main(int argc, char** argv) {
   const std::string listen_value = flags.get_string("listen", "true");
   const std::string metrics_json = flags.get_string("metrics-json", "");
   const double metrics_interval = flags.get_double("metrics-interval", 5.0);
+  const std::string fault_spec = flags.get_string("fault", "");
   const auto unused = flags.unused();
   if (!unused.empty() || (connect.empty() == !listen)) {
     std::cerr << "usage: qps_workerd --connect HOST:PORT[,HOST:PORT...] "
                  "| --listen[=PORT]\n"
                  "       [--threads N] [--retry-seconds S] "
-                 "[--max-connect-failures N]\n"
-                 "       [--metrics-json FILE] [--metrics-interval S]\n";
+                 "[--max-backoff-seconds S] [--max-connect-failures N]\n"
+                 "       [--metrics-json FILE] [--metrics-interval S] "
+                 "[--fault SPEC]\n";
     return 2;
+  }
+  if (!fault_spec.empty()) {
+    if (!qps::fault::kFaultCompiled)
+      std::cerr << "qps_workerd: --fault: fault injection is compiled out "
+                   "(QPS_FAULT=0); the spec is ignored\n";
+    try {
+      qps::fault::configure(fault_spec);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "qps_workerd: --fault: " << e.what() << "\n";
+      return 2;
+    }
   }
 
   // Periodic (not just at-exit) dump: a daemon is typically killed, not
