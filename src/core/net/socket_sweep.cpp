@@ -47,6 +47,14 @@ class HeartbeatThread {
       std::unique_lock<std::mutex> lock(mutex_);
       const auto interval = std::chrono::duration<double>(interval_seconds);
       while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+        try {
+          // Injection site for heartbeat loss/delay: a delay action here
+          // widens the coordinator's observed heartbeat gap, an error
+          // action swallows the beat entirely.
+          QPS_FAULT_POINT("net/worker_heartbeat");
+        } catch (const fault::InjectedFault&) {
+          continue;  // this heartbeat is lost; the next round retries
+        }
         std::lock_guard<std::mutex> write_lock(write_mutex_);
         // A failed heartbeat means the peer is gone; the read loop will
         // notice on its own, so the failure needs no handling here.
@@ -151,6 +159,7 @@ void run_socket_sweep(TcpListener& listener,
       if (options.local_fallback) {
         try {
           QPS_TRACE_SPAN("sweep/point", "sweep");
+          QPS_FAULT_POINT2("net/local_eval", points[index].id);
           const RunningStats stats = local_eval(points[index]);
           record(index, stats);
           ++rescued_count;
@@ -188,9 +197,33 @@ void run_socket_sweep(TcpListener& listener,
     engine.on_open(id, monotonic_seconds());
   }
 
+  // Supersession: detection (a worker fence/hello named a newer epoch, or
+  // the lease callback fired) starts a short drain window during which
+  // reads are still processed -- so in-flight fence frames from re-dialing
+  // workers land in this process's counters -- and local evaluation stops;
+  // then the loop throws.  A zombie must stand down, not finish the sweep.
+  double superseded_at = 0.0;
+  const auto check_superseded = [&] {
+    if (superseded_at == 0.0 &&
+        (engine.superseded() ||
+         (options.superseded_check && options.superseded_check())))
+      superseded_at = monotonic_seconds();
+    if (superseded_at != 0.0 &&
+        monotonic_seconds() - superseded_at >= options.superseded_drain_seconds) {
+      std::ostringstream why;
+      why << "sweep " << sweep_name << ": coordinator epoch "
+          << options.engine.epoch << " superseded";
+      if (engine.superseded_by() != 0)
+        why << " by epoch " << engine.superseded_by();
+      why << "; standing down";
+      throw CoordinatorSuperseded(why.str(), engine.superseded_by());
+    }
+  };
+
   while (!engine.done()) {
     flush();
     deliver();
+    check_superseded();
     if (engine.done()) break;
 
     // Fallback waits for "no sessions at all", not just "no active
@@ -218,6 +251,8 @@ void run_socket_sweep(TcpListener& listener,
         timeout_ms = wait < 10.0 ? 10 : (wait > 500.0 ? 500 : static_cast<int>(wait));
       }
     }
+    if (superseded_at != 0.0 && timeout_ms > 50)
+      timeout_ms = 50;  // drain window: keep the deadline check responsive
     const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
@@ -268,12 +303,17 @@ void run_socket_sweep(TcpListener& listener,
     engine.on_tick(monotonic_seconds());
     flush();
     deliver();
+    check_superseded();
 
     if (options.local_fallback && engine.session_count() == 0 &&
-        !engine.done()) {
+        superseded_at == 0.0 && !engine.done()) {
       if (const auto index = engine.take_local_point()) {
         {
           QPS_TRACE_SPAN("sweep/point", "sweep");
+          // Coordinator-side injection site: a delay here holds the
+          // coordinator mid-sweep (chaos scripts SIGSTOP/SIGKILL it there);
+          // crash/error exercise the journal-replay takeover.
+          QPS_FAULT_POINT2("net/local_eval", points[*index].id);
           engine.complete_local(*index, local_eval(points[*index]));
         }
         ++local_points;
@@ -299,7 +339,9 @@ void run_socket_sweep(TcpListener& listener,
        << " duplicate(s) ignored, " << engine.workers_timed_out()
        << " worker timeout(s), " << engine.deadline_forfeits()
        << " deadline forfeit(s), " << engine.protocol_errors()
-       << " protocol error(s)\n";
+       << " protocol error(s), " << engine.stale_epoch_rejected()
+       << " stale-epoch rejection(s), " << engine.probation_demotions()
+       << " probation demotion(s)\n";
   const std::string text = line.str();
   const char* data = text.data();
   std::size_t left = text.size();
@@ -320,25 +362,47 @@ sweep::RemoteRunner make_socket_remote_runner(
   return [listener, options](const sweep::SweepSpec& spec,
                              const std::vector<sweep::SweepPoint>& points,
                              std::deque<std::size_t> pending,
+                             std::uint64_t epoch,
                              const sweep::PointEvaluator& eval,
                              const sweep::RemoteRecord& record,
                              const sweep::RemoteQuarantine& quarantine) {
     SocketCoordinatorOptions opts = options;
     if (!opts.engine.evaluator.empty() && opts.engine.spec_text.empty())
       opts.engine.spec_text = sweep::spec_to_json(spec);
+    if (epoch != 0) opts.engine.epoch = epoch;  // journal-backed: fenced
     run_socket_sweep(*listener, points, spec.name(), spec.fingerprint(),
                      std::move(pending), eval, record, opts, quarantine);
   };
 }
 
+void decline_queued_connections(TcpListener& listener,
+                                const std::string& reason) {
+  for (;;) {
+    pollfd pfd{listener.fd(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 0);
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) return;
+    TcpStream stream = listener.accept();
+    if (!stream.valid()) return;
+    // No need to read the hello: the decline is the same either way, and
+    // the worker's decline-retry budget turns it into a later re-dial.
+    Welcome welcome;
+    welcome.ok = false;
+    welcome.retry = true;
+    welcome.error = reason;
+    stream.send_all(encode_welcome(welcome));
+    stream.close();
+  }
+}
+
 ServeOutcome serve_connection(TcpStream& stream, const Hello& hello,
-                              const SweepBinder& binder, std::string* error) {
+                              const SweepBinder& binder, std::string* error,
+                              const ServeHooks& hooks) {
   const auto fail = [error](ServeOutcome outcome, const std::string& why) {
     if (error) *error = why;
     return outcome;
   };
 
-  WorkerEngine engine(hello);
+  WorkerEngine engine(hello, hooks.epochs);
   if (!stream.send_all(engine.hello_line()))
     return fail(ServeOutcome::kLost, "connection lost sending hello");
 
@@ -350,6 +414,22 @@ ServeOutcome serve_connection(TcpStream& stream, const Hello& hello,
   LineReassembler reassembler;
   char chunk[4096];
   for (;;) {
+    if (hooks.idle_timeout_seconds > 0.0) {
+      // A coordinator that goes completely silent (SIGSTOPped, wedged,
+      // partitioned) would hold this worker in read(2) forever; bounded
+      // patience turns that into a kLost and, through the caller's retry
+      // budget, a re-dial -- which is how workers migrate to a standby.
+      pollfd pfd{stream.fd(), POLLIN, 0};
+      const int ready = ::poll(
+          &pfd, 1,
+          static_cast<int>(hooks.idle_timeout_seconds * 1000.0));
+      if (ready == 0)
+        return fail(ServeOutcome::kLost,
+                    "coordinator silent past the idle timeout");
+      if (ready < 0 && errno != EINTR)
+        return fail(ServeOutcome::kLost, "poll failed waiting on coordinator");
+      if (ready <= 0) continue;
+    }
     const long n = stream.read_some(chunk, sizeof chunk);
     if (n <= 0)
       return fail(ServeOutcome::kLost, "connection lost mid-serve");
@@ -399,6 +479,19 @@ ServeOutcome serve_connection(TcpStream& stream, const Hello& hello,
         }
         case WorkerEngine::Event::Kind::kBye:
           return ServeOutcome::kServedBye;
+        case WorkerEngine::Event::Kind::kNotice:
+          if (hooks.on_notice) hooks.on_notice(event.notice);
+          break;
+        case WorkerEngine::Event::Kind::kStaleEpoch: {
+          // A zombie coordinator: answer with the fence frame naming the
+          // newer epoch (so the rejection lands in its metrics and it
+          // stands down), then refuse to serve it.
+          std::lock_guard<std::mutex> lock(write_mutex);
+          stream.send_all(engine.fence_line(event));
+          if (hooks.on_fence)
+            hooks.on_fence(event.known_epoch, event.welcome);
+          return fail(ServeOutcome::kFencedStale, event.error);
+        }
         case WorkerEngine::Event::Kind::kProtocolError:
           return fail(ServeOutcome::kLost, event.error);
       }
@@ -415,6 +508,7 @@ ServeOutcome serve_pinned_sweep(const std::string& host, std::uint16_t port,
   hello.sweep = spec.name();
   hello.fingerprint = spec.fingerprint();
   const SweepBinder binder = pinned_binder(spec, eval);
+  const ServeHooks& hooks = options.hooks;
 
   int connect_failures = 0;
   int declines = 0;
@@ -432,7 +526,7 @@ ServeOutcome serve_pinned_sweep(const std::string& host, std::uint16_t port,
 
     std::string error;
     const ServeOutcome outcome = serve_connection(stream, hello, binder,
-                                                  &error);
+                                                  &error, hooks);
     switch (outcome) {
       case ServeOutcome::kDeclinedRetry:
         // A multi-sweep coordinator serves its sweeps in order; ours is
@@ -460,6 +554,14 @@ ServeOutcome serve_pinned_sweep(const std::string& host, std::uint16_t port,
       case ServeOutcome::kDeclinedFatal:
         std::cerr << "worker " << options.node << ": declined for sweep "
                   << spec.name() << ": " << error << "\n";
+        return outcome;
+      case ServeOutcome::kFencedStale:
+        // The peer at this address is a superseded zombie; serving it
+        // would be wasted (and wrong).  The caller knows where the live
+        // coordinator is -- or will re-invoke us when it does.
+        std::cerr << "worker " << options.node << ": fenced stale "
+                  << "coordinator for sweep " << spec.name() << ": " << error
+                  << "\n";
         return outcome;
       default:
         return outcome;

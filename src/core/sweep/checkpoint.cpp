@@ -1,5 +1,6 @@
 #include "core/sweep/checkpoint.h"
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
@@ -15,12 +16,43 @@ SweepCheckpoint::SweepCheckpoint(std::string path, std::string sweep_name,
       sweep_name_(std::move(sweep_name)),
       fingerprint_(fingerprint) {
   if (path_.empty()) return;
-  if (resume) {
+  std::uint64_t max_epoch = 0;
+  {
+    // Scan even without --resume: the epoch records of earlier
+    // activations must be seen for this activation's epoch to be larger
+    // (results and poison markers are only loaded when resuming).
     std::ifstream in(path_);
-    recovery_.existed = in.good();
+    if (resume) recovery_.existed = in.good();
     std::string line;
     while (in && std::getline(in, line)) {
       if (line.empty()) continue;
+      if (is_journal_control(line)) {
+        const auto ctl = decode_journal_control(line);
+        if (!ctl) {
+          if (resume) ++recovery_.corrupt;
+          continue;
+        }
+        if (ctl->sweep != sweep_name_ || ctl->fingerprint != fingerprint_) {
+          if (resume) ++recovery_.foreign;
+          continue;
+        }
+        if (resume) ++recovery_.control;
+        switch (ctl->kind) {
+          case JournalRecordKind::kEpoch:
+            max_epoch = std::max(max_epoch, ctl->epoch);
+            break;
+          case JournalRecordKind::kQuarantine:
+            if (resume) poisoned_[ctl->index] = ctl->attempts;
+            break;
+          case JournalRecordKind::kReadmit:
+            poisoned_.erase(ctl->index);
+            break;
+          case JournalRecordKind::kResult:
+            break;
+        }
+        continue;
+      }
+      if (!resume) continue;
       const auto result = decode_result(line);
       if (!result) {
         // Torn tail (killed mid-append) or damaged mid-file line: the
@@ -35,6 +67,7 @@ SweepCheckpoint::SweepCheckpoint(std::string path, std::string sweep_name,
         continue;
       }
       completed_[result->index] = result->stats;
+      poisoned_.erase(result->index);
       ++recovery_.recovered;
     }
     if (recovery_.existed && recovery_.corrupt > 0)
@@ -43,7 +76,7 @@ SweepCheckpoint::SweepCheckpoint(std::string path, std::string sweep_name,
                 << " unparseable line(s) (torn or corrupt); those points "
                    "will be recomputed\n";
     else if (recovery_.existed && recovery_.recovered == 0 &&
-             recovery_.foreign == 0)
+             recovery_.foreign == 0 && recovery_.control == 0)
       std::cerr << "sweep " << sweep_name_ << ": checkpoint journal " << path_
                 << " is empty; nothing to resume\n";
   }
@@ -56,14 +89,20 @@ SweepCheckpoint::SweepCheckpoint(std::string path, std::string sweep_name,
     throw CheckpointError(std::string("cannot open checkpoint journal: ") +
                               e.what(),
                           path_);
+  } catch (const fault::InjectedFault& e) {
+    throw CheckpointError(std::string("cannot open checkpoint journal ") +
+                              path_ + ": " + e.what(),
+                          path_);
   }
+  // Claim this activation's epoch: one past everything the journal has
+  // seen for (sweep, fingerprint).  The record is durable before any
+  // result is dispatched, so a standby that later replays the journal is
+  // guaranteed a strictly larger epoch.
+  epoch_ = max_epoch + 1;
+  append_checked(encode_epoch_record(sweep_name_, fingerprint_, epoch_));
 }
 
-void SweepCheckpoint::record(const SweepPoint& point,
-                             const RunningStats& stats) {
-  if (!out_) return;
-  const std::string line =
-      encode_result(sweep_name_, fingerprint_, point, stats);
+void SweepCheckpoint::append_checked(const std::string& line) {
   try {
     out_->append_line(line);
   } catch (const util::IoError& e) {
@@ -77,10 +116,30 @@ void SweepCheckpoint::record(const SweepPoint& point,
             e.what(),
         path_);
   }
+}
+
+void SweepCheckpoint::record(const SweepPoint& point,
+                             const RunningStats& stats) {
+  if (!out_) return;
+  append_checked(encode_result(sweep_name_, fingerprint_, point, stats));
   completed_[point.index] = stats;
   static obs::Counter& writes =
       obs::MetricsRegistry::instance().counter("sweep/checkpoint_writes");
   writes.increment();
+}
+
+void SweepCheckpoint::record_quarantine(const SweepPoint& point,
+                                        std::uint64_t attempts) {
+  if (!out_) return;
+  append_checked(
+      encode_quarantine_record(sweep_name_, fingerprint_, point, attempts));
+  poisoned_[point.index] = attempts;
+}
+
+void SweepCheckpoint::record_readmit(const SweepPoint& point) {
+  if (!out_) return;
+  append_checked(encode_readmit_record(sweep_name_, fingerprint_, point));
+  poisoned_.erase(point.index);
 }
 
 }  // namespace qps::sweep

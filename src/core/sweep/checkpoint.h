@@ -19,6 +19,14 @@
 // (core/fault/fault.h): `error` models a full disk, `torn` produces
 // exactly the mid-file corruption the resume scanner must survive, and
 // `crash` dies mid-transaction.
+//
+// Besides results the journal carries control records (core/sweep/wire.h):
+// an epoch record appended at every open (max seen + 1 becomes this
+// activation's epoch -- the monotonic fencing token for coordinator
+// failover), quarantine poison markers, and readmit records that clear
+// them.  Poison markers make quarantine sticky across --resume: a point
+// that burned its retry budget failed deterministically, so only an
+// explicit --readmit (after a code fix) re-runs it.
 #pragma once
 
 #include <map>
@@ -52,6 +60,7 @@ class SweepCheckpoint {
     std::size_t recovered = 0;   ///< Lines matching (sweep, fingerprint).
     std::size_t foreign = 0;     ///< Valid lines of other sweeps/options.
     std::size_t corrupt = 0;     ///< Unparseable (torn/damaged) lines.
+    std::size_t control = 0;     ///< Epoch/quarantine/readmit records.
   };
 
   /// An empty `path` disables journaling entirely.  With `resume` the
@@ -76,15 +85,36 @@ class SweepCheckpoint {
   /// Resume-scan accounting (all zeros when not resuming).
   const RecoveryReport& recovery() const { return recovery_; }
 
+  /// This activation's epoch: one past the highest epoch record for
+  /// (sweep, fingerprint) found in the journal, or 0 when journaling is
+  /// disabled (no journal, no fencing authority).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Points with an uncleared quarantine poison marker (index -> attempts
+  /// recorded when poisoned); populated by the resume scan.
+  const std::map<std::size_t, std::uint64_t>& poisoned() const {
+    return poisoned_;
+  }
+
   /// Appends one completed point durably; throws CheckpointError on any
   /// write or sync failure.
   void record(const SweepPoint& point, const RunningStats& stats);
 
+  /// Appends a quarantine poison marker for `point`.
+  void record_quarantine(const SweepPoint& point, std::uint64_t attempts);
+
+  /// Appends a readmit record for `point` and clears its poison marker.
+  void record_readmit(const SweepPoint& point);
+
  private:
+  void append_checked(const std::string& line);
+
   std::string path_;
   std::string sweep_name_;
   std::uint64_t fingerprint_;
+  std::uint64_t epoch_ = 0;
   std::map<std::size_t, RunningStats> completed_;
+  std::map<std::size_t, std::uint64_t> poisoned_;
   RecoveryReport recovery_;
   std::unique_ptr<util::AppendFile> out_;
 };

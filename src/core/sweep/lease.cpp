@@ -1,0 +1,137 @@
+#include "core/sweep/lease.h"
+
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/fault/fault.h"
+#include "util/fsio.h"
+#include "util/json.h"
+
+namespace qps::sweep {
+
+namespace {
+
+double now_wall_seconds() {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
+
+CoordinatorLease::CoordinatorLease(std::string lease_path, std::string node,
+                                   double timeout_seconds)
+    : path_(std::move(lease_path)),
+      node_(std::move(node)),
+      timeout_(timeout_seconds > 0.0 ? timeout_seconds : 5.0) {}
+
+CoordinatorLease::~CoordinatorLease() {
+  stop_renewal();
+  // A graceful exit releases the lease so a standby need not wait out the
+  // timeout; a superseded holder must not touch the new holder's file.
+  if (held_ && !superseded_.load()) ::unlink(path_.c_str());
+}
+
+std::optional<CoordinatorLease::Holder> CoordinatorLease::read(
+    const std::string& lease_path) {
+  std::ifstream in(lease_path);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    const JsonValue v = JsonValue::parse(text.str());
+    Holder holder;
+    holder.node = v.at("node").as_string();
+    holder.pid = static_cast<std::int64_t>(v.at("pid").as_uint64());
+    holder.generation = v.at("generation").as_uint64();
+    return holder;
+  } catch (const std::exception&) {
+    // A torn lease (crash mid-rename cannot happen, but a foreign file
+    // can): treat as absent, the generation restarts from its mtime.
+    return std::nullopt;
+  }
+}
+
+bool CoordinatorLease::stale() const {
+  struct stat st;
+  if (::stat(path_.c_str(), &st) != 0) return true;
+  const double mtime = static_cast<double>(st.st_mtim.tv_sec) +
+                       static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
+  return now_wall_seconds() - mtime > timeout_;
+}
+
+void CoordinatorLease::write_lease() {
+  const std::string content =
+      "{\"node\": " + json_quote(node_) +
+      ", \"pid\": " + std::to_string(static_cast<long>(::getpid())) +
+      ", \"generation\": " + std::to_string(generation_) + "}\n";
+  std::string error;
+  if (!util::write_file_atomic(path_, content, &error))
+    throw std::runtime_error("cannot write coordinator lease: " + error);
+}
+
+void CoordinatorLease::acquire() {
+  const auto current = read(path_);
+  generation_ = (current ? current->generation : 0) + 1;
+  write_lease();
+  held_ = true;
+  superseded_.store(false);
+  stop_ = false;
+  renewer_ = std::thread([this] { renew_loop(); });
+}
+
+void CoordinatorLease::wait_and_acquire(
+    const std::function<void()>& on_wait) {
+  while (!stale()) {
+    if (on_wait) on_wait();
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, std::chrono::milliseconds(100), [this] { return stop_; });
+    if (stop_) return;
+  }
+  QPS_FAULT_POINT("sweep/standby_takeover");
+  acquire();
+}
+
+void CoordinatorLease::renew_loop() {
+  const auto interval = std::chrono::duration<double>(timeout_ / 3.0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, interval, [this] { return stop_; });
+    if (stop_) return;
+    lock.unlock();
+    // Read-before-write: renewing over a newer generation would make two
+    // coordinators look alive on one lease.
+    const auto current = read(path_);
+    if (current && current->generation > generation_) {
+      superseded_.store(true);
+      return;
+    }
+    try {
+      write_lease();
+    } catch (const std::exception&) {
+      // A transiently unwritable lease dir just delays renewal; the next
+      // round retries.  Persistent failure makes the lease go stale and a
+      // standby take over -- which is the correct failure mode.
+    }
+    lock.lock();
+  }
+}
+
+void CoordinatorLease::stop_renewal() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (renewer_.joinable()) renewer_.join();
+}
+
+}  // namespace qps::sweep

@@ -1,0 +1,99 @@
+// Coordinator lease for warm-standby failover.
+//
+// The lease answers exactly one question -- "does a live coordinator own
+// this checkpoint journal right now?" -- and answers it with mtime
+// freshness: the holder rewrites the lease file (atomic-rename,
+// util/fsio.h) on a background thread every timeout/3, so a standby that
+// finds the file missing or older than the timeout may take over.  The
+// file carries a generation counter bumped by every acquisition; the
+// holder's renewal thread re-reads before each rewrite and flags itself
+// superseded() the moment someone else's generation appears, which is how
+// a SIGSTOPped-and-resumed zombie coordinator discovers the takeover even
+// if no worker ever tells it.
+//
+// The lease is deliberately NOT the fencing authority for results -- file
+// mtimes and wall clocks are too weak for correctness.  Fencing rides on
+// the checkpoint journal's monotonic epoch records
+// (core/sweep/checkpoint.h) echoed through the net protocol
+// (core/net/messages.h); the lease only decides *when* a standby starts,
+// and gives a zombie a second, worker-independent way to learn it must
+// stand down.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace qps::sweep {
+
+class CoordinatorLease {
+ public:
+  struct Holder {
+    std::string node;
+    std::int64_t pid = 0;
+    std::uint64_t generation = 0;
+  };
+
+  /// `timeout_seconds` is both the staleness threshold and the base of
+  /// the renewal cadence (timeout/3).  Nothing is written until acquire()
+  /// or wait_and_acquire().
+  CoordinatorLease(std::string lease_path, std::string node,
+                   double timeout_seconds);
+  ~CoordinatorLease();
+
+  CoordinatorLease(const CoordinatorLease&) = delete;
+  CoordinatorLease& operator=(const CoordinatorLease&) = delete;
+
+  /// The conventional lease path for a checkpoint journal.
+  static std::string path_for(const std::string& checkpoint_path) {
+    return checkpoint_path + ".lease";
+  }
+
+  /// Decodes the lease file; nullopt when missing or unreadable.
+  static std::optional<Holder> read(const std::string& lease_path);
+
+  /// True when the lease file is missing or last renewed longer than the
+  /// timeout ago (by mtime).
+  bool stale() const;
+
+  /// Takes the lease immediately (generation = current + 1) and starts
+  /// the renewal thread.  Throws std::runtime_error when the lease file
+  /// cannot be written -- an unwritable lease must not be silently held.
+  void acquire();
+
+  /// Standby entry: blocks until stale(), invoking `on_wait` (when set)
+  /// between polls -- a socket standby declines queued connections there
+  /// so workers keep cycling -- then hits the "sweep/standby_takeover"
+  /// fault point and acquires.
+  void wait_and_acquire(const std::function<void()>& on_wait = {});
+
+  bool held() const { return held_; }
+  /// Another process has bumped the generation: stop coordinating.
+  bool superseded() const { return superseded_.load(); }
+  std::uint64_t generation() const { return generation_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_lease();
+  void renew_loop();
+  void stop_renewal();
+
+  std::string path_;
+  std::string node_;
+  double timeout_;
+  std::uint64_t generation_ = 0;
+  bool held_ = false;
+  std::atomic<bool> superseded_{false};
+
+  std::thread renewer_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace qps::sweep

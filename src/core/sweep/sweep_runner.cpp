@@ -260,6 +260,9 @@ SweepRunner::SweepRunner(SweepSpec spec, SweepOptions options)
   QPS_REQUIRE(options_.workers == 0 || !options_.remote_runner,
               "worker subprocesses and a remote runner are mutually "
               "exclusive");
+  QPS_REQUIRE(!options_.readmit || options_.resume,
+              "--readmit needs --resume: re-admission clears poison markers "
+              "recovered from an existing journal");
 }
 
 std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
@@ -277,6 +280,55 @@ std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
       results[i].stats = it->second;
       results[i].from_checkpoint = true;
       have[i] = 1;
+    }
+  }
+
+  // Sticky quarantine: a poison marker recovered from the journal keeps
+  // its point quarantined across --resume -- it failed deterministically,
+  // so re-running it without a fix would just burn another retry budget.
+  // --readmit (optionally naming specific point ids) clears markers with a
+  // journaled readmit record and leaves the point pending again under a
+  // fresh budget, so re-admission itself survives a later --resume.
+  if (!checkpoint.poisoned().empty() || options_.readmit) {
+    const auto poisoned = checkpoint.poisoned();  // copy: readmit mutates
+    if (options_.readmit && !options_.readmit_points.empty()) {
+      for (const std::string& id : options_.readmit_points) {
+        // Only enforce ids that name a point of THIS sweep: a harness
+        // running several sweeps passes the same list to each runner, and
+        // ids no sweep recognizes at all are the harness's loud at-exit
+        // check, not ours.
+        bool in_spec = false;
+        for (const SweepPoint& point : points)
+          in_spec = in_spec || point.id == id;
+        if (!in_spec) continue;
+        bool found = false;
+        for (const auto& [index, attempts] : poisoned)
+          found = found || points[index].id == id;
+        QPS_REQUIRE(found, "--readmit names point '" + id +
+                               "', but that point is not quarantined in the "
+                               "journal for sweep " +
+                               spec_.name());
+      }
+    }
+    for (const auto& [index, attempts] : poisoned) {
+      QPS_REQUIRE(index < points.size(),
+                  "journal poison marker index out of range");
+      if (have[index]) continue;
+      const bool readmitted =
+          options_.readmit &&
+          (options_.readmit_points.empty() ||
+           std::find(options_.readmit_points.begin(),
+                     options_.readmit_points.end(),
+                     points[index].id) != options_.readmit_points.end());
+      if (readmitted) {
+        checkpoint.record_readmit(points[index]);
+        std::cerr << "sweep " << spec_.name() << ": point "
+                  << points[index].id << " re-admitted after quarantine ("
+                  << attempts << " prior failed attempt(s))\n";
+        continue;  // have[] stays 0: the point runs with a fresh budget
+      }
+      results[index].quarantined = true;
+      have[index] = 1;
     }
   }
 
@@ -337,14 +389,15 @@ std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
         if (have[index]) return;
         results[index].quarantined = true;
         have[index] = 1;  // the in-process fallback must not touch it
+        checkpoint.record_quarantine(points[index], attempts);
         metrics.points_quarantined.increment();
         std::cerr << "sweep " << spec_.name() << ": point "
                   << points[index].id << " quarantined after " << attempts
                   << " failed attempt(s)\n";
         progress.point_done();
       };
-      options_.remote_runner(spec_, points, std::move(pending), eval, record,
-                             quarantine);
+      options_.remote_runner(spec_, points, std::move(pending),
+                             checkpoint.epoch(), eval, record, quarantine);
     }
   }
 
@@ -362,6 +415,7 @@ std::vector<PointResult> SweepRunner::run(const PointEvaluator& eval) const {
       if (attempts[i] == 0) throw;
       results[i].quarantined = true;
       have[i] = 1;
+      checkpoint.record_quarantine(points[i], attempts[i]);
       metrics.points_quarantined.increment();
       std::cerr << "sweep " << spec_.name() << ": point " << points[i].id
                 << " quarantined after " << attempts[i]

@@ -32,6 +32,7 @@
 // checkpoint journal is in use.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <optional>
@@ -66,14 +67,17 @@ using RemoteQuarantine =
 /// expanded points, and the indices still to be computed; must evaluate
 /// every pending point (remotely, or locally via `eval` as a fallback) and
 /// report each completion through `record` -- or, for a point that
-/// exhausts its retry budget, through `quarantine`.  core/net/
-/// socket_sweep.h supplies the socket job-server implementation -- the
-/// hook is a std::function so the sweep layer stays free of any net
-/// dependency.
+/// exhausts its retry budget, through `quarantine`.  `epoch` is the
+/// checkpoint journal's coordinator epoch for this activation (0 when no
+/// journal is in use); the hook stamps it into the protocol so results
+/// from a superseded coordinator can be fenced.  core/net/socket_sweep.h
+/// supplies the socket job-server implementation -- the hook is a
+/// std::function so the sweep layer stays free of any net dependency.
 using RemoteRunner = std::function<void(
     const SweepSpec& spec, const std::vector<SweepPoint>& points,
-    std::deque<std::size_t> pending, const PointEvaluator& eval,
-    const RemoteRecord& record, const RemoteQuarantine& quarantine)>;
+    std::deque<std::size_t> pending, std::uint64_t epoch,
+    const PointEvaluator& eval, const RemoteRecord& record,
+    const RemoteQuarantine& quarantine)>;
 
 struct SweepOptions {
   /// Worker subprocesses; 0 runs every point in-process.
@@ -116,6 +120,15 @@ struct SweepOptions {
   /// point of the spec.
   std::string family_filter;
   std::optional<std::size_t> size_filter;
+  /// Quarantine re-admission (--readmit): clear the journal's sticky
+  /// poison markers and re-run the formerly quarantined points under a
+  /// fresh retry budget.  With `readmit_points` empty every poisoned point
+  /// is re-admitted; otherwise only the named point ids are (the rest stay
+  /// quarantined).  Each re-admission is recorded in the journal, so the
+  /// decision survives a later --resume.  Requires `resume` (there is
+  /// nothing to re-admit in a fresh journal).
+  bool readmit = false;
+  std::vector<std::string> readmit_points;
 
   /// True when any subsetting filter is configured.
   bool has_filters() const {

@@ -44,17 +44,18 @@ std::optional<std::size_t> decode_request(std::string_view line) {
 
 std::string encode_result(const std::string& sweep_name,
                           std::uint64_t fingerprint, const SweepPoint& point,
-                          const RunningStats& stats) {
+                          const RunningStats& stats, std::uint64_t epoch) {
   const double m2 = stats.sum_squared_deviations();
   std::string line = "{\"sweep\": " + json_quote(sweep_name) +
                      ", \"fp\": " + json_quote(encode_hex_u64(fingerprint)) +
                      ", \"point\": " + std::to_string(point.index) +
-                     ", \"id\": " + json_quote(point.id) +
-                     ", \"count\": " + std::to_string(stats.count()) +
-                     ", \"mean\": " + json_number(stats.mean()) +
-                     ", \"m2\": " + json_number(m2) +
-                     ", \"min\": " + json_number(stats.min()) +
-                     ", \"max\": " + json_number(stats.max()) + "}\n";
+                     ", \"id\": " + json_quote(point.id);
+  if (epoch != 0) line += ", \"epoch\": " + std::to_string(epoch);
+  line += ", \"count\": " + std::to_string(stats.count()) +
+          ", \"mean\": " + json_number(stats.mean()) +
+          ", \"m2\": " + json_number(m2) +
+          ", \"min\": " + json_number(stats.min()) +
+          ", \"max\": " + json_number(stats.max()) + "}\n";
   return line;
 }
 
@@ -68,11 +69,87 @@ std::optional<WireResult> decode_result(std::string_view line) {
     result.fingerprint = *fp;
     result.index = static_cast<std::size_t>(v.at("point").as_uint64());
     result.id = v.at("id").as_string();
+    if (v.contains("epoch")) result.epoch = v.at("epoch").as_uint64();
     result.stats = RunningStats::from_moments(
         static_cast<std::size_t>(v.at("count").as_uint64()),
         v.at("mean").as_double(), v.at("m2").as_double(),
         v.at("min").as_double(), v.at("max").as_double());
     return result;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+bool is_journal_control(std::string_view line) {
+  try {
+    const JsonValue v = JsonValue::parse(line);
+    return v.contains("ctl");
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+namespace {
+
+std::string control_prefix(const char* kind, const std::string& sweep_name,
+                           std::uint64_t fingerprint) {
+  return std::string("{\"ctl\": \"") + kind +
+         "\", \"sweep\": " + json_quote(sweep_name) +
+         ", \"fp\": " + json_quote(encode_hex_u64(fingerprint));
+}
+
+}  // namespace
+
+std::string encode_epoch_record(const std::string& sweep_name,
+                                std::uint64_t fingerprint,
+                                std::uint64_t epoch) {
+  return control_prefix("epoch", sweep_name, fingerprint) +
+         ", \"epoch\": " + std::to_string(epoch) + "}\n";
+}
+
+std::string encode_quarantine_record(const std::string& sweep_name,
+                                     std::uint64_t fingerprint,
+                                     const SweepPoint& point,
+                                     std::uint64_t attempts) {
+  return control_prefix("quarantine", sweep_name, fingerprint) +
+         ", \"point\": " + std::to_string(point.index) +
+         ", \"id\": " + json_quote(point.id) +
+         ", \"attempts\": " + std::to_string(attempts) + "}\n";
+}
+
+std::string encode_readmit_record(const std::string& sweep_name,
+                                  std::uint64_t fingerprint,
+                                  const SweepPoint& point) {
+  return control_prefix("readmit", sweep_name, fingerprint) +
+         ", \"point\": " + std::to_string(point.index) +
+         ", \"id\": " + json_quote(point.id) + "}\n";
+}
+
+std::optional<JournalControl> decode_journal_control(std::string_view line) {
+  try {
+    const JsonValue v = JsonValue::parse(line);
+    JournalControl record;
+    const std::string& kind = v.at("ctl").as_string();
+    record.sweep = v.at("sweep").as_string();
+    const auto fp = decode_hex_u64(v.at("fp").as_string());
+    if (!fp) return std::nullopt;
+    record.fingerprint = *fp;
+    if (kind == "epoch") {
+      record.kind = JournalRecordKind::kEpoch;
+      record.epoch = v.at("epoch").as_uint64();
+    } else if (kind == "quarantine") {
+      record.kind = JournalRecordKind::kQuarantine;
+      record.index = static_cast<std::size_t>(v.at("point").as_uint64());
+      record.id = v.at("id").as_string();
+      record.attempts = v.at("attempts").as_uint64();
+    } else if (kind == "readmit") {
+      record.kind = JournalRecordKind::kReadmit;
+      record.index = static_cast<std::size_t>(v.at("point").as_uint64());
+      record.id = v.at("id").as_string();
+    } else {
+      return std::nullopt;
+    }
+    return record;
   } catch (const std::exception&) {
     return std::nullopt;
   }

@@ -40,6 +40,9 @@ struct WireResult {
   std::size_t index = 0;
   std::string id;
   RunningStats stats;
+  /// Coordinator activation that produced the result; 0 = unfenced (pipe
+  /// workers and journal entries, which need no fencing).
+  std::uint64_t epoch = 0;
 };
 
 /// Request line asking a worker for point `index` (newline included).
@@ -49,12 +52,63 @@ std::string encode_request(std::size_t index);
 std::optional<std::size_t> decode_request(std::string_view line);
 
 /// Result line for `point` of the sweep identified by (name, fingerprint)
-/// (newline included).
+/// (newline included).  `epoch`, when nonzero, stamps the coordinator
+/// activation the producing worker was admitted under, so a fenced job
+/// server can reject results computed for a superseded coordinator.
 std::string encode_result(const std::string& sweep_name,
                           std::uint64_t fingerprint, const SweepPoint& point,
-                          const RunningStats& stats);
+                          const RunningStats& stats, std::uint64_t epoch = 0);
 
 /// Parses a result line; nullopt when malformed or truncated.
 std::optional<WireResult> decode_result(std::string_view line);
+
+// ---------------------------------------------------------------------------
+// Journal control records.
+//
+// Besides result lines, the checkpoint journal carries control records --
+// one-line JSON objects tagged with a "ctl" key so the resume scanner can
+// tell them from results (and from corruption):
+//
+//  * epoch    -- appended every time a coordinator opens the journal for a
+//    sweep; the maximum seen + 1 is the next activation's epoch, which is
+//    what makes coordinator epochs monotonic across failovers.
+//  * quarantine -- a poison marker: `point` burned its retry budget and
+//    must not be re-run by a plain --resume (the failure is deterministic
+//    until the code changes).
+//  * readmit  -- clears the poison marker for `point`; appended by
+//    --readmit before the point is re-run under a fresh retry budget.
+
+/// Kind of one journal line.
+enum class JournalRecordKind { kResult, kEpoch, kQuarantine, kReadmit };
+
+/// A decoded journal control record (epoch / quarantine / readmit).
+struct JournalControl {
+  JournalRecordKind kind = JournalRecordKind::kEpoch;
+  std::string sweep;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t epoch = 0;     ///< kEpoch only.
+  std::size_t index = 0;       ///< kQuarantine / kReadmit.
+  std::string id;              ///< kQuarantine / kReadmit.
+  std::uint64_t attempts = 0;  ///< kQuarantine only.
+};
+
+/// True when `line` is a journal control record (has the "ctl" tag); such
+/// lines must never be counted as corrupt results.
+bool is_journal_control(std::string_view line);
+
+std::string encode_epoch_record(const std::string& sweep_name,
+                                std::uint64_t fingerprint,
+                                std::uint64_t epoch);
+std::string encode_quarantine_record(const std::string& sweep_name,
+                                     std::uint64_t fingerprint,
+                                     const SweepPoint& point,
+                                     std::uint64_t attempts);
+std::string encode_readmit_record(const std::string& sweep_name,
+                                  std::uint64_t fingerprint,
+                                  const SweepPoint& point);
+
+/// Parses a control record line; nullopt when malformed (a torn control
+/// record is skipped by resume exactly like a torn result).
+std::optional<JournalControl> decode_journal_control(std::string_view line);
 
 }  // namespace qps::sweep

@@ -4,13 +4,19 @@
 
 #include "core/net/messages.h"
 #include "core/sweep/evaluators.h"
+#include "core/sweep/wire.h"
 #include "util/require.h"
 
 namespace qps::sim {
 
-std::deque<std::size_t> SimCoordinator::all_indices(std::size_t count) {
+std::deque<std::size_t> SimCoordinator::pending_without(
+    std::size_t count, const std::vector<std::size_t>& skip) {
+  std::vector<char> done(count, 0);
+  for (const std::size_t index : skip)
+    if (index < count) done[index] = 1;
   std::deque<std::size_t> pending;
-  for (std::size_t i = 0; i < count; ++i) pending.push_back(i);
+  for (std::size_t i = 0; i < count; ++i)
+    if (!done[i]) pending.push_back(i);
   return pending;
 }
 
@@ -22,20 +28,24 @@ SimCoordinator::SimCoordinator(Simulator& simulator, StreamNetwork& network,
       options_(std::move(options)),
       points_(spec.expand()),
       engine_(points_, spec.name(), spec.fingerprint(),
-              all_indices(points_.size()), options_.engine) {
+              pending_without(points_.size(), options_.precompleted),
+              options_.engine) {
   QPS_REQUIRE(!options_.local_fallback ||
                   static_cast<bool>(options_.local_eval),
               "local fallback needs an evaluator");
   network_->set_server(
       [this](StreamNetwork::ConnId conn) {
+        if (halted_) return;
         engine_.on_open(conn, simulator_->now());
         pump();
       },
       [this](StreamNetwork::ConnId conn, const std::string& bytes) {
+        if (halted_) return;
         engine_.on_bytes(conn, bytes, simulator_->now());
         pump();
       },
       [this](StreamNetwork::ConnId conn) {
+        if (halted_) return;
         engine_.on_close(conn, simulator_->now());
         pump();
       });
@@ -43,6 +53,7 @@ SimCoordinator::SimCoordinator(Simulator& simulator, StreamNetwork& network,
 }
 
 void SimCoordinator::tick() {
+  if (halted_) return;         // stop rescheduling: the process is "dead"
   if (engine_.done()) return;  // stop rescheduling: let the queue drain
   engine_.on_tick(simulator_->now());
   pump();
@@ -94,7 +105,8 @@ SimWorker::SimWorker(Simulator& simulator, StreamNetwork& network,
                            : options_.registry_evaluators;
     binder_ = net::registry_binder(options_.registry_dp_threads);
   }
-  engine_ = std::make_unique<net::WorkerEngine>(std::move(hello));
+  engine_ = std::make_unique<net::WorkerEngine>(std::move(hello),
+                                                options_.epochs);
   simulator_->schedule_at(options_.join_time, [this] { join(); });
 }
 
@@ -181,6 +193,17 @@ void SimWorker::on_data(const std::string& bytes) {
         state_ = State::kDone;
         network_->close(conn_, /*from_server=*/false);
         return;
+      case net::WorkerEngine::Event::Kind::kNotice:
+        notices_.push_back(event.notice);
+        break;
+      case net::WorkerEngine::Event::Kind::kStaleEpoch:
+        // Tell the zombie which epoch already owns this sweep, then
+        // refuse to serve it.
+        network_->send_to_server(conn_, engine_->fence_line(event));
+        state_ = State::kFenced;
+        error_ = event.error;
+        network_->close(conn_, /*from_server=*/false);
+        return;
       case net::WorkerEngine::Event::Kind::kProtocolError:
         state_ = State::kLost;
         error_ = event.error;
@@ -193,7 +216,12 @@ void SimWorker::on_data(const std::string& bytes) {
 void SimWorker::deliver_result(std::size_t index) {
   if (state_ != State::kServing) return;
   const RunningStats stats = eval_(points_[index]);
-  const std::string line = engine_->result_line(points_[index], stats);
+  const std::string line =
+      options_.result_epoch_override != 0 && options_.spec != nullptr
+          ? sweep::encode_result(options_.spec->name(),
+                                 options_.spec->fingerprint(), points_[index],
+                                 stats, options_.result_epoch_override)
+          : engine_->result_line(points_[index], stats);
   network_->send_to_server(conn_, line);
   if (options_.duplicate_results) network_->send_to_server(conn_, line);
   ++results_sent_;

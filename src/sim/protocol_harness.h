@@ -39,6 +39,10 @@ struct SimCoordinatorOptions {
   /// local_eval), as the TCP coordinator does by default.
   bool local_fallback = false;
   sweep::PointEvaluator local_eval;
+  /// Point indices treated as already done (a standby replaying the
+  /// journal of the coordinator it replaces starts exactly like this);
+  /// only the rest are dispatched.
+  std::vector<std::size_t> precompleted;
 };
 
 /// The coordinator end: owns a JobServerEngine wired to the network's
@@ -57,10 +61,17 @@ class SimCoordinator {
   const std::vector<sweep::SweepPoint>& points() const { return points_; }
   const net::JobServerEngine& engine() const { return engine_; }
 
+  /// Simulated coordinator death: stop reacting to every network event
+  /// and every tick, forever.  Existing connections stay up (the zombie /
+  /// SIGKILL-before-RST window); in-flight worker results land in a void.
+  void halt() { halted_ = true; }
+  bool halted() const { return halted_; }
+
  private:
   void pump();
   void tick();
-  static std::deque<std::size_t> all_indices(std::size_t count);
+  static std::deque<std::size_t> pending_without(
+      std::size_t count, const std::vector<std::size_t>& skip);
 
   Simulator* simulator_;
   StreamNetwork* network_;
@@ -68,6 +79,7 @@ class SimCoordinator {
   std::vector<sweep::SweepPoint> points_;
   net::JobServerEngine engine_;
   std::map<std::size_t, RunningStats> results_;
+  bool halted_ = false;
 };
 
 struct SimWorkerOptions {
@@ -91,6 +103,12 @@ struct SimWorkerOptions {
   std::size_t vanish_holding = 0;
   /// Send every result twice (retransmission after a presumed loss).
   bool duplicate_results = false;
+  /// Epoch fencing memory shared across this worker's incarnations (must
+  /// outlive the worker); enables kFenced on stale welcomes.
+  net::EpochMemory* epochs = nullptr;
+  /// Misbehaviour: stamp every result with this epoch instead of the
+  /// welcome's (exercises the coordinator's stale-result rejection).
+  std::uint64_t result_epoch_override = 0;
 };
 
 class SimWorker {
@@ -102,6 +120,7 @@ class SimWorker {
     kDeclined,  ///< Welcome declined (see error()).
     kLost,      ///< Connection died or protocol violated mid-serve.
     kDead,      ///< Scripted death executed.
+    kFenced,    ///< Stale-epoch welcome: fence sent, connection closed.
   };
 
   SimWorker(Simulator& simulator, StreamNetwork& network,
@@ -111,6 +130,8 @@ class SimWorker {
   const std::string& error() const { return error_; }
   std::size_t results_sent() const { return results_sent_; }
   bool retry_suggested() const { return retry_suggested_; }
+  /// Advisory NOTICE frames received (quarantine broadcasts).
+  const std::vector<net::Notice>& notices() const { return notices_; }
   /// Valid once joined (0 before); lets tests reach the fault knobs.
   StreamNetwork::ConnId conn() const { return conn_; }
 
@@ -137,6 +158,7 @@ class SimWorker {
   bool retry_suggested_ = false;
   std::size_t requests_seen_ = 0;
   std::size_t results_sent_ = 0;
+  std::vector<net::Notice> notices_;
 };
 
 }  // namespace qps::sim

@@ -38,6 +38,20 @@ std::string parent_dir(const std::string& path) {
   return path.substr(0, slash);
 }
 
+/// fsync of `path`'s parent directory, making a just-created or
+/// just-renamed entry durable; consults the "fsio/dir_fsync" fault point
+/// (`error` models a dying disk, `crash` the power cut the fsync exists
+/// for).  False (with errno set) on failure.
+bool sync_parent_dir(const std::string& path) {
+  qps::fault::hit("fsio/dir_fsync", path);
+  const int dir_fd =
+      ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) return false;
+  const bool ok = ::fsync(dir_fd) == 0;
+  ::close(dir_fd);
+  return ok;
+}
+
 bool fail(std::string* error, const std::string& why) {
   if (error) *error = why;
   return false;
@@ -76,14 +90,17 @@ bool write_file_atomic(const std::string& path, std::string_view content,
     ::unlink(tmp.c_str());
     return fail(error, why);
   }
-  // fsync the directory so the rename itself survives a crash; failure
-  // here is not fatal (the data is already safely in place on most
-  // filesystems) but is still reported.
-  const int dir_fd =
-      ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dir_fd >= 0) {
-    ::fsync(dir_fd);
-    ::close(dir_fd);
+  // fsync the directory so the rename itself survives a crash; without
+  // it the new name may not be durable even though the data blocks are,
+  // so a failure is a failure (the caller decides whether a
+  // maybe-undurable rename is acceptable).
+  try {
+    if (!sync_parent_dir(path))
+      return fail(error, "cannot fsync parent directory of " + path + ": " +
+                             errno_text());
+  } catch (const qps::fault::InjectedFault& e) {
+    return fail(error, "cannot fsync parent directory of " + path + ": " +
+                           std::string(e.what()));
   }
   return true;
 }
@@ -94,6 +111,17 @@ AppendFile::AppendFile(std::string path, const char* fault_point)
   if (fd_ < 0)
     throw IoError("cannot open " + path_ + " for append: " + errno_text(),
                   path_);
+  // Make the journal's directory entry durable: O_CREAT created the file,
+  // but a crash before the parent directory hits disk would lose the name
+  // -- and with it every line "durably" appended afterwards.  (Throws
+  // InjectedFault under a "fsio/dir_fsync" fault rule.)
+  if (!sync_parent_dir(path_)) {
+    const std::string why =
+        "cannot fsync parent directory of " + path_ + ": " + errno_text();
+    ::close(fd_);
+    fd_ = -1;
+    throw IoError(why, path_);
+  }
 }
 
 AppendFile::~AppendFile() {

@@ -28,9 +28,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -43,8 +45,10 @@
 #include "core/net/socket.h"
 #include "core/net/socket_sweep.h"
 #include "core/sweep/checkpoint.h"
+#include "core/sweep/lease.h"
 #include "core/sweep/sweep_runner.h"
 #include "core/sweep/sweep_spec.h"
+#include "core/sweep/wire.h"
 #include "quorum/majority.h"
 #include "sim/protocol_harness.h"
 #include "sim/simulator.h"
@@ -143,8 +147,9 @@ TEST_F(ChaosTest, TornJournalTailIsDiagnosedAndOnlyThatPointRecomputed) {
   const std::string path = temp_path("torn.jsonl");
   std::remove(path.c_str());
 
-  // Tear the 10th (last) append: the run completes, the journal does not.
-  fault::configure("sweep/checkpoint_write:torn:frac=0.3:after=10:count=1");
+  // Tear the last append (the epoch record is write #1, so the 10th
+  // result is write #11): the run completes, the journal does not.
+  fault::configure("sweep/checkpoint_write:torn:frac=0.3:after=11:count=1");
   SweepOptions first;
   first.checkpoint_path = path;
   const auto full = SweepRunner(make_chaos_spec(), first).run(eval_point);
@@ -184,9 +189,10 @@ TEST_F(ChaosTest, CorruptMidJournalLineIsSkippedNotTrusted) {
   first.checkpoint_path = path;
   const auto full = SweepRunner(make_chaos_spec(), first).run(eval_point);
 
-  // Damage line 4 in place, as a bad sector or partial overwrite would.
+  // Damage a mid-file result line in place, as a bad sector or partial
+  // overwrite would (line 1 is the epoch record).
   auto lines = read_lines(path);
-  ASSERT_EQ(lines.size(), 10u);
+  ASSERT_EQ(lines.size(), 11u);
   lines[3] = "XX" + lines[3].substr(0, lines[3].size() / 2);
   {
     std::ofstream out(path, std::ios::trunc);
@@ -249,10 +255,10 @@ TEST_F(ChaosTest, FullDiskSurfacesCheckpointErrorThenResumesCleanly) {
   const std::string path = temp_path("diskfull.jsonl");
   std::remove(path.c_str());
 
-  // The third append hits the injected "disk full": the run must abort
-  // with a structured error naming the journal, never continue with a
-  // silently lossy one.
-  fault::configure("sweep/checkpoint_write:error:after=3");
+  // The fourth append (epoch record, two results, then the third result)
+  // hits the injected "disk full": the run must abort with a structured
+  // error naming the journal, never continue with a silently lossy one.
+  fault::configure("sweep/checkpoint_write:error:after=4");
   SweepOptions first;
   first.checkpoint_path = path;
   try {
@@ -263,7 +269,7 @@ TEST_F(ChaosTest, FullDiskSurfacesCheckpointErrorThenResumesCleanly) {
     EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
   }
   fault::clear();
-  EXPECT_EQ(read_lines(path).size(), 2u);  // the two committed points
+  EXPECT_EQ(read_lines(path).size(), 3u);  // epoch record + two points
 
   // With the "disk" healthy again, resume finishes the remaining eight.
   std::atomic<int> calls{0};
@@ -550,6 +556,211 @@ TEST_F(ChaosTest, SimDeadlineWatchdogForfeitsLiveButStuckWorker) {
     EXPECT_EQ(stats.mean(), expected.mean());
     EXPECT_EQ(stats.count(), expected.count());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Failover: a coordinator dying mid-journal is replaced by a standby that
+// replays the journal under a strictly larger epoch; the merged sweep is
+// byte-identical.  Quarantine re-admission: --readmit clears poison
+// markers with a journaled record and re-runs exactly those points.
+// ---------------------------------------------------------------------------
+
+TEST_F(ChaosTest, StandbyReplayingTheJournalBumpsTheEpochByteIdentical) {
+  REQUIRE_FAULTS();
+  const std::string path = temp_path("failover.jsonl");
+  std::remove(path.c_str());
+
+  // The primary dies at the 6th journal write (epoch record + 4 results
+  // committed): the injected full disk stands in for a SIGKILL -- either
+  // way the journal simply ends.
+  fault::configure("sweep/checkpoint_write:error:after=6");
+  SweepOptions primary;
+  primary.checkpoint_path = path;
+  EXPECT_THROW(SweepRunner(make_chaos_spec(), primary).run(eval_point),
+               sweep::CheckpointError);
+  fault::clear();
+  ASSERT_EQ(read_lines(path).size(), 5u);  // epoch record + 4 results
+
+  // The standby takes over: resume replays the journal, claims the next
+  // epoch, computes only the 6 missing points.
+  std::atomic<int> calls{0};
+  SweepOptions standby;
+  standby.checkpoint_path = path;
+  standby.resume = true;
+  const auto resumed =
+      SweepRunner(make_chaos_spec(), standby).run([&](const SweepPoint& p) {
+        ++calls;
+        return eval_point(p);
+      });
+  EXPECT_EQ(calls.load(), 6);
+  const auto baseline =
+      SweepRunner(make_chaos_spec(), SweepOptions{}).run(eval_point);
+  expect_same_results(baseline, resumed);
+  std::size_t revived = 0;
+  for (const auto& result : resumed)
+    if (result.from_checkpoint) ++revived;
+  EXPECT_EQ(revived, 4u);
+
+  // The journal now tells the whole failover story: epoch 1 (primary),
+  // epoch 2 (standby), monotonic -- and the next activation would be 3.
+  std::vector<std::uint64_t> epochs;
+  for (const auto& line : read_lines(path))
+    if (sweep::is_journal_control(line))
+      if (const auto ctl = sweep::decode_journal_control(line);
+          ctl && ctl->kind == sweep::JournalRecordKind::kEpoch)
+        epochs.push_back(ctl->epoch);
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_EQ(epochs[0], 1u);
+  EXPECT_EQ(epochs[1], 2u);
+  const SweepSpec spec = make_chaos_spec();
+  sweep::SweepCheckpoint scan(path, spec.name(), spec.fingerprint(),
+                              /*resume=*/true);
+  EXPECT_EQ(scan.epoch(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosTest, ReadmitRerunsExactlyTheQuarantinedPointByteIdentical) {
+  REQUIRE_FAULTS();
+  const std::string path = temp_path("readmit.jsonl");
+  std::remove(path.c_str());
+  const std::string poison = "family=beta/size=10/p=0.25";
+
+  // Run 1: the poison point fails in the workers AND the in-process last
+  // resort -- quarantined, with the marker journaled.
+  fault::configure("chaos/eval:error:match=" + poison);
+  SweepOptions first;
+  first.checkpoint_path = path;
+  first.workers = 2;
+  first.worker_command =
+      self_worker_command("sweep/point_eval:crash:match=" + poison);
+  const auto poisoned = SweepRunner(make_chaos_spec(), first).run(eval_point);
+  fault::clear();
+  std::size_t poison_index = 0;
+  for (std::size_t i = 0; i < poisoned.size(); ++i)
+    if (poisoned[i].point.id == poison) {
+      poison_index = i;
+      EXPECT_TRUE(poisoned[i].quarantined);
+    }
+
+  // Run 2: plain --resume.  The marker is sticky -- the point failed
+  // deterministically, so re-running it without a code change would just
+  // burn the budget again.  Nothing is evaluated.
+  std::atomic<int> calls{0};
+  const auto counting_eval = [&](const SweepPoint& p) {
+    ++calls;
+    return eval_point(p);
+  };
+  SweepOptions second;
+  second.checkpoint_path = path;
+  second.resume = true;
+  const auto still = SweepRunner(make_chaos_spec(), second).run(counting_eval);
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_TRUE(still[poison_index].quarantined);
+
+  // Run 3: --readmit naming the point (the "code fix" is the cleared
+  // fault registry).  Exactly the poisoned point is re-run, the readmit
+  // record is journaled, and the final report is byte-identical to a
+  // clean sweep.
+  calls = 0;
+  SweepOptions third;
+  third.checkpoint_path = path;
+  third.resume = true;
+  third.readmit = true;
+  third.readmit_points = {poison};
+  const auto healed = SweepRunner(make_chaos_spec(), third).run(counting_eval);
+  EXPECT_EQ(calls.load(), 1);
+  const auto baseline =
+      SweepRunner(make_chaos_spec(), SweepOptions{}).run(eval_point);
+  expect_same_results(baseline, healed);
+
+  std::size_t readmit_records = 0;
+  for (const auto& line : read_lines(path))
+    if (const auto ctl = sweep::decode_journal_control(line);
+        ctl && ctl->kind == sweep::JournalRecordKind::kReadmit) {
+      ++readmit_records;
+      EXPECT_EQ(ctl->id, poison);
+    }
+  EXPECT_EQ(readmit_records, 1u);
+
+  // Run 4: the readmit itself is journaled, so a later plain --resume
+  // keeps the healed result instead of resurrecting the marker.
+  calls = 0;
+  SweepOptions fourth;
+  fourth.checkpoint_path = path;
+  fourth.resume = true;
+  const auto after = SweepRunner(make_chaos_spec(), fourth).run(counting_eval);
+  EXPECT_EQ(calls.load(), 0);
+  expect_same_results(baseline, after);
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosTest, ReadmitNamingAHealthyPointIsRefusedLoudly) {
+  const std::string path = temp_path("readmit_refuse.jsonl");
+  std::remove(path.c_str());
+  SweepOptions first;
+  first.checkpoint_path = path;
+  SweepRunner(make_chaos_spec(), first).run(eval_point);  // clean run
+
+  SweepOptions bad;
+  bad.checkpoint_path = path;
+  bad.resume = true;
+  bad.readmit = true;
+  bad.readmit_points = {"family=alpha/size=3/strategy=R/p=0.25"};
+  EXPECT_THROW(SweepRunner(make_chaos_spec(), bad).run(eval_point),
+               std::exception);  // nothing is quarantined: refuse, not no-op
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosTest, LeaseHandoffStandbyTakesOverAndZombieSeesSupersession) {
+  const std::string journal = temp_path("lease.jsonl");
+  const std::string lease_path = sweep::CoordinatorLease::path_for(journal);
+  std::remove(lease_path.c_str());
+
+  // Primary acquires; a standby polling wait_and_acquire() stays blocked
+  // (and keeps invoking its on_wait hook) while renewals keep the lease
+  // fresh.
+  auto primary = std::make_unique<sweep::CoordinatorLease>(
+      lease_path, "primary:1", /*timeout_seconds=*/0.4);
+  primary->acquire();
+  EXPECT_TRUE(primary->held());
+  EXPECT_FALSE(primary->stale());
+  const auto holder = sweep::CoordinatorLease::read(lease_path);
+  ASSERT_TRUE(holder.has_value());
+  EXPECT_EQ(holder->node, "primary:1");
+
+  sweep::CoordinatorLease standby(lease_path, "standby:2",
+                                  /*timeout_seconds=*/0.4);
+  std::atomic<int> waits{0};
+  std::thread takeover([&] {
+    standby.wait_and_acquire([&] { ++waits; });
+  });
+  // Kill the primary.  Destruction releases (unlinks) the lease, so the
+  // standby's next poll takes over without waiting out the full timeout.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  primary.reset();
+  takeover.join();
+  EXPECT_TRUE(standby.held());
+  EXPECT_GT(waits.load(), 0);
+  // A clean release unlinks the file, so the generation counter restarts;
+  // generations order holders only while the file persists (which is why
+  // fencing authority lives in the journal's epochs, not here).
+  EXPECT_EQ(standby.generation(), 1u);
+
+  // A zombie resurrected with the old generation discovers the takeover
+  // from its own renewal thread: re-read before rewrite, flag superseded,
+  // never clobber the new holder.
+  sweep::CoordinatorLease zombie(lease_path, "zombie:3",
+                                 /*timeout_seconds=*/0.4);
+  zombie.acquire();  // bumps the generation over the standby's
+  EXPECT_EQ(zombie.generation(), standby.generation() + 1);
+  for (int i = 0; i < 100 && !standby.superseded(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(standby.superseded());
+  EXPECT_FALSE(zombie.superseded());
+  const auto final_holder = sweep::CoordinatorLease::read(lease_path);
+  ASSERT_TRUE(final_holder.has_value());
+  EXPECT_EQ(final_holder->node, "zombie:3");
+  std::remove(lease_path.c_str());
 }
 
 }  // namespace

@@ -347,17 +347,18 @@ TEST(SweepCheckpoint, ResumeSkipsJournaledPointsExactly) {
   const auto full = SweepRunner(make_grid_spec(), first).run(counting_eval);
   EXPECT_EQ(calls.load(), 10);
 
-  // Truncate the journal to its first four lines: an interrupted run.
+  // Truncate the journal to the epoch record plus the first four result
+  // lines: an interrupted run.
   std::vector<std::string> lines;
   {
     std::ifstream in(path);
     std::string line;
     while (std::getline(in, line)) lines.push_back(line);
   }
-  ASSERT_EQ(lines.size(), 10u);
+  ASSERT_EQ(lines.size(), 11u);  // 1 epoch record + 10 results
   {
     std::ofstream out(path, std::ios::trunc);
-    for (std::size_t i = 0; i < 4; ++i) out << lines[i] << "\n";
+    for (std::size_t i = 0; i < 5; ++i) out << lines[i] << "\n";
   }
 
   calls = 0;

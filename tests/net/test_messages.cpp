@@ -205,6 +205,81 @@ TEST(Messages, CoordinatorDeclinesWorkerVersionMismatchAsFatal) {
   EXPECT_FALSE(event.welcome.retry);
 }
 
+TEST(Messages, EpochRoundTripsThroughHelloAndWelcome) {
+  // Pinned hello: a non-zero epoch is carried; zero is omitted entirely
+  // (v1-compatible frame, "never admitted" on decode).
+  Hello hello;
+  hello.node = "w:1";
+  hello.sweep = "s";
+  hello.fingerprint = 7;
+  hello.epoch = 42;
+  const auto decoded =
+      decode_hello(JsonValue::parse(strip_newline(encode_hello(hello))));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->epoch, 42u);
+  hello.epoch = 0;
+  const auto bare =
+      decode_hello(JsonValue::parse(strip_newline(encode_hello(hello))));
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->epoch, 0u);
+
+  Welcome welcome;
+  welcome.ok = true;
+  welcome.sweep = "s";
+  welcome.epoch = 42;
+  const auto w =
+      decode_welcome(JsonValue::parse(strip_newline(encode_welcome(welcome))));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->epoch, 42u);
+  EXPECT_FALSE(w->probation);
+}
+
+TEST(Messages, ProbationFlagRoundTripsInWelcome) {
+  Welcome welcome;
+  welcome.ok = true;
+  welcome.sweep = "s";
+  welcome.probation = true;
+  const auto decoded =
+      decode_welcome(JsonValue::parse(strip_newline(encode_welcome(welcome))));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->probation);
+}
+
+TEST(Messages, NoticeRoundTripsAndClassifiesBeforeRequest) {
+  Notice notice;
+  notice.kind = "quarantine";
+  notice.index = 5;
+  notice.id = "maj_n9_p0.25";
+  notice.attempts = 3;
+  const auto value = JsonValue::parse(strip_newline(encode_notice(notice)));
+  // A notice carries "point" too (the quarantined index) -- it must
+  // classify as kNotice, never as kRequest.
+  EXPECT_EQ(classify_line(value), LineKind::kNotice);
+  const auto decoded = decode_notice(value);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->kind, "quarantine");
+  EXPECT_EQ(decoded->index, 5u);
+  EXPECT_EQ(decoded->id, "maj_n9_p0.25");
+  EXPECT_EQ(decoded->attempts, 3u);
+}
+
+TEST(Messages, FenceRoundTrips) {
+  Fence fence;
+  fence.epoch = 9;
+  fence.sweep = "exact_curves";
+  fence.fingerprint = 0xdeadbeefULL;
+  fence.node = "worker:77";
+  const auto value = JsonValue::parse(strip_newline(encode_fence(fence)));
+  EXPECT_EQ(classify_line(value), LineKind::kFence);
+  const auto decoded = decode_fence(value);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->epoch, 9u);
+  EXPECT_EQ(decoded->sweep, "exact_curves");
+  EXPECT_EQ(decoded->fingerprint, 0xdeadbeefULL);
+  EXPECT_EQ(decoded->node, "worker:77");
+  EXPECT_FALSE(decode_fence(JsonValue::parse("{\"fence\": 1}")).has_value());
+}
+
 TEST(Messages, HexU64RoundTripsEveryBitPattern) {
   for (const std::uint64_t value :
        {0ULL, 1ULL, 0xffffffffffffffffULL, 0x8000000000000001ULL,

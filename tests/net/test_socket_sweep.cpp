@@ -21,11 +21,15 @@
 #include <thread>
 #include <vector>
 
+#include <chrono>
+
+#include "core/fault/fault.h"
 #include "core/net/framing.h"
 #include "core/net/messages.h"
 #include "core/net/socket.h"
 #include "core/net/socket_sweep.h"
 #include "core/net/worker.h"
+#include "core/obs/metrics.h"
 #include "core/sweep/sweep_runner.h"
 #include "core/sweep/sweep_spec.h"
 #include "util/rng.h"
@@ -272,19 +276,19 @@ TEST(SocketSweep, CheckpointResumeComposesWithSocketWorkers) {
   sweep::SweepRunner baseline(make_spec(), baseline_options);
   const auto expected = baseline.run(eval_point);
 
-  // "Kill" the coordinator mid-sweep: keep the first 4 journal lines plus
-  // a torn fifth (a process dying mid-write leaves exactly this).
+  // "Kill" the coordinator mid-sweep: keep the epoch record plus 4 result
+  // lines and a torn fifth (a process dying mid-write leaves exactly this).
   std::vector<std::string> lines;
   {
     std::ifstream in(journal);
     std::string line;
     while (std::getline(in, line)) lines.push_back(line);
   }
-  ASSERT_GT(lines.size(), 5u);
+  ASSERT_GT(lines.size(), 6u);
   {
     std::ofstream out(journal, std::ios::trunc);
-    for (int i = 0; i < 4; ++i) out << lines[i] << "\n";
-    out << lines[4].substr(0, lines[4].size() / 2);  // no terminator
+    for (int i = 0; i < 5; ++i) out << lines[i] << "\n";
+    out << lines[5].substr(0, lines[5].size() / 2);  // no terminator
   }
 
   // Resume with the remaining points computed by a socket worker.
@@ -341,6 +345,57 @@ TEST(SocketSweep, LocalFallbackCompletesWithNoWorkersAtAll) {
       },
       SocketCoordinatorOptions{});  // local_fallback defaults on
   expect_identical(results, spec);
+}
+
+TEST(SocketSweep, HeartbeatGapHistogramWidensUnderInjectedDelay) {
+  if (!fault::kFaultCompiled)
+    GTEST_SKIP() << "fault injection compiled out (QPS_FAULT=OFF)";
+  // A delay fault on the worker's heartbeat thread stretches every beat
+  // well past the advertised 50 ms cadence; the coordinator's observed
+  // net/heartbeat_gap_us histogram must show the widened gaps -- that
+  // histogram is how an operator sees congestion before any timeout.
+  sweep::SweepSpec spec("socket_hb_grid", 77);
+  spec.add_block("alpha", {3});
+  spec.set_ps({0.25, 0.5});  // 2 points
+  const auto points = spec.expand();
+  obs::Histogram& gap =
+      obs::MetricsRegistry::instance().histogram("net/heartbeat_gap_us");
+  const std::uint64_t count_before = gap.count();
+  const std::uint64_t sum_before = gap.sum();
+
+  fault::configure("net/worker_heartbeat:delay:ms=120");
+  TcpListener listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.valid());
+  SocketCoordinatorOptions coordinator;
+  coordinator.local_fallback = false;
+  coordinator.engine.heartbeat_interval = 0.05;
+  std::map<std::size_t, RunningStats> results;
+  std::thread server =
+      coordinator_thread(listener, points, spec, results, coordinator);
+  // Each evaluation spans several heartbeat intervals, so beats flow while
+  // the data path is silent.
+  const auto slow_eval = [](const sweep::SweepPoint& p) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    return eval_point(p);
+  };
+  WorkerServeOptions serve;
+  serve.node = "laggard";
+  const ServeOutcome outcome = serve_pinned_sweep(
+      "127.0.0.1", listener.port(), spec, slow_eval, serve);
+  server.join();
+  fault::clear();
+
+  EXPECT_EQ(outcome, ServeOutcome::kServedBye);
+  expect_identical(results, spec);
+  const std::uint64_t recorded = gap.count() - count_before;
+  ASSERT_GE(recorded, 1u);
+  // Mean observed gap across the new samples: at least two full delayed
+  // cadences above the configured 50 ms (50 + 120 = 170 ms nominal; 100 ms
+  // leaves generous scheduling slack).
+  const double mean_gap_us =
+      static_cast<double>(gap.sum() - sum_before) /
+      static_cast<double>(recorded);
+  EXPECT_GT(mean_gap_us, 100000.0);
 }
 
 }  // namespace

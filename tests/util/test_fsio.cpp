@@ -112,5 +112,38 @@ TEST(AppendFile, ErrorFaultSurfacesAsInjectedFault) {
   std::remove(path.c_str());
 }
 
+TEST(DirFsync, AppendFileCreationSurfacesDirFsyncFault) {
+  if (!fault::kFaultCompiled)
+    GTEST_SKIP() << "fault injection compiled out (QPS_FAULT=OFF)";
+  fault::clear();
+  const std::string path = temp_path("dirsync.jsonl");
+  std::remove(path.c_str());
+  // A dying disk at the directory fsync that makes the journal's name
+  // durable: creation must fail loudly, never hand back a journal whose
+  // very existence could vanish in a crash.
+  fault::configure("fsio/dir_fsync:error");
+  EXPECT_THROW(AppendFile journal(path), fault::InjectedFault);
+  fault::clear();
+  { AppendFile journal(path); }  // healthy disk: same path now works
+  std::remove(path.c_str());
+}
+
+TEST(DirFsync, AtomicWriteReportsDirFsyncFailureAfterRename) {
+  if (!fault::kFaultCompiled)
+    GTEST_SKIP() << "fault injection compiled out (QPS_FAULT=OFF)";
+  fault::clear();
+  const std::string path = temp_path("dirsync_atomic.json");
+  std::remove(path.c_str());
+  fault::configure("fsio/dir_fsync:error");
+  std::string error;
+  EXPECT_FALSE(write_file_atomic(path, "payload\n", &error));
+  EXPECT_NE(error.find("fsync parent directory"), std::string::npos) << error;
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+  fault::clear();
+  EXPECT_TRUE(write_file_atomic(path, "payload\n", &error)) << error;
+  EXPECT_EQ(slurp(path), "payload\n");
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace qps::util

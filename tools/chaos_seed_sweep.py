@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Randomized chaos schedules for the sharded sweep runner.
+
+Each seed deterministically derives a fault schedule -- worker crashes
+(one-shot and probabilistic), evaluation delays, and torn checkpoint
+writes -- and runs the bench under it.  Fault recovery may cost retries
+and wall time, never a byte of output: every faulted run must produce
+aggregated JSON byte-identical to the clean reference.  Failing seeds
+are printed in a directly replayable form and the exit status is
+nonzero, so CI surfaces exactly which schedule to reproduce locally:
+
+    tools/chaos_seed_sweep.py --bench build/bench/bench_tree_randomized \
+        --schedules 8 --seed-base 42
+
+The bench's own --seed (the statistical RNG) is never varied; only the
+fault schedule is.  Schedules stay within the per-point retry budget by
+construction (probabilistic crash rates are low and --max-point-retries
+is raised), so quarantine -- which would legitimately change output --
+cannot trigger.
+"""
+
+import argparse
+import random
+import subprocess
+import sys
+import tempfile
+import os
+
+
+def schedule_for(seed):
+    """One deterministic fault schedule per seed (see fault.h grammar)."""
+    rng = random.Random(seed)
+    rules = []
+    # Every schedule crashes each worker subprocess once, somewhere in its
+    # first few points: the respawn/requeue path is the core invariant.
+    rules.append("sweep/point_eval:crash:after=%d:count=1" % rng.randint(2, 6))
+    if rng.random() < 0.7:  # background probabilistic crashes
+        rules.append(
+            "sweep/point_eval:crash:prob=%.3f:seed=%d"
+            % (rng.uniform(0.01, 0.10), rng.getrandbits(32)))
+    if rng.random() < 0.6:  # jittered evaluation latency, reorders completions
+        rules.append(
+            "sweep/point_eval:delay:ms=%d:prob=0.3:seed=%d"
+            % (rng.randint(3, 25), rng.getrandbits(32)))
+    if rng.random() < 0.5:  # torn journal writes (harmless without a resume)
+        rules.append(
+            "sweep/checkpoint_write:torn:frac=%.2f:prob=0.2:seed=%d"
+            % (rng.uniform(0.1, 0.9), rng.getrandbits(32)))
+    return ";".join(rules)
+
+
+def run(cmd):
+    return subprocess.run(cmd, stdout=subprocess.DEVNULL,
+                          stderr=subprocess.PIPE, text=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="seeded random fault schedules; output must stay "
+                    "byte-identical to the clean run")
+    parser.add_argument("--bench", required=True,
+                        help="bench binary (sharded sweep runner)")
+    parser.add_argument("--schedules", type=int, default=8,
+                        help="number of seeded schedules to run")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first schedule seed (seeds are base..base+N-1)")
+    parser.add_argument("--trials", type=int, default=20000)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="run exactly this one schedule seed (replay mode)")
+    args = parser.parse_args()
+
+    seeds = ([args.seed] if args.seed is not None else
+             list(range(args.seed_base, args.seed_base + args.schedules)))
+
+    with tempfile.TemporaryDirectory(prefix="chaos_seed_sweep_") as tmp:
+        clean = os.path.join(tmp, "clean.json")
+        result = run([args.bench, "--trials", str(args.trials),
+                      "--json", clean])
+        if result.returncode != 0:
+            sys.stderr.write("clean reference run failed (%d):\n%s"
+                             % (result.returncode, result.stderr))
+            return 1
+        with open(clean, "rb") as f:
+            reference = f.read()
+
+        failures = []
+        for seed in seeds:
+            schedule = schedule_for(seed)
+            out = os.path.join(tmp, "seed_%d.json" % seed)
+            ck = os.path.join(tmp, "seed_%d_ck.jsonl" % seed)
+            result = run([args.bench, "--trials", str(args.trials),
+                          "--workers", str(args.workers),
+                          "--checkpoint", ck,
+                          "--max-point-retries", "25",
+                          "--fault", schedule, "--json", out])
+            ok = result.returncode == 0
+            if ok:
+                with open(out, "rb") as f:
+                    ok = f.read() == reference
+            status = "ok" if ok else "FAIL"
+            print("seed %-6d %-4s %s" % (seed, status, schedule))
+            if not ok:
+                failures.append((seed, schedule, result.returncode,
+                                 result.stderr))
+
+        if failures:
+            print("\n%d of %d schedules broke byte-identity; replay with:"
+                  % (len(failures), len(seeds)))
+            for seed, schedule, code, stderr in failures:
+                print("  %s --bench %s --trials %d --workers %d --seed %d"
+                      % (sys.argv[0], args.bench, args.trials, args.workers,
+                         seed))
+                print("    (exit %d, fault '%s')" % (code, schedule))
+                tail = [l for l in stderr.splitlines() if l.strip()][-3:]
+                for line in tail:
+                    print("    | %s" % line)
+            return 1
+        print("all %d seeded schedules byte-identical to the clean run"
+              % len(seeds))
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

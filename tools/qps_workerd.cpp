@@ -33,6 +33,14 @@
 // and protocol counters while it serves.  --fault SPEC arms deterministic
 // fault injection (grammar in core/fault/fault.h); the daemon's own site
 // is "workerd/serve", hit once per accepted/dialed serving attempt.
+// --idle-timeout S abandons a coordinator that goes completely silent for
+// S seconds (a SIGSTOPped or wedged primary), which is how the daemon
+// migrates to a standby after a failover.
+//
+// Besides its human-readable log lines the daemon emits structured
+// one-line JSON events on stderr -- {"event": "quarantine"|"forfeit"|
+// "probation"|"epoch_fence", ...} -- so an operator (or CI) can grep the
+// fabric's health decisions without parsing prose.
 //
 // A protocol-version mismatch is fatal (exit 3) with both versions named:
 // mixed-version fleets must fail fast, not mis-parse frames.
@@ -56,6 +64,7 @@
 #include "core/sweep/evaluators.h"
 #include "util/backoff.h"
 #include "util/flags.h"
+#include "util/json.h"
 
 namespace {
 
@@ -63,6 +72,20 @@ std::string node_name() {
   char host[256] = "worker";
   ::gethostname(host, sizeof host - 1);
   return std::string(host) + ":" + std::to_string(::getpid());
+}
+
+/// One structured JSON event line on stderr, in a single write(2) so
+/// concurrent log writers never interleave mid-line.
+void emit_event(const std::string& json_object) {
+  const std::string line = json_object + "\n";
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = ::write(STDERR_FILENO, data, left);
+    if (n <= 0) return;
+    data += static_cast<std::size_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
 }
 
 bool is_version_mismatch(const std::string& error) {
@@ -81,12 +104,14 @@ struct DaemonOptions {
 qps::net::ServeOutcome serve_once(qps::net::TcpStream& stream,
                                   const qps::net::Hello& hello,
                                   const qps::net::SweepBinder& binder,
-                                  const std::string& peer) {
+                                  const std::string& peer,
+                                  const qps::net::ServeHooks& hooks) {
   std::string error;
   qps::net::ServeOutcome outcome;
   try {
     QPS_FAULT_POINT2("workerd/serve", peer);
-    outcome = qps::net::serve_connection(stream, hello, binder, &error);
+    outcome = qps::net::serve_connection(stream, hello, binder, &error,
+                                         hooks);
   } catch (const qps::fault::InjectedFault& e) {
     outcome = qps::net::ServeOutcome::kLost;
     error = e.what();
@@ -105,8 +130,18 @@ qps::net::ServeOutcome serve_once(qps::net::TcpStream& stream,
       if (is_version_mismatch(error)) std::exit(3);
       break;
     case qps::net::ServeOutcome::kLost:
+      // Whatever point the daemon held is forfeit: the coordinator will
+      // requeue (or quarantine) it.
+      emit_event("{\"event\": \"forfeit\", \"peer\": " +
+                 qps::json_quote(peer) + ", \"error\": " +
+                 qps::json_quote(error) + "}");
       std::cerr << "qps_workerd: lost " << peer << ": " << error << "\n";
       if (is_version_mismatch(error)) std::exit(3);
+      break;
+    case qps::net::ServeOutcome::kFencedStale:
+      // The structured epoch_fence event came through hooks.on_fence.
+      std::cerr << "qps_workerd: fenced stale coordinator " << peer << ": "
+                << error << "\n";
       break;
     default:
       break;
@@ -117,7 +152,8 @@ qps::net::ServeOutcome serve_once(qps::net::TcpStream& stream,
 int run_connect_mode(const std::vector<std::string>& addresses,
                      const qps::net::Hello& hello,
                      const qps::net::SweepBinder& binder,
-                     const DaemonOptions& options) {
+                     const DaemonOptions& options,
+                     const qps::net::ServeHooks& hooks) {
   std::vector<std::string> hosts(addresses.size());
   std::vector<std::uint16_t> ports(addresses.size());
   for (std::size_t i = 0; i < addresses.size(); ++i) {
@@ -162,7 +198,7 @@ int run_connect_mode(const std::vector<std::string>& addresses,
       ever_connected[i] = true;
       backoff[i].reset();
       served = true;
-      serve_once(stream, hello, binder, addresses[i]);
+      serve_once(stream, hello, binder, addresses[i], hooks);
     }
     if (all_gone) {
       bool unreachable = false;
@@ -188,7 +224,8 @@ int run_connect_mode(const std::vector<std::string>& addresses,
 }
 
 int run_listen_mode(std::uint16_t port, const qps::net::Hello& hello,
-                    const qps::net::SweepBinder& binder) {
+                    const qps::net::SweepBinder& binder,
+                    const qps::net::ServeHooks& hooks) {
   qps::net::TcpListener listener = qps::net::TcpListener::bind(port);
   if (!listener.valid()) {
     std::cerr << "qps_workerd: cannot bind port "
@@ -210,7 +247,7 @@ int run_listen_mode(std::uint16_t port, const qps::net::Hello& hello,
       continue;
     }
     accept_backoff.reset();
-    serve_once(stream, hello, binder, "coordinator");
+    serve_once(stream, hello, binder, "coordinator", hooks);
   }
 }
 
@@ -231,6 +268,7 @@ int main(int argc, char** argv) {
   const std::string metrics_json = flags.get_string("metrics-json", "");
   const double metrics_interval = flags.get_double("metrics-interval", 5.0);
   const std::string fault_spec = flags.get_string("fault", "");
+  const double idle_timeout = flags.get_double("idle-timeout", 0.0);
   const auto unused = flags.unused();
   if (!unused.empty() || (connect.empty() == !listen)) {
     std::cerr << "usage: qps_workerd --connect HOST:PORT[,HOST:PORT...] "
@@ -238,7 +276,7 @@ int main(int argc, char** argv) {
                  "       [--threads N] [--retry-seconds S] "
                  "[--max-backoff-seconds S] [--max-connect-failures N]\n"
                  "       [--metrics-json FILE] [--metrics-interval S] "
-                 "[--fault SPEC]\n";
+                 "[--fault SPEC] [--idle-timeout S]\n";
     return 2;
   }
   if (!fault_spec.empty()) {
@@ -265,8 +303,43 @@ int main(int argc, char** argv) {
   qps::net::Hello hello;
   hello.node = node_name();
   hello.evaluators = qps::sweep::standard_evaluator_ids();
-  const qps::net::SweepBinder binder =
+  // The probation event rides on the binder: the accepted welcome is the
+  // first (and only) place the daemon learns the coordinator has demoted
+  // its node.
+  const qps::net::SweepBinder registry =
       qps::net::registry_binder(options.dp_threads);
+  const qps::net::SweepBinder binder =
+      [registry](const qps::net::Welcome& welcome,
+                 std::vector<qps::sweep::SweepPoint>& points,
+                 qps::sweep::PointEvaluator& eval, std::string& error) {
+        if (welcome.probation)
+          emit_event("{\"event\": \"probation\", \"sweep\": " +
+                     qps::json_quote(welcome.sweep) + ", \"epoch\": " +
+                     std::to_string(welcome.epoch) + "}");
+        return registry(welcome, points, eval, error);
+      };
+
+  // Epoch memory spans every serve of this process: once admitted under a
+  // newer coordinator's epoch, the daemon fences any older one that comes
+  // back from the dead.
+  static qps::net::EpochMemory epochs;
+  qps::net::ServeHooks hooks;
+  hooks.epochs = &epochs;
+  hooks.idle_timeout_seconds = idle_timeout;
+  hooks.on_notice = [](const qps::net::Notice& notice) {
+    if (notice.kind != "quarantine") return;
+    emit_event("{\"event\": \"quarantine\", \"point\": " +
+               qps::json_quote(notice.id) + ", \"index\": " +
+               std::to_string(notice.index) + ", \"attempts\": " +
+               std::to_string(notice.attempts) + "}");
+  };
+  hooks.on_fence = [](std::uint64_t known_epoch,
+                      const qps::net::Welcome& welcome) {
+    emit_event("{\"event\": \"epoch_fence\", \"sweep\": " +
+               qps::json_quote(welcome.sweep) + ", \"stale_epoch\": " +
+               std::to_string(welcome.epoch) + ", \"known_epoch\": " +
+               std::to_string(known_epoch) + "}");
+  };
 
   if (!connect.empty()) {
     std::vector<std::string> addresses;
@@ -276,7 +349,7 @@ int main(int argc, char** argv) {
       if (comma > start) addresses.push_back(connect.substr(start, comma - start));
       start = comma + 1;
     }
-    return run_connect_mode(addresses, hello, binder, options);
+    return run_connect_mode(addresses, hello, binder, options, hooks);
   }
 
   std::uint16_t port = 0;
@@ -290,5 +363,5 @@ int main(int argc, char** argv) {
     }
     port = static_cast<std::uint16_t>(value);
   }
-  return run_listen_mode(port, hello, binder);
+  return run_listen_mode(port, hello, binder, hooks);
 }
